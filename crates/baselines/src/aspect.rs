@@ -1,0 +1,297 @@
+//! The two sentiment-aware opinion-summarization baselines.
+
+use std::collections::{HashMap, HashSet};
+
+use osa_ontology::NodeId;
+
+use crate::{SentenceRecord, SentenceSelector};
+
+/// Boolean polarity of a continuous sentiment (the baselines' world view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Polarity {
+    Positive,
+    Negative,
+}
+
+fn polarity(s: f64) -> Option<Polarity> {
+    if s > 0.0 {
+        Some(Polarity::Positive)
+    } else if s < 0.0 {
+        Some(Polarity::Negative)
+    } else {
+        None // strictly neutral mentions carry no polarity signal
+    }
+}
+
+type Key = (NodeId, Polarity);
+/// Per-key mention list: `(sentence index, sentiment)` occurrences.
+type Occurrences = HashMap<Key, Vec<(usize, f64)>>;
+
+/// Count `(concept, polarity)` occurrences per sentence; returns the
+/// counts and, per key, the sentence indices containing it (in order).
+fn index_pairs(
+    sentences: &[SentenceRecord],
+) -> (HashMap<Key, usize>, Occurrences) {
+    let mut counts: HashMap<Key, usize> = HashMap::new();
+    let mut occurrences: Occurrences = HashMap::new();
+    for (si, s) in sentences.iter().enumerate() {
+        for p in &s.pairs {
+            if let Some(pol) = polarity(p.sentiment) {
+                let key = (p.concept, pol);
+                *counts.entry(key).or_default() += 1;
+                occurrences.entry(key).or_default().push((si, p.sentiment));
+            }
+        }
+    }
+    (counts, occurrences)
+}
+
+/// Counts ranked descending, ties broken by concept id then polarity for
+/// determinism.
+fn ranked_keys(counts: &HashMap<Key, usize>) -> Vec<(Key, usize)> {
+    let mut v: Vec<(Key, usize)> = counts.iter().map(|(&k, &c)| (k, c)).collect();
+    v.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then_with(|| a.0 .0.cmp(&b.0 .0))
+            .then_with(|| (a.0 .1 == Polarity::Negative).cmp(&(b.0 .1 == Polarity::Negative)))
+    });
+    v
+}
+
+/// The "most popular" baseline (Hu & Liu adaptation, Section 5.3): rank
+/// `(aspect, polarity)` pairs by the number of sentences mentioning them,
+/// then emit one fresh representative sentence per pair until `k`
+/// sentences are collected.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MostPopular;
+
+impl SentenceSelector for MostPopular {
+    fn select(&self, sentences: &[SentenceRecord], k: usize) -> Vec<usize> {
+        let (counts, occ) = index_pairs(sentences);
+        let ranked = ranked_keys(&counts);
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        let mut used: HashSet<usize> = HashSet::new();
+        // Round-robin down the popularity ranking until k filled (a key
+        // may contribute its 2nd, 3rd… sentence on later rounds).
+        let mut round = 0usize;
+        while chosen.len() < k && round < sentences.len().max(1) {
+            let mut progressed = false;
+            for (key, _) in &ranked {
+                if chosen.len() >= k {
+                    break;
+                }
+                if let Some((si, _)) = occ[key].iter().filter(|(si, _)| !used.contains(si)).nth(0)
+                {
+                    if round == 0 || occ[key].len() > round {
+                        used.insert(*si);
+                        chosen.push(*si);
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+            round += 1;
+        }
+        chosen
+    }
+
+    fn name(&self) -> &'static str {
+        "most-popular"
+    }
+}
+
+/// The "proportional" baseline (Blair-Goldensohn et al. adaptation):
+/// apportion the `k` summary slots among `(aspect, polarity)` pairs
+/// proportionally to their frequency (largest-remainder method), then
+/// represent each selected pair by its *most extremely polarized* fresh
+/// sentence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Proportional;
+
+impl SentenceSelector for Proportional {
+    fn select(&self, sentences: &[SentenceRecord], k: usize) -> Vec<usize> {
+        let (counts, occ) = index_pairs(sentences);
+        if counts.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let ranked = ranked_keys(&counts);
+        let total: usize = counts.values().sum();
+
+        // Largest-remainder apportionment of k slots.
+        let mut slots: Vec<(Key, usize, f64)> = ranked
+            .iter()
+            .map(|&(key, c)| {
+                let exact = k as f64 * c as f64 / total as f64;
+                (key, exact.floor() as usize, exact - exact.floor())
+            })
+            .collect();
+        let assigned: usize = slots.iter().map(|&(_, s, _)| s).sum();
+        let mut remaining = k.saturating_sub(assigned);
+        slots.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .expect("finite remainders")
+                .then_with(|| a.0 .0.cmp(&b.0 .0))
+        });
+        for slot in slots.iter_mut() {
+            if remaining == 0 {
+                break;
+            }
+            slot.1 += 1;
+            remaining -= 1;
+        }
+
+        // Pick the most polarized fresh sentence per slot.
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        let mut used: HashSet<usize> = HashSet::new();
+        // Restore popularity order for stable output.
+        slots.sort_by(|a, b| {
+            counts[&b.0]
+                .cmp(&counts[&a.0])
+                .then_with(|| a.0 .0.cmp(&b.0 .0))
+        });
+        for (key, want, _) in &slots {
+            let mut cands: Vec<(usize, f64)> = occ[key].clone();
+            cands.sort_by(|a, b| {
+                b.1.abs()
+                    .partial_cmp(&a.1.abs())
+                    .expect("finite sentiments")
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            let mut taken = 0usize;
+            for (si, _) in cands {
+                if taken >= *want || chosen.len() >= k {
+                    break;
+                }
+                if used.insert(si) {
+                    chosen.push(si);
+                    taken += 1;
+                }
+            }
+        }
+        // Backfill from the overall popularity ranking if apportionment
+        // starved us (duplicate sentences across keys).
+        if chosen.len() < k {
+            for (key, _) in &ranked {
+                for &(si, _) in &occ[key] {
+                    if chosen.len() >= k {
+                        break;
+                    }
+                    if used.insert(si) {
+                        chosen.push(si);
+                    }
+                }
+            }
+        }
+        chosen
+    }
+
+    fn name(&self) -> &'static str {
+        "proportional"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osa_core::Pair;
+    use osa_ontology::{HierarchyBuilder, NodeId};
+
+    fn nodes() -> (NodeId, NodeId) {
+        // Build a real hierarchy just to mint NodeIds consistently.
+        let mut b = HierarchyBuilder::new();
+        let r = b.add_node("r");
+        let screen = b.add_node("screen");
+        let battery = b.add_node("battery");
+        b.add_edge(r, screen).unwrap();
+        b.add_edge(r, battery).unwrap();
+        let h = b.build().unwrap();
+        (
+            h.node_by_name("screen").unwrap(),
+            h.node_by_name("battery").unwrap(),
+        )
+    }
+
+    fn sent(text: &str, pairs: Vec<Pair>) -> SentenceRecord {
+        SentenceRecord::new(text, pairs)
+    }
+
+    #[test]
+    fn most_popular_picks_frequent_aspect_first() {
+        let (screen, battery) = nodes();
+        let sents = vec![
+            sent("screen is great", vec![Pair::new(screen, 0.8)]),
+            sent("screen rocks", vec![Pair::new(screen, 0.7)]),
+            sent("screen shines", vec![Pair::new(screen, 0.6)]),
+            sent("battery is bad", vec![Pair::new(battery, -0.5)]),
+        ];
+        let top = MostPopular.select(&sents, 1);
+        assert_eq!(top, vec![0], "first sentence of the most popular pair");
+        let top2 = MostPopular.select(&sents, 2);
+        assert!(top2.contains(&3), "second slot goes to (battery, neg)");
+    }
+
+    #[test]
+    fn most_popular_returns_distinct_sentences() {
+        let (screen, battery) = nodes();
+        let sents = vec![
+            sent(
+                "screen great battery bad",
+                vec![Pair::new(screen, 0.8), Pair::new(battery, -0.6)],
+            ),
+            sent("screen fine", vec![Pair::new(screen, 0.4)]),
+        ];
+        let sel = MostPopular.select(&sents, 2);
+        assert_eq!(sel.len(), 2);
+        assert_ne!(sel[0], sel[1]);
+    }
+
+    #[test]
+    fn proportional_allocates_by_frequency() {
+        let (screen, battery) = nodes();
+        // 4 screen-positive mentions vs 2 battery-negative: k=3 → 2 + 1.
+        let sents = vec![
+            sent("s1", vec![Pair::new(screen, 0.9)]),
+            sent("s2", vec![Pair::new(screen, 0.3)]),
+            sent("s3", vec![Pair::new(screen, 0.5)]),
+            sent("s4", vec![Pair::new(screen, 0.2)]),
+            sent("b1", vec![Pair::new(battery, -0.9)]),
+            sent("b2", vec![Pair::new(battery, -0.2)]),
+        ];
+        let sel = Proportional.select(&sents, 3);
+        assert_eq!(sel.len(), 3);
+        let screen_count = sel.iter().filter(|&&i| i < 4).count();
+        let battery_count = sel.iter().filter(|&&i| i >= 4).count();
+        assert_eq!((screen_count, battery_count), (2, 1));
+        // Most polarized representatives: s1 (0.9) and b1 (-0.9) included.
+        assert!(sel.contains(&0));
+        assert!(sel.contains(&4));
+    }
+
+    #[test]
+    fn neutral_pairs_are_ignored() {
+        let (screen, _) = nodes();
+        let sents = vec![sent("meh", vec![Pair::new(screen, 0.0)])];
+        assert!(MostPopular.select(&sents, 2).is_empty());
+        assert!(Proportional.select(&sents, 2).is_empty());
+    }
+
+    #[test]
+    fn k_zero_and_empty_input() {
+        let sents: Vec<SentenceRecord> = Vec::new();
+        assert!(MostPopular.select(&sents, 3).is_empty());
+        assert!(Proportional.select(&sents, 0).is_empty());
+    }
+
+    #[test]
+    fn positive_and_negative_are_distinct_keys() {
+        let (screen, _) = nodes();
+        let sents = vec![
+            sent("screen great", vec![Pair::new(screen, 0.9)]),
+            sent("screen awful", vec![Pair::new(screen, -0.9)]),
+        ];
+        let sel = MostPopular.select(&sents, 2);
+        assert_eq!(sel.len(), 2, "both polarities represented");
+    }
+}

@@ -1,0 +1,173 @@
+//! LexRank sentence extraction (Erkan & Radev, 2004).
+
+use std::collections::HashMap;
+
+use osa_linalg::{pagerank, PageRankOptions};
+use osa_text::{is_stopword, stem};
+
+use crate::textrank::top_k;
+use crate::{SentenceRecord, SentenceSelector};
+
+/// Continuous LexRank: sentences are tf-idf vectors; the sentence graph is
+/// weighted by cosine similarity (edges below `threshold` dropped, as in
+/// the original paper); PageRank scores centrality; top-k selected.
+#[derive(Debug, Clone, Copy)]
+pub struct LexRank {
+    /// Cosine-similarity cutoff below which edges are dropped. The
+    /// original paper's default is 0.1.
+    pub threshold: f64,
+}
+
+impl Default for LexRank {
+    fn default() -> Self {
+        LexRank { threshold: 0.1 }
+    }
+}
+
+impl SentenceSelector for LexRank {
+    fn select(&self, sentences: &[SentenceRecord], k: usize) -> Vec<usize> {
+        let n = sentences.len();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+
+        // Vocabulary of stemmed content words.
+        let mut vocab: HashMap<String, usize> = HashMap::new();
+        let docs: Vec<HashMap<usize, f64>> = sentences
+            .iter()
+            .map(|s| {
+                let mut tf: HashMap<usize, f64> = HashMap::new();
+                for t in &s.tokens {
+                    if is_stopword(t) || t.len() <= 2 {
+                        continue;
+                    }
+                    let id = {
+                        let next = vocab.len();
+                        *vocab.entry(stem(t)).or_insert(next)
+                    };
+                    *tf.entry(id).or_default() += 1.0;
+                }
+                tf
+            })
+            .collect();
+
+        // idf(t) = ln(n / df(t)).
+        let mut df = vec![0usize; vocab.len()];
+        for d in &docs {
+            for &t in d.keys() {
+                df[t] += 1;
+            }
+        }
+        let idf: Vec<f64> = df
+            .iter()
+            .map(|&d| ((n as f64) / (d.max(1) as f64)).ln().max(1e-9))
+            .collect();
+
+        // tf-idf vectors and their norms.
+        let vecs: Vec<HashMap<usize, f64>> = docs
+            .iter()
+            .map(|d| {
+                d.iter()
+                    .map(|(&t, &f)| (t, f * idf[t]))
+                    .collect::<HashMap<_, _>>()
+            })
+            .collect();
+        let norms: Vec<f64> = vecs
+            .iter()
+            .map(|v| v.values().map(|x| x * x).sum::<f64>().sqrt())
+            .collect();
+
+        let mut weights = vec![0.0f64; n * n];
+        for i in 0..n {
+            if norms[i] < 1e-12 {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if norms[j] < 1e-12 {
+                    continue;
+                }
+                // Iterate the smaller map.
+                let (a, b) = if vecs[i].len() <= vecs[j].len() {
+                    (&vecs[i], &vecs[j])
+                } else {
+                    (&vecs[j], &vecs[i])
+                };
+                let dot: f64 = a
+                    .iter()
+                    .filter_map(|(t, &x)| b.get(t).map(|&y| x * y))
+                    .sum();
+                let cos = dot / (norms[i] * norms[j]);
+                if cos >= self.threshold {
+                    weights[i * n + j] = cos;
+                    weights[j * n + i] = cos;
+                }
+            }
+        }
+        let ranks = pagerank(&weights, n, PageRankOptions::default());
+        top_k(&ranks, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "lexrank"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(text: &str) -> SentenceRecord {
+        SentenceRecord::new(text, Vec::new())
+    }
+
+    #[test]
+    fn hub_sentence_ranks_first() {
+        let sents = vec![
+            rec("battery camera screen keyboard speaker"),
+            rec("battery camera quality"),
+            rec("screen keyboard feel"),
+            rec("unrelated shipping delivery carton"),
+        ];
+        let sel = LexRank::default().select(&sents, 1);
+        assert_eq!(sel, vec![0]);
+    }
+
+    #[test]
+    fn threshold_prunes_weak_edges() {
+        let sents = vec![
+            rec("alpha beta gamma delta"),
+            rec("alpha epsilon zeta eta"),
+            rec("theta iota kappa lambda"),
+        ];
+        // With an impossible threshold nothing connects: uniform ranks.
+        let strict = LexRank { threshold: 0.99 };
+        assert_eq!(strict.select(&sents, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rare_shared_terms_weigh_more_than_common_ones() {
+        // "phone" appears everywhere (low idf); "gimbal" only in 2
+        // sentences (high idf) → the gimbal pair is more similar.
+        let sents = vec![
+            rec("phone gimbal stabilizer"),
+            rec("phone gimbal mount"),
+            rec("phone case"),
+            rec("phone charger"),
+            rec("phone strap"),
+        ];
+        let sel = LexRank::default().select(&sents, 2);
+        assert!(sel.contains(&0) && sel.contains(&1), "{sel:?}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(LexRank::default().select(&[], 2).is_empty());
+    }
+
+    #[test]
+    fn all_stopword_sentences_do_not_crash() {
+        let sents = vec![rec("the of and"), rec("is are was")];
+        let sel = LexRank::default().select(&sents, 1);
+        assert_eq!(sel.len(), 1);
+    }
+}

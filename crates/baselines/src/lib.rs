@@ -1,0 +1,50 @@
+//! # osa-baselines
+//!
+//! The five baseline summarizers of the paper's qualitative evaluation
+//! (Table 2), implemented from scratch:
+//!
+//! | Baseline | Source | Idea |
+//! |---|---|---|
+//! | [`MostPopular`] | Hu & Liu, KDD'04 (adapted) | representative sentences of the most popular (aspect, polarity) pairs |
+//! | [`Proportional`] | Blair-Goldensohn et al., WWW'08 (adapted) | aspects proportionally to frequency, most polarized sentence each |
+//! | [`TextRank`] | Mihalcea & Tarau, EMNLP'04 | PageRank over word-overlap sentence graph |
+//! | [`LexRank`] | Erkan & Radev, JAIR'04 | PageRank over tf-idf cosine sentence graph |
+//! | [`LsaSummarizer`] | Steinberger & Ježek, ISIM'04 | SVD of the term×sentence matrix |
+//!
+//! A sixth selector, [`Mmr`] (maximal marginal relevance), is included
+//! as an extension beyond the paper's baseline set.
+//!
+//! All of them implement [`SentenceSelector`]: given an item's sentences
+//! (tokens + extracted concept-sentiment pairs) they return the indices
+//! of `k` selected sentences. The first two are sentiment-aware; the last
+//! three are the sentiment-agnostic multi-document summarizers.
+
+//! ## Example
+//!
+//! ```
+//! use osa_baselines::{SentenceRecord, SentenceSelector, TextRank};
+//!
+//! let sentences = vec![
+//!     SentenceRecord::new("the camera quality and screen impress", vec![]),
+//!     SentenceRecord::new("the camera quality impresses", vec![]),
+//!     SentenceRecord::new("unrelated shipping note", vec![]),
+//! ];
+//! let top = TextRank.select(&sentences, 1);
+//! assert_eq!(top.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod aspect;
+mod lexrank;
+mod lsa;
+mod mmr;
+mod selector;
+mod textrank;
+
+pub use aspect::{MostPopular, Proportional};
+pub use lexrank::LexRank;
+pub use lsa::{LsaOptions, LsaSummarizer};
+pub use mmr::Mmr;
+pub use selector::{SentenceRecord, SentenceSelector};
+pub use textrank::TextRank;

@@ -1,0 +1,177 @@
+//! LSA-based sentence extraction (Steinberger & Ježek, 2004).
+
+use std::collections::HashMap;
+
+use osa_linalg::{svd, Csr};
+use osa_text::{is_stopword, stem};
+
+use crate::textrank::top_k;
+use crate::{SentenceRecord, SentenceSelector};
+
+/// Size caps for the SVD (our one-sided Jacobi is dense; these keep the
+/// per-item decomposition in the tens of milliseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct LsaOptions {
+    /// Keep only the `max_terms` most frequent content terms.
+    pub max_terms: usize,
+    /// Number of latent dimensions to score against (`r` in the paper);
+    /// effectively `min(r, k, rank)`.
+    pub dimensions: usize,
+}
+
+impl Default for LsaOptions {
+    fn default() -> Self {
+        LsaOptions {
+            max_terms: 400,
+            dimensions: 8,
+        }
+    }
+}
+
+/// The LSA summarizer: build the (log-tf weighted) term×sentence matrix,
+/// take its SVD `A = U Σ Vᵀ`, score sentence `j` by
+/// `‖(σ₁ v_{j,1}, …, σ_r v_{j,r})‖` (the Steinberger–Ježek improvement
+/// over picking one sentence per topic), and select the top-k.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LsaSummarizer {
+    /// SVD sizing options.
+    pub options: LsaOptions,
+}
+
+impl SentenceSelector for LsaSummarizer {
+    fn select(&self, sentences: &[SentenceRecord], k: usize) -> Vec<usize> {
+        let n = sentences.len();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+
+        // Count content-term frequencies to pick the vocabulary.
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        let stemmed: Vec<Vec<String>> = sentences
+            .iter()
+            .map(|s| {
+                s.tokens
+                    .iter()
+                    .filter(|t| !is_stopword(t) && t.len() > 2)
+                    .map(|t| stem(t))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for s in &stemmed {
+            for t in s {
+                *freq.entry(t.clone()).or_default() += 1;
+            }
+        }
+        let mut terms: Vec<(String, usize)> = freq.into_iter().collect();
+        terms.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        terms.truncate(self.options.max_terms);
+        let vocab: HashMap<&str, usize> = terms
+            .iter()
+            .enumerate()
+            .map(|(i, (t, _))| (t.as_str(), i))
+            .collect();
+        if vocab.is_empty() {
+            // Degenerate corpus: fall back to leading sentences.
+            return (0..n.min(k)).collect();
+        }
+
+        // Term × sentence matrix with 1 + ln(tf) weights.
+        let mut triplets = Vec::new();
+        for (j, s) in stemmed.iter().enumerate() {
+            let mut tf: HashMap<usize, f64> = HashMap::new();
+            for t in s {
+                if let Some(&i) = vocab.get(t.as_str()) {
+                    *tf.entry(i).or_default() += 1.0;
+                }
+            }
+            for (i, f) in tf {
+                triplets.push((i, j, 1.0 + f.ln()));
+            }
+        }
+        let a = Csr::from_triplets(vocab.len(), n, triplets).to_dense();
+        let dec = svd(&a);
+
+        let r = self
+            .options
+            .dimensions
+            .min(k)
+            .min(dec.sigma.len())
+            .max(1);
+        let scores: Vec<f64> = (0..n)
+            .map(|j| {
+                (0..r)
+                    .map(|d| {
+                        let v = dec.v[(j, d)] * dec.sigma[d];
+                        v * v
+                    })
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        top_k(&scores, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "lsa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(text: &str) -> SentenceRecord {
+        SentenceRecord::new(text, Vec::new())
+    }
+
+    #[test]
+    fn picks_topically_central_sentences() {
+        let sents = vec![
+            rec("screen display resolution screen display"),
+            rec("screen display colors"),
+            rec("battery battery charge battery"),
+            rec("battery charge life"),
+            rec("random chatter nothing"),
+        ];
+        let sel = LsaSummarizer::default().select(&sents, 2);
+        // The two dominant topics are screen and battery; their heavy
+        // sentences (0 and 2) carry the largest singular weight.
+        assert!(sel.contains(&0), "{sel:?}");
+        assert!(sel.contains(&2), "{sel:?}");
+    }
+
+    #[test]
+    fn respects_k() {
+        let sents = vec![rec("alpha beta"), rec("beta gamma"), rec("gamma alpha")];
+        assert_eq!(LsaSummarizer::default().select(&sents, 2).len(), 2);
+        assert!(LsaSummarizer::default().select(&sents, 0).is_empty());
+    }
+
+    #[test]
+    fn degenerate_vocab_falls_back() {
+        let sents = vec![rec("of the"), rec("is a")];
+        let sel = LsaSummarizer::default().select(&sents, 1);
+        assert_eq!(sel, vec![0]);
+    }
+
+    #[test]
+    fn term_cap_is_applied() {
+        let opts = LsaOptions {
+            max_terms: 1,
+            dimensions: 4,
+        };
+        let sents = vec![
+            rec("common common common"),
+            rec("common rare"),
+            rec("unique words here"),
+        ];
+        let sel = LsaSummarizer { options: opts }.select(&sents, 1);
+        // Only "common" is in the vocabulary: sentence 0 dominates.
+        assert_eq!(sel, vec![0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(LsaSummarizer::default().select(&[], 3).is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Maximal Marginal Relevance (Carbonell & Goldstein, 1998) — an extra
+//! sentiment-agnostic baseline beyond the paper's five, included because
+//! it is the standard redundancy-aware extractive selector and a natural
+//! question reviewers ask ("does plain MMR already solve this?").
+
+use std::collections::HashMap;
+
+use osa_text::{is_stopword, stem};
+
+use crate::{SentenceRecord, SentenceSelector};
+
+/// MMR sentence selection: greedily pick the sentence maximizing
+/// `λ·rel(s) − (1−λ)·max_{t∈S} sim(s, t)` where relevance is the cosine
+/// to the corpus centroid and similarity is tf-idf cosine.
+#[derive(Debug, Clone, Copy)]
+pub struct Mmr {
+    /// Relevance/diversity trade-off λ ∈ [0, 1]; 0.7 is the customary
+    /// default.
+    pub lambda: f64,
+}
+
+impl Default for Mmr {
+    fn default() -> Self {
+        Mmr { lambda: 0.7 }
+    }
+}
+
+impl SentenceSelector for Mmr {
+    fn select(&self, sentences: &[SentenceRecord], k: usize) -> Vec<usize> {
+        let n = sentences.len();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+
+        // tf-idf vectors over stemmed content words.
+        let mut vocab: HashMap<String, usize> = HashMap::new();
+        let docs: Vec<HashMap<usize, f64>> = sentences
+            .iter()
+            .map(|s| {
+                let mut tf: HashMap<usize, f64> = HashMap::new();
+                for t in &s.tokens {
+                    if is_stopword(t) || t.len() <= 2 {
+                        continue;
+                    }
+                    let next = vocab.len();
+                    let id = *vocab.entry(stem(t)).or_insert(next);
+                    *tf.entry(id).or_default() += 1.0;
+                }
+                tf
+            })
+            .collect();
+        let mut df = vec![0usize; vocab.len()];
+        for d in &docs {
+            for &t in d.keys() {
+                df[t] += 1;
+            }
+        }
+        let idf: Vec<f64> = df
+            .iter()
+            .map(|&d| ((n as f64) / (d.max(1) as f64)).ln().max(1e-9))
+            .collect();
+        let vecs: Vec<HashMap<usize, f64>> = docs
+            .iter()
+            .map(|d| d.iter().map(|(&t, &f)| (t, f * idf[t])).collect())
+            .collect();
+        let norms: Vec<f64> = vecs
+            .iter()
+            .map(|v| v.values().map(|x| x * x).sum::<f64>().sqrt())
+            .collect();
+        let cosine = |a: usize, b: usize| -> f64 {
+            if norms[a] < 1e-12 || norms[b] < 1e-12 {
+                return 0.0;
+            }
+            let (small, large) = if vecs[a].len() <= vecs[b].len() {
+                (&vecs[a], &vecs[b])
+            } else {
+                (&vecs[b], &vecs[a])
+            };
+            let dot: f64 = small
+                .iter()
+                .filter_map(|(t, &x)| large.get(t).map(|&y| x * y))
+                .sum();
+            dot / (norms[a] * norms[b])
+        };
+
+        // Corpus centroid for relevance.
+        let mut centroid: HashMap<usize, f64> = HashMap::new();
+        for v in &vecs {
+            for (&t, &x) in v {
+                *centroid.entry(t).or_default() += x;
+            }
+        }
+        let cnorm = centroid.values().map(|x| x * x).sum::<f64>().sqrt();
+        let relevance: Vec<f64> = (0..n)
+            .map(|i| {
+                if norms[i] < 1e-12 || cnorm < 1e-12 {
+                    return 0.0;
+                }
+                let dot: f64 = vecs[i]
+                    .iter()
+                    .filter_map(|(t, &x)| centroid.get(t).map(|&y| x * y))
+                    .sum();
+                dot / (norms[i] * cnorm)
+            })
+            .collect();
+
+        // Greedy MMR selection.
+        let mut selected: Vec<usize> = Vec::with_capacity(k);
+        let mut taken = vec![false; n];
+        while selected.len() < k.min(n) {
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..n {
+                if taken[i] {
+                    continue;
+                }
+                let max_sim = selected
+                    .iter()
+                    .map(|&j| cosine(i, j))
+                    .fold(0.0f64, f64::max);
+                let score = self.lambda * relevance[i] - (1.0 - self.lambda) * max_sim;
+                if best.is_none_or(|(_, b)| score > b) {
+                    best = Some((i, score));
+                }
+            }
+            let (i, _) = best.expect("untaken sentence exists");
+            taken[i] = true;
+            selected.push(i);
+        }
+        selected
+    }
+
+    fn name(&self) -> &'static str {
+        "mmr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(text: &str) -> SentenceRecord {
+        SentenceRecord::new(text, Vec::new())
+    }
+
+    #[test]
+    fn picks_central_sentence_first() {
+        let sents = vec![
+            rec("battery camera screen quality"),
+            rec("battery camera details"),
+            rec("screen quality report"),
+            rec("unrelated shipping carton"),
+        ];
+        let sel = Mmr::default().select(&sents, 1);
+        assert_eq!(sel, vec![0]);
+    }
+
+    #[test]
+    fn diversity_avoids_near_duplicates() {
+        let sents = vec![
+            rec("battery life battery life battery"),
+            rec("battery life battery life great"),
+            rec("screen resolution details here"),
+        ];
+        let sel = Mmr { lambda: 0.5 }.select(&sents, 2);
+        // Second pick should be the screen sentence, not the duplicate.
+        assert!(sel.contains(&2), "{sel:?}");
+    }
+
+    #[test]
+    fn lambda_one_is_pure_relevance() {
+        let sents = vec![
+            rec("battery battery battery"),
+            rec("battery battery charger"),
+            rec("totally different topic"),
+        ];
+        let pure = Mmr { lambda: 1.0 }.select(&sents, 2);
+        // Without the diversity term the two battery sentences win.
+        assert!(pure.contains(&0) && pure.contains(&1), "{pure:?}");
+    }
+
+    #[test]
+    fn respects_k_and_empty_input() {
+        assert!(Mmr::default().select(&[], 3).is_empty());
+        let sents = vec![rec("alpha beta"), rec("gamma delta")];
+        assert_eq!(Mmr::default().select(&sents, 5).len(), 2);
+        assert!(Mmr::default().select(&sents, 0).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! The shared interface of the baseline sentence selectors.
+
+use osa_core::Pair;
+
+/// One sentence of an item's reviews, as the baselines see it.
+#[derive(Debug, Clone)]
+pub struct SentenceRecord {
+    /// Lowercase word tokens.
+    pub tokens: Vec<String>,
+    /// Concept-sentiment pairs extracted from the sentence (empty when
+    /// the sentence mentions no known concept).
+    pub pairs: Vec<Pair>,
+}
+
+impl SentenceRecord {
+    /// Build a record from raw text and its extracted pairs.
+    pub fn new(text: &str, pairs: Vec<Pair>) -> Self {
+        SentenceRecord {
+            tokens: osa_text::tokenize(text),
+            pairs,
+        }
+    }
+}
+
+/// A top-k sentence selection strategy.
+pub trait SentenceSelector {
+    /// Select (up to) `k` distinct sentence indices.
+    fn select(&self, sentences: &[SentenceRecord], k: usize) -> Vec<usize>;
+
+    /// Display name (used by the Fig. 6 harness legend).
+    fn name(&self) -> &'static str;
+}

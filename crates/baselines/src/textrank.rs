@@ -1,0 +1,129 @@
+//! TextRank sentence extraction (Mihalcea & Tarau, 2004).
+
+use std::collections::HashSet;
+
+use osa_linalg::{pagerank, PageRankOptions};
+use osa_text::{is_stopword, stem};
+
+use crate::{SentenceRecord, SentenceSelector};
+
+/// TextRank: build a sentence graph weighted by normalized content-word
+/// overlap
+///
+/// ```text
+/// sim(Si, Sj) = |words(Si) ∩ words(Sj)| / (log|Si| + log|Sj|)
+/// ```
+///
+/// (the paper's original formula), run PageRank, take the top-k.
+/// Sentiment-agnostic by design — that is exactly why the paper uses it
+/// as a baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextRank;
+
+fn content_words(tokens: &[String]) -> HashSet<String> {
+    tokens
+        .iter()
+        .filter(|t| !is_stopword(t) && t.len() > 2)
+        .map(|t| stem(t))
+        .collect()
+}
+
+impl SentenceSelector for TextRank {
+    fn select(&self, sentences: &[SentenceRecord], k: usize) -> Vec<usize> {
+        let n = sentences.len();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        let words: Vec<HashSet<String>> =
+            sentences.iter().map(|s| content_words(&s.tokens)).collect();
+        let mut weights = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let denom = (words[i].len().max(2) as f64).ln()
+                    + (words[j].len().max(2) as f64).ln();
+                if denom <= 0.0 {
+                    continue;
+                }
+                let overlap = words[i].intersection(&words[j]).count() as f64;
+                if overlap > 0.0 {
+                    let w = overlap / denom;
+                    weights[i * n + j] = w;
+                    weights[j * n + i] = w;
+                }
+            }
+        }
+        let ranks = pagerank(&weights, n, PageRankOptions::default());
+        top_k(&ranks, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "textrank"
+    }
+}
+
+/// Indices of the `k` largest scores, descending, ties by lower index.
+pub(crate) fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("finite scores")
+            .then_with(|| a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(text: &str) -> SentenceRecord {
+        SentenceRecord::new(text, Vec::new())
+    }
+
+    #[test]
+    fn central_sentence_wins() {
+        // Sentence 0 shares two content words with each neighbour, which
+        // beats the single-word overlap among the others; 3 is an outlier.
+        let sents = vec![
+            rec("the camera quality and screen resolution impress"),
+            rec("the camera quality impresses everyone"),
+            rec("the screen resolution pleases reviewers"),
+            rec("shipping box arrived quickly yesterday"),
+        ];
+        let sel = TextRank.select(&sents, 1);
+        assert_eq!(sel, vec![0]);
+    }
+
+    #[test]
+    fn returns_k_distinct() {
+        let sents = vec![
+            rec("alpha beta gamma"),
+            rec("alpha beta delta"),
+            rec("beta gamma delta"),
+        ];
+        let sel = TextRank.select(&sents, 2);
+        assert_eq!(sel.len(), 2);
+        assert_ne!(sel[0], sel[1]);
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        assert!(TextRank.select(&[], 3).is_empty());
+        assert!(TextRank.select(&[rec("hello world")], 0).is_empty());
+    }
+
+    #[test]
+    fn disconnected_sentences_get_uniform_rank() {
+        let sents = vec![rec("aardvark unique"), rec("zebra distinct")];
+        let sel = TextRank.select(&sents, 2);
+        assert_eq!(sel, vec![0, 1], "uniform ranks → index order");
+    }
+
+    #[test]
+    fn top_k_helper_orders_and_breaks_ties() {
+        assert_eq!(top_k(&[0.1, 0.5, 0.5, 0.2], 3), vec![1, 2, 3]);
+        assert_eq!(top_k(&[1.0], 5), vec![0]);
+    }
+}

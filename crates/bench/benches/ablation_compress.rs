@@ -1,0 +1,42 @@
+//! Pair-compression ablation: the same instance solved raw (one pair per
+//! occurrence) vs compressed (distinct pairs with multiplicities).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osa_bench::quant_workload;
+use osa_core::{compress_pairs, CoverageGraph, GreedySummarizer, Summarizer};
+
+fn bench_compress(c: &mut Criterion) {
+    let w = quant_workload(1, 400, 31);
+    let pairs = &w.items[0].pairs;
+    let (unique, weights) = compress_pairs(pairs);
+    eprintln!("{} raw pairs -> {} distinct", pairs.len(), unique.len());
+
+    let raw = CoverageGraph::for_pairs(&w.hierarchy, pairs, 0.5);
+    let compressed = CoverageGraph::for_weighted_pairs(&w.hierarchy, &unique, &weights, 0.5);
+    assert_eq!(
+        GreedySummarizer.summarize(&raw, 8).cost,
+        GreedySummarizer.summarize(&compressed, 8).cost,
+        "compression must preserve greedy cost"
+    );
+
+    let mut group = c.benchmark_group("ablation/compression");
+    group.bench_function("build_raw", |b| {
+        b.iter(|| CoverageGraph::for_pairs(&w.hierarchy, pairs, 0.5))
+    });
+    group.bench_function("build_compressed", |b| {
+        b.iter(|| {
+            let (u, ws) = compress_pairs(pairs);
+            CoverageGraph::for_weighted_pairs(&w.hierarchy, &u, &ws, 0.5)
+        })
+    });
+    group.bench_function("greedy_raw", |b| {
+        b.iter(|| GreedySummarizer.summarize(&raw, 8))
+    });
+    group.bench_function("greedy_compressed", |b| {
+        b.iter(|| GreedySummarizer.summarize(&compressed, 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

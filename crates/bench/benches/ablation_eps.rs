@@ -1,0 +1,27 @@
+//! ε ablation (`bench_ablation_eps`): how the sentiment threshold drives
+//! coverage-graph density and greedy cost/time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osa_bench::quant_workload;
+use osa_core::{CoverageGraph, GreedySummarizer, Summarizer};
+
+fn bench_eps(c: &mut Criterion) {
+    let w = quant_workload(1, 150, 29);
+    let item = &w.items[0];
+    let mut group = c.benchmark_group("ablation/eps");
+    for &eps in &[0.1f64, 0.25, 0.5, 1.0] {
+        let graph = CoverageGraph::for_pairs(&w.hierarchy, &item.pairs, eps);
+        eprintln!(
+            "eps={eps}: |E|={} greedy cost(k=8)={}",
+            graph.num_edges(),
+            GreedySummarizer.summarize(&graph, 8).cost
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, _| {
+            b.iter(|| GreedySummarizer.summarize(&graph, 8));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eps);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Randomized-rounding trials ablation: cost of the best of T samples of
+//! one LP solution as T grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osa_bench::quant_workload;
+use osa_core::{RandomizedRounding, Summarizer};
+
+fn bench_rr(c: &mut Criterion) {
+    let w = quant_workload(1, 60, 53);
+    let graph = w.items[0].graph(&w.hierarchy, 0.5, osa_core::Granularity::Pairs);
+    let mut group = c.benchmark_group("ablation/rr-trials");
+    group.sample_size(10);
+    for trials in [1usize, 4, 16] {
+        let rr = RandomizedRounding { seed: 9, trials };
+        eprintln!("trials={trials}: cost {}", rr.summarize(&graph, 6).cost);
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, _| {
+            b.iter(|| rr.summarize(&graph, 6))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rr);
+criterion_main!(benches);

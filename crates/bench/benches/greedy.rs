@@ -1,0 +1,26 @@
+//! Greedy ablation (`bench_ablation_heap`): Algorithm 2's max-heap with
+//! two-hop updates vs CELF lazy evaluation vs the naive re-scan greedy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osa_bench::{quant_workload, NaiveGreedy};
+use osa_core::{GreedySummarizer, LazyGreedySummarizer, Summarizer};
+
+fn bench_greedy(c: &mut Criterion) {
+    let w = quant_workload(1, 300, 13);
+    let graph = w.items[0].graph(&w.hierarchy, 0.5, osa_core::Granularity::Pairs);
+    let k = 10;
+    let mut group = c.benchmark_group("greedy/variants");
+    for (name, alg) in [
+        ("heap", &GreedySummarizer as &dyn Summarizer),
+        ("lazy", &LazyGreedySummarizer),
+        ("naive", &NaiveGreedy),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| alg.summarize(&graph, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! ILP and LP-rounding benchmark on a small per-item instance (the
+//! Fig. 4 regime at micro scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osa_bench::quant_workload;
+use osa_core::{GreedySummarizer, IlpSummarizer, RandomizedRounding, Summarizer};
+
+fn bench_ilp_rr(c: &mut Criterion) {
+    let w = quant_workload(1, 30, 17);
+    let graph = w.items[0].graph(&w.hierarchy, 0.5, osa_core::Granularity::Pairs);
+    let k = 5;
+    let mut group = c.benchmark_group("exact_vs_approx");
+    group.sample_size(10);
+    group.bench_function("ilp", |b| b.iter(|| IlpSummarizer.summarize(&graph, k)));
+    group.bench_function("rr", |b| {
+        b.iter(|| RandomizedRounding::with_seed(3).summarize(&graph, k))
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| GreedySummarizer.summarize(&graph, k))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ilp_rr);
+criterion_main!(benches);

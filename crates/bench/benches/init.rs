@@ -1,0 +1,21 @@
+//! Initialization-phase benchmark (the paper's §4.1 cost observation):
+//! coverage-graph construction time as |P| grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osa_bench::quant_workload;
+use osa_core::CoverageGraph;
+
+fn bench_init(c: &mut Criterion) {
+    let mut group = c.benchmark_group("init/for_pairs");
+    for &n in &[50usize, 100, 200, 400] {
+        let w = quant_workload(1, n, 11);
+        let item = &w.items[0];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| CoverageGraph::for_pairs(&w.hierarchy, &item.pairs, 0.5));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_init);
+criterion_main!(benches);

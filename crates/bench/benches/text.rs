@@ -1,0 +1,27 @@
+//! Text-pipeline throughput: tokenizing, sentiment scoring and concept
+//! matching over a review.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osa_datasets::phone_hierarchy;
+use osa_text::{tokenize, ConceptMatcher, SentimentLexicon};
+
+const REVIEW: &str = "The screen is fantastic and the display color is great. \
+    Battery life is terrible though. The camera seems good but picture quality \
+    varies. I was not impressed by the speaker. Charging is slow. Overall a \
+    decent phone for the price.";
+
+fn bench_text(c: &mut Criterion) {
+    let h = phone_hierarchy();
+    let matcher = ConceptMatcher::from_hierarchy(&h);
+    let lexicon = SentimentLexicon::default();
+    let tokens = tokenize(REVIEW);
+
+    let mut group = c.benchmark_group("text");
+    group.bench_function("tokenize", |b| b.iter(|| tokenize(REVIEW)));
+    group.bench_function("sentiment", |b| b.iter(|| lexicon.score_tokens(&tokens)));
+    group.bench_function("concept_match", |b| b.iter(|| matcher.find(&tokens)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_text);
+criterion_main!(benches);

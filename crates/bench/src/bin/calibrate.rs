@@ -1,0 +1,40 @@
+//! Internal calibration tool: sizes and times one instance per
+//! granularity so the Figs. 4–5 parameters can be chosen sensibly.
+//! Not part of the paper's experiment set.
+
+use osa_bench::{granularity_label, quant_workload, run_timed};
+use osa_core::{Granularity, GreedySummarizer, IlpSummarizer, RandomizedRounding};
+
+fn main() {
+    let mean_pairs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
+    let w = quant_workload(2, mean_pairs, 42);
+    for item in &w.items {
+        println!("item: {} pairs", item.pairs.len());
+        for g in [
+            Granularity::Pairs,
+            Granularity::Sentences,
+            Granularity::Reviews,
+        ] {
+            let cg = item.graph(&w.hierarchy, 0.5, g);
+            let k = 5;
+            let (gs, gt) = run_timed(&GreedySummarizer, &cg, k);
+            let (rs, rt) = run_timed(&RandomizedRounding::with_seed(1), &cg, k);
+            let (is, it) = run_timed(&IlpSummarizer, &cg, k);
+            println!(
+                "  {:<13} |U|={:<4} |E|={:<6} greedy {:>8.0}us c={:<5} rr {:>10.0}us c={:<5} ilp {:>10.0}us c={}",
+                granularity_label(g),
+                cg.num_candidates(),
+                cg.num_edges(),
+                gt,
+                gs.cost,
+                rt,
+                rs.cost,
+                it,
+                is.cost
+            );
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Fig. 3 reproduction: the cell-phone aspect hierarchy, rendered as an
+//! ASCII tree, with structural statistics.
+
+use osa_datasets::phone_hierarchy;
+use osa_ontology::HierarchyStats;
+
+fn main() {
+    let h = phone_hierarchy();
+    println!("=== Fig. 3: cell phone aspect hierarchy ===\n");
+    print!("{}", h.render_ascii());
+    println!("\n--- structure ---\n{}", HierarchyStats::compute(&h));
+}

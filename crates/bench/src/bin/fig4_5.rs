@@ -1,0 +1,180 @@
+//! Figs. 4 & 5 reproduction: average selection time (Fig. 4) and average
+//! coverage cost (Fig. 5) of ILP, Randomized Rounding and Greedy on the
+//! three problem variants (top pairs / top sentences / top reviews) at
+//! sentiment threshold ε = 0.5, as a function of k.
+//!
+//! The workload is the synthetic SNOMED-like doctor workload (see
+//! DESIGN.md §2): per-item pair sets with clustered concepts and Zipf
+//! aspect popularity. Environment knobs:
+//!
+//! * `OSA_ITEMS` (default 20) — number of items averaged over,
+//! * `OSA_MEAN_PAIRS` (default 60) — mean pairs per item,
+//! * `OSA_KMAX` (default 10) — k sweep upper bound.
+
+use osa_bench::{granularity_label, quant_workload, run_timed, text_workload, write_csv};
+use osa_core::{
+    Granularity, GreedySummarizer, IlpSummarizer, RandomizedRounding, Summarizer,
+};
+
+const EPS: f64 = 0.5;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let items = env_usize("OSA_ITEMS", 20);
+    let mean_pairs = env_usize("OSA_MEAN_PAIRS", 60);
+    let kmax = env_usize("OSA_KMAX", 10);
+    let source = std::env::var("OSA_SOURCE").unwrap_or_else(|_| "synthetic".to_owned());
+    let w = match source.as_str() {
+        // Full pipeline over generated doctor review text.
+        "text" => text_workload(items, 42),
+        _ => quant_workload(items, mean_pairs, 42),
+    };
+    println!(
+        "=== Figs. 4 & 5: time/cost vs k (eps = {EPS}, {items} items, source = {source}) ===\n"
+    );
+
+    let algorithms: Vec<(&str, Box<dyn Summarizer>)> = vec![
+        ("ILP", Box::new(IlpSummarizer)),
+        ("RR", Box::new(RandomizedRounding::with_seed(7))),
+        // Algorithm 1 with 8 sampling trials (LP solved once): shows how
+        // fast the sampled cost concentrates toward the LP optimum.
+        (
+            "RR8",
+            Box::new(RandomizedRounding {
+                seed: 7,
+                trials: 8,
+            }),
+        ),
+        ("Greedy", Box::new(GreedySummarizer)),
+    ];
+    let grans = [
+        Granularity::Pairs,
+        Granularity::Sentences,
+        Granularity::Reviews,
+    ];
+
+    let mut csv = Vec::new();
+    // speedups[granularity][algorithm pair] etc. accumulated after.
+    let mut mean_time = vec![vec![vec![0.0f64; kmax]; algorithms.len()]; grans.len()];
+    let mut mean_cost = vec![vec![vec![0.0f64; kmax]; algorithms.len()]; grans.len()];
+
+    for (gi, &g) in grans.iter().enumerate() {
+        // Prebuild graphs once per item (shared initialization, §4.1).
+        let graphs: Vec<_> = w
+            .items
+            .iter()
+            .map(|item| item.graph(&w.hierarchy, EPS, g))
+            .collect();
+        for k in 1..=kmax {
+            for (ai, (_, alg)) in algorithms.iter().enumerate() {
+                let mut tsum = 0.0;
+                let mut csum = 0.0;
+                for graph in &graphs {
+                    let (summary, micros) = run_timed(alg.as_ref(), graph, k);
+                    tsum += micros;
+                    csum += summary.cost as f64;
+                }
+                mean_time[gi][ai][k - 1] = tsum / graphs.len() as f64;
+                mean_cost[gi][ai][k - 1] = csum / graphs.len() as f64;
+            }
+        }
+    }
+
+    for (gi, &g) in grans.iter().enumerate() {
+        println!("--- {} ---", granularity_label(g));
+        print!("{:<8}", "k");
+        for (name, _) in &algorithms {
+            print!("{:>12} {:>12}", format!("{name} us"), format!("{name} cost"));
+        }
+        println!();
+        for k in 1..=kmax {
+            print!("{k:<8}");
+            for ai in 0..algorithms.len() {
+                print!(
+                    "{:>12.1} {:>12.2}",
+                    mean_time[gi][ai][k - 1],
+                    mean_cost[gi][ai][k - 1]
+                );
+                csv.push(format!(
+                    "{},{},{},{:.1},{:.3}",
+                    granularity_label(g).replace(' ', "_"),
+                    algorithms[ai].0,
+                    k,
+                    mean_time[gi][ai][k - 1],
+                    mean_cost[gi][ai][k - 1]
+                ));
+            }
+            println!();
+        }
+        println!();
+    }
+
+    // §5.2 summary block: the paper's headline ratios.
+    let (ilp_i, rr_i, rr8_i, greedy_i) = (0usize, 1usize, 2usize, 3usize);
+    println!("--- Section 5.2 ratio summary ---");
+    for (gi, &g) in grans.iter().enumerate() {
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let ilp_t = avg(&mean_time[gi][ilp_i]);
+        let rr_t = avg(&mean_time[gi][rr_i]);
+        let greedy_t = avg(&mean_time[gi][greedy_i]);
+        let max_speedup_ilp = mean_time[gi][ilp_i]
+            .iter()
+            .zip(&mean_time[gi][greedy_i])
+            .map(|(i, g)| i / g.max(1e-9))
+            .fold(0.0f64, f64::max);
+        let max_speedup_rr = mean_time[gi][rr_i]
+            .iter()
+            .zip(&mean_time[gi][greedy_i])
+            .map(|(r, g)| r / g.max(1e-9))
+            .fold(0.0f64, f64::max);
+        // Cost gaps vs optimal, averaged over k with positive OPT.
+        let gap = |a: &[f64], b: &[f64]| {
+            let mut tot = 0.0;
+            let mut n = 0usize;
+            for (x, o) in a.iter().zip(b) {
+                if *o > 0.0 {
+                    tot += (x - o) / o;
+                    n += 1;
+                }
+            }
+            if n == 0 { 0.0 } else { 100.0 * tot / n as f64 }
+        };
+        println!(
+            "{:<14} greedy vs ILP: {:>6.1}x faster (max {:.0}x); RR vs ILP: {:.1}x of ILP time (greedy vs RR max {:.0}x); cost gap greedy +{:.1}%, RR +{:.1}%, RR8 +{:.1}%",
+            granularity_label(g),
+            ilp_t / greedy_t.max(1e-9),
+            max_speedup_ilp,
+            rr_t / ilp_t.max(1e-9),
+            max_speedup_rr,
+            gap(&mean_cost[gi][greedy_i], &mean_cost[gi][ilp_i]),
+            gap(&mean_cost[gi][rr_i], &mean_cost[gi][ilp_i]),
+            gap(&mean_cost[gi][rr8_i], &mean_cost[gi][ilp_i]),
+        );
+    }
+    println!(
+        "\ncost ordering across variants (paper: pairs > sentences > reviews at same k):"
+    );
+    for k in [2usize, 5, 10] {
+        if k <= kmax {
+            println!(
+                "  k={k}: pairs {:.1}  sentences {:.1}  reviews {:.1} (ILP)",
+                mean_cost[0][ilp_i][k - 1],
+                mean_cost[1][ilp_i][k - 1],
+                mean_cost[2][ilp_i][k - 1]
+            );
+        }
+    }
+
+    let csv_name = if source == "text" {
+        "fig4_5_text.csv"
+    } else {
+        "fig4_5.csv"
+    };
+    write_csv(csv_name, "granularity,algorithm,k,mean_time_us,mean_cost", &csv);
+}

@@ -1,0 +1,25 @@
+//! §5.1 configuration check: primal vs dual simplex on the coverage LP
+//! relaxation (the paper picked Gurobi's dual simplex for this model
+//! after the same comparison).
+
+use osa_bench::quant_workload;
+use osa_core::{Granularity, __diag_build_model};
+use osa_eval::Stopwatch;
+use osa_solver::LpMethod;
+
+fn main() {
+    for mean_pairs in [40usize, 80, 120] {
+        let w = quant_workload(3, mean_pairs, 42);
+        for (i, item) in w.items.iter().enumerate() {
+            let g = item.graph(&w.hierarchy, 0.5, Granularity::Pairs);
+            let (model, _, stats) = __diag_build_model(&g, 5, false);
+            let (p, pt) = Stopwatch::time(|| model.solve_lp().unwrap());
+            let (d, dt) = Stopwatch::time(|| model.solve_lp_with(LpMethod::Dual).unwrap());
+            assert!((p.objective - d.objective).abs() < 1e-5, "objective mismatch");
+            println!(
+                "pairs~{mean_pairs} item{i}: vars {:>5} cons {:>5} | primal {:>9.0}us dual {:>9.0}us ({:.2}x)",
+                stats.variables, stats.constraints, pt, dt, pt / dt
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Table 1 reproduction: dataset characteristics of the two synthetic
+//! corpora, printed next to the paper's reference values.
+
+use osa_bench::write_csv;
+use osa_datasets::{table1_stats, Corpus, CorpusConfig};
+
+fn main() {
+    println!("=== Table 1: dataset characteristics ===\n");
+    let doctors = Corpus::doctors(&CorpusConfig::doctors_full(), 1);
+    let phones = Corpus::phones(&CorpusConfig::phones_full(), 2);
+    let ds = table1_stats(&doctors);
+    let ps = table1_stats(&phones);
+
+    // Paper reference values (vitals.com / Amazon crawls).
+    let paper_doc = (1000, 68686, 43, 354, 4.87);
+    let paper_ph = (60, 33578, 102, 3200, 3.81);
+
+    println!(
+        "{:<34} {:>14} {:>14} | {:>14} {:>14}",
+        "", "Doctors (ours)", "(paper)", "Phones (ours)", "(paper)"
+    );
+    let row = |label: &str, ours: String, paper: String, ours2: String, paper2: String| {
+        println!("{label:<34} {ours:>14} {paper:>14} | {ours2:>14} {paper2:>14}");
+    };
+    row(
+        "#Items",
+        ds.items.to_string(),
+        paper_doc.0.to_string(),
+        ps.items.to_string(),
+        paper_ph.0.to_string(),
+    );
+    row(
+        "#Reviews",
+        ds.reviews.to_string(),
+        paper_doc.1.to_string(),
+        ps.reviews.to_string(),
+        paper_ph.1.to_string(),
+    );
+    row(
+        "Min #reviews per item",
+        ds.min_reviews_per_item.to_string(),
+        paper_doc.2.to_string(),
+        ps.min_reviews_per_item.to_string(),
+        paper_ph.2.to_string(),
+    );
+    row(
+        "Max #reviews per item",
+        ds.max_reviews_per_item.to_string(),
+        paper_doc.3.to_string(),
+        ps.max_reviews_per_item.to_string(),
+        paper_ph.3.to_string(),
+    );
+    row(
+        "Average #sentences per review",
+        format!("{:.2}", ds.avg_sentences_per_review),
+        format!("{:.2}", paper_doc.4),
+        format!("{:.2}", ps.avg_sentences_per_review),
+        format!("{:.2}", paper_ph.4),
+    );
+
+    write_csv(
+        "table1.csv",
+        "corpus,items,reviews,min_reviews,max_reviews,avg_sentences",
+        &[
+            format!(
+                "doctors,{},{},{},{},{:.3}",
+                ds.items,
+                ds.reviews,
+                ds.min_reviews_per_item,
+                ds.max_reviews_per_item,
+                ds.avg_sentences_per_review
+            ),
+            format!(
+                "phones,{},{},{},{},{:.3}",
+                ps.items,
+                ps.reviews,
+                ps.min_reviews_per_item,
+                ps.max_reviews_per_item,
+                ps.avg_sentences_per_review
+            ),
+        ],
+    );
+}

@@ -1,0 +1,258 @@
+//! # osa-bench
+//!
+//! Shared harness code for the reproduction binaries (one per table /
+//! figure of the paper) and the Criterion micro-benchmarks.
+//!
+//! Binaries (run with `cargo run -p osa-bench --release --bin <name>`):
+//!
+//! | bin | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — dataset characteristics |
+//! | `fig3` | Fig. 3 — the cell-phone aspect hierarchy |
+//! | `fig4_5` | Figs. 4 & 5 — time and cost of ILP/RR/Greedy × {pairs, sentences, reviews} |
+//! | `fig6` | Fig. 6a/6b — sent-err(-penalized) of Greedy vs the 5 baselines |
+//! | `elbow` | §5.3 — ε selection by the elbow method |
+//!
+//! Each binary prints aligned text to stdout and writes CSV rows under
+//! `target/repro/`.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use osa_core::{CoverageGraph, Granularity, Summarizer, Summary};
+use osa_datasets::{
+    extract_item, sample_grouped_pairs, synthetic_ontology, Corpus, CorpusConfig,
+    SyntheticOntologyConfig,
+};
+use osa_eval::Stopwatch;
+use osa_ontology::Hierarchy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where the harness writes its CSV output.
+pub fn repro_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/repro");
+    std::fs::create_dir_all(&dir).expect("create target/repro");
+    dir
+}
+
+/// Write CSV lines (header + rows) to `target/repro/<name>.csv`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = repro_dir().join(name);
+    let mut f = std::io::BufWriter::new(
+        std::fs::File::create(&path).expect("create csv file"),
+    );
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    f.flush().expect("flush csv");
+    eprintln!("wrote {}", path.display());
+}
+
+/// One synthetic "doctor": its pair multiset plus the sentence/review
+/// groupings, ready to build all three problem variants.
+pub struct BenchItem {
+    /// Concept-sentiment pairs of the item.
+    pub pairs: Vec<osa_core::Pair>,
+    /// Pair-index groups per sentence.
+    pub sentence_groups: Vec<Vec<usize>>,
+    /// Pair-index groups per review.
+    pub review_groups: Vec<Vec<usize>>,
+}
+
+/// The quantitative workload of Figs. 4–5: a SNOMED-like synthetic
+/// ontology and `items` sampled doctors with `mean_pairs`-sized pair
+/// sets (clustered concepts/sentiments).
+pub struct QuantWorkload {
+    /// The synthetic concept hierarchy.
+    pub hierarchy: Hierarchy,
+    /// The per-item instances.
+    pub items: Vec<BenchItem>,
+}
+
+/// Build the Figs. 4–5 workload deterministically.
+pub fn quant_workload(items: usize, mean_pairs: usize, seed: u64) -> QuantWorkload {
+    let hierarchy = synthetic_ontology(
+        &SyntheticOntologyConfig {
+            nodes: 3000,
+            levels: 7,
+            multi_parent_prob: 0.15,
+        },
+        seed,
+    );
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let items = (0..items)
+        .map(|_| {
+            let n = rng.gen_range(mean_pairs / 2..=mean_pairs * 3 / 2).max(4);
+            let clusters = rng.gen_range(2..=5usize);
+            let (pairs, sentence_groups, review_groups) =
+                sample_grouped_pairs(&hierarchy, n, clusters, 5, &mut rng);
+            BenchItem {
+                pairs,
+                sentence_groups,
+                review_groups,
+            }
+        })
+        .collect();
+    QuantWorkload { hierarchy, items }
+}
+
+/// The same Figs. 4–5 workload, but produced by the *real* text
+/// pipeline: synthetic doctor reviews → sentence splitting → concept
+/// matching → lexicon sentiment → pairs. Slower to build but exercises
+/// every extraction code path (select with `OSA_SOURCE=text`).
+pub fn text_workload(items: usize, seed: u64) -> QuantWorkload {
+    // Smaller per-item review counts than doctors_small: the exact ILP
+    // (dense tableau simplex) is the bottleneck, and extraction yields
+    // several pairs per review.
+    let cfg = CorpusConfig {
+        items,
+        min_reviews: 8,
+        max_reviews: 24,
+        mean_reviews: 14.0,
+        ..CorpusConfig::doctors_small()
+    };
+    let corpus = Corpus::doctors(&cfg, seed);
+    let matcher = osa_text::ConceptMatcher::from_hierarchy(&corpus.hierarchy);
+    let lexicon = osa_text::SentimentLexicon::default();
+    let items = corpus
+        .items
+        .iter()
+        .map(|item| {
+            let ex = extract_item(item, &matcher, &lexicon);
+            BenchItem {
+                sentence_groups: ex.sentence_groups(),
+                review_groups: ex.review_groups(),
+                pairs: ex.pairs,
+            }
+        })
+        .collect();
+    QuantWorkload {
+        hierarchy: corpus.hierarchy,
+        items,
+    }
+}
+
+impl BenchItem {
+    /// Build the coverage graph for one granularity.
+    pub fn graph(&self, h: &Hierarchy, eps: f64, g: Granularity) -> CoverageGraph {
+        match g {
+            Granularity::Pairs => CoverageGraph::for_pairs(h, &self.pairs, eps),
+            Granularity::Sentences => {
+                CoverageGraph::for_groups(h, &self.pairs, &self.sentence_groups, eps, g)
+            }
+            Granularity::Reviews => {
+                CoverageGraph::for_groups(h, &self.pairs, &self.review_groups, eps, g)
+            }
+        }
+    }
+}
+
+/// Run one summarizer on a prebuilt graph, returning the summary and the
+/// wall-clock microseconds of the selection call.
+pub fn run_timed(s: &dyn Summarizer, graph: &CoverageGraph, k: usize) -> (Summary, f64) {
+    let sw = Stopwatch::start();
+    let summary = s.summarize(graph, k);
+    (summary, sw.micros())
+}
+
+/// The heap-free greedy used by the `bench_ablation_heap` benchmark: it
+/// recomputes every candidate's marginal gain from scratch at each of the
+/// `k` iterations (`O(k · |E|)`), which is exactly what Algorithm 2's
+/// max-heap with two-hop updates avoids.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveGreedy;
+
+impl Summarizer for NaiveGreedy {
+    fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary {
+        let n = graph.num_candidates();
+        let k = k.min(n);
+        let mut best: Vec<u32> = (0..graph.num_pairs())
+            .map(|q| graph.root_dist(q))
+            .collect();
+        let mut selected = Vec::with_capacity(k);
+        let mut taken = vec![false; n];
+        for _ in 0..k {
+            let mut arg = None;
+            let mut top = 0u64;
+            for (u, &is_taken) in taken.iter().enumerate() {
+                if is_taken {
+                    continue;
+                }
+                let gain: u64 = graph
+                    .covered_by(u)
+                    .iter()
+                    .map(|&(q, d)| {
+                        u64::from(best[q as usize].saturating_sub(d))
+                            * graph.pair_weight(q as usize)
+                    })
+                    .sum();
+                if arg.is_none() || gain > top {
+                    top = gain;
+                    arg = Some(u);
+                }
+            }
+            let Some(u) = arg else { break };
+            taken[u] = true;
+            selected.push(u);
+            for &(q, d) in graph.covered_by(u) {
+                let b = &mut best[q as usize];
+                if d < *b {
+                    *b = d;
+                }
+            }
+        }
+        let cost = best
+            .iter()
+            .enumerate()
+            .map(|(q, &d)| u64::from(d) * graph.pair_weight(q))
+            .sum();
+        Summary { selected, cost }
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy-naive"
+    }
+}
+
+/// Display label of a granularity, matching the paper's plots.
+pub fn granularity_label(g: Granularity) -> &'static str {
+    match g {
+        Granularity::Pairs => "top pairs",
+        Granularity::Sentences => "top sentences",
+        Granularity::Reviews => "top reviews",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_sized() {
+        let a = quant_workload(3, 40, 5);
+        let b = quant_workload(3, 40, 5);
+        assert_eq!(a.items.len(), 3);
+        for (x, y) in a.items.iter().zip(&b.items) {
+            assert_eq!(x.pairs.len(), y.pairs.len());
+            assert!(x.pairs.len() >= 20 && x.pairs.len() <= 60);
+        }
+    }
+
+    #[test]
+    fn graphs_build_for_all_granularities() {
+        let w = quant_workload(1, 30, 7);
+        let item = &w.items[0];
+        for g in [
+            Granularity::Pairs,
+            Granularity::Sentences,
+            Granularity::Reviews,
+        ] {
+            let cg = item.graph(&w.hierarchy, 0.5, g);
+            assert_eq!(cg.num_pairs(), item.pairs.len());
+            assert!(cg.num_candidates() > 0);
+        }
+    }
+}

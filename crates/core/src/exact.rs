@@ -1,0 +1,91 @@
+//! Exhaustive optimal summarizer — the test oracle for small instances.
+
+use crate::{CoverageGraph, Summarizer, Summary};
+
+/// Tries every size-`k` candidate subset. `O(C(n, k))` — only for tests
+/// and tiny demonstrations; the library's exact algorithm of record is
+/// [`IlpSummarizer`](crate::IlpSummarizer).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactBruteForce;
+
+impl Summarizer for ExactBruteForce {
+    fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary {
+        let n = graph.num_candidates();
+        let k = k.min(n);
+        let mut best = Summary {
+            selected: Vec::new(),
+            cost: graph.root_cost(),
+        };
+        if k == 0 {
+            return best;
+        }
+        let mut combo: Vec<usize> = (0..k).collect();
+        loop {
+            let cost = graph.cost_of(&combo);
+            if cost < best.cost || (cost == best.cost && best.selected.is_empty()) {
+                best = Summary {
+                    selected: combo.clone(),
+                    cost,
+                };
+            }
+            // Next k-combination of 0..n in lexicographic order.
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return best;
+                }
+                i -= 1;
+                if combo[i] != i + n - k {
+                    break;
+                }
+            }
+            combo[i] += 1;
+            for j in i + 1..k {
+                combo[j] = combo[j - 1] + 1;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "exact-brute-force"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pair;
+    use osa_ontology::HierarchyBuilder;
+
+    #[test]
+    fn enumerates_all_combinations() {
+        let mut bl = HierarchyBuilder::new();
+        bl.add_edge_by_name("r", "a").unwrap();
+        bl.add_edge_by_name("r", "b").unwrap();
+        bl.add_edge_by_name("r", "c").unwrap();
+        let h = bl.build().unwrap();
+        let p = |n: &str| Pair::new(h.node_by_name(n).unwrap(), 0.0);
+        let pairs = vec![p("a"), p("b"), p("c")];
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        // k = 2 leaves exactly one pair uncovered at depth 1.
+        let s = ExactBruteForce.summarize(&g, 2);
+        assert_eq!(s.cost, 1);
+        assert_eq!(s.selected.len(), 2);
+        // k = 3 covers everything.
+        assert_eq!(ExactBruteForce.summarize(&g, 3).cost, 0);
+        // k = 0 covers nothing.
+        assert_eq!(ExactBruteForce.summarize(&g, 0).cost, 3);
+    }
+
+    #[test]
+    fn k_exceeding_candidates_is_clamped() {
+        let mut bl = HierarchyBuilder::new();
+        bl.add_edge_by_name("r", "a").unwrap();
+        let h = bl.build().unwrap();
+        let pairs = vec![Pair::new(h.node_by_name("a").unwrap(), 0.0)];
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let s = ExactBruteForce.summarize(&g, 99);
+        assert_eq!(s.selected, vec![0]);
+        assert_eq!(s.cost, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Summary explanation: why each selected candidate is in the summary.
+//!
+//! Downstream UIs (and the CLI) want more than indices — they want to
+//! show, per selected pair/sentence/review, how many opinions it
+//! represents and how tightly. [`explain`] decomposes a summary into
+//! per-candidate coverage assignments: each pair is attributed to the
+//! selected candidate serving it at minimum distance (ties to the
+//! earliest-selected candidate; pairs served best by the root stay with
+//! the root).
+
+use crate::{CoverageGraph, Summary};
+
+/// Per-candidate share of a summary's coverage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateExplanation {
+    /// The selected candidate.
+    pub candidate: usize,
+    /// Pairs this candidate serves (at minimal distance among the
+    /// selection), as `(pair index, distance)`.
+    pub serves: Vec<(usize, u32)>,
+    /// Total weighted distance contributed by this candidate's pairs.
+    pub cost_share: u64,
+}
+
+/// A full summary explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explanation {
+    /// One entry per selected candidate, in selection order.
+    pub candidates: Vec<CandidateExplanation>,
+    /// Pairs left to the virtual root, as `(pair index, depth)`.
+    pub root_serves: Vec<(usize, u32)>,
+    /// Weighted cost of the root-served pairs.
+    pub root_cost_share: u64,
+}
+
+impl Explanation {
+    /// Total cost (must equal the summary's cost).
+    pub fn total_cost(&self) -> u64 {
+        self.root_cost_share
+            + self
+                .candidates
+                .iter()
+                .map(|c| c.cost_share)
+                .sum::<u64>()
+    }
+}
+
+/// Attribute every pair of `graph` to its best server within `summary`.
+pub fn explain(graph: &CoverageGraph, summary: &Summary) -> Explanation {
+    let n_pairs = graph.num_pairs();
+    // best[q] = (distance, Some(slot in summary.selected)).
+    let mut best: Vec<(u32, Option<usize>)> =
+        (0..n_pairs).map(|q| (graph.root_dist(q), None)).collect();
+    for (slot, &u) in summary.selected.iter().enumerate() {
+        for &(q, d) in graph.covered_by(u) {
+            let entry = &mut best[q as usize];
+            if d < entry.0 {
+                *entry = (d, Some(slot));
+            }
+        }
+    }
+
+    let mut candidates: Vec<CandidateExplanation> = summary
+        .selected
+        .iter()
+        .map(|&u| CandidateExplanation {
+            candidate: u,
+            serves: Vec::new(),
+            cost_share: 0,
+        })
+        .collect();
+    let mut root_serves = Vec::new();
+    let mut root_cost_share = 0u64;
+    for (q, &(d, slot)) in best.iter().enumerate() {
+        let weighted = u64::from(d) * graph.pair_weight(q);
+        match slot {
+            Some(s) => {
+                candidates[s].serves.push((q, d));
+                candidates[s].cost_share += weighted;
+            }
+            None => {
+                root_serves.push((q, d));
+                root_cost_share += weighted;
+            }
+        }
+    }
+
+    let ex = Explanation {
+        candidates,
+        root_serves,
+        root_cost_share,
+    };
+    debug_assert_eq!(ex.total_cost(), graph.cost_of(&summary.selected));
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GreedySummarizer, Pair, Summarizer};
+    use osa_ontology::HierarchyBuilder;
+
+    fn setup() -> (osa_ontology::Hierarchy, Vec<Pair>) {
+        let mut bl = HierarchyBuilder::new();
+        bl.add_edge_by_name("r", "a").unwrap();
+        bl.add_edge_by_name("a", "a1").unwrap();
+        bl.add_edge_by_name("a", "a2").unwrap();
+        bl.add_edge_by_name("r", "b").unwrap();
+        let h = bl.build().unwrap();
+        let p = |n: &str, s: f64| Pair::new(h.node_by_name(n).unwrap(), s);
+        (
+            h.clone(),
+            vec![p("a", 0.1), p("a1", 0.2), p("a2", 0.0), p("b", -0.8)],
+        )
+    }
+
+    #[test]
+    fn explanation_partitions_pairs_and_costs() {
+        let (h, pairs) = setup();
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let s = GreedySummarizer.summarize(&g, 2);
+        let ex = explain(&g, &s);
+        assert_eq!(ex.total_cost(), s.cost);
+        // Every pair appears exactly once across candidates + root.
+        let mut seen: Vec<usize> = ex
+            .candidates
+            .iter()
+            .flat_map(|c| c.serves.iter().map(|&(q, _)| q))
+            .chain(ex.root_serves.iter().map(|&(q, _)| q))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_go_to_earlier_selection() {
+        let (h, pairs) = setup();
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        // Select pairs 1 (a1) and 2 (a2); both serve only themselves at 0
+        // and neither covers the other. Pair 0 (a) is not covered by
+        // either (a1/a2 are not ancestors of a) → root.
+        let s = Summary {
+            selected: vec![1, 2],
+            cost: g.cost_of(&[1, 2]),
+        };
+        let ex = explain(&g, &s);
+        assert_eq!(ex.candidates[0].serves, vec![(1, 0)]);
+        assert_eq!(ex.candidates[1].serves, vec![(2, 0)]);
+        assert!(ex.root_serves.iter().any(|&(q, _)| q == 0));
+    }
+
+    #[test]
+    fn empty_summary_explains_to_root() {
+        let (h, pairs) = setup();
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let s = Summary {
+            selected: vec![],
+            cost: g.root_cost(),
+        };
+        let ex = explain(&g, &s);
+        assert!(ex.candidates.is_empty());
+        assert_eq!(ex.root_serves.len(), 4);
+        assert_eq!(ex.total_cost(), g.root_cost());
+    }
+}

@@ -1,0 +1,352 @@
+//! The Section 4.1 initialization: the edge-weighted bipartite coverage
+//! graph shared by every algorithm and every problem variant.
+
+use std::collections::HashMap;
+
+use osa_ontology::Hierarchy;
+
+use crate::Pair;
+
+/// Which problem variant a [`CoverageGraph`] was built for (informational;
+/// the algorithms are granularity-agnostic, exactly as in Section 4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// k-Pairs Coverage: each candidate is a single pair.
+    Pairs,
+    /// k-Sentences Coverage: each candidate is a sentence's pair set.
+    Sentences,
+    /// k-Reviews Coverage: each candidate is a review's pair set.
+    Reviews,
+}
+
+/// The bipartite graph `G = (U, W, E)` of Section 4.1: `U` are the
+/// selection candidates (pairs, sentences, or reviews), `W` the
+/// concept-sentiment pairs to cover, and an edge `(u, q)` with weight `d`
+/// means candidate `u` covers pair `q` at distance `d` (the minimum over
+/// the candidate's member pairs, per Section 4.5).
+///
+/// The virtual root is *not* a candidate; its coverage of every pair is
+/// recorded in [`root_dist`](CoverageGraph::root_dist), so the cost of any
+/// selection is always finite (Definition 2 takes the min over `F ∪ {r}`).
+#[derive(Debug, Clone)]
+pub struct CoverageGraph {
+    granularity: Granularity,
+    /// `cand_edges[u]` = sorted `(pair, dist)` covered by candidate `u`.
+    cand_edges: Vec<Vec<(u32, u32)>>,
+    /// Reverse adjacency: `pair_edges[q]` = `(candidate, dist)`.
+    pair_edges: Vec<Vec<(u32, u32)>>,
+    /// Distance from the virtual root to each pair (= concept depth).
+    root_dist: Vec<u32>,
+    /// Multiplicity of each pair (1 unless built from compressed pairs).
+    pair_weight: Vec<u64>,
+}
+
+impl CoverageGraph {
+    /// Build the graph for **k-Pairs Coverage**: every pair is both a
+    /// candidate and a coverage target.
+    pub fn for_pairs(h: &Hierarchy, pairs: &[Pair], eps: f64) -> Self {
+        let groups: Vec<Vec<usize>> = (0..pairs.len()).map(|i| vec![i]).collect();
+        Self::build(h, pairs, &groups, eps, Granularity::Pairs, None)
+    }
+
+    /// Build the k-Pairs graph over *compressed* pairs: `weights[q]` is
+    /// the multiplicity of `pairs[q]` (see [`compress_pairs`]). Costs are
+    /// identical to the uncompressed instance, but the graph is as small
+    /// as the number of distinct pairs.
+    pub fn for_weighted_pairs(
+        h: &Hierarchy,
+        pairs: &[Pair],
+        weights: &[u64],
+        eps: f64,
+    ) -> Self {
+        assert_eq!(pairs.len(), weights.len(), "one weight per pair");
+        let groups: Vec<Vec<usize>> = (0..pairs.len()).map(|i| vec![i]).collect();
+        Self::build(h, pairs, &groups, eps, Granularity::Pairs, Some(weights))
+    }
+
+    /// Build the graph for **k-Reviews/Sentences Coverage**: candidate `u`
+    /// is the set of pairs `groups[u]` (indices into `pairs`).
+    pub fn for_groups(
+        h: &Hierarchy,
+        pairs: &[Pair],
+        groups: &[Vec<usize>],
+        eps: f64,
+        granularity: Granularity,
+    ) -> Self {
+        Self::build(h, pairs, groups, eps, granularity, None)
+    }
+
+    /// The two-pass construction of Section 4.1: bucket candidate pairs by
+    /// concept, then for each target pair walk its concept's ancestors and
+    /// connect every bucketed candidate within the sentiment threshold
+    /// (no threshold for candidates sitting on the root concept).
+    fn build(
+        h: &Hierarchy,
+        pairs: &[Pair],
+        groups: &[Vec<usize>],
+        eps: f64,
+        granularity: Granularity,
+        weights: Option<&[u64]>,
+    ) -> Self {
+        assert!(eps >= 0.0, "sentiment threshold must be non-negative");
+        let n_pairs = pairs.len();
+        let n_cands = groups.len();
+
+        // Pass 1: bucket (candidate, sentiment) by member-pair concept.
+        let mut buckets: Vec<Vec<(u32, f64)>> = vec![Vec::new(); h.node_count()];
+        for (u, members) in groups.iter().enumerate() {
+            for &pi in members {
+                let p = pairs[pi];
+                buckets[p.concept.index()].push((u as u32, p.sentiment));
+            }
+        }
+
+        // Pass 2: for each target pair, DFS/BFS up the ancestors.
+        let root = h.root();
+        let mut cand_edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_cands];
+        let mut root_dist = Vec::with_capacity(n_pairs);
+        // Reused scratch: candidate -> best distance for the current pair.
+        let mut best: HashMap<u32, u32> = HashMap::new();
+        for (qi, q) in pairs.iter().enumerate() {
+            root_dist.push(h.depth(q.concept));
+            best.clear();
+            for (anc, dist) in h.ancestors_with_dist(q.concept) {
+                let is_root = anc == root;
+                for &(u, s) in &buckets[anc.index()] {
+                    if is_root || (s - q.sentiment).abs() <= eps {
+                        best.entry(u)
+                            .and_modify(|d| *d = (*d).min(dist))
+                            .or_insert(dist);
+                    }
+                }
+            }
+            for (&u, &d) in &best {
+                cand_edges[u as usize].push((qi as u32, d));
+            }
+        }
+        for e in &mut cand_edges {
+            e.sort_unstable();
+        }
+        let mut pair_edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_pairs];
+        for (u, edges) in cand_edges.iter().enumerate() {
+            for &(q, d) in edges {
+                pair_edges[q as usize].push((u as u32, d));
+            }
+        }
+
+        let pair_weight = match weights {
+            Some(w) => w.to_vec(),
+            None => vec![1; n_pairs],
+        };
+        CoverageGraph {
+            granularity,
+            cand_edges,
+            pair_edges,
+            root_dist,
+            pair_weight,
+        }
+    }
+
+    /// Problem variant this graph was built for.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Number of selection candidates `|U|`.
+    pub fn num_candidates(&self) -> usize {
+        self.cand_edges.len()
+    }
+
+    /// Number of coverage targets `|W|`.
+    pub fn num_pairs(&self) -> usize {
+        self.root_dist.len()
+    }
+
+    /// Number of coverage edges `|E|` (excluding the implicit root edges).
+    pub fn num_edges(&self) -> usize {
+        self.cand_edges.iter().map(Vec::len).sum()
+    }
+
+    /// Pairs covered by candidate `u`, with distances.
+    pub fn covered_by(&self, u: usize) -> &[(u32, u32)] {
+        &self.cand_edges[u]
+    }
+
+    /// Candidates covering pair `q`, with distances.
+    pub fn coverers_of(&self, q: usize) -> &[(u32, u32)] {
+        &self.pair_edges[q]
+    }
+
+    /// Distance from the virtual root to pair `q`.
+    pub fn root_dist(&self, q: usize) -> u32 {
+        self.root_dist[q]
+    }
+
+    /// Multiplicity of pair `q` (1 unless built from compressed pairs).
+    pub fn pair_weight(&self, q: usize) -> u64 {
+        self.pair_weight[q]
+    }
+
+    /// Cost of the empty summary: every pair served by the root.
+    pub fn root_cost(&self) -> u64 {
+        self.root_dist
+            .iter()
+            .zip(&self.pair_weight)
+            .map(|(&d, &w)| u64::from(d) * w)
+            .sum()
+    }
+
+    /// The Definition 2 cost `C(F, P)` of selecting candidates `selected`.
+    pub fn cost_of(&self, selected: &[usize]) -> u64 {
+        let mut best = self.root_dist.clone();
+        for &u in selected {
+            for &(q, d) in &self.cand_edges[u] {
+                let b = &mut best[q as usize];
+                if d < *b {
+                    *b = d;
+                }
+            }
+        }
+        best.iter()
+            .zip(&self.pair_weight)
+            .map(|(&d, &w)| u64::from(d) * w)
+            .sum()
+    }
+
+    /// Per-pair serving distances for a selection (used by metrics).
+    pub fn serving_distances(&self, selected: &[usize]) -> Vec<u32> {
+        let mut best = self.root_dist.clone();
+        for &u in selected {
+            for &(q, d) in &self.cand_edges[u] {
+                let b = &mut best[q as usize];
+                if d < *b {
+                    *b = d;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osa_ontology::{Hierarchy, HierarchyBuilder, NodeId};
+
+    /// r -> a -> c ; r -> b   (a tiny tree)
+    fn tree() -> (Hierarchy, NodeId, NodeId, NodeId, NodeId) {
+        let mut bl = HierarchyBuilder::new();
+        let r = bl.add_node("r");
+        let a = bl.add_node("a");
+        let b = bl.add_node("b");
+        let c = bl.add_node("c");
+        bl.add_edge(r, a).unwrap();
+        bl.add_edge(r, b).unwrap();
+        bl.add_edge(a, c).unwrap();
+        (bl.build().unwrap(), r, a, b, c)
+    }
+
+    #[test]
+    fn pairs_graph_edges_match_definition() {
+        let (h, _r, a, b, c) = tree();
+        let pairs = vec![
+            Pair::new(a, 0.5), // 0
+            Pair::new(c, 0.4), // 1: covered by 0 (dist 1) and itself
+            Pair::new(b, 0.9), // 2: only itself
+        ];
+        let g = CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        assert_eq!(g.num_candidates(), 3);
+        assert_eq!(g.num_pairs(), 3);
+        assert_eq!(g.covered_by(0), &[(0, 0), (1, 1)]);
+        assert_eq!(g.covered_by(1), &[(1, 0)]);
+        assert_eq!(g.covered_by(2), &[(2, 0)]);
+        assert_eq!(g.root_dist(1), 2);
+        assert_eq!(g.coverers_of(1), &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn eps_controls_density() {
+        let (h, _r, a, _b, c) = tree();
+        let pairs = vec![Pair::new(a, 0.9), Pair::new(c, 0.0)];
+        let tight = CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let loose = CoverageGraph::for_pairs(&h, &pairs, 1.0);
+        // Self-edges always exist; the cross edge only at eps >= 0.9.
+        assert_eq!(tight.num_edges(), 2);
+        assert_eq!(loose.num_edges(), 3);
+    }
+
+    #[test]
+    fn root_concept_pair_covers_everything() {
+        let (h, r, a, _b, c) = tree();
+        let pairs = vec![Pair::new(r, 0.0), Pair::new(a, 1.0), Pair::new(c, -1.0)];
+        let g = CoverageGraph::for_pairs(&h, &pairs, 0.1);
+        // Candidate 0 sits on the root: covers all three pairs despite the
+        // sentiment gaps, at depth distances.
+        assert_eq!(g.covered_by(0), &[(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn cost_of_empty_selection_is_root_cost() {
+        let (h, _r, a, b, c) = tree();
+        let pairs = vec![Pair::new(a, 0.0), Pair::new(b, 0.0), Pair::new(c, 0.0)];
+        let g = CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        assert_eq!(g.root_cost(), 1 + 1 + 2);
+        assert_eq!(g.cost_of(&[]), g.root_cost());
+    }
+
+    #[test]
+    fn cost_decreases_monotonically() {
+        let (h, _r, a, b, c) = tree();
+        let pairs = vec![Pair::new(a, 0.0), Pair::new(b, 0.0), Pair::new(c, 0.1)];
+        let g = CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let c0 = g.cost_of(&[]);
+        let c1 = g.cost_of(&[0]);
+        let c2 = g.cost_of(&[0, 1]);
+        assert!(c1 <= c0 && c2 <= c1);
+        // Selecting pair on `a` serves itself (0) and c (1); b stays at root (1).
+        assert_eq!(c1, 1 + 1);
+    }
+
+    #[test]
+    fn group_candidates_take_min_over_members() {
+        let (h, _r, a, b, c) = tree();
+        let pairs = vec![
+            Pair::new(a, 0.0), // 0
+            Pair::new(b, 0.0), // 1
+            Pair::new(c, 0.0), // 2
+        ];
+        // One "sentence" containing pairs on a and b.
+        let groups = vec![vec![0, 1], vec![2]];
+        let g = CoverageGraph::for_groups(&h, &pairs, &groups, 0.5, Granularity::Sentences);
+        assert_eq!(g.granularity(), Granularity::Sentences);
+        assert_eq!(g.num_candidates(), 2);
+        // Sentence 0 covers pair 0 (d 0), pair 1 (d 0), pair 2 (d 1 via a).
+        assert_eq!(g.covered_by(0), &[(0, 0), (1, 0), (2, 1)]);
+        // Selecting just that sentence zeroes everything except c at 1.
+        assert_eq!(g.cost_of(&[0]), 1);
+    }
+
+    #[test]
+    fn duplicate_member_concepts_keep_min_distance() {
+        let (h, _r, a, _b, c) = tree();
+        let pairs = vec![Pair::new(a, 0.0), Pair::new(c, 0.0), Pair::new(c, 0.05)];
+        // A review mentioning a and c: covers pair 2 at distance 0 (via its
+        // own c member), not 1 (via a).
+        let groups = vec![vec![0, 1]];
+        let g = CoverageGraph::for_groups(&h, &pairs, &groups, 0.5, Granularity::Reviews);
+        let edge = g.covered_by(0).iter().find(|&&(q, _)| q == 2).copied();
+        assert_eq!(edge, Some((2, 0)));
+    }
+
+    #[test]
+    fn serving_distances_match_cost() {
+        let (h, _r, a, b, c) = tree();
+        let pairs = vec![Pair::new(a, 0.2), Pair::new(b, -0.3), Pair::new(c, 0.2)];
+        let g = CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        for sel in [vec![], vec![0], vec![1, 2], vec![0, 1, 2]] {
+            let dists = g.serving_distances(&sel);
+            let total: u64 = dists.iter().map(|&d| u64::from(d)).sum();
+            assert_eq!(total, g.cost_of(&sel));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Algorithm 2: the greedy summarizer with max-heap key maintenance.
+
+use crate::heap::IndexedMaxHeap;
+use crate::{CoverageGraph, Summarizer, Summary};
+
+/// The paper's Algorithm 2.
+///
+/// Starts from `F = {root}` and repeatedly adds the candidate with the
+/// largest marginal cost decrease `δ(p, F) = C(F, P) − C(F ∪ {p}, P)`,
+/// maintained in an indexed max-heap. After selecting a candidate, only
+/// the keys of candidates sharing a covered pair with it (the two-hop
+/// neighborhood in `G`) can change, and — the cost being submodular —
+/// they can only *decrease*, so a decrease-key heap suffices.
+///
+/// Wolsey's guarantee (Theorem 4): the returned size-`k` summary costs at
+/// most `opt_{k'}(P)` with `k' = ⌈k / H(Δn)⌉`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedySummarizer;
+
+impl Summarizer for GreedySummarizer {
+    fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary {
+        let n = graph.num_candidates();
+        let k = k.min(n);
+        // best[q] = current serving distance of pair q (root to start).
+        let mut best: Vec<u32> = (0..graph.num_pairs())
+            .map(|q| graph.root_dist(q))
+            .collect();
+
+        // Initial keys: δ(u, {r}) = Σ_q max(0, best[q] − d(u, q)).
+        let keys: Vec<u64> = (0..n)
+            .map(|u| {
+                graph
+                    .covered_by(u)
+                    .iter()
+                    .map(|&(q, d)| {
+                        u64::from(best[q as usize].saturating_sub(d))
+                            * graph.pair_weight(q as usize)
+                    })
+                    .sum()
+            })
+            .collect();
+        let mut heap = IndexedMaxHeap::new(keys);
+
+        let mut selected = Vec::with_capacity(k);
+        while selected.len() < k {
+            let Some((u, _gain)) = heap.pop_max() else {
+                break;
+            };
+            selected.push(u as usize);
+            // Two-hop key updates: for each pair this candidate now serves
+            // better, every other candidate covering that pair loses the
+            // corresponding share of its marginal gain.
+            for &(q, d) in graph.covered_by(u as usize) {
+                let old = best[q as usize];
+                if d >= old {
+                    continue;
+                }
+                best[q as usize] = d;
+                let weight = graph.pair_weight(q as usize);
+                for &(v, dv) in graph.coverers_of(q as usize) {
+                    if !heap.contains(v) {
+                        continue;
+                    }
+                    let before = u64::from(old.saturating_sub(dv)) * weight;
+                    let after = u64::from(d.saturating_sub(dv)) * weight;
+                    if before > after {
+                        let nk = heap.key(v) - (before - after);
+                        heap.decrease_key(v, nk);
+                    }
+                }
+            }
+        }
+
+        let cost = best
+            .iter()
+            .enumerate()
+            .map(|(q, &d)| u64::from(d) * graph.pair_weight(q))
+            .sum();
+        debug_assert_eq!(cost, graph.cost_of(&selected));
+        Summary { selected, cost }
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+}
+
+/// CELF-style *lazy* greedy (ablation variant).
+///
+/// Instead of eagerly updating every affected key, keys are left stale
+/// and re-evaluated only when popped: by submodularity a stale key is an
+/// upper bound, so if a re-evaluated candidate still beats the next heap
+/// top it is safely selected. Produces exactly the same summaries as
+/// [`GreedySummarizer`] (up to ties); the benchmark suite compares their
+/// running times.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LazyGreedySummarizer;
+
+impl Summarizer for LazyGreedySummarizer {
+    fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary {
+        use std::collections::BinaryHeap;
+
+        let n = graph.num_candidates();
+        let k = k.min(n);
+        let mut best: Vec<u32> = (0..graph.num_pairs())
+            .map(|q| graph.root_dist(q))
+            .collect();
+        let gain = |u: usize, best: &[u32]| -> u64 {
+            graph
+                .covered_by(u)
+                .iter()
+                .map(|&(q, d)| {
+                    u64::from(best[q as usize].saturating_sub(d))
+                        * graph.pair_weight(q as usize)
+                })
+                .sum()
+        };
+
+        // Entries are (possibly stale) upper bounds on the marginal gain.
+        let mut heap: BinaryHeap<(u64, u32)> =
+            (0..n).map(|u| (gain(u, &best), u as u32)).collect();
+        let mut selected = Vec::with_capacity(k);
+
+        while selected.len() < k {
+            let Some((stale, u)) = heap.pop() else {
+                break;
+            };
+            let fresh = gain(u as usize, &best);
+            debug_assert!(fresh <= stale, "gains only shrink (submodularity)");
+            let next_best = heap.peek().map_or(0, |&(g, _)| g);
+            if fresh >= next_best {
+                // Still the argmax even against (optimistic) stale keys.
+                selected.push(u as usize);
+                for &(q, d) in graph.covered_by(u as usize) {
+                    let b = &mut best[q as usize];
+                    if d < *b {
+                        *b = d;
+                    }
+                }
+            } else {
+                heap.push((fresh, u));
+            }
+        }
+
+        let cost = best
+            .iter()
+            .enumerate()
+            .map(|(q, &d)| u64::from(d) * graph.pair_weight(q))
+            .sum();
+        Summary { selected, cost }
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy-lazy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pair;
+    use osa_ontology::{Hierarchy, HierarchyBuilder};
+
+    fn star(children: usize) -> Hierarchy {
+        let mut b = HierarchyBuilder::new();
+        let r = b.add_node("r");
+        for i in 0..children {
+            let c = b.add_node(&format!("c{i}"));
+            b.add_edge(r, c).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn greedy_on_star_picks_distinct_concepts() {
+        let h = star(4);
+        let pairs: Vec<Pair> = (0..4)
+            .map(|i| Pair::new(h.node_by_name(&format!("c{i}")).unwrap(), 0.0))
+            .collect();
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let s = GreedySummarizer.summarize(&g, 2);
+        assert_eq!(s.selected.len(), 2);
+        // Each selection zeroes its own pair: cost = 2 remaining at depth 1.
+        assert_eq!(s.cost, 2);
+    }
+
+    #[test]
+    fn greedy_prefers_high_coverage_candidate() {
+        // r -> mid -> {l1, l2, l3}: the `mid` pair covers everything.
+        let mut b = HierarchyBuilder::new();
+        let r = b.add_node("r");
+        let mid = b.add_node("mid");
+        b.add_edge(r, mid).unwrap();
+        let mut leaves = Vec::new();
+        for i in 0..3 {
+            let l = b.add_node(&format!("l{i}"));
+            b.add_edge(mid, l).unwrap();
+            leaves.push(l);
+        }
+        let h = b.build().unwrap();
+        let mut pairs = vec![Pair::new(mid, 0.0)];
+        pairs.extend(leaves.iter().map(|&l| Pair::new(l, 0.1)));
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let s = GreedySummarizer.summarize(&g, 1);
+        assert_eq!(s.selected, vec![0]);
+        assert_eq!(s.cost, 3); // three leaves at distance 1
+    }
+
+    #[test]
+    fn k_larger_than_candidates_selects_all() {
+        let h = star(2);
+        let pairs: Vec<Pair> = (0..2)
+            .map(|i| Pair::new(h.node_by_name(&format!("c{i}")).unwrap(), 0.0))
+            .collect();
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let s = GreedySummarizer.summarize(&g, 10);
+        assert_eq!(s.selected.len(), 2);
+        assert_eq!(s.cost, 0);
+    }
+
+    #[test]
+    fn lazy_matches_eager_cost() {
+        let h = star(6);
+        let pairs: Vec<Pair> = (0..6)
+            .map(|i| {
+                Pair::new(
+                    h.node_by_name(&format!("c{i}")).unwrap(),
+                    (i as f64) / 10.0,
+                )
+            })
+            .collect();
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.3);
+        for k in 0..=6 {
+            let eager = GreedySummarizer.summarize(&g, k);
+            let lazy = LazyGreedySummarizer.summarize(&g, k);
+            assert_eq!(eager.cost, lazy.cost, "k={k}");
+        }
+    }
+
+    #[test]
+    fn reported_cost_is_exact() {
+        let h = star(5);
+        let pairs: Vec<Pair> = (0..5)
+            .map(|i| Pair::new(h.node_by_name(&format!("c{i}")).unwrap(), 0.2 * i as f64))
+            .collect();
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let s = GreedySummarizer.summarize(&g, 3);
+        assert_eq!(s.cost, g.cost_of(&s.selected));
+    }
+}

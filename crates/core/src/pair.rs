@@ -1,0 +1,176 @@
+//! Concept-sentiment pairs and the paper's Definition 1 distance.
+
+use osa_ontology::{Hierarchy, NodeId};
+
+/// A concept-sentiment pair: one opinion occurrence extracted from a
+/// review ("display = 0.7").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pair {
+    /// The ontology concept the opinion is about.
+    pub concept: NodeId,
+    /// Continuous sentiment in `[-1, 1]` (0 = neutral).
+    pub sentiment: f64,
+}
+
+impl Pair {
+    /// Construct a pair, clamping the sentiment into `[-1, 1]`.
+    pub fn new(concept: NodeId, sentiment: f64) -> Self {
+        Pair {
+            concept,
+            sentiment: sentiment.clamp(-1.0, 1.0),
+        }
+    }
+}
+
+/// The directed pair distance of Definition 1.
+///
+/// `Some(d)` when `from` covers `to`:
+///
+/// * `from`'s concept is the hierarchy root → `d` is the root-to-concept
+///   distance, with **no** sentiment condition;
+/// * otherwise `from`'s concept must be an ancestor of `to`'s (possibly
+///   the same node) **and** `|s₁ − s₂| ≤ ε` → `d` is the shortest
+///   directed concept distance.
+///
+/// `None` encodes the paper's `∞`.
+pub fn pair_distance(h: &Hierarchy, from: &Pair, to: &Pair, eps: f64) -> Option<u32> {
+    if from.concept == h.root() {
+        return Some(h.depth(to.concept));
+    }
+    if (from.sentiment - to.sentiment).abs() <= eps {
+        h.dist_down(from.concept, to.concept)
+    } else {
+        None
+    }
+}
+
+/// Collapse duplicate pairs into `(distinct pairs, multiplicities)`.
+///
+/// Real review sets repeat the same concept-sentiment observation many
+/// times (popular aspects, quantized sentiment levels); the coverage
+/// problems are invariant under replacing duplicates by one weighted
+/// pair. Feed the result to
+/// [`CoverageGraph::for_weighted_pairs`](crate::CoverageGraph::for_weighted_pairs)
+/// for an instance whose size is the number of *distinct* pairs. Order of
+/// first occurrence is preserved.
+pub fn compress_pairs(pairs: &[Pair]) -> (Vec<Pair>, Vec<u64>) {
+    let mut index: std::collections::HashMap<(osa_ontology::NodeId, u64), usize> =
+        std::collections::HashMap::new();
+    let mut unique = Vec::new();
+    let mut weights: Vec<u64> = Vec::new();
+    for p in pairs {
+        let key = (p.concept, p.sentiment.to_bits());
+        match index.get(&key) {
+            Some(&i) => weights[i] += 1,
+            None => {
+                index.insert(key, unique.len());
+                unique.push(*p);
+                weights.push(1);
+            }
+        }
+    }
+    (unique, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osa_ontology::HierarchyBuilder;
+
+    fn chain() -> (Hierarchy, Vec<NodeId>) {
+        // r -> a -> b
+        let mut bl = HierarchyBuilder::new();
+        let r = bl.add_node("r");
+        let a = bl.add_node("a");
+        let b = bl.add_node("b");
+        bl.add_edge(r, a).unwrap();
+        bl.add_edge(a, b).unwrap();
+        (bl.build().unwrap(), vec![r, a, b])
+    }
+
+    #[test]
+    fn ancestor_within_eps_covers() {
+        let (h, ids) = chain();
+        let p1 = Pair::new(ids[1], 0.6);
+        let p2 = Pair::new(ids[2], 0.4);
+        assert_eq!(pair_distance(&h, &p1, &p2, 0.5), Some(1));
+    }
+
+    #[test]
+    fn sentiment_gap_blocks_coverage() {
+        let (h, ids) = chain();
+        let p1 = Pair::new(ids[1], 0.9);
+        let p2 = Pair::new(ids[2], 0.1);
+        assert_eq!(pair_distance(&h, &p1, &p2, 0.5), None);
+    }
+
+    #[test]
+    fn root_pair_ignores_sentiment() {
+        let (h, ids) = chain();
+        let p1 = Pair::new(ids[0], 1.0);
+        let p2 = Pair::new(ids[2], -1.0);
+        assert_eq!(pair_distance(&h, &p1, &p2, 0.1), Some(2));
+    }
+
+    #[test]
+    fn descendant_never_covers_ancestor() {
+        let (h, ids) = chain();
+        let p1 = Pair::new(ids[2], 0.0);
+        let p2 = Pair::new(ids[1], 0.0);
+        assert_eq!(pair_distance(&h, &p1, &p2, 1.0), None);
+        // Siblings don't cover each other either.
+        let mut bl = HierarchyBuilder::new();
+        let r = bl.add_node("r");
+        let x = bl.add_node("x");
+        let y = bl.add_node("y");
+        bl.add_edge(r, x).unwrap();
+        bl.add_edge(r, y).unwrap();
+        let h2 = bl.build().unwrap();
+        assert_eq!(
+            pair_distance(&h2, &Pair::new(x, 0.0), &Pair::new(y, 0.0), 1.0),
+            None
+        );
+    }
+
+    #[test]
+    fn same_concept_distance_zero() {
+        let (h, ids) = chain();
+        let p1 = Pair::new(ids[2], 0.3);
+        let p2 = Pair::new(ids[2], 0.1);
+        assert_eq!(pair_distance(&h, &p1, &p2, 0.5), Some(0));
+        assert_eq!(pair_distance(&h, &p1, &p1, 0.0), Some(0));
+    }
+
+    #[test]
+    fn eps_boundary_is_inclusive() {
+        let (h, ids) = chain();
+        let p1 = Pair::new(ids[1], 0.5);
+        let p2 = Pair::new(ids[2], 0.0);
+        assert_eq!(pair_distance(&h, &p1, &p2, 0.5), Some(1));
+    }
+
+    #[test]
+    fn compress_pairs_counts_duplicates() {
+        let (h, ids) = chain();
+        let _ = h;
+        let pairs = vec![
+            Pair::new(ids[1], 0.5),
+            Pair::new(ids[2], 0.25),
+            Pair::new(ids[1], 0.5),
+            Pair::new(ids[1], 0.5),
+            Pair::new(ids[2], -0.25),
+        ];
+        let (unique, weights) = compress_pairs(&pairs);
+        assert_eq!(unique.len(), 3);
+        assert_eq!(weights, vec![3, 1, 1]);
+        assert_eq!(unique[0], Pair::new(ids[1], 0.5));
+    }
+
+    #[test]
+    fn sentiment_is_clamped() {
+        let (h, ids) = chain();
+        let p = Pair::new(ids[1], 7.0);
+        assert_eq!(p.sentiment, 1.0);
+        let _ = h;
+    }
+}

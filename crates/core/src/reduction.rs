@@ -1,0 +1,230 @@
+//! The Theorem 1 reduction: Set Cover → k-Pairs Coverage (Fig. 2).
+//!
+//! Given a Set-Cover instance `(S, U, k)`, builds the concept DAG and the
+//! pair set of the paper's NP-hardness proof, so that `U` has a set cover
+//! of size `k` **iff** the k-Pairs Coverage instance has a size-`k`
+//! summary of cost at most `t = 3m + n − 2k`.
+//!
+//! Used by the `setcover_reduction` example and the property tests that
+//! verify the reduction end-to-end against brute force.
+
+use osa_ontology::{Hierarchy, HierarchyBuilder};
+
+use crate::{CoverageGraph, Pair};
+
+/// A Set-Cover instance: universe `{0, …, universe−1}` and a family of
+/// subsets.
+#[derive(Debug, Clone)]
+pub struct SetCoverInstance {
+    /// Universe size `n`.
+    pub universe: usize,
+    /// The subsets `S_1 … S_m` (element indices into the universe).
+    pub sets: Vec<Vec<usize>>,
+    /// Cover budget `k`.
+    pub k: usize,
+}
+
+/// The constructed k-Pairs Coverage instance.
+#[derive(Debug)]
+pub struct ReductionInstance {
+    /// The concept DAG of Fig. 2.
+    pub hierarchy: Hierarchy,
+    /// One pair per non-root node, all with sentiment 0. Ordering:
+    /// `c_1 … c_m, e_1 … e_m, d_1 … d_n`.
+    pub pairs: Vec<Pair>,
+    /// The summary budget (same `k` as the cover budget).
+    pub k: usize,
+    /// The decision target `t = 3m + n − 2k`.
+    pub target: u64,
+    /// Pair indices of the `c_i` nodes (for decoding covers).
+    pub set_pair_indices: Vec<usize>,
+}
+
+/// Build the reduction of Theorem 1.
+///
+/// # Panics
+/// If some universe element appears in no set (the `d_j` node would be an
+/// orphan — the Set-Cover instance is trivially infeasible), if a set
+/// references an out-of-range element, or if `k > m`.
+pub fn reduce(sc: &SetCoverInstance) -> ReductionInstance {
+    let m = sc.sets.len();
+    let n = sc.universe;
+    assert!(sc.k <= m, "cover budget exceeds number of sets");
+    let mut covered = vec![false; n];
+    for s in &sc.sets {
+        for &u in s {
+            assert!(u < n, "element out of range");
+            covered[u] = true;
+        }
+    }
+    assert!(
+        covered.iter().all(|&c| c),
+        "every universe element must appear in some set"
+    );
+
+    let mut b = HierarchyBuilder::new();
+    let root = b.add_node("r");
+    let cs: Vec<_> = (0..m).map(|i| b.add_node(&format!("c{}", i + 1))).collect();
+    let es: Vec<_> = (0..m).map(|i| b.add_node(&format!("e{}", i + 1))).collect();
+    let ds: Vec<_> = (0..n).map(|j| b.add_node(&format!("d{}", j + 1))).collect();
+    for i in 0..m {
+        b.add_edge(root, cs[i]).expect("fresh edge");
+        b.add_edge(cs[i], es[i]).expect("fresh edge");
+        for &j in &sc.sets[i] {
+            b.add_edge(cs[i], ds[j]).expect("element listed once per set");
+        }
+    }
+    let hierarchy = b.build().expect("reduction DAG is valid");
+
+    let mut pairs = Vec::with_capacity(2 * m + n);
+    let mut set_pair_indices = Vec::with_capacity(m);
+    for &c in &cs {
+        set_pair_indices.push(pairs.len());
+        pairs.push(Pair::new(c, 0.0));
+    }
+    for &e in &es {
+        pairs.push(Pair::new(e, 0.0));
+    }
+    for &d in &ds {
+        pairs.push(Pair::new(d, 0.0));
+    }
+
+    ReductionInstance {
+        hierarchy,
+        pairs,
+        k: sc.k,
+        target: (3 * m + n) as u64 - 2 * sc.k as u64,
+        set_pair_indices,
+    }
+}
+
+impl ReductionInstance {
+    /// Build the coverage graph of the reduced instance (any `ε ≥ 0`
+    /// works: all sentiments are 0).
+    pub fn coverage_graph(&self) -> CoverageGraph {
+        CoverageGraph::for_pairs(&self.hierarchy, &self.pairs, 0.0)
+    }
+
+    /// Decision answer via an exact summarizer: does a size-`k` summary of
+    /// cost ≤ `t` exist?
+    pub fn has_cheap_summary(&self, summarizer: &dyn crate::Summarizer) -> bool {
+        let g = self.coverage_graph();
+        summarizer.summarize(&g, self.k).cost <= self.target
+    }
+}
+
+/// Brute-force Set-Cover decision (oracle for tests/examples): does a
+/// cover of size ≤ `k` exist?
+pub fn set_cover_exists(sc: &SetCoverInstance) -> bool {
+    let m = sc.sets.len();
+    assert!(m <= 24, "brute-force oracle limited to 24 sets");
+    for mask in 0u32..(1 << m) {
+        if mask.count_ones() as usize > sc.k {
+            continue;
+        }
+        let mut covered = vec![false; sc.universe];
+        for (i, s) in sc.sets.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                for &u in s {
+                    covered[u] = true;
+                }
+            }
+        }
+        if covered.iter().all(|&c| c) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The illustrative instance of Fig. 2: `U = {u1..u4}`,
+/// `S1 = {u1,u2}`, `S2 = {u2,u3}`, `S3 = {u3,u4}`, `k = 2`.
+pub fn figure2_instance() -> SetCoverInstance {
+    SetCoverInstance {
+        universe: 4,
+        sets: vec![vec![0, 1], vec![1, 2], vec![2, 3]],
+        k: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExactBruteForce, IlpSummarizer};
+
+    #[test]
+    fn figure2_has_cover_and_cheap_summary() {
+        let sc = figure2_instance();
+        assert!(set_cover_exists(&sc));
+        let red = reduce(&sc);
+        // m = 3, n = 4, k = 2 → t = 9 + 4 − 4 = 9.
+        assert_eq!(red.target, 9);
+        assert_eq!(red.pairs.len(), 2 * 3 + 4);
+        assert!(red.has_cheap_summary(&ExactBruteForce));
+        assert!(red.has_cheap_summary(&IlpSummarizer));
+    }
+
+    #[test]
+    fn infeasible_budget_has_no_cheap_summary() {
+        // Same sets but k = 1: no single set covers u1..u4.
+        let sc = SetCoverInstance {
+            k: 1,
+            ..figure2_instance()
+        };
+        assert!(!set_cover_exists(&sc));
+        let red = reduce(&sc);
+        assert!(!red.has_cheap_summary(&ExactBruteForce));
+    }
+
+    #[test]
+    fn reduction_matches_oracle_on_small_instances() {
+        // A handful of hand-rolled instances, both feasible and not.
+        let cases = [SetCoverInstance {
+                universe: 3,
+                sets: vec![vec![0], vec![1], vec![2], vec![0, 1, 2]],
+                k: 1,
+            },
+            SetCoverInstance {
+                universe: 3,
+                sets: vec![vec![0], vec![1], vec![2]],
+                k: 2,
+            },
+            SetCoverInstance {
+                universe: 5,
+                sets: vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![0, 4]],
+                k: 3,
+            },
+            SetCoverInstance {
+                universe: 4,
+                sets: vec![vec![0, 1], vec![2], vec![3], vec![2, 3]],
+                k: 2,
+            }];
+        for (i, sc) in cases.iter().enumerate() {
+            let expect = set_cover_exists(sc);
+            let got = reduce(sc).has_cheap_summary(&ExactBruteForce);
+            assert_eq!(expect, got, "case {i}");
+        }
+    }
+
+    #[test]
+    fn exact_cost_formula_when_cover_exists() {
+        // Choosing exactly the cover's c_i pairs costs t (proof of Thm 1).
+        let sc = figure2_instance();
+        let red = reduce(&sc);
+        let g = red.coverage_graph();
+        // Cover {S1, S3} → pairs c1, c3.
+        let cost = g.cost_of(&[red.set_pair_indices[0], red.set_pair_indices[2]]);
+        assert_eq!(cost, red.target);
+    }
+
+    #[test]
+    #[should_panic(expected = "every universe element")]
+    fn orphan_element_rejected() {
+        let sc = SetCoverInstance {
+            universe: 2,
+            sets: vec![vec![0]],
+            k: 1,
+        };
+        let _ = reduce(&sc);
+    }
+}

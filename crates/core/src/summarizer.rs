@@ -1,0 +1,25 @@
+//! The common interface of the summarization algorithms.
+
+use crate::CoverageGraph;
+
+/// A computed size-k summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Summary {
+    /// Selected candidate indices (into the graph's candidate set), in
+    /// selection order where the algorithm has one.
+    pub selected: Vec<usize>,
+    /// The Definition 2 cost `C(F, P)` of the selection.
+    pub cost: u64,
+}
+
+/// A size-k summarization algorithm over a [`CoverageGraph`].
+pub trait Summarizer {
+    /// Select (up to) `k` candidates minimizing the coverage cost.
+    ///
+    /// Every implementation returns `min(k, |U|)` candidates and reports
+    /// the exact cost of what it selected.
+    fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary;
+
+    /// Human-readable algorithm name (used by the benchmark harness).
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,394 @@
+//! Template-based synthetic review corpora with planted ground truth.
+
+use osa_ontology::{Hierarchy, NodeId};
+use osa_core::Pair;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters of a synthetic corpus, calibrated per dataset to the
+/// paper's Table 1.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of items (doctors / phones).
+    pub items: usize,
+    /// Minimum reviews per item.
+    pub min_reviews: usize,
+    /// Maximum reviews per item.
+    pub max_reviews: usize,
+    /// Target mean reviews per item (exponential tail above the minimum).
+    pub mean_reviews: f64,
+    /// Target mean sentences per review (≥ 1).
+    pub mean_sentences: f64,
+    /// Probability that a sentence mentions an aspect (vs. filler text).
+    pub aspect_sentence_prob: f64,
+}
+
+impl CorpusConfig {
+    /// Table 1, doctor reviews: 1000 doctors, 68,686 reviews (mean 68.7,
+    /// min 43, max 354), 4.87 sentences per review.
+    pub fn doctors_full() -> Self {
+        CorpusConfig {
+            items: 1000,
+            min_reviews: 43,
+            max_reviews: 354,
+            mean_reviews: 68.7,
+            mean_sentences: 4.87,
+            aspect_sentence_prob: 0.72,
+        }
+    }
+
+    /// Table 1, cell-phone reviews: 60 phones, 33,578 reviews (mean
+    /// 559.6, min 102, max 3200), 3.81 sentences per review.
+    pub fn phones_full() -> Self {
+        CorpusConfig {
+            items: 60,
+            min_reviews: 102,
+            max_reviews: 3200,
+            mean_reviews: 559.6,
+            mean_sentences: 3.81,
+            aspect_sentence_prob: 0.72,
+        }
+    }
+
+    /// A laptop-scale doctor corpus for the per-item algorithm benchmarks
+    /// (same per-review shape, fewer items/reviews).
+    pub fn doctors_small() -> Self {
+        CorpusConfig {
+            items: 40,
+            min_reviews: 30,
+            max_reviews: 90,
+            mean_reviews: 50.0,
+            mean_sentences: 4.87,
+            aspect_sentence_prob: 0.72,
+        }
+    }
+
+    /// A laptop-scale phone corpus for the qualitative (Fig. 6)
+    /// experiments.
+    pub fn phones_small() -> Self {
+        CorpusConfig {
+            items: 30,
+            min_reviews: 40,
+            max_reviews: 120,
+            mean_reviews: 70.0,
+            mean_sentences: 3.81,
+            aspect_sentence_prob: 0.72,
+        }
+    }
+}
+
+/// One synthetic review.
+#[derive(Debug, Clone)]
+pub struct Review {
+    /// The review text (English sentences the full pipeline can process).
+    pub text: String,
+    /// Ground truth: the concept-sentiment pairs planted into the text,
+    /// one per aspect mention.
+    pub planted: Vec<Pair>,
+}
+
+/// One item (a doctor or a phone) with its reviews.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Display name.
+    pub name: String,
+    /// The item's reviews.
+    pub reviews: Vec<Review>,
+}
+
+/// A full synthetic corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Corpus label ("doctor reviews" / "cell phone reviews").
+    pub name: String,
+    /// The concept hierarchy reviews are written against.
+    pub hierarchy: Hierarchy,
+    /// The items.
+    pub items: Vec<Item>,
+}
+
+/// Adjective banks per planted sentiment level. Every word sits in the
+/// `osa-text` lexicon at exactly this strength, so the extraction
+/// pipeline recovers the planted sentiment (± sentence-averaging noise).
+const LEVELS: &[(f64, &[&str])] = &[
+    (1.0, &["amazing", "fantastic", "perfect", "outstanding"]),
+    (0.75, &["great", "impressive", "terrific"]),
+    (0.5, &["good", "nice", "solid", "reliable"]),
+    (0.25, &["decent", "fine", "acceptable"]),
+    (-0.25, &["mediocre", "underwhelming", "lacking"]),
+    (-0.5, &["bad", "poor", "disappointing"]),
+    (-0.75, &["terrible", "awful", "horrible"]),
+    (-1.0, &["atrocious", "abysmal", "appalling"]),
+];
+
+const FILLERS: &[&str] = &[
+    "I visited in march",
+    "This was my second time here",
+    "My cousin told me about this",
+    "I have been coming here for two years",
+    "I ordered it online last month",
+    "It arrived on a tuesday",
+    "I read many reviews before deciding",
+    "I will update this review later",
+];
+
+fn quantize(target: f64) -> (f64, usize) {
+    let mut best = 0usize;
+    let mut gap = f64::INFINITY;
+    for (i, &(level, _)) in LEVELS.iter().enumerate() {
+        let g = (level - target).abs();
+        if g < gap {
+            gap = g;
+            best = i;
+        }
+    }
+    (LEVELS[best].0, best)
+}
+
+impl Corpus {
+    /// Generate a corpus over `hierarchy` with the given shape, fully
+    /// deterministic in `seed`.
+    ///
+    /// Every item gets a latent per-aspect quality profile; sentences
+    /// sample around it, so summaries have real structure to find
+    /// (consistent praise for some aspects, complaints about others).
+    pub fn generate(name: &str, hierarchy: Hierarchy, cfg: &CorpusConfig, seed: u64) -> Corpus {
+        assert!(cfg.items > 0, "corpus needs at least one item");
+        assert!(cfg.min_reviews >= 1 && cfg.min_reviews <= cfg.max_reviews);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Aspect pool: all non-root concepts.
+        let aspects: Vec<NodeId> = hierarchy
+            .nodes()
+            .filter(|&n| n != hierarchy.root())
+            .collect();
+        assert!(!aspects.is_empty(), "hierarchy must have non-root concepts");
+
+        let mut items = Vec::with_capacity(cfg.items);
+        for idx in 0..cfg.items {
+            // Latent quality per aspect (positively skewed like real
+            // reviews) and popularity weight per aspect.
+            let quality: Vec<f64> = aspects
+                .iter()
+                .map(|_| (rng.gen_range(-1.0..1.0f64) * 0.6 + 0.25).clamp(-1.0, 1.0))
+                .collect();
+            let weight: Vec<f64> = aspects.iter().map(|_| -rng.gen::<f64>().ln()).collect();
+            let wsum: f64 = weight.iter().sum();
+
+            let n_reviews = sample_count(
+                &mut rng,
+                cfg.min_reviews,
+                cfg.max_reviews,
+                cfg.mean_reviews,
+            );
+            let mut reviews = Vec::with_capacity(n_reviews);
+            for _ in 0..n_reviews {
+                reviews.push(generate_review(
+                    &mut rng,
+                    &hierarchy,
+                    &aspects,
+                    &quality,
+                    &weight,
+                    wsum,
+                    cfg,
+                ));
+            }
+            items.push(Item {
+                name: format!("{name} item {idx}"),
+                reviews,
+            });
+        }
+
+        Corpus {
+            name: name.to_owned(),
+            hierarchy,
+            items,
+        }
+    }
+
+    /// Convenience: the doctor corpus on [`doctor_hierarchy`](crate::doctor_hierarchy).
+    pub fn doctors(cfg: &CorpusConfig, seed: u64) -> Corpus {
+        Corpus::generate("doctor reviews", crate::doctor_hierarchy(), cfg, seed)
+    }
+
+    /// Convenience: the phone corpus on [`phone_hierarchy`](crate::phone_hierarchy).
+    pub fn phones(cfg: &CorpusConfig, seed: u64) -> Corpus {
+        Corpus::generate("cell phone reviews", crate::phone_hierarchy(), cfg, seed)
+    }
+
+    /// Total number of reviews across items.
+    pub fn total_reviews(&self) -> usize {
+        self.items.iter().map(|i| i.reviews.len()).sum()
+    }
+}
+
+/// `min + Exp(mean − min)`, clamped to `max`.
+fn sample_count(rng: &mut StdRng, min: usize, max: usize, mean: f64) -> usize {
+    let tail = (mean - min as f64).max(0.0);
+    let draw = if tail > 0.0 {
+        -rng.gen::<f64>().max(1e-12).ln() * tail
+    } else {
+        0.0
+    };
+    ((min as f64 + draw).round() as usize).clamp(min, max)
+}
+
+fn generate_review(
+    rng: &mut StdRng,
+    h: &Hierarchy,
+    aspects: &[NodeId],
+    quality: &[f64],
+    weight: &[f64],
+    wsum: f64,
+    cfg: &CorpusConfig,
+) -> Review {
+    let n_sentences = sample_count(rng, 1, 40, cfg.mean_sentences);
+    let mut sentences = Vec::with_capacity(n_sentences);
+    let mut planted = Vec::new();
+    for _ in 0..n_sentences {
+        if rng.gen::<f64>() < cfg.aspect_sentence_prob {
+            // Weighted aspect choice.
+            let mut t = rng.gen::<f64>() * wsum;
+            let mut ai = 0usize;
+            for (i, &w) in weight.iter().enumerate() {
+                if t < w {
+                    ai = i;
+                    break;
+                }
+                t -= w;
+            }
+            let target = (quality[ai] + rng.gen_range(-0.3..0.3)).clamp(-1.0, 1.0);
+            let (level, li) = quantize(target);
+            let bank = LEVELS[li].1;
+            let adj = bank[rng.gen_range(0..bank.len())];
+            let aspect = aspects[ai];
+            let terms = h.terms(aspect);
+            let term = &terms[rng.gen_range(0..terms.len())];
+            let sentence = match rng.gen_range(0..4u8) {
+                0 => format!("The {term} is {adj}."),
+                1 => format!("In my experience the {term} was {adj}."),
+                2 => {
+                    let mut c = adj.chars();
+                    let cap = c.next().map(|f| f.to_uppercase().collect::<String>() + c.as_str());
+                    format!("{} {term}.", cap.unwrap_or_else(|| adj.to_owned()))
+                }
+                _ => format!("The {term} seems {adj}."),
+            };
+            sentences.push(sentence);
+            planted.push(Pair::new(aspect, level));
+        } else {
+            sentences.push(format!(
+                "{}.",
+                FILLERS[rng.gen_range(0..FILLERS.len())]
+            ));
+        }
+    }
+    Review {
+        text: sentences.join(" "),
+        planted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CorpusConfig {
+        CorpusConfig {
+            items: 5,
+            min_reviews: 3,
+            max_reviews: 10,
+            mean_reviews: 5.0,
+            mean_sentences: 4.0,
+            aspect_sentence_prob: 0.8,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Corpus::phones(&small(), 7);
+        let b = Corpus::phones(&small(), 7);
+        assert_eq!(a.total_reviews(), b.total_reviews());
+        assert_eq!(a.items[0].reviews[0].text, b.items[0].reviews[0].text);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Corpus::phones(&small(), 1);
+        let b = Corpus::phones(&small(), 2);
+        assert_ne!(a.items[0].reviews[0].text, b.items[0].reviews[0].text);
+    }
+
+    #[test]
+    fn review_counts_respect_bounds() {
+        let c = Corpus::doctors(&small(), 3);
+        assert_eq!(c.items.len(), 5);
+        for item in &c.items {
+            assert!(item.reviews.len() >= 3 && item.reviews.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn planted_pairs_reference_non_root_concepts() {
+        let c = Corpus::phones(&small(), 11);
+        let root = c.hierarchy.root();
+        let mut total = 0;
+        for item in &c.items {
+            for r in &item.reviews {
+                for p in &r.planted {
+                    assert_ne!(p.concept, root);
+                    assert!((-1.0..=1.0).contains(&p.sentiment));
+                    total += 1;
+                }
+            }
+        }
+        assert!(total > 0, "aspect sentences exist");
+    }
+
+    #[test]
+    fn planted_terms_appear_in_text() {
+        let c = Corpus::phones(&small(), 13);
+        // Each planted concept's surface term was embedded in the text:
+        // at least one of the concept's terms occurs (lowercased) there.
+        let r = &c.items[0].reviews[0];
+        for p in &r.planted {
+            let text = r.text.to_lowercase();
+            assert!(
+                c.hierarchy
+                    .terms(p.concept)
+                    .iter()
+                    .any(|t| text.contains(&t.to_lowercase())),
+                "no term of {:?} in {:?}",
+                c.hierarchy.name(p.concept),
+                r.text
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_snaps_to_nearest_level() {
+        assert_eq!(quantize(0.6).0, 0.5);
+        assert_eq!(quantize(0.9).0, 1.0);
+        assert_eq!(quantize(-0.6).0, -0.5);
+        assert_eq!(quantize(0.0).0, 0.25); // first closest in scan order
+    }
+
+    #[test]
+    fn mean_sentences_roughly_calibrated() {
+        let cfg = CorpusConfig {
+            items: 20,
+            ..small()
+        };
+        let c = Corpus::doctors(&cfg, 5);
+        let mut sentences = 0usize;
+        let mut reviews = 0usize;
+        for item in &c.items {
+            for r in &item.reviews {
+                sentences += osa_text::split_sentences(&r.text).len();
+                reviews += 1;
+            }
+        }
+        let mean = sentences as f64 / reviews as f64;
+        assert!((2.5..=6.0).contains(&mean), "mean sentences {mean}");
+    }
+}

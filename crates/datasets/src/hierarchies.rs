@@ -1,0 +1,211 @@
+//! The two curated concept hierarchies.
+
+use osa_ontology::{Hierarchy, HierarchyBuilder};
+
+/// The cell-phone aspect hierarchy of Fig. 3 (reconstruction).
+///
+/// The paper built it by hand over the 100 most popular aspects that
+/// Double Propagation extracted from the Amazon reviews; the published
+/// figure shows a root with first-level category aspects (screen,
+/// battery, camera, sound, design, performance, software, connectivity,
+/// price, service) and specific sub-aspects below them. Node terms carry
+/// the surface variants the concept matcher should recognize.
+pub fn phone_hierarchy() -> Hierarchy {
+    let mut b = HierarchyBuilder::new();
+    let root = b.add_node_with_terms("phone", &["phone", "cellphone", "device", "handset"]);
+
+    let screen = b.add_node_with_terms("screen", &["screen", "display"]);
+    let battery = b.add_node_with_terms("battery", &["battery"]);
+    let camera = b.add_node_with_terms("camera", &["camera"]);
+    let sound = b.add_node_with_terms("sound", &["sound", "audio"]);
+    let design = b.add_node_with_terms("design", &["design", "build", "look"]);
+    let performance = b.add_node_with_terms("performance", &["performance"]);
+    let software = b.add_node_with_terms("software", &["software", "firmware"]);
+    let connectivity = b.add_node_with_terms("connectivity", &["connectivity", "connection"]);
+    let price = b.add_node_with_terms("price", &["price", "cost", "value"]);
+    let service = b.add_node_with_terms("service", &["service", "seller", "vendor"]);
+    for c in [
+        screen, battery, camera, sound, design, performance, software, connectivity, price,
+        service,
+    ] {
+        b.add_edge(root, c).expect("fresh top-level edge");
+    }
+
+    let mut leaf = |parent, name: &str, terms: &[&str]| {
+        let n = b.add_node_with_terms(name, terms);
+        b.add_edge(parent, n).expect("fresh leaf edge");
+        n
+    };
+
+    leaf(screen, "screen resolution", &["resolution", "screen resolution"]);
+    leaf(screen, "screen color", &["screen color", "display color", "color reproduction"]);
+    leaf(screen, "screen brightness", &["brightness", "screen brightness"]);
+    leaf(screen, "touchscreen", &["touchscreen", "touch screen", "touch"]);
+    leaf(screen, "screen size", &["screen size", "display size"]);
+
+    leaf(battery, "battery life", &["battery life", "battery lifetime"]);
+    leaf(battery, "charging", &["charging", "charger", "charge time", "recharge"]);
+
+    leaf(camera, "picture quality", &["picture quality", "photo quality", "picture", "photo"]);
+    leaf(camera, "video recording", &["video", "video recording"]);
+    leaf(camera, "front camera", &["front camera", "selfie camera"]);
+    leaf(camera, "camera flash", &["flash", "camera flash"]);
+    leaf(camera, "zoom", &["zoom"]);
+
+    leaf(sound, "speaker", &["speaker", "speakers", "loudspeaker"]);
+    leaf(sound, "call quality", &["call quality", "call", "reception quality"]);
+    leaf(sound, "microphone", &["microphone", "mic"]);
+    leaf(sound, "volume", &["volume"]);
+    leaf(sound, "headphones", &["headphone", "headphones", "earbuds", "headphone jack"]);
+
+    leaf(design, "size", &["size", "dimensions"]);
+    leaf(design, "weight", &["weight"]);
+    leaf(design, "body color", &["body color", "finish"]);
+    leaf(design, "buttons", &["button", "buttons"]);
+    leaf(design, "materials", &["material", "materials", "plastic", "metal frame", "glass back"]);
+
+    leaf(performance, "speed", &["speed", "responsiveness"]);
+    leaf(performance, "processor", &["processor", "cpu", "chipset"]);
+    leaf(performance, "memory", &["memory", "ram"]);
+    leaf(performance, "storage", &["storage", "internal storage", "sd card"]);
+    leaf(performance, "gaming", &["gaming", "games"]);
+
+    leaf(software, "operating system", &["operating system", "android", "os"]);
+    leaf(software, "updates", &["update", "updates"]);
+    leaf(software, "interface", &["interface", "ui", "launcher"]);
+    leaf(software, "preinstalled apps", &["bloatware", "preinstalled apps", "apps"]);
+
+    leaf(connectivity, "wifi", &["wifi", "wi-fi", "wireless"]);
+    leaf(connectivity, "bluetooth", &["bluetooth"]);
+    leaf(connectivity, "signal", &["signal", "reception", "antenna"]);
+    leaf(connectivity, "gps", &["gps", "navigation"]);
+    leaf(connectivity, "sim", &["sim", "sim card", "dual sim"]);
+
+    leaf(service, "shipping", &["shipping", "delivery"]);
+    leaf(service, "packaging", &["packaging", "box"]);
+    leaf(service, "warranty", &["warranty"]);
+    leaf(service, "customer support", &["customer support", "support", "customer service"]);
+
+    b.build().expect("phone hierarchy is a valid rooted DAG")
+}
+
+/// A curated medical-service concept hierarchy: the stand-in for the
+/// SNOMED CT fragment that MetaMap extraction hits on doctor reviews.
+///
+/// SNOMED CT itself has >300k concepts; patient reviews touch a small,
+/// service-oriented slice of it (plus a few conditions/procedures). This
+/// hierarchy covers that slice with two- and three-level structure and a
+/// couple of multi-parent nodes (a DAG, not a tree — e.g. "pain
+/// management" under both treatment and condition care), exercising every
+/// code path the full ontology would.
+pub fn doctor_hierarchy() -> Hierarchy {
+    let mut b = HierarchyBuilder::new();
+    let root = b.add_node_with_terms("care", &["care", "doctor", "physician"]);
+
+    let diagnosis = b.add_node_with_terms("diagnosis", &["diagnosis", "diagnoses"]);
+    let treatment = b.add_node_with_terms("treatment", &["treatment"]);
+    let manner = b.add_node_with_terms("bedside manner", &["bedside manner", "manner", "attitude"]);
+    let staff = b.add_node_with_terms("staff", &["staff"]);
+    let office = b.add_node_with_terms("office", &["office", "clinic", "facility"]);
+    let billing = b.add_node_with_terms("billing", &["billing", "bill"]);
+    let conditions = b.add_node_with_terms("condition care", &["condition", "conditions"]);
+    for c in [diagnosis, treatment, manner, staff, office, billing, conditions] {
+        b.add_edge(root, c).expect("fresh top-level edge");
+    }
+
+    let leaf = |b: &mut HierarchyBuilder, parent, name: &str, terms: &[&str]| {
+        let n = b.add_node_with_terms(name, terms);
+        b.add_edge(parent, n).expect("fresh leaf edge");
+        n
+    };
+
+    leaf(&mut b, diagnosis, "diagnostic accuracy", &["diagnostic accuracy", "accurate diagnosis", "misdiagnosis"]);
+    leaf(&mut b, diagnosis, "thoroughness", &["thoroughness", "thorough exam", "examination"]);
+    leaf(&mut b, diagnosis, "lab tests", &["lab test", "lab tests", "blood work", "labs"]);
+
+    let medication = leaf(&mut b, treatment, "medication", &["medication", "prescription", "meds"]);
+    leaf(&mut b, medication, "medication side effects", &["side effect", "side effects"]);
+    let surgery = leaf(&mut b, treatment, "surgery", &["surgery", "operation", "procedure"]);
+    leaf(&mut b, surgery, "tummy tuck", &["tummy tuck", "abdominoplasty"]);
+    leaf(&mut b, surgery, "liposuction", &["liposuction", "lipo"]);
+    leaf(&mut b, treatment, "physical therapy", &["physical therapy", "rehab", "therapy"]);
+    leaf(&mut b, treatment, "follow-up", &["follow-up", "follow up", "aftercare"]);
+
+    // Pain management sits under both treatment and condition care: a
+    // genuine multi-parent DAG node, like its SNOMED counterpart.
+    let pain = b.add_node_with_terms("pain management", &["pain management", "pain control"]);
+    b.add_edge(treatment, pain).expect("fresh edge");
+    b.add_edge(conditions, pain).expect("fresh edge");
+
+    let heart = leaf(&mut b, conditions, "heart disease management", &["heart disease", "cardiac care", "heart condition"]);
+    leaf(&mut b, heart, "blood pressure control", &["blood pressure", "hypertension"]);
+    leaf(&mut b, conditions, "diabetes management", &["diabetes", "blood sugar"]);
+    leaf(&mut b, conditions, "allergy care", &["allergy", "allergies"]);
+    leaf(&mut b, conditions, "back pain care", &["back pain", "backache"]);
+
+    leaf(&mut b, manner, "communication", &["communication", "explains", "explanation"]);
+    leaf(&mut b, manner, "listening", &["listening", "listens"]);
+    leaf(&mut b, manner, "empathy", &["empathy", "compassion", "caring attitude"]);
+
+    leaf(&mut b, staff, "nurses", &["nurse", "nurses"]);
+    leaf(&mut b, staff, "receptionist", &["receptionist", "front desk"]);
+
+    leaf(&mut b, office, "wait time", &["wait time", "waiting time", "wait"]);
+    leaf(&mut b, office, "scheduling", &["scheduling", "appointment", "appointments"]);
+    leaf(&mut b, office, "cleanliness", &["cleanliness", "clean office", "hygiene"]);
+    leaf(&mut b, office, "parking", &["parking"]);
+
+    leaf(&mut b, billing, "insurance", &["insurance", "coverage"]);
+    leaf(&mut b, billing, "cost", &["cost", "price", "charges"]);
+
+    b.build().expect("doctor hierarchy is a valid rooted DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osa_ontology::HierarchyStats;
+
+    #[test]
+    fn phone_hierarchy_is_valid_and_sized_like_fig3() {
+        let h = phone_hierarchy();
+        assert_eq!(h.name(h.root()), "phone");
+        // Fig. 3 organizes ~50 of the 100 popular aspects; ours has the
+        // same 3-level shape.
+        assert!(h.node_count() >= 45, "{}", h.node_count());
+        assert_eq!(h.max_depth(), 2);
+        assert_eq!(h.children(h.root()).len(), 10);
+    }
+
+    #[test]
+    fn doctor_hierarchy_is_a_dag_with_multi_parent_nodes() {
+        let h = doctor_hierarchy();
+        let stats = HierarchyStats::compute(&h);
+        assert!(stats.multi_parent_nodes >= 1, "pain management is shared");
+        assert_eq!(h.max_depth(), 3);
+        let pain = h.node_by_name("pain management").unwrap();
+        assert_eq!(h.parents(pain).len(), 2);
+    }
+
+    #[test]
+    fn key_concepts_are_lookupable() {
+        let p = phone_hierarchy();
+        for name in ["battery life", "screen color", "call quality", "wifi"] {
+            assert!(p.node_by_name(name).is_some(), "{name}");
+        }
+        let d = doctor_hierarchy();
+        for name in ["heart disease management", "wait time", "liposuction"] {
+            assert!(d.node_by_name(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn depths_follow_structure() {
+        let p = phone_hierarchy();
+        let batt = p.node_by_name("battery").unwrap();
+        let life = p.node_by_name("battery life").unwrap();
+        assert_eq!(p.depth(batt), 1);
+        assert_eq!(p.depth(life), 2);
+        assert!(p.is_ancestor(batt, life));
+    }
+}

@@ -1,0 +1,59 @@
+//! # osa-datasets
+//!
+//! Synthetic datasets calibrated to the paper's Table 1, plus the
+//! concept hierarchies and the text-to-pairs extraction pipeline.
+//!
+//! The paper evaluates on two proprietary crawls: 68,686 vitals.com
+//! doctor reviews (1000 doctors) and 33,578 Amazon cell-phone reviews
+//! (60 phones). Neither is redistributable, so this crate synthesizes
+//! review corpora with *planted* concept-sentiment ground truth whose
+//! shape statistics match Table 1:
+//!
+//! * [`phone_hierarchy`] — a reconstruction of the Fig. 3 cell-phone
+//!   aspect hierarchy (the figure's structure: a root with category
+//!   aspects and specific sub-aspects),
+//! * [`doctor_hierarchy`] — a curated medical-service concept hierarchy
+//!   standing in for the SNOMED CT fragment MetaMap would hit,
+//! * [`synthetic_ontology`] — a configurable SNOMED-scale random DAG for
+//!   the quantitative (Figs. 4–5) benchmarks,
+//! * [`Corpus::generate`] — template-based review synthesis over a
+//!   hierarchy (every review is real English the `osa-text` pipeline can
+//!   process end to end),
+//! * [`extract_item`] — the extraction pipeline: sentences → concept
+//!   mentions (trie matcher) → sentence sentiment (lexicon) → pairs,
+//! * [`table1_stats`] — the Table 1 characteristics of a corpus,
+//! * [`sample_pairs`] / [`sample_grouped_pairs`] — direct pair sampling
+//!   on a hierarchy for solver-scale experiments.
+
+//! ## Example
+//!
+//! ```
+//! use osa_datasets::{extract_item, Corpus, CorpusConfig};
+//! use osa_text::{ConceptMatcher, SentimentLexicon};
+//!
+//! let cfg = CorpusConfig { items: 1, ..CorpusConfig::phones_small() };
+//! let corpus = Corpus::phones(&cfg, 7);
+//! let matcher = ConceptMatcher::from_hierarchy(&corpus.hierarchy);
+//! let extracted = extract_item(&corpus.items[0], &matcher, &SentimentLexicon::default());
+//! assert!(!extracted.pairs.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod corpus;
+pub mod io;
+mod hierarchies;
+pub mod noise;
+mod pipeline;
+mod stats;
+mod synth;
+
+pub use corpus::{Corpus, CorpusConfig, Item, Review};
+pub use io::{corpus_from_json, corpus_to_json, load_corpus, save_corpus, CorpusIoError};
+pub use hierarchies::{doctor_hierarchy, phone_hierarchy};
+pub use pipeline::{
+    extract_item, extract_item_with, train_regressor, ExtractedItem, ExtractedSentence,
+    SentimentModel,
+};
+pub use stats::{table1_stats, Table1Stats};
+pub use synth::{sample_grouped_pairs, sample_pairs, synthetic_ontology, SyntheticOntologyConfig};

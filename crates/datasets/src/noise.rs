@@ -1,0 +1,204 @@
+//! Noise injection for robustness studies.
+//!
+//! Real review text is messier than our templates: typos, dropped
+//! characters, random casing. These helpers post-process a generated
+//! [`Corpus`] (the generator itself stays untouched, so all documented
+//! experiment outputs remain reproducible) to measure how gracefully the
+//! extraction pipeline degrades.
+
+use osa_ontology::Hierarchy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Corpus;
+
+/// Kinds of character-level corruption applied by [`add_typos`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Typo {
+    SwapAdjacent,
+    DropChar,
+    DoubleChar,
+    UpperCase,
+}
+
+/// Return a copy of `corpus` where each word is corrupted with
+/// probability `rate` (one random character-level typo per corrupted
+/// word). Planted ground truth is preserved — that is the point: the
+/// text degrades, the labels do not. Deterministic in `seed`.
+pub fn add_typos(corpus: &Corpus, rate: f64, seed: u64) -> Corpus {
+    assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = corpus.clone();
+    for item in &mut out.items {
+        for review in &mut item.reviews {
+            review.text = corrupt_text(&review.text, rate, &mut rng);
+        }
+    }
+    out
+}
+
+fn corrupt_text(text: &str, rate: f64, rng: &mut StdRng) -> String {
+    let words: Vec<String> = text
+        .split(' ')
+        .map(|w| {
+            if rng.gen::<f64>() < rate {
+                corrupt_word(w, rng)
+            } else {
+                w.to_owned()
+            }
+        })
+        .collect();
+    words.join(" ")
+}
+
+fn corrupt_word(word: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    // Only corrupt the alphabetic core; short words pass through.
+    let letters: Vec<usize> = (0..chars.len())
+        .filter(|&i| chars[i].is_alphabetic())
+        .collect();
+    if letters.len() < 4 {
+        return word.to_owned();
+    }
+    let kind = match rng.gen_range(0..4u8) {
+        0 => Typo::SwapAdjacent,
+        1 => Typo::DropChar,
+        2 => Typo::DoubleChar,
+        _ => Typo::UpperCase,
+    };
+    // Avoid the first letter: leading-character typos are rarer in
+    // practice and disproportionately break dictionary matching.
+    let pos = letters[rng.gen_range(1..letters.len())];
+    let mut out: Vec<char> = chars.clone();
+    match kind {
+        Typo::SwapAdjacent => {
+            if pos + 1 < out.len() && out[pos + 1].is_alphabetic() {
+                out.swap(pos, pos + 1);
+            }
+        }
+        Typo::DropChar => {
+            out.remove(pos);
+        }
+        Typo::DoubleChar => {
+            out.insert(pos, out[pos]);
+        }
+        Typo::UpperCase => {
+            out[pos] = out[pos].to_ascii_uppercase();
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Extraction recall of an item under the given matcher: the fraction of
+/// planted mentions that the pipeline re-extracts (by concept, ignoring
+/// sentiment). Convenience for robustness sweeps.
+pub fn extraction_recall(
+    corpus: &Corpus,
+    hierarchy: &Hierarchy,
+    matcher: &osa_text::ConceptMatcher,
+) -> f64 {
+    let _ = hierarchy;
+    let lexicon = osa_text::SentimentLexicon::default();
+    let mut planted = 0usize;
+    let mut recovered = 0usize;
+    for item in &corpus.items {
+        let ex = crate::extract_item(item, matcher, &lexicon);
+        // Count per-concept multiset intersection between planted and
+        // extracted mentions.
+        let count = |pairs: &mut dyn Iterator<Item = osa_ontology::NodeId>| {
+            let mut m = std::collections::HashMap::new();
+            for c in pairs {
+                *m.entry(c).or_insert(0usize) += 1;
+            }
+            m
+        };
+        let want = count(&mut item.reviews.iter().flat_map(|r| {
+            r.planted.iter().map(|p| p.concept)
+        }));
+        let got = count(&mut ex.pairs.iter().map(|p| p.concept));
+        planted += want.values().sum::<usize>();
+        recovered += want
+            .iter()
+            .map(|(c, &w)| w.min(got.get(c).copied().unwrap_or(0)))
+            .sum::<usize>();
+    }
+    if planted == 0 {
+        1.0
+    } else {
+        recovered as f64 / planted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CorpusConfig;
+    use osa_text::ConceptMatcher;
+
+    fn base() -> Corpus {
+        Corpus::phones(
+            &CorpusConfig {
+                items: 3,
+                min_reviews: 6,
+                max_reviews: 12,
+                mean_reviews: 8.0,
+                mean_sentences: 4.0,
+                aspect_sentence_prob: 0.85,
+            },
+            77,
+        )
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let c = base();
+        let noisy = add_typos(&c, 0.0, 5);
+        for (a, b) in c.items.iter().zip(&noisy.items) {
+            for (ra, rb) in a.reviews.iter().zip(&b.reviews) {
+                assert_eq!(ra.text, rb.text);
+            }
+        }
+    }
+
+    #[test]
+    fn typos_change_text_but_keep_ground_truth() {
+        let c = base();
+        let noisy = add_typos(&c, 0.5, 5);
+        let mut changed = 0;
+        let mut total = 0;
+        for (a, b) in c.items.iter().zip(&noisy.items) {
+            for (ra, rb) in a.reviews.iter().zip(&b.reviews) {
+                total += 1;
+                if ra.text != rb.text {
+                    changed += 1;
+                }
+                assert_eq!(ra.planted.len(), rb.planted.len());
+            }
+        }
+        assert!(changed * 2 > total, "{changed}/{total} reviews corrupted");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let c = base();
+        let a = add_typos(&c, 0.3, 9);
+        let b = add_typos(&c, 0.3, 9);
+        assert_eq!(a.items[0].reviews[0].text, b.items[0].reviews[0].text);
+    }
+
+    #[test]
+    fn recall_degrades_gracefully_with_noise() {
+        let c = base();
+        let matcher = ConceptMatcher::from_hierarchy(&c.hierarchy);
+        let clean = extraction_recall(&c, &c.hierarchy, &matcher);
+        assert!(clean > 0.85, "clean recall {clean}");
+        let light = extraction_recall(&add_typos(&c, 0.1, 3), &c.hierarchy, &matcher);
+        let heavy = extraction_recall(&add_typos(&c, 0.6, 3), &c.hierarchy, &matcher);
+        assert!(light <= clean + 1e-9);
+        assert!(heavy < clean, "heavy noise must hurt: {heavy} vs {clean}");
+        // Graceful: even heavy word-level noise leaves a usable fraction
+        // (multi-token terms survive single-word typos; stemming absorbs
+        // doubled chars).
+        assert!(heavy > 0.2, "heavy recall {heavy}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Table 1: dataset characteristics.
+
+use crate::Corpus;
+
+/// The five rows of the paper's Table 1 for one corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Stats {
+    /// Number of items.
+    pub items: usize,
+    /// Total number of reviews.
+    pub reviews: usize,
+    /// Minimum reviews per item.
+    pub min_reviews_per_item: usize,
+    /// Maximum reviews per item.
+    pub max_reviews_per_item: usize,
+    /// Mean sentences per review.
+    pub avg_sentences_per_review: f64,
+}
+
+/// Compute the Table 1 statistics of a corpus (sentence counts via the
+/// real sentence splitter, exactly as the extraction pipeline sees them).
+pub fn table1_stats(corpus: &Corpus) -> Table1Stats {
+    let mut reviews = 0usize;
+    let mut sentences = 0usize;
+    let mut min_r = usize::MAX;
+    let mut max_r = 0usize;
+    for item in &corpus.items {
+        let r = item.reviews.len();
+        min_r = min_r.min(r);
+        max_r = max_r.max(r);
+        reviews += r;
+        for review in &item.reviews {
+            sentences += osa_text::split_sentences(&review.text).len();
+        }
+    }
+    Table1Stats {
+        items: corpus.items.len(),
+        reviews,
+        min_reviews_per_item: if corpus.items.is_empty() { 0 } else { min_r },
+        max_reviews_per_item: max_r,
+        avg_sentences_per_review: if reviews == 0 {
+            0.0
+        } else {
+            sentences as f64 / reviews as f64
+        },
+    }
+}
+
+impl std::fmt::Display for Table1Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "#Items:                      {}", self.items)?;
+        writeln!(f, "#Reviews:                    {}", self.reviews)?;
+        writeln!(f, "Min #reviews per item:       {}", self.min_reviews_per_item)?;
+        writeln!(f, "Max #reviews per item:       {}", self.max_reviews_per_item)?;
+        write!(
+            f,
+            "Average #sentences per review: {:.2}",
+            self.avg_sentences_per_review
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Corpus, CorpusConfig};
+
+    #[test]
+    fn stats_reflect_generated_corpus() {
+        let cfg = CorpusConfig {
+            items: 6,
+            min_reviews: 2,
+            max_reviews: 9,
+            mean_reviews: 4.0,
+            mean_sentences: 3.0,
+            aspect_sentence_prob: 0.7,
+        };
+        let c = Corpus::doctors(&cfg, 9);
+        let s = table1_stats(&c);
+        assert_eq!(s.items, 6);
+        assert_eq!(s.reviews, c.total_reviews());
+        assert!(s.min_reviews_per_item >= 2);
+        assert!(s.max_reviews_per_item <= 9);
+        assert!(s.avg_sentences_per_review >= 1.0);
+        let text = s.to_string();
+        assert!(text.contains("#Reviews"));
+    }
+}

@@ -1,0 +1,223 @@
+//! SNOMED-scale synthetic ontologies and direct pair sampling.
+//!
+//! The quantitative experiments (Figs. 4–5) operate on *extracted pairs*
+//! per doctor; generating the text for a 300k-concept ontology would add
+//! nothing but time. These helpers synthesize (a) a large random rooted
+//! DAG with SNOMED-like shape, and (b) per-item pair sets over it with
+//! clustered concepts and sentiments — the instance distribution the
+//! algorithms actually consume.
+
+use osa_core::Pair;
+use osa_ontology::{Hierarchy, HierarchyBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a synthetic ontology.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticOntologyConfig {
+    /// Total node count (including the root).
+    pub nodes: usize,
+    /// Depth levels below the root.
+    pub levels: usize,
+    /// Probability that a node gets one extra parent in the level above
+    /// (the DAG-ness of SNOMED's multiple inheritance).
+    pub multi_parent_prob: f64,
+}
+
+impl Default for SyntheticOntologyConfig {
+    fn default() -> Self {
+        SyntheticOntologyConfig {
+            nodes: 3000,
+            levels: 7,
+            multi_parent_prob: 0.15,
+        }
+    }
+}
+
+/// Generate a random rooted DAG: nodes are spread across levels
+/// (geometrically growing), each node gets a random parent in the level
+/// above and, with [`multi_parent_prob`](SyntheticOntologyConfig),
+/// a second one.
+pub fn synthetic_ontology(cfg: &SyntheticOntologyConfig, seed: u64) -> Hierarchy {
+    assert!(cfg.nodes >= 2 && cfg.levels >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = HierarchyBuilder::new();
+    let root = b.add_node("concept-root");
+
+    // Level sizes grow geometrically (×2 per level), scaled to the total.
+    let mut raw: Vec<f64> = (0..cfg.levels).map(|l| 2f64.powi(l as i32)).collect();
+    let raw_total: f64 = raw.iter().sum();
+    for r in &mut raw {
+        *r *= (cfg.nodes - 1) as f64 / raw_total;
+    }
+    let mut levels: Vec<Vec<NodeId>> = vec![vec![root]];
+    let mut created = 1usize;
+    for (l, r) in raw.iter().enumerate() {
+        let mut want = r.round().max(1.0) as usize;
+        if l == cfg.levels - 1 {
+            want = cfg.nodes.saturating_sub(created).max(1);
+        }
+        let mut level = Vec::with_capacity(want);
+        for i in 0..want {
+            let n = b.add_node(&format!("concept-{}-{}", l + 1, i));
+            let above = &levels[l];
+            let p1 = above[rng.gen_range(0..above.len())];
+            b.add_edge(p1, n).expect("fresh edge");
+            if above.len() > 1 && rng.gen::<f64>() < cfg.multi_parent_prob {
+                let p2 = above[rng.gen_range(0..above.len())];
+                if p2 != p1 {
+                    b.add_edge(p2, n).expect("fresh edge");
+                }
+            }
+            level.push(n);
+            created += 1;
+        }
+        levels.push(level);
+    }
+    b.build().expect("synthetic DAG is valid")
+}
+
+/// Sample `n` concept-sentiment pairs for one item: concepts drawn from
+/// `clusters` random focus subtrees (reviews of one doctor concentrate on
+/// few topics), sentiments around a per-cluster mean.
+pub fn sample_pairs(h: &Hierarchy, n: usize, clusters: usize, rng: &mut StdRng) -> Vec<Pair> {
+    let nodes: Vec<NodeId> = h.nodes().filter(|&x| x != h.root()).collect();
+    assert!(!nodes.is_empty());
+    // Anchors sit at depth ≥ 2 when possible: clusters over mid-level
+    // subtrees, so no single pair trivially covers the whole item.
+    let deep: Vec<NodeId> = nodes.iter().copied().filter(|&x| h.depth(x) >= 2).collect();
+    let anchor_pool = if deep.is_empty() { &nodes } else { &deep };
+    let mut pools: Vec<(Vec<NodeId>, f64)> = Vec::with_capacity(clusters.max(1));
+    for _ in 0..clusters.max(1) {
+        let anchor = anchor_pool[rng.gen_range(0..anchor_pool.len())];
+        let pool: Vec<NodeId> = h
+            .descendants_with_dist(anchor)
+            .into_iter()
+            .map(|(x, _)| x)
+            .collect();
+        let mean = rng.gen_range(-0.8..0.8f64);
+        pools.push((pool, mean));
+    }
+    // Zipf-like concept popularity within a cluster: real reviews repeat
+    // the same few popular aspects over and over.
+    let zipf_pick = |pool: &[NodeId], rng: &mut StdRng| -> NodeId {
+        let weights: f64 = (0..pool.len()).map(|i| 1.0 / (i + 1) as f64).sum();
+        let mut t = rng.gen::<f64>() * weights;
+        for (i, &c) in pool.iter().enumerate() {
+            let w = 1.0 / (i + 1) as f64;
+            if t < w {
+                return c;
+            }
+            t -= w;
+        }
+        *pool.last().expect("non-empty pool")
+    };
+    (0..n)
+        .map(|_| {
+            // Sentiments land on the 0.25 grid, like the extraction
+            // pipeline's lexicon levels — this also makes exact duplicate
+            // pairs common, as in real review data.
+            let quantize = |s: f64| (s.clamp(-1.0, 1.0) * 4.0).round() / 4.0;
+            if rng.gen::<f64>() < 0.15 {
+                // Background noise: a uniformly random concept & sentiment
+                // (isolated opinions reviews always contain).
+                let c = nodes[rng.gen_range(0..nodes.len())];
+                return Pair::new(c, quantize(rng.gen_range(-1.0..1.0)));
+            }
+            let (pool, mean) = &pools[rng.gen_range(0..pools.len())];
+            let c = zipf_pick(pool, rng);
+            Pair::new(c, quantize(mean + rng.gen_range(-0.35..0.35)))
+        })
+        .collect()
+}
+
+/// Sample pairs plus sentence/review groupings for the k-Sentences and
+/// k-Reviews variants: sentences hold 1–3 pairs, reviews hold
+/// `sentences_per_review` sentences.
+///
+/// Returns `(pairs, sentence_groups, review_groups)` where the groups are
+/// pair-index sets.
+pub fn sample_grouped_pairs(
+    h: &Hierarchy,
+    n_pairs: usize,
+    clusters: usize,
+    sentences_per_review: usize,
+    rng: &mut StdRng,
+) -> (Vec<Pair>, Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let pairs = sample_pairs(h, n_pairs, clusters, rng);
+    let mut sentence_groups: Vec<Vec<usize>> = Vec::new();
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let take = rng.gen_range(1..=3usize).min(pairs.len() - i);
+        sentence_groups.push((i..i + take).collect());
+        i += take;
+    }
+    let spr = sentences_per_review.max(1);
+    let review_groups: Vec<Vec<usize>> = sentence_groups
+        .chunks(spr)
+        .map(|chunk| chunk.iter().flatten().copied().collect())
+        .collect();
+    (pairs, sentence_groups, review_groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osa_ontology::HierarchyStats;
+
+    #[test]
+    fn synthetic_ontology_matches_config() {
+        let cfg = SyntheticOntologyConfig {
+            nodes: 500,
+            levels: 6,
+            multi_parent_prob: 0.2,
+        };
+        let h = synthetic_ontology(&cfg, 1);
+        assert_eq!(h.node_count(), 500);
+        assert_eq!(h.max_depth() as usize, 6);
+        let stats = HierarchyStats::compute(&h);
+        assert!(stats.multi_parent_nodes > 10, "{stats:?}");
+        // Small mean ancestor count — the paper's precondition for the
+        // near-linear initialization.
+        assert!(stats.mean_ancestors < 20.0, "{stats:?}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = SyntheticOntologyConfig::default();
+        let a = synthetic_ontology(&cfg, 9);
+        let b = synthetic_ontology(&cfg, 9);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn sampled_pairs_are_valid() {
+        let h = synthetic_ontology(&SyntheticOntologyConfig::default(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pairs = sample_pairs(&h, 200, 4, &mut rng);
+        assert_eq!(pairs.len(), 200);
+        for p in &pairs {
+            assert_ne!(p.concept, h.root());
+            assert!((-1.0..=1.0).contains(&p.sentiment));
+        }
+    }
+
+    #[test]
+    fn grouped_pairs_partition() {
+        let h = synthetic_ontology(&SyntheticOntologyConfig::default(), 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (pairs, sents, reviews) = sample_grouped_pairs(&h, 100, 3, 4, &mut rng);
+        let mut seen = vec![false; pairs.len()];
+        for g in &sents {
+            assert!(!g.is_empty() && g.len() <= 3);
+            for &pi in g {
+                assert!(!seen[pi]);
+                seen[pi] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+        let total: usize = reviews.iter().map(Vec::len).sum();
+        assert_eq!(total, pairs.len());
+    }
+}

@@ -1,0 +1,104 @@
+//! Coverage-rate measures over a summary selection.
+//!
+//! The ICDE 2017 poster version of the paper evaluates the greedy
+//! summarizer with *coverage measures* (how much of the opinion set a
+//! summary covers, and how tightly); these helpers compute them from a
+//! [`CoverageGraph`] selection.
+
+use osa_core::CoverageGraph;
+
+/// Fraction of pairs served at distance ≤ `max_dist` by the selection
+/// (the root's implicit coverage counts too — a pair within `max_dist`
+/// of the root is "covered" even by the empty summary).
+pub fn covered_within(graph: &CoverageGraph, selected: &[usize], max_dist: u32) -> f64 {
+    if graph.num_pairs() == 0 {
+        return 1.0;
+    }
+    let dists = graph.serving_distances(selected);
+    let covered = dists.iter().filter(|&&d| d <= max_dist).count();
+    covered as f64 / graph.num_pairs() as f64
+}
+
+/// Fraction of pairs served by a *selected candidate* (not the root) at
+/// any finite distance — the strict "is this opinion represented in the
+/// summary at all" reading.
+pub fn covered_by_summary(graph: &CoverageGraph, selected: &[usize]) -> f64 {
+    if graph.num_pairs() == 0 {
+        return 1.0;
+    }
+    let mut covered = vec![false; graph.num_pairs()];
+    for &u in selected {
+        for &(q, _) in graph.covered_by(u) {
+            covered[q as usize] = true;
+        }
+    }
+    covered.iter().filter(|&&c| c).count() as f64 / graph.num_pairs() as f64
+}
+
+/// Mean serving distance of the selection (cost divided by the number of
+/// pairs — the per-opinion average the cost plots normalize away).
+pub fn mean_serving_distance(graph: &CoverageGraph, selected: &[usize]) -> f64 {
+    if graph.num_pairs() == 0 {
+        return 0.0;
+    }
+    graph.cost_of(selected) as f64
+        / (0..graph.num_pairs())
+            .map(|q| graph.pair_weight(q) as f64)
+            .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osa_core::{CoverageGraph, Pair};
+    use osa_ontology::HierarchyBuilder;
+
+    fn setup() -> (osa_ontology::Hierarchy, Vec<Pair>) {
+        let mut bl = HierarchyBuilder::new();
+        bl.add_edge_by_name("r", "a").unwrap();
+        bl.add_edge_by_name("a", "b").unwrap();
+        bl.add_edge_by_name("r", "c").unwrap();
+        let h = bl.build().unwrap();
+        let p = |n: &str, s: f64| Pair::new(h.node_by_name(n).unwrap(), s);
+        let pairs = vec![p("a", 0.1), p("b", 0.2), p("c", -0.5)];
+        (h, pairs)
+    }
+
+    #[test]
+    fn covered_within_counts_root_coverage() {
+        let (h, pairs) = setup();
+        let g = CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        // Empty summary: a (depth 1) and c (depth 1) within 1; b (depth 2) not.
+        assert!((covered_within(&g, &[], 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(covered_within(&g, &[], 2), 1.0);
+        // Selecting the `a` pair brings b within distance 1.
+        assert_eq!(covered_within(&g, &[0], 1), 1.0);
+    }
+
+    #[test]
+    fn covered_by_summary_ignores_root() {
+        let (h, pairs) = setup();
+        let g = CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        assert_eq!(covered_by_summary(&g, &[]), 0.0);
+        // Pair 0 (on a) covers itself and pair 1 (on b): 2/3.
+        assert!((covered_by_summary(&g, &[0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(covered_by_summary(&g, &[0, 2]), 1.0);
+    }
+
+    #[test]
+    fn mean_serving_distance_is_cost_per_pair() {
+        let (h, pairs) = setup();
+        let g = CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let expect = g.cost_of(&[0]) as f64 / 3.0;
+        assert!((mean_serving_distance(&g, &[0]) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_graphs_weight_the_mean() {
+        let (h, pairs) = setup();
+        let weights = vec![3, 1, 1];
+        let g = CoverageGraph::for_weighted_pairs(&h, &pairs, &weights, 0.5);
+        // Empty summary: cost = 3·1 + 1·2 + 1·1 = 6 over weight 5.
+        assert!((mean_serving_distance(&g, &[]) - 6.0 / 5.0).abs() < 1e-12);
+    }
+}

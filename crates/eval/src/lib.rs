@@ -1,0 +1,43 @@
+//! # osa-eval
+//!
+//! Evaluation metrics and measurement helpers for the summarization
+//! experiments:
+//!
+//! * [`sent_err`] / [`sent_err_penalized`] — the paper's Section 5.3
+//!   sentiment-error measures (Eq. 1 and its penalized variant),
+//! * [`covered_fraction`] and [`elbow`] — the ε-selection machinery
+//!   ("the sentiment threshold's elbow is at 0.5"),
+//! * [`covered_within`] / [`covered_by_summary`] /
+//!   [`mean_serving_distance`] — the coverage measures of the ICDE 2017
+//!   poster version,
+//! * [`Stopwatch`] and [`SummaryStats`] — timing for the Fig. 4
+//!   experiments.
+
+//! ## Example
+//!
+//! ```
+//! use osa_core::Pair;
+//! use osa_eval::sent_err;
+//! use osa_ontology::HierarchyBuilder;
+//!
+//! let mut b = HierarchyBuilder::new();
+//! b.add_edge_by_name("r", "screen").unwrap();
+//! let h = b.build().unwrap();
+//! let screen = h.node_by_name("screen").unwrap();
+//!
+//! let original = vec![Pair::new(screen, 0.8)];
+//! let summary = vec![Pair::new(screen, 0.6)];
+//! assert!((sent_err(&h, &original, &summary) - 0.2).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod coverage;
+mod metrics;
+mod threshold;
+mod timing;
+
+pub use coverage::{covered_by_summary, covered_within, mean_serving_distance};
+pub use metrics::{sent_err, sent_err_penalized};
+pub use threshold::{covered_fraction, elbow};
+pub use timing::{Stopwatch, SummaryStats};

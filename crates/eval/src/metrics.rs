@@ -1,0 +1,205 @@
+//! The sentiment-error measures of Section 5.3.
+
+use osa_core::Pair;
+use osa_ontology::Hierarchy;
+
+/// Per-pair error of Eq. 1 against a summary pair set `F`:
+///
+/// 1. `c_p ∈ F` → smallest `|s_f − s_p|` over pairs on the same concept;
+/// 2. else, if an ancestor of `c_p` is in `F` → smallest `|s_f − s_p|`
+///    over pairs on the *lowest* (closest) such ancestor;
+/// 3. else → the `missing` penalty.
+fn err_pair(h: &Hierarchy, f: &[Pair], p: &Pair, missing: impl Fn(&Pair) -> f64) -> f64 {
+    // Branch 1: exact concept.
+    let same: Option<f64> = f
+        .iter()
+        .filter(|q| q.concept == p.concept)
+        .map(|q| (q.sentiment - p.sentiment).abs())
+        .min_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+    if let Some(e) = same {
+        return e;
+    }
+    // Branch 2: lowest ancestor(s) present in F. In a multi-parent DAG
+    // several ancestors can tie at the minimal distance; the error is the
+    // min over all pairs on any of them (deterministic, and faithful to
+    // Eq. 1's "lowest ancestor" intent).
+    let mut ancestors = h.ancestors_with_dist(p.concept);
+    ancestors.sort_by_key(|&(_, d)| d);
+    let mut i = 0;
+    while i < ancestors.len() {
+        let d = ancestors[i].1;
+        let tier_end = ancestors[i..]
+            .iter()
+            .position(|&(_, dd)| dd != d)
+            .map_or(ancestors.len(), |off| i + off);
+        if d > 0 {
+            let best: Option<f64> = f
+                .iter()
+                .filter(|q| {
+                    ancestors[i..tier_end].iter().any(|&(anc, _)| q.concept == anc)
+                })
+                .map(|q| (q.sentiment - p.sentiment).abs())
+                .min_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+            if let Some(e) = best {
+                return e;
+            }
+        }
+        i = tier_end;
+    }
+    // Branch 3: concept entirely missing from the summary.
+    missing(p)
+}
+
+/// Root-mean-square sentiment error of summary `f` w.r.t. the original
+/// pairs `p` ("sent-err"). Missing concepts are treated as if the summary
+/// claimed neutral sentiment: error `|s_p|`.
+///
+/// Returns 0 for an empty `p`.
+pub fn sent_err(h: &Hierarchy, p: &[Pair], f: &[Pair]) -> f64 {
+    rms(h, p, f, |pair| pair.sentiment.abs())
+}
+
+/// The penalized variant: a missing concept incurs the *largest possible*
+/// error `max(|1 − s_p|, |−1 − s_p|)` (the extremes of the sentiment
+/// scale).
+pub fn sent_err_penalized(h: &Hierarchy, p: &[Pair], f: &[Pair]) -> f64 {
+    rms(h, p, f, |pair| {
+        let s = pair.sentiment;
+        (1.0 - s).abs().max((-1.0 - s).abs())
+    })
+}
+
+fn rms(h: &Hierarchy, p: &[Pair], f: &[Pair], missing: impl Fn(&Pair) -> f64 + Copy) -> f64 {
+    if p.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = p
+        .iter()
+        .map(|pair| {
+            let e = err_pair(h, f, pair, missing);
+            e * e
+        })
+        .sum();
+    (sum_sq / p.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osa_ontology::HierarchyBuilder;
+
+    fn setup() -> (Hierarchy, Vec<osa_ontology::NodeId>) {
+        // r -> a -> b ; r -> c
+        let mut bl = HierarchyBuilder::new();
+        let r = bl.add_node("r");
+        let a = bl.add_node("a");
+        let b = bl.add_node("b");
+        let c = bl.add_node("c");
+        bl.add_edge(r, a).unwrap();
+        bl.add_edge(a, b).unwrap();
+        bl.add_edge(r, c).unwrap();
+        (bl.build().unwrap(), vec![r, a, b, c])
+    }
+
+    #[test]
+    fn perfect_summary_has_zero_error() {
+        let (h, ids) = setup();
+        let p = vec![Pair::new(ids[1], 0.5), Pair::new(ids[3], -0.5)];
+        assert_eq!(sent_err(&h, &p, &p), 0.0);
+        assert_eq!(sent_err_penalized(&h, &p, &p), 0.0);
+    }
+
+    #[test]
+    fn same_concept_takes_min_difference() {
+        let (h, ids) = setup();
+        let p = vec![Pair::new(ids[1], 0.5)];
+        let f = vec![Pair::new(ids[1], 0.9), Pair::new(ids[1], 0.6)];
+        assert!((sent_err(&h, &p, &f) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowest_ancestor_is_used() {
+        let (h, ids) = setup();
+        // p on b; summary has a (parent, 0.3) and a pair on... also root
+        // isn't in F. Lowest ancestor in F is a.
+        let p = vec![Pair::new(ids[2], 0.5)];
+        let f = vec![Pair::new(ids[1], 0.3)];
+        assert!((sent_err(&h, &p, &f) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_ancestors_take_the_minimum_across_the_tie() {
+        // Diamond: r -> {a1, a2} -> c. Both parents of c are at distance
+        // 1; the error must be the min over pairs on either of them,
+        // regardless of BFS enumeration order.
+        let mut bl = HierarchyBuilder::new();
+        let r = bl.add_node("r");
+        let a1 = bl.add_node("a1");
+        let a2 = bl.add_node("a2");
+        let c = bl.add_node("c");
+        bl.add_edge(r, a1).unwrap();
+        bl.add_edge(r, a2).unwrap();
+        bl.add_edge(a1, c).unwrap();
+        bl.add_edge(a2, c).unwrap();
+        let h = bl.build().unwrap();
+        let p = vec![Pair::new(c, 0.1)];
+        let f = vec![Pair::new(a1, 0.9), Pair::new(a2, 0.1)];
+        assert!(sent_err(&h, &p, &f).abs() < 1e-12, "min across the tie is 0");
+        let f_rev = vec![Pair::new(a2, 0.9), Pair::new(a1, 0.1)];
+        assert!(sent_err(&h, &p, &f_rev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_concept_neutral_vs_penalized() {
+        let (h, ids) = setup();
+        let p = vec![Pair::new(ids[3], 0.8)];
+        let f = vec![Pair::new(ids[1], 0.8)]; // a is not an ancestor of c
+        assert!((sent_err(&h, &p, &f) - 0.8).abs() < 1e-12);
+        // Penalized: max(|1-0.8|, |-1-0.8|) = 1.8.
+        assert!((sent_err_penalized(&h, &p, &f) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalized_dominates_plain() {
+        let (h, ids) = setup();
+        let p = vec![
+            Pair::new(ids[1], 0.4),
+            Pair::new(ids[2], -0.6),
+            Pair::new(ids[3], 0.9),
+        ];
+        let f = vec![Pair::new(ids[1], 0.1)];
+        assert!(sent_err_penalized(&h, &p, &f) >= sent_err(&h, &p, &f));
+    }
+
+    #[test]
+    fn rms_aggregation() {
+        let (h, ids) = setup();
+        // Two pairs, errors 0.3 and 0.4 → rms = sqrt((0.09+0.16)/2) = 0.3536.
+        let p = vec![Pair::new(ids[1], 0.5), Pair::new(ids[3], 0.4)];
+        let f = vec![Pair::new(ids[1], 0.2), Pair::new(ids[3], 0.0)];
+        let expect = ((0.09f64 + 0.16) / 2.0).sqrt();
+        assert!((sent_err(&h, &p, &f) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (h, ids) = setup();
+        assert_eq!(sent_err(&h, &[], &[]), 0.0);
+        // Empty summary: every pair falls to the missing branch.
+        let p = vec![Pair::new(ids[1], 0.6)];
+        assert!((sent_err(&h, &p, &[]) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_summaries_score_lower() {
+        let (h, ids) = setup();
+        let p = vec![
+            Pair::new(ids[1], 0.5),
+            Pair::new(ids[2], 0.4),
+            Pair::new(ids[3], -0.7),
+        ];
+        let good = vec![Pair::new(ids[1], 0.5), Pair::new(ids[3], -0.7)];
+        let bad = vec![Pair::new(ids[1], -0.9)];
+        assert!(sent_err(&h, &p, &good) < sent_err(&h, &p, &bad));
+    }
+}

@@ -1,0 +1,102 @@
+//! Timing helpers for the quantitative experiments (Fig. 4).
+
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed microseconds (the unit the harness reports).
+    pub fn micros(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Time a closure, returning `(result, micros)`.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+        let sw = Stopwatch::start();
+        let out = f();
+        (out, sw.micros())
+    }
+}
+
+/// Mean / min / max / count over a sample of measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl SummaryStats {
+    /// Compute stats over `samples`; `None` when empty.
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &s in samples {
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+        }
+        Some(SummaryStats {
+            mean: sum / samples.len() as f64,
+            min,
+            max,
+            count: samples.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_something() {
+        let ((), us) = Stopwatch::time(|| std::thread::sleep(Duration::from_millis(2)));
+        assert!(us >= 1_000.0, "got {us}µs");
+    }
+
+    #[test]
+    fn stats_of_samples() {
+        let s = SummaryStats::of(&[1.0, 2.0, 3.0, 6.0]).unwrap();
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn stats_of_empty_is_none() {
+        assert!(SummaryStats::of(&[]).is_none());
+    }
+}

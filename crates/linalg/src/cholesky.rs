@@ -1,0 +1,151 @@
+//! Cholesky factorization and SPD solves.
+//!
+//! Used by the ridge regression in `osa-text`: the normal-equations matrix
+//! `XᵀX + λI` is symmetric positive definite for any `λ > 0`, so Cholesky
+//! is the right (and fastest) factorization.
+
+use crate::Mat;
+
+/// Failure of the Cholesky factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A non-positive pivot was encountered: the matrix is not positive
+    /// definite (within numerical tolerance).
+    NotPositiveDefinite {
+        /// Index of the offending pivot.
+        pivot: usize,
+    },
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotSquare => write!(f, "cholesky: matrix is not square"),
+            Self::NotPositiveDefinite { pivot } => {
+                write!(f, "cholesky: non-positive pivot at index {pivot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Compute the lower-triangular factor `L` with `L Lᵀ = a`.
+///
+/// Only the lower triangle of `a` is read.
+pub fn cholesky_factor(a: &Mat) -> Result<Mat, CholeskyError> {
+    if a.rows() != a.cols() {
+        return Err(CholeskyError::NotSquare);
+    }
+    let n = a.rows();
+    let mut l = Mat::zeros(n, n);
+    for j in 0..n {
+        let mut diag = a[(j, j)];
+        for k in 0..j {
+            diag -= l[(j, k)] * l[(j, k)];
+        }
+        if diag <= 1e-14 {
+            return Err(CholeskyError::NotPositiveDefinite { pivot: j });
+        }
+        let dj = diag.sqrt();
+        l[(j, j)] = dj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / dj;
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `a x = b` for symmetric positive definite `a` via Cholesky.
+pub fn cholesky_solve(a: &Mat, b: &[f64]) -> Result<Vec<f64>, CholeskyError> {
+    let l = cholesky_factor(a)?;
+    let n = l.rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * y[k];
+        }
+        y[i] = s / l[(i, i)];
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_known_matrix() {
+        // Classic SPD example.
+        let a = Mat::from_rows(&[
+            vec![4.0, 12.0, -16.0],
+            vec![12.0, 37.0, -43.0],
+            vec![-16.0, -43.0, 98.0],
+        ]);
+        let l = cholesky_factor(&a).unwrap();
+        let expect = Mat::from_rows(&[
+            vec![2.0, 0.0, 0.0],
+            vec![6.0, 1.0, 0.0],
+            vec![-8.0, 5.0, 3.0],
+        ]);
+        assert!(l.max_abs_diff(&expect) < 1e-10);
+        // Reconstruction L Lᵀ = A.
+        assert!(l.matmul(&l.transpose()).max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = Mat::from_rows(&[vec![25.0, 15.0, -5.0], vec![15.0, 18.0, 0.0], vec![-5.0, 0.0, 11.0]]);
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = cholesky_solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // indefinite
+        assert!(matches!(
+            cholesky_factor(&a),
+            Err(CholeskyError::NotPositiveDefinite { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert_eq!(
+            cholesky_factor(&Mat::zeros(2, 3)).unwrap_err(),
+            CholeskyError::NotSquare
+        );
+    }
+
+    #[test]
+    fn ridge_normal_equations_are_spd() {
+        // XᵀX is singular here (rank 1), but + λI makes it SPD.
+        let x = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let xtx = x.transpose().matmul(&x);
+        assert!(cholesky_factor(&xtx).is_err());
+        let reg = xtx.add(&Mat::identity(2).scale(0.1));
+        assert!(cholesky_factor(&reg).is_ok());
+    }
+}

@@ -1,0 +1,80 @@
+//! # osa-linalg
+//!
+//! The small linear-algebra substrate OSARS needs, built from scratch:
+//!
+//! * [`Mat`] — dense row-major matrices with the usual arithmetic,
+//! * [`cholesky_solve`] — SPD factorization + solve (ridge-regression
+//!   normal equations in `osa-text`),
+//! * [`svd`] — one-sided Jacobi singular value decomposition (the LSA
+//!   baseline's term×sentence analysis in `osa-baselines`),
+//! * [`pagerank`] — damped power iteration over a weighted graph
+//!   (TextRank / LexRank baselines),
+//! * [`Csr`] — compressed sparse row matrices for term-sentence counts.
+//!
+//! Everything is deterministic and pure-Rust; no BLAS/LAPACK.
+
+//! ## Example
+//!
+//! ```
+//! use osa_linalg::{svd, Mat};
+//!
+//! let a = Mat::from_rows(&[vec![3.0, 0.0], vec![0.0, 2.0]]);
+//! let dec = svd(&a);
+//! assert!((dec.sigma[0] - 3.0).abs() < 1e-9);
+//! assert!((dec.sigma[1] - 2.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cholesky;
+mod dense;
+mod pagerank;
+mod sparse;
+mod svd;
+
+pub use cholesky::{cholesky_factor, cholesky_solve, CholeskyError};
+pub use dense::Mat;
+pub use pagerank::{pagerank, PageRankOptions};
+pub use sparse::Csr;
+pub use svd::{svd, Svd};
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity; returns 0 when either vector is (numerically) zero.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na < 1e-12 || nb < 1e-12 {
+        0.0
+    } else {
+        dot(a, b) / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert!((cosine(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,169 @@
+//! Compressed sparse row matrices.
+//!
+//! Term×sentence count matrices are extremely sparse; the LSA and LexRank
+//! baselines build them in triplet form and convert to CSR for row
+//! iteration and densification.
+
+use crate::Mat;
+
+/// A compressed-sparse-row matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from (row, col, value) triplets. Duplicate coordinates are
+    /// summed; explicit zeros are dropped.
+    pub fn from_triplets(rows: usize, cols: usize, mut t: Vec<(usize, usize, f64)>) -> Csr {
+        t.retain(|&(r, c, v)| {
+            assert!(r < rows && c < cols, "triplet out of bounds");
+            v != 0.0
+        });
+        t.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(t.len());
+        for (r, c, v) in t {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = merged.iter().map(|&(_, c, _)| c as u32).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate the non-zeros of row `r` as `(col, value)`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Read a single entry (O(row nnz)).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.row(r)
+            .find(|&(cc, _)| cc == c)
+            .map_or(0.0, |(_, v)| v)
+    }
+
+    /// Sparse matrix × dense vector.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        (0..self.rows)
+            .map(|r| self.row(r).map(|(c, x)| x * v[c]).sum())
+            .collect()
+    }
+
+    /// Densify into a [`Mat`].
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+
+    /// L2 norm of a column (O(nnz) scan).
+    pub fn col_norm(&self, c: usize) -> f64 {
+        let mut s = 0.0;
+        for r in 0..self.rows {
+            let v = self.get(r, c);
+            s += v * v;
+        }
+        s.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_roundtrip_dense() {
+        let t = vec![(0, 1, 2.0), (1, 0, -1.0), (2, 2, 3.5)];
+        let m = Csr::from_triplets(3, 3, t);
+        assert_eq!(m.nnz(), 3);
+        let d = m.to_dense();
+        assert_eq!(d[(0, 1)], 2.0);
+        assert_eq!(d[(1, 0)], -1.0);
+        assert_eq!(d[(2, 2)], 3.5);
+        assert_eq!(d[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn duplicates_sum_zeros_drop() {
+        let t = vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 0.0)];
+        let m = Csr::from_triplets(2, 2, t);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let t = vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, -3.0)];
+        let m = Csr::from_triplets(2, 3, t);
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(m.matvec(&v), m.to_dense().matvec(&v));
+    }
+
+    #[test]
+    fn row_iteration_in_column_order() {
+        let t = vec![(0, 2, 1.0), (0, 0, 2.0)];
+        let m = Csr::from_triplets(1, 3, t);
+        let row: Vec<_> = m.row(0).collect();
+        assert_eq!(row, vec![(0, 2.0), (2, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_triplet_panics() {
+        let _ = Csr::from_triplets(1, 1, vec![(0, 5, 1.0)]);
+    }
+
+    #[test]
+    fn col_norm_matches_manual() {
+        let t = vec![(0, 0, 3.0), (1, 0, 4.0)];
+        let m = Csr::from_triplets(2, 1, t);
+        assert!((m.col_norm(0) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,195 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The LSA baseline (Steinberger & Ježek 2004) needs the SVD of the
+//! term×sentence matrix. One-sided Jacobi is simple, numerically robust
+//! and plenty fast for the matrix sizes that arise per item (hundreds of
+//! terms × hundreds of sentences).
+
+use crate::Mat;
+
+/// The decomposition `a = U Σ Vᵀ` with singular values sorted descending.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `rows × k` (columns orthonormal).
+    pub u: Mat,
+    /// Singular values, descending, length `k = min(rows, cols)`.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `cols × k` (columns orthonormal).
+    pub v: Mat,
+}
+
+/// Compute the thin SVD of `a` with one-sided Jacobi rotations on the
+/// columns of a working copy (Hestenes' method).
+///
+/// Tall-or-square input is handled directly; wide input is transposed
+/// first (swapping the roles of `u` and `v`).
+pub fn svd(a: &Mat) -> Svd {
+    if a.rows() >= a.cols() {
+        svd_tall(a)
+    } else {
+        let s = svd_tall(&a.transpose());
+        Svd {
+            u: s.v,
+            sigma: s.sigma,
+            v: s.u,
+        }
+    }
+}
+
+fn svd_tall(a: &Mat) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    let mut w = a.clone(); // working copy whose columns converge to U Σ
+    let mut v = Mat::identity(n);
+    let eps = 1e-12;
+    let max_sweeps = 60;
+
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Compute the 2x2 Gram entries for columns p, q.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    app += wp * wp;
+                    aqq += wq * wq;
+                    apq += wp * wq;
+                }
+                off = off.max(apq.abs() / (app * aqq).sqrt().max(1e-300));
+                if apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                // Jacobi rotation zeroing the (p,q) Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    w[(i, p)] = c * wp - s * wq;
+                    w[(i, q)] = s * wp + c * wq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if off < eps {
+            break;
+        }
+    }
+
+    // Column norms of w are the singular values.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sig: Vec<f64> = (0..n)
+        .map(|j| (0..m).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&x, &y| sig[y].partial_cmp(&sig[x]).expect("finite singular values"));
+
+    let mut u = Mat::zeros(m, n);
+    let mut vv = Mat::zeros(n, n);
+    let mut sorted_sig = Vec::with_capacity(n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        let s = sig[old_j];
+        sorted_sig.push(s);
+        for i in 0..m {
+            u[(i, new_j)] = if s > 1e-12 { w[(i, old_j)] / s } else { 0.0 };
+        }
+        for i in 0..n {
+            vv[(i, new_j)] = v[(i, old_j)];
+        }
+    }
+    sig = sorted_sig;
+
+    Svd { u, sigma: sig, v: vv }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(s: &Svd) -> Mat {
+        let k = s.sigma.len();
+        let mut us = s.u.clone();
+        for j in 0..k {
+            for i in 0..us.rows() {
+                us[(i, j)] *= s.sigma[j];
+            }
+        }
+        us.matmul(&s.v.transpose())
+    }
+
+    #[test]
+    fn reconstructs_diagonal() {
+        let a = Mat::from_rows(&[vec![3.0, 0.0], vec![0.0, 2.0], vec![0.0, 0.0]]);
+        let s = svd(&a);
+        assert!((s.sigma[0] - 3.0).abs() < 1e-9);
+        assert!((s.sigma[1] - 2.0).abs() < 1e-9);
+        assert!(reconstruct(&s).max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn reconstructs_general_matrix() {
+        let a = Mat::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![-1.0, 0.3, 2.2],
+            vec![0.0, 4.0, -1.0],
+            vec![2.5, -0.7, 0.9],
+        ]);
+        let s = svd(&a);
+        assert!(reconstruct(&s).max_abs_diff(&a) < 1e-8);
+        // Sorted descending.
+        for w in s.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn wide_matrix_via_transpose() {
+        let a = Mat::from_rows(&[vec![1.0, 0.0, 2.0, -1.0], vec![0.5, 3.0, 0.0, 1.0]]);
+        let s = svd(&a);
+        assert_eq!(s.u.rows(), 2);
+        assert_eq!(s.v.rows(), 4);
+        assert!(reconstruct(&s).max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn singular_values_match_known_example() {
+        // A = [[4,0],[3,-5]] has singular values sqrt(40) and sqrt(10).
+        let a = Mat::from_rows(&[vec![4.0, 0.0], vec![3.0, -5.0]]);
+        let s = svd(&a);
+        assert!((s.sigma[0] - 40.0f64.sqrt()).abs() < 1e-9);
+        assert!((s.sigma[1] - 10.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn u_and_v_columns_orthonormal() {
+        let a = Mat::from_rows(&[
+            vec![2.0, 1.0],
+            vec![1.0, 3.0],
+            vec![0.0, 1.0],
+        ]);
+        let s = svd(&a);
+        let utu = s.u.transpose().matmul(&s.u);
+        let vtv = s.v.transpose().matmul(&s.v);
+        assert!(utu.max_abs_diff(&Mat::identity(2)) < 1e-9);
+        assert!(vtv.max_abs_diff(&Mat::identity(2)) < 1e-9);
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Rank-1 matrix: second singular value must be ~0.
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        let s = svd(&a);
+        assert!(s.sigma[1].abs() < 1e-9);
+        assert!(reconstruct(&s).max_abs_diff(&a) < 1e-9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the linear-algebra kernels.
+
+use osa_linalg::{cholesky_solve, pagerank, svd, Mat, PageRankOptions};
+use proptest::prelude::*;
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_dim, 1..=max_dim)
+        .prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-50i16..=50, r * c).prop_map(move |vals| {
+                let rows: Vec<Vec<f64>> = vals
+                    .chunks(c)
+                    .map(|ch| ch.iter().map(|&v| f64::from(v) / 10.0).collect())
+                    .collect();
+                Mat::from_rows(&rows)
+            })
+        })
+        .no_shrink()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn svd_reconstructs_and_is_orthonormal(a in arb_matrix(6)) {
+        let s = svd(&a);
+        let k = s.sigma.len();
+        // Reconstruct U Σ Vᵀ.
+        let mut us = s.u.clone();
+        for j in 0..k {
+            for i in 0..us.rows() {
+                us[(i, j)] *= s.sigma[j];
+            }
+        }
+        let recon = us.matmul(&s.v.transpose());
+        prop_assert!(recon.max_abs_diff(&a) < 1e-7, "reconstruction error");
+        // Orthonormal columns.
+        prop_assert!(s.u.transpose().matmul(&s.u).max_abs_diff(&Mat::identity(k)) < 1e-7);
+        prop_assert!(s.v.transpose().matmul(&s.v).max_abs_diff(&Mat::identity(k)) < 1e-7);
+        // Sorted, non-negative singular values.
+        for w in s.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-10);
+        }
+        prop_assert!(s.sigma.iter().all(|&x| x >= -1e-12));
+        // Largest singular value dominates the Frobenius-scaled norm.
+        let fro = a.frobenius();
+        if k > 0 {
+            prop_assert!(s.sigma[0] <= fro + 1e-7);
+            prop_assert!(s.sigma[0] * (k as f64).sqrt() >= fro - 1e-7);
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(b in arb_matrix(5), x in proptest::collection::vec(-10i8..=10, 5)) {
+        // A = BᵀB + I is SPD for any B.
+        let n = b.cols();
+        let a = b.transpose().matmul(&b).add(&Mat::identity(n));
+        let x_true: Vec<f64> = x.iter().take(n).map(|&v| f64::from(v)).collect();
+        if x_true.len() < n {
+            return Ok(());
+        }
+        let rhs = a.matvec(&x_true);
+        let solved = cholesky_solve(&a, &rhs).expect("SPD by construction");
+        for (got, want) in solved.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn pagerank_is_a_probability_vector(
+        n in 1usize..=8,
+        raw in proptest::collection::vec(0u8..=5, 64),
+    ) {
+        let mut w = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    w[i * n + j] = f64::from(raw[i * 8 + j]);
+                }
+            }
+        }
+        let r = pagerank(&w, n, PageRankOptions::default());
+        prop_assert_eq!(r.len(), n);
+        prop_assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        prop_assert!(r.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn matmul_is_associative(a in arb_matrix(4), seed in 0u8..4) {
+        // Shape-compatible chain: a (r×c), b (c×r), c (r×c).
+        let b = a.transpose().scale(f64::from(seed) / 2.0 + 0.5);
+        let c = a.scale(0.3);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-6);
+    }
+
+    #[test]
+    fn transpose_reverses_matvec(a in arb_matrix(5), v in proptest::collection::vec(-5i8..=5, 5)) {
+        // (Aᵀ y)·x == y·(A x): adjoint identity.
+        let x: Vec<f64> = v.iter().take(a.cols()).map(|&t| f64::from(t)).collect();
+        let y: Vec<f64> = (0..a.rows()).map(|i| (i as f64) - 1.0).collect();
+        if x.len() < a.cols() {
+            return Ok(());
+        }
+        let lhs = osa_linalg::dot(&a.transpose().matvec(&y), &x);
+        let rhs = osa_linalg::dot(&y, &a.matvec(&x));
+        prop_assert!((lhs - rhs).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for hierarchy construction and I/O.
+
+use std::fmt;
+
+/// Everything that can go wrong while building or loading a hierarchy.
+#[derive(Debug)]
+pub enum OntologyError {
+    /// The builder contained no nodes.
+    Empty,
+    /// Every node has a parent — there is no root.
+    NoRoot,
+    /// More than one parentless node; names are listed.
+    MultipleRoots(Vec<String>),
+    /// A directed cycle was detected.
+    Cycle,
+    /// The named node is not reachable from the root.
+    Unreachable(String),
+    /// Two nodes share the same canonical name.
+    DuplicateName(String),
+    /// The same parent→child edge was added twice.
+    DuplicateEdge {
+        /// Parent node name.
+        parent: String,
+        /// Child node name.
+        child: String,
+    },
+    /// An edge referenced a node id that was never added.
+    UnknownNode,
+    /// An edge would make a node its own parent.
+    SelfLoop(String),
+    /// JSON (de)serialization failed.
+    Serde(String),
+    /// Filesystem I/O failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "hierarchy has no nodes"),
+            Self::NoRoot => write!(f, "hierarchy has no root (every node has a parent)"),
+            Self::MultipleRoots(names) => {
+                write!(f, "hierarchy has multiple roots: {}", names.join(", "))
+            }
+            Self::Cycle => write!(f, "hierarchy contains a directed cycle"),
+            Self::Unreachable(n) => write!(f, "node '{n}' is not reachable from the root"),
+            Self::DuplicateName(n) => write!(f, "duplicate node name '{n}'"),
+            Self::DuplicateEdge { parent, child } => {
+                write!(f, "duplicate edge '{parent}' -> '{child}'")
+            }
+            Self::UnknownNode => write!(f, "edge references an unknown node id"),
+            Self::SelfLoop(n) => write!(f, "self-loop on node '{n}'"),
+            Self::Serde(e) => write!(f, "serialization error: {e}"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OntologyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for OntologyError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}

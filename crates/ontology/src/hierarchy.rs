@@ -1,0 +1,434 @@
+//! The immutable rooted-DAG hierarchy and its query operations.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a concept node inside a [`Hierarchy`].
+///
+/// Node ids are dense indices (`0..node_count`), so they can be used to
+/// index per-node side tables without hashing. They are only meaningful
+/// with respect to the hierarchy that created them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct a `NodeId` from a raw index.
+    ///
+    /// Useful when reading ids back from serialized experiment output;
+    /// passing an out-of-range index to hierarchy methods panics.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32 range"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An immutable concept hierarchy: a DAG with a single root, where edges
+/// point from general to specific concepts.
+///
+/// Construct one with [`HierarchyBuilder`](crate::HierarchyBuilder) or load
+/// one with [`io::from_json`](crate::io::from_json). All query methods are
+/// `O(reachable subgraph)` or better and never allocate more than their
+/// output.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    pub(crate) names: Vec<String>,
+    pub(crate) terms: Vec<Vec<String>>,
+    pub(crate) parents: Vec<Vec<NodeId>>,
+    pub(crate) children: Vec<Vec<NodeId>>,
+    pub(crate) root: NodeId,
+    /// Shortest directed distance from the root, per node.
+    pub(crate) depth: Vec<u32>,
+    pub(crate) by_name: HashMap<String, NodeId>,
+}
+
+impl Hierarchy {
+    /// Number of concept nodes (including the root).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The unique root concept.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Canonical name of a node.
+    #[inline]
+    pub fn name(&self, n: NodeId) -> &str {
+        &self.names[n.index()]
+    }
+
+    /// Surface terms (lexicon entries) attached to a node. Always contains
+    /// at least the canonical name unless explicitly cleared by a builder.
+    #[inline]
+    pub fn terms(&self, n: NodeId) -> &[String] {
+        &self.terms[n.index()]
+    }
+
+    /// Look a node up by its canonical name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Direct parents (more general concepts) of a node.
+    #[inline]
+    pub fn parents(&self, n: NodeId) -> &[NodeId] {
+        &self.parents[n.index()]
+    }
+
+    /// Direct children (more specific concepts) of a node.
+    #[inline]
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.children[n.index()]
+    }
+
+    /// Shortest directed distance from the root to `n`, in edges.
+    #[inline]
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.depth[n.index()]
+    }
+
+    /// Maximum node depth (the `Δ` of the paper's Theorem 4).
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Iterate over all node ids in dense order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.names.len() as u32).map(NodeId)
+    }
+
+    /// Is `a` an ancestor of `b`? Every node is an ancestor of itself
+    /// (distance 0), matching the paper's coverage semantics where a pair
+    /// covers pairs on the *same* concept.
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        self.dist_up(b, a).is_some()
+    }
+
+    /// Shortest directed path length from `a` down to `b`, or `None` if
+    /// `a` is not an ancestor of `b`. `dist_down(n, n) == Some(0)`.
+    pub fn dist_down(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        self.dist_up(b, a)
+    }
+
+    /// Shortest path length walking *up* (child-to-parent) from `from` to
+    /// `to`. Equivalent to `dist_down(to, from)`.
+    pub fn dist_up(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        // Upward BFS; the ancestor set is typically tiny, so a HashMap of
+        // visited distances beats a dense array over the whole hierarchy.
+        let mut seen: HashMap<NodeId, u32> = HashMap::new();
+        let mut queue = VecDeque::new();
+        seen.insert(from, 0);
+        queue.push_back(from);
+        while let Some(n) = queue.pop_front() {
+            let d = seen[&n];
+            for &p in self.parents(n) {
+                if p == to {
+                    return Some(d + 1);
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(p) {
+                    e.insert(d + 1);
+                    queue.push_back(p);
+                }
+            }
+        }
+        None
+    }
+
+    /// All ancestors of `n` (including `n` itself at distance 0) together
+    /// with the shortest directed path length from the ancestor *down* to
+    /// `n`.
+    ///
+    /// This is the workhorse of the paper's Section 4.1 initialization
+    /// phase: for each concept-sentiment pair we walk the ancestors of its
+    /// concept and connect it to candidate pairs bucketed under each
+    /// ancestor. Computed with an upward BFS, so distances are exact
+    /// shortest paths even in multi-parent DAGs.
+    pub fn ancestors_with_dist(&self, n: NodeId) -> Vec<(NodeId, u32)> {
+        let mut seen: HashMap<NodeId, u32> = HashMap::new();
+        let mut queue = VecDeque::new();
+        seen.insert(n, 0);
+        queue.push_back(n);
+        let mut out = vec![(n, 0)];
+        while let Some(cur) = queue.pop_front() {
+            let d = seen[&cur];
+            for &p in self.parents(cur) {
+                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(p) {
+                    e.insert(d + 1);
+                    out.push((p, d + 1));
+                    queue.push_back(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// All descendants of `n` (including `n` itself at distance 0) with
+    /// shortest downward distances, via downward BFS.
+    pub fn descendants_with_dist(&self, n: NodeId) -> Vec<(NodeId, u32)> {
+        let mut seen: HashMap<NodeId, u32> = HashMap::new();
+        let mut queue = VecDeque::new();
+        seen.insert(n, 0);
+        queue.push_back(n);
+        let mut out = vec![(n, 0)];
+        while let Some(cur) = queue.pop_front() {
+            let d = seen[&cur];
+            for &c in self.children(cur) {
+                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(c) {
+                    e.insert(d + 1);
+                    out.push((c, d + 1));
+                    queue.push_back(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// A topological order of the nodes (parents before children).
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let n = self.node_count();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        for (i, &d) in indeg.iter().enumerate() {
+            if d == 0 {
+                queue.push_back(NodeId(i as u32));
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &c in self.children(u) {
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "hierarchy invariant: acyclic");
+        order
+    }
+
+    /// Extract the sub-hierarchy rooted at `new_root`: the induced DAG on
+    /// `new_root` and all its descendants, as a fresh [`Hierarchy`]
+    /// (names and terms preserved). Useful for per-category summaries
+    /// ("summarize only the battery opinions").
+    pub fn subgraph(&self, new_root: NodeId) -> Hierarchy {
+        let keep: Vec<NodeId> = self
+            .descendants_with_dist(new_root)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        let mut b = crate::HierarchyBuilder::new();
+        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+        for &n in &keep {
+            let id = b.add_node_with_terms(self.name(n), self.terms(n));
+            map.insert(n, id);
+        }
+        for &n in &keep {
+            for &c in self.children(n) {
+                // All children of a kept node are descendants of new_root.
+                b.add_edge(map[&n], map[&c]).expect("induced edge is fresh");
+            }
+        }
+        b.build().expect("induced subgraph keeps the rooted-DAG invariants")
+    }
+
+    /// Render an ASCII tree rooted at the hierarchy root (multi-parent
+    /// nodes are printed under each parent; used by the Fig. 3 harness).
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        self.render_rec(self.root, 0, &mut out);
+        out
+    }
+
+    fn render_rec(&self, n: NodeId, indent: usize, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "{}{}", "  ".repeat(indent), self.name(n));
+        let mut kids: Vec<NodeId> = self.children(n).to_vec();
+        kids.sort_by(|a, b| self.name(*a).cmp(self.name(*b)));
+        for c in kids {
+            self.render_rec(c, indent + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::HierarchyBuilder;
+
+    /// A small diamond:        r
+    ///                        / \
+    ///                       a   b
+    ///                        \ / \
+    ///                         c   d
+    fn diamond() -> (crate::Hierarchy, Vec<crate::NodeId>) {
+        let mut b = HierarchyBuilder::new();
+        let r = b.add_node("r");
+        let a = b.add_node("a");
+        let bb = b.add_node("b");
+        let c = b.add_node("c");
+        let d = b.add_node("d");
+        b.add_edge(r, a).unwrap();
+        b.add_edge(r, bb).unwrap();
+        b.add_edge(a, c).unwrap();
+        b.add_edge(bb, c).unwrap();
+        b.add_edge(bb, d).unwrap();
+        (b.build().unwrap(), vec![r, a, bb, c, d])
+    }
+
+    #[test]
+    fn self_is_ancestor_at_distance_zero() {
+        let (h, ids) = diamond();
+        for &n in &ids {
+            assert!(h.is_ancestor(n, n));
+            assert_eq!(h.dist_down(n, n), Some(0));
+        }
+    }
+
+    #[test]
+    fn diamond_distances() {
+        let (h, ids) = diamond();
+        let (r, a, b, c, d) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        assert_eq!(h.dist_down(r, c), Some(2));
+        assert_eq!(h.dist_down(a, c), Some(1));
+        assert_eq!(h.dist_down(b, c), Some(1));
+        assert_eq!(h.dist_down(a, d), None);
+        assert_eq!(h.dist_down(c, r), None, "distance is directed");
+        assert_eq!(h.depth(d), 2);
+        assert_eq!(h.depth(c), 2);
+        assert_eq!(h.max_depth(), 2);
+    }
+
+    #[test]
+    fn ancestors_with_dist_takes_shortest_path() {
+        // r -> a -> b -> c  and r -> c directly: shortest r..c distance is 1.
+        let mut bl = HierarchyBuilder::new();
+        let r = bl.add_node("r");
+        let a = bl.add_node("a");
+        let b = bl.add_node("b");
+        let c = bl.add_node("c");
+        bl.add_edge(r, a).unwrap();
+        bl.add_edge(a, b).unwrap();
+        bl.add_edge(b, c).unwrap();
+        bl.add_edge(r, c).unwrap();
+        let h = bl.build().unwrap();
+        let anc = h.ancestors_with_dist(c);
+        let dist_of = |n| anc.iter().find(|(m, _)| *m == n).map(|&(_, d)| d);
+        assert_eq!(dist_of(r), Some(1));
+        assert_eq!(dist_of(b), Some(1));
+        assert_eq!(dist_of(a), Some(2));
+        assert_eq!(dist_of(c), Some(0));
+        assert_eq!(h.depth(c), 1);
+    }
+
+    #[test]
+    fn descendants_mirror_ancestors() {
+        let (h, _) = diamond();
+        for n in h.nodes() {
+            for (m, d) in h.descendants_with_dist(n) {
+                assert_eq!(h.dist_down(n, m), Some(d));
+                assert!(h
+                    .ancestors_with_dist(m)
+                    .iter()
+                    .any(|&(x, dd)| x == n && dd == d));
+            }
+        }
+    }
+
+    #[test]
+    fn topological_order_is_consistent() {
+        let (h, _) = diamond();
+        let order = h.topological_order();
+        assert_eq!(order.len(), h.node_count());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for n in h.nodes() {
+            for &c in h.children(n) {
+                assert!(pos[&n] < pos[&c]);
+            }
+        }
+    }
+
+    #[test]
+    fn name_lookup_roundtrip() {
+        let (h, ids) = diamond();
+        for &n in &ids {
+            assert_eq!(h.node_by_name(h.name(n)), Some(n));
+        }
+        assert_eq!(h.node_by_name("nope"), None);
+    }
+
+    #[test]
+    fn edge_count_counts_directed_edges() {
+        let (h, _) = diamond();
+        assert_eq!(h.edge_count(), 5);
+    }
+
+    #[test]
+    fn subgraph_keeps_descendants_and_structure() {
+        let (h, ids) = diamond();
+        let b = ids[2];
+        let sub = h.subgraph(b);
+        assert_eq!(sub.node_count(), 3); // b, c, d
+        assert_eq!(sub.name(sub.root()), "b");
+        let c2 = sub.node_by_name("c").unwrap();
+        let d2 = sub.node_by_name("d").unwrap();
+        assert_eq!(sub.depth(c2), 1);
+        assert_eq!(sub.depth(d2), 1);
+        assert!(sub.node_by_name("a").is_none());
+    }
+
+    #[test]
+    fn subgraph_of_root_is_whole_hierarchy() {
+        let (h, _) = diamond();
+        let sub = h.subgraph(h.root());
+        assert_eq!(sub.node_count(), h.node_count());
+        assert_eq!(sub.edge_count(), h.edge_count());
+    }
+
+    #[test]
+    fn subgraph_of_leaf_is_singleton() {
+        let (h, ids) = diamond();
+        let sub = h.subgraph(ids[4]);
+        assert_eq!(sub.node_count(), 1);
+        assert_eq!(sub.name(sub.root()), "d");
+    }
+
+    #[test]
+    fn render_ascii_contains_all_names() {
+        let (h, ids) = diamond();
+        let s = h.render_ascii();
+        for &n in &ids {
+            assert!(s.contains(h.name(n)));
+        }
+    }
+}

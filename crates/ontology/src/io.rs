@@ -1,0 +1,132 @@
+//! JSON (de)serialization of hierarchies.
+//!
+//! The on-disk representation is a flat node/edge list (not the internal
+//! arena), which keeps the format stable, diff-able and independent of the
+//! in-memory layout:
+//!
+//! ```json
+//! {
+//!   "nodes": [ { "name": "phone", "terms": ["phone", "cellphone"] }, ... ],
+//!   "edges": [ [0, 1], [0, 2], ... ]
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Hierarchy, HierarchyBuilder, NodeId, OntologyError};
+
+/// Serializable node record.
+#[derive(Serialize, Deserialize)]
+struct NodeRecord {
+    name: String,
+    terms: Vec<String>,
+}
+
+/// Serializable hierarchy document.
+#[derive(Serialize, Deserialize)]
+struct Document {
+    nodes: Vec<NodeRecord>,
+    /// `(parent_index, child_index)` pairs into `nodes`.
+    edges: Vec<(u32, u32)>,
+}
+
+/// Serialize a hierarchy to a pretty-printed JSON string.
+pub fn to_json(h: &Hierarchy) -> String {
+    let doc = Document {
+        nodes: h
+            .nodes()
+            .map(|n| NodeRecord {
+                name: h.name(n).to_owned(),
+                terms: h.terms(n).to_vec(),
+            })
+            .collect(),
+        edges: h
+            .nodes()
+            .flat_map(|p| h.children(p).iter().map(move |c| (p.0, c.0)))
+            .collect(),
+    };
+    serde_json::to_string_pretty(&doc).expect("hierarchy document serializes")
+}
+
+/// Parse a hierarchy from its JSON representation, re-validating every
+/// rooted-DAG invariant.
+pub fn from_json(json: &str) -> Result<Hierarchy, OntologyError> {
+    let doc: Document = serde_json::from_str(json).map_err(|e| OntologyError::Serde(e.to_string()))?;
+    let mut b = HierarchyBuilder::new();
+    for node in &doc.nodes {
+        b.add_node_with_terms(&node.name, &node.terms);
+    }
+    let n = doc.nodes.len() as u32;
+    for &(p, c) in &doc.edges {
+        if p >= n || c >= n {
+            return Err(OntologyError::UnknownNode);
+        }
+        b.add_edge(NodeId(p), NodeId(c))?;
+    }
+    b.build()
+}
+
+/// Write a hierarchy to a file as JSON.
+pub fn save(h: &Hierarchy, path: &std::path::Path) -> Result<(), OntologyError> {
+    std::fs::write(path, to_json(h))?;
+    Ok(())
+}
+
+/// Load a hierarchy from a JSON file.
+pub fn load(path: &std::path::Path) -> Result<Hierarchy, OntologyError> {
+    from_json(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hierarchy {
+        let mut b = HierarchyBuilder::new();
+        let r = b.add_node_with_terms("phone", &["phone", "cellphone"]);
+        let s = b.add_node("screen");
+        let bat = b.add_node_with_terms("battery", &["battery life"]);
+        let res = b.add_node("resolution");
+        b.add_edge(r, s).unwrap();
+        b.add_edge(r, bat).unwrap();
+        b.add_edge(s, res).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let h = sample();
+        let h2 = from_json(&to_json(&h)).unwrap();
+        assert_eq!(h.node_count(), h2.node_count());
+        assert_eq!(h.edge_count(), h2.edge_count());
+        assert_eq!(h.name(h.root()), h2.name(h2.root()));
+        for n in h.nodes() {
+            let m = h2.node_by_name(h.name(n)).unwrap();
+            assert_eq!(h.terms(n), h2.terms(m));
+            assert_eq!(h.depth(n), h2.depth(m));
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_edges() {
+        let json = r#"{ "nodes": [{"name":"r","terms":["r"]}], "edges": [[0, 7]] }"#;
+        assert!(matches!(from_json(json), Err(OntologyError::UnknownNode)));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(matches!(from_json("{"), Err(OntologyError::Serde(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let h = sample();
+        let dir = std::env::temp_dir().join("osa_ontology_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.json");
+        save(&h, &path).unwrap();
+        let h2 = load(&path).unwrap();
+        assert_eq!(h.node_count(), h2.node_count());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,52 @@
+//! # osa-ontology
+//!
+//! Rooted-DAG concept hierarchies for ontology-aware review summarization.
+//!
+//! The summarization framework of Le, Young and Hristidis (ICDE 2017 /
+//! WISE 2019) maps every opinion in a review onto a node of a *concept
+//! hierarchy*: a directed acyclic graph with a single root in which an edge
+//! `a -> b` means "`b` is a more specific concept than `a`" (e.g. the
+//! part-whole relation of SNOMED CT or WordNet). This crate provides that
+//! substrate:
+//!
+//! * [`Hierarchy`] — an immutable, arena-based rooted DAG with fast
+//!   ancestor/descendant queries and shortest directed-path distances,
+//! * [`HierarchyBuilder`] — incremental construction with full validation
+//!   (single root, acyclicity, reachability),
+//! * [`io`] — JSON (de)serialization of hierarchies,
+//! * [`tsv`] — a hand-authorable TSV edge-list format for importing
+//!   flattened real ontologies,
+//! * per-node *surface terms* (a lexicon) used by the concept extractor in
+//!   `osa-text` to spot concept mentions in raw review text.
+//!
+//! ## Example
+//!
+//! ```
+//! use osa_ontology::HierarchyBuilder;
+//!
+//! let mut b = HierarchyBuilder::new();
+//! let phone = b.add_node("phone");
+//! let display = b.add_node("display");
+//! let color = b.add_node("display color");
+//! b.add_edge(phone, display).unwrap();
+//! b.add_edge(display, color).unwrap();
+//! let h = b.build().unwrap();
+//!
+//! assert_eq!(h.root(), phone);
+//! assert!(h.is_ancestor(display, color));
+//! assert_eq!(h.dist_down(phone, color), Some(2));
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod hierarchy;
+pub mod io;
+pub mod tsv;
+mod stats;
+
+pub use builder::HierarchyBuilder;
+pub use error::OntologyError;
+pub use hierarchy::{Hierarchy, NodeId};
+pub use stats::HierarchyStats;

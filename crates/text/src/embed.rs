@@ -1,0 +1,120 @@
+//! Hashed bag-of-words sentence embeddings.
+//!
+//! A fixed-dimension, vocabulary-free sentence representation: each token
+//! (and each token bigram) is hashed into one of `dim` buckets with a
+//! sign hash (feature hashing à la Weinberger et al.). The result is the
+//! deterministic stand-in for the paper's doc2vec sentence vectors — the
+//! downstream regression only needs *some* fixed-size featurization.
+
+/// Feature-hashing sentence embedder.
+#[derive(Debug, Clone, Copy)]
+pub struct HashedBow {
+    dim: usize,
+    /// Also hash adjacent-token bigrams (captures "not good" ≠ "good").
+    pub use_bigrams: bool,
+}
+
+impl HashedBow {
+    /// Create an embedder with `dim` buckets (power of two recommended).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        HashedBow {
+            dim,
+            use_bigrams: true,
+        }
+    }
+
+    /// The embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embed a tokenized sentence into an L2-normalized vector.
+    pub fn embed(&self, tokens: &[String]) -> Vec<f64> {
+        let mut v = vec![0.0f64; self.dim];
+        for t in tokens {
+            self.bump(&mut v, t);
+        }
+        if self.use_bigrams {
+            for pair in tokens.windows(2) {
+                let joined = format!("{} {}", pair[0], pair[1]);
+                self.bump(&mut v, &joined);
+            }
+        }
+        let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if n > 1e-12 {
+            for x in &mut v {
+                *x /= n;
+            }
+        }
+        v
+    }
+
+    fn bump(&self, v: &mut [f64], feature: &str) {
+        let h = fnv1a(feature.as_bytes());
+        let bucket = (h % self.dim as u64) as usize;
+        // An independent bit decides the sign, keeping hashed features
+        // approximately unbiased.
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        v[bucket] += sign;
+    }
+}
+
+/// FNV-1a 64-bit hash — tiny, fast, deterministic across runs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        crate::tokenize(s)
+    }
+
+    #[test]
+    fn deterministic_and_normalized() {
+        let e = HashedBow::new(64);
+        let a = e.embed(&toks("the screen is great"));
+        let b = e.embed(&toks("the screen is great"));
+        assert_eq!(a, b);
+        let n: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((n - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_sentences_differ() {
+        let e = HashedBow::new(128);
+        let a = e.embed(&toks("great screen"));
+        let b = e.embed(&toks("terrible battery"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bigrams_distinguish_negation() {
+        let e = HashedBow::new(256);
+        let pos = e.embed(&toks("good camera"));
+        let neg = e.embed(&toks("not good camera"));
+        assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn empty_sentence_is_zero_vector() {
+        let e = HashedBow::new(32);
+        let v = e.embed(&[]);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = HashedBow::new(0);
+    }
+}

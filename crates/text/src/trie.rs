@@ -1,0 +1,167 @@
+//! A token-sequence trie with longest-match lookup.
+//!
+//! Backs the dictionary concept matcher: ontology surface terms are
+//! inserted as token sequences, and review sentences are scanned left to
+//! right taking the longest phrase match at each position (mirroring how
+//! MetaMap prefers the most specific candidate).
+
+use std::collections::HashMap;
+
+/// A trie over token sequences; each accepted sequence carries a payload
+/// of type `T` (the last insert for a given phrase wins).
+#[derive(Debug, Clone)]
+pub struct Trie<T> {
+    nodes: Vec<TrieNode<T>>,
+}
+
+#[derive(Debug, Clone)]
+struct TrieNode<T> {
+    children: HashMap<String, usize>,
+    payload: Option<T>,
+}
+
+impl<T> Default for Trie<T> {
+    fn default() -> Self {
+        Trie {
+            nodes: vec![TrieNode {
+                children: HashMap::new(),
+                payload: None,
+            }],
+        }
+    }
+}
+
+impl<T: Clone> Trie<T> {
+    /// Empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a token sequence with a payload. Empty sequences are
+    /// ignored.
+    pub fn insert<S: AsRef<str>>(&mut self, phrase: &[S], payload: T) {
+        if phrase.is_empty() {
+            return;
+        }
+        let mut cur = 0usize;
+        for tok in phrase {
+            let tok = tok.as_ref();
+            cur = match self.nodes[cur].children.get(tok) {
+                Some(&next) => next,
+                None => {
+                    let next = self.nodes.len();
+                    self.nodes.push(TrieNode {
+                        children: HashMap::new(),
+                        payload: None,
+                    });
+                    self.nodes[cur].children.insert(tok.to_owned(), next);
+                    next
+                }
+            };
+        }
+        self.nodes[cur].payload = Some(payload);
+    }
+
+    /// Longest match starting exactly at `tokens[start]`. Returns the
+    /// matched length (≥ 1) and a reference to the payload.
+    pub fn longest_match<S: AsRef<str>>(&self, tokens: &[S], start: usize) -> Option<(usize, &T)> {
+        let mut cur = 0usize;
+        let mut best: Option<(usize, &T)> = None;
+        for (offset, tok) in tokens[start..].iter().enumerate() {
+            match self.nodes[cur].children.get(tok.as_ref()) {
+                Some(&next) => {
+                    cur = next;
+                    if let Some(p) = &self.nodes[cur].payload {
+                        best = Some((offset + 1, p));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Scan a token slice, emitting non-overlapping longest matches as
+    /// `(start, len, payload)`. On a match of length `L` at position `i`
+    /// the scan resumes at `i + L`.
+    pub fn scan<S: AsRef<str>>(&self, tokens: &[S]) -> Vec<(usize, usize, T)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            match self.longest_match(tokens, i) {
+                Some((len, payload)) => {
+                    out.push((i, len, payload.clone()));
+                    i += len;
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+
+    /// Number of stored phrases.
+    pub fn phrase_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.payload.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        crate::tokenize(s)
+    }
+
+    #[test]
+    fn longest_match_prefers_specific() {
+        let mut t = Trie::new();
+        t.insert(&toks("display"), 1u32);
+        t.insert(&toks("display color"), 2);
+        let sent = toks("the display color is vivid");
+        let hits = t.scan(&sent);
+        assert_eq!(hits, vec![(1, 2, 2)]);
+    }
+
+    #[test]
+    fn non_overlapping_scan() {
+        let mut t = Trie::new();
+        t.insert(&toks("battery"), 10u32);
+        t.insert(&toks("battery life"), 11);
+        t.insert(&toks("life"), 12);
+        let sent = toks("battery life battery");
+        let hits = t.scan(&sent);
+        assert_eq!(hits, vec![(0, 2, 11), (2, 1, 10)]);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let t: Trie<u32> = Trie::new();
+        assert!(t.scan(&toks("nothing here")).is_empty());
+        assert_eq!(t.phrase_count(), 0);
+    }
+
+    #[test]
+    fn last_insert_wins() {
+        let mut t = Trie::new();
+        t.insert(&toks("screen"), 1u32);
+        t.insert(&toks("screen"), 2);
+        assert_eq!(t.phrase_count(), 1);
+        let sent = toks("screen");
+        assert_eq!(t.scan(&sent), vec![(0, 1, 2)]);
+    }
+
+    #[test]
+    fn empty_phrase_is_ignored() {
+        let mut t: Trie<u32> = Trie::new();
+        t.insert::<&str>(&[], 5);
+        assert_eq!(t.phrase_count(), 0);
+    }
+
+    #[test]
+    fn partial_phrase_does_not_match() {
+        let mut t = Trie::new();
+        t.insert(&toks("heart disease management"), 1u32);
+        assert!(t.scan(&toks("heart disease")).is_empty());
+    }
+}

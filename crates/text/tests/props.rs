@@ -1,0 +1,85 @@
+//! Property tests for the text pipeline.
+
+use osa_text::{porter_stem, split_sentences, stem, tokenize, SentimentLexicon};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tokens_are_lowercase_and_nonempty(text in ".{0,200}") {
+        for t in tokenize(&text) {
+            prop_assert!(!t.is_empty());
+            // Lowercased, except characters with no lowercase mapping
+            // (e.g. 𝑨, which Unicode classifies Lu but maps to itself).
+            prop_assert!(
+                t.chars().all(|c| !c.is_uppercase() || c.to_lowercase().eq(std::iter::once(c))),
+                "{t}"
+            );
+            prop_assert!(
+                t.chars().next().is_some_and(char::is_alphanumeric),
+                "token must start alphanumeric: {t:?}"
+            );
+            prop_assert!(
+                t.chars().last().is_some_and(char::is_alphanumeric),
+                "token must end alphanumeric: {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tokenize_is_idempotent_on_joined_output(text in "[a-zA-Z0-9 .,!?'-]{0,120}") {
+        let once = tokenize(&text);
+        let rejoined = once.join(" ");
+        let twice = tokenize(&rejoined);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn sentences_cover_all_letters(text in "[a-zA-Z .!?]{0,160}") {
+        let letters = |s: &str| s.chars().filter(|c| c.is_alphabetic()).count();
+        let total: usize = split_sentences(&text).iter().map(|s| letters(s)).sum();
+        prop_assert_eq!(total, letters(&text), "no letter may be lost");
+    }
+
+    #[test]
+    fn every_sentence_contains_a_letter(text in ".{0,200}") {
+        for s in split_sentences(&text) {
+            prop_assert!(s.chars().any(char::is_alphabetic));
+        }
+    }
+
+    #[test]
+    fn stem_never_produces_tiny_or_longer_output(word in "[a-z]{1,20}") {
+        let s = stem(&word);
+        prop_assert!(!s.is_empty());
+        prop_assert!(s.len() <= word.len());
+        if word.len() > 4 && s != word {
+            prop_assert!(s.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn porter_stem_shrinks_and_stays_ascii(word in "[a-z]{1,20}") {
+        let s = porter_stem(&word);
+        prop_assert!(!s.is_empty());
+        prop_assert!(s.len() <= word.len());
+        prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn sentiment_scores_are_bounded(text in ".{0,200}") {
+        let lex = SentimentLexicon::default();
+        let s = lex.score_sentence(&text);
+        prop_assert!((-1.0..=1.0).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn repeating_an_opinion_word_does_not_change_its_average(word in "[a-z]{3,10}", n in 1usize..5) {
+        let lex = SentimentLexicon::default();
+        let one = lex.score_sentence(&word);
+        let many = lex.score_sentence(&vec![word.as_str(); n].join(" "));
+        // Averaging over identical hits keeps the score constant.
+        prop_assert!((one - many).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,63 @@
+//! Per-category drill-down: summarize each top-level aspect category of
+//! a phone separately by extracting its sub-hierarchy (the `--focus`
+//! workflow of the CLI, done programmatically).
+//!
+//! Run with: `cargo run --release --example category_drilldown`
+
+use osars::core::{explain, CoverageGraph, GreedySummarizer, Pair, Summarizer};
+use osars::datasets::{extract_item, Corpus, CorpusConfig};
+use osars::text::{ConceptMatcher, SentimentLexicon};
+
+fn main() {
+    let corpus = Corpus::phones(&CorpusConfig::phones_small(), 12);
+    let matcher = ConceptMatcher::from_hierarchy(&corpus.hierarchy);
+    let lexicon = SentimentLexicon::default();
+    let item = &corpus.items[0];
+    let ex = extract_item(item, &matcher, &lexicon);
+    println!(
+        "item '{}': {} extracted pairs across the whole hierarchy\n",
+        item.name,
+        ex.pairs.len()
+    );
+
+    // One focused summary per top-level category.
+    let root = corpus.hierarchy.root();
+    let mut categories: Vec<_> = corpus.hierarchy.children(root).to_vec();
+    categories.sort_by_key(|&c| corpus.hierarchy.name(c).to_owned());
+
+    for &category in &categories {
+        let sub = corpus.hierarchy.subgraph(category);
+        // Keep only pairs whose concept lives in this category's subtree,
+        // remapped into the sub-hierarchy by name.
+        let pairs: Vec<Pair> = ex
+            .pairs
+            .iter()
+            .filter_map(|p| {
+                sub.node_by_name(corpus.hierarchy.name(p.concept))
+                    .map(|c| Pair::new(c, p.sentiment))
+            })
+            .collect();
+        if pairs.len() < 3 {
+            continue;
+        }
+        let graph = CoverageGraph::for_pairs(&sub, &pairs, 0.5);
+        let summary = GreedySummarizer.summarize(&graph, 2);
+        let report = explain::explain(&graph, &summary);
+        let mean: f64 = pairs.iter().map(|p| p.sentiment).sum::<f64>() / pairs.len() as f64;
+        println!(
+            "{:<14} {:>3} opinions, mean {:+.2} → summary:",
+            corpus.hierarchy.name(category),
+            pairs.len(),
+            mean
+        );
+        for (c, candidate) in report.candidates.iter().enumerate() {
+            let p = pairs[summary.selected[c]];
+            println!(
+                "    {} = {:+.2}  (represents {} opinions)",
+                sub.name(p.concept),
+                p.sentiment,
+                candidate.serves.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Doctor-review scenario: run all three algorithms (Greedy, Randomized
+//! Rounding, exact ILP) on one synthetic doctor's reviews at every
+//! problem granularity, comparing costs and wall-clock times — a
+//! single-item version of the paper's Figs. 4–5 experiment.
+//!
+//! Run with: `cargo run --release --example doctor_reviews`
+
+use osars::core::{
+    CoverageGraph, Granularity, GreedySummarizer, IlpSummarizer, RandomizedRounding, Summarizer,
+};
+use osars::datasets::{extract_item, Corpus, CorpusConfig};
+use osars::eval::Stopwatch;
+use osars::text::{ConceptMatcher, SentimentLexicon};
+
+const EPS: f64 = 0.5;
+const K: usize = 5;
+
+fn main() {
+    let corpus = Corpus::doctors(&CorpusConfig::doctors_small(), 99);
+    let matcher = ConceptMatcher::from_hierarchy(&corpus.hierarchy);
+    let lexicon = SentimentLexicon::default();
+
+    let item = &corpus.items[0];
+    let ex = extract_item(item, &matcher, &lexicon);
+    println!(
+        "item '{}': {} reviews, {} sentences, {} extracted pairs\n",
+        item.name,
+        item.reviews.len(),
+        ex.sentences.len(),
+        ex.pairs.len()
+    );
+
+    let algorithms: Vec<(&str, Box<dyn Summarizer>)> = vec![
+        ("greedy", Box::new(GreedySummarizer)),
+        ("randomized-rounding", Box::new(RandomizedRounding::with_seed(5))),
+        ("ilp (optimal)", Box::new(IlpSummarizer)),
+    ];
+
+    for (label, granularity, graph) in [
+        (
+            "k-Pairs",
+            Granularity::Pairs,
+            CoverageGraph::for_pairs(&corpus.hierarchy, &ex.pairs, EPS),
+        ),
+        (
+            "k-Sentences",
+            Granularity::Sentences,
+            CoverageGraph::for_groups(
+                &corpus.hierarchy,
+                &ex.pairs,
+                &ex.sentence_groups(),
+                EPS,
+                Granularity::Sentences,
+            ),
+        ),
+        (
+            "k-Reviews",
+            Granularity::Reviews,
+            CoverageGraph::for_groups(
+                &corpus.hierarchy,
+                &ex.pairs,
+                &ex.review_groups(),
+                EPS,
+                Granularity::Reviews,
+            ),
+        ),
+    ] {
+        let _ = granularity;
+        println!(
+            "--- {label} Coverage (|U|={}, |W|={}, |E|={}, k={K}) ---",
+            graph.num_candidates(),
+            graph.num_pairs(),
+            graph.num_edges()
+        );
+        for (name, alg) in &algorithms {
+            let sw = Stopwatch::start();
+            let s = alg.summarize(&graph, K);
+            println!(
+                "  {name:<22} cost {:>5}  ({:>9.1} µs)",
+                s.cost,
+                sw.micros()
+            );
+        }
+        println!();
+    }
+
+    // Show what a k-sentence summary actually reads like.
+    let graph = CoverageGraph::for_groups(
+        &corpus.hierarchy,
+        &ex.pairs,
+        &ex.sentence_groups(),
+        EPS,
+        Granularity::Sentences,
+    );
+    let summary = GreedySummarizer.summarize(&graph, K);
+    println!("greedy k={K} sentence summary:");
+    for &si in &summary.selected {
+        println!("  • {}", ex.sentences[si].text);
+    }
+}

@@ -1,0 +1,66 @@
+//! Learned vs rule-based sentiment: swap the lexicon scorer for the
+//! paper's doc2vec-style "sentence vector → regression" model and
+//! compare the resulting extractions and summaries.
+//!
+//! Run with: `cargo run --release --example learned_sentiment`
+
+use osars::core::{CoverageGraph, Granularity, GreedySummarizer, Summarizer};
+use osars::datasets::{
+    extract_item_with, train_regressor, Corpus, CorpusConfig, SentimentModel,
+};
+use osars::text::{ConceptMatcher, SentimentLexicon};
+
+fn main() {
+    let corpus = Corpus::phones(&CorpusConfig::phones_small(), 8);
+    let matcher = ConceptMatcher::from_hierarchy(&corpus.hierarchy);
+
+    // Train the regressor on the whole corpus (review-level ratings as
+    // weak sentence labels), then extract one item both ways.
+    println!("training hashed-BoW ridge regressor on {} reviews…", corpus.total_reviews());
+    let regressor = train_regressor(&corpus, 512, 1.0);
+
+    let models = [
+        ("lexicon", SentimentModel::Lexicon(SentimentLexicon::default())),
+        ("regressor", SentimentModel::Regressor(regressor)),
+    ];
+
+    let item = &corpus.items[0];
+    for (name, model) in &models {
+        let ex = extract_item_with(item, &matcher, model);
+        let graph = CoverageGraph::for_groups(
+            &corpus.hierarchy,
+            &ex.pairs,
+            &ex.sentence_groups(),
+            0.5,
+            Granularity::Sentences,
+        );
+        let summary = GreedySummarizer.summarize(&graph, 4);
+        let mean: f64 =
+            ex.pairs.iter().map(|p| p.sentiment).sum::<f64>() / ex.pairs.len().max(1) as f64;
+        println!(
+            "\n--- {name}: {} pairs, mean sentiment {mean:+.3}, k=4 cost {} ---",
+            ex.pairs.len(),
+            summary.cost
+        );
+        for &si in &summary.selected {
+            println!(
+                "  • [{:+.2}] {}",
+                ex.sentences[si].sentiment, ex.sentences[si].text
+            );
+        }
+    }
+
+    // Agreement between the two scorers on this item's sentences.
+    let lex = extract_item_with(item, &matcher, &models[0].1);
+    let reg = extract_item_with(item, &matcher, &models[1].1);
+    let agree = lex
+        .sentences
+        .iter()
+        .zip(&reg.sentences)
+        .filter(|(a, b)| (a.sentiment - b.sentiment).abs() < 0.5 || a.sentiment * b.sentiment > 0.0)
+        .count();
+    println!(
+        "\nscorer agreement: {agree}/{} sentences within 0.5 or same sign",
+        lex.sentences.len()
+    );
+}

@@ -1,0 +1,379 @@
+//! `osars` — command-line interface to the review summarizer.
+//!
+//! ```text
+//! osars generate  --domain doctors|phones [--scale small|full] [--seed N] --out FILE
+//! osars stats     --corpus FILE
+//! osars hierarchy --corpus FILE
+//! osars summarize --corpus FILE [--item I] [--k K] [--eps E]
+//!                 [--granularity pairs|sentences|reviews]
+//!                 [--algorithm greedy|lazy|ilp|rr|local-search]
+//! osars evaluate  --corpus FILE [--k K] [--eps E] [--items N]
+//! ```
+//!
+//! Corpora are the JSON documents written by `osars generate` (or by
+//! `osa_datasets::save_corpus`). Everything is deterministic given
+//! `--seed`.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use osars::baselines::{
+    LexRank, LsaSummarizer, MostPopular, Proportional, SentenceRecord, SentenceSelector, TextRank,
+};
+use osars::core::{
+    explain, CoverageGraph, Granularity, GreedySummarizer, IlpSummarizer, LazyGreedySummarizer,
+    LocalSearchSummarizer, Pair, RandomizedRounding, Summarizer,
+};
+use osars::datasets::{
+    extract_item, load_corpus, save_corpus, table1_stats, Corpus, CorpusConfig, ExtractedItem,
+};
+use osars::eval::{sent_err, sent_err_penalized, Stopwatch};
+use osars::text::{ConceptMatcher, SentimentLexicon};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `osars help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_help();
+        return Ok(());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&flags),
+        "hierarchy" => cmd_hierarchy(&flags),
+        "summarize" => cmd_summarize(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "osars — ontology- and sentiment-aware review summarization
+
+USAGE:
+  osars generate  --domain doctors|phones [--scale small|full] [--seed N] --out FILE
+  osars stats     --corpus FILE
+  osars hierarchy --corpus FILE
+  osars summarize --corpus FILE [--item I] [--k K] [--eps E]
+                  [--granularity pairs|sentences|reviews]
+                  [--algorithm greedy|lazy|ilp|rr|local-search]
+                  [--focus CONCEPT] [--explain true]
+  osars evaluate  --corpus FILE [--k K] [--eps E] [--items N]
+
+DEFAULTS: --scale small --seed 42 --item 0 --k 5 --eps 0.5
+          --granularity sentences --algorithm greedy --items 5
+FOCUS:    restricts the summary to one concept's subtree
+          (e.g. --focus battery on a phone corpus)"
+    );
+}
+
+// --- flag parsing ---------------------------------------------------------
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got '{key}'"));
+        };
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        flags.insert(name.to_owned(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn flag<'a>(flags: &'a HashMap<String, String>, name: &str) -> Option<&'a str> {
+    flags.get(name).map(String::as_str)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flag(flags, name).ok_or_else(|| format!("--{name} is required"))
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag(flags, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+    }
+}
+
+// --- shared helpers -------------------------------------------------------
+
+fn open_corpus(flags: &HashMap<String, String>) -> Result<Corpus, String> {
+    let path = required(flags, "corpus")?;
+    load_corpus(Path::new(path)).map_err(|e| format!("loading '{path}': {e}"))
+}
+
+fn extract(corpus: &Corpus, item: usize) -> Result<ExtractedItem, String> {
+    let item = corpus
+        .items
+        .get(item)
+        .ok_or_else(|| format!("item {item} out of range (corpus has {})", corpus.items.len()))?;
+    let matcher = ConceptMatcher::from_hierarchy(&corpus.hierarchy);
+    let lexicon = SentimentLexicon::default();
+    Ok(extract_item(item, &matcher, &lexicon))
+}
+
+fn algorithm(name: &str) -> Result<Box<dyn Summarizer>, String> {
+    Ok(match name {
+        "greedy" => Box::new(GreedySummarizer),
+        "lazy" => Box::new(LazyGreedySummarizer),
+        "ilp" => Box::new(IlpSummarizer),
+        "rr" => Box::new(RandomizedRounding::with_seed(42)),
+        "local-search" => Box::new(LocalSearchSummarizer::default()),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+// --- commands --------------------------------------------------------------
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let domain = required(flags, "domain")?;
+    let scale = flag(flags, "scale").unwrap_or("small");
+    let seed: u64 = parse_num(flags, "seed", 42)?;
+    let out = PathBuf::from(required(flags, "out")?);
+    let cfg = match (domain, scale) {
+        ("doctors", "small") => CorpusConfig::doctors_small(),
+        ("doctors", "full") => CorpusConfig::doctors_full(),
+        ("phones", "small") => CorpusConfig::phones_small(),
+        ("phones", "full") => CorpusConfig::phones_full(),
+        _ => return Err("--domain must be doctors|phones, --scale small|full".to_owned()),
+    };
+    let corpus = match domain {
+        "doctors" => Corpus::doctors(&cfg, seed),
+        _ => Corpus::phones(&cfg, seed),
+    };
+    save_corpus(&corpus, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} items, {} reviews)",
+        out.display(),
+        corpus.items.len(),
+        corpus.total_reviews()
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = open_corpus(flags)?;
+    println!("corpus: {}", corpus.name);
+    println!("{}", table1_stats(&corpus));
+    Ok(())
+}
+
+fn cmd_hierarchy(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = open_corpus(flags)?;
+    print!("{}", corpus.hierarchy.render_ascii());
+    Ok(())
+}
+
+fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = open_corpus(flags)?;
+    let item: usize = parse_num(flags, "item", 0)?;
+    let k: usize = parse_num(flags, "k", 5)?;
+    let eps: f64 = parse_num(flags, "eps", 0.5)?;
+    let granularity = flag(flags, "granularity").unwrap_or("sentences");
+    let alg = algorithm(flag(flags, "algorithm").unwrap_or("greedy"))?;
+
+    let mut ex = extract(&corpus, item)?;
+
+    // --focus CONCEPT: restrict to the concept's sub-hierarchy. Pairs on
+    // concepts outside the subtree are dropped; remaining concepts are
+    // remapped into the extracted subgraph by name.
+    let hierarchy = match flag(flags, "focus") {
+        None => corpus.hierarchy.clone(),
+        Some(name) => {
+            let node = corpus
+                .hierarchy
+                .node_by_name(name)
+                .ok_or_else(|| format!("unknown concept '{name}'"))?;
+            let sub = corpus.hierarchy.subgraph(node);
+            let mut remap: Vec<Option<usize>> = Vec::with_capacity(ex.pairs.len());
+            let mut kept: Vec<Pair> = Vec::new();
+            for p in &ex.pairs {
+                match sub.node_by_name(corpus.hierarchy.name(p.concept)) {
+                    Some(c) => {
+                        remap.push(Some(kept.len()));
+                        kept.push(Pair::new(c, p.sentiment));
+                    }
+                    None => remap.push(None),
+                }
+            }
+            for s in &mut ex.sentences {
+                s.pair_indices = s
+                    .pair_indices
+                    .iter()
+                    .filter_map(|&pi| remap[pi])
+                    .collect();
+            }
+            ex.pairs = kept;
+            println!(
+                "focused on '{name}': {} pairs in the subtree",
+                ex.pairs.len()
+            );
+            sub
+        }
+    };
+
+    let graph = match granularity {
+        "pairs" => CoverageGraph::for_pairs(&hierarchy, &ex.pairs, eps),
+        "sentences" => CoverageGraph::for_groups(
+            &hierarchy,
+            &ex.pairs,
+            &ex.sentence_groups(),
+            eps,
+            Granularity::Sentences,
+        ),
+        "reviews" => CoverageGraph::for_groups(
+            &hierarchy,
+            &ex.pairs,
+            &ex.review_groups(),
+            eps,
+            Granularity::Reviews,
+        ),
+        other => return Err(format!("unknown granularity '{other}'")),
+    };
+    let sw = Stopwatch::start();
+    let summary = alg.summarize(&graph, k);
+    let micros = sw.micros();
+    println!(
+        "{} selected {} of {} candidates in {micros:.0}µs; cost {} (root-only {})",
+        alg.name(),
+        summary.selected.len(),
+        graph.num_candidates(),
+        summary.cost,
+        graph.root_cost()
+    );
+    let wants_explain = match flag(flags, "explain") {
+        None => false,
+        Some("true") => true,
+        Some("false") => false,
+        Some(other) => return Err(format!("--explain must be true|false, got '{other}'")),
+    };
+    let explanation = wants_explain.then(|| explain::explain(&graph, &summary));
+    for (slot, &sel) in summary.selected.iter().enumerate() {
+        match granularity {
+            "pairs" => {
+                let p = ex.pairs[sel];
+                println!("  • {} = {:+.2}", hierarchy.name(p.concept), p.sentiment);
+            }
+            "sentences" => println!("  • {}", ex.sentences[sel].text),
+            _ => {
+                let first = ex.reviews[sel].first().copied();
+                let text = first.map_or("(empty review)", |si| ex.sentences[si].text.as_str());
+                println!("  • review #{sel}: {text} …");
+            }
+        }
+        if let Some(ex_report) = &explanation {
+            let c = &ex_report.candidates[slot];
+            println!(
+                "      └ serves {} opinions (cost share {})",
+                c.serves.len(),
+                c.cost_share
+            );
+        }
+    }
+    if let Some(ex_report) = &explanation {
+        println!(
+            "  (root serves the remaining {} opinions, cost share {})",
+            ex_report.root_serves.len(),
+            ex_report.root_cost_share
+        );
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = open_corpus(flags)?;
+    let k: usize = parse_num(flags, "k", 5)?;
+    let eps: f64 = parse_num(flags, "eps", 0.5)?;
+    let items: usize = parse_num(flags, "items", 5)?;
+    let items = items.min(corpus.items.len());
+
+    let matcher = ConceptMatcher::from_hierarchy(&corpus.hierarchy);
+    let lexicon = SentimentLexicon::default();
+    let baselines: Vec<Box<dyn SentenceSelector>> = vec![
+        Box::new(MostPopular),
+        Box::new(Proportional),
+        Box::new(TextRank),
+        Box::new(LexRank::default()),
+        Box::new(LsaSummarizer::default()),
+    ];
+
+    let mut totals: Vec<(String, f64, f64)> = Vec::new();
+    totals.push(("greedy (ours)".to_owned(), 0.0, 0.0));
+    for b in &baselines {
+        totals.push((b.name().to_owned(), 0.0, 0.0));
+    }
+
+    for item in corpus.items.iter().take(items) {
+        let ex = extract_item(item, &matcher, &lexicon);
+        let records: Vec<SentenceRecord> = ex
+            .sentences
+            .iter()
+            .map(|s| SentenceRecord {
+                tokens: s.tokens.clone(),
+                pairs: s.pair_indices.iter().map(|&pi| ex.pairs[pi]).collect(),
+            })
+            .collect();
+        let graph = CoverageGraph::for_groups(
+            &corpus.hierarchy,
+            &ex.pairs,
+            &ex.sentence_groups(),
+            eps,
+            Granularity::Sentences,
+        );
+        let pairs_of = |sel: &[usize]| -> Vec<Pair> {
+            sel.iter()
+                .flat_map(|&si| ex.sentences[si].pair_indices.iter())
+                .map(|&pi| ex.pairs[pi])
+                .collect()
+        };
+        let mut score = |slot: usize, sel: &[usize]| {
+            let f = pairs_of(sel);
+            totals[slot].1 += sent_err(&corpus.hierarchy, &ex.pairs, &f);
+            totals[slot].2 += sent_err_penalized(&corpus.hierarchy, &ex.pairs, &f);
+        };
+        score(0, &GreedySummarizer.summarize(&graph, k).selected);
+        for (bi, b) in baselines.iter().enumerate() {
+            score(bi + 1, &b.select(&records, k));
+        }
+    }
+
+    println!("sentiment error over {items} items (k = {k}, eps = {eps}; lower is better):\n");
+    println!("{:<16} {:>10} {:>12}", "method", "sent-err", "penalized");
+    for (name, e, p) in &totals {
+        println!(
+            "{name:<16} {:>10.4} {:>12.4}",
+            e / items as f64,
+            p / items as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! # osars — Ontology- and Sentiment-Aware Review Summarization
+//!
+//! Meta-crate re-exporting the whole OSARS workspace: a from-scratch Rust
+//! reproduction of *"Unsupervised Ontology- and Sentiment-Aware Review
+//! Summarization"* (Le, Young, Hristidis; ICDE 2017 poster / WISE 2019).
+//!
+//! The individual crates:
+//!
+//! * [`ontology`] — rooted-DAG concept hierarchies,
+//! * [`linalg`] — the dense/sparse linear algebra substrate,
+//! * [`solver`] — LP (simplex) and ILP (branch & bound),
+//! * [`text`] — tokenization, sentiment, concept extraction,
+//! * [`core`] — the coverage problems and the Greedy/ILP/RR algorithms,
+//! * [`baselines`] — the five baseline summarizers of the evaluation,
+//! * [`eval`] — coverage-cost and sentiment-error metrics,
+//! * [`datasets`] — synthetic doctor/phone corpora calibrated to Table 1.
+//!
+//! See `examples/quickstart.rs` for a 30-line end-to-end run.
+
+pub use osa_baselines as baselines;
+pub use osa_core as core;
+pub use osa_datasets as datasets;
+pub use osa_eval as eval;
+pub use osa_linalg as linalg;
+pub use osa_ontology as ontology;
+pub use osa_solver as solver;
+pub use osa_text as text;
+
+/// Commonly used items, for glob import in examples and downstream code.
+pub mod prelude {
+    pub use osa_core::{
+        CoverageGraph, Granularity, GreedySummarizer, IlpSummarizer, Pair, RandomizedRounding,
+        Summarizer,
+    };
+    pub use osa_ontology::{Hierarchy, HierarchyBuilder, NodeId};
+}

@@ -1,0 +1,203 @@
+//! End-to-end tests of the `osars` CLI binary.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn osars(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_osars"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp_corpus(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("osars_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn generate(path: &Path) {
+    let out = osars(&[
+        "generate",
+        "--domain",
+        "phones",
+        "--scale",
+        "small",
+        "--seed",
+        "7",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = osars(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("summarize"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = osars(&[]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = osars(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_stats_hierarchy_roundtrip() {
+    let path = tmp_corpus("roundtrip.json");
+    generate(&path);
+
+    let out = osars(&["stats", "--corpus", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("#Items"), "{text}");
+    assert!(text.contains("30"), "phones_small has 30 items: {text}");
+
+    let out = osars(&["hierarchy", "--corpus", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("phone"));
+    assert!(text.contains("battery life"));
+}
+
+#[test]
+fn summarize_sentences_with_greedy() {
+    let path = tmp_corpus("summarize.json");
+    generate(&path);
+    let out = osars(&[
+        "summarize",
+        "--corpus",
+        path.to_str().unwrap(),
+        "--k",
+        "3",
+        "--algorithm",
+        "greedy",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("greedy selected 3"), "{text}");
+    assert_eq!(text.matches("  • ").count(), 3, "{text}");
+}
+
+#[test]
+fn summarize_pairs_with_local_search() {
+    let path = tmp_corpus("pairs.json");
+    generate(&path);
+    let out = osars(&[
+        "summarize",
+        "--corpus",
+        path.to_str().unwrap(),
+        "--granularity",
+        "pairs",
+        "--algorithm",
+        "local-search",
+        "--k",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("local-search selected 2"), "{text}");
+    assert!(text.contains("= +") || text.contains("= -"), "{text}");
+}
+
+#[test]
+fn evaluate_compares_methods() {
+    let path = tmp_corpus("evaluate.json");
+    generate(&path);
+    let out = osars(&[
+        "evaluate",
+        "--corpus",
+        path.to_str().unwrap(),
+        "--items",
+        "2",
+        "--k",
+        "4",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for method in ["greedy (ours)", "most-popular", "textrank", "lexrank", "lsa"] {
+        assert!(text.contains(method), "missing {method}: {text}");
+    }
+}
+
+#[test]
+fn missing_required_flag_is_reported() {
+    let out = osars(&["generate", "--domain", "phones"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out is required"));
+}
+
+#[test]
+fn bad_flag_value_is_reported() {
+    let path = tmp_corpus("badflag.json");
+    generate(&path);
+    let out = osars(&[
+        "summarize",
+        "--corpus",
+        path.to_str().unwrap(),
+        "--k",
+        "banana",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
+}
+
+#[test]
+fn focus_restricts_to_subtree() {
+    let path = tmp_corpus("focus.json");
+    generate(&path);
+    let out = osars(&[
+        "summarize",
+        "--corpus",
+        path.to_str().unwrap(),
+        "--focus",
+        "battery",
+        "--k",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("focused on 'battery'"), "{text}");
+
+    // Unknown concepts are rejected.
+    let out = osars(&[
+        "summarize",
+        "--corpus",
+        path.to_str().unwrap(),
+        "--focus",
+        "warp-drive",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown concept"));
+}
+
+#[test]
+fn explain_prints_coverage_shares() {
+    let path = tmp_corpus("explain.json");
+    generate(&path);
+    let out = osars(&[
+        "summarize",
+        "--corpus",
+        path.to_str().unwrap(),
+        "--k",
+        "2",
+        "--explain",
+        "true",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("serves"), "{text}");
+    assert!(text.contains("root serves the remaining"), "{text}");
+}

@@ -1,0 +1,127 @@
+//! Property tests: the CoverageGraph initialization (§4.1) agrees with a
+//! brute-force application of Definition 1 on random DAGs and pair sets.
+
+use osars::core::{pair_distance, CoverageGraph, Granularity, Pair};
+use osars::ontology::{Hierarchy, HierarchyBuilder, NodeId};
+use proptest::prelude::*;
+
+/// Build a random rooted DAG with `n` nodes: node i > 0 gets a parent
+/// chosen among nodes 0..i, plus an optional second parent.
+fn arb_hierarchy(max_nodes: usize) -> impl Strategy<Value = Hierarchy> {
+    (2..=max_nodes)
+        .prop_flat_map(|n| {
+            let parents = (1..n)
+                .map(|i| (0..i, proptest::option::of(0..i)))
+                .collect::<Vec<_>>();
+            parents.prop_map(move |ps| {
+                let mut b = HierarchyBuilder::new();
+                for i in 0..n {
+                    b.add_node(&format!("n{i}"));
+                }
+                for (i, (p1, p2)) in ps.into_iter().enumerate() {
+                    let child = NodeId::from_index(i + 1);
+                    b.add_edge(NodeId::from_index(p1), child).unwrap();
+                    if let Some(p2) = p2 {
+                        if p2 != p1 {
+                            b.add_edge(NodeId::from_index(p2), child).unwrap();
+                        }
+                    }
+                }
+                b.build().expect("random construction is a valid rooted DAG")
+            })
+        })
+        .no_shrink()
+}
+
+fn arb_pairs(h: &Hierarchy, max_pairs: usize) -> impl Strategy<Value = Vec<Pair>> {
+    let n = h.node_count();
+    proptest::collection::vec(
+        (0..n, -10i8..=10).prop_map(|(c, s)| Pair {
+            concept: NodeId::from_index(c),
+            sentiment: f64::from(s) / 10.0,
+        }),
+        1..=max_pairs,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_edges_match_definition_one(
+        (h, pairs, eps) in arb_hierarchy(12).prop_flat_map(|h| {
+            let pairs = arb_pairs(&h, 16);
+            (Just(h), pairs, (0u8..=10).prop_map(|e| f64::from(e) / 10.0))
+        })
+    ) {
+        let g = CoverageGraph::for_pairs(&h, &pairs, eps);
+        prop_assert_eq!(g.num_candidates(), pairs.len());
+        prop_assert_eq!(g.num_pairs(), pairs.len());
+        // Brute force Definition 1 over all ordered pairs.
+        for (u, pu) in pairs.iter().enumerate() {
+            for (q, pq) in pairs.iter().enumerate() {
+                let expect = pair_distance(&h, pu, pq, eps);
+                let got = g
+                    .covered_by(u)
+                    .iter()
+                    .find(|&&(qq, _)| qq as usize == q)
+                    .map(|&(_, d)| d);
+                prop_assert_eq!(expect, got, "edge ({}, {})", u, q);
+            }
+        }
+        // Root distances are concept depths.
+        for (q, pq) in pairs.iter().enumerate() {
+            prop_assert_eq!(g.root_dist(q), h.depth(pq.concept));
+        }
+    }
+
+    #[test]
+    fn group_graph_takes_member_minimum(
+        (h, pairs) in arb_hierarchy(10).prop_flat_map(|h| {
+            let pairs = arb_pairs(&h, 12);
+            (Just(h), pairs)
+        })
+    ) {
+        let eps = 0.5;
+        // Chunk pairs into groups of 3.
+        let groups: Vec<Vec<usize>> = (0..pairs.len())
+            .collect::<Vec<_>>()
+            .chunks(3)
+            .map(<[usize]>::to_vec)
+            .collect();
+        let g = CoverageGraph::for_groups(&h, &pairs, &groups, eps, Granularity::Sentences);
+        for (u, members) in groups.iter().enumerate() {
+            for (q, pq) in pairs.iter().enumerate() {
+                let expect = members
+                    .iter()
+                    .filter_map(|&m| pair_distance(&h, &pairs[m], pq, eps))
+                    .min();
+                let got = g
+                    .covered_by(u)
+                    .iter()
+                    .find(|&&(qq, _)| qq as usize == q)
+                    .map(|&(_, d)| d);
+                prop_assert_eq!(expect, got);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_is_monotone_in_selection(
+        (h, pairs) in arb_hierarchy(10).prop_flat_map(|h| {
+            let pairs = arb_pairs(&h, 10);
+            (Just(h), pairs)
+        })
+    ) {
+        let g = CoverageGraph::for_pairs(&h, &pairs, 0.4);
+        let mut sel: Vec<usize> = Vec::new();
+        let mut last = g.cost_of(&sel);
+        prop_assert_eq!(last, g.root_cost());
+        for u in 0..g.num_candidates() {
+            sel.push(u);
+            let c = g.cost_of(&sel);
+            prop_assert!(c <= last, "cost must not increase when adding candidates");
+            last = c;
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The Theorem 1 reduction verified end to end on random Set-Cover
+//! instances: a cover of size k exists iff the reduced k-Pairs Coverage
+//! instance has a summary of cost ≤ t = 3m + n − 2k.
+
+use osars::core::reduction::{reduce, set_cover_exists, SetCoverInstance};
+use osars::core::{ExactBruteForce, IlpSummarizer};
+use proptest::prelude::*;
+
+fn arb_set_cover() -> impl Strategy<Value = SetCoverInstance> {
+    (2usize..=5, 2usize..=5)
+        .prop_flat_map(|(universe, m)| {
+            let sets = proptest::collection::vec(
+                proptest::collection::btree_set(0..universe, 1..=universe),
+                m..=m,
+            );
+            (Just(universe), sets, 1usize..=m)
+        })
+        .prop_map(|(universe, sets, k)| {
+            let mut sets: Vec<Vec<usize>> =
+                sets.into_iter().map(|s| s.into_iter().collect()).collect();
+            // Guarantee every element appears somewhere (the reduction
+            // requires it): append a patch set for missed elements.
+            let mut covered = vec![false; universe];
+            for s in &sets {
+                for &u in s {
+                    covered[u] = true;
+                }
+            }
+            let missing: Vec<usize> = (0..universe).filter(|&u| !covered[u]).collect();
+            if !missing.is_empty() {
+                sets.push(missing);
+            }
+            SetCoverInstance { universe, sets, k }
+        })
+        .no_shrink()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn reduction_preserves_decision(sc in arb_set_cover()) {
+        let expect = set_cover_exists(&sc);
+        let red = reduce(&sc);
+        prop_assert_eq!(red.has_cheap_summary(&ExactBruteForce), expect);
+    }
+
+    #[test]
+    fn reduction_agrees_under_ilp(sc in arb_set_cover()) {
+        let expect = set_cover_exists(&sc);
+        let red = reduce(&sc);
+        prop_assert_eq!(red.has_cheap_summary(&IlpSummarizer), expect);
+    }
+
+    #[test]
+    fn choosing_cover_sets_costs_exactly_t(sc in arb_set_cover()) {
+        // Whenever a size-k cover exists, the summary consisting of the
+        // covering c_i pairs costs exactly t (the forward direction of
+        // the Theorem 1 proof).
+        prop_assume!(sc.sets.len() <= 6);
+        let m = sc.sets.len();
+        if let Some(mask) = (0u32..(1 << m)).find(|mask| {
+            mask.count_ones() as usize == sc.k && {
+                let mut covered = vec![false; sc.universe];
+                for (i, s) in sc.sets.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        for &u in s {
+                            covered[u] = true;
+                        }
+                    }
+                }
+                covered.iter().all(|&c| c)
+            }
+        }) {
+            let red = reduce(&sc);
+            let g = red.coverage_graph();
+            let selected: Vec<usize> = (0..m)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| red.set_pair_indices[i])
+                .collect();
+            prop_assert_eq!(g.cost_of(&selected), red.target);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Property tests for the LP/ILP solver substrate: solutions are always
+//! feasible, LP optima dominate every sampled feasible point, and the
+//! branch & bound matches dynamic programming on knapsack instances.
+
+use osars::solver::{Cmp, Model, Status};
+use proptest::prelude::*;
+
+const FEAS_TOL: f64 = 1e-6;
+
+/// Random bounded LP: minimize cᵀx over box [0, u] with ≤ constraints
+/// having non-negative coefficients (always feasible at x = 0).
+#[derive(Debug, Clone)]
+struct RandomLp {
+    costs: Vec<f64>,
+    ubs: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+}
+
+fn arb_lp() -> impl Strategy<Value = RandomLp> {
+    (1usize..=4, 0usize..=4)
+        .prop_flat_map(|(nv, nc)| {
+            let costs = proptest::collection::vec(-5i8..=5, nv..=nv);
+            let ubs = proptest::collection::vec(1u8..=10, nv..=nv);
+            let rows = proptest::collection::vec(
+                (
+                    proptest::collection::vec(0u8..=3, nv..=nv),
+                    1u8..=20,
+                ),
+                nc..=nc,
+            );
+            (costs, ubs, rows)
+        })
+        .prop_map(|(costs, ubs, rows)| RandomLp {
+            costs: costs.into_iter().map(f64::from).collect(),
+            ubs: ubs.into_iter().map(f64::from).collect(),
+            rows: rows
+                .into_iter()
+                .map(|(coefs, rhs)| {
+                    (
+                        coefs.into_iter().map(f64::from).collect(),
+                        f64::from(rhs),
+                    )
+                })
+                .collect(),
+        })
+}
+
+fn build(lp: &RandomLp) -> (Model, Vec<osars::solver::VarId>) {
+    let mut m = Model::minimize();
+    let xs: Vec<_> = lp
+        .costs
+        .iter()
+        .zip(&lp.ubs)
+        .map(|(&c, &u)| m.add_var(0.0, u, c))
+        .collect();
+    for (coefs, rhs) in &lp.rows {
+        let terms: Vec<_> = xs.iter().copied().zip(coefs.iter().copied()).collect();
+        m.add_constraint(&terms, Cmp::Le, *rhs);
+    }
+    (m, xs)
+}
+
+fn is_feasible(lp: &RandomLp, x: &[f64]) -> bool {
+    x.iter().zip(&lp.ubs).all(|(&v, &u)| v >= -FEAS_TOL && v <= u + FEAS_TOL)
+        && lp.rows.iter().all(|(coefs, rhs)| {
+            x.iter().zip(coefs).map(|(v, c)| v * c).sum::<f64>() <= rhs + FEAS_TOL
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lp_solution_is_feasible_and_dominant(lp in arb_lp(), probe in proptest::collection::vec(0.0f64..1.0, 4)) {
+        let (m, _) = build(&lp);
+        let sol = m.solve_lp().expect("bounded LP");
+        prop_assert_eq!(sol.status, Status::Optimal);
+        prop_assert!(is_feasible(&lp, &sol.values), "solver returned infeasible point");
+
+        // The optimum dominates a sampled feasible point (scaled box
+        // point pushed inside the constraints).
+        let mut cand: Vec<f64> = probe
+            .iter()
+            .zip(&lp.ubs)
+            .map(|(&p, &u)| p * u)
+            .collect();
+        // Scale down until feasible (coefficients are non-negative).
+        let mut scale = 1.0f64;
+        for (coefs, rhs) in &lp.rows {
+            let lhs: f64 = cand.iter().zip(coefs).map(|(v, c)| v * c).sum();
+            if lhs > *rhs {
+                scale = scale.min(rhs / lhs);
+            }
+        }
+        for v in &mut cand {
+            *v *= scale;
+        }
+        prop_assert!(is_feasible(&lp, &cand));
+        let cand_obj: f64 = cand.iter().zip(&lp.costs).map(|(v, c)| v * c).sum();
+        prop_assert!(
+            sol.objective <= cand_obj + 1e-6,
+            "optimum {} beaten by sample {}",
+            sol.objective,
+            cand_obj
+        );
+    }
+
+    #[test]
+    fn ilp_matches_knapsack_dp(
+        values in proptest::collection::vec(1u16..=30, 1..=8),
+        weights in proptest::collection::vec(1u16..=10, 1..=8),
+        capacity in 1u16..=30,
+    ) {
+        let n = values.len().min(weights.len());
+        let values = &values[..n];
+        let weights = &weights[..n];
+
+        // DP reference.
+        let cap = capacity as usize;
+        let mut dp = vec![0u32; cap + 1];
+        for i in 0..n {
+            let w = weights[i] as usize;
+            let v = u32::from(values[i]);
+            for c in (w..=cap).rev() {
+                dp[c] = dp[c].max(dp[c - w] + v);
+            }
+        }
+        let best = dp[cap];
+
+        // ILP.
+        let mut m = Model::minimize();
+        let xs: Vec<_> = values.iter().map(|&v| m.add_bin_var(-f64::from(v))).collect();
+        let terms: Vec<_> = xs
+            .iter()
+            .copied()
+            .zip(weights.iter().map(|&w| f64::from(w)))
+            .collect();
+        m.add_constraint(&terms, Cmp::Le, f64::from(capacity));
+        let sol = m.solve_ilp().expect("knapsack solves");
+        prop_assert_eq!(sol.status, Status::Optimal);
+        prop_assert!(
+            (sol.objective + f64::from(best)).abs() < 1e-6,
+            "ILP {} vs DP {}",
+            -sol.objective,
+            best
+        );
+    }
+
+    #[test]
+    fn lp_relaxation_never_exceeds_ilp(
+        values in proptest::collection::vec(1u16..=20, 2..=6),
+        capacity in 2u16..=20,
+    ) {
+        // Same knapsack; LP bound must dominate (min: LP ≤ ILP).
+        let mut m = Model::minimize();
+        let xs: Vec<_> = values.iter().map(|&v| m.add_bin_var(-f64::from(v))).collect();
+        let terms: Vec<_> = xs.iter().map(|&x| (x, 2.0)).collect();
+        m.add_constraint(&terms, Cmp::Le, f64::from(capacity));
+        let lp = m.solve_lp().expect("lp").objective;
+        let ilp = m.solve_ilp().expect("ilp").objective;
+        prop_assert!(lp <= ilp + 1e-6, "LP {} > ILP {}", lp, ilp);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dual_simplex_matches_primal_on_nonnegative_costs(
+        costs in proptest::collection::vec(0u8..=5, 1..=4),
+        ubs in proptest::collection::vec(1u8..=8, 1..=4),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-2i8..=3, 4), -5i8..=20, 0u8..=2),
+            0..=4,
+        ),
+    ) {
+        use osars::solver::LpMethod;
+        let n = costs.len().min(ubs.len());
+        let mut m = Model::minimize();
+        let xs: Vec<_> = (0..n)
+            .map(|j| m.add_var(0.0, f64::from(ubs[j]), f64::from(costs[j])))
+            .collect();
+        for (coefs, rhs, cmp) in &rows {
+            let terms: Vec<_> = xs
+                .iter()
+                .copied()
+                .zip(coefs.iter().map(|&c| f64::from(c)))
+                .collect();
+            let cmp = match cmp {
+                0 => Cmp::Le,
+                1 => Cmp::Ge,
+                _ => Cmp::Eq,
+            };
+            m.add_constraint(&terms, cmp, f64::from(*rhs));
+        }
+        let p = m.solve_lp().expect("primal solves bounded model");
+        let d = m.solve_lp_with(LpMethod::Dual).expect("costs are non-negative");
+        prop_assert_eq!(p.status, d.status, "status mismatch");
+        if p.status == Status::Optimal {
+            prop_assert!(
+                (p.objective - d.objective).abs() < 1e-6,
+                "primal {} vs dual {}",
+                p.objective,
+                d.objective
+            );
+        }
+    }
+}
