@@ -29,9 +29,7 @@ type Occurrences = HashMap<Key, Vec<(usize, f64)>>;
 
 /// Count `(concept, polarity)` occurrences per sentence; returns the
 /// counts and, per key, the sentence indices containing it (in order).
-fn index_pairs(
-    sentences: &[SentenceRecord],
-) -> (HashMap<Key, usize>, Occurrences) {
+fn index_pairs(sentences: &[SentenceRecord]) -> (HashMap<Key, usize>, Occurrences) {
     let mut counts: HashMap<Key, usize> = HashMap::new();
     let mut occurrences: Occurrences = HashMap::new();
     for (si, s) in sentences.iter().enumerate() {
@@ -80,8 +78,7 @@ impl SentenceSelector for MostPopular {
                 if chosen.len() >= k {
                     break;
                 }
-                if let Some((si, _)) = occ[key].iter().filter(|(si, _)| !used.contains(si)).nth(0)
-                {
+                if let Some((si, _)) = occ[key].iter().filter(|(si, _)| !used.contains(si)).nth(0) {
                     if round == 0 || occ[key].len() > round {
                         used.insert(*si);
                         chosen.push(*si);

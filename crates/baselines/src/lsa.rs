@@ -91,12 +91,7 @@ impl SentenceSelector for LsaSummarizer {
         let a = Csr::from_triplets(vocab.len(), n, triplets).to_dense();
         let dec = svd(&a);
 
-        let r = self
-            .options
-            .dimensions
-            .min(k)
-            .min(dec.sigma.len())
-            .max(1);
+        let r = self.options.dimensions.min(k).min(dec.sigma.len()).max(1);
         let scores: Vec<f64> = (0..n)
             .map(|j| {
                 (0..r)

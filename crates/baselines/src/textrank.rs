@@ -39,8 +39,8 @@ impl SentenceSelector for TextRank {
         let mut weights = vec![0.0f64; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let denom = (words[i].len().max(2) as f64).ln()
-                    + (words[j].len().max(2) as f64).ln();
+                let denom =
+                    (words[i].len().max(2) as f64).ln() + (words[j].len().max(2) as f64).ln();
                 if denom <= 0.0 {
                     continue;
                 }

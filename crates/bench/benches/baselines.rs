@@ -24,11 +24,19 @@ fn bench_baselines(c: &mut Criterion) {
     let k = 6;
     let mut group = c.benchmark_group("baselines/150-sentences");
     group.sample_size(20);
-    group.bench_function("most_popular", |b| b.iter(|| MostPopular.select(&records, k)));
-    group.bench_function("proportional", |b| b.iter(|| Proportional.select(&records, k)));
+    group.bench_function("most_popular", |b| {
+        b.iter(|| MostPopular.select(&records, k))
+    });
+    group.bench_function("proportional", |b| {
+        b.iter(|| Proportional.select(&records, k))
+    });
     group.bench_function("textrank", |b| b.iter(|| TextRank.select(&records, k)));
-    group.bench_function("lexrank", |b| b.iter(|| LexRank::default().select(&records, k)));
-    group.bench_function("lsa", |b| b.iter(|| LsaSummarizer::default().select(&records, k)));
+    group.bench_function("lexrank", |b| {
+        b.iter(|| LexRank::default().select(&records, k))
+    });
+    group.bench_function("lsa", |b| {
+        b.iter(|| LsaSummarizer::default().select(&records, k))
+    });
     group.finish();
 }
 

@@ -35,10 +35,7 @@ fn main() {
         points.push((eps, mean));
     }
     match elbow(&points) {
-        Some(i) => println!(
-            "\nelbow at eps = {:.2} (paper selects 0.5)",
-            points[i].0
-        ),
+        Some(i) => println!("\nelbow at eps = {:.2} (paper selects 0.5)", points[i].0),
         None => println!("\nno elbow found (degenerate curve)"),
     }
     write_csv("elbow.csv", "eps,covered_fraction", &csv);

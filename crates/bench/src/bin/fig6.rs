@@ -8,12 +8,12 @@
 use osa_baselines::{
     LexRank, LsaSummarizer, MostPopular, Proportional, SentenceRecord, SentenceSelector, TextRank,
 };
-use osa_bench::write_csv;
+use osa_bench::{jobs_flag, write_csv};
 use osa_core::{CoverageGraph, Granularity, GreedySummarizer, Pair, Summarizer};
 use osa_datasets::{extract_item, Corpus, CorpusConfig, ExtractedItem};
 use osa_eval::{sent_err, sent_err_penalized};
+use osa_runtime::BatchJob;
 use osa_text::{ConceptMatcher, SentimentLexicon};
-
 
 const KS: [usize; 5] = [2, 4, 6, 8, 10];
 
@@ -53,21 +53,28 @@ fn main() {
         corpus.items.len()
     );
 
-    let baselines: Vec<Box<dyn SentenceSelector>> = vec![
-        Box::new(MostPopular),
-        Box::new(Proportional),
-        Box::new(TextRank),
-        Box::new(LexRank::default()),
-        Box::new(LsaSummarizer::default()),
-    ];
-    let method_names: Vec<&str> = std::iter::once("greedy (ours)")
-        .chain(baselines.iter().map(|b| b.name()))
+    let make_baselines = || -> Vec<Box<dyn SentenceSelector>> {
+        vec![
+            Box::new(MostPopular),
+            Box::new(Proportional),
+            Box::new(TextRank),
+            Box::new(LexRank::default()),
+            Box::new(LsaSummarizer::default()),
+        ]
+    };
+    let method_names: Vec<String> = std::iter::once("greedy (ours)".to_owned())
+        .chain(make_baselines().iter().map(|b| b.name().to_owned()))
         .collect();
 
-    // err[measure][method][k-index] accumulated over items.
+    // err[measure][method][k-index] accumulated over items. Per-item
+    // contributions come off the worker pool in item order, so the sums
+    // are identical for any --jobs value.
     let mut err = vec![vec![vec![0.0f64; KS.len()]; method_names.len()]; 2];
 
-    for item in &corpus.items {
+    let jobs = jobs_flag();
+    let per_item = BatchJob::new(&corpus.items).jobs(jobs).run(|_, _, item| {
+        let baselines = make_baselines();
+        let mut contrib = vec![vec![vec![0.0f64; KS.len()]; baselines.len() + 1]; 2];
         let mut ex = extract_item(item, &matcher, &lexicon);
         truncate_sentences(&mut ex, cap);
         let records: Vec<SentenceRecord> = ex
@@ -90,14 +97,25 @@ fn main() {
             // Greedy (ours).
             let sel = GreedySummarizer.summarize(&graph, k).selected;
             let f = summary_pairs(&ex, &sel);
-            err[0][0][ki] += sent_err(&corpus.hierarchy, &ex.pairs, &f);
-            err[1][0][ki] += sent_err_penalized(&corpus.hierarchy, &ex.pairs, &f);
+            contrib[0][0][ki] = sent_err(&corpus.hierarchy, &ex.pairs, &f);
+            contrib[1][0][ki] = sent_err_penalized(&corpus.hierarchy, &ex.pairs, &f);
             // Baselines.
             for (bi, b) in baselines.iter().enumerate() {
                 let sel = b.select(&records, k);
                 let f = summary_pairs(&ex, &sel);
-                err[0][bi + 1][ki] += sent_err(&corpus.hierarchy, &ex.pairs, &f);
-                err[1][bi + 1][ki] += sent_err_penalized(&corpus.hierarchy, &ex.pairs, &f);
+                contrib[0][bi + 1][ki] = sent_err(&corpus.hierarchy, &ex.pairs, &f);
+                contrib[1][bi + 1][ki] = sent_err_penalized(&corpus.hierarchy, &ex.pairs, &f);
+            }
+        }
+        contrib
+    });
+    eprintln!("{}", per_item.render_stats());
+    for contrib in &per_item.results {
+        for mi in 0..2 {
+            for m in 0..method_names.len() {
+                for ki in 0..KS.len() {
+                    err[mi][m][ki] += contrib[mi][m][ki];
+                }
             }
         }
     }
@@ -105,7 +123,10 @@ fn main() {
     let n = corpus.items.len() as f64;
     let mut csv = Vec::new();
     for (mi, measure) in ["sent-err", "sent-err-penalized"].iter().enumerate() {
-        println!("--- Fig. 6{}: {measure} (lower is better) ---", ['a', 'b'][mi]);
+        println!(
+            "--- Fig. 6{}: {measure} (lower is better) ---",
+            ['a', 'b'][mi]
+        );
         print!("{:<16}", "method \\ k");
         for k in KS {
             print!("{k:>10}");
@@ -129,7 +150,7 @@ fn main() {
                 (0..KS.len()).map(|ki| err[mi][m][ki] / n).sum::<f64>() / KS.len() as f64;
             if avg < best_base {
                 best_base = avg;
-                best_name = name;
+                best_name = name.as_str();
             }
         }
         let ours_avg: f64 = ours.iter().sum::<f64>() / ours.len() as f64;
@@ -160,12 +181,7 @@ fn truncate_sentences(ex: &mut ExtractedItem, cap: usize) {
     ex.reviews = ex
         .reviews
         .iter()
-        .map(|r| {
-            r.iter()
-                .copied()
-                .filter(|&si| si < cap)
-                .collect::<Vec<_>>()
-        })
+        .map(|r| r.iter().copied().filter(|&si| si < cap).collect::<Vec<_>>())
         .filter(|r| !r.is_empty())
         .collect();
 }

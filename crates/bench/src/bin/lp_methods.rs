@@ -3,7 +3,7 @@
 //! after the same comparison).
 
 use osa_bench::quant_workload;
-use osa_core::{Granularity, __diag_build_model};
+use osa_core::{__diag_build_model, Granularity};
 use osa_eval::Stopwatch;
 use osa_solver::LpMethod;
 
@@ -15,7 +15,10 @@ fn main() {
             let (model, _, stats) = __diag_build_model(&g, 5, false);
             let (p, pt) = Stopwatch::time(|| model.solve_lp().unwrap());
             let (d, dt) = Stopwatch::time(|| model.solve_lp_with(LpMethod::Dual).unwrap());
-            assert!((p.objective - d.objective).abs() < 1e-5, "objective mismatch");
+            assert!(
+                (p.objective - d.objective).abs() < 1e-5,
+                "objective mismatch"
+            );
             println!(
                 "pairs~{mean_pairs} item{i}: vars {:>5} cons {:>5} | primal {:>9.0}us dual {:>9.0}us ({:.2}x)",
                 stats.variables, stats.constraints, pt, dt, pt / dt

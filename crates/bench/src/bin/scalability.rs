@@ -5,11 +5,12 @@
 //! Sweeps |P| over a 30k-node synthetic ontology and prints init time,
 //! per-pair init time (should stay ~flat), graph size and greedy time.
 
-use osa_bench::write_csv;
+use osa_bench::{jobs_flag, write_csv};
 use osa_core::{CoverageGraph, GreedySummarizer, Summarizer};
 use osa_datasets::{sample_pairs, synthetic_ontology, SyntheticOntologyConfig};
 use osa_eval::Stopwatch;
 use osa_ontology::HierarchyStats;
+use osa_runtime::{item_seed, BatchJob};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,29 +34,32 @@ fn main() {
     );
 
     let mut csv = Vec::new();
-    let mut rng = StdRng::seed_from_u64(72);
-    for &n in &[1_000usize, 2_000, 5_000, 10_000, 20_000, 50_000] {
+    let sizes = [1_000usize, 2_000, 5_000, 10_000, 20_000, 50_000];
+    // Each size draws its pairs from an independent RNG seeded by
+    // (72, size-index), so the sweep can run on the worker pool without
+    // the sizes contending for one sequential RNG stream. With
+    // --jobs > 1 the timing columns measure contended wall time — use
+    // the default --jobs 1 for clean per-size timings.
+    let jobs = jobs_flag();
+    let report = BatchJob::new(&sizes).jobs(jobs).run(|_, si, &n| {
         // Cluster count scales with |P| so per-concept bucket sizes stay
         // bounded — the regime of the paper's near-linearity argument
         // (more reviews of one doctor mention more *topics*, not
         // infinitely deeper piles on one topic). Initialization is
         // output-sensitive: O(|P| · mean-ancestors + |E|).
         let clusters = (n / 250).max(8);
+        let mut rng = StdRng::seed_from_u64(item_seed(72, si as u64));
         let pairs = sample_pairs(&h, n, clusters, &mut rng);
-        let (graph, init_us) =
-            Stopwatch::time(|| CoverageGraph::for_pairs(&h, &pairs, 0.5));
+        let (graph, init_us) = Stopwatch::time(|| CoverageGraph::for_pairs(&h, &pairs, 0.5));
         let (summary, greedy_us) = Stopwatch::time(|| GreedySummarizer.summarize(&graph, 10));
+        (init_us, graph.num_edges(), greedy_us, summary.cost)
+    });
+    for (&n, &(init_us, edges, greedy_us, cost)) in sizes.iter().zip(&report.results) {
         println!(
-            "{n:>8} {init_us:>12.0} {:>14.3} {:>10} {greedy_us:>12.0} {:>12}",
+            "{n:>8} {init_us:>12.0} {:>14.3} {edges:>10} {greedy_us:>12.0} {cost:>12}",
             init_us / n as f64,
-            graph.num_edges(),
-            summary.cost
         );
-        csv.push(format!(
-            "{n},{init_us:.0},{:.0},{greedy_us:.0},{}",
-            graph.num_edges() as f64,
-            summary.cost
-        ));
+        csv.push(format!("{n},{init_us:.0},{edges},{greedy_us:.0},{cost}"));
     }
     println!("\n(per-pair init time staying flat = near-linear initialization, §4.1)");
     write_csv(

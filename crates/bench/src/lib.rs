@@ -29,10 +29,28 @@ use osa_ontology::Hierarchy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Worker count for the reproduction binaries: `--jobs N` on the command
+/// line wins, then the `OSA_JOBS` environment variable, then 1
+/// (sequential — the cleanest setting for timing columns). `0` means
+/// "all available cores".
+pub fn jobs_flag() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--jobs" {
+            if let Ok(n) = pair[1].parse() {
+                return n;
+            }
+        }
+    }
+    std::env::var("OSA_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 /// Where the harness writes its CSV output.
 pub fn repro_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/repro");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/repro");
     std::fs::create_dir_all(&dir).expect("create target/repro");
     dir
 }
@@ -40,9 +58,7 @@ pub fn repro_dir() -> PathBuf {
 /// Write CSV lines (header + rows) to `target/repro/<name>.csv`.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     let path = repro_dir().join(name);
-    let mut f = std::io::BufWriter::new(
-        std::fs::File::create(&path).expect("create csv file"),
-    );
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv file"));
     writeln!(f, "{header}").expect("write header");
     for r in rows {
         writeln!(f, "{r}").expect("write row");
@@ -169,9 +185,7 @@ impl Summarizer for NaiveGreedy {
     fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary {
         let n = graph.num_candidates();
         let k = k.min(n);
-        let mut best: Vec<u32> = (0..graph.num_pairs())
-            .map(|q| graph.root_dist(q))
-            .collect();
+        let mut best: Vec<u32> = (0..graph.num_pairs()).map(|q| graph.root_dist(q)).collect();
         let mut selected = Vec::with_capacity(k);
         let mut taken = vec![false; n];
         for _ in 0..k {

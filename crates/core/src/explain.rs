@@ -36,12 +36,7 @@ pub struct Explanation {
 impl Explanation {
     /// Total cost (must equal the summary's cost).
     pub fn total_cost(&self) -> u64 {
-        self.root_cost_share
-            + self
-                .candidates
-                .iter()
-                .map(|c| c.cost_share)
-                .sum::<u64>()
+        self.root_cost_share + self.candidates.iter().map(|c| c.cost_share).sum::<u64>()
     }
 }
 

@@ -53,12 +53,7 @@ impl CoverageGraph {
     /// the multiplicity of `pairs[q]` (see [`compress_pairs`]). Costs are
     /// identical to the uncompressed instance, but the graph is as small
     /// as the number of distinct pairs.
-    pub fn for_weighted_pairs(
-        h: &Hierarchy,
-        pairs: &[Pair],
-        weights: &[u64],
-        eps: f64,
-    ) -> Self {
+    pub fn for_weighted_pairs(h: &Hierarchy, pairs: &[Pair], weights: &[u64], eps: f64) -> Self {
         assert_eq!(pairs.len(), weights.len(), "one weight per pair");
         let groups: Vec<Vec<usize>> = (0..pairs.len()).map(|i| vec![i]).collect();
         Self::build(h, pairs, &groups, eps, Granularity::Pairs, Some(weights))

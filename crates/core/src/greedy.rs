@@ -22,9 +22,7 @@ impl Summarizer for GreedySummarizer {
         let n = graph.num_candidates();
         let k = k.min(n);
         // best[q] = current serving distance of pair q (root to start).
-        let mut best: Vec<u32> = (0..graph.num_pairs())
-            .map(|q| graph.root_dist(q))
-            .collect();
+        let mut best: Vec<u32> = (0..graph.num_pairs()).map(|q| graph.root_dist(q)).collect();
 
         // Initial keys: δ(u, {r}) = Σ_q max(0, best[q] − d(u, q)).
         let keys: Vec<u64> = (0..n)
@@ -102,23 +100,19 @@ impl Summarizer for LazyGreedySummarizer {
 
         let n = graph.num_candidates();
         let k = k.min(n);
-        let mut best: Vec<u32> = (0..graph.num_pairs())
-            .map(|q| graph.root_dist(q))
-            .collect();
+        let mut best: Vec<u32> = (0..graph.num_pairs()).map(|q| graph.root_dist(q)).collect();
         let gain = |u: usize, best: &[u32]| -> u64 {
             graph
                 .covered_by(u)
                 .iter()
                 .map(|&(q, d)| {
-                    u64::from(best[q as usize].saturating_sub(d))
-                        * graph.pair_weight(q as usize)
+                    u64::from(best[q as usize].saturating_sub(d)) * graph.pair_weight(q as usize)
                 })
                 .sum()
         };
 
         // Entries are (possibly stale) upper bounds on the marginal gain.
-        let mut heap: BinaryHeap<(u64, u32)> =
-            (0..n).map(|u| (gain(u, &best), u as u32)).collect();
+        let mut heap: BinaryHeap<(u64, u32)> = (0..n).map(|u| (gain(u, &best), u as u32)).collect();
         let mut selected = Vec::with_capacity(k);
 
         while selected.len() < k {
@@ -222,12 +216,7 @@ mod tests {
     fn lazy_matches_eager_cost() {
         let h = star(6);
         let pairs: Vec<Pair> = (0..6)
-            .map(|i| {
-                Pair::new(
-                    h.node_by_name(&format!("c{i}")).unwrap(),
-                    (i as f64) / 10.0,
-                )
-            })
+            .map(|i| Pair::new(h.node_by_name(&format!("c{i}")).unwrap(), (i as f64) / 10.0))
             .collect();
         let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.3);
         for k in 0..=6 {

@@ -157,6 +157,51 @@ mod tests {
     }
 
     #[test]
+    fn empty_heap_pops_nothing() {
+        let mut h = IndexedMaxHeap::new(Vec::new());
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.pop_max(), None);
+        // Popping an already-empty heap stays a no-op forever.
+        assert_eq!(h.pop_max(), None);
+    }
+
+    #[test]
+    fn pop_after_exhaustion_keeps_returning_none() {
+        let mut h = IndexedMaxHeap::new(vec![4, 2]);
+        assert!(h.pop_max().is_some());
+        assert!(h.pop_max().is_some());
+        for _ in 0..3 {
+            assert_eq!(h.pop_max(), None);
+        }
+        assert!(!h.contains(0) && !h.contains(1));
+    }
+
+    #[test]
+    fn equal_keys_all_surface_exactly_once() {
+        let mut h = IndexedMaxHeap::new(vec![7; 5]);
+        let mut items: Vec<u32> = Vec::new();
+        while let Some((item, key)) = h.pop_max() {
+            assert_eq!(key, 7);
+            items.push(item);
+        }
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn decrease_to_zero_sinks_to_the_bottom() {
+        let mut h = IndexedMaxHeap::new(vec![9, 5, 3]);
+        h.decrease_key(0, 0);
+        assert_eq!(h.key(0), 0);
+        assert_eq!(h.pop_max(), Some((1, 5)));
+        assert_eq!(h.pop_max(), Some((2, 3)));
+        // The zeroed item comes out last but is never lost.
+        assert_eq!(h.pop_max(), Some((0, 0)));
+        assert_eq!(h.pop_max(), None);
+    }
+
+    #[test]
     fn many_random_like_operations_stay_consistent() {
         // Deterministic pseudo-random workload cross-checked against a
         // naive reference.
@@ -166,7 +211,9 @@ mod tests {
         let mut alive: Vec<bool> = vec![true; n as usize];
         let mut state = 12345u64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..200 {

@@ -75,10 +75,10 @@ mod summarizer;
 pub use exact::ExactBruteForce;
 pub use graph::{CoverageGraph, Granularity};
 pub use greedy::{GreedySummarizer, LazyGreedySummarizer};
-pub use ilp::{IlpSummarizer, LpRelaxationStats};
-pub use local_search::LocalSearchSummarizer;
 #[doc(hidden)]
 pub use ilp::__diag_build_model;
+pub use ilp::{IlpSummarizer, LpRelaxationStats};
+pub use local_search::LocalSearchSummarizer;
 pub use pair::{compress_pairs, pair_distance, Pair};
 pub use rounding::RandomizedRounding;
 pub use summarizer::{Summarizer, Summary};

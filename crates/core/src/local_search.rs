@@ -73,9 +73,7 @@ impl Summarizer for LocalSearchSummarizer {
                         }
                         cost += u64::from(d) * graph.pair_weight(q);
                     }
-                    if cost < current.cost
-                        && best.is_none_or(|(_, _, bc)| cost < bc)
-                    {
+                    if cost < current.cost && best.is_none_or(|(_, _, bc)| cost < bc) {
                         best = Some((out_pos, cand, cost));
                     }
                 }

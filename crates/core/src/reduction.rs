@@ -71,7 +71,8 @@ pub fn reduce(sc: &SetCoverInstance) -> ReductionInstance {
         b.add_edge(root, cs[i]).expect("fresh edge");
         b.add_edge(cs[i], es[i]).expect("fresh edge");
         for &j in &sc.sets[i] {
-            b.add_edge(cs[i], ds[j]).expect("element listed once per set");
+            b.add_edge(cs[i], ds[j])
+                .expect("element listed once per set");
         }
     }
     let hierarchy = b.build().expect("reduction DAG is valid");
@@ -179,7 +180,8 @@ mod tests {
     #[test]
     fn reduction_matches_oracle_on_small_instances() {
         // A handful of hand-rolled instances, both feasible and not.
-        let cases = [SetCoverInstance {
+        let cases = [
+            SetCoverInstance {
                 universe: 3,
                 sets: vec![vec![0], vec![1], vec![2], vec![0, 1, 2]],
                 k: 1,
@@ -198,7 +200,8 @@ mod tests {
                 universe: 4,
                 sets: vec![vec![0, 1], vec![2], vec![3], vec![2, 3]],
                 k: 2,
-            }];
+            },
+        ];
         for (i, sc) in cases.iter().enumerate() {
             let expect = set_cover_exists(sc);
             let got = reduce(sc).has_cheap_summary(&ExactBruteForce);

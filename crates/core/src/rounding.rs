@@ -28,7 +28,10 @@ pub struct RandomizedRounding {
 
 impl Default for RandomizedRounding {
     fn default() -> Self {
-        RandomizedRounding { seed: 42, trials: 1 }
+        RandomizedRounding {
+            seed: 42,
+            trials: 1,
+        }
     }
 }
 
@@ -41,11 +44,7 @@ impl RandomizedRounding {
     /// Sample `k` distinct indices from `weights` (∝ weight, without
     /// replacement). Zero-weight items are drawn (uniformly) only once
     /// the positive mass is exhausted.
-    fn sample_without_replacement(
-        rng: &mut StdRng,
-        weights: &[f64],
-        k: usize,
-    ) -> Vec<usize> {
+    fn sample_without_replacement(rng: &mut StdRng, weights: &[f64], k: usize) -> Vec<usize> {
         let mut w: Vec<f64> = weights.to_vec();
         let mut taken = vec![false; w.len()];
         let mut total: f64 = w.iter().sum();
@@ -53,8 +52,7 @@ impl RandomizedRounding {
         for _ in 0..k.min(w.len()) {
             let pick = if total <= 1e-12 {
                 // Residual uniform draw over the not-yet-chosen items.
-                let remaining: Vec<usize> =
-                    (0..w.len()).filter(|&i| !taken[i]).collect();
+                let remaining: Vec<usize> = (0..w.len()).filter(|&i| !taken[i]).collect();
                 if remaining.is_empty() {
                     None
                 } else {
@@ -74,9 +72,7 @@ impl RandomizedRounding {
                     t -= wi;
                 }
                 // Floating-point edge: fall back to the last positive.
-                idx.or_else(|| {
-                    (0..w.len()).rev().find(|&i| !taken[i] && w[i] > 0.0)
-                })
+                idx.or_else(|| (0..w.len()).rev().find(|&i| !taken[i] && w[i] > 0.0))
             };
             let Some(i) = pick else { break };
             chosen.push(i);
@@ -184,7 +180,11 @@ mod tests {
         let (h, pairs) = instance();
         let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
         let one = RandomizedRounding { seed: 5, trials: 1 }.summarize(&g, 2);
-        let many = RandomizedRounding { seed: 5, trials: 16 }.summarize(&g, 2);
+        let many = RandomizedRounding {
+            seed: 5,
+            trials: 16,
+        }
+        .summarize(&g, 2);
         assert!(many.cost <= one.cost);
     }
 

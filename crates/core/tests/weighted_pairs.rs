@@ -1,0 +1,138 @@
+//! The weighted-pairs path must be a drop-in equivalent of the raw-pairs
+//! path: collapsing duplicate pairs with [`compress_pairs`] and solving
+//! the weighted instance gives the same root cost, the same cost for any
+//! selection (mapped across the candidate spaces), and the same greedy
+//! cost trajectory.
+
+use osa_core::{
+    compress_pairs, CoverageGraph, ExactBruteForce, GreedySummarizer, LazyGreedySummarizer, Pair,
+    Summarizer,
+};
+use osa_ontology::{Hierarchy, HierarchyBuilder, NodeId};
+use proptest::prelude::*;
+
+/// A small random tree plus a duplicate-heavy pair multiset.
+fn arb_weighted_instance() -> impl Strategy<Value = (Hierarchy, Vec<Pair>)> {
+    (3usize..=7)
+        .prop_flat_map(|n| {
+            let parents: Vec<_> = (1..n).map(|i| 0..i).collect();
+            // Few distinct sentiment levels + few concepts → many real
+            // duplicates for compression to collapse.
+            let pairs = proptest::collection::vec((0..n, -2i8..=2), 4..=16);
+            (Just(n), parents, pairs)
+        })
+        .prop_map(|(n, parents, raw)| {
+            let mut b = HierarchyBuilder::new();
+            for i in 0..n {
+                b.add_node(&format!("n{i}"));
+            }
+            for (i, p) in parents.into_iter().enumerate() {
+                b.add_edge(NodeId::from_index(p), NodeId::from_index(i + 1))
+                    .unwrap();
+            }
+            let h = b.build().expect("valid tree");
+            let pairs = raw
+                .into_iter()
+                .map(|(c, s)| Pair::new(NodeId::from_index(c), f64::from(s) / 2.0))
+                .collect();
+            (h, pairs)
+        })
+        .no_shrink()
+}
+
+/// Candidate index in the compressed graph for each raw candidate: in
+/// the pairs granularity, candidate i *is* pair i, so the mapping is the
+/// first-occurrence index compress_pairs assigns.
+fn raw_to_compressed(pairs: &[Pair], unique: &[Pair]) -> Vec<usize> {
+    pairs
+        .iter()
+        .map(|p| {
+            unique
+                .iter()
+                .position(|u| u.concept == p.concept && u.sentiment == p.sentiment)
+                .expect("every raw pair has a unique representative")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cost_of_agrees_between_raw_and_compressed(
+        (h, pairs) in arb_weighted_instance(),
+        picks in proptest::collection::vec(0usize..64, 0..=4),
+    ) {
+        let raw = CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let (unique, weights) = compress_pairs(&pairs);
+        let comp = CoverageGraph::for_weighted_pairs(&h, &unique, &weights, 0.5);
+        let map = raw_to_compressed(&pairs, &unique);
+
+        prop_assert_eq!(comp.root_cost(), raw.root_cost());
+
+        // Any raw selection costs the same as its compressed image.
+        let raw_sel: Vec<usize> = picks.iter().map(|&p| p % pairs.len()).collect();
+        let mut comp_sel: Vec<usize> = raw_sel.iter().map(|&i| map[i]).collect();
+        comp_sel.sort_unstable();
+        comp_sel.dedup();
+        prop_assert_eq!(raw.cost_of(&raw_sel), comp.cost_of(&comp_sel));
+    }
+
+    #[test]
+    fn greedy_costs_agree_between_raw_and_compressed(
+        (h, pairs) in arb_weighted_instance(),
+        k in 1usize..=4,
+    ) {
+        let raw = CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let (unique, weights) = compress_pairs(&pairs);
+        let comp = CoverageGraph::for_weighted_pairs(&h, &unique, &weights, 0.5);
+
+        // Greedy selections may differ (duplicates create ties) but the
+        // achieved costs must match: the candidate sets are equivalent up
+        // to duplication, which never helps, and greedy is optimal-per-
+        // step on both. At minimum each reports its true cost and the
+        // exact optima coincide.
+        let g_raw = GreedySummarizer.summarize(&raw, k);
+        let g_comp = GreedySummarizer.summarize(&comp, k);
+        prop_assert_eq!(g_raw.cost, raw.cost_of(&g_raw.selected));
+        prop_assert_eq!(g_comp.cost, comp.cost_of(&g_comp.selected));
+
+        let opt_raw = ExactBruteForce.summarize(&raw, k).cost;
+        let opt_comp = ExactBruteForce.summarize(&comp, k).cost;
+        prop_assert_eq!(opt_raw, opt_comp);
+        prop_assert!(g_raw.cost >= opt_raw && g_comp.cost >= opt_comp);
+
+        // Lazy greedy reports true costs on the weighted instance too.
+        let l_comp = LazyGreedySummarizer.summarize(&comp, k);
+        prop_assert_eq!(l_comp.cost, comp.cost_of(&l_comp.selected));
+    }
+}
+
+#[test]
+fn weighted_multiplicity_scales_cost_linearly() {
+    // r -> a -> b; two distinct pairs on b, one multiplied ×5. Serving it
+    // from the root costs depth(b)=2 per copy.
+    let mut bl = HierarchyBuilder::new();
+    let r = bl.add_node("r");
+    let a = bl.add_node("a");
+    let b = bl.add_node("b");
+    bl.add_edge(r, a).unwrap();
+    bl.add_edge(a, b).unwrap();
+    let h = bl.build().unwrap();
+
+    let heavy = Pair::new(b, 0.5);
+    let light = Pair::new(b, -0.5);
+    let raw: Vec<Pair> = std::iter::repeat_n(heavy, 5)
+        .chain(std::iter::once(light))
+        .collect();
+    let (unique, weights) = compress_pairs(&raw);
+    assert_eq!(weights, vec![5, 1]);
+
+    let graph_raw = CoverageGraph::for_pairs(&h, &raw, 0.5);
+    let graph_w = CoverageGraph::for_weighted_pairs(&h, &unique, &weights, 0.5);
+    assert_eq!(graph_raw.root_cost(), 12); // 6 copies × depth 2
+    assert_eq!(graph_w.root_cost(), 12);
+    // Selecting the heavy pair zeroes its 5 copies in both formulations.
+    assert_eq!(graph_w.cost_of(&[0]), graph_raw.cost_of(&[0]));
+    assert_eq!(graph_w.num_candidates(), 2);
+}

@@ -1,7 +1,7 @@
 //! Template-based synthetic review corpora with planted ground truth.
 
-use osa_ontology::{Hierarchy, NodeId};
 use osa_core::Pair;
+use osa_ontology::{Hierarchy, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -175,22 +175,12 @@ impl Corpus {
             let weight: Vec<f64> = aspects.iter().map(|_| -rng.gen::<f64>().ln()).collect();
             let wsum: f64 = weight.iter().sum();
 
-            let n_reviews = sample_count(
-                &mut rng,
-                cfg.min_reviews,
-                cfg.max_reviews,
-                cfg.mean_reviews,
-            );
+            let n_reviews =
+                sample_count(&mut rng, cfg.min_reviews, cfg.max_reviews, cfg.mean_reviews);
             let mut reviews = Vec::with_capacity(n_reviews);
             for _ in 0..n_reviews {
                 reviews.push(generate_review(
-                    &mut rng,
-                    &hierarchy,
-                    &aspects,
-                    &quality,
-                    &weight,
-                    wsum,
-                    cfg,
+                    &mut rng, &hierarchy, &aspects, &quality, &weight, wsum, cfg,
                 ));
             }
             items.push(Item {
@@ -219,6 +209,12 @@ impl Corpus {
     /// Total number of reviews across items.
     pub fn total_reviews(&self) -> usize {
         self.items.iter().map(|i| i.reviews.len()).sum()
+    }
+
+    /// Iterate items with their stable indices — the identity the batch
+    /// engine keys per-item work (and per-item RNG seeds) on.
+    pub fn indexed_items(&self) -> impl ExactSizeIterator<Item = (usize, &Item)> {
+        self.items.iter().enumerate()
     }
 }
 
@@ -269,7 +265,9 @@ fn generate_review(
                 1 => format!("In my experience the {term} was {adj}."),
                 2 => {
                     let mut c = adj.chars();
-                    let cap = c.next().map(|f| f.to_uppercase().collect::<String>() + c.as_str());
+                    let cap = c
+                        .next()
+                        .map(|f| f.to_uppercase().collect::<String>() + c.as_str());
                     format!("{} {term}.", cap.unwrap_or_else(|| adj.to_owned()))
                 }
                 _ => format!("The {term} seems {adj}."),
@@ -277,10 +275,7 @@ fn generate_review(
             sentences.push(sentence);
             planted.push(Pair::new(aspect, level));
         } else {
-            sentences.push(format!(
-                "{}.",
-                FILLERS[rng.gen_range(0..FILLERS.len())]
-            ));
+            sentences.push(format!("{}.", FILLERS[rng.gen_range(0..FILLERS.len())]));
         }
     }
     Review {

@@ -25,7 +25,15 @@ pub fn phone_hierarchy() -> Hierarchy {
     let price = b.add_node_with_terms("price", &["price", "cost", "value"]);
     let service = b.add_node_with_terms("service", &["service", "seller", "vendor"]);
     for c in [
-        screen, battery, camera, sound, design, performance, software, connectivity, price,
+        screen,
+        battery,
+        camera,
+        sound,
+        design,
+        performance,
+        software,
+        connectivity,
+        price,
         service,
     ] {
         b.add_edge(root, c).expect("fresh top-level edge");
@@ -37,43 +45,101 @@ pub fn phone_hierarchy() -> Hierarchy {
         n
     };
 
-    leaf(screen, "screen resolution", &["resolution", "screen resolution"]);
-    leaf(screen, "screen color", &["screen color", "display color", "color reproduction"]);
-    leaf(screen, "screen brightness", &["brightness", "screen brightness"]);
-    leaf(screen, "touchscreen", &["touchscreen", "touch screen", "touch"]);
+    leaf(
+        screen,
+        "screen resolution",
+        &["resolution", "screen resolution"],
+    );
+    leaf(
+        screen,
+        "screen color",
+        &["screen color", "display color", "color reproduction"],
+    );
+    leaf(
+        screen,
+        "screen brightness",
+        &["brightness", "screen brightness"],
+    );
+    leaf(
+        screen,
+        "touchscreen",
+        &["touchscreen", "touch screen", "touch"],
+    );
     leaf(screen, "screen size", &["screen size", "display size"]);
 
-    leaf(battery, "battery life", &["battery life", "battery lifetime"]);
-    leaf(battery, "charging", &["charging", "charger", "charge time", "recharge"]);
+    leaf(
+        battery,
+        "battery life",
+        &["battery life", "battery lifetime"],
+    );
+    leaf(
+        battery,
+        "charging",
+        &["charging", "charger", "charge time", "recharge"],
+    );
 
-    leaf(camera, "picture quality", &["picture quality", "photo quality", "picture", "photo"]);
+    leaf(
+        camera,
+        "picture quality",
+        &["picture quality", "photo quality", "picture", "photo"],
+    );
     leaf(camera, "video recording", &["video", "video recording"]);
     leaf(camera, "front camera", &["front camera", "selfie camera"]);
     leaf(camera, "camera flash", &["flash", "camera flash"]);
     leaf(camera, "zoom", &["zoom"]);
 
     leaf(sound, "speaker", &["speaker", "speakers", "loudspeaker"]);
-    leaf(sound, "call quality", &["call quality", "call", "reception quality"]);
+    leaf(
+        sound,
+        "call quality",
+        &["call quality", "call", "reception quality"],
+    );
     leaf(sound, "microphone", &["microphone", "mic"]);
     leaf(sound, "volume", &["volume"]);
-    leaf(sound, "headphones", &["headphone", "headphones", "earbuds", "headphone jack"]);
+    leaf(
+        sound,
+        "headphones",
+        &["headphone", "headphones", "earbuds", "headphone jack"],
+    );
 
     leaf(design, "size", &["size", "dimensions"]);
     leaf(design, "weight", &["weight"]);
     leaf(design, "body color", &["body color", "finish"]);
     leaf(design, "buttons", &["button", "buttons"]);
-    leaf(design, "materials", &["material", "materials", "plastic", "metal frame", "glass back"]);
+    leaf(
+        design,
+        "materials",
+        &[
+            "material",
+            "materials",
+            "plastic",
+            "metal frame",
+            "glass back",
+        ],
+    );
 
     leaf(performance, "speed", &["speed", "responsiveness"]);
     leaf(performance, "processor", &["processor", "cpu", "chipset"]);
     leaf(performance, "memory", &["memory", "ram"]);
-    leaf(performance, "storage", &["storage", "internal storage", "sd card"]);
+    leaf(
+        performance,
+        "storage",
+        &["storage", "internal storage", "sd card"],
+    );
     leaf(performance, "gaming", &["gaming", "games"]);
 
-    leaf(software, "operating system", &["operating system", "android", "os"]);
+    leaf(
+        software,
+        "operating system",
+        &["operating system", "android", "os"],
+    );
     leaf(software, "updates", &["update", "updates"]);
     leaf(software, "interface", &["interface", "ui", "launcher"]);
-    leaf(software, "preinstalled apps", &["bloatware", "preinstalled apps", "apps"]);
+    leaf(
+        software,
+        "preinstalled apps",
+        &["bloatware", "preinstalled apps", "apps"],
+    );
 
     leaf(connectivity, "wifi", &["wifi", "wi-fi", "wireless"]);
     leaf(connectivity, "bluetooth", &["bluetooth"]);
@@ -84,7 +150,11 @@ pub fn phone_hierarchy() -> Hierarchy {
     leaf(service, "shipping", &["shipping", "delivery"]);
     leaf(service, "packaging", &["packaging", "box"]);
     leaf(service, "warranty", &["warranty"]);
-    leaf(service, "customer support", &["customer support", "support", "customer service"]);
+    leaf(
+        service,
+        "customer support",
+        &["customer support", "support", "customer service"],
+    );
 
     b.build().expect("phone hierarchy is a valid rooted DAG")
 }
@@ -109,7 +179,9 @@ pub fn doctor_hierarchy() -> Hierarchy {
     let office = b.add_node_with_terms("office", &["office", "clinic", "facility"]);
     let billing = b.add_node_with_terms("billing", &["billing", "bill"]);
     let conditions = b.add_node_with_terms("condition care", &["condition", "conditions"]);
-    for c in [diagnosis, treatment, manner, staff, office, billing, conditions] {
+    for c in [
+        diagnosis, treatment, manner, staff, office, billing, conditions,
+    ] {
         b.add_edge(root, c).expect("fresh top-level edge");
     }
 
@@ -119,17 +191,62 @@ pub fn doctor_hierarchy() -> Hierarchy {
         n
     };
 
-    leaf(&mut b, diagnosis, "diagnostic accuracy", &["diagnostic accuracy", "accurate diagnosis", "misdiagnosis"]);
-    leaf(&mut b, diagnosis, "thoroughness", &["thoroughness", "thorough exam", "examination"]);
-    leaf(&mut b, diagnosis, "lab tests", &["lab test", "lab tests", "blood work", "labs"]);
+    leaf(
+        &mut b,
+        diagnosis,
+        "diagnostic accuracy",
+        &["diagnostic accuracy", "accurate diagnosis", "misdiagnosis"],
+    );
+    leaf(
+        &mut b,
+        diagnosis,
+        "thoroughness",
+        &["thoroughness", "thorough exam", "examination"],
+    );
+    leaf(
+        &mut b,
+        diagnosis,
+        "lab tests",
+        &["lab test", "lab tests", "blood work", "labs"],
+    );
 
-    let medication = leaf(&mut b, treatment, "medication", &["medication", "prescription", "meds"]);
-    leaf(&mut b, medication, "medication side effects", &["side effect", "side effects"]);
-    let surgery = leaf(&mut b, treatment, "surgery", &["surgery", "operation", "procedure"]);
-    leaf(&mut b, surgery, "tummy tuck", &["tummy tuck", "abdominoplasty"]);
+    let medication = leaf(
+        &mut b,
+        treatment,
+        "medication",
+        &["medication", "prescription", "meds"],
+    );
+    leaf(
+        &mut b,
+        medication,
+        "medication side effects",
+        &["side effect", "side effects"],
+    );
+    let surgery = leaf(
+        &mut b,
+        treatment,
+        "surgery",
+        &["surgery", "operation", "procedure"],
+    );
+    leaf(
+        &mut b,
+        surgery,
+        "tummy tuck",
+        &["tummy tuck", "abdominoplasty"],
+    );
     leaf(&mut b, surgery, "liposuction", &["liposuction", "lipo"]);
-    leaf(&mut b, treatment, "physical therapy", &["physical therapy", "rehab", "therapy"]);
-    leaf(&mut b, treatment, "follow-up", &["follow-up", "follow up", "aftercare"]);
+    leaf(
+        &mut b,
+        treatment,
+        "physical therapy",
+        &["physical therapy", "rehab", "therapy"],
+    );
+    leaf(
+        &mut b,
+        treatment,
+        "follow-up",
+        &["follow-up", "follow up", "aftercare"],
+    );
 
     // Pain management sits under both treatment and condition care: a
     // genuine multi-parent DAG node, like its SNOMED counterpart.
@@ -137,22 +254,77 @@ pub fn doctor_hierarchy() -> Hierarchy {
     b.add_edge(treatment, pain).expect("fresh edge");
     b.add_edge(conditions, pain).expect("fresh edge");
 
-    let heart = leaf(&mut b, conditions, "heart disease management", &["heart disease", "cardiac care", "heart condition"]);
-    leaf(&mut b, heart, "blood pressure control", &["blood pressure", "hypertension"]);
-    leaf(&mut b, conditions, "diabetes management", &["diabetes", "blood sugar"]);
-    leaf(&mut b, conditions, "allergy care", &["allergy", "allergies"]);
-    leaf(&mut b, conditions, "back pain care", &["back pain", "backache"]);
+    let heart = leaf(
+        &mut b,
+        conditions,
+        "heart disease management",
+        &["heart disease", "cardiac care", "heart condition"],
+    );
+    leaf(
+        &mut b,
+        heart,
+        "blood pressure control",
+        &["blood pressure", "hypertension"],
+    );
+    leaf(
+        &mut b,
+        conditions,
+        "diabetes management",
+        &["diabetes", "blood sugar"],
+    );
+    leaf(
+        &mut b,
+        conditions,
+        "allergy care",
+        &["allergy", "allergies"],
+    );
+    leaf(
+        &mut b,
+        conditions,
+        "back pain care",
+        &["back pain", "backache"],
+    );
 
-    leaf(&mut b, manner, "communication", &["communication", "explains", "explanation"]);
+    leaf(
+        &mut b,
+        manner,
+        "communication",
+        &["communication", "explains", "explanation"],
+    );
     leaf(&mut b, manner, "listening", &["listening", "listens"]);
-    leaf(&mut b, manner, "empathy", &["empathy", "compassion", "caring attitude"]);
+    leaf(
+        &mut b,
+        manner,
+        "empathy",
+        &["empathy", "compassion", "caring attitude"],
+    );
 
     leaf(&mut b, staff, "nurses", &["nurse", "nurses"]);
-    leaf(&mut b, staff, "receptionist", &["receptionist", "front desk"]);
+    leaf(
+        &mut b,
+        staff,
+        "receptionist",
+        &["receptionist", "front desk"],
+    );
 
-    leaf(&mut b, office, "wait time", &["wait time", "waiting time", "wait"]);
-    leaf(&mut b, office, "scheduling", &["scheduling", "appointment", "appointments"]);
-    leaf(&mut b, office, "cleanliness", &["cleanliness", "clean office", "hygiene"]);
+    leaf(
+        &mut b,
+        office,
+        "wait time",
+        &["wait time", "waiting time", "wait"],
+    );
+    leaf(
+        &mut b,
+        office,
+        "scheduling",
+        &["scheduling", "appointment", "appointments"],
+    );
+    leaf(
+        &mut b,
+        office,
+        "cleanliness",
+        &["cleanliness", "clean office", "hygiene"],
+    );
     leaf(&mut b, office, "parking", &["parking"]);
 
     leaf(&mut b, billing, "insurance", &["insurance", "coverage"]);

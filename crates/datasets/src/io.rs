@@ -7,7 +7,7 @@
 //! truth, referencing concepts by name (stable across arena layouts).
 
 use osa_core::Pair;
-use serde::{Deserialize, Serialize};
+use osa_json::Value;
 
 use crate::{Corpus, Item, Review};
 
@@ -43,86 +43,127 @@ impl From<std::io::Error> for CorpusIoError {
     }
 }
 
-#[derive(Serialize, Deserialize)]
-struct ReviewDoc {
-    text: String,
-    /// `(concept name, sentiment)` ground truth.
-    planted: Vec<(String, f64)>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct ItemDoc {
-    name: String,
-    reviews: Vec<ReviewDoc>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct CorpusDoc {
-    name: String,
-    /// The hierarchy in `osa_ontology::io` JSON form (nested document).
-    hierarchy: serde_json::Value,
-    items: Vec<ItemDoc>,
+fn bad(msg: &str) -> CorpusIoError {
+    CorpusIoError::Serde(msg.to_owned())
 }
 
 /// Serialize a corpus to JSON.
+///
+/// Document shape:
+///
+/// ```json
+/// {
+///   "name": "...",
+///   "hierarchy": { "nodes": [...], "edges": [...] },
+///   "items": [
+///     { "name": "...",
+///       "reviews": [ { "text": "...", "planted": [["screen", 0.5], ...] } ] }
+///   ]
+/// }
+/// ```
 pub fn corpus_to_json(c: &Corpus) -> String {
-    let doc = CorpusDoc {
-        name: c.name.clone(),
-        hierarchy: serde_json::from_str(&osa_ontology::io::to_json(&c.hierarchy))
-            .expect("hierarchy JSON is valid"),
-        items: c
-            .items
-            .iter()
-            .map(|item| ItemDoc {
-                name: item.name.clone(),
-                reviews: item
-                    .reviews
-                    .iter()
-                    .map(|r| ReviewDoc {
-                        text: r.text.clone(),
-                        planted: r
-                            .planted
-                            .iter()
-                            .map(|p| (c.hierarchy.name(p.concept).to_owned(), p.sentiment))
-                            .collect(),
-                    })
-                    .collect(),
-            })
-            .collect(),
-    };
-    serde_json::to_string(&doc).expect("corpus document serializes")
+    let items = c
+        .items
+        .iter()
+        .map(|item| {
+            let reviews = item
+                .reviews
+                .iter()
+                .map(|r| {
+                    let planted = r
+                        .planted
+                        .iter()
+                        .map(|p| {
+                            Value::Array(vec![
+                                Value::from(c.hierarchy.name(p.concept)),
+                                Value::from(p.sentiment),
+                            ])
+                        })
+                        .collect();
+                    Value::Object(vec![
+                        ("text".into(), Value::from(r.text.as_str())),
+                        ("planted".into(), Value::Array(planted)),
+                    ])
+                })
+                .collect();
+            Value::Object(vec![
+                ("name".into(), Value::from(item.name.as_str())),
+                ("reviews".into(), Value::Array(reviews)),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("name".into(), Value::from(c.name.as_str())),
+        ("hierarchy".into(), osa_ontology::io::to_value(&c.hierarchy)),
+        ("items".into(), Value::Array(items)),
+    ]);
+    osa_json::to_string(&doc)
 }
 
 /// Parse a corpus from its JSON representation.
 pub fn corpus_from_json(json: &str) -> Result<Corpus, CorpusIoError> {
-    let doc: CorpusDoc =
-        serde_json::from_str(json).map_err(|e| CorpusIoError::Serde(e.to_string()))?;
-    let hier_json =
-        serde_json::to_string(&doc.hierarchy).map_err(|e| CorpusIoError::Serde(e.to_string()))?;
-    let hierarchy = osa_ontology::io::from_json(&hier_json).map_err(CorpusIoError::Ontology)?;
-    let mut items = Vec::with_capacity(doc.items.len());
-    for item in doc.items {
-        let mut reviews = Vec::with_capacity(item.reviews.len());
-        for r in item.reviews {
-            let mut planted = Vec::with_capacity(r.planted.len());
-            for (name, s) in r.planted {
+    let doc = osa_json::parse(json).map_err(|e| CorpusIoError::Serde(e.to_string()))?;
+    let name = doc
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("corpus must have a string 'name'"))?
+        .to_owned();
+    let hierarchy = osa_ontology::io::from_value(
+        doc.get("hierarchy")
+            .ok_or_else(|| bad("corpus must have a 'hierarchy' object"))?,
+    )
+    .map_err(CorpusIoError::Ontology)?;
+    let item_docs = doc
+        .get("items")
+        .and_then(Value::as_array)
+        .ok_or_else(|| bad("corpus must have an 'items' array"))?;
+    let mut items = Vec::with_capacity(item_docs.len());
+    for item in item_docs {
+        let item_name = item
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("item must have a string 'name'"))?
+            .to_owned();
+        let review_docs = item
+            .get("reviews")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("item must have a 'reviews' array"))?;
+        let mut reviews = Vec::with_capacity(review_docs.len());
+        for r in review_docs {
+            let text = r
+                .get("text")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad("review must have a string 'text'"))?
+                .to_owned();
+            let planted_docs = r
+                .get("planted")
+                .and_then(Value::as_array)
+                .ok_or_else(|| bad("review must have a 'planted' array"))?;
+            let mut planted = Vec::with_capacity(planted_docs.len());
+            for p in planted_docs {
+                let (concept_name, sentiment) = match p.as_array() {
+                    Some([n, s]) => (
+                        n.as_str()
+                            .ok_or_else(|| bad("planted concept must be a string"))?,
+                        s.as_f64()
+                            .ok_or_else(|| bad("planted sentiment must be a number"))?,
+                    ),
+                    _ => return Err(bad("planted entry must be a [concept, sentiment] pair")),
+                };
                 let concept = hierarchy
-                    .node_by_name(&name)
-                    .ok_or(CorpusIoError::UnknownConcept(name))?;
-                planted.push(Pair::new(concept, s));
+                    .node_by_name(concept_name)
+                    .ok_or_else(|| CorpusIoError::UnknownConcept(concept_name.to_owned()))?;
+                planted.push(Pair::new(concept, sentiment));
             }
-            reviews.push(Review {
-                text: r.text,
-                planted,
-            });
+            reviews.push(Review { text, planted });
         }
         items.push(Item {
-            name: item.name,
+            name: item_name,
             reviews,
         });
     }
     Ok(Corpus {
-        name: doc.name,
+        name,
         hierarchy,
         items,
     })
@@ -172,10 +213,7 @@ mod tests {
                 assert_eq!(ra.text, rb.text);
                 assert_eq!(ra.planted.len(), rb.planted.len());
                 for (pa, pb) in ra.planted.iter().zip(&rb.planted) {
-                    assert_eq!(
-                        c.hierarchy.name(pa.concept),
-                        c2.hierarchy.name(pb.concept)
-                    );
+                    assert_eq!(c.hierarchy.name(pa.concept), c2.hierarchy.name(pb.concept));
                     assert_eq!(pa.sentiment, pb.sentiment);
                 }
             }

@@ -41,16 +41,16 @@
 #![warn(missing_docs)]
 
 mod corpus;
-pub mod io;
 mod hierarchies;
+pub mod io;
 pub mod noise;
 mod pipeline;
 mod stats;
 mod synth;
 
 pub use corpus::{Corpus, CorpusConfig, Item, Review};
-pub use io::{corpus_from_json, corpus_to_json, load_corpus, save_corpus, CorpusIoError};
 pub use hierarchies::{doctor_hierarchy, phone_hierarchy};
+pub use io::{corpus_from_json, corpus_to_json, load_corpus, save_corpus, CorpusIoError};
 pub use pipeline::{
     extract_item, extract_item_with, train_regressor, ExtractedItem, ExtractedSentence,
     SentimentModel,

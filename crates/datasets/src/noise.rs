@@ -112,9 +112,12 @@ pub fn extraction_recall(
             }
             m
         };
-        let want = count(&mut item.reviews.iter().flat_map(|r| {
-            r.planted.iter().map(|p| p.concept)
-        }));
+        let want = count(
+            &mut item
+                .reviews
+                .iter()
+                .flat_map(|r| r.planted.iter().map(|p| p.concept)),
+        );
         let got = count(&mut ex.pairs.iter().map(|p| p.concept));
         planted += want.values().sum::<usize>();
         recovered += want

@@ -6,9 +6,7 @@
 //! the sentence.
 
 use osa_core::Pair;
-use osa_text::{
-    split_sentences, tokenize, ConceptMatcher, SentimentLexicon, SentimentRegressor,
-};
+use osa_text::{split_sentences, tokenize, ConceptMatcher, SentimentLexicon, SentimentRegressor};
 
 use crate::{Corpus, Item};
 
@@ -111,11 +109,7 @@ pub fn extract_item(
     matcher: &ConceptMatcher,
     lexicon: &SentimentLexicon,
 ) -> ExtractedItem {
-    extract_item_with(
-        item,
-        matcher,
-        &SentimentModel::Lexicon(lexicon.clone()),
-    )
+    extract_item_with(item, matcher, &SentimentModel::Lexicon(lexicon.clone()))
 }
 
 /// Run the pipeline over one item's reviews with an explicit sentiment
@@ -273,7 +267,11 @@ mod tests {
                 .max(1) as f64;
         let got_mean: f64 =
             ex.pairs.iter().map(|p| p.sentiment).sum::<f64>() / ex.pairs.len() as f64;
-        assert_eq!(planted_mean > 0.0, got_mean > 0.0, "{planted_mean} vs {got_mean}");
+        assert_eq!(
+            planted_mean > 0.0,
+            got_mean > 0.0,
+            "{planted_mean} vs {got_mean}"
+        );
     }
 
     #[test]

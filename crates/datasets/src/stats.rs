@@ -50,8 +50,16 @@ impl std::fmt::Display for Table1Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "#Items:                      {}", self.items)?;
         writeln!(f, "#Reviews:                    {}", self.reviews)?;
-        writeln!(f, "Min #reviews per item:       {}", self.min_reviews_per_item)?;
-        writeln!(f, "Max #reviews per item:       {}", self.max_reviews_per_item)?;
+        writeln!(
+            f,
+            "Min #reviews per item:       {}",
+            self.min_reviews_per_item
+        )?;
+        writeln!(
+            f,
+            "Max #reviews per item:       {}",
+            self.max_reviews_per_item
+        )?;
         write!(
             f,
             "Average #sentences per review: {:.2}",

@@ -36,7 +36,9 @@ fn err_pair(h: &Hierarchy, f: &[Pair], p: &Pair, missing: impl Fn(&Pair) -> f64)
             let best: Option<f64> = f
                 .iter()
                 .filter(|q| {
-                    ancestors[i..tier_end].iter().any(|&(anc, _)| q.concept == anc)
+                    ancestors[i..tier_end]
+                        .iter()
+                        .any(|&(anc, _)| q.concept == anc)
                 })
                 .map(|q| (q.sentiment - p.sentiment).abs())
                 .min_by(|a, b| a.partial_cmp(b).expect("finite errors"));
@@ -144,7 +146,10 @@ mod tests {
         let h = bl.build().unwrap();
         let p = vec![Pair::new(c, 0.1)];
         let f = vec![Pair::new(a1, 0.9), Pair::new(a2, 0.1)];
-        assert!(sent_err(&h, &p, &f).abs() < 1e-12, "min across the tie is 0");
+        assert!(
+            sent_err(&h, &p, &f).abs() < 1e-12,
+            "min across the tie is 0"
+        );
         let f_rev = vec![Pair::new(a2, 0.9), Pair::new(a1, 0.1)];
         assert!(sent_err(&h, &p, &f_rev).abs() < 1e-12);
     }

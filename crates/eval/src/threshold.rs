@@ -89,7 +89,11 @@ mod tests {
         let pts: Vec<(f64, f64)> = (0..=10)
             .map(|i| {
                 let x = i as f64 / 10.0;
-                let y = if x <= 0.5 { 2.0 * x } else { 1.0 + 0.1 * (x - 0.5) };
+                let y = if x <= 0.5 {
+                    2.0 * x
+                } else {
+                    1.0 + 0.1 * (x - 0.5)
+                };
                 (x, y)
             })
             .collect();

@@ -76,6 +76,77 @@ impl SummaryStats {
     }
 }
 
+/// A collection of latency samples with percentile queries — the unit of
+/// per-item timing the batch engine aggregates (`osa-runtime`).
+///
+/// Samples are kept raw (microseconds) and sorted lazily per query;
+/// percentiles use the nearest-rank method, so `percentile(50.0)` of an
+/// odd-length sample set is an actual observed latency, not an
+/// interpolation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyHistogram {
+    samples: Vec<f64>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample (microseconds).
+    pub fn record(&mut self, micros: f64) {
+        self.samples.push(micros);
+    }
+
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of all samples (microseconds).
+    pub fn total(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.samples.is_empty()).then(|| self.total() / self.samples.len() as f64)
+    }
+
+    /// Nearest-rank percentile for `p` in `[0, 100]`; `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let n = sorted.len();
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        Some(sorted[rank - 1])
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Option<f64> {
+        self.percentile(95.0)
+    }
+
+    /// Mean/min/max/count view over the samples.
+    pub fn summary(&self) -> Option<SummaryStats> {
+        SummaryStats::of(&self.samples)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +169,50 @@ mod tests {
     #[test]
     fn stats_of_empty_is_none() {
         assert!(SummaryStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn histogram_percentiles_are_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.p50(), Some(3.0));
+        assert_eq!(h.percentile(0.0), Some(1.0));
+        assert_eq!(h.percentile(100.0), Some(5.0));
+        assert_eq!(h.p95(), Some(5.0));
+        assert_eq!(h.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn histogram_p95_picks_the_tail() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100 {
+            h.record(f64::from(i));
+        }
+        assert_eq!(h.p50(), Some(50.0));
+        assert_eq!(h.p95(), Some(95.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.p50().is_none());
+        assert!(h.mean().is_none());
+        assert!(h.summary().is_none());
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyHistogram::new();
+        a.record(1.0);
+        let mut b = LatencyHistogram::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.total(), 4.0);
+        assert_eq!(a.mean(), Some(2.0));
     }
 }

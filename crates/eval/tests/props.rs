@@ -1,8 +1,8 @@
 //! Property tests for the evaluation metrics.
 
 use osa_core::Pair;
-use osa_ontology::{Hierarchy, HierarchyBuilder, NodeId};
 use osa_eval::{sent_err, sent_err_penalized};
+use osa_ontology::{Hierarchy, HierarchyBuilder, NodeId};
 use proptest::prelude::*;
 
 fn arb_tree_and_pairs() -> impl Strategy<Value = (Hierarchy, Vec<Pair>, Vec<Pair>)> {

@@ -1,0 +1,620 @@
+//! Minimal self-contained JSON support for the OSA workspace.
+//!
+//! The build environment has no access to crates.io, so the snapshot
+//! formats (`osa-ontology::io`, `osa-datasets::io`) are built on this
+//! hand-rolled tree model instead of serde: a [`Value`] enum, a strict
+//! recursive-descent parser ([`parse`]) and compact / pretty writers
+//! ([`to_string`], [`to_string_pretty`]).
+//!
+//! Design points that matter for snapshot fidelity:
+//!
+//! - Object member order is **preserved** (members live in a `Vec`, not
+//!   a map), so written documents are deterministic and diff-able.
+//! - Numbers are `f64`; integral values in the `i64` range are written
+//!   without a fractional part, everything else through Rust's
+//!   shortest-roundtrip float formatting, so `parse(to_string(v)) == v`
+//!   bit-for-bit for every finite double.
+//! - The parser is strict UTF-8 JSON: it rejects trailing garbage,
+//!   unterminated strings, bad escapes (including unpaired surrogates)
+//!   and malformed numbers, with byte offsets in every error.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; member order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects (first match); `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `u64`, if integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(n) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Number(f64::from(n))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Self {
+        Value::Array(items)
+    }
+}
+
+/// A parse failure with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", char::from(b))))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let mut out: u16 = 0;
+        for _ in 0..4 {
+            let b = self.bytes[self.pos];
+            let digit = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err(self.err("bad hex digit in \\u escape")),
+            };
+            out = out << 4 | u16::from(digit);
+            self.pos += 1;
+        }
+        Ok(out)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Input is valid UTF-8 and we only stopped on ASCII
+                // boundaries, so this slice is valid UTF-8.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8"));
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..=0xDBFF).contains(&hi) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    let cp = 0x10000
+                                        + ((u32::from(hi) - 0xD800) << 10)
+                                        + (u32::from(lo) - 0xDC00);
+                                    char::from_u32(cp).expect("valid supplementary scalar")
+                                } else {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                            } else if (0xDC00..=0xDFFF).contains(&hi) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                char::from_u32(u32::from(hi)).expect("BMP scalar")
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced pos
+                        }
+                        _ => return Err(self.err("bad escape character")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => return Err(self.err("raw control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("malformed number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; snapshots never contain them, but the
+        // writer must still emit *valid* JSON if one sneaks in.
+        out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        out.push_str("-0.0");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // Rust's shortest-roundtrip formatting: parses back bit-equal.
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, pretty: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(indent) = pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                write_value(out, item, pretty.map(|d| d + 1));
+            }
+            if let Some(indent) = pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push(']');
+        }
+        Value::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(indent) = pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                write_escaped(out, k);
+                out.push(':');
+                if pretty.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, pretty.map(|d| d + 1));
+            }
+            if let Some(indent) = pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize compactly (no whitespace).
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None);
+    out
+}
+
+/// Serialize with two-space indentation.
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Number(42.0));
+        assert_eq!(parse("-0.5e2").unwrap(), Value::Number(-50.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_structures_preserving_order() {
+        let v = parse(r#"{"b": [1, 2, {"x": null}], "a": "z"}"#).unwrap();
+        let members = v.as_object().unwrap();
+        assert_eq!(members[0].0, "b");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(v.get("b").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_str(), Some("z"));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "quote \" slash \\ nl \n tab \t unicode 𝑨 é ß";
+        let json = to_string(&Value::String(original.into()));
+        assert_eq!(parse(&json).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn u_escapes_and_surrogate_pairs() {
+        assert_eq!(parse(r#""A""#).unwrap().as_str(), Some("A"));
+        // 𝑨 = U+1D468 = surrogate pair D835 DC68
+        assert_eq!(parse(r#""𝑨""#).unwrap().as_str(), Some("𝑨"));
+        assert!(parse(r#""\ud835""#).is_err());
+        assert!(parse(r#""\udc68""#).is_err());
+        assert!(parse(r#""\uZZZZ""#).is_err());
+    }
+
+    #[test]
+    fn numbers_roundtrip_bit_exact() {
+        for &n in &[
+            0.0,
+            -0.0,
+            1.5,
+            -2.25,
+            0.1,
+            1e-8,
+            123456789.0,
+            -7.0,
+            0.3333333333333333,
+        ] {
+            let json = to_string(&Value::Number(n));
+            let back = parse(&json).unwrap().as_f64().unwrap();
+            assert_eq!(n.to_bits(), back.to_bits(), "{n} via {json}");
+        }
+    }
+
+    #[test]
+    fn integral_numbers_write_without_fraction() {
+        assert_eq!(to_string(&Value::Number(3.0)), "3");
+        assert_eq!(to_string(&Value::Number(-41.0)), "-41");
+        assert_eq!(to_string(&Value::Number(2.5)), "2.5");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "[1,",
+            "tru",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "[1 2]",
+            "01",
+            "1.",
+            "-",
+            "{\"a\":1} x",
+            "\u{0007}",
+            "\"ctl \u{0001}\"",
+            "1e",
+            "[,]",
+            "{,}",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded_not_a_stack_overflow() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn pretty_output_parses_back_identically() {
+        let v =
+            parse(r#"{"nodes":[{"name":"phone","terms":["phone","cellphone"]}],"edges":[[0,1]]}"#)
+                .unwrap();
+        assert_eq!(parse(&to_string_pretty(&v)).unwrap(), v);
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+    }
+}

@@ -113,7 +113,11 @@ mod tests {
 
     #[test]
     fn solve_recovers_solution() {
-        let a = Mat::from_rows(&[vec![25.0, 15.0, -5.0], vec![15.0, 18.0, 0.0], vec![-5.0, 0.0, 11.0]]);
+        let a = Mat::from_rows(&[
+            vec![25.0, 15.0, -5.0],
+            vec![15.0, 18.0, 0.0],
+            vec![-5.0, 0.0, 11.0],
+        ]);
         let x_true = vec![1.0, -2.0, 3.0];
         let b = a.matvec(&x_true);
         let x = cholesky_solve(&a, &b).unwrap();

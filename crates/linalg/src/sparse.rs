@@ -78,9 +78,7 @@ impl Csr {
 
     /// Read a single entry (O(row nnz)).
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        self.row(r)
-            .find(|&(cc, _)| cc == c)
-            .map_or(0.0, |(_, v)| v)
+        self.row(r).find(|&(cc, _)| cc == c).map_or(0.0, |(_, v)| v)
     }
 
     /// Sparse matrix × dense vector.

@@ -109,7 +109,11 @@ fn svd_tall(a: &Mat) -> Svd {
     }
     sig = sorted_sig;
 
-    Svd { u, sigma: sig, v: vv }
+    Svd {
+        u,
+        sigma: sig,
+        v: vv,
+    }
 }
 
 #[cfg(test)]
@@ -172,11 +176,7 @@ mod tests {
 
     #[test]
     fn u_and_v_columns_orthonormal() {
-        let a = Mat::from_rows(&[
-            vec![2.0, 1.0],
-            vec![1.0, 3.0],
-            vec![0.0, 1.0],
-        ]);
+        let a = Mat::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0], vec![0.0, 1.0]]);
         let s = svd(&a);
         let utu = s.u.transpose().matmul(&s.u);
         let vtv = s.v.transpose().matmul(&s.v);

@@ -212,10 +212,7 @@ mod tests {
         let mut b = HierarchyBuilder::new();
         let r = b.add_node("r");
         let c = b.add_node("c");
-        assert!(matches!(
-            b.add_edge(r, r),
-            Err(OntologyError::SelfLoop(_))
-        ));
+        assert!(matches!(b.add_edge(r, r), Err(OntologyError::SelfLoop(_))));
         b.add_edge(r, c).unwrap();
         assert!(matches!(
             b.add_edge(r, c),

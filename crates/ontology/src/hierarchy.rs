@@ -259,7 +259,8 @@ impl Hierarchy {
                 b.add_edge(map[&n], map[&c]).expect("induced edge is fresh");
             }
         }
-        b.build().expect("induced subgraph keeps the rooted-DAG invariants")
+        b.build()
+            .expect("induced subgraph keeps the rooted-DAG invariants")
     }
 
     /// Render an ASCII tree rooted at the hierarchy root (multi-parent

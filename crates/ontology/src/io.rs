@@ -11,59 +11,103 @@
 //! }
 //! ```
 
-use serde::{Deserialize, Serialize};
+use osa_json::Value;
 
 use crate::{Hierarchy, HierarchyBuilder, NodeId, OntologyError};
 
-/// Serializable node record.
-#[derive(Serialize, Deserialize)]
-struct NodeRecord {
-    name: String,
-    terms: Vec<String>,
-}
-
-/// Serializable hierarchy document.
-#[derive(Serialize, Deserialize)]
-struct Document {
-    nodes: Vec<NodeRecord>,
-    /// `(parent_index, child_index)` pairs into `nodes`.
-    edges: Vec<(u32, u32)>,
+/// Build the document tree for a hierarchy. Public so the corpus
+/// snapshot format in `osa-datasets` can embed it as a nested object.
+pub fn to_value(h: &Hierarchy) -> Value {
+    let nodes = h
+        .nodes()
+        .map(|n| {
+            Value::Object(vec![
+                ("name".into(), Value::from(h.name(n))),
+                (
+                    "terms".into(),
+                    Value::Array(h.terms(n).iter().map(|t| Value::from(t.as_str())).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let edges = h
+        .nodes()
+        .flat_map(|p| {
+            h.children(p)
+                .iter()
+                .map(move |c| Value::Array(vec![Value::from(p.0), Value::from(c.0)]))
+        })
+        .collect();
+    Value::Object(vec![
+        ("nodes".into(), Value::Array(nodes)),
+        ("edges".into(), Value::Array(edges)),
+    ])
 }
 
 /// Serialize a hierarchy to a pretty-printed JSON string.
 pub fn to_json(h: &Hierarchy) -> String {
-    let doc = Document {
-        nodes: h
-            .nodes()
-            .map(|n| NodeRecord {
-                name: h.name(n).to_owned(),
-                terms: h.terms(n).to_vec(),
+    osa_json::to_string_pretty(&to_value(h))
+}
+
+fn bad(msg: &str) -> OntologyError {
+    OntologyError::Serde(msg.to_owned())
+}
+
+/// Rebuild a hierarchy from a parsed document tree, re-validating every
+/// rooted-DAG invariant.
+pub fn from_value(doc: &Value) -> Result<Hierarchy, OntologyError> {
+    let nodes = doc
+        .get("nodes")
+        .and_then(Value::as_array)
+        .ok_or_else(|| bad("document must have a 'nodes' array"))?;
+    let edges = doc
+        .get("edges")
+        .and_then(Value::as_array)
+        .ok_or_else(|| bad("document must have an 'edges' array"))?;
+    let mut b = HierarchyBuilder::new();
+    for node in nodes {
+        let name = node
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("node must have a string 'name'"))?;
+        let terms = node
+            .get("terms")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("node must have a 'terms' array"))?
+            .iter()
+            .map(|t| {
+                t.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| bad("terms must be strings"))
             })
-            .collect(),
-        edges: h
-            .nodes()
-            .flat_map(|p| h.children(p).iter().map(move |c| (p.0, c.0)))
-            .collect(),
-    };
-    serde_json::to_string_pretty(&doc).expect("hierarchy document serializes")
+            .collect::<Result<Vec<_>, _>>()?;
+        b.add_node_with_terms(name, &terms);
+    }
+    let n = nodes.len() as u64;
+    for edge in edges {
+        let pair = edge.as_array().ok_or_else(|| bad("edge must be a pair"))?;
+        let (p, c) = match pair {
+            [p, c] => (
+                p.as_u64()
+                    .ok_or_else(|| bad("edge index must be an integer"))?,
+                c.as_u64()
+                    .ok_or_else(|| bad("edge index must be an integer"))?,
+            ),
+            _ => return Err(bad("edge must be a [parent, child] pair")),
+        };
+        if p >= n || c >= n {
+            return Err(OntologyError::UnknownNode);
+        }
+        b.add_edge(NodeId(p as u32), NodeId(c as u32))?;
+    }
+    b.build()
 }
 
 /// Parse a hierarchy from its JSON representation, re-validating every
 /// rooted-DAG invariant.
 pub fn from_json(json: &str) -> Result<Hierarchy, OntologyError> {
-    let doc: Document = serde_json::from_str(json).map_err(|e| OntologyError::Serde(e.to_string()))?;
-    let mut b = HierarchyBuilder::new();
-    for node in &doc.nodes {
-        b.add_node_with_terms(&node.name, &node.terms);
-    }
-    let n = doc.nodes.len() as u32;
-    for &(p, c) in &doc.edges {
-        if p >= n || c >= n {
-            return Err(OntologyError::UnknownNode);
-        }
-        b.add_edge(NodeId(p), NodeId(c))?;
-    }
-    b.build()
+    let doc = osa_json::parse(json).map_err(|e| OntologyError::Serde(e.to_string()))?;
+    from_value(&doc)
 }
 
 /// Write a hierarchy to a file as JSON.

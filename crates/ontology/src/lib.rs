@@ -43,8 +43,8 @@ mod builder;
 mod error;
 mod hierarchy;
 pub mod io;
-pub mod tsv;
 mod stats;
+pub mod tsv;
 
 pub use builder::HierarchyBuilder;
 pub use error::OntologyError;

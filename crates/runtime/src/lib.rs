@@ -1,0 +1,520 @@
+//! # osa-runtime — deterministic parallel batch summarization
+//!
+//! The paper's experiments summarize every item of a corpus (1000
+//! doctors, 60 phones); this crate provides the batch engine that shards
+//! that work across a [`std::thread::scope`] worker pool while keeping
+//! the output **byte-identical regardless of thread count**.
+//!
+//! Three layers:
+//!
+//! * [`BatchJob`] — a generic work queue over a slice. Workers steal item
+//!   indices from a shared atomic counter, reuse a per-worker
+//!   [`WorkerScratch`], and write results into slots keyed by item index,
+//!   so the result order (and content) never depends on scheduling.
+//! * [`BatchReport`] — the aggregate: per-item results in item order plus
+//!   throughput and latency statistics (items/s, p50/p95 via
+//!   [`osa_eval::LatencyHistogram`]).
+//! * [`summarize_corpus`] — the domain driver: extraction → coverage
+//!   graph → summarization per item, with per-item RNG seeds derived
+//!   from `(corpus_seed, item_id)` by [`item_seed`] so randomized
+//!   algorithms are also schedule-independent.
+//!
+//! Determinism contract: for a fixed corpus and [`BatchOptions`], the
+//! `results` of the report are identical for any `jobs` value. Only the
+//! timing fields differ between runs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use osa_core::{
+    CoverageGraph, Granularity, GreedySummarizer, IlpSummarizer, LazyGreedySummarizer,
+    LocalSearchSummarizer, Pair, RandomizedRounding, Summarizer, Summary,
+};
+use osa_datasets::{extract_item, Corpus};
+use osa_eval::{LatencyHistogram, Stopwatch};
+use osa_ontology::NodeId;
+use osa_text::{ConceptMatcher, SentimentLexicon};
+
+/// Resolve a `--jobs` value: `0` means "use every available core".
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        jobs
+    }
+}
+
+/// Derive a per-item RNG seed from the corpus seed and the item's stable
+/// index (SplitMix64-style mix). Randomized algorithms seeded this way
+/// produce the same stream for an item no matter which worker runs it or
+/// in what order.
+pub fn item_seed(corpus_seed: u64, item_id: u64) -> u64 {
+    let mut z = corpus_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(item_id.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-worker reusable buffers. One scratch lives for a worker's whole
+/// run, so allocation cost amortizes across all the items it processes.
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    /// Distinct-pair staging buffer (output of [`compress_into`](Self::compress_into)).
+    pub pair_buf: Vec<Pair>,
+    /// Multiplicities matching `pair_buf`.
+    pub weight_buf: Vec<u64>,
+    compress_map: HashMap<(NodeId, u64), usize>,
+}
+
+impl WorkerScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`osa_core::compress_pairs`] into the reused buffers: collapse
+    /// duplicate pairs to `(distinct pairs, multiplicities)` without
+    /// allocating new vectors per item. First-occurrence order is
+    /// preserved, so the result is input-deterministic.
+    pub fn compress_into(&mut self, pairs: &[Pair]) -> (&[Pair], &[u64]) {
+        self.pair_buf.clear();
+        self.weight_buf.clear();
+        self.compress_map.clear();
+        for p in pairs {
+            let key = (p.concept, p.sentiment.to_bits());
+            match self.compress_map.get(&key) {
+                Some(&i) => self.weight_buf[i] += 1,
+                None => {
+                    self.compress_map.insert(key, self.pair_buf.len());
+                    self.pair_buf.push(*p);
+                    self.weight_buf.push(1);
+                }
+            }
+        }
+        (&self.pair_buf, &self.weight_buf)
+    }
+}
+
+/// A parallel batch over a slice of work items.
+///
+/// ```
+/// use osa_runtime::BatchJob;
+/// let squares = BatchJob::new(&[1u64, 2, 3, 4]).jobs(2).run(|_, _, &x| x * x);
+/// assert_eq!(squares.results, vec![1, 4, 9, 16]);
+/// ```
+#[derive(Debug)]
+pub struct BatchJob<'a, T> {
+    items: &'a [T],
+    jobs: usize,
+}
+
+impl<'a, T: Sync> BatchJob<'a, T> {
+    /// A batch over `items`, single-threaded until [`jobs`](Self::jobs)
+    /// says otherwise.
+    pub fn new(items: &'a [T]) -> Self {
+        BatchJob { items, jobs: 1 }
+    }
+
+    /// Set the worker count (`0` = all available cores). The pool never
+    /// exceeds the number of items.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Run `work` over every item and collect a [`BatchReport`].
+    ///
+    /// `work` receives the worker's scratch, the item's index and the
+    /// item itself. Results land in item order: a pre-sized
+    /// `Vec<Option<_>>` is indexed by item, so scheduling cannot permute
+    /// the output.
+    pub fn run<R, F>(&self, work: F) -> BatchReport<R>
+    where
+        R: Send,
+        F: Fn(&mut WorkerScratch, usize, &T) -> R + Sync,
+    {
+        let jobs = effective_jobs(self.jobs).min(self.items.len()).max(1);
+        let wall = Stopwatch::start();
+        let mut slots: Vec<Option<(R, f64)>> = (0..self.items.len()).map(|_| None).collect();
+
+        if jobs == 1 {
+            // Inline path: no thread spawn cost for sequential runs.
+            let mut scratch = WorkerScratch::new();
+            for (i, item) in self.items.iter().enumerate() {
+                let (r, us) = Stopwatch::time(|| work(&mut scratch, i, item));
+                slots[i] = Some((r, us));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut scratch = WorkerScratch::new();
+                            let mut done: Vec<(usize, R, f64)> = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(item) = self.items.get(i) else {
+                                    break;
+                                };
+                                let (r, us) = Stopwatch::time(|| work(&mut scratch, i, item));
+                                done.push((i, r, us));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, r, us) in h.join().expect("batch worker panicked") {
+                        slots[i] = Some((r, us));
+                    }
+                }
+            });
+        }
+
+        let mut results = Vec::with_capacity(slots.len());
+        let mut per_item_micros = Vec::with_capacity(slots.len());
+        let mut latency = LatencyHistogram::new();
+        for slot in slots {
+            let (r, us) = slot.expect("every item index was claimed exactly once");
+            latency.record(us);
+            per_item_micros.push(us);
+            results.push(r);
+        }
+        BatchReport {
+            results,
+            per_item_micros,
+            latency,
+            wall_micros: wall.micros(),
+            jobs,
+        }
+    }
+}
+
+/// Results and timing of one batch run.
+///
+/// `results` and `per_item_micros` are in item order. Only the timing
+/// fields vary between runs; the results are deterministic.
+#[derive(Debug, Clone)]
+pub struct BatchReport<R> {
+    /// Per-item results, indexed by item.
+    pub results: Vec<R>,
+    /// Per-item wall latency in microseconds, indexed by item.
+    pub per_item_micros: Vec<f64>,
+    /// The same latencies as a percentile-queryable histogram.
+    pub latency: LatencyHistogram,
+    /// End-to-end wall time of the batch in microseconds.
+    pub wall_micros: f64,
+    /// Worker count actually used.
+    pub jobs: usize,
+}
+
+impl<R> BatchReport<R> {
+    /// Number of items processed.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Was the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Throughput over the batch's wall time.
+    pub fn items_per_sec(&self) -> f64 {
+        if self.wall_micros <= 0.0 {
+            return 0.0;
+        }
+        self.results.len() as f64 / (self.wall_micros / 1e6)
+    }
+
+    /// One-line human-readable stats block (for stderr — the numbers are
+    /// not deterministic, unlike the results).
+    pub fn render_stats(&self) -> String {
+        let p50 = self.latency.p50().unwrap_or(0.0);
+        let p95 = self.latency.p95().unwrap_or(0.0);
+        format!(
+            "{} items in {:.1}ms on {} worker{}: {:.1} items/s, per-item p50 {:.0}µs p95 {:.0}µs",
+            self.len(),
+            self.wall_micros / 1e3,
+            self.jobs,
+            if self.jobs == 1 { "" } else { "s" },
+            self.items_per_sec(),
+            p50,
+            p95,
+        )
+    }
+}
+
+/// Which summarization algorithm a batch runs per item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchAlgorithm {
+    /// Eager greedy (Algorithm 2).
+    Greedy,
+    /// Lazy greedy with the indexed max-heap.
+    LazyGreedy,
+    /// Exact ILP via branch & bound.
+    Ilp,
+    /// LP relaxation + randomized rounding (Algorithm 1), seeded per
+    /// item from `(corpus_seed, item_id)`.
+    RandomizedRounding,
+    /// Swap-based local search.
+    LocalSearch,
+}
+
+impl BatchAlgorithm {
+    /// Parse the CLI spelling (`greedy|lazy|ilp|rr|local-search`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "greedy" => BatchAlgorithm::Greedy,
+            "lazy" => BatchAlgorithm::LazyGreedy,
+            "ilp" => BatchAlgorithm::Ilp,
+            "rr" => BatchAlgorithm::RandomizedRounding,
+            "local-search" => BatchAlgorithm::LocalSearch,
+            _ => return None,
+        })
+    }
+
+    /// Instantiate the summarizer; `seed` only matters for randomized
+    /// algorithms.
+    pub fn summarizer(self, seed: u64) -> Box<dyn Summarizer> {
+        match self {
+            BatchAlgorithm::Greedy => Box::new(GreedySummarizer),
+            BatchAlgorithm::LazyGreedy => Box::new(LazyGreedySummarizer),
+            BatchAlgorithm::Ilp => Box::new(IlpSummarizer),
+            BatchAlgorithm::RandomizedRounding => Box::new(RandomizedRounding::with_seed(seed)),
+            BatchAlgorithm::LocalSearch => Box::new(LocalSearchSummarizer::default()),
+        }
+    }
+}
+
+/// Options of a corpus-wide batch summarization.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker count (`0` = all cores).
+    pub jobs: usize,
+    /// Summary size per item.
+    pub k: usize,
+    /// Sentiment threshold ε.
+    pub eps: f64,
+    /// Candidate granularity (pairs / sentences / reviews).
+    pub granularity: Granularity,
+    /// The per-item algorithm.
+    pub algorithm: BatchAlgorithm,
+    /// Seed mixed with each item's index for randomized algorithms.
+    pub corpus_seed: u64,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            jobs: 1,
+            k: 5,
+            eps: 0.5,
+            granularity: Granularity::Sentences,
+            algorithm: BatchAlgorithm::Greedy,
+            corpus_seed: 42,
+        }
+    }
+}
+
+/// One item's batch result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemSummary {
+    /// Item index in the corpus.
+    pub item: usize,
+    /// Item display name.
+    pub name: String,
+    /// The selected summary.
+    pub summary: Summary,
+    /// Extracted pair count (before any compression).
+    pub num_pairs: usize,
+    /// Candidate count of the item's coverage graph.
+    pub num_candidates: usize,
+    /// Cost of the root-only (empty) summary.
+    pub root_cost: u64,
+    /// One display line per selected candidate.
+    pub rendered: Vec<String>,
+}
+
+/// Summarize every item of `corpus` in parallel.
+///
+/// Byte-identical output for any `opts.jobs`: results are collected by
+/// item index and randomized algorithms draw from
+/// [`item_seed`]`(opts.corpus_seed, item)`.
+///
+/// At `Granularity::Pairs` the engine first collapses duplicate pairs
+/// through the worker's scratch
+/// ([`WorkerScratch::compress_into`]) and solves the weighted instance —
+/// same cost, smaller graph.
+pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<ItemSummary> {
+    let matcher = ConceptMatcher::from_hierarchy(&corpus.hierarchy);
+    let lexicon = SentimentLexicon::default();
+    let items: Vec<_> = corpus.indexed_items().collect();
+
+    BatchJob::new(&items)
+        .jobs(opts.jobs)
+        .run(|scratch, _, &(idx, item)| {
+            let ex = extract_item(item, &matcher, &lexicon);
+            let graph = match opts.granularity {
+                Granularity::Pairs => {
+                    let (unique, weights) = scratch.compress_into(&ex.pairs);
+                    CoverageGraph::for_weighted_pairs(&corpus.hierarchy, unique, weights, opts.eps)
+                }
+                Granularity::Sentences => CoverageGraph::for_groups(
+                    &corpus.hierarchy,
+                    &ex.pairs,
+                    &ex.sentence_groups(),
+                    opts.eps,
+                    Granularity::Sentences,
+                ),
+                Granularity::Reviews => CoverageGraph::for_groups(
+                    &corpus.hierarchy,
+                    &ex.pairs,
+                    &ex.review_groups(),
+                    opts.eps,
+                    Granularity::Reviews,
+                ),
+            };
+            let alg = opts
+                .algorithm
+                .summarizer(item_seed(opts.corpus_seed, idx as u64));
+            let summary = alg.summarize(&graph, opts.k);
+            let rendered = summary
+                .selected
+                .iter()
+                .map(|&sel| match opts.granularity {
+                    Granularity::Pairs => {
+                        let p = scratch.pair_buf[sel];
+                        format!(
+                            "{} = {:+.2} (×{})",
+                            corpus.hierarchy.name(p.concept),
+                            p.sentiment,
+                            scratch.weight_buf[sel]
+                        )
+                    }
+                    Granularity::Sentences => ex.sentences[sel].text.clone(),
+                    Granularity::Reviews => {
+                        let first = ex.reviews[sel].first().copied();
+                        let text =
+                            first.map_or("(empty review)", |si| ex.sentences[si].text.as_str());
+                        format!("review #{sel}: {text} …")
+                    }
+                })
+                .collect();
+            ItemSummary {
+                item: idx,
+                name: item.name.clone(),
+                summary,
+                num_pairs: ex.pairs.len(),
+                num_candidates: graph.num_candidates(),
+                root_cost: graph.root_cost(),
+                rendered,
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order_regardless_of_jobs() {
+        let items: Vec<usize> = (0..97).collect();
+        for jobs in [1, 2, 3, 8] {
+            let report = BatchJob::new(&items).jobs(jobs).run(|_, i, &x| {
+                assert_eq!(i, x);
+                x * 10
+            });
+            assert_eq!(report.len(), 97);
+            assert_eq!(report.jobs, jobs.min(97));
+            for (i, r) in report.results.iter().enumerate() {
+                assert_eq!(*r, i * 10);
+            }
+            assert_eq!(report.latency.count(), 97);
+            assert_eq!(report.per_item_micros.len(), 97);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let items: Vec<u8> = Vec::new();
+        let report = BatchJob::new(&items).jobs(4).run(|_, _, &x| x);
+        assert!(report.is_empty());
+        assert_eq!(report.items_per_sec(), 0.0);
+        // Stats line must not panic on empty percentiles.
+        assert!(report.render_stats().contains("0 items"));
+    }
+
+    #[test]
+    fn more_jobs_than_items_clamps() {
+        let items = [1, 2, 3];
+        let report = BatchJob::new(&items).jobs(64).run(|_, _, &x| x);
+        assert_eq!(report.jobs, 3);
+        assert_eq!(report.results, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn scratch_persists_within_a_worker() {
+        // With one worker the same scratch visits every item: seed the
+        // pair buffer's capacity on the first item and observe that the
+        // allocation survives (capacity never shrinks below first use).
+        let items: Vec<usize> = (0..10).collect();
+        let report = BatchJob::new(&items).jobs(1).run(|scratch, i, _| {
+            if i == 0 {
+                scratch.pair_buf.reserve(4096);
+            }
+            scratch.pair_buf.capacity()
+        });
+        assert!(report.results.iter().all(|&c| c >= 4096));
+    }
+
+    #[test]
+    fn compress_into_matches_compress_pairs() {
+        use osa_ontology::HierarchyBuilder;
+        let mut b = HierarchyBuilder::new();
+        let r = b.add_node("r");
+        let a = b.add_node("a");
+        b.add_edge(r, a).unwrap();
+        let _h = b.build().unwrap();
+        let pairs = vec![
+            Pair::new(a, 0.5),
+            Pair::new(a, 0.5),
+            Pair::new(a, -0.5),
+            Pair::new(r, 0.0),
+            Pair::new(a, 0.5),
+        ];
+        let (expect_u, expect_w) = osa_core::compress_pairs(&pairs);
+        let mut scratch = WorkerScratch::new();
+        // Run twice to prove the clear() between items works.
+        for _ in 0..2 {
+            let (u, w) = scratch.compress_into(&pairs);
+            assert_eq!(u, expect_u.as_slice());
+            assert_eq!(w, expect_w.as_slice());
+        }
+    }
+
+    #[test]
+    fn item_seed_mixes_both_arguments() {
+        assert_ne!(item_seed(1, 0), item_seed(1, 1));
+        assert_ne!(item_seed(1, 0), item_seed(2, 0));
+        assert_eq!(item_seed(7, 3), item_seed(7, 3));
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(5), 5);
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for name in ["greedy", "lazy", "ilp", "rr", "local-search"] {
+            let alg = BatchAlgorithm::from_name(name).unwrap();
+            let _ = alg.summarizer(1);
+        }
+        assert!(BatchAlgorithm::from_name("nope").is_none());
+    }
+}

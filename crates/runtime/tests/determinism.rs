@@ -1,0 +1,141 @@
+//! The batch engine's determinism contract: for a fixed corpus and
+//! options, `jobs = 1` and `jobs = 8` produce *identical* results — same
+//! summaries, same rendered lines, same costs — because results are
+//! slotted by item index and randomized algorithms are seeded per item
+//! from `(corpus_seed, item_id)`.
+
+use osa_core::Granularity;
+use osa_datasets::{Corpus, CorpusConfig};
+use osa_runtime::{summarize_corpus, BatchAlgorithm, BatchJob, BatchOptions};
+use proptest::prelude::*;
+
+fn tiny_corpus(seed: u64, items: usize) -> Corpus {
+    let cfg = CorpusConfig {
+        items,
+        min_reviews: 3,
+        max_reviews: 8,
+        mean_reviews: 5.0,
+        mean_sentences: 3.5,
+        aspect_sentence_prob: 0.8,
+    };
+    Corpus::phones(&cfg, seed)
+}
+
+/// Strip the timing fields: everything that must be byte-identical.
+fn deterministic_view(
+    report: &osa_runtime::BatchReport<osa_runtime::ItemSummary>,
+) -> Vec<osa_runtime::ItemSummary> {
+    report.results.clone()
+}
+
+#[test]
+fn corpus_summaries_identical_for_one_and_eight_jobs() {
+    let corpus = tiny_corpus(5, 12);
+    for granularity in [
+        Granularity::Pairs,
+        Granularity::Sentences,
+        Granularity::Reviews,
+    ] {
+        for algorithm in [
+            BatchAlgorithm::Greedy,
+            BatchAlgorithm::LazyGreedy,
+            BatchAlgorithm::RandomizedRounding,
+        ] {
+            let opts = |jobs| BatchOptions {
+                jobs,
+                k: 4,
+                eps: 0.5,
+                granularity,
+                algorithm,
+                corpus_seed: 42,
+            };
+            let seq = summarize_corpus(&corpus, &opts(1));
+            let par = summarize_corpus(&corpus, &opts(8));
+            assert_eq!(
+                deterministic_view(&seq),
+                deterministic_view(&par),
+                "jobs=1 vs jobs=8 diverged at {granularity:?}/{algorithm:?}"
+            );
+            assert_eq!(seq.len(), corpus.items.len());
+        }
+    }
+}
+
+#[test]
+fn rendered_output_is_byte_identical_across_job_counts() {
+    // The exact check the CLI relies on: render every line of the batch
+    // to one string per job count and compare the bytes.
+    let corpus = tiny_corpus(11, 10);
+    let render = |jobs: usize| {
+        let report = summarize_corpus(
+            &corpus,
+            &BatchOptions {
+                jobs,
+                ..BatchOptions::default()
+            },
+        );
+        let mut out = String::new();
+        for item in &report.results {
+            out.push_str(&format!(
+                "item {} ({}): cost {} of {} (candidates {}, pairs {})\n",
+                item.item,
+                item.name,
+                item.summary.cost,
+                item.root_cost,
+                item.num_candidates,
+                item.num_pairs
+            ));
+            for line in &item.rendered {
+                out.push_str(&format!("  - {line}\n"));
+            }
+        }
+        out
+    };
+    let one = render(1);
+    for jobs in [2, 4, 8] {
+        assert_eq!(one.as_bytes(), render(jobs).as_bytes(), "jobs={jobs}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generic_batch_results_never_depend_on_job_count(
+        n in 0usize..60,
+        jobs in 2usize..9,
+        salt in 0u64..1_000,
+    ) {
+        let items: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(salt + 1)).collect();
+        let work = |_: &mut osa_runtime::WorkerScratch, i: usize, x: &u64| {
+            // A mildly expensive, input-dependent computation.
+            let mut acc = *x ^ (i as u64);
+            for _ in 0..50 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            acc
+        };
+        let seq = BatchJob::new(&items).jobs(1).run(work);
+        let par = BatchJob::new(&items).jobs(jobs).run(work);
+        prop_assert_eq!(&seq.results, &par.results);
+        prop_assert_eq!(seq.len(), n);
+        prop_assert_eq!(par.latency.count(), n);
+    }
+
+    #[test]
+    fn per_item_seeds_make_rr_schedule_independent(seed in 0u64..500) {
+        // RandomizedRounding is the schedule-sensitive algorithm: if its
+        // seed depended on execution order, jobs=8 would drift.
+        let corpus = tiny_corpus(seed, 6);
+        let opts = |jobs| BatchOptions {
+            jobs,
+            k: 3,
+            algorithm: BatchAlgorithm::RandomizedRounding,
+            corpus_seed: seed,
+            ..BatchOptions::default()
+        };
+        let a = summarize_corpus(&corpus, &opts(1));
+        let b = summarize_corpus(&corpus, &opts(8));
+        prop_assert_eq!(deterministic_view(&a), deterministic_view(&b));
+    }
+}

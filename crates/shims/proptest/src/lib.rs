@@ -1,0 +1,773 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of proptest it actually uses: the [`Strategy`]
+//! trait with `prop_map`/`prop_flat_map`/`no_shrink`, range / tuple /
+//! `Vec` / regex-literal string strategies, `collection::{vec,
+//! btree_set}`, `option::of`, `Just`, the `proptest!` macro family and
+//! the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs via
+//!   `Debug` so it can be pinned as a named `#[test]`; it is not
+//!   minimised. Checked-in `.proptest-regressions` files are ignored
+//!   (their `cc` hashes encode upstream's internal RNG state and cannot
+//!   be replayed by any reimplementation) — regression seeds live as
+//!   explicit named tests instead.
+//! - **Deterministic case streams.** Each test derives its RNG seed
+//!   from the test's module path and name plus the case index, so a
+//!   failure is reproducible by rerunning the same test binary.
+//! - **Regex strategies** support the literal/class/`.`/`{m,n}` subset
+//!   used in this workspace, and the `.` generator deliberately mixes
+//!   in non-BMP scalars (e.g. `𝑨`, U+1D468) so byte-offset bugs in
+//!   text handling stay reachable.
+
+pub mod test_runner {
+    //! Runner configuration and per-case error plumbing.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    /// Mirror of `proptest::test_runner::Config` — only `cases` is used.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The inputs were rejected by `prop_assume!`; the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Construct a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// The RNG handed to strategies. Deterministic per `(test, case)`.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Derive the RNG for one case of one named test.
+        pub fn for_case(test_path: &str, case: u32) -> Self {
+            // FNV-1a over the fully qualified test name, mixed with the
+            // case index. Stable across runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(StdRng::seed_from_u64(
+                h ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform `usize` in `[0, n)`. `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            self.0.gen_range(0..n)
+        }
+
+        /// Borrow the underlying generator for `gen_range` etc.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.0
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream there is no value tree / shrinking: `generate`
+    /// draws one concrete value.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Derive a second strategy from each generated value.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Upstream disables shrinking; we never shrink, so this is a no-op.
+        fn no_shrink(self) -> Self
+        where
+            Self: Sized,
+        {
+            self
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let first = self.inner.generate(rng);
+            (self.f)(first).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// `Vec<S>` runs each element strategy positionally (upstream's
+    /// "fixed-shape collection" behaviour).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    /// Inclusive size bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.lo == self.hi {
+                self.lo
+            } else {
+                rng.rng().gen_range(self.lo..=self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty collection size range");
+            SizeRange { lo, hi }
+        }
+    }
+
+    /// See [`super::collection::vec`].
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`super::collection::btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates don't grow the set; cap the attempts so a
+            // strategy whose domain is smaller than `target` still
+            // terminates (mirrors upstream, which also gives up).
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 100 * target.max(1) {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// See [`super::option::of`].
+    pub struct OptionStrategy<S> {
+        pub(crate) inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Upstream defaults to 50% None; tests here only need both
+            // variants to occur.
+            if rng.rng().gen_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `&str` strategies are regex literals generating `String`s.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::regex::generate(self, rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`, `btree_set`).
+
+    use super::strategy::{BTreeSetStrategy, SizeRange, Strategy, VecStrategy};
+
+    /// Generate a `Vec` whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Generate a `BTreeSet` with approximately `size` elements drawn
+    /// from `element` (capped by the strategy's domain size).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::{OptionStrategy, Strategy};
+
+    /// Generate `None` or `Some(value)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+mod regex {
+    //! A tiny regex-*generator* covering the subset of patterns used in
+    //! this workspace: literal chars, `.`, `[a-z0-9 .,-]` classes, and
+    //! the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`.
+
+    use super::test_runner::TestRng;
+
+    enum Atom {
+        Dot,
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Sampled by `.`: mostly printable ASCII, salted with multibyte
+    /// BMP scalars and non-BMP scalars (4-byte UTF-8) so that
+    /// byte-offset assumptions in text code get exercised. `𝑨`
+    /// (U+1D468) is the canonical regression scalar for this repo.
+    const EXOTIC_BMP: &[char] = &['é', 'ß', 'Ω', 'λ', 'ü', 'ñ', 'Ж', '中', '日', '…'];
+    const NON_BMP: &[char] = &['𝑨', '𝑎', '𝟗', '𝔘', '😀', '🚀', '𓀀'];
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut out = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Dot
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = chars[i + 2];
+                            assert!(lo <= hi, "bad class range in {pattern}");
+                            ranges.push((lo, hi));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {pattern}");
+                    i += 1; // ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "dangling escape in {pattern}");
+                    i += 2;
+                    Atom::Literal(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .map(|p| i + p)
+                            .unwrap_or_else(|| panic!("unterminated quantifier in {pattern}"));
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((m, n)) => (
+                                m.trim().parse().expect("bad {m,n}"),
+                                n.trim().parse().expect("bad {m,n}"),
+                            ),
+                            None => {
+                                let m: usize = body.trim().parse().expect("bad {m}");
+                                (m, m)
+                            }
+                        }
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            out.push(Piece { atom, min, max });
+        }
+        out
+    }
+
+    fn gen_dot(rng: &mut TestRng) -> char {
+        match rng.below(100) {
+            // Printable ASCII dominates so text-shaped properties see
+            // realistic input most of the time.
+            0..=69 => char::from(b' ' + rng.below(95) as u8),
+            70..=84 => EXOTIC_BMP[rng.below(EXOTIC_BMP.len())],
+            _ => NON_BMP[rng.below(NON_BMP.len())],
+        }
+    }
+
+    fn gen_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+        let total: usize = ranges
+            .iter()
+            .map(|&(lo, hi)| (hi as usize) - (lo as usize) + 1)
+            .sum();
+        let mut pick = rng.below(total);
+        for &(lo, hi) in ranges {
+            let span = (hi as usize) - (lo as usize) + 1;
+            if pick < span {
+                return char::from_u32(lo as u32 + pick as u32)
+                    .expect("class range straddles surrogates");
+            }
+            pick -= span;
+        }
+        unreachable!()
+    }
+
+    pub(crate) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let n = if piece.min == piece.max {
+                piece.min
+            } else {
+                piece.min + rng.below(piece.max - piece.min + 1)
+            };
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Dot => out.push(gen_dot(rng)),
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => out.push(gen_class(ranges, rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: munches one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let full_name = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(full_name, case);
+                let values = ($($crate::strategy::Strategy::generate(&($strat), &mut rng),)+);
+                let shown = format!("{:?}", values);
+                let ($($pat,)+) = values;
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest: property {} failed at case {}/{}\n  {}\n  inputs: {}",
+                            full_name, case, config.cases, msg, shown
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} == {}`: {}\n  left: {:?}\n  right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            format!($($fmt)+),
+                            l,
+                            r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+// Re-export at the crate root too; some call sites use
+// `proptest::collection::vec` and `proptest::option::of` directly.
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_literal_classes_and_counts() {
+        let mut rng = TestRng::for_case("shim::regex", 0);
+        for case in 0..200u32 {
+            let mut rng2 = TestRng::for_case("shim::regex", case);
+            let s = crate::strategy::Strategy::generate(&"[a-z]{1,20}", &mut rng2);
+            assert!(!s.is_empty() && s.len() <= 20);
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+        let s = crate::strategy::Strategy::generate(&"abc", &mut rng);
+        assert_eq!(s, "abc");
+    }
+
+    #[test]
+    fn dot_pattern_reaches_non_bmp() {
+        let mut any_non_bmp = false;
+        for case in 0..100u32 {
+            let mut rng = TestRng::for_case("shim::dot", case);
+            let s = crate::strategy::Strategy::generate(&".{0,200}", &mut rng);
+            if s.chars().any(|c| c as u32 > 0xFFFF) {
+                any_non_bmp = true;
+                break;
+            }
+        }
+        assert!(any_non_bmp, ". strategy must emit non-BMP scalars");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case("shim::det", 3);
+        let mut b = TestRng::for_case("shim::det", 3);
+        let sa = crate::strategy::Strategy::generate(&".{0,50}", &mut a);
+        let sb = crate::strategy::Strategy::generate(&".{0,50}", &mut b);
+        assert_eq!(sa, sb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_plumbing_works(v in crate::collection::vec(0usize..10, 1..=5), flag in crate::option::of(0u8..3)) {
+            prop_assume!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert_eq!(v.len(), v.len());
+            if let Some(f) = flag {
+                prop_assert!(f < 3, "flag {} out of range", f);
+            }
+        }
+    }
+}

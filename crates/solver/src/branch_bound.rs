@@ -97,9 +97,7 @@ pub(crate) fn solve(model: &Model, opts: &IlpOptions) -> Result<Solution, Solver
         nodes += 1;
 
         let cutoff = |incumbent: &Option<Solution>| -> f64 {
-            let inc = incumbent
-                .as_ref()
-                .map_or(f64::INFINITY, |s| s.objective);
+            let inc = incumbent.as_ref().map_or(f64::INFINITY, |s| s.objective);
             inc.min(opts.upper_bound.unwrap_or(f64::INFINITY))
         };
         if node.bound >= cutoff(&incumbent) - opts.gap_tolerance {
@@ -289,7 +287,9 @@ mod tests {
     fn node_limit_reports_status() {
         let mut m = Model::minimize();
         // A small packing problem that needs more than one node.
-        let vars: Vec<_> = (0..6).map(|i| m.add_bin_var(-(1.0 + i as f64 * 0.1))).collect();
+        let vars: Vec<_> = (0..6)
+            .map(|i| m.add_bin_var(-(1.0 + i as f64 * 0.1)))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
         m.add_constraint(&terms, Cmp::Le, 5.0);
         let opts = IlpOptions {

@@ -1,8 +1,8 @@
 //! The LP/ILP model builder and solution types.
 
 use crate::branch_bound::{self, IlpOptions};
-use crate::{dual, simplex};
 use crate::SolverError;
+use crate::{dual, simplex};
 
 /// Which simplex variant to run for an LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -430,10 +430,7 @@ mod tests {
         let mut m = Model::minimize();
         let x = m.add_var(0.0, f64::INFINITY, -1.0);
         m.add_constraint(&[(x, -1.0)], Cmp::Le, 0.0);
-        assert!(matches!(
-            m.solve_lp(),
-            Err(crate::SolverError::Unbounded)
-        ));
+        assert!(matches!(m.solve_lp(), Err(crate::SolverError::Unbounded)));
     }
 
     #[test]

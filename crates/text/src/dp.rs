@@ -82,28 +82,30 @@ pub fn double_propagation(sentences: &[Vec<String>], opts: &DpOptions) -> DpResu
             for (i, tok) in s.iter().enumerate() {
                 let lo = i.saturating_sub(opts.window);
                 let hi = (i + opts.window + 1).min(s.len());
-                let near = |pred: &dyn Fn(&str) -> bool| {
-                    (lo..hi).any(|j| j != i && pred(&s[j]))
-                };
+                let near = |pred: &dyn Fn(&str) -> bool| (lo..hi).any(|j| j != i && pred(&s[j]));
                 match tags[i].1 {
                     // R1 + R3: nouns near an opinion word or near a known
                     // aspect become aspects.
-                    PosTag::Noun if !is_stopword(tok) && tok.len() > 2
-                        && !aspects.contains(tok)
-                            && (near(&|w| opinion.contains(w)) || near(&|w| aspects.contains(w)))
-                        => {
-                            aspects.insert(tok.clone());
-                            changed = true;
-                        }
+                    PosTag::Noun
+                        if !is_stopword(tok)
+                            && tok.len() > 2
+                            && !aspects.contains(tok)
+                            && (near(&|w| opinion.contains(w))
+                                || near(&|w| aspects.contains(w))) =>
+                    {
+                        aspects.insert(tok.clone());
+                        changed = true;
+                    }
                     // R2 + R4: adjectives near a known aspect or a known
                     // opinion word become opinion words.
                     PosTag::Adjective
                         if !opinion.contains(tok)
-                            && (near(&|w| aspects.contains(w)) || near(&|w| opinion.contains(w)))
-                        => {
-                            opinion.insert(tok.clone());
-                            changed = true;
-                        }
+                            && (near(&|w| aspects.contains(w))
+                                || near(&|w| opinion.contains(w))) =>
+                    {
+                        opinion.insert(tok.clone());
+                        changed = true;
+                    }
                     _ => {}
                 }
             }
@@ -153,10 +155,13 @@ mod tests {
             "battery is terrible",
             "terrible battery indeed",
         ]);
-        let r = double_propagation(&sents, &DpOptions {
-            min_frequency: 2,
-            ..Default::default()
-        });
+        let r = double_propagation(
+            &sents,
+            &DpOptions {
+                min_frequency: 2,
+                ..Default::default()
+            },
+        );
         let names: Vec<&str> = r.aspects.iter().map(|(w, _)| w.as_str()).collect();
         assert!(names.contains(&"screen"), "{names:?}");
         assert!(names.contains(&"battery"), "{names:?}");
@@ -171,10 +176,13 @@ mod tests {
             "the screen and camera work",
             "screen and camera again",
         ]);
-        let r = double_propagation(&sents, &DpOptions {
-            min_frequency: 2,
-            ..Default::default()
-        });
+        let r = double_propagation(
+            &sents,
+            &DpOptions {
+                min_frequency: 2,
+                ..Default::default()
+            },
+        );
         let names: Vec<&str> = r.aspects.iter().map(|(w, _)| w.as_str()).collect();
         assert!(names.contains(&"camera"), "{names:?}");
         assert!(r.iterations >= 2);
@@ -185,39 +193,44 @@ mod tests {
         // "zippy" is not in the seed lexicon; it should be learned from
         // its proximity to the aspect "processor" (itself learned via
         // "fast").
-        let sents = corpus(&[
-            "fast processor here",
-            "the processor feels zippy",
-        ]);
-        let r = double_propagation(&sents, &DpOptions {
-            min_frequency: 1,
-            ..Default::default()
-        });
+        let sents = corpus(&["fast processor here", "the processor feels zippy"]);
+        let r = double_propagation(
+            &sents,
+            &DpOptions {
+                min_frequency: 1,
+                ..Default::default()
+            },
+        );
         let _ = &r;
         // "zippy" tags as Noun by default, so R2 won't fire for it; but
         // suffix adjectives do propagate:
-        let sents = corpus(&[
-            "fast processor here",
-            "the processor feels dependable",
-        ]);
-        let r = double_propagation(&sents, &DpOptions {
-            min_frequency: 1,
-            ..Default::default()
-        });
+        let sents = corpus(&["fast processor here", "the processor feels dependable"]);
+        let r = double_propagation(
+            &sents,
+            &DpOptions {
+                min_frequency: 1,
+                ..Default::default()
+            },
+        );
         assert!(r.opinion_words.contains("dependable"));
     }
 
     #[test]
     fn frequency_pruning_and_cap() {
         let sents = corpus(&[
-            "nice screen", "nice screen", "nice screen",
+            "nice screen",
+            "nice screen",
+            "nice screen",
             "nice dock", // dock appears once → pruned at min_frequency 2
         ]);
-        let r = double_propagation(&sents, &DpOptions {
-            min_frequency: 2,
-            max_aspects: 10,
-            window: 3,
-        });
+        let r = double_propagation(
+            &sents,
+            &DpOptions {
+                min_frequency: 2,
+                max_aspects: 10,
+                window: 3,
+            },
+        );
         let names: Vec<&str> = r.aspects.iter().map(|(w, _)| w.as_str()).collect();
         assert!(names.contains(&"screen"));
         assert!(!names.contains(&"dock"));
@@ -226,13 +239,19 @@ mod tests {
     #[test]
     fn ranked_by_frequency() {
         let sents = corpus(&[
-            "good screen", "good screen", "good screen",
-            "good battery", "good battery",
+            "good screen",
+            "good screen",
+            "good screen",
+            "good battery",
+            "good battery",
         ]);
-        let r = double_propagation(&sents, &DpOptions {
-            min_frequency: 1,
-            ..Default::default()
-        });
+        let r = double_propagation(
+            &sents,
+            &DpOptions {
+                min_frequency: 1,
+                ..Default::default()
+            },
+        );
         let idx = |w: &str| r.aspects.iter().position(|(a, _)| a == w);
         assert!(idx("screen").unwrap() < idx("battery").unwrap());
     }

@@ -30,91 +30,307 @@ const NEGATION_DAMP: f64 = 0.65;
 /// moderate, ±0.75 strong, ±1.0 extreme).
 const ENTRIES: &[(&str, f64)] = &[
     // --- extreme positive ---
-    ("amazing", 1.0), ("awesome", 1.0), ("excellent", 1.0), ("exceptional", 1.0),
-    ("fantastic", 1.0), ("flawless", 1.0), ("incredible", 1.0), ("outstanding", 1.0),
-    ("perfect", 1.0), ("phenomenal", 1.0), ("superb", 1.0), ("wonderful", 1.0),
-    ("brilliant", 1.0), ("stellar", 1.0), ("magnificent", 1.0), ("miracle", 1.0),
+    ("amazing", 1.0),
+    ("awesome", 1.0),
+    ("excellent", 1.0),
+    ("exceptional", 1.0),
+    ("fantastic", 1.0),
+    ("flawless", 1.0),
+    ("incredible", 1.0),
+    ("outstanding", 1.0),
+    ("perfect", 1.0),
+    ("phenomenal", 1.0),
+    ("superb", 1.0),
+    ("wonderful", 1.0),
+    ("brilliant", 1.0),
+    ("stellar", 1.0),
+    ("magnificent", 1.0),
+    ("miracle", 1.0),
     // --- strong positive ---
-    ("great", 0.75), ("love", 0.75), ("loved", 0.75), ("impressive", 0.75),
-    ("beautiful", 0.75), ("delighted", 0.75), ("thrilled", 0.75), ("best", 0.75),
-    ("terrific", 0.75), ("gorgeous", 0.75), ("superior", 0.75), ("remarkable", 0.75),
-    ("caring", 0.75), ("compassionate", 0.75), ("thorough", 0.75), ("attentive", 0.75),
-    ("knowledgeable", 0.75), ("skilled", 0.75), ("professional", 0.75), ("courteous", 0.75),
-    ("crisp", 0.75), ("vibrant", 0.75), ("blazing", 0.75), ("snappy", 0.75),
-    ("recommend", 0.75), ("recommended", 0.75), ("favorite", 0.75), ("happy", 0.75),
+    ("great", 0.75),
+    ("love", 0.75),
+    ("loved", 0.75),
+    ("impressive", 0.75),
+    ("beautiful", 0.75),
+    ("delighted", 0.75),
+    ("thrilled", 0.75),
+    ("best", 0.75),
+    ("terrific", 0.75),
+    ("gorgeous", 0.75),
+    ("superior", 0.75),
+    ("remarkable", 0.75),
+    ("caring", 0.75),
+    ("compassionate", 0.75),
+    ("thorough", 0.75),
+    ("attentive", 0.75),
+    ("knowledgeable", 0.75),
+    ("skilled", 0.75),
+    ("professional", 0.75),
+    ("courteous", 0.75),
+    ("crisp", 0.75),
+    ("vibrant", 0.75),
+    ("blazing", 0.75),
+    ("snappy", 0.75),
+    ("recommend", 0.75),
+    ("recommended", 0.75),
+    ("favorite", 0.75),
+    ("happy", 0.75),
     // --- moderate positive ---
-    ("good", 0.5), ("nice", 0.5), ("solid", 0.5), ("pleasant", 0.5), ("friendly", 0.5),
-    ("helpful", 0.5), ("responsive", 0.5), ("smooth", 0.5), ("fast", 0.5), ("quick", 0.5),
-    ("sharp", 0.5), ("bright", 0.5), ("clear", 0.5), ("comfortable", 0.5), ("clean", 0.5),
-    ("reliable", 0.5), ("sturdy", 0.5), ("durable", 0.5), ("efficient", 0.5),
-    ("effective", 0.5), ("satisfied", 0.5), ("pleased", 0.5), ("gentle", 0.5),
-    ("patient", 0.5), ("kind", 0.5), ("polite", 0.5), ("punctual", 0.5), ("accurate", 0.5),
-    ("affordable", 0.5), ("worth", 0.5), ("improved", 0.5), ("improvement", 0.5),
-    ("enjoy", 0.5), ("enjoyed", 0.5), ("like", 0.5), ("liked", 0.5), ("works", 0.5),
-    ("healed", 0.5), ("recovered", 0.5), ("relieved", 0.5), ("useful", 0.5),
-    ("premium", 0.5), ("stylish", 0.5), ("sleek", 0.5), ("elegant", 0.5), ("rich", 0.5),
-    ("loud", 0.5), ("spacious", 0.5), ("generous", 0.5), ("smart", 0.5),
+    ("good", 0.5),
+    ("nice", 0.5),
+    ("solid", 0.5),
+    ("pleasant", 0.5),
+    ("friendly", 0.5),
+    ("helpful", 0.5),
+    ("responsive", 0.5),
+    ("smooth", 0.5),
+    ("fast", 0.5),
+    ("quick", 0.5),
+    ("sharp", 0.5),
+    ("bright", 0.5),
+    ("clear", 0.5),
+    ("comfortable", 0.5),
+    ("clean", 0.5),
+    ("reliable", 0.5),
+    ("sturdy", 0.5),
+    ("durable", 0.5),
+    ("efficient", 0.5),
+    ("effective", 0.5),
+    ("satisfied", 0.5),
+    ("pleased", 0.5),
+    ("gentle", 0.5),
+    ("patient", 0.5),
+    ("kind", 0.5),
+    ("polite", 0.5),
+    ("punctual", 0.5),
+    ("accurate", 0.5),
+    ("affordable", 0.5),
+    ("worth", 0.5),
+    ("improved", 0.5),
+    ("improvement", 0.5),
+    ("enjoy", 0.5),
+    ("enjoyed", 0.5),
+    ("like", 0.5),
+    ("liked", 0.5),
+    ("works", 0.5),
+    ("healed", 0.5),
+    ("recovered", 0.5),
+    ("relieved", 0.5),
+    ("useful", 0.5),
+    ("premium", 0.5),
+    ("stylish", 0.5),
+    ("sleek", 0.5),
+    ("elegant", 0.5),
+    ("rich", 0.5),
+    ("loud", 0.5),
+    ("spacious", 0.5),
+    ("generous", 0.5),
+    ("smart", 0.5),
     // --- weak positive ---
-    ("fine", 0.25), ("okay", 0.25), ("ok", 0.25), ("decent", 0.25), ("adequate", 0.25),
-    ("acceptable", 0.25), ("reasonable", 0.25), ("fair", 0.25), ("usable", 0.25),
-    ("average", 0.1), ("standard", 0.1), ("normal", 0.1),
+    ("fine", 0.25),
+    ("okay", 0.25),
+    ("ok", 0.25),
+    ("decent", 0.25),
+    ("adequate", 0.25),
+    ("acceptable", 0.25),
+    ("reasonable", 0.25),
+    ("fair", 0.25),
+    ("usable", 0.25),
+    ("average", 0.1),
+    ("standard", 0.1),
+    ("normal", 0.1),
     // --- weak negative ---
-    ("mediocre", -0.25), ("underwhelming", -0.25), ("lacking", -0.25), ("dated", -0.25),
-    ("bland", -0.25), ("dim", -0.25), ("plain", -0.25), ("noisy", -0.25), ("stiff", -0.25),
-    ("pricey", -0.25), ("expensive", -0.25), ("bulky", -0.25), ("heavy", -0.25),
-    ("loose", -0.25), ("basic", -0.25), ("limited", -0.25), ("bored", -0.25),
+    ("mediocre", -0.25),
+    ("underwhelming", -0.25),
+    ("lacking", -0.25),
+    ("dated", -0.25),
+    ("bland", -0.25),
+    ("dim", -0.25),
+    ("plain", -0.25),
+    ("noisy", -0.25),
+    ("stiff", -0.25),
+    ("pricey", -0.25),
+    ("expensive", -0.25),
+    ("bulky", -0.25),
+    ("heavy", -0.25),
+    ("loose", -0.25),
+    ("basic", -0.25),
+    ("limited", -0.25),
+    ("bored", -0.25),
     // --- moderate negative ---
-    ("bad", -0.5), ("poor", -0.5), ("slow", -0.5), ("laggy", -0.5), ("lag", -0.5),
-    ("weak", -0.5), ("flimsy", -0.5), ("cheap", -0.5), ("fragile", -0.5), ("blurry", -0.5),
-    ("grainy", -0.5), ("dull", -0.5), ("uncomfortable", -0.5), ("dirty", -0.5),
-    ("rude", -0.5), ("dismissive", -0.5), ("unhelpful", -0.5), ("cold", -0.5),
-    ("late", -0.5), ("delayed", -0.5), ("crowded", -0.5), ("confusing", -0.5),
-    ("disappointing", -0.5), ("disappointed", -0.5), ("annoying", -0.5), ("annoyed", -0.5),
-    ("frustrating", -0.5), ("frustrated", -0.5), ("unreliable", -0.5), ("buggy", -0.5),
-    ("glitchy", -0.5), ("overheats", -0.5), ("overheating", -0.5), ("drains", -0.5),
-    ("drain", -0.5), ("cracked", -0.5), ("scratches", -0.5), ("scratched", -0.5),
-    ("misdiagnosed", -0.5), ("dismisses", -0.5), ("ignored", -0.5), ("ignores", -0.5),
-    ("pain", -0.5), ("painful", -0.5), ("hurt", -0.5), ("hurts", -0.5), ("sick", -0.5),
-    ("worse", -0.5), ("wrong", -0.5), ("problem", -0.5), ("problems", -0.5),
-    ("issue", -0.5), ("issues", -0.5), ("complaint", -0.5), ("broken", -0.5),
-    ("breaks", -0.5), ("fails", -0.5), ("failed", -0.5), ("failure", -0.5),
-    ("freezes", -0.5), ("freeze", -0.5), ("crashes", -0.5), ("crash", -0.5),
-    ("defective", -0.5), ("defect", -0.5), ("faulty", -0.5), ("malfunction", -0.5),
+    ("bad", -0.5),
+    ("poor", -0.5),
+    ("slow", -0.5),
+    ("laggy", -0.5),
+    ("lag", -0.5),
+    ("weak", -0.5),
+    ("flimsy", -0.5),
+    ("cheap", -0.5),
+    ("fragile", -0.5),
+    ("blurry", -0.5),
+    ("grainy", -0.5),
+    ("dull", -0.5),
+    ("uncomfortable", -0.5),
+    ("dirty", -0.5),
+    ("rude", -0.5),
+    ("dismissive", -0.5),
+    ("unhelpful", -0.5),
+    ("cold", -0.5),
+    ("late", -0.5),
+    ("delayed", -0.5),
+    ("crowded", -0.5),
+    ("confusing", -0.5),
+    ("disappointing", -0.5),
+    ("disappointed", -0.5),
+    ("annoying", -0.5),
+    ("annoyed", -0.5),
+    ("frustrating", -0.5),
+    ("frustrated", -0.5),
+    ("unreliable", -0.5),
+    ("buggy", -0.5),
+    ("glitchy", -0.5),
+    ("overheats", -0.5),
+    ("overheating", -0.5),
+    ("drains", -0.5),
+    ("drain", -0.5),
+    ("cracked", -0.5),
+    ("scratches", -0.5),
+    ("scratched", -0.5),
+    ("misdiagnosed", -0.5),
+    ("dismisses", -0.5),
+    ("ignored", -0.5),
+    ("ignores", -0.5),
+    ("pain", -0.5),
+    ("painful", -0.5),
+    ("hurt", -0.5),
+    ("hurts", -0.5),
+    ("sick", -0.5),
+    ("worse", -0.5),
+    ("wrong", -0.5),
+    ("problem", -0.5),
+    ("problems", -0.5),
+    ("issue", -0.5),
+    ("issues", -0.5),
+    ("complaint", -0.5),
+    ("broken", -0.5),
+    ("breaks", -0.5),
+    ("fails", -0.5),
+    ("failed", -0.5),
+    ("failure", -0.5),
+    ("freezes", -0.5),
+    ("freeze", -0.5),
+    ("crashes", -0.5),
+    ("crash", -0.5),
+    ("defective", -0.5),
+    ("defect", -0.5),
+    ("faulty", -0.5),
+    ("malfunction", -0.5),
     // --- strong negative ---
-    ("terrible", -0.75), ("awful", -0.75), ("horrible", -0.75), ("dreadful", -0.75),
-    ("hate", -0.75), ("hated", -0.75), ("useless", -0.75), ("worthless", -0.75),
-    ("unacceptable", -0.75), ("incompetent", -0.75), ("negligent", -0.75),
-    ("careless", -0.75), ("arrogant", -0.75), ("condescending", -0.75),
-    ("unprofessional", -0.75), ("disrespectful", -0.75), ("unbearable", -0.75),
-    ("miserable", -0.75), ("regret", -0.75), ("avoid", -0.75), ("refund", -0.75),
-    ("garbage", -0.75), ("junk", -0.75), ("scam", -0.75), ("ripoff", -0.75),
+    ("terrible", -0.75),
+    ("awful", -0.75),
+    ("horrible", -0.75),
+    ("dreadful", -0.75),
+    ("hate", -0.75),
+    ("hated", -0.75),
+    ("useless", -0.75),
+    ("worthless", -0.75),
+    ("unacceptable", -0.75),
+    ("incompetent", -0.75),
+    ("negligent", -0.75),
+    ("careless", -0.75),
+    ("arrogant", -0.75),
+    ("condescending", -0.75),
+    ("unprofessional", -0.75),
+    ("disrespectful", -0.75),
+    ("unbearable", -0.75),
+    ("miserable", -0.75),
+    ("regret", -0.75),
+    ("avoid", -0.75),
+    ("refund", -0.75),
+    ("garbage", -0.75),
+    ("junk", -0.75),
+    ("scam", -0.75),
+    ("ripoff", -0.75),
     // --- extreme negative ---
-    ("worst", -1.0), ("atrocious", -1.0), ("abysmal", -1.0), ("disaster", -1.0),
-    ("disastrous", -1.0), ("nightmare", -1.0), ("dangerous", -1.0), ("malpractice", -1.0),
-    ("horrific", -1.0), ("appalling", -1.0), ("unusable", -1.0),
+    ("worst", -1.0),
+    ("atrocious", -1.0),
+    ("abysmal", -1.0),
+    ("disaster", -1.0),
+    ("disastrous", -1.0),
+    ("nightmare", -1.0),
+    ("dangerous", -1.0),
+    ("malpractice", -1.0),
+    ("horrific", -1.0),
+    ("appalling", -1.0),
+    ("unusable", -1.0),
 ];
 
 /// Negation words that flip the polarity of a following opinion word.
 const NEGATORS: &[&str] = &[
-    "not", "no", "never", "none", "neither", "nor", "nobody", "nothing", "hardly",
-    "barely", "scarcely", "without", "don't", "doesn't", "didn't", "isn't", "wasn't",
-    "aren't", "weren't", "won't", "wouldn't", "can't", "cannot", "couldn't", "shouldn't",
-    "ain't", "haven't", "hasn't", "hadn't",
+    "not",
+    "no",
+    "never",
+    "none",
+    "neither",
+    "nor",
+    "nobody",
+    "nothing",
+    "hardly",
+    "barely",
+    "scarcely",
+    "without",
+    "don't",
+    "doesn't",
+    "didn't",
+    "isn't",
+    "wasn't",
+    "aren't",
+    "weren't",
+    "won't",
+    "wouldn't",
+    "can't",
+    "cannot",
+    "couldn't",
+    "shouldn't",
+    "ain't",
+    "haven't",
+    "hasn't",
+    "hadn't",
 ];
 
 /// Intensifiers and their multiplicative boost.
 const INTENSIFIERS: &[(&str, f64)] = &[
-    ("very", 1.3), ("really", 1.3), ("extremely", 1.6), ("incredibly", 1.6),
-    ("absolutely", 1.5), ("totally", 1.4), ("completely", 1.4), ("super", 1.4),
-    ("so", 1.25), ("highly", 1.3), ("exceptionally", 1.6), ("remarkably", 1.4),
-    ("insanely", 1.6), ("truly", 1.3), ("especially", 1.2),
+    ("very", 1.3),
+    ("really", 1.3),
+    ("extremely", 1.6),
+    ("incredibly", 1.6),
+    ("absolutely", 1.5),
+    ("totally", 1.4),
+    ("completely", 1.4),
+    ("super", 1.4),
+    ("so", 1.25),
+    ("highly", 1.3),
+    ("exceptionally", 1.6),
+    ("remarkably", 1.4),
+    ("insanely", 1.6),
+    ("truly", 1.3),
+    ("especially", 1.2),
 ];
 
 /// Downtoners and their multiplicative damping.
 const DOWNTONERS: &[(&str, f64)] = &[
-    ("somewhat", 0.6), ("slightly", 0.5), ("little", 0.6), ("bit", 0.6),
-    ("kinda", 0.6), ("kind", 0.7), ("sort", 0.7), ("rather", 0.8), ("fairly", 0.8),
-    ("mildly", 0.5), ("marginally", 0.5), ("almost", 0.8),
+    ("somewhat", 0.6),
+    ("slightly", 0.5),
+    ("little", 0.6),
+    ("bit", 0.6),
+    ("kinda", 0.6),
+    ("kind", 0.7),
+    ("sort", 0.7),
+    ("rather", 0.8),
+    ("fairly", 0.8),
+    ("mildly", 0.5),
+    ("marginally", 0.5),
+    ("almost", 0.8),
 ];
 
 /// A graded sentiment lexicon plus valence-shifter rules.
@@ -132,8 +348,7 @@ pub struct SentimentLexicon {
 
 impl Default for SentimentLexicon {
     fn default() -> Self {
-        let words: HashMap<String, f64> =
-            ENTRIES.iter().map(|&(w, s)| (w.to_owned(), s)).collect();
+        let words: HashMap<String, f64> = ENTRIES.iter().map(|&(w, s)| (w.to_owned(), s)).collect();
         // Secondary index by stem, so inflected forms ("impressively",
         // "drained") still hit. Exact-form entries win on conflict.
         let mut stems: HashMap<String, f64> = HashMap::new();

@@ -27,27 +27,62 @@ pub enum PosTag {
 
 const FUNCTION_WORDS: &[&str] = &[
     "a", "an", "the", "this", "that", "these", "those", "i", "you", "he", "she", "it", "we",
-    "they", "my", "your", "his", "her", "its", "our", "their", "of", "in", "on", "at", "by",
-    "for", "with", "about", "to", "from", "and", "or", "but", "if", "so", "as", "than", "not",
-    "no", "never", "very", "really", "is", "are", "was", "were", "be", "been", "am", "do",
-    "does", "did", "have", "has", "had", "will", "would", "can", "could", "should", "me",
-    "him", "them", "us", "there", "here", "when", "while", "because", "after", "before",
+    "they", "my", "your", "his", "her", "its", "our", "their", "of", "in", "on", "at", "by", "for",
+    "with", "about", "to", "from", "and", "or", "but", "if", "so", "as", "than", "not", "no",
+    "never", "very", "really", "is", "are", "was", "were", "be", "been", "am", "do", "does", "did",
+    "have", "has", "had", "will", "would", "can", "could", "should", "me", "him", "them", "us",
+    "there", "here", "when", "while", "because", "after", "before",
 ];
 
 const COMMON_VERBS: &[&str] = &[
-    "use", "used", "using", "buy", "bought", "work", "works", "worked", "working", "go",
-    "went", "come", "came", "take", "took", "make", "made", "get", "got", "give", "gave",
-    "feel", "felt", "think", "thought", "know", "knew", "see", "saw", "say", "said", "tell",
-    "told", "call", "called", "wait", "waited", "visit", "visited", "return", "returned",
-    "charge", "charged", "last", "lasts", "lasted", "hold", "holds", "held", "run", "runs",
-    "ran", "keep", "keeps", "kept", "seem", "seems", "seemed", "look", "looks", "looked",
+    "use", "used", "using", "buy", "bought", "work", "works", "worked", "working", "go", "went",
+    "come", "came", "take", "took", "make", "made", "get", "got", "give", "gave", "feel", "felt",
+    "think", "thought", "know", "knew", "see", "saw", "say", "said", "tell", "told", "call",
+    "called", "wait", "waited", "visit", "visited", "return", "returned", "charge", "charged",
+    "last", "lasts", "lasted", "hold", "holds", "held", "run", "runs", "ran", "keep", "keeps",
+    "kept", "seem", "seems", "seemed", "look", "looks", "looked",
 ];
 
 const COMMON_ADJECTIVES: &[&str] = &[
-    "new", "old", "big", "small", "large", "long", "short", "high", "low", "full", "empty",
-    "hot", "warm", "cool", "easy", "hard", "difficult", "simple", "light", "dark", "thin",
-    "thick", "wide", "narrow", "early", "other", "same", "different", "whole", "entire",
-    "main", "major", "minor", "overall", "front", "back", "loud", "quiet", "soft",
+    "new",
+    "old",
+    "big",
+    "small",
+    "large",
+    "long",
+    "short",
+    "high",
+    "low",
+    "full",
+    "empty",
+    "hot",
+    "warm",
+    "cool",
+    "easy",
+    "hard",
+    "difficult",
+    "simple",
+    "light",
+    "dark",
+    "thin",
+    "thick",
+    "wide",
+    "narrow",
+    "early",
+    "other",
+    "same",
+    "different",
+    "whole",
+    "entire",
+    "main",
+    "major",
+    "minor",
+    "overall",
+    "front",
+    "back",
+    "loud",
+    "quiet",
+    "soft",
 ];
 
 /// The tagger. Construct once (it clones nothing heavy) and reuse.

@@ -77,8 +77,7 @@ impl RidgeRegression {
             }
             xtx[(i, i)] += lambda;
         }
-        let weights = cholesky_solve(&xtx, &xty)
-            .expect("XtX + lambda*I is SPD for lambda > 0");
+        let weights = cholesky_solve(&xtx, &xty).expect("XtX + lambda*I is SPD for lambda > 0");
         let intercept = y_mean - osa_linalg::dot(&x_mean, &weights);
         RidgeRegression { weights, intercept }
     }
@@ -155,12 +154,18 @@ mod tests {
     #[test]
     fn sentiment_regressor_separates_polarity() {
         let pos = [
-            "the screen is great", "great battery life", "amazing camera quality",
-            "i love this phone", "excellent sound and great display",
+            "the screen is great",
+            "great battery life",
+            "amazing camera quality",
+            "i love this phone",
+            "excellent sound and great display",
         ];
         let neg = [
-            "the screen is terrible", "terrible battery life", "awful camera quality",
-            "i hate this phone", "horrible sound and bad display",
+            "the screen is terrible",
+            "terrible battery life",
+            "awful camera quality",
+            "i hate this phone",
+            "horrible sound and bad display",
         ];
         let mut sentences = Vec::new();
         let mut labels = Vec::new();

@@ -31,15 +31,25 @@ pub fn stem(word: &str) -> String {
         ("s", ""),
     ] {
         if let Some(base) = w.strip_suffix(suffix) {
-            if base.len() + replace.len() >= 3 {
+            // Count chars, not bytes: a single non-BMP scalar is four
+            // bytes but only one character of stem.
+            if base.chars().count() + replace.len() >= 3 {
                 // "running" -> "runn" -> collapse doubled final consonant.
                 let mut out = format!("{base}{replace}");
-                let bytes = out.as_bytes();
-                let n = bytes.len();
+                let mut tail = out.chars().rev();
+                let last = tail.next();
+                let prev = tail.next();
+                // Compare whole chars and only collapse ASCII consonants.
+                // A byte-level comparison here ate entire scalars whose
+                // UTF-8 encoding ends in two equal bytes (e.g. 𒀀,
+                // U+12000 = F0 92 80 80), emptying the stem.
                 if replace.is_empty()
-                    && n >= 2
-                    && bytes[n - 1] == bytes[n - 2]
-                    && !matches!(bytes[n - 1], b'a' | b'e' | b'i' | b'o' | b'u' | b's' | b'l')
+                    && last.is_some()
+                    && last == prev
+                    && last.is_some_and(|c| {
+                        c.is_ascii_alphabetic()
+                            && !matches!(c, 'a' | 'e' | 'i' | 'o' | 'u' | 's' | 'l')
+                    })
                 {
                     out.pop();
                 }

@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn tokenize_numbers() {
-        assert_eq!(tokenize("battery lasts 12 hours"), vec!["battery", "lasts", "12", "hours"]);
+        assert_eq!(
+            tokenize("battery lasts 12 hours"),
+            vec!["battery", "lasts", "12", "hours"]
+        );
     }
 
     #[test]

@@ -3,6 +3,56 @@
 use osa_text::{porter_stem, split_sentences, stem, tokenize, SentimentLexicon};
 use proptest::prelude::*;
 
+/// Pinned regression: the shrunken instance from the checked-in proptest
+/// seed (`crates/text/tests/props.proptest-regressions`), `text = "𝑨"`.
+/// U+1D468 (MATHEMATICAL BOLD CAPITAL A) is a non-BMP scalar: 4 bytes of
+/// UTF-8, classified `Lu` but with no lowercase mapping. Any byte-offset
+/// slicing or "uppercase implies a distinct lowercase form" assumption
+/// in the tokenizer, stemmers or sentence splitter trips on it. Kept as
+/// a named test so it can never silently shrink away or depend on RNG
+/// replay (upstream `cc` seed hashes are not replayable).
+#[test]
+fn regression_non_bmp_math_bold_a() {
+    let text = "𝑨";
+    let tokens = tokenize(text);
+    assert_eq!(tokens, vec!["𝑨".to_string()], "one intact token");
+    for t in &tokens {
+        assert!(!t.is_empty());
+        // Lowercased, except characters with no lowercase mapping.
+        assert!(t
+            .chars()
+            .all(|c| !c.is_uppercase() || c.to_lowercase().eq(std::iter::once(c))));
+    }
+    assert_eq!(split_sentences(text), vec!["𝑨".to_string()]);
+    // Stemmers must pass non-ASCII through untouched, never panic.
+    assert_eq!(stem("𝑨"), "𝑨");
+    assert_eq!(porter_stem("𝑨"), "𝑨");
+    assert_eq!(stem("𝑨𝑨𝑨"), "𝑨𝑨𝑨");
+    assert_eq!(porter_stem("𝑨𝑨𝑨"), "𝑨𝑨𝑨");
+    let lex = SentimentLexicon::default();
+    let s = lex.score_sentence(text);
+    assert!((-1.0..=1.0).contains(&s));
+}
+
+/// Pinned regression: `stem`'s doubled-consonant collapse used to compare
+/// the final two *bytes* of the stemmed word. Any scalar whose UTF-8
+/// encoding ends in two equal bytes — 𒀀 (U+12000, `F0 92 80 80`) is the
+/// canonical example — matched the "doubled consonant" pattern, and
+/// `out.pop()` then removed the entire four-byte character:
+/// `stem("𒀀es")` returned `""`. The collapse now compares whole chars
+/// and only fires on ASCII consonants.
+#[test]
+fn regression_byte_level_collapse_ate_cuneiform() {
+    // The min-stem-length guard also counts chars now, so short bases
+    // refuse to strip rather than relying on byte length.
+    assert_eq!(stem("𒀀es"), "𒀀es");
+    assert_eq!(stem("x𒀀ing"), "x𒀀ing");
+    assert_eq!(stem("ab𒀀s"), "ab𒀀");
+    assert_eq!(stem("𒀀𒀀es"), "𒀀𒀀e");
+    // Porter's ASCII gate must pass non-ASCII input through untouched.
+    assert_eq!(porter_stem("𒀀es"), "𒀀es");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -72,6 +122,30 @@ proptest! {
         let lex = SentimentLexicon::default();
         let s = lex.score_sentence(&text);
         prop_assert!((-1.0..=1.0).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn unicode_words_keep_every_scalar_through_stemming(
+        prefix in "[a-z]{0,6}",
+        suffix in "[a-z]{0,6}",
+        which in 0usize..5,
+    ) {
+        // Splice one exotic scalar into an otherwise-ASCII word. The
+        // stemmers take the Unicode slow path; whatever suffix handling
+        // happens, the non-ASCII scalar itself must survive intact and
+        // nothing may panic on a char boundary.
+        let exotic = ['𝑨', '𒀀', '😀', 'ß', 'é'][which];
+        let word = format!("{prefix}{exotic}{suffix}");
+        let s = stem(&word);
+        prop_assert!(s.chars().filter(|&c| c == exotic).count() >= 1, "{word:?} -> {s:?}");
+        prop_assert!(s.chars().count() <= word.chars().count());
+        // Porter refuses non-ASCII entirely: input comes back verbatim.
+        prop_assert_eq!(porter_stem(&word), word.clone());
+        // And the ASCII fast path agrees with itself: stripping the
+        // exotic scalar first or after never panics either.
+        let ascii: String = word.chars().filter(char::is_ascii).collect();
+        let _ = stem(&ascii);
+        let _ = porter_stem(&ascii);
     }
 
     #[test]

@@ -32,7 +32,10 @@ fn main() {
 
     let algorithms: Vec<(&str, Box<dyn Summarizer>)> = vec![
         ("greedy", Box::new(GreedySummarizer)),
-        ("randomized-rounding", Box::new(RandomizedRounding::with_seed(5))),
+        (
+            "randomized-rounding",
+            Box::new(RandomizedRounding::with_seed(5)),
+        ),
         ("ilp (optimal)", Box::new(IlpSummarizer)),
     ];
 
@@ -75,11 +78,7 @@ fn main() {
         for (name, alg) in &algorithms {
             let sw = Stopwatch::start();
             let s = alg.summarize(&graph, K);
-            println!(
-                "  {name:<22} cost {:>5}  ({:>9.1} µs)",
-                s.cost,
-                sw.micros()
-            );
+            println!("  {name:<22} cost {:>5}  ({:>9.1} µs)", s.cost, sw.micros());
         }
         println!();
     }

@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example learned_sentiment`
 
 use osars::core::{CoverageGraph, Granularity, GreedySummarizer, Summarizer};
-use osars::datasets::{
-    extract_item_with, train_regressor, Corpus, CorpusConfig, SentimentModel,
-};
+use osars::datasets::{extract_item_with, train_regressor, Corpus, CorpusConfig, SentimentModel};
 use osars::text::{ConceptMatcher, SentimentLexicon};
 
 fn main() {
@@ -16,11 +14,17 @@ fn main() {
 
     // Train the regressor on the whole corpus (review-level ratings as
     // weak sentence labels), then extract one item both ways.
-    println!("training hashed-BoW ridge regressor on {} reviews…", corpus.total_reviews());
+    println!(
+        "training hashed-BoW ridge regressor on {} reviews…",
+        corpus.total_reviews()
+    );
     let regressor = train_regressor(&corpus, 512, 1.0);
 
     let models = [
-        ("lexicon", SentimentModel::Lexicon(SentimentLexicon::default())),
+        (
+            "lexicon",
+            SentimentModel::Lexicon(SentimentLexicon::default()),
+        ),
         ("regressor", SentimentModel::Regressor(regressor)),
     ];
 

@@ -32,7 +32,10 @@ fn main() {
             }
         }
     }
-    println!("extracted {} concept-sentiment pairs (Fig. 1 style):", pairs.len());
+    println!(
+        "extracted {} concept-sentiment pairs (Fig. 1 style):",
+        pairs.len()
+    );
     for p in &pairs {
         println!("  ({}, {:+.2})", hierarchy.name(p.concept), p.sentiment);
     }
@@ -42,7 +45,11 @@ fn main() {
     let graph = CoverageGraph::for_pairs(&hierarchy, &pairs, 0.5);
     let summary = GreedySummarizer.summarize(&graph, 3);
 
-    println!("\nk=3 summary (cost {} vs root-only {}):", summary.cost, graph.root_cost());
+    println!(
+        "\nk=3 summary (cost {} vs root-only {}):",
+        summary.cost,
+        graph.root_cost()
+    );
     for &i in &summary.selected {
         println!(
             "  {} = {:+.2}",

@@ -37,14 +37,26 @@ fn show(sc: &SetCoverInstance) {
         "optimal size-{} summary cost: {} → cheap summary {}",
         red.k,
         summary.cost,
-        if summary.cost <= red.target { "EXISTS" } else { "does NOT exist" }
+        if summary.cost <= red.target {
+            "EXISTS"
+        } else {
+            "does NOT exist"
+        }
     );
     println!(
         "brute-force set cover of size ≤ {}: {}",
         sc.k,
-        if cover_exists { "EXISTS" } else { "does NOT exist" }
+        if cover_exists {
+            "EXISTS"
+        } else {
+            "does NOT exist"
+        }
     );
-    assert_eq!(summary.cost <= red.target, cover_exists, "Theorem 1 violated!");
+    assert_eq!(
+        summary.cost <= red.target,
+        cover_exists,
+        "Theorem 1 violated!"
+    );
     println!("⇒ decision answers agree, as Theorem 1 requires.\n");
 
     if summary.cost <= red.target {

@@ -29,6 +29,7 @@ use osars::datasets::{
     extract_item, load_corpus, save_corpus, table1_stats, Corpus, CorpusConfig, ExtractedItem,
 };
 use osars::eval::{sent_err, sent_err_penalized, Stopwatch};
+use osars::runtime::{summarize_corpus, BatchAlgorithm, BatchJob, BatchOptions};
 use osars::text::{ConceptMatcher, SentimentLexicon};
 
 fn main() -> ExitCode {
@@ -71,16 +72,19 @@ USAGE:
   osars generate  --domain doctors|phones [--scale small|full] [--seed N] --out FILE
   osars stats     --corpus FILE
   osars hierarchy --corpus FILE
-  osars summarize --corpus FILE [--item I] [--k K] [--eps E]
+  osars summarize --corpus FILE [--item I|all] [--k K] [--eps E]
                   [--granularity pairs|sentences|reviews]
                   [--algorithm greedy|lazy|ilp|rr|local-search]
-                  [--focus CONCEPT] [--explain true]
-  osars evaluate  --corpus FILE [--k K] [--eps E] [--items N]
+                  [--focus CONCEPT] [--explain true] [--jobs N]
+  osars evaluate  --corpus FILE [--k K] [--eps E] [--items N] [--jobs N]
 
 DEFAULTS: --scale small --seed 42 --item 0 --k 5 --eps 0.5
-          --granularity sentences --algorithm greedy --items 5
+          --granularity sentences --algorithm greedy --items 5 --jobs 1
 FOCUS:    restricts the summary to one concept's subtree
-          (e.g. --focus battery on a phone corpus)"
+          (e.g. --focus battery on a phone corpus)
+JOBS:     --item all batches every item over N worker threads (0 = all
+          cores); results are byte-identical for any N — timing stats go
+          to stderr"
     );
 }
 
@@ -132,10 +136,12 @@ fn open_corpus(flags: &HashMap<String, String>) -> Result<Corpus, String> {
 }
 
 fn extract(corpus: &Corpus, item: usize) -> Result<ExtractedItem, String> {
-    let item = corpus
-        .items
-        .get(item)
-        .ok_or_else(|| format!("item {item} out of range (corpus has {})", corpus.items.len()))?;
+    let item = corpus.items.get(item).ok_or_else(|| {
+        format!(
+            "item {item} out of range (corpus has {})",
+            corpus.items.len()
+        )
+    })?;
     let matcher = ConceptMatcher::from_hierarchy(&corpus.hierarchy);
     let lexicon = SentimentLexicon::default();
     Ok(extract_item(item, &matcher, &lexicon))
@@ -193,8 +199,58 @@ fn cmd_hierarchy(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_granularity(name: &str) -> Result<Granularity, String> {
+    match name {
+        "pairs" => Ok(Granularity::Pairs),
+        "sentences" => Ok(Granularity::Sentences),
+        "reviews" => Ok(Granularity::Reviews),
+        other => Err(format!("unknown granularity '{other}'")),
+    }
+}
+
+/// `--item all`: batch-summarize the whole corpus on a worker pool.
+/// Summaries go to stdout (byte-identical for any `--jobs`), throughput
+/// and latency stats to stderr (inherently run-dependent).
+fn cmd_summarize_batch(corpus: &Corpus, flags: &HashMap<String, String>) -> Result<(), String> {
+    if flag(flags, "focus").is_some() {
+        return Err("--focus is not supported with --item all".to_owned());
+    }
+    let algorithm_name = flag(flags, "algorithm").unwrap_or("greedy");
+    let opts = BatchOptions {
+        jobs: parse_num(flags, "jobs", 1)?,
+        k: parse_num(flags, "k", 5)?,
+        eps: parse_num(flags, "eps", 0.5)?,
+        granularity: parse_granularity(flag(flags, "granularity").unwrap_or("sentences"))?,
+        algorithm: BatchAlgorithm::from_name(algorithm_name)
+            .ok_or_else(|| format!("unknown algorithm '{algorithm_name}'"))?,
+        corpus_seed: parse_num(flags, "seed", 42)?,
+    };
+    let report = summarize_corpus(corpus, &opts);
+    for item in &report.results {
+        println!(
+            "item {} ({}): cost {} (root-only {}), {} of {} candidates, {} pairs",
+            item.item,
+            item.name,
+            item.summary.cost,
+            item.root_cost,
+            item.summary.selected.len(),
+            item.num_candidates,
+            item.num_pairs
+        );
+        for line in &item.rendered {
+            println!("  • {line}");
+        }
+    }
+    eprintln!("{}", report.render_stats());
+    Ok(())
+}
+
 fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
     let corpus = open_corpus(flags)?;
+    let item_flag = flag(flags, "item").unwrap_or("0");
+    if item_flag == "all" {
+        return cmd_summarize_batch(&corpus, flags);
+    }
     let item: usize = parse_num(flags, "item", 0)?;
     let k: usize = parse_num(flags, "k", 5)?;
     let eps: f64 = parse_num(flags, "eps", 0.5)?;
@@ -226,11 +282,7 @@ fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
                 }
             }
             for s in &mut ex.sentences {
-                s.pair_indices = s
-                    .pair_indices
-                    .iter()
-                    .filter_map(|&pi| remap[pi])
-                    .collect();
+                s.pair_indices = s.pair_indices.iter().filter_map(|&pi| remap[pi]).collect();
             }
             ex.pairs = kept;
             println!(
@@ -313,26 +365,34 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     let corpus = open_corpus(flags)?;
     let k: usize = parse_num(flags, "k", 5)?;
     let eps: f64 = parse_num(flags, "eps", 0.5)?;
+    let jobs: usize = parse_num(flags, "jobs", 1)?;
     let items: usize = parse_num(flags, "items", 5)?;
     let items = items.min(corpus.items.len());
 
     let matcher = ConceptMatcher::from_hierarchy(&corpus.hierarchy);
     let lexicon = SentimentLexicon::default();
-    let baselines: Vec<Box<dyn SentenceSelector>> = vec![
-        Box::new(MostPopular),
-        Box::new(Proportional),
-        Box::new(TextRank),
-        Box::new(LexRank::default()),
-        Box::new(LsaSummarizer::default()),
-    ];
+    let make_baselines = || -> Vec<Box<dyn SentenceSelector>> {
+        vec![
+            Box::new(MostPopular),
+            Box::new(Proportional),
+            Box::new(TextRank),
+            Box::new(LexRank::default()),
+            Box::new(LsaSummarizer::default()),
+        ]
+    };
 
     let mut totals: Vec<(String, f64, f64)> = Vec::new();
     totals.push(("greedy (ours)".to_owned(), 0.0, 0.0));
-    for b in &baselines {
+    for b in &make_baselines() {
         totals.push((b.name().to_owned(), 0.0, 0.0));
     }
 
-    for item in corpus.items.iter().take(items) {
+    // Per-item scoring runs on the worker pool; the per-method error
+    // vectors come back in item order, so the aggregated totals are
+    // independent of the thread count.
+    let eval_items = &corpus.items[..items];
+    let report = BatchJob::new(eval_items).jobs(jobs).run(|_, _, item| {
+        let baselines = make_baselines();
         let ex = extract_item(item, &matcher, &lexicon);
         let records: Vec<SentenceRecord> = ex
             .sentences
@@ -355,16 +415,26 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
                 .map(|&pi| ex.pairs[pi])
                 .collect()
         };
-        let mut score = |slot: usize, sel: &[usize]| {
+        let score = |sel: &[usize]| -> (f64, f64) {
             let f = pairs_of(sel);
-            totals[slot].1 += sent_err(&corpus.hierarchy, &ex.pairs, &f);
-            totals[slot].2 += sent_err_penalized(&corpus.hierarchy, &ex.pairs, &f);
+            (
+                sent_err(&corpus.hierarchy, &ex.pairs, &f),
+                sent_err_penalized(&corpus.hierarchy, &ex.pairs, &f),
+            )
         };
-        score(0, &GreedySummarizer.summarize(&graph, k).selected);
-        for (bi, b) in baselines.iter().enumerate() {
-            score(bi + 1, &b.select(&records, k));
+        let mut errs = vec![score(&GreedySummarizer.summarize(&graph, k).selected)];
+        for b in &baselines {
+            errs.push(score(&b.select(&records, k)));
+        }
+        errs
+    });
+    for errs in &report.results {
+        for (slot, &(e, p)) in errs.iter().enumerate() {
+            totals[slot].1 += e;
+            totals[slot].2 += p;
         }
     }
+    eprintln!("{}", report.render_stats());
 
     println!("sentiment error over {items} items (k = {k}, eps = {eps}; lower is better):\n");
     println!("{:<16} {:>10} {:>12}", "method", "sent-err", "penalized");

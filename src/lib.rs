@@ -13,7 +13,8 @@
 //! * [`core`] — the coverage problems and the Greedy/ILP/RR algorithms,
 //! * [`baselines`] — the five baseline summarizers of the evaluation,
 //! * [`eval`] — coverage-cost and sentiment-error metrics,
-//! * [`datasets`] — synthetic doctor/phone corpora calibrated to Table 1.
+//! * [`datasets`] — synthetic doctor/phone corpora calibrated to Table 1,
+//! * [`runtime`] — the deterministic parallel batch engine (`--jobs`).
 //!
 //! See `examples/quickstart.rs` for a 30-line end-to-end run.
 
@@ -23,6 +24,7 @@ pub use osa_datasets as datasets;
 pub use osa_eval as eval;
 pub use osa_linalg as linalg;
 pub use osa_ontology as ontology;
+pub use osa_runtime as runtime;
 pub use osa_solver as solver;
 pub use osa_text as text;
 
@@ -33,4 +35,5 @@ pub mod prelude {
         Summarizer,
     };
     pub use osa_ontology::{Hierarchy, HierarchyBuilder, NodeId};
+    pub use osa_runtime::{summarize_corpus, BatchJob, BatchOptions, BatchReport};
 }

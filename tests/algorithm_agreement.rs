@@ -170,6 +170,99 @@ proptest! {
     }
 }
 
+/// Pinned regression: the shrunken instance from the checked-in
+/// proptest seed (`tests/algorithm_agreement.proptest-regressions`).
+/// A 3-node chain n0→n1→n2 with nine pairs and k = 4, where Greedy,
+/// ILP, RR and ExactBruteForce were reported to disagree. Kept as a
+/// named test so it can never silently shrink away or depend on RNG
+/// replay (upstream `cc` seed hashes are not replayable).
+///
+/// Root-cause analysis (recorded in EXPERIMENTS.md): on this instance
+/// the optimum at k = 4 is 0, and *eager* greedy legitimately lands at
+/// cost 1 — every one of its steps is an exact argmax, but the step-2
+/// tie between candidates {0, 7, 8} (gain 2 each) branches the run:
+/// taking candidate 8 then 0 leaves pairs 3 and 4 to be closed by one
+/// final pick, which no single candidate can do. Lazy greedy breaks the
+/// same ties the other way and reaches 0. That 1-vs-0 gap is the
+/// approximation guarantee working as designed, not a bookkeeping bug —
+/// so this test pins the *real* invariants: ILP matches brute force,
+/// both greedy variants report true costs, and every greedy step is an
+/// argmax choice under the graph's true marginal gains.
+#[test]
+fn regression_chain_nine_pairs_k4() {
+    let mut b = HierarchyBuilder::new();
+    let n0 = b.add_node("n0");
+    let n1 = b.add_node("n1");
+    let n2 = b.add_node("n2");
+    b.add_edge(n0, n1).unwrap();
+    b.add_edge(n1, n2).unwrap();
+    let h = b.build().unwrap();
+    let pairs = vec![
+        Pair::new(n2, -1.0),
+        Pair::new(n1, 0.25),
+        Pair::new(n0, -0.75),
+        Pair::new(n1, 1.0),
+        Pair::new(n2, 0.0),
+        Pair::new(n1, 0.75),
+        Pair::new(n0, 0.0),
+        Pair::new(n2, 0.75),
+        Pair::new(n2, 0.75),
+    ];
+    let k = 4;
+    let g = CoverageGraph::for_pairs(&h, &pairs, 0.5);
+
+    let exact = ExactBruteForce.summarize(&g, k);
+    let ilp = IlpSummarizer.summarize(&g, k);
+    assert_eq!(ilp.cost, exact.cost, "ILP must match brute force");
+    assert_eq!(
+        ilp.cost,
+        g.cost_of(&ilp.selected),
+        "ILP reported cost must be real"
+    );
+
+    assert_eq!(exact.cost, 0, "optimum at k=4 fully covers this instance");
+
+    for (name, summary) in [
+        ("greedy", GreedySummarizer.summarize(&g, k)),
+        ("lazy-greedy", LazyGreedySummarizer.summarize(&g, k)),
+    ] {
+        assert_eq!(
+            summary.cost,
+            g.cost_of(&summary.selected),
+            "{name} reported cost must be real"
+        );
+        assert!(summary.cost >= exact.cost, "{name} below optimum");
+        assert!(summary.cost <= g.root_cost(), "{name} above root cost");
+        // The strongest bookkeeping check: each step must be an exact
+        // argmax under true marginal gains. A two-hop decrease_key bug
+        // in the indexed heap would break this before anything else.
+        let mut sel: Vec<usize> = Vec::new();
+        for &u in &summary.selected {
+            let before = g.cost_of(&sel);
+            let gain_of = |cand: usize, s: &[usize]| {
+                let mut with = s.to_vec();
+                with.push(cand);
+                before - g.cost_of(&with)
+            };
+            let chosen = gain_of(u, &sel);
+            for other in 0..g.num_candidates() {
+                if !sel.contains(&other) {
+                    assert!(
+                        gain_of(other, &sel) <= chosen,
+                        "{name} step picked {u} (gain {chosen}) but {other} gains more"
+                    );
+                }
+            }
+            sel.push(u);
+        }
+    }
+
+    let rr = RandomizedRounding::with_seed(99).summarize(&g, k);
+    assert!(rr.cost >= exact.cost);
+    assert!(rr.cost <= g.root_cost());
+    assert_eq!(rr.selected.len(), k.min(g.num_candidates()));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

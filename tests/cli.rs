@@ -28,7 +28,11 @@ fn generate(path: &Path) {
         "--out",
         path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -85,7 +89,11 @@ fn summarize_sentences_with_greedy() {
         "--algorithm",
         "greedy",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("greedy selected 3"), "{text}");
     assert_eq!(text.matches("  • ").count(), 3, "{text}");
@@ -106,7 +114,11 @@ fn summarize_pairs_with_local_search() {
         "--k",
         "2",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("local-search selected 2"), "{text}");
     assert!(text.contains("= +") || text.contains("= -"), "{text}");
@@ -125,9 +137,19 @@ fn evaluate_compares_methods() {
         "--k",
         "4",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    for method in ["greedy (ours)", "most-popular", "textrank", "lexrank", "lsa"] {
+    for method in [
+        "greedy (ours)",
+        "most-popular",
+        "textrank",
+        "lexrank",
+        "lsa",
+    ] {
         assert!(text.contains(method), "missing {method}: {text}");
     }
 }
@@ -167,7 +189,11 @@ fn focus_restricts_to_subtree() {
         "--k",
         "2",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("focused on 'battery'"), "{text}");
 

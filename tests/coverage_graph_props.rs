@@ -27,7 +27,8 @@ fn arb_hierarchy(max_nodes: usize) -> impl Strategy<Value = Hierarchy> {
                         }
                     }
                 }
-                b.build().expect("random construction is a valid rooted DAG")
+                b.build()
+                    .expect("random construction is a valid rooted DAG")
             })
         })
         .no_shrink()

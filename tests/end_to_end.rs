@@ -125,7 +125,10 @@ fn sentence_summaries_cover_more_than_pair_summaries() {
         let cs = GreedySummarizer.summarize(&sent_graph, k).cost;
         let cr = GreedySummarizer.summarize(&review_graph, k).cost;
         assert!(cs <= cp, "k={k}: sentences {cs} > pairs {cp}");
-        assert!(cr <= cs + cs / 2, "k={k}: reviews {cr} far above sentences {cs}");
+        assert!(
+            cr <= cs + cs / 2,
+            "k={k}: reviews {cr} far above sentences {cs}"
+        );
     }
 }
 

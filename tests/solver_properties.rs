@@ -22,10 +22,7 @@ fn arb_lp() -> impl Strategy<Value = RandomLp> {
             let costs = proptest::collection::vec(-5i8..=5, nv..=nv);
             let ubs = proptest::collection::vec(1u8..=10, nv..=nv);
             let rows = proptest::collection::vec(
-                (
-                    proptest::collection::vec(0u8..=3, nv..=nv),
-                    1u8..=20,
-                ),
+                (proptest::collection::vec(0u8..=3, nv..=nv), 1u8..=20),
                 nc..=nc,
             );
             (costs, ubs, rows)
@@ -35,12 +32,7 @@ fn arb_lp() -> impl Strategy<Value = RandomLp> {
             ubs: ubs.into_iter().map(f64::from).collect(),
             rows: rows
                 .into_iter()
-                .map(|(coefs, rhs)| {
-                    (
-                        coefs.into_iter().map(f64::from).collect(),
-                        f64::from(rhs),
-                    )
-                })
+                .map(|(coefs, rhs)| (coefs.into_iter().map(f64::from).collect(), f64::from(rhs)))
                 .collect(),
         })
 }
@@ -61,7 +53,9 @@ fn build(lp: &RandomLp) -> (Model, Vec<osars::solver::VarId>) {
 }
 
 fn is_feasible(lp: &RandomLp, x: &[f64]) -> bool {
-    x.iter().zip(&lp.ubs).all(|(&v, &u)| v >= -FEAS_TOL && v <= u + FEAS_TOL)
+    x.iter()
+        .zip(&lp.ubs)
+        .all(|(&v, &u)| v >= -FEAS_TOL && v <= u + FEAS_TOL)
         && lp.rows.iter().all(|(coefs, rhs)| {
             x.iter().zip(coefs).map(|(v, c)| v * c).sum::<f64>() <= rhs + FEAS_TOL
         })
