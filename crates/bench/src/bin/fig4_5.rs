@@ -9,10 +9,13 @@
 //!
 //! * `OSA_ITEMS` (default 20) — number of items averaged over,
 //! * `OSA_MEAN_PAIRS` (default 60) — mean pairs per item,
-//! * `OSA_KMAX` (default 10) — k sweep upper bound.
+//! * `OSA_KMAX` (default 10) — k sweep upper bound,
+//! * `OSA_METRICS` (off) — stream pipeline metrics as JSON lines to
+//!   this file (same schema as `osars summarize --metrics`).
 
 use osa_bench::{
-    granularity_label, jobs_flag, quant_workload, run_timed, text_workload, write_csv,
+    finish_metrics, granularity_label, init_metrics_from_env, jobs_flag, quant_workload, run_timed,
+    text_workload, write_csv,
 };
 use osa_core::{Granularity, GreedySummarizer, IlpSummarizer, RandomizedRounding, Summarizer};
 use osa_runtime::BatchJob;
@@ -27,6 +30,7 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 fn main() {
+    let metrics = init_metrics_from_env();
     let items = env_usize("OSA_ITEMS", 20);
     let mean_pairs = env_usize("OSA_MEAN_PAIRS", 60);
     let kmax = env_usize("OSA_KMAX", 10);
@@ -184,4 +188,5 @@ fn main() {
         "granularity,algorithm,k,mean_time_us,mean_cost",
         &csv,
     );
+    finish_metrics(metrics);
 }

@@ -25,6 +25,7 @@ use osa_datasets::{
     SyntheticOntologyConfig,
 };
 use osa_eval::Stopwatch;
+use osa_obs::Sink as _;
 use osa_ontology::Hierarchy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,20 +33,49 @@ use rand::{Rng, SeedableRng};
 /// Worker count for the reproduction binaries: `--jobs N` on the command
 /// line wins, then the `OSA_JOBS` environment variable, then 1
 /// (sequential — the cleanest setting for timing columns). `0` means
-/// "all available cores".
+/// "all available cores". The raw request is resolved through
+/// [`osa_runtime::effective_jobs`] so the 0-means-all-cores and upper
+/// clamp rules live in exactly one place.
 pub fn jobs_flag() -> usize {
     let args: Vec<String> = std::env::args().collect();
-    for pair in args.windows(2) {
-        if pair[0] == "--jobs" {
-            if let Ok(n) = pair[1].parse() {
-                return n;
-            }
+    let requested = args
+        .windows(2)
+        .find(|pair| pair[0] == "--jobs")
+        .and_then(|pair| pair[1].parse().ok())
+        .or_else(|| std::env::var("OSA_JOBS").ok().and_then(|v| v.parse().ok()))
+        .unwrap_or(1);
+    osa_runtime::effective_jobs(requested)
+}
+
+/// Enable metrics collection when `OSA_METRICS=FILE` is in the
+/// environment: the global [`osa_obs`] registry is switched on with a
+/// JSONL sink on `FILE`. Returns the sink so [`finish_metrics`] can
+/// append the final snapshot; `None` (and no side effects) when the
+/// variable is unset or the file cannot be created.
+pub fn init_metrics_from_env() -> Option<std::sync::Arc<osa_obs::JsonlSink>> {
+    let path = std::env::var("OSA_METRICS").ok()?;
+    let sink = match osa_obs::JsonlSink::create(std::path::Path::new(&path)) {
+        Ok(s) => std::sync::Arc::new(s),
+        Err(e) => {
+            eprintln!("OSA_METRICS: cannot create '{path}': {e}");
+            return None;
         }
+    };
+    let obs = osa_obs::global();
+    obs.set_sink(sink.clone());
+    obs.set_enabled(true);
+    eprintln!("metrics streaming to {path}");
+    Some(sink)
+}
+
+/// Append the final registry snapshot to the `OSA_METRICS` sink and
+/// flush it. A no-op for `None`, so callers can write
+/// `finish_metrics(init_metrics_from_env())` bracket-style.
+pub fn finish_metrics(sink: Option<std::sync::Arc<osa_obs::JsonlSink>>) {
+    if let Some(sink) = sink {
+        sink.write_snapshot(&osa_obs::global().snapshot());
+        sink.flush();
     }
-    std::env::var("OSA_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
 }
 
 /// Where the harness writes its CSV output.
@@ -167,11 +197,10 @@ impl BenchItem {
 }
 
 /// Run one summarizer on a prebuilt graph, returning the summary and the
-/// wall-clock microseconds of the selection call.
+/// wall-clock microseconds of the selection call (saturating; see
+/// [`osa_eval::duration_micros`]).
 pub fn run_timed(s: &dyn Summarizer, graph: &CoverageGraph, k: usize) -> (Summary, f64) {
-    let sw = Stopwatch::start();
-    let summary = s.summarize(graph, k);
-    (summary, sw.micros())
+    Stopwatch::time(|| s.summarize(graph, k))
 }
 
 /// The heap-free greedy used by the `bench_ablation_heap` benchmark: it
@@ -243,6 +272,17 @@ pub fn granularity_label(g: Granularity) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn jobs_flag_is_already_resolved() {
+        // `jobs_flag` routes through `effective_jobs`, so the value it
+        // hands to `BatchJob::jobs` is never 0 and never above the
+        // runtime clamp — the 0-means-all-cores rule lives in one place.
+        let j = jobs_flag();
+        assert!(j >= 1);
+        assert!(j <= osa_runtime::MAX_JOBS);
+        assert_eq!(osa_runtime::effective_jobs(j), j);
+    }
 
     #[test]
     fn workload_is_deterministic_and_sized() {

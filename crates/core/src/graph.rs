@@ -133,6 +133,12 @@ impl CoverageGraph {
             Some(w) => w.to_vec(),
             None => vec![1; n_pairs],
         };
+        let obs = osa_obs::global();
+        obs.add("graph.builds", 1);
+        obs.add(
+            "graph.edges",
+            cand_edges.iter().map(|e| e.len() as u64).sum(),
+        );
         CoverageGraph {
             granularity,
             cand_edges,

@@ -38,6 +38,10 @@ impl Summarizer for GreedySummarizer {
             })
             .collect();
         let mut heap = IndexedMaxHeap::new(keys);
+        // Metric accumulators: counted locally, published once per call so
+        // the hot loop never touches the registry.
+        let gain_evals = n as u64; // one initial key per candidate
+        let mut key_updates = 0u64;
 
         let mut selected = Vec::with_capacity(k);
         while selected.len() < k {
@@ -64,10 +68,14 @@ impl Summarizer for GreedySummarizer {
                     if before > after {
                         let nk = heap.key(v) - (before - after);
                         heap.decrease_key(v, nk);
+                        key_updates += 1;
                     }
                 }
             }
         }
+        let obs = osa_obs::global();
+        obs.add("greedy.gain_evals", gain_evals);
+        obs.add("greedy.key_updates", key_updates);
 
         let cost = best
             .iter()
@@ -114,12 +122,15 @@ impl Summarizer for LazyGreedySummarizer {
         // Entries are (possibly stale) upper bounds on the marginal gain.
         let mut heap: BinaryHeap<(u64, u32)> = (0..n).map(|u| (gain(u, &best), u as u32)).collect();
         let mut selected = Vec::with_capacity(k);
+        let mut reevals = n as u64; // the initial keys
+        let mut repops = 0u64;
 
         while selected.len() < k {
             let Some((stale, u)) = heap.pop() else {
                 break;
             };
             let fresh = gain(u as usize, &best);
+            reevals += 1;
             debug_assert!(fresh <= stale, "gains only shrink (submodularity)");
             let next_best = heap.peek().map_or(0, |&(g, _)| g);
             if fresh >= next_best {
@@ -133,8 +144,12 @@ impl Summarizer for LazyGreedySummarizer {
                 }
             } else {
                 heap.push((fresh, u));
+                repops += 1;
             }
         }
+        let obs = osa_obs::global();
+        obs.add("lazy.reevals", reevals);
+        obs.add("lazy.repops", repops);
 
         let cost = best
             .iter()

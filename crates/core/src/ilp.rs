@@ -115,6 +115,7 @@ impl Summarizer for IlpSummarizer {
             upper_bound: Some(warm.cost as f64),
             ..IlpOptions::default()
         };
+        let _span = osa_obs::global().span("ilp.branch_bound");
         let sol = model
             .solve_ilp_with(&opts)
             .expect("coverage ILP is bounded and well-formed");

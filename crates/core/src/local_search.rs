@@ -34,6 +34,7 @@ impl Summarizer for LocalSearchSummarizer {
             in_summary[u] = true;
         }
 
+        let mut moves = 0u64;
         for _ in 0..self.max_swaps {
             // Best single swap (out, in) over all pairs.
             let mut best: Option<(usize, usize, u64)> = None;
@@ -85,7 +86,9 @@ impl Summarizer for LocalSearchSummarizer {
             in_summary[cand] = true;
             current.selected[out_pos] = cand;
             current.cost = cost;
+            moves += 1;
         }
+        osa_obs::global().add("local_search.moves", moves);
 
         debug_assert_eq!(current.cost, graph.cost_of(&current.selected));
         current

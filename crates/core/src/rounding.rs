@@ -100,6 +100,9 @@ impl Summarizer for RandomizedRounding {
             .solve_lp_with(osa_solver::LpMethod::Auto)
             .expect("coverage LP is bounded and well-formed");
         let weights: Vec<f64> = xs.iter().map(|&x| sol.value(x).max(0.0)).collect();
+        let obs = osa_obs::global();
+        obs.add("rr.lp_solves", 1);
+        obs.add("rr.rounding_attempts", self.trials.max(1) as u64);
 
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<Summary> = None;

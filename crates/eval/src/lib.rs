@@ -40,4 +40,4 @@ mod timing;
 pub use coverage::{covered_by_summary, covered_within, mean_serving_distance};
 pub use metrics::{sent_err, sent_err_penalized};
 pub use threshold::{covered_fraction, elbow};
-pub use timing::{LatencyHistogram, Stopwatch, SummaryStats};
+pub use timing::{duration_micros, LatencyHistogram, Stopwatch, SummaryStats};

@@ -2,6 +2,19 @@
 
 use std::time::{Duration, Instant};
 
+/// Convert a [`Duration`] to microseconds, saturating instead of
+/// overflowing: values that do not fit an `f64` (or are otherwise
+/// non-finite) clamp to `f64::MAX`, so downstream percentile math never
+/// sees `inf`/`NaN`.
+pub fn duration_micros(d: Duration) -> f64 {
+    let us = d.as_secs_f64() * 1e6;
+    if us.is_finite() {
+        us
+    } else {
+        f64::MAX
+    }
+}
+
 /// A simple wall-clock stopwatch.
 #[derive(Debug)]
 pub struct Stopwatch {
@@ -27,16 +40,24 @@ impl Stopwatch {
         self.start.elapsed()
     }
 
-    /// Elapsed microseconds (the unit the harness reports).
+    /// Elapsed microseconds (the unit the harness reports), saturating
+    /// at `f64::MAX` rather than overflowing to infinity.
     pub fn micros(&self) -> f64 {
-        self.elapsed().as_secs_f64() * 1e6
+        duration_micros(self.elapsed())
     }
 
     /// Time a closure, returning `(result, micros)`.
     pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+        let (out, d) = Stopwatch::time_duration(f);
+        (out, duration_micros(d))
+    }
+
+    /// Time a closure, returning `(result, elapsed)` as a raw
+    /// [`Duration`] for callers that feed histograms directly.
+    pub fn time_duration<T>(f: impl FnOnce() -> T) -> (T, Duration) {
         let sw = Stopwatch::start();
         let out = f();
-        (out, sw.micros())
+        (out, sw.elapsed())
     }
 }
 
@@ -94,9 +115,17 @@ impl LatencyHistogram {
         Self::default()
     }
 
-    /// Record one sample (microseconds).
+    /// Record one sample (microseconds). Non-finite values saturate to
+    /// `f64::MAX` so the percentile sort never sees `inf`/`NaN`.
     pub fn record(&mut self, micros: f64) {
-        self.samples.push(micros);
+        self.samples
+            .push(if micros.is_finite() { micros } else { f64::MAX });
+    }
+
+    /// Record one sample given as a [`Duration`] (saturating; see
+    /// [`duration_micros`]).
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(duration_micros(d));
     }
 
     /// Fold another histogram's samples into this one.
@@ -202,6 +231,41 @@ mod tests {
         assert!(h.p50().is_none());
         assert!(h.mean().is_none());
         assert!(h.summary().is_none());
+    }
+
+    #[test]
+    fn record_duration_stores_microseconds() {
+        let mut h = LatencyHistogram::new();
+        h.record_duration(Duration::from_millis(2));
+        h.record_duration(Duration::from_micros(500));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.total(), 2_500.0);
+        assert_eq!(h.percentile(100.0), Some(2_000.0));
+    }
+
+    #[test]
+    fn non_finite_samples_saturate() {
+        let mut h = LatencyHistogram::new();
+        h.record(f64::INFINITY);
+        h.record(f64::NAN);
+        h.record(1.0);
+        // Saturated samples are finite, so percentile sorting stays
+        // total and the extreme values land at the top rank.
+        assert_eq!(h.p50(), Some(f64::MAX));
+        assert_eq!(h.percentile(0.0), Some(1.0));
+        assert!(h.total().is_finite() || h.total() == f64::INFINITY);
+    }
+
+    #[test]
+    fn duration_micros_is_finite_even_for_max_duration() {
+        assert!(duration_micros(Duration::MAX).is_finite());
+        assert_eq!(duration_micros(Duration::from_secs(1)), 1e6);
+    }
+
+    #[test]
+    fn time_duration_returns_raw_duration() {
+        let ((), d) = Stopwatch::time_duration(|| std::thread::sleep(Duration::from_millis(1)));
+        assert!(d >= Duration::from_micros(500));
     }
 
     #[test]

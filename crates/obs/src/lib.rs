@@ -1,0 +1,711 @@
+//! # osa-obs — structured tracing and metrics for the OSARS pipeline
+//!
+//! The paper's quantitative claims (Figs. 4/6, Table 1) are all about
+//! *where time goes* — greedy vs. lazy-greedy gain evaluations, ILP solve
+//! time, coverage-graph construction. This crate is the workspace's
+//! observability substrate: every layer (`osa-text` extraction,
+//! `osa-core` graph/summarizers, `osa-solver` pivots, `osa-runtime`
+//! workers) reports into one thread-safe [`Registry`] of
+//!
+//! * **counters** — monotonically increasing `u64` totals (saturating on
+//!   overflow, never wrapping),
+//! * **gauges** — last-write-wins `i64` levels,
+//! * **histograms** — raw-sample latency distributions with the same
+//!   nearest-rank percentile semantics as `osa_eval::LatencyHistogram`,
+//!
+//! plus a lightweight **span** API: `registry.span("graph.build")`
+//! returns an RAII guard whose drop records the elapsed microseconds
+//! into the histogram of the same name and notifies the registry's
+//! pluggable [`Sink`] (no-op by default, human `stderr`, or JSON-lines
+//! through the in-tree `osa-json`).
+//!
+//! ## Determinism contract
+//!
+//! Metrics **observe, never perturb**: no instrumented code path makes a
+//! decision based on a metric, so summarization output is byte-identical
+//! with metrics on or off, and counter totals for deterministic
+//! algorithms are identical for any worker count (counters are atomic
+//! adds; only histograms and span *ordering* are schedule-dependent).
+//!
+//! ## Cost when disabled
+//!
+//! The registry is **disabled** until [`Registry::set_enabled`] flips it
+//! on (the `osars --metrics/--trace` flags do). Every recording
+//! entry point checks one relaxed atomic load and returns immediately,
+//! so instrumented hot paths cost a predictable branch; spans skip even
+//! the clock read.
+//!
+//! ```
+//! use osa_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! reg.set_enabled(true);
+//! reg.add("greedy.gain_evals", 128);
+//! {
+//!     let _span = reg.span("graph.build");
+//!     // ... work ...
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counters[0], ("greedy.gain_evals".to_owned(), 128));
+//! assert_eq!(snap.histograms[0].0, "graph.build");
+//! ```
+
+#![warn(missing_docs)]
+
+mod sink;
+
+pub use sink::{JsonlSink, NoopSink, Sink, StderrSink, TeeSink};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// --- handles ---------------------------------------------------------------
+
+/// A monotonically increasing total. Cloning shares the underlying cell.
+///
+/// Additions **saturate** at `u64::MAX` instead of wrapping, so a runaway
+/// instrument can never make a total appear small again.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` to the total (saturating).
+    pub fn add(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Add 1.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins level. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Raw-sample histogram with nearest-rank percentiles — the same
+/// semantics as `osa_eval::LatencyHistogram`, reimplemented here so the
+/// crate stays dependency-free (`osa-json` aside).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RawHistogram {
+    samples: Vec<f64>,
+}
+
+impl RawHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample. Non-finite values are clamped to `f64::MAX`
+    /// (saturating) so a single broken clock read cannot poison
+    /// percentile queries with `NaN`.
+    pub fn record(&mut self, sample: f64) {
+        let s = if sample.is_finite() { sample } else { f64::MAX };
+        self.samples.push(s);
+    }
+
+    /// Record a [`Duration`] in microseconds (saturating).
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_secs_f64() * 1e6);
+    }
+
+    /// Fold `other`'s samples into this histogram. Merging is associative
+    /// and preserves insertion order, so `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`
+    /// exactly (property-tested).
+    pub fn merge(&mut self, other: &RawHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Nearest-rank percentile for `p ∈ [0, 100]`; `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are never NaN"));
+        let n = sorted.len();
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        Some(sorted[rank - 1])
+    }
+
+    /// The recorded samples in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Summary statistics; `None` when empty.
+    pub fn stats(&self) -> Option<HistStats> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &s in &self.samples {
+            min = min.min(s);
+            max = max.max(s);
+        }
+        Some(HistStats {
+            count: self.samples.len(),
+            total: self.total(),
+            mean: self.total() / self.samples.len() as f64,
+            min,
+            max,
+            p50: self.percentile(50.0).expect("non-empty"),
+            p95: self.percentile(95.0).expect("non-empty"),
+        })
+    }
+}
+
+/// Summary statistics of one histogram (microseconds for span
+/// histograms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistStats {
+    /// Sample count.
+    pub count: usize,
+    /// Sum of samples.
+    pub total: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+}
+
+/// Shared handle to a registry histogram. Cloning shares the data.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<Mutex<RawHistogram>>);
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, sample: f64) {
+        self.0.lock().expect("histogram lock").record(sample);
+    }
+
+    /// Record a [`Duration`] in microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.0.lock().expect("histogram lock").record_duration(d);
+    }
+
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&self, other: &RawHistogram) {
+        self.0.lock().expect("histogram lock").merge(other);
+    }
+
+    /// Snapshot of the current data.
+    pub fn data(&self) -> RawHistogram {
+        self.0.lock().expect("histogram lock").clone()
+    }
+}
+
+// --- registry --------------------------------------------------------------
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A thread-safe metrics registry with a pluggable trace sink.
+///
+/// Instantiable for tests and embedded use; the process-wide instance the
+/// instrumentation macros and pipeline code report to is [`global()`].
+pub struct Registry {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+    sink: Mutex<Option<Arc<dyn Sink>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    /// A fresh, **disabled** registry with a no-op sink.
+    pub const fn new() -> Self {
+        Registry {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(Inner {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+            }),
+            sink: Mutex::new(None),
+        }
+    }
+
+    /// Is recording on? One relaxed load — the fast-path check every
+    /// instrumented call site performs.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Install the trace sink (replacing any previous one).
+    pub fn set_sink(&self, sink: Arc<dyn Sink>) {
+        *self.sink.lock().expect("sink lock") = Some(sink);
+    }
+
+    /// Remove the sink, reverting to no-op.
+    pub fn clear_sink(&self) {
+        *self.sink.lock().expect("sink lock") = None;
+    }
+
+    /// Get-or-create the counter `name`. Handles bypass the enabled
+    /// check — they record unconditionally — so hot paths should gate on
+    /// [`enabled`](Self::enabled) (or use [`add`](Self::add), which
+    /// does).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(c) = inner.counters.get(name) {
+            return c.clone();
+        }
+        inner.counters.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Get-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(g) = inner.gauges.get(name) {
+            return g.clone();
+        }
+        inner.gauges.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Get-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(h) = inner.histograms.get(name) {
+            return h.clone();
+        }
+        inner.histograms.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Add `n` to counter `name` — no-op while disabled.
+    pub fn add(&self, name: &str, n: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.counter(name).add(n);
+    }
+
+    /// Set gauge `name` to `v` — no-op while disabled.
+    pub fn set_gauge(&self, name: &str, v: i64) {
+        if !self.enabled() {
+            return;
+        }
+        self.gauge(name).set(v);
+    }
+
+    /// Record `sample` into histogram `name` — no-op while disabled.
+    pub fn observe(&self, name: &str, sample: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.histogram(name).record(sample);
+    }
+
+    /// Record a completed span: `micros` goes into the histogram `name`
+    /// and the sink is notified. No-op while disabled. This is what
+    /// [`SpanGuard`] calls on drop; call it directly when the duration
+    /// was measured externally.
+    pub fn observe_span(&self, name: &str, micros: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.histogram(name).record(micros);
+        if let Some(sink) = self.sink.lock().expect("sink lock").clone() {
+            sink.on_span(name, micros);
+        }
+    }
+
+    /// Open an RAII span: the guard's drop records the elapsed
+    /// microseconds under `name`. While disabled the guard is inert (not
+    /// even a clock read).
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            registry: self,
+            name,
+            start: self.enabled().then(Instant::now),
+        }
+    }
+
+    /// Time `f` as a span named `name`, returning `(result, micros)`.
+    /// The duration is measured (and returned) even while disabled; the
+    /// histogram/sink recording is skipped per [`observe_span`](Self::observe_span).
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> (T, f64) {
+        let start = Instant::now();
+        let out = f();
+        let micros = start.elapsed().as_secs_f64() * 1e6;
+        self.observe_span(name, micros);
+        (out, micros)
+    }
+
+    /// A point-in-time copy of every metric, names sorted.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("registry lock");
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .filter_map(|(k, v)| v.data().stats().map(|s| (k.clone(), s)))
+                .collect(),
+        }
+    }
+
+    /// Drop every metric (the enabled flag and sink are kept). Intended
+    /// for tests and between CLI sub-runs.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        *inner = Inner::default();
+    }
+}
+
+/// The process-wide registry every pipeline instrumentation site reports
+/// to. Disabled (and therefore free, bar one branch) until something —
+/// usually the `osars` CLI's `--metrics`/`--trace` flags — enables it.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}
+
+/// RAII span guard produced by [`Registry::span`] / [`span!`].
+#[derive(Debug)]
+pub struct SpanGuard<'r> {
+    registry: &'r Registry,
+    name: &'static str,
+    /// `None` when the registry was disabled at entry: drop is free.
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let micros = start.elapsed().as_secs_f64() * 1e6;
+            self.registry.observe_span(self.name, micros);
+        }
+    }
+}
+
+/// Open a span on the [`global()`] registry:
+/// `let _span = osa_obs::span!("graph.build");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::global().span($name)
+    };
+}
+
+// --- snapshot --------------------------------------------------------------
+
+/// A point-in-time view of a [`Registry`], ready for export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// `(name, total)` per counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` per gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, stats)` per non-empty histogram, sorted by name.
+    pub histograms: Vec<(String, HistStats)>,
+}
+
+impl Snapshot {
+    /// Serialize as JSON lines (one object per metric), matching the
+    /// span lines [`JsonlSink`] streams:
+    ///
+    /// ```text
+    /// {"t":"counter","name":"greedy.gain_evals","value":811}
+    /// {"t":"gauge","name":"runtime.jobs","value":8}
+    /// {"t":"hist","name":"extract","count":30,"total_us":..,"mean_us":..,"p50_us":..,"p95_us":..}
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        use osa_json::Value;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let obj = Value::Object(vec![
+                ("t".to_owned(), Value::String("counter".to_owned())),
+                ("name".to_owned(), Value::String(name.clone())),
+                ("value".to_owned(), Value::Number(*value as f64)),
+            ]);
+            out.push_str(&osa_json::to_string(&obj));
+            out.push('\n');
+        }
+        for (name, value) in &self.gauges {
+            let obj = Value::Object(vec![
+                ("t".to_owned(), Value::String("gauge".to_owned())),
+                ("name".to_owned(), Value::String(name.clone())),
+                ("value".to_owned(), Value::Number(*value as f64)),
+            ]);
+            out.push_str(&osa_json::to_string(&obj));
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            let obj = Value::Object(vec![
+                ("t".to_owned(), Value::String("hist".to_owned())),
+                ("name".to_owned(), Value::String(name.clone())),
+                ("count".to_owned(), Value::Number(h.count as f64)),
+                ("total_us".to_owned(), Value::Number(h.total)),
+                ("mean_us".to_owned(), Value::Number(h.mean)),
+                ("min_us".to_owned(), Value::Number(h.min)),
+                ("max_us".to_owned(), Value::Number(h.max)),
+                ("p50_us".to_owned(), Value::Number(h.p50)),
+                ("p95_us".to_owned(), Value::Number(h.p95)),
+            ]);
+            out.push_str(&osa_json::to_string(&obj));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable aligned table (for `--trace` stderr output).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            out.push_str(&format!("{:<32} {:>14}\n", "counter/gauge", "value"));
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<32} {v:>14}\n"));
+            }
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("{name:<32} {v:>14} (gauge)\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "{:<32} {:>8} {:>12} {:>10} {:>10} {:>10}\n",
+                "span/histogram", "count", "total ms", "mean µs", "p50 µs", "p95 µs"
+            ));
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "{name:<32} {:>8} {:>12.2} {:>10.1} {:>10.1} {:>10.1}\n",
+                    h.count,
+                    h.total / 1e3,
+                    h.mean,
+                    h.p50,
+                    h.p95
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::new();
+        reg.add("c", 5);
+        reg.set_gauge("g", 7);
+        reg.observe("h", 1.0);
+        {
+            let _s = reg.span("s");
+        }
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn enabled_registry_records_everything() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        reg.add("c", 5);
+        reg.add("c", 2);
+        reg.set_gauge("g", -3);
+        reg.observe("h", 10.0);
+        reg.observe("h", 20.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("c".to_owned(), 7)]);
+        assert_eq!(snap.gauges, vec![("g".to_owned(), -3)]);
+        let (name, h) = &snap.histograms[0];
+        assert_eq!(name, "h");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.total, 30.0);
+        assert_eq!(h.p50, 10.0);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn span_guard_records_a_sample() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        {
+            let _s = reg.span("work");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = reg.snapshot();
+        let (name, h) = &snap.histograms[0];
+        assert_eq!(name, "work");
+        assert_eq!(h.count, 1);
+        assert!(h.total >= 500.0, "got {}µs", h.total);
+    }
+
+    #[test]
+    fn time_returns_micros_even_when_disabled() {
+        let reg = Registry::new();
+        let (out, us) = reg.time("t", || 41 + 1);
+        assert_eq!(out, 42);
+        assert!(us >= 0.0);
+        assert!(reg.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn histogram_semantics_match_latency_histogram() {
+        // Same nearest-rank behavior as osa_eval::LatencyHistogram.
+        let mut h = RawHistogram::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), Some(3.0));
+        assert_eq!(h.percentile(0.0), Some(1.0));
+        assert_eq!(h.percentile(100.0), Some(5.0));
+        let s = h.stats().unwrap();
+        assert_eq!(s.p95, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn non_finite_samples_saturate() {
+        let mut h = RawHistogram::new();
+        h.record(f64::INFINITY);
+        h.record_duration(Duration::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.samples().iter().all(|s| s.is_finite()));
+        assert!(h.stats().unwrap().max <= f64::MAX);
+    }
+
+    #[test]
+    fn record_duration_is_micros() {
+        let mut h = RawHistogram::new();
+        h.record_duration(Duration::from_millis(2));
+        assert_eq!(h.samples(), &[2000.0]);
+    }
+
+    #[test]
+    fn snapshot_jsonl_round_trips_through_osa_json() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        reg.add("a.count", 3);
+        reg.set_gauge("b.level", 9);
+        reg.observe("c.span", 123.5);
+        let jsonl = reg.snapshot().to_jsonl();
+        let mut lines = 0;
+        for line in jsonl.lines() {
+            let v = osa_json::parse(line).expect("valid JSON line");
+            assert!(v.get("t").is_some() && v.get("name").is_some());
+            let re = osa_json::parse(&osa_json::to_string(&v)).unwrap();
+            assert_eq!(v, re, "round trip");
+            lines += 1;
+        }
+        assert_eq!(lines, 3);
+    }
+
+    #[test]
+    fn reset_clears_metrics_but_keeps_enabled() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        reg.add("x", 1);
+        reg.reset();
+        assert!(reg.snapshot().counters.is_empty());
+        assert!(reg.enabled());
+        reg.add("x", 2);
+        assert_eq!(reg.snapshot().counters, vec![("x".to_owned(), 2)]);
+    }
+
+    #[test]
+    fn render_table_mentions_every_metric() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        reg.add("alpha", 1);
+        reg.set_gauge("beta", 2);
+        reg.observe("gamma", 3.0);
+        let table = reg.snapshot().render_table();
+        for name in ["alpha", "beta", "gamma"] {
+            assert!(table.contains(name), "{table}");
+        }
+    }
+}

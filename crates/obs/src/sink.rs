@@ -1,0 +1,155 @@
+//! Pluggable span sinks: where completed-span events go.
+//!
+//! The registry notifies its sink once per completed span (RAII guard
+//! drop or [`crate::Registry::observe_span`]). Sinks must be cheap and
+//! must never panic on I/O failure — a broken trace pipe should not take
+//! the pipeline down, so write errors are swallowed.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Receiver of completed-span events. Implementations must be
+/// thread-safe: spans complete concurrently on worker threads.
+pub trait Sink: Send + Sync {
+    /// Called once per completed span with its histogram name and
+    /// duration in microseconds.
+    fn on_span(&self, name: &str, micros: f64);
+
+    /// Flush any buffered output. Default: nothing.
+    fn flush(&self) {}
+}
+
+/// Discards every event. What the registry behaves like before a sink
+/// is installed; provided as an explicit value for [`TeeSink`] slots
+/// and tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn on_span(&self, _name: &str, _micros: f64) {}
+}
+
+/// Human-readable one-line-per-span output on stderr, e.g.
+/// `[osa-obs] graph.build 1234.5µs`. Stdout is deliberately untouched so
+/// summaries stay byte-identical under `--trace`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn on_span(&self, name: &str, micros: f64) {
+        eprintln!("[osa-obs] {name} {micros:.1}µs");
+    }
+}
+
+/// Streams one JSON object per span as a line of JSON-text (JSONL),
+/// serialized with the in-tree `osa-json`:
+///
+/// ```text
+/// {"t":"span","name":"graph.build","us":1234.5}
+/// ```
+///
+/// Snapshot lines (counters/gauges/histograms) are appended at the end
+/// of a run via [`JsonlSink::write_snapshot`].
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the JSONL file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Append one line per metric in `snapshot` (see
+    /// [`crate::Snapshot::to_jsonl`] for the schema).
+    pub fn write_snapshot(&self, snapshot: &crate::Snapshot) {
+        let mut out = self.out.lock().expect("jsonl lock");
+        let _ = out.write_all(snapshot.to_jsonl().as_bytes());
+        let _ = out.flush();
+    }
+}
+
+impl Sink for JsonlSink {
+    fn on_span(&self, name: &str, micros: f64) {
+        use osa_json::Value;
+        let obj = Value::Object(vec![
+            ("t".to_owned(), Value::String("span".to_owned())),
+            ("name".to_owned(), Value::String(name.to_owned())),
+            ("us".to_owned(), Value::Number(micros)),
+        ]);
+        let mut line = osa_json::to_string(&obj);
+        line.push('\n');
+        let _ = self
+            .out
+            .lock()
+            .expect("jsonl lock")
+            .write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl lock").flush();
+    }
+}
+
+/// Fans every event out to each inner sink, so `--trace --metrics f.jsonl`
+/// can feed the human and machine outputs simultaneously.
+pub struct TeeSink(pub Vec<Arc<dyn Sink>>);
+
+impl Sink for TeeSink {
+    fn on_span(&self, name: &str, micros: f64) {
+        for sink in &self.0 {
+            sink.on_span(name, micros);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.0 {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_streams_valid_span_lines() {
+        let dir = std::env::temp_dir().join("osa_obs_sink_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spans.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.on_span("graph.build", 12.5);
+        sink.on_span("extract", 3.0);
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let v = osa_json::parse(lines[0]).unwrap();
+        assert_eq!(v.get("t").and_then(|t| t.as_str()), Some("span"));
+        assert_eq!(v.get("name").and_then(|n| n.as_str()), Some("graph.build"));
+        assert_eq!(v.get("us").and_then(|u| u.as_f64()), Some(12.5));
+    }
+
+    #[test]
+    fn tee_sink_fans_out() {
+        struct CountSink(std::sync::atomic::AtomicUsize);
+        impl Sink for CountSink {
+            fn on_span(&self, _: &str, _: f64) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        let a = Arc::new(CountSink(Default::default()));
+        let b = Arc::new(CountSink(Default::default()));
+        let tee = TeeSink(vec![a.clone(), b.clone()]);
+        tee.on_span("x", 1.0);
+        tee.on_span("y", 2.0);
+        assert_eq!(a.0.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(b.0.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+}

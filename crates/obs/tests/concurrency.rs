@@ -1,0 +1,147 @@
+//! Merge-under-concurrency guarantees (ISSUE 2, satellite 3).
+//!
+//! Counters must be *exact* under contention — N threads hammering one
+//! registry lose no increments — and histogram merge must be
+//! associative, so per-worker histograms can be folded into a global one
+//! in any grouping without changing the result.
+
+use osa_obs::{RawHistogram, Registry};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn counter_totals_are_exact_under_contention() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let reg = Arc::new(Registry::new());
+    reg.set_enabled(true);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            scope.spawn(move || {
+                // Mix the name-based path and a cached handle, plus a
+                // second shared counter, to contend on both the registry
+                // lock and the atomic cells themselves.
+                let handle = reg.counter("hammer.cached");
+                for i in 0..PER_THREAD {
+                    reg.add("hammer.named", 1);
+                    handle.incr();
+                    if i % 2 == 0 {
+                        reg.add("hammer.evens", 2);
+                    }
+                }
+                reg.set_gauge("hammer.last_thread", t as i64);
+            });
+        }
+    });
+
+    let snap = reg.snapshot();
+    let get = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    let expected = (THREADS as u64) * PER_THREAD;
+    assert_eq!(get("hammer.named"), expected);
+    assert_eq!(get("hammer.cached"), expected);
+    assert_eq!(get("hammer.evens"), expected); // 2 × PER_THREAD/2 per thread
+    let (_, last) = snap
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "hammer.last_thread")
+        .expect("gauge present");
+    assert!((0..THREADS as i64).contains(last));
+}
+
+#[test]
+fn concurrent_histogram_records_lose_no_samples() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 2_000;
+
+    let reg = Arc::new(Registry::new());
+    reg.set_enabled(true);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            scope.spawn(move || {
+                let h = reg.histogram("hammer.hist");
+                for i in 0..PER_THREAD {
+                    h.record((t * PER_THREAD + i) as f64);
+                }
+            });
+        }
+    });
+
+    let data = reg.histogram("hammer.hist").data();
+    assert_eq!(data.count(), THREADS * PER_THREAD);
+    // Every sample value 0..N appears exactly once regardless of
+    // interleaving: the total is the triangular number.
+    let n = (THREADS * PER_THREAD) as f64;
+    assert_eq!(data.total(), n * (n - 1.0) / 2.0);
+}
+
+fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0u32..1_000_000).prop_map(|v| v as f64 / 7.0), 0..=64)
+}
+
+fn hist_of(samples: &[f64]) -> RawHistogram {
+    let mut h = RawHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in arb_samples(),
+        b in arb_samples(),
+        c in arb_samples(),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.count(), a.len() + b.len() + c.len());
+        // Percentiles agree with a direct nearest-rank computation on
+        // the concatenation.
+        let mut all: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        all.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        if !all.is_empty() {
+            for p in [0.0, 25.0, 50.0, 95.0, 100.0] {
+                let rank = ((p / 100.0 * all.len() as f64).ceil() as usize)
+                    .clamp(1, all.len());
+                prop_assert_eq!(left.percentile(p), Some(all[rank - 1]));
+            }
+        } else {
+            prop_assert_eq!(left.percentile(50.0), None);
+        }
+    }
+
+    #[test]
+    fn merge_identity_is_the_empty_histogram(a in arb_samples()) {
+        let ha = hist_of(&a);
+        let mut left = ha.clone();
+        left.merge(&RawHistogram::new());
+        let mut right = RawHistogram::new();
+        right.merge(&ha);
+        prop_assert_eq!(&left, &ha);
+        prop_assert_eq!(&right, &ha);
+    }
+}

@@ -35,13 +35,23 @@ use osa_eval::{LatencyHistogram, Stopwatch};
 use osa_ontology::NodeId;
 use osa_text::{ConceptMatcher, SentimentLexicon};
 
-/// Resolve a `--jobs` value: `0` means "use every available core".
+/// Upper bound on the resolved worker count: more threads than this only
+/// adds scheduler pressure, and an accidental huge `--jobs` (or
+/// `usize::MAX`) must not try to spawn that many OS threads.
+pub const MAX_JOBS: usize = 512;
+
+/// Resolve a `--jobs` value: `0` means "use every available core". The
+/// result is always in `1..=`[`MAX_JOBS`].
+///
+/// This is the single place `--jobs` semantics live; CLI and bench bins
+/// must route through it rather than re-deriving "0 = all cores".
 pub fn effective_jobs(jobs: usize) -> usize {
-    if jobs == 0 {
+    let resolved = if jobs == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
         jobs
-    }
+    };
+    resolved.clamp(1, MAX_JOBS)
 }
 
 /// Derive a per-item RNG seed from the corpus seed and the item's stable
@@ -138,6 +148,8 @@ impl<'a, T: Sync> BatchJob<'a, T> {
         let jobs = effective_jobs(self.jobs).min(self.items.len()).max(1);
         let wall = Stopwatch::start();
         let mut slots: Vec<Option<(R, f64)>> = (0..self.items.len()).map(|_| None).collect();
+        let obs = osa_obs::global();
+        obs.set_gauge("runtime.jobs", jobs as i64);
 
         if jobs == 1 {
             // Inline path: no thread spawn cost for sequential runs.
@@ -146,7 +158,9 @@ impl<'a, T: Sync> BatchJob<'a, T> {
                 let (r, us) = Stopwatch::time(|| work(&mut scratch, i, item));
                 slots[i] = Some((r, us));
             }
+            record_worker_stats(self.items.len());
         } else {
+            let steal_timing = obs.enabled();
             let next = AtomicUsize::new(0);
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..jobs)
@@ -154,13 +168,29 @@ impl<'a, T: Sync> BatchJob<'a, T> {
                         s.spawn(|| {
                             let mut scratch = WorkerScratch::new();
                             let mut done: Vec<(usize, R, f64)> = Vec::new();
+                            // Queue-acquisition latencies, merged into the
+                            // registry once at worker exit.
+                            let mut steals = osa_obs::RawHistogram::new();
                             loop {
+                                let steal_start = steal_timing.then(std::time::Instant::now);
                                 let i = next.fetch_add(1, Ordering::Relaxed);
+                                let in_range = i < self.items.len();
+                                if let Some(t) = steal_start {
+                                    if in_range {
+                                        steals.record_duration(t.elapsed());
+                                    }
+                                }
                                 let Some(item) = self.items.get(i) else {
                                     break;
                                 };
                                 let (r, us) = Stopwatch::time(|| work(&mut scratch, i, item));
                                 done.push((i, r, us));
+                            }
+                            record_worker_stats(done.len());
+                            if steal_timing {
+                                osa_obs::global()
+                                    .histogram("runtime.steal.us")
+                                    .merge(&steals);
                             }
                             done
                         })
@@ -189,7 +219,52 @@ impl<'a, T: Sync> BatchJob<'a, T> {
             latency,
             wall_micros: wall.micros(),
             jobs,
+            stages: Vec::new(),
         }
+    }
+}
+
+/// Publish one worker's end-of-run stats to the global registry.
+/// `runtime.items.completed` totals to the batch size for any worker
+/// count; the per-worker item histogram and the scratch-reuse counter
+/// are schedule-dependent by nature.
+fn record_worker_stats(items_done: usize) {
+    let obs = osa_obs::global();
+    if !obs.enabled() {
+        return;
+    }
+    obs.add("runtime.items.completed", items_done as u64);
+    obs.add(
+        "runtime.scratch.reuses",
+        items_done.saturating_sub(1) as u64,
+    );
+    obs.observe("runtime.worker.items", items_done as f64);
+}
+
+/// Wall time spent in one pipeline stage, aggregated over a batch's
+/// items.
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    /// Stage name — matches the span name the stage records under
+    /// (`extract`, `graph.build`, `solve.<algorithm>`).
+    pub name: &'static str,
+    /// Per-item latencies of this stage, in microseconds.
+    pub latency: LatencyHistogram,
+}
+
+impl StageStats {
+    /// Aggregate per-item stage latencies under `name`.
+    pub fn new(name: &'static str, micros: impl IntoIterator<Item = f64>) -> Self {
+        let mut latency = LatencyHistogram::new();
+        for us in micros {
+            latency.record(us);
+        }
+        StageStats { name, latency }
+    }
+
+    /// Total microseconds spent in this stage.
+    pub fn total_micros(&self) -> f64 {
+        self.latency.total()
     }
 }
 
@@ -209,6 +284,9 @@ pub struct BatchReport<R> {
     pub wall_micros: f64,
     /// Worker count actually used.
     pub jobs: usize,
+    /// Per-stage latency breakdown (empty unless the batch driver
+    /// recorded stages, as [`summarize_corpus`] does).
+    pub stages: Vec<StageStats>,
 }
 
 impl<R> BatchReport<R> {
@@ -246,6 +324,38 @@ impl<R> BatchReport<R> {
             p95,
         )
     }
+
+    /// Aligned per-stage breakdown table (empty string when no stages
+    /// were recorded). Shares are of summed stage time, not wall time:
+    /// with multiple workers the stages overlap.
+    pub fn render_stage_table(&self) -> String {
+        if self.stages.is_empty() {
+            return String::new();
+        }
+        let grand: f64 = self.stages.iter().map(StageStats::total_micros).sum();
+        let mut out = format!(
+            "{:<24} {:>12} {:>10} {:>10} {:>10} {:>7}\n",
+            "stage", "total ms", "mean µs", "p50 µs", "p95 µs", "share"
+        );
+        for s in &self.stages {
+            let total = s.total_micros();
+            let count = s.latency.count().max(1) as f64;
+            out.push_str(&format!(
+                "{:<24} {:>12.2} {:>10.1} {:>10.1} {:>10.1} {:>6.1}%\n",
+                s.name,
+                total / 1e3,
+                total / count,
+                s.latency.p50().unwrap_or(0.0),
+                s.latency.p95().unwrap_or(0.0),
+                if grand > 0.0 {
+                    100.0 * total / grand
+                } else {
+                    0.0
+                },
+            ));
+        }
+        out
+    }
 }
 
 /// Which summarization algorithm a batch runs per item.
@@ -275,6 +385,17 @@ impl BatchAlgorithm {
             "local-search" => BatchAlgorithm::LocalSearch,
             _ => return None,
         })
+    }
+
+    /// The span name this algorithm's solve stage records under.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            BatchAlgorithm::Greedy => "solve.greedy",
+            BatchAlgorithm::LazyGreedy => "solve.lazy",
+            BatchAlgorithm::Ilp => "solve.ilp",
+            BatchAlgorithm::RandomizedRounding => "solve.rr",
+            BatchAlgorithm::LocalSearch => "solve.local-search",
+        }
     }
 
     /// Instantiate the summarizer; `seed` only matters for randomized
@@ -353,12 +474,18 @@ pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<Ite
     let matcher = ConceptMatcher::from_hierarchy(&corpus.hierarchy);
     let lexicon = SentimentLexicon::default();
     let items: Vec<_> = corpus.indexed_items().collect();
+    let solve_span = opts.algorithm.span_name();
 
-    BatchJob::new(&items)
+    // Each item reports its per-stage wall times alongside the summary;
+    // they are split off below so `results` (the deterministic payload)
+    // stays timing-free while the report grows a stage table. The same
+    // timings are recorded as spans on the global `osa-obs` registry.
+    let report = BatchJob::new(&items)
         .jobs(opts.jobs)
         .run(|scratch, _, &(idx, item)| {
-            let ex = extract_item(item, &matcher, &lexicon);
-            let graph = match opts.granularity {
+            let obs = osa_obs::global();
+            let (ex, extract_us) = obs.time("extract", || extract_item(item, &matcher, &lexicon));
+            let (graph, graph_us) = obs.time("graph.build", || match opts.granularity {
                 Granularity::Pairs => {
                     let (unique, weights) = scratch.compress_into(&ex.pairs);
                     CoverageGraph::for_weighted_pairs(&corpus.hierarchy, unique, weights, opts.eps)
@@ -377,11 +504,11 @@ pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<Ite
                     opts.eps,
                     Granularity::Reviews,
                 ),
-            };
+            });
             let alg = opts
                 .algorithm
                 .summarizer(item_seed(opts.corpus_seed, idx as u64));
-            let summary = alg.summarize(&graph, opts.k);
+            let (summary, solve_us) = obs.time(solve_span, || alg.summarize(&graph, opts.k));
             let rendered = summary
                 .selected
                 .iter()
@@ -404,16 +531,36 @@ pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<Ite
                     }
                 })
                 .collect();
-            ItemSummary {
-                item: idx,
-                name: item.name.clone(),
-                summary,
-                num_pairs: ex.pairs.len(),
-                num_candidates: graph.num_candidates(),
-                root_cost: graph.root_cost(),
-                rendered,
-            }
-        })
+            (
+                ItemSummary {
+                    item: idx,
+                    name: item.name.clone(),
+                    summary,
+                    num_pairs: ex.pairs.len(),
+                    num_candidates: graph.num_candidates(),
+                    root_cost: graph.root_cost(),
+                    rendered,
+                },
+                [extract_us, graph_us, solve_us],
+            )
+        });
+
+    let (results, stage_times): (Vec<ItemSummary>, Vec<[f64; 3]>) =
+        report.results.into_iter().unzip();
+    let stage =
+        |name: &'static str, i: usize| StageStats::new(name, stage_times.iter().map(move |t| t[i]));
+    BatchReport {
+        results,
+        per_item_micros: report.per_item_micros,
+        latency: report.latency,
+        wall_micros: report.wall_micros,
+        jobs: report.jobs,
+        stages: vec![
+            stage("extract", 0),
+            stage("graph.build", 1),
+            stage(solve_span, 2),
+        ],
+    }
 }
 
 #[cfg(test)]
@@ -506,7 +653,40 @@ mod tests {
     #[test]
     fn effective_jobs_resolves_zero() {
         assert!(effective_jobs(0) >= 1);
+        assert!(effective_jobs(0) <= MAX_JOBS);
         assert_eq!(effective_jobs(5), 5);
+    }
+
+    #[test]
+    fn effective_jobs_clamps_huge_requests() {
+        assert_eq!(effective_jobs(usize::MAX), MAX_JOBS);
+        assert_eq!(effective_jobs(MAX_JOBS + 1), MAX_JOBS);
+        assert_eq!(effective_jobs(MAX_JOBS), MAX_JOBS);
+    }
+
+    #[test]
+    fn stage_table_renders_every_stage() {
+        let report = BatchReport {
+            results: vec![(), ()],
+            per_item_micros: vec![10.0, 20.0],
+            latency: LatencyHistogram::new(),
+            wall_micros: 30.0,
+            jobs: 1,
+            stages: vec![
+                StageStats::new("extract", [5.0, 10.0]),
+                StageStats::new("graph.build", [2.0, 3.0]),
+                StageStats::new("solve.greedy", [3.0, 7.0]),
+            ],
+        };
+        let table = report.render_stage_table();
+        for name in ["extract", "graph.build", "solve.greedy", "share"] {
+            assert!(table.contains(name), "{table}");
+        }
+        // Shares sum to ~100%.
+        assert!(table.contains("50.0%"), "{table}");
+        // No stages → no table.
+        let bare = BatchJob::new(&[1]).run(|_, _, &x| x);
+        assert_eq!(bare.render_stage_table(), "");
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Jobs-invariance of the pipeline metrics: with observability enabled,
+//! the deterministic algorithm counters must be identical whether the
+//! batch ran on 1 worker or 8 — metrics observe, they never perturb.
+//!
+//! This file intentionally holds exactly **one** `#[test]`: it enables,
+//! snapshots and resets the process-global `osa_obs` registry, which
+//! would race with any sibling test running in the same process.
+
+use osa_core::Granularity;
+use osa_datasets::{Corpus, CorpusConfig};
+use osa_runtime::{summarize_corpus, BatchAlgorithm, BatchOptions};
+
+/// Counters whose totals are allowed to depend on the worker count:
+/// everything `runtime.*` except `runtime.items.completed` (per-worker
+/// scratch reuse and steal accounting follow the schedule, not the
+/// algorithm).
+fn schedule_independent(counters: Vec<(String, u64)>) -> Vec<(String, u64)> {
+    counters
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("runtime.") || name == "runtime.items.completed")
+        .collect()
+}
+
+#[test]
+fn algorithm_counters_are_identical_across_worker_counts() {
+    let corpus = Corpus::phones(&CorpusConfig::phones_small(), 42);
+    let opts = |jobs: usize| BatchOptions {
+        jobs,
+        k: 5,
+        eps: 0.5,
+        granularity: Granularity::Sentences,
+        algorithm: BatchAlgorithm::from_name("greedy").unwrap(),
+        corpus_seed: 42,
+    };
+
+    let obs = osa_obs::global();
+    obs.set_enabled(true);
+    obs.reset();
+    let sequential = summarize_corpus(&corpus, &opts(1));
+    let snap1 = obs.snapshot();
+
+    obs.reset();
+    let parallel = summarize_corpus(&corpus, &opts(8));
+    let snap8 = obs.snapshot();
+    obs.set_enabled(false);
+
+    // The summaries themselves are byte-identical (the engine's core
+    // determinism contract) …
+    assert_eq!(sequential.results, parallel.results);
+    // … and so is every schedule-independent counter total.
+    let kept = schedule_independent(snap1.counters);
+    assert_eq!(kept, schedule_independent(snap8.counters));
+    // The invariant set is non-trivial: the pipeline really counted.
+    assert!(
+        kept.iter().any(|(n, v)| n == "greedy.gain_evals" && *v > 0),
+        "expected greedy.gain_evals > 0 in {kept:?}"
+    );
+    assert!(
+        kept.iter()
+            .any(|(n, v)| n == "runtime.items.completed" && *v == corpus.items.len() as u64),
+        "expected runtime.items.completed == item count in {kept:?}"
+    );
+}

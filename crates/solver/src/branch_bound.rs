@@ -79,9 +79,16 @@ pub(crate) fn solve(model: &Model, opts: &IlpOptions) -> Result<Solution, Solver
 
     let mut incumbent: Option<Solution> = None;
     let mut nodes = 0usize;
+    let mut pruned = 0u64;
+    let publish = |nodes: usize, pruned: u64| {
+        let obs = osa_obs::global();
+        obs.add("solver.bb_nodes", nodes as u64);
+        obs.add("solver.bb_pruned", pruned);
+    };
 
     while let Some(node) = heap.pop() {
         if nodes >= opts.max_nodes {
+            publish(nodes, pruned);
             return Ok(match incumbent {
                 Some(mut s) => {
                     s.status = Status::NodeLimit;
@@ -101,6 +108,7 @@ pub(crate) fn solve(model: &Model, opts: &IlpOptions) -> Result<Solution, Solver
             inc.min(opts.upper_bound.unwrap_or(f64::INFINITY))
         };
         if node.bound >= cutoff(&incumbent) - opts.gap_tolerance {
+            pruned += 1;
             continue; // pruned by bound
         }
 
@@ -117,6 +125,7 @@ pub(crate) fn solve(model: &Model, opts: &IlpOptions) -> Result<Solution, Solver
             }
         }
         if infeasible_bounds {
+            pruned += 1;
             continue;
         }
 
@@ -126,9 +135,11 @@ pub(crate) fn solve(model: &Model, opts: &IlpOptions) -> Result<Solution, Solver
             Err(e) => return Err(e),
         };
         if relax.status == Status::Infeasible {
+            pruned += 1;
             continue;
         }
         if relax.objective >= cutoff(&incumbent) - opts.gap_tolerance {
+            pruned += 1;
             continue;
         }
 
@@ -191,6 +202,7 @@ pub(crate) fn solve(model: &Model, opts: &IlpOptions) -> Result<Solution, Solver
         }
     }
 
+    publish(nodes, pruned);
     Ok(incumbent.unwrap_or(Solution {
         status: Status::Infeasible,
         objective: f64::INFINITY,

@@ -103,6 +103,7 @@ pub(crate) fn solve(model: &Model) -> Result<Solution, SolverError> {
 
     let allowed = |j: usize| j >= nv || !fixed[j];
 
+    let mut pivots = 0u64;
     for _ in 0..MAX_ITERS {
         // Leaving row: most negative rhs.
         let mut pr: Option<usize> = None;
@@ -132,6 +133,7 @@ pub(crate) fn solve(model: &Model) -> Result<Solution, SolverError> {
                     .enumerate()
                     .map(|(j, v)| v.obj * (values[j] - v.lb))
                     .sum::<f64>();
+            osa_obs::global().add("solver.dual_pivots", pivots);
             return Ok(Solution {
                 status: Status::Optimal,
                 objective,
@@ -159,6 +161,7 @@ pub(crate) fn solve(model: &Model) -> Result<Solution, SolverError> {
         let Some(pc) = pc else {
             // The row reads (non-negative coefficients) ≤ negative rhs:
             // primal infeasible.
+            osa_obs::global().add("solver.dual_pivots", pivots);
             return Ok(Solution {
                 status: Status::Infeasible,
                 objective: f64::INFINITY,
@@ -167,6 +170,7 @@ pub(crate) fn solve(model: &Model) -> Result<Solution, SolverError> {
         };
 
         // Pivot (pr, pc).
+        pivots += 1;
         let piv = a[pr * w + pc];
         let inv = 1.0 / piv;
         for c in 0..w {

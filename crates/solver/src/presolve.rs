@@ -28,6 +28,7 @@ pub(crate) enum Presolved {
 /// Apply the reductions to a copy of `model`.
 pub(crate) fn presolve(model: &Model) -> Presolved {
     let mut m = model.clone();
+    let initial_rows = m.cons.len();
     let mut changed = true;
     // Iterate to a fixpoint: tightening a bound can make other rows
     // redundant, but each pass only drops rows, so this terminates.
@@ -94,6 +95,10 @@ pub(crate) fn presolve(model: &Model) -> Presolved {
         }
         m.cons = keep;
     }
+    osa_obs::global().add(
+        "solver.presolve_rows_dropped",
+        (initial_rows - m.cons.len()) as u64,
+    );
     Presolved::Model(m)
 }
 

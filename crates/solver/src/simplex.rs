@@ -31,6 +31,8 @@ struct Tableau {
     allowed: Vec<bool>,
     /// Rows still active (redundant rows are deactivated after phase 1).
     active: Vec<bool>,
+    /// Pivot operations performed (published as `solver.simplex_pivots`).
+    pivots: u64,
 }
 
 impl Tableau {
@@ -45,6 +47,7 @@ impl Tableau {
     }
 
     fn pivot(&mut self, pr: usize, pc: usize) {
+        self.pivots += 1;
         let w = self.n + 1;
         let piv = self.a[pr * w + pc];
         debug_assert!(piv.abs() > TOL);
@@ -268,6 +271,7 @@ pub(crate) fn solve(model: &Model) -> Result<Solution, SolverError> {
         z: vec![0.0; w],
         allowed,
         active: vec![true; m],
+        pivots: 0,
     };
 
     let mut next_slack = nv;
@@ -311,6 +315,7 @@ pub(crate) fn solve(model: &Model) -> Result<Solution, SolverError> {
         t.optimize()?;
         let infeas = -t.z[n];
         if infeas > 1e-6 {
+            osa_obs::global().add("solver.simplex_pivots", t.pivots);
             return Ok(Solution {
                 status: Status::Infeasible,
                 objective: f64::INFINITY,
@@ -371,6 +376,7 @@ pub(crate) fn solve(model: &Model) -> Result<Solution, SolverError> {
             .enumerate()
             .map(|(j, v)| v.obj * (values[j] - v.lb))
             .sum::<f64>();
+    osa_obs::global().add("solver.simplex_pivots", t.pivots);
 
     Ok(Solution {
         status: Status::Optimal,

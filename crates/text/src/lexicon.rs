@@ -424,6 +424,7 @@ impl SentimentLexicon {
             total += v.clamp(-1.0, 1.0);
             hits += 1;
         }
+        osa_obs::global().add("text.lexicon_hits", hits as u64);
         if hits == 0 {
             0.0
         } else {

@@ -86,6 +86,7 @@ impl ConceptMatcher {
             });
         }
         mentions.sort_by_key(|m| m.start);
+        osa_obs::global().add("text.concept_matches", mentions.len() as u64);
         mentions
     }
 

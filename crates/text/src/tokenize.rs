@@ -20,6 +20,7 @@ pub fn tokenize(text: &str) -> Vec<String> {
     if !cur.is_empty() {
         out.push(cur);
     }
+    osa_obs::global().add("text.tokens", out.len() as u64);
     out
 }
 

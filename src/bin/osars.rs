@@ -1,22 +1,28 @@
 //! `osars` — command-line interface to the review summarizer.
 //!
 //! ```text
-//! osars generate  --domain doctors|phones [--scale small|full] [--seed N] --out FILE
-//! osars stats     --corpus FILE
-//! osars hierarchy --corpus FILE
-//! osars summarize --corpus FILE [--item I] [--k K] [--eps E]
-//!                 [--granularity pairs|sentences|reviews]
-//!                 [--algorithm greedy|lazy|ilp|rr|local-search]
-//! osars evaluate  --corpus FILE [--k K] [--eps E] [--items N]
+//! osars generate      --domain doctors|phones [--scale small|full] [--seed N] --out FILE
+//! osars stats         --corpus FILE
+//! osars hierarchy     --corpus FILE
+//! osars summarize     (--corpus FILE | --domain D) [--item I] [--k K] [--eps E]
+//!                     [--granularity pairs|sentences|reviews]
+//!                     [--algorithm greedy|lazy|ilp|rr|local-search]
+//!                     [--metrics FILE] [--trace]
+//! osars evaluate      (--corpus FILE | --domain D) [--k K] [--eps E] [--items N]
+//!                     [--metrics FILE] [--trace]
+//! osars check-metrics --metrics FILE
 //! ```
 //!
 //! Corpora are the JSON documents written by `osars generate` (or by
-//! `osa_datasets::save_corpus`). Everything is deterministic given
-//! `--seed`.
+//! `osa_datasets::save_corpus`); `summarize`/`evaluate` can also
+//! synthesize one in memory straight from `--domain`/`--scale`/`--seed`.
+//! Everything is deterministic given `--seed` — observability (`--metrics`,
+//! `--trace`) only observes, it never perturbs outputs.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use osars::baselines::{
     LexRank, LsaSummarizer, MostPopular, Proportional, SentenceRecord, SentenceSelector, TextRank,
@@ -28,7 +34,8 @@ use osars::core::{
 use osars::datasets::{
     extract_item, load_corpus, save_corpus, table1_stats, Corpus, CorpusConfig, ExtractedItem,
 };
-use osars::eval::{sent_err, sent_err_penalized, Stopwatch};
+use osars::eval::{sent_err, sent_err_penalized};
+use osars::obs::{JsonlSink, Sink, StderrSink, TeeSink};
 use osars::runtime::{summarize_corpus, BatchAlgorithm, BatchJob, BatchOptions};
 use osars::text::{ConceptMatcher, SentimentLexicon};
 
@@ -54,8 +61,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(&flags),
         "stats" => cmd_stats(&flags),
         "hierarchy" => cmd_hierarchy(&flags),
-        "summarize" => cmd_summarize(&flags),
-        "evaluate" => cmd_evaluate(&flags),
+        "summarize" => with_obs(&flags, cmd_summarize),
+        "evaluate" => with_obs(&flags, cmd_evaluate),
+        "check-metrics" => cmd_check_metrics(&flags),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -69,14 +77,19 @@ fn print_help() {
         "osars — ontology- and sentiment-aware review summarization
 
 USAGE:
-  osars generate  --domain doctors|phones [--scale small|full] [--seed N] --out FILE
-  osars stats     --corpus FILE
-  osars hierarchy --corpus FILE
-  osars summarize --corpus FILE [--item I|all] [--k K] [--eps E]
-                  [--granularity pairs|sentences|reviews]
-                  [--algorithm greedy|lazy|ilp|rr|local-search]
-                  [--focus CONCEPT] [--explain true] [--jobs N]
-  osars evaluate  --corpus FILE [--k K] [--eps E] [--items N] [--jobs N]
+  osars generate      --domain doctors|phones [--scale small|full] [--seed N] --out FILE
+  osars stats         --corpus FILE
+  osars hierarchy     --corpus FILE
+  osars summarize     (--corpus FILE | --domain doctors|phones [--scale small|full] [--seed N])
+                      [--item I|all] [--k K] [--eps E]
+                      [--granularity pairs|sentences|reviews]
+                      [--algorithm greedy|lazy|ilp|rr|local-search]
+                      [--focus CONCEPT] [--explain true] [--jobs N]
+                      [--metrics FILE] [--trace]
+  osars evaluate      (--corpus FILE | --domain D [--scale S] [--seed N])
+                      [--k K] [--eps E] [--items N] [--jobs N]
+                      [--metrics FILE] [--trace]
+  osars check-metrics --metrics FILE
 
 DEFAULTS: --scale small --seed 42 --item 0 --k 5 --eps 0.5
           --granularity sentences --algorithm greedy --items 5 --jobs 1
@@ -84,7 +97,12 @@ FOCUS:    restricts the summary to one concept's subtree
           (e.g. --focus battery on a phone corpus)
 JOBS:     --item all batches every item over N worker threads (0 = all
           cores); results are byte-identical for any N — timing stats go
-          to stderr"
+          to stderr
+METRICS:  --metrics FILE streams per-stage span events plus a final
+          counter/gauge/histogram snapshot as JSON lines to FILE
+          (validate with `osars check-metrics --metrics FILE`);
+          --trace mirrors spans to stderr and prints a metrics table
+          at exit; neither changes what is written to stdout"
     );
 }
 
@@ -98,6 +116,21 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --flag, got '{key}'"));
         };
+        // `--trace` is a bare switch; an explicit `--trace true|false`
+        // value is also accepted for scripting symmetry.
+        if name == "trace" {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_owned(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    flags.insert(name.to_owned(), "true".to_owned());
+                    i += 1;
+                }
+            }
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("--{name} requires a value"))?;
@@ -128,11 +161,121 @@ fn parse_num<T: std::str::FromStr>(
     }
 }
 
+// --- observability session -------------------------------------------------
+
+/// Per-invocation observability wiring for `--metrics FILE` / `--trace`.
+///
+/// On setup the global [`osars::obs`] registry is enabled and a sink is
+/// installed (JSONL file, stderr mirror, or a tee of both); [`finish`]
+/// appends the final counter/gauge/histogram snapshot and, under
+/// `--trace`, renders the summary table to stderr. When neither flag is
+/// present this is inert and the registry stays disabled, so the
+/// instrumented pipeline pays only one relaxed atomic load per probe.
+///
+/// [`finish`]: ObsSession::finish
+struct ObsSession {
+    trace: bool,
+    metrics_path: Option<PathBuf>,
+    jsonl: Option<Arc<JsonlSink>>,
+}
+
+impl ObsSession {
+    fn from_flags(flags: &HashMap<String, String>) -> Result<Self, String> {
+        let trace = matches!(flag(flags, "trace"), Some(v) if v != "false");
+        let metrics_path = flag(flags, "metrics").map(PathBuf::from);
+        let mut jsonl = None;
+        if trace || metrics_path.is_some() {
+            let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+            if trace {
+                sinks.push(Arc::new(StderrSink));
+            }
+            if let Some(path) = &metrics_path {
+                let sink = Arc::new(
+                    JsonlSink::create(path)
+                        .map_err(|e| format!("opening metrics file '{}': {e}", path.display()))?,
+                );
+                sinks.push(sink.clone());
+                jsonl = Some(sink);
+            }
+            let sink = match sinks.len() {
+                1 => sinks.pop().expect("exactly one sink"),
+                _ => Arc::new(TeeSink(sinks)),
+            };
+            let obs = osars::obs::global();
+            obs.set_sink(sink);
+            obs.set_enabled(true);
+        }
+        Ok(ObsSession {
+            trace,
+            metrics_path,
+            jsonl,
+        })
+    }
+
+    /// Flush the session: snapshot the registry into the JSONL file and
+    /// (under `--trace`) print the human-readable table. Called after
+    /// the command body so every counter has fully accumulated.
+    fn finish(&self) {
+        if !self.trace && self.metrics_path.is_none() {
+            return;
+        }
+        let snapshot = osars::obs::global().snapshot();
+        if let Some(sink) = &self.jsonl {
+            sink.write_snapshot(&snapshot);
+            sink.flush();
+        }
+        if self.trace {
+            eprint!("{}", snapshot.render_table());
+        }
+        if let Some(path) = &self.metrics_path {
+            eprintln!("metrics written to {}", path.display());
+        }
+    }
+}
+
+/// Run `body` inside an [`ObsSession`]; the snapshot is flushed even
+/// when the command fails, so partial runs still leave usable metrics.
+fn with_obs(
+    flags: &HashMap<String, String>,
+    body: fn(&HashMap<String, String>) -> Result<(), String>,
+) -> Result<(), String> {
+    let session = ObsSession::from_flags(flags)?;
+    let result = body(flags);
+    session.finish();
+    result
+}
+
 // --- shared helpers -------------------------------------------------------
 
+/// Load `--corpus FILE`, or synthesize a corpus in memory from
+/// `--domain doctors|phones [--scale small|full] [--seed N]` when no
+/// file was given (the same generator `osars generate` writes to disk).
 fn open_corpus(flags: &HashMap<String, String>) -> Result<Corpus, String> {
-    let path = required(flags, "corpus")?;
-    load_corpus(Path::new(path)).map_err(|e| format!("loading '{path}': {e}"))
+    match (flag(flags, "corpus"), flag(flags, "domain")) {
+        (Some(path), _) => {
+            load_corpus(Path::new(path)).map_err(|e| format!("loading '{path}': {e}"))
+        }
+        (None, Some(domain)) => build_corpus(
+            domain,
+            flag(flags, "scale").unwrap_or("small"),
+            parse_num(flags, "seed", 42)?,
+        ),
+        (None, None) => Err("--corpus (or --domain) is required".to_owned()),
+    }
+}
+
+fn build_corpus(domain: &str, scale: &str, seed: u64) -> Result<Corpus, String> {
+    let cfg = match (domain, scale) {
+        ("doctors", "small") => CorpusConfig::doctors_small(),
+        ("doctors", "full") => CorpusConfig::doctors_full(),
+        ("phones", "small") => CorpusConfig::phones_small(),
+        ("phones", "full") => CorpusConfig::phones_full(),
+        _ => return Err("--domain must be doctors|phones, --scale small|full".to_owned()),
+    };
+    Ok(match domain {
+        "doctors" => Corpus::doctors(&cfg, seed),
+        _ => Corpus::phones(&cfg, seed),
+    })
 }
 
 fn extract(corpus: &Corpus, item: usize) -> Result<ExtractedItem, String> {
@@ -165,17 +308,7 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     let scale = flag(flags, "scale").unwrap_or("small");
     let seed: u64 = parse_num(flags, "seed", 42)?;
     let out = PathBuf::from(required(flags, "out")?);
-    let cfg = match (domain, scale) {
-        ("doctors", "small") => CorpusConfig::doctors_small(),
-        ("doctors", "full") => CorpusConfig::doctors_full(),
-        ("phones", "small") => CorpusConfig::phones_small(),
-        ("phones", "full") => CorpusConfig::phones_full(),
-        _ => return Err("--domain must be doctors|phones, --scale small|full".to_owned()),
-    };
-    let corpus = match domain {
-        "doctors" => Corpus::doctors(&cfg, seed),
-        _ => Corpus::phones(&cfg, seed),
-    };
+    let corpus = build_corpus(domain, scale, seed)?;
     save_corpus(&corpus, &out).map_err(|e| e.to_string())?;
     println!(
         "wrote {} ({} items, {} reviews)",
@@ -242,6 +375,10 @@ fn cmd_summarize_batch(corpus: &Corpus, flags: &HashMap<String, String>) -> Resu
         }
     }
     eprintln!("{}", report.render_stats());
+    let stage_table = report.render_stage_table();
+    if !stage_table.is_empty() {
+        eprint!("{stage_table}");
+    }
     Ok(())
 }
 
@@ -255,9 +392,12 @@ fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
     let k: usize = parse_num(flags, "k", 5)?;
     let eps: f64 = parse_num(flags, "eps", 0.5)?;
     let granularity = flag(flags, "granularity").unwrap_or("sentences");
-    let alg = algorithm(flag(flags, "algorithm").unwrap_or("greedy"))?;
+    let algorithm_name = flag(flags, "algorithm").unwrap_or("greedy");
+    let alg = algorithm(algorithm_name)?;
+    let obs = osars::obs::global();
 
-    let mut ex = extract(&corpus, item)?;
+    let (extracted, _) = obs.time("extract", || extract(&corpus, item));
+    let mut ex = extracted?;
 
     // --focus CONCEPT: restrict to the concept's sub-hierarchy. Pairs on
     // concepts outside the subtree are dropped; remaining concepts are
@@ -293,27 +433,27 @@ fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     };
 
-    let graph = match granularity {
-        "pairs" => CoverageGraph::for_pairs(&hierarchy, &ex.pairs, eps),
-        "sentences" => CoverageGraph::for_groups(
+    let gran = parse_granularity(granularity)?;
+    let (graph, _) = obs.time("graph.build", || match gran {
+        Granularity::Pairs => CoverageGraph::for_pairs(&hierarchy, &ex.pairs, eps),
+        Granularity::Sentences => CoverageGraph::for_groups(
             &hierarchy,
             &ex.pairs,
             &ex.sentence_groups(),
             eps,
             Granularity::Sentences,
         ),
-        "reviews" => CoverageGraph::for_groups(
+        Granularity::Reviews => CoverageGraph::for_groups(
             &hierarchy,
             &ex.pairs,
             &ex.review_groups(),
             eps,
             Granularity::Reviews,
         ),
-        other => return Err(format!("unknown granularity '{other}'")),
-    };
-    let sw = Stopwatch::start();
-    let summary = alg.summarize(&graph, k);
-    let micros = sw.micros();
+    });
+    let (summary, micros) = obs.time(&format!("solve.{algorithm_name}"), || {
+        alg.summarize(&graph, k)
+    });
     println!(
         "{} selected {} of {} candidates in {micros:.0}µs; cost {} (root-only {})",
         alg.name(),
@@ -392,8 +532,9 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     // independent of the thread count.
     let eval_items = &corpus.items[..items];
     let report = BatchJob::new(eval_items).jobs(jobs).run(|_, _, item| {
+        let obs = osars::obs::global();
         let baselines = make_baselines();
-        let ex = extract_item(item, &matcher, &lexicon);
+        let (ex, _) = obs.time("extract", || extract_item(item, &matcher, &lexicon));
         let records: Vec<SentenceRecord> = ex
             .sentences
             .iter()
@@ -402,13 +543,15 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
                 pairs: s.pair_indices.iter().map(|&pi| ex.pairs[pi]).collect(),
             })
             .collect();
-        let graph = CoverageGraph::for_groups(
-            &corpus.hierarchy,
-            &ex.pairs,
-            &ex.sentence_groups(),
-            eps,
-            Granularity::Sentences,
-        );
+        let (graph, _) = obs.time("graph.build", || {
+            CoverageGraph::for_groups(
+                &corpus.hierarchy,
+                &ex.pairs,
+                &ex.sentence_groups(),
+                eps,
+                Granularity::Sentences,
+            )
+        });
         let pairs_of = |sel: &[usize]| -> Vec<Pair> {
             sel.iter()
                 .flat_map(|&si| ex.sentences[si].pair_indices.iter())
@@ -422,9 +565,11 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
                 sent_err_penalized(&corpus.hierarchy, &ex.pairs, &f),
             )
         };
-        let mut errs = vec![score(&GreedySummarizer.summarize(&graph, k).selected)];
+        let (greedy, _) = obs.time("solve.greedy", || GreedySummarizer.summarize(&graph, k));
+        let mut errs = vec![score(&greedy.selected)];
         for b in &baselines {
-            errs.push(score(&b.select(&records, k)));
+            let (sel, _) = obs.time(&format!("baseline.{}", b.name()), || b.select(&records, k));
+            errs.push(score(&sel));
         }
         errs
     });
@@ -445,5 +590,48 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
             p / items as f64
         );
     }
+    Ok(())
+}
+
+/// Validate a `--metrics` JSONL file: every non-empty line must parse as
+/// a JSON object carrying string fields `t` (record kind) and `name`,
+/// and must survive an osa-json serialize → re-parse round trip
+/// unchanged. Exits non-zero on the first violation.
+fn cmd_check_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = required(flags, "metrics")?;
+    let data = std::fs::read_to_string(path).map_err(|e| format!("reading '{path}': {e}"))?;
+    let mut records = 0usize;
+    let mut spans = 0usize;
+    for (idx, line) in data.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let value =
+            osars::json::parse(line).map_err(|e| format!("{path}:{lineno}: invalid JSON: {e}"))?;
+        let reparsed = osars::json::parse(&osars::json::to_string(&value))
+            .map_err(|e| format!("{path}:{lineno}: round-trip re-parse failed: {e}"))?;
+        if reparsed != value {
+            return Err(format!(
+                "{path}:{lineno}: JSON round trip changed the value"
+            ));
+        }
+        let kind = value
+            .get("t")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{path}:{lineno}: missing string field 't'"))?;
+        if value.get("name").and_then(|v| v.as_str()).is_none() {
+            return Err(format!("{path}:{lineno}: missing string field 'name'"));
+        }
+        if kind == "span" {
+            spans += 1;
+        }
+        records += 1;
+    }
+    if records == 0 {
+        return Err(format!("'{path}' contains no metric records"));
+    }
+    println!("ok: {records} records ({spans} spans) in {path}");
     Ok(())
 }

@@ -14,7 +14,9 @@
 //! * [`baselines`] — the five baseline summarizers of the evaluation,
 //! * [`eval`] — coverage-cost and sentiment-error metrics,
 //! * [`datasets`] — synthetic doctor/phone corpora calibrated to Table 1,
-//! * [`runtime`] — the deterministic parallel batch engine (`--jobs`).
+//! * [`runtime`] — the deterministic parallel batch engine (`--jobs`),
+//! * [`json`] — the self-contained JSON tree model used by the snapshots,
+//! * [`obs`] — structured tracing and the pipeline metrics registry.
 //!
 //! See `examples/quickstart.rs` for a 30-line end-to-end run.
 
@@ -22,7 +24,9 @@ pub use osa_baselines as baselines;
 pub use osa_core as core;
 pub use osa_datasets as datasets;
 pub use osa_eval as eval;
+pub use osa_json as json;
 pub use osa_linalg as linalg;
+pub use osa_obs as obs;
 pub use osa_ontology as ontology;
 pub use osa_runtime as runtime;
 pub use osa_solver as solver;

@@ -227,3 +227,188 @@ fn explain_prints_coverage_shares() {
     assert!(text.contains("serves"), "{text}");
     assert!(text.contains("root serves the remaining"), "{text}");
 }
+
+// --- observability ---------------------------------------------------------
+
+/// Counter lines of a metrics JSONL file, excluding the schedule-
+/// dependent `runtime.*` counters (all but `runtime.items.completed`).
+fn invariant_counter_lines(jsonl: &str) -> Vec<String> {
+    jsonl
+        .lines()
+        .filter(|l| l.contains("\"t\":\"counter\""))
+        .filter(|l| {
+            !l.contains("\"name\":\"runtime.") || l.contains("\"name\":\"runtime.items.completed\"")
+        })
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn help_lists_observability_flags() {
+    let out = osars(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Pin the flag inventory: a removed or renamed flag must fail here.
+    for needle in [
+        "--metrics FILE",
+        "--trace",
+        "check-metrics",
+        "--domain",
+        "--jobs N",
+        "METRICS:",
+    ] {
+        assert!(text.contains(needle), "help is missing '{needle}':\n{text}");
+    }
+}
+
+#[test]
+fn evaluate_metrics_emits_valid_jsonl_with_spans() {
+    let metrics = tmp_corpus("eval_metrics.jsonl");
+    let out = osars(&[
+        "evaluate",
+        "--domain",
+        "phones",
+        "--scale",
+        "small",
+        "--items",
+        "1",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let jsonl = std::fs::read_to_string(&metrics).unwrap();
+    for span in ["extract", "graph.build", "solve.greedy"] {
+        assert!(
+            jsonl.lines().any(
+                |l| l.contains("\"t\":\"span\"") && l.contains(&format!("\"name\":\"{span}\""))
+            ),
+            "no '{span}' span in:\n{jsonl}"
+        );
+    }
+    // The file passes the binary's own validator.
+    let check = osars(&["check-metrics", "--metrics", metrics.to_str().unwrap()]);
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    assert!(String::from_utf8_lossy(&check.stdout).contains("ok:"));
+}
+
+#[test]
+fn check_metrics_rejects_invalid_files() {
+    let bad = tmp_corpus("bad_metrics.jsonl");
+    std::fs::write(&bad, "this is not json\n").unwrap();
+    let out = osars(&["check-metrics", "--metrics", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid JSON"));
+
+    let missing_name = tmp_corpus("nameless_metrics.jsonl");
+    std::fs::write(&missing_name, "{\"t\":\"span\",\"us\":1.5}\n").unwrap();
+    let out = osars(&["check-metrics", "--metrics", missing_name.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing string field 'name'"));
+}
+
+#[test]
+fn summarize_stdout_is_byte_identical_with_metrics_enabled() {
+    let metrics = tmp_corpus("batch_metrics.jsonl");
+    let plain = osars(&[
+        "summarize",
+        "--domain",
+        "phones",
+        "--scale",
+        "small",
+        "--item",
+        "all",
+        "--jobs",
+        "2",
+    ]);
+    assert!(plain.status.success());
+    let observed = osars(&[
+        "summarize",
+        "--domain",
+        "phones",
+        "--scale",
+        "small",
+        "--item",
+        "all",
+        "--jobs",
+        "2",
+        "--trace",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(observed.status.success());
+    assert_eq!(
+        plain.stdout, observed.stdout,
+        "metrics/trace must not perturb stdout"
+    );
+    // --trace renders the per-stage table and span mirror on stderr only.
+    let err = String::from_utf8_lossy(&observed.stderr);
+    assert!(err.contains("[osa-obs]"), "{err}");
+    assert!(err.contains("counter/gauge"), "{err}");
+}
+
+#[test]
+fn counter_totals_are_jobs_invariant_via_cli() {
+    let m1 = tmp_corpus("jobs1_metrics.jsonl");
+    let m8 = tmp_corpus("jobs8_metrics.jsonl");
+    for (jobs, path) in [("1", &m1), ("8", &m8)] {
+        let out = osars(&[
+            "summarize",
+            "--domain",
+            "phones",
+            "--scale",
+            "small",
+            "--item",
+            "all",
+            "--jobs",
+            jobs,
+            "--metrics",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let c1 = invariant_counter_lines(&std::fs::read_to_string(&m1).unwrap());
+    let c8 = invariant_counter_lines(&std::fs::read_to_string(&m8).unwrap());
+    assert!(!c1.is_empty(), "expected counter lines in the snapshot");
+    assert_eq!(c1, c8, "deterministic counters must not depend on --jobs");
+}
+
+#[test]
+fn trace_is_a_bare_switch() {
+    // `--trace` takes no value: flags after it must still parse.
+    let out = osars(&[
+        "summarize",
+        "--trace",
+        "--domain",
+        "phones",
+        "--scale",
+        "small",
+        "--k",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("[osa-obs] extract"), "{err}");
+}
+
+#[test]
+fn domain_fallback_requires_corpus_or_domain() {
+    let out = osars(&["summarize"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--corpus (or --domain)"));
+}
