@@ -1,9 +1,33 @@
 //! The Section 4.1 initialization: the edge-weighted bipartite coverage
 //! graph shared by every algorithm and every problem variant.
+//!
+//! Two construction implementations produce identical graphs:
+//!
+//! * **Indexed** (the default, [`GraphImpl::Indexed`]) — pass 1 buckets
+//!   candidate pairs per concept into a CSR arena sorted by sentiment;
+//!   pass 2 walks each target pair's precomputed ancestor closure
+//!   ([`osa_ontology::AncestorIndex`]) and resolves the ε-window
+//!   `[s − ε, s + ε]` with two binary searches, deduplicating candidates
+//!   through a dense epoch-stamped scratch ([`GraphBuildScratch`]).
+//!   Pass 2 is embarrassingly parallel over pair ranges: see
+//!   [`GraphBuildPlan::shard`] and [`CoverageGraph::assemble`], which
+//!   `osa-runtime` drives from a worker pool with an in-order merge so
+//!   the result is byte-identical for any worker count.
+//! * **Naive** ([`GraphImpl::Naive`]) — the original per-pair upward BFS
+//!   plus full-bucket scan, kept as the cross-checking oracle
+//!   (`--graph-impl naive`, property tests, benchmarks).
+//!
+//! The ε-window binary searches reproduce the naive predicate *exactly*:
+//! `|s − s_q| ≤ ε ⟺ fl(s − s_q) ≤ ε ∧ fl(s_q − s) ≤ ε` (IEEE negation is
+//! exact), and each one-sided rounded difference is weakly monotone along
+//! the sentiment-sorted bucket, so the two partition points bound
+//! precisely the candidates the naive `(s - s_q).abs() <= eps` test
+//! accepts — floating-point boundaries included.
 
 use std::collections::HashMap;
+use std::ops::Range;
 
-use osa_ontology::Hierarchy;
+use osa_ontology::{Hierarchy, NodeId};
 
 use crate::Pair;
 
@@ -28,7 +52,11 @@ pub enum Granularity {
 /// The virtual root is *not* a candidate; its coverage of every pair is
 /// recorded in [`root_dist`](CoverageGraph::root_dist), so the cost of any
 /// selection is always finite (Definition 2 takes the min over `F ∪ {r}`).
-#[derive(Debug, Clone)]
+///
+/// Equality compares the full structure (granularity, both adjacency
+/// sides, root distances, weights) — the naive and indexed builders are
+/// property-tested `==`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoverageGraph {
     granularity: Granularity,
     /// `cand_edges[u]` = sorted `(pair, dist)` covered by candidate `u`.
@@ -41,12 +69,300 @@ pub struct CoverageGraph {
     pair_weight: Vec<u64>,
 }
 
+/// Selects which [`CoverageGraph`] construction implementation runs: the
+/// index-backed windowed builder (default) or the original scan builder,
+/// kept as a cross-checking oracle (`--graph-impl naive`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GraphImpl {
+    /// Ancestor-closure walk + sentiment-sorted buckets with binary-search
+    /// ε-windows + dense epoch-stamped dedup scratch.
+    #[default]
+    Indexed,
+    /// Per-pair upward BFS + full-bucket scan + per-pair `HashMap`
+    /// (the pre-index builder; slower, trivially auditable).
+    Naive,
+}
+
+impl GraphImpl {
+    /// Parse the CLI spelling (`indexed|naive`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "indexed" => GraphImpl::Indexed,
+            "naive" => GraphImpl::Naive,
+            _ => return None,
+        })
+    }
+
+    /// The CLI spelling of this implementation.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphImpl::Indexed => "indexed",
+            GraphImpl::Naive => "naive",
+        }
+    }
+}
+
+/// Reusable dense scratch of the indexed builder: per-candidate best
+/// distance for the pair currently being resolved, deduplicated by an
+/// epoch stamp instead of clearing (or hashing) between pairs. One
+/// scratch amortizes across any number of builds of any size; workers in
+/// `osa-runtime` keep one per thread.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuildScratch {
+    /// Best distance of candidate `u` — valid only when
+    /// `stamp[u] == epoch`.
+    dist: Vec<u32>,
+    stamp: Vec<u32>,
+    /// Candidates stamped in the current epoch.
+    touched: Vec<u32>,
+    epoch: u32,
+}
+
+impl GraphBuildScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reserve(&mut self, n_cands: usize) {
+        if self.dist.len() < n_cands {
+            self.dist.resize(n_cands, 0);
+            self.stamp.resize(n_cands, 0);
+        }
+        self.touched.clear();
+    }
+
+    /// Start resolving a new target pair; invalidates all stamps.
+    fn next_epoch(&mut self) -> u32 {
+        self.touched.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 wrap: ancient stamps could alias the restarted counter,
+            // so wipe them and skip epoch 0 (the initial stamp value).
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+
+    /// Record that some member of candidate `u` covers the current pair
+    /// at `dist`, keeping the minimum over the candidate's members.
+    #[inline]
+    fn offer(&mut self, u: u32, dist: u32, epoch: u32) {
+        let i = u as usize;
+        if self.stamp[i] != epoch {
+            self.stamp[i] = epoch;
+            self.dist[i] = dist;
+            self.touched.push(u);
+        } else if dist < self.dist[i] {
+            self.dist[i] = dist;
+        }
+    }
+}
+
+/// Pass 1 of the indexed builder, reusable across shards: candidate
+/// member pairs bucketed per concept into a CSR arena, each bucket sorted
+/// by sentiment so pass 2 can window it with two binary searches.
+#[derive(Debug, Clone)]
+pub struct GraphBuildPlan {
+    eps: f64,
+    root: NodeId,
+    n_cands: usize,
+    /// CSR offsets per concept node into `bucket_entries`.
+    bucket_off: Vec<u32>,
+    /// `(sentiment, candidate)` per bucket, sorted ascending (ties by
+    /// candidate id; the order within equal sentiments is irrelevant to
+    /// the output but fixed for determinism of the scan).
+    bucket_entries: Vec<(f64, u32)>,
+    /// Root distance (= concept depth) per target pair.
+    root_dist: Vec<u32>,
+    /// Size of the hierarchy's ancestor closure (for the
+    /// `graph.closure.entries` metric).
+    closure_entries: u64,
+}
+
+impl GraphBuildPlan {
+    /// Bucket `groups` (or, with `None`, one candidate per pair — the
+    /// k-Pairs identity grouping, without materializing it) by member
+    /// concept and sort each bucket by sentiment.
+    pub fn new(h: &Hierarchy, pairs: &[Pair], groups: Option<&[Vec<usize>]>, eps: f64) -> Self {
+        assert!(eps >= 0.0, "sentiment threshold must be non-negative");
+        let n_nodes = h.node_count();
+        let n_cands = groups.map_or(pairs.len(), <[Vec<usize>]>::len);
+
+        // Counting pass, then placement into the CSR arena.
+        let mut bucket_off = vec![0u32; n_nodes + 1];
+        let each_member = |f: &mut dyn FnMut(u32, Pair)| match groups {
+            None => {
+                for (u, p) in pairs.iter().enumerate() {
+                    f(u as u32, *p);
+                }
+            }
+            Some(gs) => {
+                for (u, members) in gs.iter().enumerate() {
+                    for &pi in members {
+                        f(u as u32, pairs[pi]);
+                    }
+                }
+            }
+        };
+        each_member(&mut |_, p| bucket_off[p.concept.index() + 1] += 1);
+        for i in 0..n_nodes {
+            bucket_off[i + 1] += bucket_off[i];
+        }
+        let mut cursor = bucket_off.clone();
+        let mut bucket_entries = vec![(0.0, 0u32); bucket_off[n_nodes] as usize];
+        each_member(&mut |u, p| {
+            let at = &mut cursor[p.concept.index()];
+            bucket_entries[*at as usize] = (p.sentiment, u);
+            *at += 1;
+        });
+        for c in 0..n_nodes {
+            bucket_entries[bucket_off[c] as usize..bucket_off[c + 1] as usize]
+                .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        }
+
+        GraphBuildPlan {
+            eps,
+            root: h.root(),
+            n_cands,
+            bucket_off,
+            bucket_entries,
+            root_dist: pairs.iter().map(|p| h.depth(p.concept)).collect(),
+            closure_entries: h.ancestor_index().entry_count() as u64,
+        }
+    }
+
+    /// Number of coverage targets the plan was built over.
+    pub fn num_pairs(&self) -> usize {
+        self.root_dist.len()
+    }
+
+    /// The ε-window of bucket `anc` around target sentiment `s_q`, as a
+    /// range into `bucket_entries`. Exactly the candidates the naive
+    /// `(s - s_q).abs() <= eps` test accepts: each one-sided rounded
+    /// difference is weakly monotone along the sorted bucket, and
+    /// `fl(s_q − s) = −fl(s − s_q)` exactly, so the two partition points
+    /// split the bucket on the very same predicate.
+    #[inline]
+    fn window(&self, anc: NodeId, s_q: f64) -> (usize, usize) {
+        let lo0 = self.bucket_off[anc.index()] as usize;
+        let hi0 = self.bucket_off[anc.index() + 1] as usize;
+        let b = &self.bucket_entries[lo0..hi0];
+        let lo = b.partition_point(|&(s, _)| s_q - s > self.eps);
+        let hi = lo + b[lo..].partition_point(|&(s, _)| s - s_q <= self.eps);
+        (lo0 + lo, lo0 + hi)
+    }
+
+    /// Pass 2 over the contiguous target range `range`: resolve each
+    /// pair's covering candidates (minimum distance over members) by
+    /// walking the concept's ancestor closure and windowing each bucket.
+    /// Pure with respect to `self`; shards of disjoint ranges can run on
+    /// any threads in any order and [`CoverageGraph::assemble`] back into
+    /// the exact sequential result.
+    ///
+    /// `h` and `pairs` must be the values the plan was built from.
+    pub fn shard(
+        &self,
+        h: &Hierarchy,
+        pairs: &[Pair],
+        range: Range<usize>,
+        scratch: &mut GraphBuildScratch,
+    ) -> GraphShard {
+        let index = h.ancestor_index();
+        scratch.reserve(self.n_cands);
+        let mut pair_off = Vec::with_capacity(range.len() + 1);
+        pair_off.push(0u32);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut window_hits = 0u64;
+        let start = range.start;
+        for qi in range {
+            let q = pairs[qi];
+            debug_assert!(
+                !q.sentiment.is_nan(),
+                "NaN sentiments must be sanitized by Pair::new before building"
+            );
+            let epoch = scratch.next_epoch();
+            for &(anc, dist) in index.ancestors(q.concept) {
+                // A candidate on the root covers every pair with no
+                // sentiment condition (Definition 1), so the root bucket
+                // is taken whole.
+                let (lo, hi) = if anc == self.root {
+                    (
+                        self.bucket_off[anc.index()] as usize,
+                        self.bucket_off[anc.index() + 1] as usize,
+                    )
+                } else {
+                    self.window(anc, q.sentiment)
+                };
+                window_hits += (hi - lo) as u64;
+                for &(_, u) in &self.bucket_entries[lo..hi] {
+                    scratch.offer(u, dist, epoch);
+                }
+            }
+            // Ascending candidate order makes the shard (and therefore
+            // the assembled graph) independent of closure walk order.
+            scratch.touched.sort_unstable();
+            edges.extend(
+                scratch
+                    .touched
+                    .iter()
+                    .map(|&u| (u, scratch.dist[u as usize])),
+            );
+            pair_off.push(u32::try_from(edges.len()).expect("shard edge count exceeds u32"));
+        }
+        GraphShard {
+            start,
+            pair_off,
+            edges,
+            window_hits,
+        }
+    }
+}
+
+/// Pass-2 output for one contiguous range of target pairs (see
+/// [`GraphBuildPlan::shard`]): per pair, the covering candidates with
+/// their minimum distances, candidates ascending.
+#[derive(Debug, Clone)]
+pub struct GraphShard {
+    start: usize,
+    /// CSR offsets: pair `start + i` owns `edges[pair_off[i]..pair_off[i + 1]]`.
+    pair_off: Vec<u32>,
+    /// `(candidate, dist)` runs.
+    edges: Vec<(u32, u32)>,
+    /// Candidates examined through ε-windows and root buckets — a
+    /// deterministic per-pair sum, so totals are sharding-invariant.
+    window_hits: u64,
+}
+
+impl GraphShard {
+    /// First target pair index this shard covers.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of target pairs this shard covers.
+    pub fn len(&self) -> usize {
+        self.pair_off.len() - 1
+    }
+
+    /// Does this shard cover no pairs?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 impl CoverageGraph {
     /// Build the graph for **k-Pairs Coverage**: every pair is both a
     /// candidate and a coverage target.
     pub fn for_pairs(h: &Hierarchy, pairs: &[Pair], eps: f64) -> Self {
-        let groups: Vec<Vec<usize>> = (0..pairs.len()).map(|i| vec![i]).collect();
-        Self::build(h, pairs, &groups, eps, Granularity::Pairs, None)
+        Self::for_pairs_with(
+            h,
+            pairs,
+            eps,
+            GraphImpl::default(),
+            &mut GraphBuildScratch::new(),
+        )
     }
 
     /// Build the k-Pairs graph over *compressed* pairs: `weights[q]` is
@@ -54,9 +370,14 @@ impl CoverageGraph {
     /// identical to the uncompressed instance, but the graph is as small
     /// as the number of distinct pairs.
     pub fn for_weighted_pairs(h: &Hierarchy, pairs: &[Pair], weights: &[u64], eps: f64) -> Self {
-        assert_eq!(pairs.len(), weights.len(), "one weight per pair");
-        let groups: Vec<Vec<usize>> = (0..pairs.len()).map(|i| vec![i]).collect();
-        Self::build(h, pairs, &groups, eps, Granularity::Pairs, Some(weights))
+        Self::for_weighted_pairs_with(
+            h,
+            pairs,
+            weights,
+            eps,
+            GraphImpl::default(),
+            &mut GraphBuildScratch::new(),
+        )
     }
 
     /// Build the graph for **k-Reviews/Sentences Coverage**: candidate `u`
@@ -68,14 +389,192 @@ impl CoverageGraph {
         eps: f64,
         granularity: Granularity,
     ) -> Self {
-        Self::build(h, pairs, groups, eps, granularity, None)
+        Self::for_groups_with(
+            h,
+            pairs,
+            groups,
+            eps,
+            granularity,
+            GraphImpl::default(),
+            &mut GraphBuildScratch::new(),
+        )
     }
 
-    /// The two-pass construction of Section 4.1: bucket candidate pairs by
-    /// concept, then for each target pair walk its concept's ancestors and
-    /// connect every bucketed candidate within the sentiment threshold
-    /// (no threshold for candidates sitting on the root concept).
-    fn build(
+    /// [`for_pairs`](Self::for_pairs) with an explicit implementation and
+    /// a caller-owned scratch (ignored by the naive builder).
+    pub fn for_pairs_with(
+        h: &Hierarchy,
+        pairs: &[Pair],
+        eps: f64,
+        imp: GraphImpl,
+        scratch: &mut GraphBuildScratch,
+    ) -> Self {
+        match imp {
+            GraphImpl::Indexed => {
+                Self::build_indexed(h, pairs, None, eps, Granularity::Pairs, None, scratch)
+            }
+            GraphImpl::Naive => Self::for_pairs_naive(h, pairs, eps),
+        }
+    }
+
+    /// [`for_weighted_pairs`](Self::for_weighted_pairs) with an explicit
+    /// implementation and a caller-owned scratch.
+    pub fn for_weighted_pairs_with(
+        h: &Hierarchy,
+        pairs: &[Pair],
+        weights: &[u64],
+        eps: f64,
+        imp: GraphImpl,
+        scratch: &mut GraphBuildScratch,
+    ) -> Self {
+        assert_eq!(pairs.len(), weights.len(), "one weight per pair");
+        match imp {
+            GraphImpl::Indexed => Self::build_indexed(
+                h,
+                pairs,
+                None,
+                eps,
+                Granularity::Pairs,
+                Some(weights),
+                scratch,
+            ),
+            GraphImpl::Naive => Self::for_weighted_pairs_naive(h, pairs, weights, eps),
+        }
+    }
+
+    /// [`for_groups`](Self::for_groups) with an explicit implementation
+    /// and a caller-owned scratch.
+    pub fn for_groups_with(
+        h: &Hierarchy,
+        pairs: &[Pair],
+        groups: &[Vec<usize>],
+        eps: f64,
+        granularity: Granularity,
+        imp: GraphImpl,
+        scratch: &mut GraphBuildScratch,
+    ) -> Self {
+        match imp {
+            GraphImpl::Indexed => {
+                Self::build_indexed(h, pairs, Some(groups), eps, granularity, None, scratch)
+            }
+            GraphImpl::Naive => Self::for_groups_naive(h, pairs, groups, eps, granularity),
+        }
+    }
+
+    /// Sequential indexed build: one plan, one full-range shard, one
+    /// assembly.
+    fn build_indexed(
+        h: &Hierarchy,
+        pairs: &[Pair],
+        groups: Option<&[Vec<usize>]>,
+        eps: f64,
+        granularity: Granularity,
+        weights: Option<&[u64]>,
+        scratch: &mut GraphBuildScratch,
+    ) -> Self {
+        let plan = GraphBuildPlan::new(h, pairs, groups, eps);
+        let shard = plan.shard(h, pairs, 0..pairs.len(), scratch);
+        Self::assemble(&plan, granularity, weights, &[shard])
+    }
+
+    /// Merge pass-2 shards into the final graph. The shards must tile
+    /// `0..plan.num_pairs()` contiguously in order; because target
+    /// indices then ascend across the walk and are unique per candidate,
+    /// every adjacency list comes out sorted — the exact layout the naive
+    /// builder produces, regardless of how the range was sharded.
+    pub fn assemble(
+        plan: &GraphBuildPlan,
+        granularity: Granularity,
+        weights: Option<&[u64]>,
+        shards: &[GraphShard],
+    ) -> Self {
+        let n_pairs = plan.num_pairs();
+        let mut expect = 0usize;
+        for s in shards {
+            assert_eq!(s.start, expect, "shards must tile the pair range in order");
+            expect += s.len();
+        }
+        assert_eq!(expect, n_pairs, "shards must cover every pair");
+
+        let mut cand_edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); plan.n_cands];
+        let mut window_hits = 0u64;
+        let mut n_edges = 0u64;
+        for s in shards {
+            window_hits += s.window_hits;
+            n_edges += s.edges.len() as u64;
+            for li in 0..s.len() {
+                let qi = (s.start + li) as u32;
+                for &(u, d) in &s.edges[s.pair_off[li] as usize..s.pair_off[li + 1] as usize] {
+                    cand_edges[u as usize].push((qi, d));
+                }
+            }
+        }
+        let mut pair_edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_pairs];
+        for (u, edges) in cand_edges.iter().enumerate() {
+            for &(q, d) in edges {
+                pair_edges[q as usize].push((u as u32, d));
+            }
+        }
+
+        let pair_weight = match weights {
+            Some(w) => {
+                assert_eq!(w.len(), n_pairs, "one weight per pair");
+                w.to_vec()
+            }
+            None => vec![1; n_pairs],
+        };
+        let obs = osa_obs::global();
+        obs.add("graph.builds", 1);
+        obs.add("graph.edges", n_edges);
+        obs.add("graph.closure.entries", plan.closure_entries);
+        obs.add("graph.window.hits", window_hits);
+        obs.add("graph.sharded_items", n_pairs as u64);
+        CoverageGraph {
+            granularity,
+            cand_edges,
+            pair_edges,
+            root_dist: plan.root_dist.clone(),
+            pair_weight,
+        }
+    }
+
+    /// [`for_pairs`](Self::for_pairs) through the naive oracle builder.
+    pub fn for_pairs_naive(h: &Hierarchy, pairs: &[Pair], eps: f64) -> Self {
+        let groups: Vec<Vec<usize>> = (0..pairs.len()).map(|i| vec![i]).collect();
+        Self::build_naive(h, pairs, &groups, eps, Granularity::Pairs, None)
+    }
+
+    /// [`for_weighted_pairs`](Self::for_weighted_pairs) through the naive
+    /// oracle builder.
+    pub fn for_weighted_pairs_naive(
+        h: &Hierarchy,
+        pairs: &[Pair],
+        weights: &[u64],
+        eps: f64,
+    ) -> Self {
+        assert_eq!(pairs.len(), weights.len(), "one weight per pair");
+        let groups: Vec<Vec<usize>> = (0..pairs.len()).map(|i| vec![i]).collect();
+        Self::build_naive(h, pairs, &groups, eps, Granularity::Pairs, Some(weights))
+    }
+
+    /// [`for_groups`](Self::for_groups) through the naive oracle builder.
+    pub fn for_groups_naive(
+        h: &Hierarchy,
+        pairs: &[Pair],
+        groups: &[Vec<usize>],
+        eps: f64,
+        granularity: Granularity,
+    ) -> Self {
+        Self::build_naive(h, pairs, groups, eps, granularity, None)
+    }
+
+    /// The original two-pass construction of Section 4.1, kept verbatim
+    /// as the oracle the indexed builder is tested against: bucket
+    /// candidate pairs by concept, then for each target pair walk its
+    /// concept's ancestors (upward BFS) and connect every bucketed
+    /// candidate within the sentiment threshold (no threshold for
+    /// candidates sitting on the root concept).
+    fn build_naive(
         h: &Hierarchy,
         pairs: &[Pair],
         groups: &[Vec<usize>],
@@ -96,7 +595,7 @@ impl CoverageGraph {
             }
         }
 
-        // Pass 2: for each target pair, DFS/BFS up the ancestors.
+        // Pass 2: for each target pair, BFS up the ancestors.
         let root = h.root();
         let mut cand_edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_cands];
         let mut root_dist = Vec::with_capacity(n_pairs);
@@ -349,5 +848,136 @@ mod tests {
             let total: u64 = dists.iter().map(|&d| u64::from(d)).sum();
             assert_eq!(total, g.cost_of(&sel));
         }
+    }
+
+    /// A multi-parent DAG exercising the closure merge:
+    /// r -> {a, b}, a -> m, b -> m, m -> l, b -> l.
+    fn dag() -> (Hierarchy, Vec<NodeId>) {
+        let mut bl = HierarchyBuilder::new();
+        let r = bl.add_node("r");
+        let a = bl.add_node("a");
+        let b = bl.add_node("b");
+        let m = bl.add_node("m");
+        let l = bl.add_node("l");
+        bl.add_edge(r, a).unwrap();
+        bl.add_edge(r, b).unwrap();
+        bl.add_edge(a, m).unwrap();
+        bl.add_edge(b, m).unwrap();
+        bl.add_edge(m, l).unwrap();
+        bl.add_edge(b, l).unwrap();
+        (bl.build().unwrap(), vec![r, a, b, m, l])
+    }
+
+    fn dag_pairs(ids: &[NodeId]) -> Vec<Pair> {
+        // Boundary-heavy sentiments: exact ε hits, both zeros, extremes.
+        let sentiments = [0.5, -0.5, 0.0, -0.0, 1.0, -1.0, 0.2, 0.7, -0.3, 0.5];
+        sentiments
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Pair::new(ids[i % ids.len()], s))
+            .collect()
+    }
+
+    #[test]
+    fn indexed_matches_naive_for_pairs_on_dag() {
+        let (h, ids) = dag();
+        let pairs = dag_pairs(&ids);
+        for eps in [0.0, 0.2, 0.5, 1.0, 2.0] {
+            let naive = CoverageGraph::for_pairs_naive(&h, &pairs, eps);
+            let indexed = CoverageGraph::for_pairs(&h, &pairs, eps);
+            assert_eq!(naive, indexed, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn indexed_matches_naive_for_weighted_pairs() {
+        let (h, ids) = dag();
+        let (unique, weights) = crate::compress_pairs(&dag_pairs(&ids));
+        let naive = CoverageGraph::for_weighted_pairs_naive(&h, &unique, &weights, 0.5);
+        let indexed = CoverageGraph::for_weighted_pairs(&h, &unique, &weights, 0.5);
+        assert_eq!(naive, indexed);
+    }
+
+    #[test]
+    fn indexed_matches_naive_for_groups() {
+        let (h, ids) = dag();
+        let pairs = dag_pairs(&ids);
+        let groups = vec![vec![0, 1, 2], vec![3, 4], vec![5, 6, 7, 8, 9], vec![2, 2]];
+        for gran in [Granularity::Sentences, Granularity::Reviews] {
+            let naive = CoverageGraph::for_groups_naive(&h, &pairs, &groups, 0.3, gran);
+            let indexed = CoverageGraph::for_groups(&h, &pairs, &groups, 0.3, gran);
+            assert_eq!(naive, indexed, "{gran:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_assembly_matches_single_shard() {
+        let (h, ids) = dag();
+        let pairs = dag_pairs(&ids);
+        let plan = GraphBuildPlan::new(&h, &pairs, None, 0.5);
+        let mut scratch = GraphBuildScratch::new();
+        let whole = plan.shard(&h, &pairs, 0..pairs.len(), &mut scratch);
+        let whole = CoverageGraph::assemble(&plan, Granularity::Pairs, None, &[whole]);
+        // Every contiguous 2-way split, including empty edge shards.
+        for cut in 0..=pairs.len() {
+            let s1 = plan.shard(&h, &pairs, 0..cut, &mut scratch);
+            let s2 = plan.shard(&h, &pairs, cut..pairs.len(), &mut scratch);
+            let merged = CoverageGraph::assemble(&plan, Granularity::Pairs, None, &[s1, s2]);
+            assert_eq!(whole, merged, "cut={cut}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the pair range in order")]
+    fn assemble_rejects_out_of_order_shards() {
+        let (h, ids) = dag();
+        let pairs = dag_pairs(&ids);
+        let plan = GraphBuildPlan::new(&h, &pairs, None, 0.5);
+        let mut scratch = GraphBuildScratch::new();
+        let s1 = plan.shard(&h, &pairs, 0..4, &mut scratch);
+        let s2 = plan.shard(&h, &pairs, 4..pairs.len(), &mut scratch);
+        let _ = CoverageGraph::assemble(&plan, Granularity::Pairs, None, &[s2, s1]);
+    }
+
+    #[test]
+    fn scratch_survives_reuse_across_instances_and_epoch_wrap() {
+        let (h, ids) = dag();
+        let pairs = dag_pairs(&ids);
+        let (h2, _r, a, b, c) = {
+            let t = tree();
+            (t.0, t.1, t.2, t.3, t.4)
+        };
+        let small = vec![Pair::new(a, 0.1), Pair::new(b, 0.2), Pair::new(c, 0.3)];
+        let mut scratch = GraphBuildScratch::new();
+        // Force the epoch counter through its wrap-around reset path.
+        scratch.epoch = u32::MAX - 2;
+        for _ in 0..8 {
+            let big =
+                CoverageGraph::for_pairs_with(&h, &pairs, 0.5, GraphImpl::Indexed, &mut scratch);
+            assert_eq!(big, CoverageGraph::for_pairs_naive(&h, &pairs, 0.5));
+            let tiny =
+                CoverageGraph::for_pairs_with(&h2, &small, 0.1, GraphImpl::Indexed, &mut scratch);
+            assert_eq!(tiny, CoverageGraph::for_pairs_naive(&h2, &small, 0.1));
+        }
+    }
+
+    #[test]
+    fn graph_impl_names_round_trip() {
+        for imp in [GraphImpl::Indexed, GraphImpl::Naive] {
+            assert_eq!(GraphImpl::from_name(imp.name()), Some(imp));
+        }
+        assert_eq!(GraphImpl::from_name("fast"), None);
+        assert_eq!(GraphImpl::default(), GraphImpl::Indexed);
+    }
+
+    #[test]
+    fn window_is_inclusive_at_exact_eps_boundary() {
+        // a-candidate at 0.5, c-target at 0.0, eps exactly 0.5: the naive
+        // abs-test accepts; the windowed builder must too.
+        let (h, _r, a, _b, c) = tree();
+        let pairs = vec![Pair::new(a, 0.5), Pair::new(c, 0.0)];
+        let g = CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        assert_eq!(g.covered_by(0), &[(0, 0), (1, 1)]);
+        assert_eq!(g, CoverageGraph::for_pairs_naive(&h, &pairs, 0.5));
     }
 }

@@ -12,6 +12,10 @@ use crate::{CoverageGraph, Summarizer, Summary};
 /// neighborhood in `G`) can change, and — the cost being submodular —
 /// they can only *decrease*, so a decrease-key heap suffices.
 ///
+/// Selection stops early once the best marginal gain reaches 0 (coverage
+/// saturated): padding the summary with zero-gain candidates would not
+/// change the cost but would waste summary slots.
+///
 /// Wolsey's guarantee (Theorem 4): the returned size-`k` summary costs at
 /// most `opt_{k'}(P)` with `k' = ⌈k / H(Δn)⌉`.
 #[derive(Debug, Clone, Copy, Default)]
@@ -45,9 +49,15 @@ impl Summarizer for GreedySummarizer {
 
         let mut selected = Vec::with_capacity(k);
         while selected.len() < k {
-            let Some((u, _gain)) = heap.pop_max() else {
+            let Some((u, gain)) = heap.pop_max() else {
                 break;
             };
+            if gain == 0 {
+                // Eager keys are exact, so a zero top key means coverage
+                // is saturated: every further selection would pad the
+                // summary with a useless candidate.
+                break;
+            }
             selected.push(u as usize);
             // Two-hop key updates: for each pair this candidate now serves
             // better, every other candidate covering that pair loses the
@@ -134,6 +144,12 @@ impl Summarizer for LazyGreedySummarizer {
             debug_assert!(fresh <= stale, "gains only shrink (submodularity)");
             let next_best = heap.peek().map_or(0, |&(g, _)| g);
             if fresh >= next_best {
+                if fresh == 0 {
+                    // `fresh` dominates every (optimistic) stale key, so
+                    // the true maximum marginal gain is 0: stop exactly
+                    // where the eager variant does.
+                    break;
+                }
                 // Still the argmax even against (optimistic) stale keys.
                 selected.push(u as usize);
                 for &(q, d) in graph.covered_by(u as usize) {
@@ -225,6 +241,32 @@ mod tests {
         let s = GreedySummarizer.summarize(&g, 10);
         assert_eq!(s.selected.len(), 2);
         assert_eq!(s.cost, 0);
+    }
+
+    #[test]
+    fn saturated_instance_stops_before_k() {
+        // Two concepts, each pair duplicated: after one selection per
+        // concept the cost is 0 and every remaining marginal gain is 0.
+        let h = star(2);
+        let c0 = h.node_by_name("c0").unwrap();
+        let c1 = h.node_by_name("c1").unwrap();
+        let pairs = vec![
+            Pair::new(c0, 0.0),
+            Pair::new(c0, 0.0),
+            Pair::new(c1, 0.0),
+            Pair::new(c1, 0.0),
+        ];
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let eager = GreedySummarizer.summarize(&g, 4);
+        assert_eq!(eager.cost, 0);
+        assert_eq!(
+            eager.selected.len(),
+            2,
+            "zero-gain candidates must not pad the summary"
+        );
+        let lazy = LazyGreedySummarizer.summarize(&g, 4);
+        assert_eq!(lazy.cost, 0);
+        assert_eq!(lazy.selected.len(), 2, "lazy stops where eager stops");
     }
 
     #[test]

@@ -73,7 +73,9 @@ mod rounding;
 mod summarizer;
 
 pub use exact::ExactBruteForce;
-pub use graph::{CoverageGraph, Granularity};
+pub use graph::{
+    CoverageGraph, Granularity, GraphBuildPlan, GraphBuildScratch, GraphImpl, GraphShard,
+};
 pub use greedy::{GreedySummarizer, LazyGreedySummarizer};
 #[doc(hidden)]
 pub use ilp::__diag_build_model;

@@ -13,11 +13,26 @@ pub struct Pair {
 }
 
 impl Pair {
-    /// Construct a pair, clamping the sentiment into `[-1, 1]`.
+    /// Construct a pair, sanitizing the sentiment:
+    ///
+    /// * NaN becomes `0.0` (neutral) — a NaN sentiment would cover
+    ///   *nothing, not even itself* (`(NaN − s).abs() <= ε` is always
+    ///   false) while still occupying a candidate slot;
+    /// * values are clamped into `[-1, 1]`;
+    /// * `-0.0` is normalized to `0.0`, so bit-keyed consumers
+    ///   ([`compress_pairs`], the coverage-graph buckets) treat the two
+    ///   zeros — equal under `==` and under the Definition 1 ε-test — as
+    ///   the same pair.
     pub fn new(concept: NodeId, sentiment: f64) -> Self {
+        let s = if sentiment.is_nan() {
+            0.0
+        } else {
+            sentiment.clamp(-1.0, 1.0)
+        };
         Pair {
             concept,
-            sentiment: sentiment.clamp(-1.0, 1.0),
+            // `-0.0 == 0.0`, so this branch rewrites only the sign bit.
+            sentiment: if s == 0.0 { 0.0 } else { s },
         }
     }
 }
@@ -172,5 +187,37 @@ mod tests {
         let p = Pair::new(ids[1], 7.0);
         assert_eq!(p.sentiment, 1.0);
         let _ = h;
+    }
+
+    #[test]
+    fn negative_zero_normalizes_and_compresses_with_positive_zero() {
+        let (_h, ids) = chain();
+        assert_eq!(
+            Pair::new(ids[1], -0.0).sentiment.to_bits(),
+            0.0f64.to_bits()
+        );
+        // Regression: `compress_pairs` keys on `to_bits`, so before the
+        // constructor normalized the sign these compressed to two
+        // distinct weighted pairs.
+        let (unique, weights) = compress_pairs(&[
+            Pair::new(ids[1], 0.0),
+            Pair::new(ids[1], -0.0),
+            Pair::new(ids[2], -0.0),
+        ]);
+        assert_eq!(unique.len(), 2);
+        assert_eq!(weights, vec![2, 1]);
+    }
+
+    #[test]
+    fn nan_sentiment_sanitizes_to_neutral() {
+        let (h, ids) = chain();
+        let p = Pair::new(ids[2], f64::NAN);
+        assert_eq!(p.sentiment.to_bits(), 0.0f64.to_bits());
+        // A sanitized pair covers itself; raw NaN would cover nothing.
+        assert_eq!(pair_distance(&h, &p, &p, 0.0), Some(0));
+        // And it shares a compression key with explicit neutral pairs.
+        let (unique, weights) = compress_pairs(&[p, Pair::new(ids[2], 0.0)]);
+        assert_eq!(unique.len(), 1);
+        assert_eq!(weights, vec![2]);
     }
 }

@@ -16,8 +16,10 @@ pub struct Summary {
 pub trait Summarizer {
     /// Select (up to) `k` candidates minimizing the coverage cost.
     ///
-    /// Every implementation returns `min(k, |U|)` candidates and reports
-    /// the exact cost of what it selected.
+    /// Every implementation returns at most `min(k, |U|)` candidates and
+    /// reports the exact cost of what it selected. Greedy-family
+    /// implementations stop early when coverage saturates (the best
+    /// marginal gain reaches 0), so they may return fewer.
     fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary;
 
     /// Human-readable algorithm name (used by the benchmark harness).

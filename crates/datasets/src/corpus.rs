@@ -75,6 +75,34 @@ impl CorpusConfig {
             aspect_sentence_prob: 0.72,
         }
     }
+
+    /// A build-stage stress corpus (`--scale large`): review-heavy items
+    /// sized so the coverage-graph construction, not extraction or the
+    /// solver, dominates — used to benchmark the indexed builder.
+    pub fn doctors_large() -> Self {
+        CorpusConfig {
+            items: 120,
+            min_reviews: 60,
+            max_reviews: 240,
+            mean_reviews: 110.0,
+            mean_sentences: 4.87,
+            aspect_sentence_prob: 0.72,
+        }
+    }
+
+    /// The phone-domain `--scale large` counterpart of
+    /// [`doctors_large`](Self::doctors_large): fewer items, denser
+    /// per-item review sets.
+    pub fn phones_large() -> Self {
+        CorpusConfig {
+            items: 40,
+            min_reviews: 80,
+            max_reviews: 400,
+            mean_reviews: 150.0,
+            mean_sentences: 3.81,
+            aspect_sentence_prob: 0.72,
+        }
+    }
 }
 
 /// One synthetic review.
@@ -305,6 +333,18 @@ mod tests {
         let b = Corpus::phones(&small(), 7);
         assert_eq!(a.total_reviews(), b.total_reviews());
         assert_eq!(a.items[0].reviews[0].text, b.items[0].reviews[0].text);
+    }
+
+    #[test]
+    fn large_presets_sit_between_small_and_full_item_counts() {
+        let dl = CorpusConfig::doctors_large();
+        assert!(dl.items > CorpusConfig::doctors_small().items);
+        assert!(dl.items < CorpusConfig::doctors_full().items);
+        assert!(dl.min_reviews <= dl.max_reviews);
+        let pl = CorpusConfig::phones_large();
+        assert!(pl.items > CorpusConfig::phones_small().items);
+        assert!(pl.items < CorpusConfig::phones_full().items);
+        assert!(pl.mean_reviews >= pl.min_reviews as f64);
     }
 
     #[test]

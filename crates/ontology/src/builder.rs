@@ -163,6 +163,7 @@ impl HierarchyBuilder {
             root,
             depth,
             by_name: self.by_name,
+            ancestor_index: std::sync::OnceLock::new(),
         })
     }
 }

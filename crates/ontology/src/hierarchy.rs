@@ -3,6 +3,9 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::OnceLock;
+
+use crate::{AncestorIndex, AncestorScratch};
 
 /// Identifier of a concept node inside a [`Hierarchy`].
 ///
@@ -58,6 +61,9 @@ pub struct Hierarchy {
     /// Shortest directed distance from the root, per node.
     pub(crate) depth: Vec<u32>,
     pub(crate) by_name: HashMap<String, NodeId>,
+    /// Lazily built ancestor-closure index (see [`AncestorIndex`]).
+    /// Computed at most once per hierarchy; cloning clones the cache.
+    pub(crate) ancestor_index: OnceLock<AncestorIndex>,
 }
 
 impl Hierarchy {
@@ -187,6 +193,60 @@ impl Hierarchy {
         out
     }
 
+    /// The precomputed ancestor closure of this hierarchy, built on first
+    /// use and cached for the hierarchy's lifetime (thread-safe).
+    ///
+    /// Prefer this over repeated [`ancestors_with_dist`] calls: after the
+    /// one-time topological sweep, each query is a slice borrow. This is
+    /// what the `osa-core` coverage-graph builder walks per target pair.
+    ///
+    /// [`ancestors_with_dist`]: Self::ancestors_with_dist
+    pub fn ancestor_index(&self) -> &AncestorIndex {
+        self.ancestor_index
+            .get_or_init(|| AncestorIndex::build(self))
+    }
+
+    /// [`ancestors_with_dist`](Self::ancestors_with_dist) into
+    /// caller-owned buffers: identical output (content *and* BFS
+    /// discovery order), but no per-call allocation once `scratch` and
+    /// `out` have warmed up. For callers that walk many nodes of the same
+    /// hierarchy, [`ancestor_index`](Self::ancestor_index) is faster
+    /// still.
+    pub fn ancestors_with_dist_into(
+        &self,
+        n: NodeId,
+        scratch: &mut AncestorScratch,
+        out: &mut Vec<(NodeId, u32)>,
+    ) {
+        out.clear();
+        let nodes = self.node_count();
+        if scratch.dist.len() < nodes {
+            scratch.dist.resize(nodes, u32::MAX);
+        }
+        scratch.queue.clear();
+        scratch.touched.clear();
+        scratch.dist[n.index()] = 0;
+        scratch.touched.push(n.0);
+        scratch.queue.push_back(n.0);
+        out.push((n, 0));
+        while let Some(cur) = scratch.queue.pop_front() {
+            let d = scratch.dist[cur as usize];
+            for &p in self.parents(NodeId(cur)) {
+                if scratch.dist[p.index()] == u32::MAX {
+                    scratch.dist[p.index()] = d + 1;
+                    scratch.touched.push(p.0);
+                    out.push((p, d + 1));
+                    scratch.queue.push_back(p.0);
+                }
+            }
+        }
+        // Dense table reset via the touched list keeps the walk
+        // O(ancestors), independent of the hierarchy size.
+        for &t in &scratch.touched {
+            scratch.dist[t as usize] = u32::MAX;
+        }
+    }
+
     /// All descendants of `n` (including `n` itself at distance 0) with
     /// shortest downward distances, via downward BFS.
     pub fn descendants_with_dist(&self, n: NodeId) -> Vec<(NodeId, u32)> {
@@ -253,9 +313,18 @@ impl Hierarchy {
             let id = b.add_node_with_terms(self.name(n), self.terms(n));
             map.insert(n, id);
         }
+        let mut seen_children: Vec<NodeId> = Vec::new();
         for &n in &keep {
+            // All children of a kept node are descendants of new_root. A
+            // malformed children list may repeat an entry; the induced
+            // DAG keeps a single edge rather than tripping the builder's
+            // duplicate-edge validation.
+            seen_children.clear();
             for &c in self.children(n) {
-                // All children of a kept node are descendants of new_root.
+                if seen_children.contains(&c) {
+                    continue;
+                }
+                seen_children.push(c);
                 b.add_edge(map[&n], map[&c]).expect("induced edge is fresh");
             }
         }
@@ -414,6 +483,28 @@ mod tests {
         let sub = h.subgraph(h.root());
         assert_eq!(sub.node_count(), h.node_count());
         assert_eq!(sub.edge_count(), h.edge_count());
+    }
+
+    #[test]
+    fn subgraph_dedupes_duplicate_child_listings() {
+        // The builder rejects duplicate edges, so dent a valid hierarchy
+        // in-crate: list r -> a twice. `subgraph` used to panic on the
+        // second induced copy ("induced edge is fresh").
+        let mut bl = HierarchyBuilder::new();
+        let r = bl.add_node("r");
+        let a = bl.add_node("a");
+        let c = bl.add_node("c");
+        bl.add_edge(r, a).unwrap();
+        bl.add_edge(a, c).unwrap();
+        let mut h = bl.build().unwrap();
+        h.children[r.index()].push(a);
+        h.parents[a.index()].push(r);
+
+        let sub = h.subgraph(r);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2, "duplicate listing induces one edge");
+        let sub_a = sub.subgraph(sub.node_by_name("a").unwrap());
+        assert_eq!(sub_a.node_count(), 2);
     }
 
     #[test]

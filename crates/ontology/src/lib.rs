@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+mod ancestor;
 mod builder;
 mod error;
 mod hierarchy;
@@ -46,6 +47,7 @@ pub mod io;
 mod stats;
 pub mod tsv;
 
+pub use ancestor::{AncestorIndex, AncestorScratch};
 pub use builder::HierarchyBuilder;
 pub use error::OntologyError;
 pub use hierarchy::{Hierarchy, NodeId};

@@ -35,8 +35,9 @@ impl HierarchyStats {
         let mut internal = 0usize;
         let mut child_sum = 0usize;
         let mut depth_sum = 0u64;
+        let index = h.ancestor_index();
         for node in h.nodes() {
-            total_anc += h.ancestors_with_dist(node).len();
+            total_anc += index.ancestors(node).len();
             depth_sum += u64::from(h.depth(node));
             let kids = h.children(node).len();
             if kids == 0 {

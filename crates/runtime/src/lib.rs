@@ -27,12 +27,13 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use osa_core::{
-    CoverageGraph, Granularity, GreedySummarizer, IlpSummarizer, LazyGreedySummarizer,
-    LocalSearchSummarizer, Pair, RandomizedRounding, Summarizer, Summary,
+    CoverageGraph, Granularity, GraphBuildPlan, GraphBuildScratch, GraphImpl, GraphShard,
+    GreedySummarizer, IlpSummarizer, LazyGreedySummarizer, LocalSearchSummarizer, Pair,
+    RandomizedRounding, Summarizer, Summary,
 };
 use osa_datasets::{extract_item, Corpus};
 use osa_eval::{LatencyHistogram, Stopwatch};
-use osa_ontology::NodeId;
+use osa_ontology::{Hierarchy, NodeId};
 use osa_text::{ConceptMatcher, SentimentLexicon};
 
 /// Upper bound on the resolved worker count: more threads than this only
@@ -52,6 +53,105 @@ pub fn effective_jobs(jobs: usize) -> usize {
         jobs
     };
     resolved.clamp(1, MAX_JOBS)
+}
+
+/// Below this many target pairs a parallel graph build runs inline: the
+/// per-pair work is tens of nanoseconds, so thread spawn + shard merge
+/// overhead dominates small instances.
+pub const PAR_BUILD_MIN_PAIRS: usize = 1024;
+
+/// Parallel [`CoverageGraph::for_pairs`]: pass 2 sharded over pair
+/// ranges, merged in order — byte-identical to the sequential (and
+/// naive) build for any `jobs`.
+pub fn par_for_pairs(h: &Hierarchy, pairs: &[Pair], eps: f64, jobs: usize) -> CoverageGraph {
+    par_build(h, pairs, None, eps, Granularity::Pairs, None, jobs)
+}
+
+/// Parallel [`CoverageGraph::for_weighted_pairs`].
+pub fn par_for_weighted_pairs(
+    h: &Hierarchy,
+    pairs: &[Pair],
+    weights: &[u64],
+    eps: f64,
+    jobs: usize,
+) -> CoverageGraph {
+    assert_eq!(pairs.len(), weights.len(), "one weight per pair");
+    par_build(h, pairs, None, eps, Granularity::Pairs, Some(weights), jobs)
+}
+
+/// Parallel [`CoverageGraph::for_groups`].
+pub fn par_for_groups(
+    h: &Hierarchy,
+    pairs: &[Pair],
+    groups: &[Vec<usize>],
+    eps: f64,
+    granularity: Granularity,
+    jobs: usize,
+) -> CoverageGraph {
+    par_build(h, pairs, Some(groups), eps, granularity, None, jobs)
+}
+
+/// Shared driver of the `par_for_*` builders: plan once, shard pass 2
+/// over contiguous pair ranges stolen from an atomic cursor, assemble in
+/// range order. Deliberately *not* routed through [`BatchJob`]: shard
+/// counts depend on `jobs`, and batch bookkeeping (e.g.
+/// `runtime.items.completed`) must stay jobs-invariant.
+#[allow(clippy::too_many_arguments)]
+fn par_build(
+    h: &Hierarchy,
+    pairs: &[Pair],
+    groups: Option<&[Vec<usize>]>,
+    eps: f64,
+    granularity: Granularity,
+    weights: Option<&[u64]>,
+    jobs: usize,
+) -> CoverageGraph {
+    let n = pairs.len();
+    let jobs = effective_jobs(jobs);
+    if jobs == 1 || n < PAR_BUILD_MIN_PAIRS {
+        let plan = GraphBuildPlan::new(h, pairs, groups, eps);
+        let shard = plan.shard(h, pairs, 0..n, &mut GraphBuildScratch::new());
+        return CoverageGraph::assemble(&plan, granularity, weights, &[shard]);
+    }
+    // Build the closure before fan-out so workers share the cached index
+    // instead of racing to compute it (OnceLock would serialize them).
+    let _ = h.ancestor_index();
+    let plan = GraphBuildPlan::new(h, pairs, groups, eps);
+    // More chunks than workers smooths out skew (deep concepts, wide
+    // windows) without hurting determinism: assembly is by range order.
+    let chunks = (jobs * 4).min(n);
+    let per = n.div_ceil(chunks);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<GraphShard>> = (0..chunks).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut scratch = GraphBuildScratch::new();
+                    let mut done: Vec<(usize, GraphShard)> = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunks {
+                            break;
+                        }
+                        let range = c * per..((c + 1) * per).min(n);
+                        done.push((c, plan.shard(h, pairs, range, &mut scratch)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for hnd in handles {
+            for (c, shard) in hnd.join().expect("graph build worker panicked") {
+                slots[c] = Some(shard);
+            }
+        }
+    });
+    let shards: Vec<GraphShard> = slots
+        .into_iter()
+        .map(|s| s.expect("every chunk was built exactly once"))
+        .collect();
+    CoverageGraph::assemble(&plan, granularity, weights, &shards)
 }
 
 /// Derive a per-item RNG seed from the corpus seed and the item's stable
@@ -75,6 +175,8 @@ pub struct WorkerScratch {
     pub pair_buf: Vec<Pair>,
     /// Multiplicities matching `pair_buf`.
     pub weight_buf: Vec<u64>,
+    /// Dense dedup scratch reused by the indexed coverage-graph builds.
+    pub graph_build: GraphBuildScratch,
     compress_map: HashMap<(NodeId, u64), usize>,
 }
 
@@ -426,6 +528,8 @@ pub struct BatchOptions {
     pub algorithm: BatchAlgorithm,
     /// Seed mixed with each item's index for randomized algorithms.
     pub corpus_seed: u64,
+    /// Coverage-graph builder (indexed by default; naive as an oracle).
+    pub graph_impl: GraphImpl,
 }
 
 impl Default for BatchOptions {
@@ -437,6 +541,7 @@ impl Default for BatchOptions {
             granularity: Granularity::Sentences,
             algorithm: BatchAlgorithm::Greedy,
             corpus_seed: 42,
+            graph_impl: GraphImpl::Indexed,
         }
     }
 }
@@ -475,6 +580,9 @@ pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<Ite
     let lexicon = SentimentLexicon::default();
     let items: Vec<_> = corpus.indexed_items().collect();
     let solve_span = opts.algorithm.span_name();
+    // Warm the shared ancestor-closure cache before fan-out so workers
+    // don't serialize on the `OnceLock` initialization.
+    let _ = corpus.hierarchy.ancestor_index();
 
     // Each item reports its per-stage wall times alongside the summary;
     // they are split off below so `results` (the deterministic payload)
@@ -485,24 +593,44 @@ pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<Ite
         .run(|scratch, _, &(idx, item)| {
             let obs = osa_obs::global();
             let (ex, extract_us) = obs.time("extract", || extract_item(item, &matcher, &lexicon));
+            if opts.granularity == Granularity::Pairs {
+                // For effect only: stage the compressed pairs in the
+                // scratch buffers (the returned refs would borrow the
+                // whole scratch, blocking `graph_build` below).
+                let _ = scratch.compress_into(&ex.pairs);
+            }
+            let WorkerScratch {
+                pair_buf,
+                weight_buf,
+                graph_build,
+                ..
+            } = scratch;
             let (graph, graph_us) = obs.time("graph.build", || match opts.granularity {
-                Granularity::Pairs => {
-                    let (unique, weights) = scratch.compress_into(&ex.pairs);
-                    CoverageGraph::for_weighted_pairs(&corpus.hierarchy, unique, weights, opts.eps)
-                }
-                Granularity::Sentences => CoverageGraph::for_groups(
+                Granularity::Pairs => CoverageGraph::for_weighted_pairs_with(
+                    &corpus.hierarchy,
+                    pair_buf,
+                    weight_buf,
+                    opts.eps,
+                    opts.graph_impl,
+                    graph_build,
+                ),
+                Granularity::Sentences => CoverageGraph::for_groups_with(
                     &corpus.hierarchy,
                     &ex.pairs,
                     &ex.sentence_groups(),
                     opts.eps,
                     Granularity::Sentences,
+                    opts.graph_impl,
+                    graph_build,
                 ),
-                Granularity::Reviews => CoverageGraph::for_groups(
+                Granularity::Reviews => CoverageGraph::for_groups_with(
                     &corpus.hierarchy,
                     &ex.pairs,
                     &ex.review_groups(),
                     opts.eps,
                     Granularity::Reviews,
+                    opts.graph_impl,
+                    graph_build,
                 ),
             });
             let alg = opts
@@ -514,12 +642,12 @@ pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<Ite
                 .iter()
                 .map(|&sel| match opts.granularity {
                     Granularity::Pairs => {
-                        let p = scratch.pair_buf[sel];
+                        let p = pair_buf[sel];
                         format!(
                             "{} = {:+.2} (×{})",
                             corpus.hierarchy.name(p.concept),
                             p.sentiment,
-                            scratch.weight_buf[sel]
+                            weight_buf[sel]
                         )
                     }
                     Granularity::Sentences => ex.sentences[sel].text.clone(),
@@ -696,5 +824,98 @@ mod tests {
             let _ = alg.summarizer(1);
         }
         assert!(BatchAlgorithm::from_name("nope").is_none());
+    }
+
+    /// A multi-parent DAG big enough to cross [`PAR_BUILD_MIN_PAIRS`]:
+    /// root -> 8 mids (fully bipartite to) 64 leaves.
+    fn par_fixture(n_pairs: usize) -> (Hierarchy, Vec<Pair>) {
+        use osa_ontology::HierarchyBuilder;
+        let mut b = HierarchyBuilder::new();
+        let r = b.add_node("r");
+        let mids: Vec<_> = (0..8)
+            .map(|i| {
+                let m = b.add_node(&format!("m{i}"));
+                b.add_edge(r, m).unwrap();
+                m
+            })
+            .collect();
+        let leaves: Vec<_> = (0..64)
+            .map(|i| {
+                let l = b.add_node(&format!("l{i}"));
+                for &m in &mids {
+                    b.add_edge(m, l).unwrap();
+                }
+                l
+            })
+            .collect();
+        let h = b.build().unwrap();
+        let nodes: Vec<_> = mids.iter().chain(leaves.iter()).copied().collect();
+        let pairs = (0..n_pairs)
+            .map(|i| {
+                // A deterministic scatter of sentiments incl. both zeros.
+                let s = ((item_seed(3, i as u64) % 41) as f64 - 20.0) / 20.0;
+                Pair::new(nodes[i % nodes.len()], if s == 0.0 { -0.0 } else { s })
+            })
+            .collect();
+        (h, pairs)
+    }
+
+    #[test]
+    fn par_for_pairs_matches_naive_for_any_jobs() {
+        let (h, pairs) = par_fixture(PAR_BUILD_MIN_PAIRS + 131);
+        let naive = CoverageGraph::for_pairs_naive(&h, &pairs, 0.25);
+        for jobs in [1, 2, 3, 8] {
+            assert_eq!(par_for_pairs(&h, &pairs, 0.25, jobs), naive, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_for_weighted_pairs_matches_naive() {
+        let (h, pairs) = par_fixture(PAR_BUILD_MIN_PAIRS + 7);
+        let (unique, weights) = osa_core::compress_pairs(&pairs);
+        let naive = CoverageGraph::for_weighted_pairs_naive(&h, &unique, &weights, 0.5);
+        for jobs in [1, 3, 8] {
+            assert_eq!(
+                par_for_weighted_pairs(&h, &unique, &weights, 0.5, jobs),
+                naive,
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_for_groups_matches_naive() {
+        let (h, pairs) = par_fixture(PAR_BUILD_MIN_PAIRS + 50);
+        let groups: Vec<Vec<usize>> =
+            pairs
+                .chunks(7)
+                .enumerate()
+                .fold(Vec::new(), |mut gs, (c, chunk)| {
+                    gs.push((0..chunk.len()).map(|j| c * 7 + j).collect());
+                    gs
+                });
+        for gran in [Granularity::Sentences, Granularity::Reviews] {
+            let naive = CoverageGraph::for_groups_naive(&h, &pairs, &groups, 0.3, gran);
+            for jobs in [1, 2, 8] {
+                assert_eq!(
+                    par_for_groups(&h, &pairs, &groups, 0.3, gran, jobs),
+                    naive,
+                    "{gran:?} jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_build_below_threshold_stays_sequential_and_correct() {
+        let (h, pairs) = par_fixture(64);
+        assert!(pairs.len() < PAR_BUILD_MIN_PAIRS);
+        let naive = CoverageGraph::for_pairs_naive(&h, &pairs, 0.5);
+        assert_eq!(par_for_pairs(&h, &pairs, 0.5, 8), naive);
+    }
+
+    #[test]
+    fn batch_options_default_uses_indexed_builder() {
+        assert_eq!(BatchOptions::default().graph_impl, GraphImpl::Indexed);
     }
 }

@@ -48,6 +48,7 @@ fn corpus_summaries_identical_for_one_and_eight_jobs() {
                 granularity,
                 algorithm,
                 corpus_seed: 42,
+                ..BatchOptions::default()
             };
             let seq = summarize_corpus(&corpus, &opts(1));
             let par = summarize_corpus(&corpus, &opts(8));

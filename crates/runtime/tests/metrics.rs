@@ -31,6 +31,7 @@ fn algorithm_counters_are_identical_across_worker_counts() {
         granularity: Granularity::Sentences,
         algorithm: BatchAlgorithm::from_name("greedy").unwrap(),
         corpus_seed: 42,
+        ..BatchOptions::default()
     };
 
     let obs = osa_obs::global();

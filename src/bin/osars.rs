@@ -1,12 +1,13 @@
 //! `osars` — command-line interface to the review summarizer.
 //!
 //! ```text
-//! osars generate      --domain doctors|phones [--scale small|full] [--seed N] --out FILE
+//! osars generate      --domain doctors|phones [--scale small|full|large] [--seed N] --out FILE
 //! osars stats         --corpus FILE
 //! osars hierarchy     --corpus FILE
 //! osars summarize     (--corpus FILE | --domain D) [--item I] [--k K] [--eps E]
 //!                     [--granularity pairs|sentences|reviews]
 //!                     [--algorithm greedy|lazy|ilp|rr|local-search]
+//!                     [--graph-impl indexed|naive] [--jobs N]
 //!                     [--metrics FILE] [--trace]
 //! osars evaluate      (--corpus FILE | --domain D) [--k K] [--eps E] [--items N]
 //!                     [--metrics FILE] [--trace]
@@ -28,15 +29,17 @@ use osars::baselines::{
     LexRank, LsaSummarizer, MostPopular, Proportional, SentenceRecord, SentenceSelector, TextRank,
 };
 use osars::core::{
-    explain, CoverageGraph, Granularity, GreedySummarizer, IlpSummarizer, LazyGreedySummarizer,
-    LocalSearchSummarizer, Pair, RandomizedRounding, Summarizer,
+    explain, CoverageGraph, Granularity, GraphImpl, GreedySummarizer, IlpSummarizer,
+    LazyGreedySummarizer, LocalSearchSummarizer, Pair, RandomizedRounding, Summarizer,
 };
 use osars::datasets::{
     extract_item, load_corpus, save_corpus, table1_stats, Corpus, CorpusConfig, ExtractedItem,
 };
 use osars::eval::{sent_err, sent_err_penalized};
 use osars::obs::{JsonlSink, Sink, StderrSink, TeeSink};
-use osars::runtime::{summarize_corpus, BatchAlgorithm, BatchJob, BatchOptions};
+use osars::runtime::{
+    par_for_groups, par_for_pairs, summarize_corpus, BatchAlgorithm, BatchJob, BatchOptions,
+};
 use osars::text::{ConceptMatcher, SentimentLexicon};
 
 fn main() -> ExitCode {
@@ -77,13 +80,14 @@ fn print_help() {
         "osars — ontology- and sentiment-aware review summarization
 
 USAGE:
-  osars generate      --domain doctors|phones [--scale small|full] [--seed N] --out FILE
+  osars generate      --domain doctors|phones [--scale small|full|large] [--seed N] --out FILE
   osars stats         --corpus FILE
   osars hierarchy     --corpus FILE
-  osars summarize     (--corpus FILE | --domain doctors|phones [--scale small|full] [--seed N])
+  osars summarize     (--corpus FILE | --domain doctors|phones [--scale small|full|large] [--seed N])
                       [--item I|all] [--k K] [--eps E]
                       [--granularity pairs|sentences|reviews]
                       [--algorithm greedy|lazy|ilp|rr|local-search]
+                      [--graph-impl indexed|naive]
                       [--focus CONCEPT] [--explain true] [--jobs N]
                       [--metrics FILE] [--trace]
   osars evaluate      (--corpus FILE | --domain D [--scale S] [--seed N])
@@ -93,11 +97,16 @@ USAGE:
 
 DEFAULTS: --scale small --seed 42 --item 0 --k 5 --eps 0.5
           --granularity sentences --algorithm greedy --items 5 --jobs 1
+          --graph-impl indexed
 FOCUS:    restricts the summary to one concept's subtree
           (e.g. --focus battery on a phone corpus)
 JOBS:     --item all batches every item over N worker threads (0 = all
           cores); results are byte-identical for any N — timing stats go
           to stderr
+GRAPH:    --graph-impl selects the Section 4.1 coverage-graph builder:
+          'indexed' (ancestor-closure index + sorted sentiment windows,
+          parallel over --jobs) or 'naive' (the slow oracle); both yield
+          byte-identical output
 METRICS:  --metrics FILE streams per-stage span events plus a final
           counter/gauge/histogram snapshot as JSON lines to FILE
           (validate with `osars check-metrics --metrics FILE`);
@@ -268,9 +277,11 @@ fn build_corpus(domain: &str, scale: &str, seed: u64) -> Result<Corpus, String> 
     let cfg = match (domain, scale) {
         ("doctors", "small") => CorpusConfig::doctors_small(),
         ("doctors", "full") => CorpusConfig::doctors_full(),
+        ("doctors", "large") => CorpusConfig::doctors_large(),
         ("phones", "small") => CorpusConfig::phones_small(),
         ("phones", "full") => CorpusConfig::phones_full(),
-        _ => return Err("--domain must be doctors|phones, --scale small|full".to_owned()),
+        ("phones", "large") => CorpusConfig::phones_large(),
+        _ => return Err("--domain must be doctors|phones, --scale small|full|large".to_owned()),
     };
     Ok(match domain {
         "doctors" => Corpus::doctors(&cfg, seed),
@@ -341,6 +352,15 @@ fn parse_granularity(name: &str) -> Result<Granularity, String> {
     }
 }
 
+fn parse_graph_impl(flags: &HashMap<String, String>) -> Result<GraphImpl, String> {
+    match flag(flags, "graph-impl") {
+        None => Ok(GraphImpl::default()),
+        Some(name) => {
+            GraphImpl::from_name(name).ok_or_else(|| format!("unknown graph impl '{name}'"))
+        }
+    }
+}
+
 /// `--item all`: batch-summarize the whole corpus on a worker pool.
 /// Summaries go to stdout (byte-identical for any `--jobs`), throughput
 /// and latency stats to stderr (inherently run-dependent).
@@ -357,6 +377,7 @@ fn cmd_summarize_batch(corpus: &Corpus, flags: &HashMap<String, String>) -> Resu
         algorithm: BatchAlgorithm::from_name(algorithm_name)
             .ok_or_else(|| format!("unknown algorithm '{algorithm_name}'"))?,
         corpus_seed: parse_num(flags, "seed", 42)?,
+        graph_impl: parse_graph_impl(flags)?,
     };
     let report = summarize_corpus(corpus, &opts);
     for item in &report.results {
@@ -434,16 +455,37 @@ fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
     };
 
     let gran = parse_granularity(granularity)?;
-    let (graph, _) = obs.time("graph.build", || match gran {
-        Granularity::Pairs => CoverageGraph::for_pairs(&hierarchy, &ex.pairs, eps),
-        Granularity::Sentences => CoverageGraph::for_groups(
+    let graph_impl = parse_graph_impl(flags)?;
+    let jobs: usize = parse_num(flags, "jobs", 1)?;
+    let (graph, _) = obs.time("graph.build", || match (graph_impl, gran) {
+        (GraphImpl::Indexed, Granularity::Pairs) => par_for_pairs(&hierarchy, &ex.pairs, eps, jobs),
+        (GraphImpl::Indexed, Granularity::Sentences) => par_for_groups(
+            &hierarchy,
+            &ex.pairs,
+            &ex.sentence_groups(),
+            eps,
+            Granularity::Sentences,
+            jobs,
+        ),
+        (GraphImpl::Indexed, Granularity::Reviews) => par_for_groups(
+            &hierarchy,
+            &ex.pairs,
+            &ex.review_groups(),
+            eps,
+            Granularity::Reviews,
+            jobs,
+        ),
+        (GraphImpl::Naive, Granularity::Pairs) => {
+            CoverageGraph::for_pairs_naive(&hierarchy, &ex.pairs, eps)
+        }
+        (GraphImpl::Naive, Granularity::Sentences) => CoverageGraph::for_groups_naive(
             &hierarchy,
             &ex.pairs,
             &ex.sentence_groups(),
             eps,
             Granularity::Sentences,
         ),
-        Granularity::Reviews => CoverageGraph::for_groups(
+        (GraphImpl::Naive, Granularity::Reviews) => CoverageGraph::for_groups_naive(
             &hierarchy,
             &ex.pairs,
             &ex.review_groups(),

@@ -256,9 +256,58 @@ fn help_lists_observability_flags() {
         "--domain",
         "--jobs N",
         "METRICS:",
+        "--graph-impl indexed|naive",
+        "small|full|large",
     ] {
         assert!(text.contains(needle), "help is missing '{needle}':\n{text}");
     }
+}
+
+#[test]
+fn graph_impls_produce_byte_identical_stdout() {
+    // The indexed/parallel builder is a drop-in for the naive oracle:
+    // whole-corpus summaries must match byte-for-byte, for any --jobs.
+    let run = |graph_impl: &str, jobs: &str| {
+        let out = osars(&[
+            "summarize",
+            "--domain",
+            "phones",
+            "--scale",
+            "small",
+            "--item",
+            "all",
+            "--granularity",
+            "pairs",
+            "--graph-impl",
+            graph_impl,
+            "--jobs",
+            jobs,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let naive = run("naive", "1");
+    assert_eq!(naive, run("indexed", "1"), "indexed != naive");
+    assert_eq!(naive, run("indexed", "8"), "indexed(jobs=8) != naive");
+}
+
+#[test]
+fn unknown_graph_impl_is_rejected() {
+    let out = osars(&[
+        "summarize",
+        "--domain",
+        "phones",
+        "--scale",
+        "small",
+        "--graph-impl",
+        "quantum",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown graph impl"));
 }
 
 #[test]

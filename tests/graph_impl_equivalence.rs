@@ -1,0 +1,138 @@
+//! Property tests: the indexed (and sharded-parallel) §4.1 builders are
+//! *identical* — not just cost-equivalent — to the naive oracle builder
+//! on random multi-parent DAGs, and raw vs compressed-weighted instances
+//! agree on cost even with signed-zero / NaN-sanitized sentiments.
+
+use osars::core::{compress_pairs, CoverageGraph, Granularity, Pair};
+use osars::ontology::{Hierarchy, HierarchyBuilder, NodeId};
+use osars::runtime::{par_for_groups, par_for_pairs, par_for_weighted_pairs};
+use proptest::prelude::*;
+
+/// Random rooted DAG: node i > 0 gets a parent among nodes 0..i, plus an
+/// optional second parent (multi-parent closures are the hard case for
+/// the topological closure merge).
+fn arb_hierarchy(max_nodes: usize) -> impl Strategy<Value = Hierarchy> {
+    (2..=max_nodes)
+        .prop_flat_map(|n| {
+            let parents = (1..n)
+                .map(|i| (0..i, proptest::option::of(0..i)))
+                .collect::<Vec<_>>();
+            parents.prop_map(move |ps| {
+                let mut b = HierarchyBuilder::new();
+                for i in 0..n {
+                    b.add_node(&format!("n{i}"));
+                }
+                for (i, (p1, p2)) in ps.into_iter().enumerate() {
+                    let child = NodeId::from_index(i + 1);
+                    b.add_edge(NodeId::from_index(p1), child).unwrap();
+                    if let Some(p2) = p2 {
+                        if p2 != p1 {
+                            b.add_edge(NodeId::from_index(p2), child).unwrap();
+                        }
+                    }
+                }
+                b.build()
+                    .expect("random construction is a valid rooted DAG")
+            })
+        })
+        .no_shrink()
+}
+
+/// Pairs through `Pair::new` with boundary-rich sentiments: a 0.1 grid
+/// plus `-0.0` (sentiment code 21) and NaN (code 22), both of which the
+/// constructor sanitizes to `0.0`.
+fn arb_pairs(h: &Hierarchy, max_pairs: usize) -> impl Strategy<Value = Vec<Pair>> {
+    let n = h.node_count();
+    proptest::collection::vec(
+        (0..n, 0u8..=22).prop_map(|(c, code)| {
+            let s = match code {
+                21 => -0.0,
+                22 => f64::NAN,
+                lv => (f64::from(lv) - 10.0) / 10.0,
+            };
+            Pair::new(NodeId::from_index(c), s)
+        }),
+        1..=max_pairs,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn indexed_and_parallel_pairs_graphs_equal_naive(
+        (h, pairs, eps) in arb_hierarchy(14).prop_flat_map(|h| {
+            let pairs = arb_pairs(&h, 24);
+            (Just(h), pairs, (0u8..=10).prop_map(|e| f64::from(e) / 10.0))
+        })
+    ) {
+        let naive = CoverageGraph::for_pairs_naive(&h, &pairs, eps);
+        prop_assert_eq!(&CoverageGraph::for_pairs(&h, &pairs, eps), &naive);
+        // jobs=3 exercises uneven chunking (the small instance stays
+        // sequential inside par_build, which is itself part of the
+        // contract: the threshold must not change the result).
+        prop_assert_eq!(&par_for_pairs(&h, &pairs, eps, 3), &naive);
+    }
+
+    #[test]
+    fn indexed_and_parallel_group_graphs_equal_naive(
+        (h, pairs) in arb_hierarchy(12).prop_flat_map(|h| {
+            let pairs = arb_pairs(&h, 18);
+            (Just(h), pairs)
+        })
+    ) {
+        let eps = 0.3;
+        let groups: Vec<Vec<usize>> = (0..pairs.len())
+            .collect::<Vec<_>>()
+            .chunks(4)
+            .map(<[usize]>::to_vec)
+            .collect();
+        for gran in [Granularity::Sentences, Granularity::Reviews] {
+            let naive = CoverageGraph::for_groups_naive(&h, &pairs, &groups, eps, gran);
+            prop_assert_eq!(
+                &CoverageGraph::for_groups(&h, &pairs, &groups, eps, gran),
+                &naive
+            );
+            prop_assert_eq!(&par_for_groups(&h, &pairs, &groups, eps, gran, 3), &naive);
+        }
+    }
+
+    #[test]
+    fn weighted_builders_agree_and_match_raw_costs(
+        (h, pairs) in arb_hierarchy(12).prop_flat_map(|h| {
+            let pairs = arb_pairs(&h, 20);
+            (Just(h), pairs)
+        })
+    ) {
+        let eps = 0.5;
+        let (unique, weights) = compress_pairs(&pairs);
+        let naive = CoverageGraph::for_weighted_pairs_naive(&h, &unique, &weights, eps);
+        prop_assert_eq!(
+            &CoverageGraph::for_weighted_pairs(&h, &unique, &weights, eps),
+            &naive
+        );
+        prop_assert_eq!(&par_for_weighted_pairs(&h, &unique, &weights, eps, 3), &naive);
+
+        // Raw-vs-weighted cost agreement: any selection of distinct pairs
+        // costs the same as selecting all their duplicates in the raw
+        // instance — incl. pairs whose sentiment was sanitized from -0.0
+        // or NaN by `Pair::new` (equal bits → one compressed pair).
+        let raw = CoverageGraph::for_pairs(&h, &pairs, eps);
+        let to_raw: Vec<Vec<usize>> = unique
+            .iter()
+            .map(|u| {
+                (0..pairs.len())
+                    .filter(|&i| {
+                        pairs[i].concept == u.concept
+                            && pairs[i].sentiment.to_bits() == u.sentiment.to_bits()
+                    })
+                    .collect()
+            })
+            .collect();
+        for sel_w in [vec![], vec![0], (0..unique.len()).collect::<Vec<_>>()] {
+            let sel_raw: Vec<usize> =
+                sel_w.iter().flat_map(|&u| to_raw[u].iter().copied()).collect();
+            prop_assert_eq!(naive.cost_of(&sel_w), raw.cost_of(&sel_raw));
+        }
+    }
+}
