@@ -206,7 +206,16 @@ impl GraphBuildPlan {
                 }
             }
         };
-        each_member(&mut |_, p| bucket_off[p.concept.index() + 1] += 1);
+        each_member(&mut |_, p| {
+            // Matches the target-side assert in `shard`: a literal
+            // `Pair` with NaN (bypassing `Pair::new`) must fail loudly
+            // rather than land unwindowable in a sorted bucket.
+            assert!(
+                !p.sentiment.is_nan(),
+                "NaN sentiments must be sanitized by Pair::new before building"
+            );
+            bucket_off[p.concept.index() + 1] += 1;
+        });
         for i in 0..n_nodes {
             bucket_off[i + 1] += bucket_off[i];
         }
@@ -278,7 +287,11 @@ impl GraphBuildPlan {
         let start = range.start;
         for qi in range {
             let q = pairs[qi];
-            debug_assert!(
+            // Real assert, not debug: `Pair.sentiment` is a pub field, so
+            // a literal-constructed NaN can bypass `Pair::new`'s
+            // sanitization, and a NaN here would silently corrupt the
+            // sorted-bucket windows in release builds.
+            assert!(
                 !q.sentiment.is_nan(),
                 "NaN sentiments must be sanitized by Pair::new before building"
             );
@@ -925,6 +938,24 @@ mod tests {
             let merged = CoverageGraph::assemble(&plan, Granularity::Pairs, None, &[s1, s2]);
             assert_eq!(whole, merged, "cut={cut}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "sanitized by Pair::new")]
+    fn literal_nan_pair_is_rejected_in_release_too() {
+        // `Pair.sentiment` is pub, so literal construction can bypass the
+        // constructor's NaN sanitization; the build must fail loudly
+        // (real assert, not debug_assert) instead of producing a graph
+        // with corrupt sorted buckets.
+        let (h, _r, a, _b, _c) = tree();
+        let pairs = vec![
+            Pair::new(a, 0.5),
+            Pair {
+                concept: a,
+                sentiment: f64::NAN,
+            },
+        ];
+        let _ = CoverageGraph::for_pairs(&h, &pairs, 0.5);
     }
 
     #[test]

@@ -119,8 +119,13 @@ fn par_build(
     let plan = GraphBuildPlan::new(h, pairs, groups, eps);
     // More chunks than workers smooths out skew (deep concepts, wide
     // windows) without hurting determinism: assembly is by range order.
-    let chunks = (jobs * 4).min(n);
-    let per = n.div_ceil(chunks);
+    // Re-deriving `chunks` from the rounded-up `per` is load-bearing:
+    // keeping the original count would leave trailing chunks whose
+    // `c * per` start lies past `n` (e.g. n=1024, jobs=11 → 44 chunks of
+    // 24 cover only 43 chunks' worth), and such degenerate shards fail
+    // `assemble`'s tiling check.
+    let per = n.div_ceil((jobs * 4).min(n));
+    let chunks = n.div_ceil(per);
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<GraphShard>> = (0..chunks).map(|_| None).collect();
     std::thread::scope(|s| {
@@ -862,9 +867,24 @@ mod tests {
 
     #[test]
     fn par_for_pairs_matches_naive_for_any_jobs() {
+        // The full 1..=32 sweep covers degenerate chunk geometries where
+        // `chunks * per` overshoots `n` (regression: jobs=11 on 1155
+        // pairs used to produce an empty shard starting past `n` and
+        // panic in `assemble`).
         let (h, pairs) = par_fixture(PAR_BUILD_MIN_PAIRS + 131);
         let naive = CoverageGraph::for_pairs_naive(&h, &pairs, 0.25);
-        for jobs in [1, 2, 3, 8] {
+        for jobs in 1..=32 {
+            assert_eq!(par_for_pairs(&h, &pairs, 0.25, jobs), naive, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_build_handles_degenerate_chunk_geometry_at_threshold() {
+        // Exactly PAR_BUILD_MIN_PAIRS pairs with the jobs values whose
+        // naive `(jobs*4, div_ceil)` split overshoots n=1024.
+        let (h, pairs) = par_fixture(PAR_BUILD_MIN_PAIRS);
+        let naive = CoverageGraph::for_pairs_naive(&h, &pairs, 0.25);
+        for jobs in [11, 12, 14, 15, 17, 18, 19, 20] {
             assert_eq!(par_for_pairs(&h, &pairs, 0.25, jobs), naive, "jobs={jobs}");
         }
     }
@@ -874,7 +894,7 @@ mod tests {
         let (h, pairs) = par_fixture(PAR_BUILD_MIN_PAIRS + 7);
         let (unique, weights) = osa_core::compress_pairs(&pairs);
         let naive = CoverageGraph::for_weighted_pairs_naive(&h, &unique, &weights, 0.5);
-        for jobs in [1, 3, 8] {
+        for jobs in [1, 3, 8, 11, 13, 17] {
             assert_eq!(
                 par_for_weighted_pairs(&h, &unique, &weights, 0.5, jobs),
                 naive,
@@ -896,7 +916,7 @@ mod tests {
                 });
         for gran in [Granularity::Sentences, Granularity::Reviews] {
             let naive = CoverageGraph::for_groups_naive(&h, &pairs, &groups, 0.3, gran);
-            for jobs in [1, 2, 8] {
+            for jobs in [1, 2, 8, 11, 19] {
                 assert_eq!(
                     par_for_groups(&h, &pairs, &groups, 0.3, gran, jobs),
                     naive,
