@@ -16,8 +16,9 @@ fn bench_baselines(c: &mut Criterion) {
         .sentences
         .iter()
         .take(150)
-        .map(|s| SentenceRecord {
-            tokens: s.tokens.clone(),
+        .enumerate()
+        .map(|(si, s)| SentenceRecord {
+            tokens: ex.sentence_tokens(si),
             pairs: s.pair_indices.iter().map(|&pi| ex.pairs[pi]).collect(),
         })
         .collect();

@@ -728,16 +728,24 @@ impl CoverageGraph {
 
     /// Per-pair serving distances for a selection (used by metrics).
     pub fn serving_distances(&self, selected: &[usize]) -> Vec<u32> {
-        let mut best = self.root_dist.clone();
+        let mut best = Vec::new();
+        self.serving_distances_into(selected, &mut best);
+        best
+    }
+
+    /// [`serving_distances`](Self::serving_distances) into a caller-owned
+    /// buffer, so sweeps that probe many selections allocate nothing.
+    pub fn serving_distances_into(&self, selected: &[usize], out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(&self.root_dist);
         for &u in selected {
             for &(q, d) in &self.cand_edges[u] {
-                let b = &mut best[q as usize];
+                let b = &mut out[q as usize];
                 if d < *b {
                     *b = d;
                 }
             }
         }
-        best
     }
 }
 

@@ -34,45 +34,46 @@ impl Summarizer for LocalSearchSummarizer {
             in_summary[u] = true;
         }
 
+        // Probe buffers hoisted out of the sweep: `rest` and `base` are
+        // rebuilt once per out-slot, never per candidate probe.
+        let mut rest: Vec<usize> = Vec::with_capacity(k - 1);
+        let mut base: Vec<u32> = Vec::new();
         let mut moves = 0u64;
         for _ in 0..self.max_swaps {
             // Best single swap (out, in) over all pairs.
             let mut best: Option<(usize, usize, u64)> = None;
             for out_pos in 0..current.selected.len() {
-                // Cost with `out` removed, reused across all `in`
-                // candidates: serving distances of the remaining set.
-                let rest: Vec<usize> = current
-                    .selected
+                // Serving distances with `out` removed, shared by every
+                // `in` candidate probed against this slot.
+                rest.clear();
+                rest.extend(
+                    current
+                        .selected
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != out_pos)
+                        .map(|(_, &u)| u),
+                );
+                graph.serving_distances_into(&rest, &mut base);
+                let base_cost: u64 = base
                     .iter()
-                    .copied()
                     .enumerate()
-                    .filter(|&(i, _)| i != out_pos)
-                    .map(|(_, u)| u)
-                    .collect();
-                let base = graph.serving_distances(&rest);
+                    .map(|(q, &d)| u64::from(d) * graph.pair_weight(q))
+                    .sum();
                 for (cand, &selected_already) in in_summary.iter().enumerate() {
                     if selected_already {
                         continue;
                     }
-                    // Cost after adding `cand` to `rest`.
-                    let mut cost: u64 = 0;
-                    let mut edge_iter = graph.covered_by(cand).iter().peekable();
-                    for (q, &b) in base.iter().enumerate() {
-                        let mut d = b;
-                        while let Some(&&(eq, ed)) = edge_iter.peek() {
-                            match (eq as usize).cmp(&q) {
-                                std::cmp::Ordering::Less => {
-                                    edge_iter.next();
-                                }
-                                std::cmp::Ordering::Equal => {
-                                    d = d.min(ed);
-                                    edge_iter.next();
-                                    break;
-                                }
-                                std::cmp::Ordering::Greater => break,
-                            }
+                    // Cost after adding `cand` to `rest`: each covered
+                    // pair improves by (base - d) when the candidate's
+                    // edge is shorter. Edges are unique per pair, so the
+                    // integer deltas are exact.
+                    let mut cost = base_cost;
+                    for &(q, d) in graph.covered_by(cand) {
+                        let b = base[q as usize];
+                        if d < b {
+                            cost -= u64::from(b - d) * graph.pair_weight(q as usize);
                         }
-                        cost += u64::from(d) * graph.pair_weight(q);
                     }
                     if cost < current.cost && best.is_none_or(|(_, _, bc)| cost < bc) {
                         best = Some((out_pos, cand, cost));
@@ -177,6 +178,102 @@ mod tests {
                 .len(),
             g.num_candidates()
         );
+    }
+
+    /// The pre-optimization sweep, with every probe cost recomputed from
+    /// scratch via [`CoverageGraph::cost_of`]. Pins the hoisted-buffer
+    /// delta sweep to the obviously-correct implementation.
+    fn reference_summarize(graph: &CoverageGraph, k: usize, max_swaps: usize) -> Summary {
+        let n = graph.num_candidates();
+        let k = k.min(n);
+        let mut current = GreedySummarizer.summarize(graph, k);
+        if k == 0 || k == n {
+            return current;
+        }
+        let mut in_summary = vec![false; n];
+        for &u in &current.selected {
+            in_summary[u] = true;
+        }
+        for _ in 0..max_swaps {
+            let mut best: Option<(usize, usize, u64)> = None;
+            for out_pos in 0..current.selected.len() {
+                for (cand, &taken) in in_summary.iter().enumerate() {
+                    if taken {
+                        continue;
+                    }
+                    let mut probe: Vec<usize> = current
+                        .selected
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != out_pos)
+                        .map(|(_, &u)| u)
+                        .collect();
+                    probe.push(cand);
+                    let cost = graph.cost_of(&probe);
+                    if cost < current.cost && best.is_none_or(|(_, _, bc)| cost < bc) {
+                        best = Some((out_pos, cand, cost));
+                    }
+                }
+            }
+            let Some((out_pos, cand, cost)) = best else {
+                break;
+            };
+            in_summary[current.selected[out_pos]] = false;
+            in_summary[cand] = true;
+            current.selected[out_pos] = cand;
+            current.cost = cost;
+        }
+        current
+    }
+
+    #[test]
+    fn optimized_sweep_matches_the_reference_costs() {
+        let (h, pairs) = instance();
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        for k in 0..=6 {
+            let fast = LocalSearchSummarizer::default().summarize(&g, k);
+            let slow = reference_summarize(&g, k, 64);
+            assert_eq!(fast, slow, "k={k}");
+        }
+    }
+
+    #[test]
+    fn optimized_sweep_matches_the_reference_on_a_larger_instance() {
+        // A three-level hierarchy and an LCG-driven pair set large enough
+        // that greedy is not locally optimal and real swaps happen.
+        let mut bl = HierarchyBuilder::new();
+        let mut leaves = Vec::new();
+        for i in 0..6 {
+            let mid = format!("m{i}");
+            bl.add_edge_by_name("root", &mid).unwrap();
+            for j in 0..4 {
+                let leaf = format!("m{i}_l{j}");
+                bl.add_edge_by_name(&mid, &leaf).unwrap();
+                leaves.push(leaf);
+            }
+        }
+        let h = bl.build().unwrap();
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let pairs: Vec<Pair> = (0..40)
+            .map(|_| {
+                let leaf = &leaves[next() % leaves.len()];
+                let sentiment = (next() % 21) as f64 / 10.0 - 1.0;
+                Pair::new(h.node_by_name(leaf).unwrap(), sentiment)
+            })
+            .collect();
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.4);
+        for k in [2usize, 3, 5, 8] {
+            let fast = LocalSearchSummarizer::default().summarize(&g, k);
+            let slow = reference_summarize(&g, k, 64);
+            assert_eq!(fast, slow, "k={k}");
+            assert_eq!(fast.cost, g.cost_of(&fast.selected), "k={k}");
+        }
     }
 
     #[test]

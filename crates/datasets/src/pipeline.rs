@@ -5,8 +5,15 @@
 //! computed (lexicon scorer) and assigned to every concept mentioned in
 //! the sentence.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
 use osa_core::Pair;
-use osa_text::{split_sentences, tokenize, ConceptMatcher, SentimentLexicon, SentimentRegressor};
+use osa_ontology::Hierarchy;
+use osa_text::{
+    split_sentences, tokenize, ConceptMatcher, ExtractScratch, InternedExtractor, SentimentLexicon,
+    SentimentRegressor,
+};
 
 use crate::{Corpus, Item};
 
@@ -55,12 +62,15 @@ pub fn train_regressor(corpus: &Corpus, dim: usize, lambda: f64) -> SentimentReg
 }
 
 /// One extracted sentence.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtractedSentence {
     /// Original sentence text.
     pub text: String,
-    /// Lowercase tokens.
-    pub tokens: Vec<String>,
+    /// Lowercase tokens, as indices into [`ExtractedItem::tokens`] — the
+    /// item's token pool — rather than one owned `Vec<String>` per
+    /// sentence. Use [`ExtractedItem::sentence_tokens`] to materialize
+    /// strings when needed.
+    pub tokens: Vec<u32>,
     /// Indices into [`ExtractedItem::pairs`] of the pairs this sentence
     /// produced.
     pub pair_indices: Vec<usize>,
@@ -70,7 +80,7 @@ pub struct ExtractedSentence {
 
 /// All pairs of an item plus the sentence/review grouping the coverage
 /// problems need.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtractedItem {
     /// Every concept-sentiment pair of the item (the paper's `P`).
     pub pairs: Vec<Pair>,
@@ -78,6 +88,9 @@ pub struct ExtractedItem {
     pub sentences: Vec<ExtractedSentence>,
     /// Sentence indices per review (the k-Reviews grouping).
     pub reviews: Vec<Vec<usize>>,
+    /// The item's distinct token strings, in first-occurrence order over
+    /// the item's token stream; sentence tokens index into this pool.
+    pub tokens: Vec<String>,
 }
 
 impl ExtractedItem {
@@ -101,9 +114,28 @@ impl ExtractedItem {
             })
             .collect()
     }
+
+    /// The text behind a pooled token ID.
+    pub fn token(&self, id: u32) -> &str {
+        &self.tokens[id as usize]
+    }
+
+    /// Materialize sentence `si`'s tokens as owned strings.
+    pub fn sentence_tokens(&self, si: usize) -> Vec<String> {
+        self.sentences[si]
+            .tokens
+            .iter()
+            .map(|&id| self.tokens[id as usize].clone())
+            .collect()
+    }
 }
 
 /// Run the pipeline over one item's reviews with the lexicon scorer.
+///
+/// This is the naive reference implementation (per-token `String`
+/// allocation, trie walks, per-occurrence stemming); the production path
+/// is [`Extractor::extract`] with [`ExtractImpl::Interned`], which is
+/// byte-identical but index-backed.
 pub fn extract_item(
     item: &Item,
     matcher: &ConceptMatcher,
@@ -113,7 +145,8 @@ pub fn extract_item(
 }
 
 /// Run the pipeline over one item's reviews with an explicit sentiment
-/// model (lexicon or learned regressor).
+/// model (lexicon or learned regressor). Naive reference implementation —
+/// see [`extract_item`].
 pub fn extract_item_with(
     item: &Item,
     matcher: &ConceptMatcher,
@@ -122,6 +155,8 @@ pub fn extract_item_with(
     let mut pairs = Vec::new();
     let mut sentences = Vec::new();
     let mut reviews = Vec::with_capacity(item.reviews.len());
+    let mut pool: Vec<String> = Vec::new();
+    let mut pool_map: HashMap<String, u32> = HashMap::new();
 
     for review in &item.reviews {
         let mut sentence_ids = Vec::new();
@@ -134,10 +169,23 @@ pub fn extract_item_with(
                 pair_indices.push(pairs.len());
                 pairs.push(Pair::new(m.concept, sentiment));
             }
+            let mut token_ids = Vec::with_capacity(tokens.len());
+            for t in tokens {
+                let id = match pool_map.entry(t) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let id = pool.len() as u32;
+                        pool.push(e.key().clone());
+                        e.insert(id);
+                        id
+                    }
+                };
+                token_ids.push(id);
+            }
             sentence_ids.push(sentences.len());
             sentences.push(ExtractedSentence {
                 text,
-                tokens,
+                tokens: token_ids,
                 pair_indices,
                 sentiment,
             });
@@ -149,6 +197,160 @@ pub fn extract_item_with(
         pairs,
         sentences,
         reviews,
+        tokens: pool,
+    }
+}
+
+/// Which extraction implementation to run. Both produce byte-identical
+/// [`ExtractedItem`]s; `Naive` exists as the auditable oracle, mirroring
+/// the graph builder's `--graph-impl indexed|naive` switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExtractImpl {
+    /// Interned token IDs, Aho-Corasick concept automatons, memoized
+    /// stemming and dense lexicon tables (the default).
+    #[default]
+    Interned,
+    /// The original per-token `String` / trie-walk / HashMap pipeline.
+    Naive,
+}
+
+impl ExtractImpl {
+    /// Parse a CLI name (`"interned"` or `"naive"`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "interned" => Some(ExtractImpl::Interned),
+            "naive" => Some(ExtractImpl::Naive),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this implementation.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtractImpl::Interned => "interned",
+            ExtractImpl::Naive => "naive",
+        }
+    }
+}
+
+/// The extraction engine: owns the naive matcher/lexicon oracle and the
+/// precompiled interned engine, built once per hierarchy and shared
+/// read-only across workers.
+#[derive(Debug, Clone)]
+pub struct Extractor {
+    matcher: ConceptMatcher,
+    lexicon: SentimentLexicon,
+    interned: InternedExtractor,
+}
+
+impl Extractor {
+    /// Build both implementations from a hierarchy, with the default
+    /// sentiment lexicon.
+    pub fn from_hierarchy(h: &Hierarchy) -> Self {
+        let lexicon = SentimentLexicon::default();
+        Extractor {
+            matcher: ConceptMatcher::from_hierarchy(h),
+            interned: InternedExtractor::new(h, &lexicon),
+            lexicon,
+        }
+    }
+
+    /// The naive dictionary matcher.
+    pub fn matcher(&self) -> &ConceptMatcher {
+        &self.matcher
+    }
+
+    /// The sentiment lexicon both implementations score with.
+    pub fn lexicon(&self) -> &SentimentLexicon {
+        &self.lexicon
+    }
+
+    /// The precompiled interned engine.
+    pub fn interned(&self) -> &InternedExtractor {
+        &self.interned
+    }
+
+    /// Extract one item with the lexicon scorer, using the selected
+    /// implementation. `scratch` is reused across calls (per worker).
+    pub fn extract(
+        &self,
+        item: &Item,
+        which: ExtractImpl,
+        scratch: &mut ExtractScratch,
+    ) -> ExtractedItem {
+        match which {
+            ExtractImpl::Interned => self.extract_interned(item, None, scratch),
+            ExtractImpl::Naive => extract_item(item, &self.matcher, &self.lexicon),
+        }
+    }
+
+    /// Extract one item with an explicit sentiment model.
+    ///
+    /// The interned path scores `SentimentModel::Lexicon` through its
+    /// precompiled tables, which are built from this extractor's own
+    /// (default) lexicon — the only lexicon constructible today.
+    pub fn extract_with(
+        &self,
+        item: &Item,
+        model: &SentimentModel,
+        which: ExtractImpl,
+        scratch: &mut ExtractScratch,
+    ) -> ExtractedItem {
+        match which {
+            ExtractImpl::Interned => self.extract_interned(item, Some(model), scratch),
+            ExtractImpl::Naive => extract_item_with(item, &self.matcher, model),
+        }
+    }
+
+    fn extract_interned(
+        &self,
+        item: &Item,
+        model: Option<&SentimentModel>,
+        scratch: &mut ExtractScratch,
+    ) -> ExtractedItem {
+        let ie = &self.interned;
+        scratch.begin_item();
+        let mut pairs = Vec::new();
+        let mut sentences = Vec::new();
+        let mut reviews = Vec::with_capacity(item.reviews.len());
+        let mut pool: Vec<String> = Vec::new();
+
+        for review in &item.reviews {
+            let mut sentence_ids = Vec::new();
+            for text in split_sentences(&review.text) {
+                ie.tokenize_sentence(&text, scratch);
+                let sentiment = match model {
+                    None | Some(SentimentModel::Lexicon(_)) => ie.score(scratch),
+                    Some(SentimentModel::Regressor(r)) => {
+                        let s = &*scratch;
+                        r.predict_with(s.num_tokens(), |i| ie.token_str(s, s.token_id(i)))
+                    }
+                };
+                ie.find(scratch);
+                let mut pair_indices = Vec::with_capacity(scratch.mentions().len());
+                for m in scratch.mentions() {
+                    pair_indices.push(pairs.len());
+                    pairs.push(Pair::new(m.concept, sentiment));
+                }
+                let token_ids = ie.item_token_ids(scratch, &mut pool);
+                sentence_ids.push(sentences.len());
+                sentences.push(ExtractedSentence {
+                    text,
+                    tokens: token_ids,
+                    pair_indices,
+                    sentiment,
+                });
+            }
+            reviews.push(sentence_ids);
+        }
+        scratch.finish_item();
+
+        ExtractedItem {
+            pairs,
+            sentences,
+            reviews,
+            tokens: pool,
+        }
     }
 }
 
@@ -272,6 +474,52 @@ mod tests {
             got_mean > 0.0,
             "{planted_mean} vs {got_mean}"
         );
+    }
+
+    #[test]
+    fn interned_extraction_matches_the_naive_oracle() {
+        let c = Corpus::phones(&small(), 33);
+        let d = Corpus::doctors(&small(), 34);
+        for corpus in [&c, &d] {
+            let ex = Extractor::from_hierarchy(&corpus.hierarchy);
+            let mut scratch = ExtractScratch::default();
+            for item in &corpus.items {
+                let fast = ex.extract(item, ExtractImpl::Interned, &mut scratch);
+                let slow = ex.extract(item, ExtractImpl::Naive, &mut scratch);
+                assert_eq!(fast, slow, "item {}", item.name);
+                for (a, b) in fast.sentences.iter().zip(&slow.sentences) {
+                    assert_eq!(a.sentiment.to_bits(), b.sentiment.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interned_regressor_extraction_matches_the_naive_oracle() {
+        let c = Corpus::phones(&small(), 35);
+        let model = SentimentModel::Regressor(train_regressor(&c, 64, 1.0));
+        let ex = Extractor::from_hierarchy(&c.hierarchy);
+        let mut scratch = ExtractScratch::default();
+        for item in &c.items {
+            let fast = ex.extract_with(item, &model, ExtractImpl::Interned, &mut scratch);
+            let slow = ex.extract_with(item, &model, ExtractImpl::Naive, &mut scratch);
+            assert_eq!(fast, slow, "item {}", item.name);
+            for (a, b) in fast.sentences.iter().zip(&slow.sentences) {
+                assert_eq!(a.sentiment.to_bits(), b.sentiment.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sentence_tokens_round_trip_through_the_pool() {
+        let c = Corpus::phones(&small(), 36);
+        let ex = Extractor::from_hierarchy(&c.hierarchy);
+        let mut scratch = ExtractScratch::default();
+        let item = &c.items[0];
+        let got = ex.extract(item, ExtractImpl::Interned, &mut scratch);
+        for (si, s) in got.sentences.iter().enumerate() {
+            assert_eq!(got.sentence_tokens(si), osa_text::tokenize(&s.text));
+        }
     }
 
     #[test]

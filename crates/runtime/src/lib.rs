@@ -31,10 +31,10 @@ use osa_core::{
     GreedySummarizer, IlpSummarizer, LazyGreedySummarizer, LocalSearchSummarizer, Pair,
     RandomizedRounding, Summarizer, Summary,
 };
-use osa_datasets::{extract_item, Corpus};
+use osa_datasets::{Corpus, ExtractImpl, Extractor};
 use osa_eval::{LatencyHistogram, Stopwatch};
 use osa_ontology::{Hierarchy, NodeId};
-use osa_text::{ConceptMatcher, SentimentLexicon};
+use osa_text::ExtractScratch;
 
 /// Upper bound on the resolved worker count: more threads than this only
 /// adds scheduler pressure, and an accidental huge `--jobs` (or
@@ -182,6 +182,8 @@ pub struct WorkerScratch {
     pub weight_buf: Vec<u64>,
     /// Dense dedup scratch reused by the indexed coverage-graph builds.
     pub graph_build: GraphBuildScratch,
+    /// Buffers and per-worker caches of the interned extraction path.
+    pub extract: ExtractScratch,
     compress_map: HashMap<(NodeId, u64), usize>,
 }
 
@@ -535,6 +537,9 @@ pub struct BatchOptions {
     pub corpus_seed: u64,
     /// Coverage-graph builder (indexed by default; naive as an oracle).
     pub graph_impl: GraphImpl,
+    /// Extraction implementation (interned by default; naive as an
+    /// oracle).
+    pub extract_impl: ExtractImpl,
 }
 
 impl Default for BatchOptions {
@@ -547,6 +552,7 @@ impl Default for BatchOptions {
             algorithm: BatchAlgorithm::Greedy,
             corpus_seed: 42,
             graph_impl: GraphImpl::Indexed,
+            extract_impl: ExtractImpl::Interned,
         }
     }
 }
@@ -581,8 +587,7 @@ pub struct ItemSummary {
 /// ([`WorkerScratch::compress_into`]) and solves the weighted instance —
 /// same cost, smaller graph.
 pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<ItemSummary> {
-    let matcher = ConceptMatcher::from_hierarchy(&corpus.hierarchy);
-    let lexicon = SentimentLexicon::default();
+    let extractor = Extractor::from_hierarchy(&corpus.hierarchy);
     let items: Vec<_> = corpus.indexed_items().collect();
     let solve_span = opts.algorithm.span_name();
     // Warm the shared ancestor-closure cache before fan-out so workers
@@ -597,7 +602,9 @@ pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<Ite
         .jobs(opts.jobs)
         .run(|scratch, _, &(idx, item)| {
             let obs = osa_obs::global();
-            let (ex, extract_us) = obs.time("extract", || extract_item(item, &matcher, &lexicon));
+            let (ex, extract_us) = obs.time("extract", || {
+                extractor.extract(item, opts.extract_impl, &mut scratch.extract)
+            });
             if opts.granularity == Granularity::Pairs {
                 // For effect only: stage the compressed pairs in the
                 // scratch buffers (the returned refs would borrow the

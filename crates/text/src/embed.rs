@@ -31,14 +31,24 @@ impl HashedBow {
 
     /// Embed a tokenized sentence into an L2-normalized vector.
     pub fn embed(&self, tokens: &[String]) -> Vec<f64> {
+        self.embed_with(tokens.len(), |i| tokens[i].as_str())
+    }
+
+    /// Embed a sentence given as `n` tokens behind an accessor, without
+    /// materializing a `Vec<String>`. The interned extraction path calls
+    /// this with an ID-resolving closure; the bigram feature is hashed by
+    /// streaming `left`, a space, `right` through FNV-1a, which produces
+    /// the same hash as the `"left right"` string [`embed`] used to
+    /// allocate — outputs are bit-identical across both entry points.
+    pub fn embed_with<'a>(&self, n: usize, token: impl Fn(usize) -> &'a str) -> Vec<f64> {
         let mut v = vec![0.0f64; self.dim];
-        for t in tokens {
-            self.bump(&mut v, t);
+        for i in 0..n {
+            self.bump_hash(&mut v, fnv1a(token(i).as_bytes()));
         }
         if self.use_bigrams {
-            for pair in tokens.windows(2) {
-                let joined = format!("{} {}", pair[0], pair[1]);
-                self.bump(&mut v, &joined);
+            for i in 1..n {
+                let h = fnv1a_update(fnv1a(token(i - 1).as_bytes()), b" ");
+                self.bump_hash(&mut v, fnv1a_update(h, token(i).as_bytes()));
             }
         }
         let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -50,8 +60,7 @@ impl HashedBow {
         v
     }
 
-    fn bump(&self, v: &mut [f64], feature: &str) {
-        let h = fnv1a(feature.as_bytes());
+    fn bump_hash(&self, v: &mut [f64], h: u64) {
         let bucket = (h % self.dim as u64) as usize;
         // An independent bit decides the sign, keeping hashed features
         // approximately unbiased.
@@ -62,7 +71,12 @@ impl HashedBow {
 
 /// FNV-1a 64-bit hash — tiny, fast, deterministic across runs.
 fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a_update(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continue an FNV-1a hash over more bytes (the hash is a plain left
+/// fold, so chunked updates equal one pass over the concatenation).
+fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -102,6 +116,33 @@ mod tests {
         let pos = e.embed(&toks("good camera"));
         let neg = e.embed(&toks("not good camera"));
         assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn streamed_bigram_hash_matches_joined_string() {
+        let e = HashedBow::new(64);
+        let tokens = toks("the camera is not very good at night 𝑨𝑩");
+        let got = e.embed(&tokens);
+        // Reference: the historical implementation hashed the allocated
+        // "left right" string per bigram.
+        let mut want = vec![0.0f64; 64];
+        for t in &tokens {
+            bump_ref(&mut want, t);
+        }
+        for pair in tokens.windows(2) {
+            bump_ref(&mut want, &format!("{} {}", pair[0], pair[1]));
+        }
+        let n = want.iter().map(|x| x * x).sum::<f64>().sqrt();
+        for x in &mut want {
+            *x /= n;
+        }
+        assert_eq!(got, want);
+
+        fn bump_ref(v: &mut [f64], feature: &str) {
+            let h = super::fnv1a(feature.as_bytes());
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[(h % 64) as usize] += sign;
+        }
     }
 
     #[test]

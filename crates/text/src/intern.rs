@@ -1,0 +1,106 @@
+//! Token interning: string → dense `u32` IDs.
+//!
+//! The interned extraction fast path resolves every token to a small
+//! integer once, then matches, stems and scores over integers. The
+//! interner keeps all token text in one contiguous arena (`String`) with
+//! `(start, end)` spans per ID, so [`resolve`](TokenInterner::resolve) is
+//! a bounds check and a slice — no per-token heap object survives the
+//! build.
+
+use std::collections::HashMap;
+
+/// A build-once, lookup-many string interner with dense `u32` IDs.
+///
+/// IDs are assigned in insertion order starting at 0; interning the same
+/// string twice returns the same ID.
+#[derive(Debug, Clone, Default)]
+pub struct TokenInterner {
+    map: HashMap<String, u32>,
+    arena: String,
+    spans: Vec<(u32, u32)>,
+}
+
+impl TokenInterner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its ID (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = self.spans.len() as u32;
+        let start = self.arena.len() as u32;
+        self.arena.push_str(s);
+        self.spans.push((start, self.arena.len() as u32));
+        self.map.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Look up the ID of `s` without inserting.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.map.get(s).copied()
+    }
+
+    /// The string behind an ID.
+    ///
+    /// # Panics
+    /// If `id` was not returned by this interner.
+    pub fn resolve(&self, id: u32) -> &str {
+        let (a, b) = self.spans[id as usize];
+        &self.arena[a as usize..b as usize]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut i = TokenInterner::new();
+        assert_eq!(i.intern("screen"), 0);
+        assert_eq!(i.intern("battery"), 1);
+        assert_eq!(i.intern("screen"), 0);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(0), "screen");
+        assert_eq!(i.resolve(1), "battery");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = TokenInterner::new();
+        assert!(i.get("ghost").is_none());
+        i.intern("real");
+        assert_eq!(i.get("real"), Some(0));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn non_bmp_round_trips() {
+        let mut i = TokenInterner::new();
+        let id = i.intern("𝑨𝑩");
+        assert_eq!(i.resolve(id), "𝑨𝑩");
+        assert_eq!(i.intern("𝑨𝑩"), id);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_key() {
+        let mut i = TokenInterner::new();
+        let id = i.intern("");
+        assert_eq!(i.resolve(id), "");
+        assert!(!i.is_empty());
+    }
+}

@@ -20,10 +20,10 @@ use std::collections::HashMap;
 use crate::stem::stem;
 
 /// How far back (in tokens) a valence shifter can act on an opinion word.
-const SHIFTER_WINDOW: usize = 3;
+pub(crate) const SHIFTER_WINDOW: usize = 3;
 /// Flipped polarity is also dampened: "not great" is mildly negative, not
 /// the mirror image of "great".
-const NEGATION_DAMP: f64 = 0.65;
+pub(crate) const NEGATION_DAMP: f64 = 0.65;
 
 /// Graded opinion lexicon entries: `(word, strength)` with strength in
 /// `[-1, 1]`. Strengths follow a 4-level scheme (±0.25 weak, ±0.5
@@ -350,10 +350,13 @@ impl Default for SentimentLexicon {
     fn default() -> Self {
         let words: HashMap<String, f64> = ENTRIES.iter().map(|&(w, s)| (w.to_owned(), s)).collect();
         // Secondary index by stem, so inflected forms ("impressively",
-        // "drained") still hit. Exact-form entries win on conflict.
+        // "drained") still hit. Exact-form entries win on conflict, and
+        // stem collisions between entries resolve in declaration order —
+        // iterating the `words` map here would tie the winner to per-map
+        // hash seeding instead.
         let mut stems: HashMap<String, f64> = HashMap::new();
-        for (w, s) in &words {
-            stems.entry(stem(w)).or_insert(*s);
+        for &(w, s) in ENTRIES {
+            stems.entry(stem(w)).or_insert(s);
         }
         SentimentLexicon {
             words,
@@ -435,6 +438,40 @@ impl SentimentLexicon {
     /// Convenience: tokenize and score a raw sentence.
     pub fn score_sentence(&self, sentence: &str) -> f64 {
         self.score_tokens(&crate::tokenize(sentence))
+    }
+
+    /// Exact-form entries sorted by word, for deterministic table builds
+    /// in the interned extractor.
+    pub(crate) fn words_sorted(&self) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> = self.words.iter().map(|(w, &s)| (w.as_str(), s)).collect();
+        v.sort_by_key(|&(w, _)| w);
+        v
+    }
+
+    /// Stem-index entries sorted by stem.
+    pub(crate) fn stems_sorted(&self) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> = self.stems.iter().map(|(w, &s)| (w.as_str(), s)).collect();
+        v.sort_by_key(|&(w, _)| w);
+        v
+    }
+
+    /// The negator word list, in declaration order.
+    pub(crate) fn negator_words(&self) -> &[&'static str] {
+        &self.negators
+    }
+
+    /// Intensifier entries sorted by word.
+    pub(crate) fn intensifiers_sorted(&self) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> = self.intensifiers.iter().map(|(&w, &b)| (w, b)).collect();
+        v.sort_by_key(|&(w, _)| w);
+        v
+    }
+
+    /// Downtoner entries sorted by word.
+    pub(crate) fn downtoners_sorted(&self) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> = self.downtoners.iter().map(|(&w, &d)| (w, d)).collect();
+        v.sort_by_key(|&(w, _)| w);
+        v
     }
 }
 

@@ -39,8 +39,11 @@
 
 #![warn(missing_docs)]
 
+mod automaton;
 mod dp;
 mod embed;
+mod extract;
+mod intern;
 mod lexicon;
 mod matcher;
 mod porter;
@@ -51,8 +54,11 @@ mod stopwords;
 mod tokenize;
 mod trie;
 
+pub use automaton::IdAutomaton;
 pub use dp::{double_propagation, DpOptions, DpResult};
 pub use embed::HashedBow;
+pub use extract::{ExtractScratch, InternedExtractor};
+pub use intern::TokenInterner;
 pub use lexicon::SentimentLexicon;
 pub use matcher::{ConceptMatcher, ConceptMention};
 pub use porter::porter_stem;

@@ -107,8 +107,16 @@ impl SentimentRegressor {
 
     /// Predict the sentiment of a tokenized sentence, in `[-1, 1]`.
     pub fn predict_tokens(&self, tokens: &[String]) -> f64 {
+        self.predict_with(tokens.len(), |i| tokens[i].as_str())
+    }
+
+    /// Predict from `n` tokens behind an accessor — the interned
+    /// extraction path resolves token IDs to `&str` on the fly instead of
+    /// materializing a `Vec<String>`. Bit-identical to
+    /// [`predict_tokens`](Self::predict_tokens) on the same token text.
+    pub fn predict_with<'a>(&self, n: usize, token: impl Fn(usize) -> &'a str) -> f64 {
         self.model
-            .predict(&self.embedder.embed(tokens))
+            .predict(&self.embedder.embed_with(n, token))
             .clamp(-1.0, 1.0)
     }
 

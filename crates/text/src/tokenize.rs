@@ -4,24 +4,41 @@
 /// alphanumeric characters, apostrophes-in-words ("don't") or hyphens-in-
 /// words ("x-ray"); everything else is a separator. Numbers are kept.
 pub fn tokenize(text: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut cur = String::new();
-    let chars: Vec<char> = text.chars().collect();
-    for (i, &ch) in chars.iter().enumerate() {
+    let mut buf = String::new();
+    let mut spans = Vec::new();
+    tokenize_into(text, &mut buf, &mut spans);
+    spans
+        .iter()
+        .map(|&(a, b)| buf[a as usize..b as usize].to_owned())
+        .collect()
+}
+
+/// Allocation-reusing tokenizer core: lowercased token text is appended to
+/// `buf` and each token is recorded as a `(start, end)` byte span into it.
+/// Both buffers are cleared first. Token semantics are identical to
+/// [`tokenize`], which is a thin wrapper over this.
+pub(crate) fn tokenize_into(text: &str, buf: &mut String, spans: &mut Vec<(u32, u32)>) {
+    buf.clear();
+    spans.clear();
+    let mut tok_start: Option<u32> = None;
+    let mut it = text.chars().peekable();
+    while let Some(ch) = it.next() {
         let joiner = (ch == '\'' || ch == '-')
-            && !cur.is_empty()
-            && chars.get(i + 1).is_some_and(|c| c.is_alphanumeric());
+            && tok_start.is_some()
+            && it.peek().is_some_and(|c| c.is_alphanumeric());
         if ch.is_alphanumeric() || joiner {
-            cur.extend(ch.to_lowercase());
-        } else if !cur.is_empty() {
-            out.push(std::mem::take(&mut cur));
+            if tok_start.is_none() {
+                tok_start = Some(buf.len() as u32);
+            }
+            buf.extend(ch.to_lowercase());
+        } else if let Some(start) = tok_start.take() {
+            spans.push((start, buf.len() as u32));
         }
     }
-    if !cur.is_empty() {
-        out.push(cur);
+    if let Some(start) = tok_start {
+        spans.push((start, buf.len() as u32));
     }
-    osa_obs::global().add("text.tokens", out.len() as u64);
-    out
+    osa_obs::global().add("text.tokens", spans.len() as u64);
 }
 
 /// Abbreviations whose trailing period does not end a sentence.

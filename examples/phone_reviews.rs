@@ -34,8 +34,9 @@ fn main() {
     let records: Vec<SentenceRecord> = ex
         .sentences
         .iter()
-        .map(|s| SentenceRecord {
-            tokens: s.tokens.clone(),
+        .enumerate()
+        .map(|(si, s)| SentenceRecord {
+            tokens: ex.sentence_tokens(si),
             pairs: s.pair_indices.iter().map(|&pi| ex.pairs[pi]).collect(),
         })
         .collect();

@@ -7,10 +7,10 @@
 //! osars summarize     (--corpus FILE | --domain D) [--item I] [--k K] [--eps E]
 //!                     [--granularity pairs|sentences|reviews]
 //!                     [--algorithm greedy|lazy|ilp|rr|local-search]
-//!                     [--graph-impl indexed|naive] [--jobs N]
-//!                     [--metrics FILE] [--trace]
+//!                     [--graph-impl indexed|naive] [--extract-impl interned|naive]
+//!                     [--jobs N] [--metrics FILE] [--trace]
 //! osars evaluate      (--corpus FILE | --domain D) [--k K] [--eps E] [--items N]
-//!                     [--metrics FILE] [--trace]
+//!                     [--extract-impl interned|naive] [--metrics FILE] [--trace]
 //! osars check-metrics --metrics FILE
 //! ```
 //!
@@ -33,14 +33,15 @@ use osars::core::{
     LazyGreedySummarizer, LocalSearchSummarizer, Pair, RandomizedRounding, Summarizer,
 };
 use osars::datasets::{
-    extract_item, load_corpus, save_corpus, table1_stats, Corpus, CorpusConfig, ExtractedItem,
+    load_corpus, save_corpus, table1_stats, Corpus, CorpusConfig, ExtractImpl, ExtractedItem,
+    Extractor,
 };
 use osars::eval::{sent_err, sent_err_penalized};
 use osars::obs::{JsonlSink, Sink, StderrSink, TeeSink};
 use osars::runtime::{
     par_for_groups, par_for_pairs, summarize_corpus, BatchAlgorithm, BatchJob, BatchOptions,
 };
-use osars::text::{ConceptMatcher, SentimentLexicon};
+use osars::text::ExtractScratch;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,17 +88,18 @@ USAGE:
                       [--item I|all] [--k K] [--eps E]
                       [--granularity pairs|sentences|reviews]
                       [--algorithm greedy|lazy|ilp|rr|local-search]
-                      [--graph-impl indexed|naive]
+                      [--graph-impl indexed|naive] [--extract-impl interned|naive]
                       [--focus CONCEPT] [--explain true] [--jobs N]
                       [--metrics FILE] [--trace]
   osars evaluate      (--corpus FILE | --domain D [--scale S] [--seed N])
                       [--k K] [--eps E] [--items N] [--jobs N]
+                      [--extract-impl interned|naive]
                       [--metrics FILE] [--trace]
   osars check-metrics --metrics FILE
 
 DEFAULTS: --scale small --seed 42 --item 0 --k 5 --eps 0.5
           --granularity sentences --algorithm greedy --items 5 --jobs 1
-          --graph-impl indexed
+          --graph-impl indexed --extract-impl interned
 FOCUS:    restricts the summary to one concept's subtree
           (e.g. --focus battery on a phone corpus)
 JOBS:     --item all batches every item over N worker threads (0 = all
@@ -107,6 +109,10 @@ GRAPH:    --graph-impl selects the Section 4.1 coverage-graph builder:
           'indexed' (ancestor-closure index + sorted sentiment windows,
           parallel over --jobs) or 'naive' (the slow oracle); both yield
           byte-identical output
+EXTRACT:  --extract-impl selects the opinion-extraction hot path:
+          'interned' (token interner + Aho–Corasick concept automaton +
+          memoized stem cache) or 'naive' (the per-position trie walk
+          kept as the oracle); both yield byte-identical output
 METRICS:  --metrics FILE streams per-stage span events plus a final
           counter/gauge/histogram snapshot as JSON lines to FILE
           (validate with `osars check-metrics --metrics FILE`);
@@ -289,16 +295,16 @@ fn build_corpus(domain: &str, scale: &str, seed: u64) -> Result<Corpus, String> 
     })
 }
 
-fn extract(corpus: &Corpus, item: usize) -> Result<ExtractedItem, String> {
+fn extract(corpus: &Corpus, item: usize, which: ExtractImpl) -> Result<ExtractedItem, String> {
     let item = corpus.items.get(item).ok_or_else(|| {
         format!(
             "item {item} out of range (corpus has {})",
             corpus.items.len()
         )
     })?;
-    let matcher = ConceptMatcher::from_hierarchy(&corpus.hierarchy);
-    let lexicon = SentimentLexicon::default();
-    Ok(extract_item(item, &matcher, &lexicon))
+    let extractor = Extractor::from_hierarchy(&corpus.hierarchy);
+    let mut scratch = ExtractScratch::default();
+    Ok(extractor.extract(item, which, &mut scratch))
 }
 
 fn algorithm(name: &str) -> Result<Box<dyn Summarizer>, String> {
@@ -361,6 +367,15 @@ fn parse_graph_impl(flags: &HashMap<String, String>) -> Result<GraphImpl, String
     }
 }
 
+fn parse_extract_impl(flags: &HashMap<String, String>) -> Result<ExtractImpl, String> {
+    match flag(flags, "extract-impl") {
+        None => Ok(ExtractImpl::default()),
+        Some(name) => {
+            ExtractImpl::from_name(name).ok_or_else(|| format!("unknown extract impl '{name}'"))
+        }
+    }
+}
+
 /// `--item all`: batch-summarize the whole corpus on a worker pool.
 /// Summaries go to stdout (byte-identical for any `--jobs`), throughput
 /// and latency stats to stderr (inherently run-dependent).
@@ -378,6 +393,7 @@ fn cmd_summarize_batch(corpus: &Corpus, flags: &HashMap<String, String>) -> Resu
             .ok_or_else(|| format!("unknown algorithm '{algorithm_name}'"))?,
         corpus_seed: parse_num(flags, "seed", 42)?,
         graph_impl: parse_graph_impl(flags)?,
+        extract_impl: parse_extract_impl(flags)?,
     };
     let report = summarize_corpus(corpus, &opts);
     for item in &report.results {
@@ -417,7 +433,8 @@ fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
     let alg = algorithm(algorithm_name)?;
     let obs = osars::obs::global();
 
-    let (extracted, _) = obs.time("extract", || extract(&corpus, item));
+    let extract_impl = parse_extract_impl(flags)?;
+    let (extracted, _) = obs.time("extract", || extract(&corpus, item, extract_impl));
     let mut ex = extracted?;
 
     // --focus CONCEPT: restrict to the concept's sub-hierarchy. Pairs on
@@ -551,8 +568,8 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     let items: usize = parse_num(flags, "items", 5)?;
     let items = items.min(corpus.items.len());
 
-    let matcher = ConceptMatcher::from_hierarchy(&corpus.hierarchy);
-    let lexicon = SentimentLexicon::default();
+    let extract_impl = parse_extract_impl(flags)?;
+    let extractor = Extractor::from_hierarchy(&corpus.hierarchy);
     let make_baselines = || -> Vec<Box<dyn SentenceSelector>> {
         vec![
             Box::new(MostPopular),
@@ -573,48 +590,54 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     // vectors come back in item order, so the aggregated totals are
     // independent of the thread count.
     let eval_items = &corpus.items[..items];
-    let report = BatchJob::new(eval_items).jobs(jobs).run(|_, _, item| {
-        let obs = osars::obs::global();
-        let baselines = make_baselines();
-        let (ex, _) = obs.time("extract", || extract_item(item, &matcher, &lexicon));
-        let records: Vec<SentenceRecord> = ex
-            .sentences
-            .iter()
-            .map(|s| SentenceRecord {
-                tokens: s.tokens.clone(),
-                pairs: s.pair_indices.iter().map(|&pi| ex.pairs[pi]).collect(),
-            })
-            .collect();
-        let (graph, _) = obs.time("graph.build", || {
-            CoverageGraph::for_groups(
-                &corpus.hierarchy,
-                &ex.pairs,
-                &ex.sentence_groups(),
-                eps,
-                Granularity::Sentences,
-            )
+    let report = BatchJob::new(eval_items)
+        .jobs(jobs)
+        .run(|scratch, _, item| {
+            let obs = osars::obs::global();
+            let baselines = make_baselines();
+            let (ex, _) = obs.time("extract", || {
+                extractor.extract(item, extract_impl, &mut scratch.extract)
+            });
+            let records: Vec<SentenceRecord> = ex
+                .sentences
+                .iter()
+                .enumerate()
+                .map(|(si, s)| SentenceRecord {
+                    tokens: ex.sentence_tokens(si),
+                    pairs: s.pair_indices.iter().map(|&pi| ex.pairs[pi]).collect(),
+                })
+                .collect();
+            let (graph, _) = obs.time("graph.build", || {
+                CoverageGraph::for_groups(
+                    &corpus.hierarchy,
+                    &ex.pairs,
+                    &ex.sentence_groups(),
+                    eps,
+                    Granularity::Sentences,
+                )
+            });
+            let pairs_of = |sel: &[usize]| -> Vec<Pair> {
+                sel.iter()
+                    .flat_map(|&si| ex.sentences[si].pair_indices.iter())
+                    .map(|&pi| ex.pairs[pi])
+                    .collect()
+            };
+            let score = |sel: &[usize]| -> (f64, f64) {
+                let f = pairs_of(sel);
+                (
+                    sent_err(&corpus.hierarchy, &ex.pairs, &f),
+                    sent_err_penalized(&corpus.hierarchy, &ex.pairs, &f),
+                )
+            };
+            let (greedy, _) = obs.time("solve.greedy", || GreedySummarizer.summarize(&graph, k));
+            let mut errs = vec![score(&greedy.selected)];
+            for b in &baselines {
+                let (sel, _) =
+                    obs.time(&format!("baseline.{}", b.name()), || b.select(&records, k));
+                errs.push(score(&sel));
+            }
+            errs
         });
-        let pairs_of = |sel: &[usize]| -> Vec<Pair> {
-            sel.iter()
-                .flat_map(|&si| ex.sentences[si].pair_indices.iter())
-                .map(|&pi| ex.pairs[pi])
-                .collect()
-        };
-        let score = |sel: &[usize]| -> (f64, f64) {
-            let f = pairs_of(sel);
-            (
-                sent_err(&corpus.hierarchy, &ex.pairs, &f),
-                sent_err_penalized(&corpus.hierarchy, &ex.pairs, &f),
-            )
-        };
-        let (greedy, _) = obs.time("solve.greedy", || GreedySummarizer.summarize(&graph, k));
-        let mut errs = vec![score(&greedy.selected)];
-        for b in &baselines {
-            let (sel, _) = obs.time(&format!("baseline.{}", b.name()), || b.select(&records, k));
-            errs.push(score(&sel));
-        }
-        errs
-    });
     for errs in &report.results {
         for (slot, &(e, p)) in errs.iter().enumerate() {
             totals[slot].1 += e;

@@ -257,6 +257,8 @@ fn help_lists_observability_flags() {
         "--jobs N",
         "METRICS:",
         "--graph-impl indexed|naive",
+        "--extract-impl interned|naive",
+        "EXTRACT:",
         "small|full|large",
     ] {
         assert!(text.contains(needle), "help is missing '{needle}':\n{text}");
@@ -293,6 +295,140 @@ fn graph_impls_produce_byte_identical_stdout() {
     let naive = run("naive", "1");
     assert_eq!(naive, run("indexed", "1"), "indexed != naive");
     assert_eq!(naive, run("indexed", "8"), "indexed(jobs=8) != naive");
+}
+
+#[test]
+fn extract_impls_produce_byte_identical_stdout() {
+    // The interned automaton pipeline is a drop-in for the naive
+    // trie-walk oracle on both summarize paths: whole-corpus batch
+    // summaries for any --jobs, and the single-item path.
+    let batch = |extract_impl: &str, jobs: &str| {
+        let out = osars(&[
+            "summarize",
+            "--domain",
+            "phones",
+            "--scale",
+            "small",
+            "--item",
+            "all",
+            "--extract-impl",
+            extract_impl,
+            "--jobs",
+            jobs,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let naive = batch("naive", "1");
+    assert_eq!(naive, batch("interned", "1"), "interned != naive");
+    assert_eq!(naive, batch("interned", "8"), "interned(jobs=8) != naive");
+
+    // The single-item path prints the solver's wall-clock µs on the
+    // header line; mask that (it varies run to run, for any impl) and
+    // require everything else — candidate counts, costs, sentences — to
+    // match exactly.
+    let single = |extract_impl: &str| {
+        let out = osars(&[
+            "summarize",
+            "--domain",
+            "doctors",
+            "--scale",
+            "small",
+            "--item",
+            "0",
+            "--extract-impl",
+            extract_impl,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        text.lines()
+            .map(|l| match (l.find(" in "), l.find("µs;")) {
+                (Some(a), Some(b)) if a < b => {
+                    format!("{} in _µs;{}", &l[..a], &l[b + "µs;".len()..])
+                }
+                _ => l.to_owned(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        single("naive"),
+        single("interned"),
+        "single-item interned != naive"
+    );
+}
+
+#[test]
+fn unknown_extract_impl_is_rejected() {
+    let out = osars(&[
+        "summarize",
+        "--domain",
+        "phones",
+        "--scale",
+        "small",
+        "--extract-impl",
+        "telepathic",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown extract impl"));
+}
+
+#[test]
+fn extract_counters_are_reported_and_jobs_invariant() {
+    // The interned engine's counters (intern table size, automaton
+    // states, stem-cache hits/misses) are pure functions of corpus +
+    // hierarchy, so their sums must not depend on --jobs.
+    let m1 = tmp_corpus("extract1_metrics.jsonl");
+    let m8 = tmp_corpus("extract8_metrics.jsonl");
+    for (jobs, path) in [("1", &m1), ("8", &m8)] {
+        let out = osars(&[
+            "summarize",
+            "--domain",
+            "phones",
+            "--scale",
+            "small",
+            "--item",
+            "all",
+            "--jobs",
+            jobs,
+            "--metrics",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let j1 = std::fs::read_to_string(&m1).unwrap();
+    let j8 = std::fs::read_to_string(&m8).unwrap();
+    for counter in [
+        "extract.intern.entries",
+        "extract.automaton.states",
+        "extract.stem_cache.hits",
+        "extract.stem_cache.misses",
+    ] {
+        let line_of = |jsonl: &str| {
+            jsonl
+                .lines()
+                .find(|l| {
+                    l.contains("\"t\":\"counter\"")
+                        && l.contains(&format!("\"name\":\"{counter}\""))
+                })
+                .map(str::to_owned)
+        };
+        let a = line_of(&j1);
+        assert!(a.is_some(), "no '{counter}' counter in:\n{j1}");
+        assert_eq!(a, line_of(&j8), "'{counter}' depends on --jobs");
+    }
 }
 
 #[test]

@@ -37,8 +37,7 @@ fn arb_hierarchy(max_nodes: usize) -> impl Strategy<Value = Hierarchy> {
 fn arb_pairs(h: &Hierarchy, max_pairs: usize) -> impl Strategy<Value = Vec<Pair>> {
     let n = h.node_count();
     proptest::collection::vec(
-        (0..n, -10i8..=10)
-            .prop_map(|(c, s)| Pair::new(NodeId::from_index(c), f64::from(s) / 10.0)),
+        (0..n, -10i8..=10).prop_map(|(c, s)| Pair::new(NodeId::from_index(c), f64::from(s) / 10.0)),
         1..=max_pairs,
     )
 }

@@ -82,8 +82,9 @@ fn greedy_beats_sentiment_agnostic_baseline_on_penalized_error() {
         let records: Vec<SentenceRecord> = ex
             .sentences
             .iter()
-            .map(|s| SentenceRecord {
-                tokens: s.tokens.clone(),
+            .enumerate()
+            .map(|(si, s)| SentenceRecord {
+                tokens: ex.sentence_tokens(si),
                 pairs: s.pair_indices.iter().map(|&pi| ex.pairs[pi]).collect(),
             })
             .collect();
