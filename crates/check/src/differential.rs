@@ -1,0 +1,576 @@
+//! The differential executor: every check that runs against a scenario.
+//!
+//! Checks come in two families. **Corpus checks** push a synthesized
+//! review corpus through the full pipeline (`osa_runtime::summarize_corpus`)
+//! across the `{graph-impl} × {extract-impl} × {jobs} × {summarizer}`
+//! cross product and byte-compare the rendered output, then assert the
+//! solver-relation invariants on the costs. **Synth checks** drive the
+//! graph builders and summarizers directly on sampled pair instances,
+//! where structural invariants (ε-monotone edge sets, permutation
+//! invariance) are expressible. Every check is a pure function of the
+//! scenario, so a failing `(seed, case, check)` triple reproduces
+//! anywhere.
+
+use osa_core::{
+    CoverageGraph, Granularity, GraphImpl, GreedySummarizer, IlpSummarizer, LazyGreedySummarizer,
+    LocalSearchSummarizer, Summarizer,
+};
+use osa_datasets::{Corpus, ExtractImpl};
+use osa_runtime::{
+    item_seed, par_for_groups, par_for_pairs, render_item_summary, summarize_corpus,
+    BatchAlgorithm, BatchOptions, BatchReport, Fault, FaultPlan, ItemSummary,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::scenario::{Scenario, ScenarioKind, SynthInstance};
+
+/// Worker counts every differential run is repeated at.
+pub const JOBS_MATRIX: [usize; 3] = [1, 3, 8];
+
+/// Largest candidate count the exact oracles (brute force / ILP) are
+/// asked to solve.
+pub const EXACT_MAX_CANDIDATES: usize = 14;
+
+/// Which scenarios a check applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// Full-pipeline checks on corpus scenarios.
+    Corpus,
+    /// Corpus checks that only run under `--faults`.
+    CorpusFaults,
+    /// Graph/solver-level checks on synthetic pair scenarios.
+    Synth,
+}
+
+/// One named invariant.
+pub struct Check {
+    /// Stable name — recorded in `check-case.json` and used by replay.
+    pub name: &'static str,
+    /// Scenario family the check applies to.
+    pub kind: CheckKind,
+    /// The check body: `Ok(())` or a failure description.
+    pub run: fn(&Scenario) -> Result<(), String>,
+}
+
+impl Check {
+    /// Does this check apply to `scenario` under the given fault mode?
+    pub fn applies(&self, scenario: &Scenario, faults: bool) -> bool {
+        match self.kind {
+            CheckKind::Corpus => matches!(scenario.kind, ScenarioKind::Corpus(_)),
+            CheckKind::CorpusFaults => faults && matches!(scenario.kind, ScenarioKind::Corpus(_)),
+            CheckKind::Synth => matches!(scenario.kind, ScenarioKind::Synth(_)),
+        }
+    }
+}
+
+/// Every check the harness knows, in execution order.
+pub static CHECKS: &[Check] = &[
+    Check {
+        name: "impl-matrix-bytes",
+        kind: CheckKind::Corpus,
+        run: chk_impl_matrix,
+    },
+    Check {
+        name: "summarizer-relations",
+        kind: CheckKind::Corpus,
+        run: chk_summarizer_relations,
+    },
+    Check {
+        name: "cost-monotone-in-k",
+        kind: CheckKind::Corpus,
+        run: chk_cost_monotone_k,
+    },
+    Check {
+        name: "fault-isolation",
+        kind: CheckKind::CorpusFaults,
+        run: chk_fault_isolation,
+    },
+    Check {
+        name: "graph-impl-equality",
+        kind: CheckKind::Synth,
+        run: chk_graph_impl_equality,
+    },
+    Check {
+        name: "eps-monotone-edges",
+        kind: CheckKind::Synth,
+        run: chk_eps_monotone_edges,
+    },
+    Check {
+        name: "pair-permutation-invariance",
+        kind: CheckKind::Synth,
+        run: chk_pair_permutation,
+    },
+    Check {
+        name: "synth-summarizer-invariants",
+        kind: CheckKind::Synth,
+        run: chk_synth_summarizers,
+    },
+];
+
+/// Look a check up by its stable name (for replay).
+pub fn check_by_name(name: &str) -> Option<&'static Check> {
+    CHECKS.iter().find(|c| c.name == name)
+}
+
+fn corpus_of(s: &Scenario) -> &Corpus {
+    match &s.kind {
+        ScenarioKind::Corpus(c) => c,
+        ScenarioKind::Synth(_) => unreachable!("corpus check on a synth scenario"),
+    }
+}
+
+fn synth_of(s: &Scenario) -> &SynthInstance {
+    match &s.kind {
+        ScenarioKind::Synth(inst) => inst,
+        ScenarioKind::Corpus(_) => unreachable!("synth check on a corpus scenario"),
+    }
+}
+
+fn base_opts(s: &Scenario) -> BatchOptions {
+    BatchOptions {
+        k: s.k,
+        eps: s.eps,
+        granularity: s.granularity,
+        corpus_seed: s.seed,
+        ..BatchOptions::default()
+    }
+}
+
+fn pipeline(c: &Corpus, opts: &BatchOptions) -> BatchReport<ItemSummary> {
+    osa_obs::global().add("check.pipeline.runs", 1);
+    summarize_corpus(c, opts)
+}
+
+/// The seeded fault plan a scenario's fault checks use.
+pub fn scenario_fault_plan(s: &Scenario) -> FaultPlan {
+    FaultPlan::with_seed(item_seed(s.seed, 0xFA17))
+}
+
+/// Byte-identical rendered output across the full
+/// `{graph} × {extract} × {jobs}` matrix, per deterministic summarizer.
+fn chk_impl_matrix(s: &Scenario) -> Result<(), String> {
+    let c = corpus_of(s);
+    for algorithm in [
+        BatchAlgorithm::Greedy,
+        BatchAlgorithm::LazyGreedy,
+        BatchAlgorithm::LocalSearch,
+    ] {
+        let mut reference: Option<(String, String)> = None;
+        for graph_impl in [GraphImpl::Indexed, GraphImpl::Naive] {
+            for extract_impl in [ExtractImpl::Interned, ExtractImpl::Naive] {
+                for jobs in JOBS_MATRIX {
+                    let combo = format!(
+                        "{algorithm:?}/{}/{}/jobs={jobs}",
+                        graph_impl.name(),
+                        extract_impl.name()
+                    );
+                    let rendered = pipeline(
+                        c,
+                        &BatchOptions {
+                            algorithm,
+                            jobs,
+                            graph_impl,
+                            extract_impl,
+                            ..base_opts(s)
+                        },
+                    )
+                    .render_items();
+                    match &reference {
+                        None => reference = Some((combo, rendered)),
+                        Some((ref_combo, ref_rendered)) => {
+                            if *ref_rendered != rendered {
+                                return Err(format!("output of {combo} diverges from {ref_combo}"));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lazy greedy matches eager greedy's cost; local search never does
+/// worse than greedy; the exact ILP (on small instances) lower-bounds
+/// all heuristics.
+fn chk_summarizer_relations(s: &Scenario) -> Result<(), String> {
+    let c = corpus_of(s);
+    let run = |algorithm| {
+        pipeline(
+            c,
+            &BatchOptions {
+                algorithm,
+                ..base_opts(s)
+            },
+        )
+    };
+    let greedy = run(BatchAlgorithm::Greedy);
+    let lazy = run(BatchAlgorithm::LazyGreedy);
+    let local = run(BatchAlgorithm::LocalSearch);
+    let small = greedy
+        .results
+        .iter()
+        .all(|r| r.num_candidates <= EXACT_MAX_CANDIDATES);
+    let exact = small.then(|| run(BatchAlgorithm::Ilp));
+    for (i, g) in greedy.results.iter().enumerate() {
+        let (gz, lz, lo) = (
+            g.summary.cost,
+            lazy.results[i].summary.cost,
+            local.results[i].summary.cost,
+        );
+        if lz != gz {
+            return Err(format!("item {i}: lazy cost {lz} != eager cost {gz}"));
+        }
+        if lo > gz {
+            return Err(format!("item {i}: local-search cost {lo} > greedy {gz}"));
+        }
+        if let Some(exact) = &exact {
+            let ez = exact.results[i].summary.cost;
+            if ez > gz || ez > lo {
+                return Err(format!(
+                    "item {i}: exact cost {ez} above a heuristic (greedy {gz}, local {lo})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// C(F, P) is non-increasing in the summary budget k.
+fn chk_cost_monotone_k(s: &Scenario) -> Result<(), String> {
+    let c = corpus_of(s);
+    for algorithm in [BatchAlgorithm::Greedy, BatchAlgorithm::LazyGreedy] {
+        let run = |k| {
+            pipeline(
+                c,
+                &BatchOptions {
+                    algorithm,
+                    k,
+                    ..base_opts(s)
+                },
+            )
+        };
+        let at_k = run(s.k);
+        let at_k1 = run(s.k + 1);
+        for (a, b) in at_k.results.iter().zip(&at_k1.results) {
+            if b.summary.cost > a.summary.cost {
+                return Err(format!(
+                    "item {} ({algorithm:?}): cost rose from {} at k={} to {} at k={}",
+                    a.item,
+                    a.summary.cost,
+                    s.k,
+                    b.summary.cost,
+                    s.k + 1
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Injected panics and corruptions are contained: the batch completes,
+/// failure accounting is jobs-invariant and exactly matches the plan,
+/// and every surviving item is byte-identical to the fault-free run.
+fn chk_fault_isolation(s: &Scenario) -> Result<(), String> {
+    let c = corpus_of(s);
+    let plan = scenario_fault_plan(s);
+    let clean = pipeline(c, &base_opts(s));
+    let mut reference: Option<BatchReport<ItemSummary>> = None;
+    for jobs in JOBS_MATRIX {
+        let faulted = pipeline(
+            c,
+            &BatchOptions {
+                jobs,
+                fault_plan: Some(plan),
+                retries: 1,
+                ..base_opts(s)
+            },
+        );
+        if let Some(base) = &reference {
+            if faulted.results != base.results
+                || faulted.failed != base.failed
+                || faulted.retried != base.retried
+            {
+                return Err(format!(
+                    "fault accounting at jobs={jobs} diverges from jobs={}",
+                    JOBS_MATRIX[0]
+                ));
+            }
+            continue;
+        }
+        // Survivors must match the fault-free run byte for byte.
+        for item in &faulted.results {
+            let counterpart = &clean.results[item.item];
+            if render_item_summary(item) != render_item_summary(counterpart) {
+                return Err(format!(
+                    "surviving item {} diverges from the fault-free run",
+                    item.item
+                ));
+            }
+        }
+        // The failed set is exactly the permanently faulted items:
+        // sticky panics, plus NaN corruptions on items that have pairs.
+        let predicted: Vec<usize> = (0..c.items.len())
+            .filter(|&i| match plan.fault_for(i) {
+                Fault::Panic { failing_attempts } => failing_attempts == u32::MAX,
+                Fault::NanSentiment { .. } => clean.results[i].num_pairs > 0,
+                _ => false,
+            })
+            .collect();
+        let failed: Vec<usize> = faulted.failed.iter().map(|f| f.item).collect();
+        if failed != predicted {
+            return Err(format!(
+                "failed items {failed:?} do not match the plan's permanent faults {predicted:?}"
+            ));
+        }
+        let transients = (0..c.items.len())
+            .filter(|&i| {
+                matches!(
+                    plan.fault_for(i),
+                    Fault::Panic {
+                        failing_attempts: 1
+                    }
+                )
+            })
+            .count() as u64;
+        if faulted.retried != transients {
+            return Err(format!(
+                "retried {} != {transients} transiently faulted items",
+                faulted.retried
+            ));
+        }
+        if faulted.results.len() + faulted.failed.len() != c.items.len() {
+            return Err("failed + surviving items do not cover the corpus".to_owned());
+        }
+        reference = Some(faulted);
+    }
+    Ok(())
+}
+
+/// Build the scenario's coverage graph with every implementation.
+fn build_all_impls(s: &Scenario) -> Vec<(String, CoverageGraph)> {
+    let inst = synth_of(s);
+    let h = &inst.hierarchy;
+    let pairs = &inst.pairs;
+    let mut graphs = Vec::new();
+    match s.granularity {
+        Granularity::Pairs => {
+            graphs.push((
+                "naive".to_owned(),
+                CoverageGraph::for_pairs_naive(h, pairs, s.eps),
+            ));
+            graphs.push((
+                "indexed".to_owned(),
+                CoverageGraph::for_pairs(h, pairs, s.eps),
+            ));
+            for jobs in JOBS_MATRIX {
+                graphs.push((
+                    format!("par(jobs={jobs})"),
+                    par_for_pairs(h, pairs, s.eps, jobs),
+                ));
+            }
+        }
+        Granularity::Sentences | Granularity::Reviews => {
+            let groups = if s.granularity == Granularity::Sentences {
+                &inst.sentence_groups
+            } else {
+                &inst.review_groups
+            };
+            graphs.push((
+                "naive".to_owned(),
+                CoverageGraph::for_groups_naive(h, pairs, groups, s.eps, s.granularity),
+            ));
+            graphs.push((
+                "indexed".to_owned(),
+                CoverageGraph::for_groups(h, pairs, groups, s.eps, s.granularity),
+            ));
+            for jobs in JOBS_MATRIX {
+                graphs.push((
+                    format!("par(jobs={jobs})"),
+                    par_for_groups(h, pairs, groups, s.eps, s.granularity, jobs),
+                ));
+            }
+        }
+    }
+    graphs
+}
+
+/// Naive, indexed, and parallel graph builds agree exactly.
+fn chk_graph_impl_equality(s: &Scenario) -> Result<(), String> {
+    let graphs = build_all_impls(s);
+    let (ref_name, reference) = &graphs[0];
+    for (name, g) in &graphs[1..] {
+        if g != reference {
+            return Err(format!("graph from {name} differs from {ref_name}"));
+        }
+    }
+    Ok(())
+}
+
+/// Growing ε only adds edges: every candidate's covered-pair set at ε is
+/// a subset of its set at a larger ε. Distances are non-increasing —
+/// at group granularity an edge's distance is the best over the group's
+/// member pairs, and a wider ε-window can only admit more members.
+fn chk_eps_monotone_edges(s: &Scenario) -> Result<(), String> {
+    let inst = synth_of(s);
+    let build = |eps: f64| match s.granularity {
+        Granularity::Pairs => CoverageGraph::for_pairs(&inst.hierarchy, &inst.pairs, eps),
+        g => CoverageGraph::for_groups(
+            &inst.hierarchy,
+            &inst.pairs,
+            if g == Granularity::Sentences {
+                &inst.sentence_groups
+            } else {
+                &inst.review_groups
+            },
+            eps,
+            g,
+        ),
+    };
+    let lo = build(s.eps);
+    let hi = build(s.eps + 0.25);
+    if lo.num_candidates() != hi.num_candidates() {
+        return Err("candidate count changed with ε".to_owned());
+    }
+    for u in 0..lo.num_candidates() {
+        let wide: std::collections::HashMap<u32, u32> = hi.covered_by(u).iter().copied().collect();
+        for &(q, d) in lo.covered_by(u) {
+            match wide.get(&q) {
+                Some(&dh) if dh <= d => {}
+                Some(&dh) => {
+                    return Err(format!(
+                        "candidate {u} pair {q}: distance rose {d} -> {dh} as ε grew"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "candidate {u} lost pair {q} when ε grew from {:.2} to {:.2}",
+                        s.eps,
+                        s.eps + 0.25
+                    ))
+                }
+            }
+        }
+        if hi.covered_by(u).len() < lo.covered_by(u).len() {
+            return Err(format!("candidate {u}'s edge set shrank as ε grew"));
+        }
+    }
+    Ok(())
+}
+
+/// Relabeling the pair order changes nothing *instance-level*:
+/// structural counts, the root-only cost, and (on small instances) the
+/// exact optimum are all invariant, and every greedy run stays lower-
+/// bounded by that optimum. Greedy's own cost is deliberately NOT
+/// asserted equal across permutations: its tie-break is by candidate
+/// index, so relabeling two gain-tied candidates can legitimately steer
+/// the heuristic to a different (equally greedy) summary — the soak
+/// found exactly that on a 66-node synth instance.
+fn chk_pair_permutation(s: &Scenario) -> Result<(), String> {
+    let inst = synth_of(s);
+    let h = &inst.hierarchy;
+    let base = CoverageGraph::for_pairs(h, &inst.pairs, s.eps);
+    let base_exact = (base.num_candidates() <= EXACT_MAX_CANDIDATES)
+        .then(|| osa_core::ExactBruteForce.summarize(&base, s.k).cost);
+    if let Some(exact) = base_exact {
+        let greedy = GreedySummarizer.summarize(&base, s.k).cost;
+        if greedy < exact {
+            return Err(format!(
+                "greedy cost {greedy} beat the exact optimum {exact}"
+            ));
+        }
+    }
+    let mut shuffled = inst.pairs.clone();
+    let mut rng = StdRng::seed_from_u64(item_seed(s.seed, 0x5117));
+    for i in (1..shuffled.len()).rev() {
+        shuffled.swap(i, rng.gen_range(0..=i));
+    }
+    let mut reversed = inst.pairs.clone();
+    reversed.reverse();
+    for (label, permuted) in [("reversed", &reversed), ("shuffled", &shuffled)] {
+        let g = CoverageGraph::for_pairs(h, permuted, s.eps);
+        if g.num_pairs() != base.num_pairs()
+            || g.num_candidates() != base.num_candidates()
+            || g.num_edges() != base.num_edges()
+        {
+            return Err(format!("{label} pair order changed the graph's shape"));
+        }
+        if g.root_cost() != base.root_cost() {
+            return Err(format!(
+                "{label} pair order changed root cost {} -> {}",
+                base.root_cost(),
+                g.root_cost()
+            ));
+        }
+        if let Some(exact) = base_exact {
+            let e = osa_core::ExactBruteForce.summarize(&g, s.k).cost;
+            if e != exact {
+                return Err(format!(
+                    "{label} pair order changed the exact optimum {exact} -> {e}"
+                ));
+            }
+            let greedy = GreedySummarizer.summarize(&g, s.k).cost;
+            if greedy < exact {
+                return Err(format!(
+                    "{label} greedy cost {greedy} beat the exact optimum {exact}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solver invariants directly on the synth graph: greedy's cost chain is
+/// non-increasing in k, lazy matches eager, local search improves on
+/// greedy, exact oracles lower-bound everything (brute force and the
+/// ILP agree when both run).
+fn chk_synth_summarizers(s: &Scenario) -> Result<(), String> {
+    let inst = synth_of(s);
+    let g = match s.granularity {
+        Granularity::Pairs => CoverageGraph::for_pairs(&inst.hierarchy, &inst.pairs, s.eps),
+        gran => CoverageGraph::for_groups(
+            &inst.hierarchy,
+            &inst.pairs,
+            if gran == Granularity::Sentences {
+                &inst.sentence_groups
+            } else {
+                &inst.review_groups
+            },
+            s.eps,
+            gran,
+        ),
+    };
+    let mut prev = None;
+    for k in 0..=s.k + 1 {
+        let cost = GreedySummarizer.summarize(&g, k).cost;
+        if let Some(p) = prev {
+            if cost > p {
+                return Err(format!("greedy cost rose from {p} to {cost} at k={k}"));
+            }
+        }
+        prev = Some(cost);
+    }
+    let greedy = GreedySummarizer.summarize(&g, s.k).cost;
+    let lazy = LazyGreedySummarizer.summarize(&g, s.k).cost;
+    if lazy != greedy {
+        return Err(format!("lazy cost {lazy} != eager cost {greedy}"));
+    }
+    let local = LocalSearchSummarizer::default().summarize(&g, s.k).cost;
+    if local > greedy {
+        return Err(format!("local-search cost {local} > greedy {greedy}"));
+    }
+    if g.num_candidates() <= EXACT_MAX_CANDIDATES {
+        let brute = osa_core::ExactBruteForce.summarize(&g, s.k).cost;
+        let ilp = IlpSummarizer.summarize(&g, s.k).cost;
+        if brute != ilp {
+            return Err(format!("brute-force optimum {brute} != ILP optimum {ilp}"));
+        }
+        if brute > local || brute > greedy {
+            return Err(format!(
+                "exact optimum {brute} above a heuristic (greedy {greedy}, local {local})"
+            ));
+        }
+    }
+    Ok(())
+}

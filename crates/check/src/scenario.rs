@@ -1,0 +1,395 @@
+//! Seeded scenario generation and (de)serialization.
+//!
+//! A [`Scenario`] is one self-contained differential-testing instance:
+//! either a synthesized review corpus (run through the full
+//! extract → graph → summarize pipeline) or a synthetic-ontology pair
+//! instance (run through the graph/solver layers directly), plus the
+//! config point (k, ε, granularity) it is checked at. Everything derives
+//! from `(run seed, case index)` via the same SplitMix64 mix the batch
+//! engine uses for per-item seeds, so a run is reproducible from its
+//! seed alone — and a scenario also serializes to JSON in full, so a
+//! shrunk failing case replays even after generator changes.
+
+use osa_core::{Granularity, Pair};
+use osa_datasets::{
+    corpus_from_json, corpus_to_json, sample_grouped_pairs, synthetic_ontology, Corpus,
+    CorpusConfig, SyntheticOntologyConfig,
+};
+use osa_json::Value;
+use osa_ontology::Hierarchy;
+use osa_runtime::item_seed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A synthetic-ontology instance: pairs sampled over a random DAG, with
+/// the sentence/review groupings the grouped granularities need.
+#[derive(Debug)]
+pub struct SynthInstance {
+    /// The random rooted DAG.
+    pub hierarchy: Hierarchy,
+    /// Sampled concept-sentiment pairs.
+    pub pairs: Vec<Pair>,
+    /// Pair-index partition into sentences.
+    pub sentence_groups: Vec<Vec<usize>>,
+    /// Pair-index partition into reviews.
+    pub review_groups: Vec<Vec<usize>>,
+}
+
+/// The payload of a scenario.
+#[derive(Debug)]
+pub enum ScenarioKind {
+    /// A synthesized review corpus — exercises the full pipeline.
+    Corpus(Corpus),
+    /// A direct pair instance — exercises graph builders and solvers.
+    Synth(SynthInstance),
+}
+
+/// One differential-testing instance.
+#[derive(Debug)]
+pub struct Scenario {
+    /// Case index within the run.
+    pub case: usize,
+    /// The case's derived seed (mixes the run seed and the case index).
+    pub seed: u64,
+    /// Summary size.
+    pub k: usize,
+    /// Sentiment threshold ε.
+    pub eps: f64,
+    /// Candidate granularity.
+    pub granularity: Granularity,
+    /// The instance data.
+    pub kind: ScenarioKind,
+}
+
+/// CLI spelling of a granularity.
+pub fn granularity_name(g: Granularity) -> &'static str {
+    match g {
+        Granularity::Pairs => "pairs",
+        Granularity::Sentences => "sentences",
+        Granularity::Reviews => "reviews",
+    }
+}
+
+/// Parse the CLI spelling of a granularity.
+pub fn granularity_from_name(name: &str) -> Option<Granularity> {
+    Some(match name {
+        "pairs" => Granularity::Pairs,
+        "sentences" => Granularity::Sentences,
+        "reviews" => Granularity::Reviews,
+        _ => return None,
+    })
+}
+
+impl Scenario {
+    /// Generate case `case` of the run seeded by `run_seed`.
+    ///
+    /// Scenario kinds cycle (doctors corpus, phones corpus, synthetic
+    /// instance) so every run covers all three; the remaining knobs are
+    /// drawn from the case seed.
+    pub fn generate(run_seed: u64, case: usize) -> Scenario {
+        let seed = item_seed(run_seed, case as u64);
+        let draw = |n: u64| item_seed(seed, n);
+        let k = 1 + (draw(1) % 6) as usize;
+        let eps = [0.25, 0.5, 0.75, 1.0][(draw(2) % 4) as usize];
+        let granularity = [
+            Granularity::Pairs,
+            Granularity::Sentences,
+            Granularity::Reviews,
+        ][(draw(3) % 3) as usize];
+        let kind = match case % 3 {
+            0 | 1 => {
+                let cfg = CorpusConfig {
+                    items: 2 + (draw(4) % 3) as usize,
+                    min_reviews: 2,
+                    max_reviews: 3 + (draw(5) % 3) as usize,
+                    mean_reviews: 2.5 + (draw(6) % 16) as f64 / 10.0,
+                    mean_sentences: 2.5 + (draw(7) % 16) as f64 / 10.0,
+                    aspect_sentence_prob: 0.7 + (draw(8) % 21) as f64 / 100.0,
+                };
+                let corpus = if case.is_multiple_of(3) {
+                    Corpus::doctors(&cfg, draw(9))
+                } else {
+                    Corpus::phones(&cfg, draw(9))
+                };
+                ScenarioKind::Corpus(corpus)
+            }
+            _ => {
+                let cfg = SyntheticOntologyConfig {
+                    nodes: 40 + (draw(4) % 81) as usize,
+                    levels: 3 + (draw(5) % 3) as usize,
+                    multi_parent_prob: 0.1 + (draw(6) % 21) as f64 / 100.0,
+                };
+                let hierarchy = synthetic_ontology(&cfg, draw(7));
+                let mut rng = StdRng::seed_from_u64(draw(8));
+                let n_pairs = 30 + (draw(9) % 91) as usize;
+                let clusters = 2 + (draw(10) % 3) as usize;
+                let (pairs, sentence_groups, review_groups) =
+                    sample_grouped_pairs(&hierarchy, n_pairs, clusters, 3, &mut rng);
+                ScenarioKind::Synth(SynthInstance {
+                    hierarchy,
+                    pairs,
+                    sentence_groups,
+                    review_groups,
+                })
+            }
+        };
+        Scenario {
+            case,
+            seed,
+            k,
+            eps,
+            granularity,
+            kind,
+        }
+    }
+
+    /// One-line description for the run report (fully deterministic).
+    pub fn describe(&self) -> String {
+        let what = match &self.kind {
+            ScenarioKind::Corpus(c) => format!(
+                "{} items={} reviews={}",
+                c.name,
+                c.items.len(),
+                c.total_reviews()
+            ),
+            ScenarioKind::Synth(s) => format!(
+                "synth nodes={} pairs={}",
+                s.hierarchy.node_count(),
+                s.pairs.len()
+            ),
+        };
+        format!(
+            "{what} k={} eps={:.2} {}",
+            self.k,
+            self.eps,
+            granularity_name(self.granularity)
+        )
+    }
+
+    /// Serialize to the replayable `check-case.json` document, tagged
+    /// with the check it failed.
+    pub fn to_case_value(&self, check: &str, faults: bool) -> Value {
+        let mut members = vec![
+            ("version".into(), Value::from(1usize)),
+            ("check".into(), Value::from(check)),
+            ("faults".into(), Value::from(faults)),
+            ("case".into(), Value::from(self.case)),
+            ("seed".into(), Value::Number(self.seed as f64)),
+            ("k".into(), Value::from(self.k)),
+            ("eps".into(), Value::from(self.eps)),
+            (
+                "granularity".into(),
+                Value::from(granularity_name(self.granularity)),
+            ),
+        ];
+        match &self.kind {
+            ScenarioKind::Corpus(c) => {
+                let corpus = osa_json::parse(&corpus_to_json(c)).expect("corpus JSON is valid");
+                members.push(("kind".into(), Value::from("corpus")));
+                members.push(("corpus".into(), corpus));
+            }
+            ScenarioKind::Synth(s) => {
+                let pairs = s
+                    .pairs
+                    .iter()
+                    .map(|p| {
+                        Value::Array(vec![
+                            Value::from(s.hierarchy.name(p.concept)),
+                            Value::from(p.sentiment),
+                        ])
+                    })
+                    .collect();
+                let groups = |gs: &[Vec<usize>]| {
+                    Value::Array(
+                        gs.iter()
+                            .map(|g| Value::Array(g.iter().map(|&i| Value::from(i)).collect()))
+                            .collect(),
+                    )
+                };
+                members.push(("kind".into(), Value::from("synth")));
+                members.push(("hierarchy".into(), osa_ontology::io::to_value(&s.hierarchy)));
+                members.push(("pairs".into(), Value::Array(pairs)));
+                members.push(("sentence_groups".into(), groups(&s.sentence_groups)));
+                members.push(("review_groups".into(), groups(&s.review_groups)));
+            }
+        }
+        Value::Object(members)
+    }
+
+    /// Parse a `check-case.json` document back into `(scenario, check
+    /// name, faults flag)`.
+    pub fn from_case_value(doc: &Value) -> Result<(Scenario, String, bool), String> {
+        let str_field = |name: &str| {
+            doc.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("case file: missing string '{name}'"))
+        };
+        let num_field = |name: &str| {
+            doc.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("case file: missing number '{name}'"))
+        };
+        let check = str_field("check")?;
+        let faults = matches!(doc.get("faults"), Some(Value::Bool(true)));
+        let case = num_field("case")? as usize;
+        let seed = num_field("seed")? as u64;
+        let k = num_field("k")? as usize;
+        let eps = num_field("eps")?;
+        let granularity = granularity_from_name(&str_field("granularity")?)
+            .ok_or_else(|| "case file: bad granularity".to_owned())?;
+        let kind = match str_field("kind")?.as_str() {
+            "corpus" => {
+                let corpus = doc
+                    .get("corpus")
+                    .ok_or_else(|| "case file: missing 'corpus'".to_owned())?;
+                ScenarioKind::Corpus(
+                    corpus_from_json(&osa_json::to_string(corpus)).map_err(|e| e.to_string())?,
+                )
+            }
+            "synth" => {
+                let hierarchy = osa_ontology::io::from_value(
+                    doc.get("hierarchy")
+                        .ok_or_else(|| "case file: missing 'hierarchy'".to_owned())?,
+                )
+                .map_err(|e| format!("case file: {e}"))?;
+                let pair_docs = doc
+                    .get("pairs")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| "case file: missing 'pairs'".to_owned())?;
+                let mut pairs = Vec::with_capacity(pair_docs.len());
+                for p in pair_docs {
+                    let (name, sentiment) = match p.as_array() {
+                        Some([n, s]) => (
+                            n.as_str()
+                                .ok_or("case file: pair concept must be a string")?,
+                            s.as_f64()
+                                .ok_or("case file: pair sentiment must be a number")?,
+                        ),
+                        _ => return Err("case file: pair must be [concept, sentiment]".into()),
+                    };
+                    let concept = hierarchy
+                        .node_by_name(name)
+                        .ok_or_else(|| format!("case file: unknown concept '{name}'"))?;
+                    pairs.push(Pair::new(concept, sentiment));
+                }
+                let groups = |field: &str| -> Result<Vec<Vec<usize>>, String> {
+                    doc.get(field)
+                        .and_then(Value::as_array)
+                        .ok_or_else(|| format!("case file: missing '{field}'"))?
+                        .iter()
+                        .map(|g| {
+                            g.as_array()
+                                .ok_or_else(|| format!("case file: '{field}' must hold arrays"))?
+                                .iter()
+                                .map(|i| {
+                                    i.as_u64().map(|x| x as usize).ok_or_else(|| {
+                                        format!("case file: '{field}' indices must be integers")
+                                    })
+                                })
+                                .collect()
+                        })
+                        .collect()
+                };
+                ScenarioKind::Synth(SynthInstance {
+                    hierarchy,
+                    pairs,
+                    sentence_groups: groups("sentence_groups")?,
+                    review_groups: groups("review_groups")?,
+                })
+            }
+            other => return Err(format!("case file: unknown kind '{other}'")),
+        };
+        Ok((
+            Scenario {
+                case,
+                seed,
+                k,
+                eps,
+                granularity,
+                kind,
+            },
+            check,
+            faults,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        for case in 0..6 {
+            let a = Scenario::generate(42, case);
+            let b = Scenario::generate(42, case);
+            assert_eq!(a.describe(), b.describe(), "case {case}");
+            assert_eq!(a.k, b.k);
+            assert_eq!(a.eps, b.eps);
+        }
+        // A different run seed reshuffles at least one case description.
+        assert!((0..6).any(|c| {
+            Scenario::generate(42, c).describe() != Scenario::generate(43, c).describe()
+        }));
+    }
+
+    #[test]
+    fn kinds_cycle_through_corpora_and_synth() {
+        assert!(matches!(
+            Scenario::generate(1, 0).kind,
+            ScenarioKind::Corpus(_)
+        ));
+        assert!(matches!(
+            Scenario::generate(1, 1).kind,
+            ScenarioKind::Corpus(_)
+        ));
+        assert!(matches!(
+            Scenario::generate(1, 2).kind,
+            ScenarioKind::Synth(_)
+        ));
+    }
+
+    #[test]
+    fn corpus_case_roundtrips_through_json() {
+        let s = Scenario::generate(7, 0);
+        let doc = s.to_case_value("impl-matrix-bytes", false);
+        let json = osa_json::to_string(&doc);
+        let (s2, check, faults) =
+            Scenario::from_case_value(&osa_json::parse(&json).unwrap()).unwrap();
+        assert_eq!(check, "impl-matrix-bytes");
+        assert!(!faults);
+        assert_eq!(s.describe(), s2.describe());
+        assert_eq!(s.k, s2.k);
+        assert_eq!(s.eps, s2.eps);
+        assert_eq!(s.granularity, s2.granularity);
+    }
+
+    #[test]
+    fn synth_case_roundtrips_through_json() {
+        let s = Scenario::generate(7, 2);
+        let doc = s.to_case_value("graph-impl-equality", true);
+        let (s2, check, faults) = Scenario::from_case_value(&doc).unwrap();
+        assert_eq!(check, "graph-impl-equality");
+        assert!(faults);
+        let (ScenarioKind::Synth(a), ScenarioKind::Synth(b)) = (&s.kind, &s2.kind) else {
+            panic!("expected synth scenarios");
+        };
+        assert_eq!(a.pairs.len(), b.pairs.len());
+        assert_eq!(a.sentence_groups, b.sentence_groups);
+        assert_eq!(a.review_groups, b.review_groups);
+        for (pa, pb) in a.pairs.iter().zip(&b.pairs) {
+            assert_eq!(a.hierarchy.name(pa.concept), b.hierarchy.name(pb.concept));
+            assert_eq!(pa.sentiment.to_bits(), pb.sentiment.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_case_files() {
+        assert!(Scenario::from_case_value(&osa_json::parse("{}").unwrap()).is_err());
+        let s = Scenario::generate(3, 2);
+        let doc = s.to_case_value("x", false);
+        let json = osa_json::to_string(&doc).replace("\"synth\"", "\"mystery\"");
+        assert!(Scenario::from_case_value(&osa_json::parse(&json).unwrap()).is_err());
+    }
+}

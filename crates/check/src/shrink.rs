@@ -1,0 +1,318 @@
+//! Scenario shrinking: bisect a failing scenario down to a minimal
+//! instance that still fails the same check.
+//!
+//! Corpus scenarios shrink by dropping whole items, then individual
+//! reviews (always keeping at least one of each); synth scenarios shrink
+//! ddmin-style over the pair list, with the sentence/review groupings
+//! re-derived after every removal. Each candidate mutation is kept only
+//! if the check still fails, so the result is guaranteed to reproduce
+//! the failure. The trial budget bounds worst-case work; the shrinker is
+//! best-effort minimal, not globally minimal.
+
+use crate::differential::Check;
+use crate::scenario::{Scenario, ScenarioKind, SynthInstance};
+
+/// Upper bound on shrink attempts (re-runs of the failing check).
+pub const MAX_SHRINK_TRIALS: usize = 400;
+
+/// Shrink `scenario` (which currently fails `check`) to a smaller
+/// scenario that still fails it. Returns the number of trials used.
+pub fn shrink_scenario(scenario: &mut Scenario, check: &Check) -> usize {
+    let mut trials = 0usize;
+    let obs = osa_obs::global();
+    let still_fails = |s: &Scenario| {
+        obs.add("check.shrink.trials", 1);
+        (check.run)(s).is_err()
+    };
+    match &scenario.kind {
+        ScenarioKind::Corpus(_) => loop {
+            let mut progressed = false;
+            // Pass 1: drop whole items.
+            let mut i = 0;
+            loop {
+                let len = corpus_items_len(scenario);
+                if len <= 1 || i >= len || trials >= MAX_SHRINK_TRIALS {
+                    break;
+                }
+                let removed = corpus_remove_item(scenario, i);
+                trials += 1;
+                if still_fails(scenario) {
+                    progressed = true;
+                } else {
+                    corpus_insert_item(scenario, i, removed);
+                    i += 1;
+                }
+            }
+            // Pass 2: drop individual reviews.
+            let mut item = 0;
+            while item < corpus_items_len(scenario) && trials < MAX_SHRINK_TRIALS {
+                let mut r = 0;
+                loop {
+                    let n_reviews = corpus_review_count(scenario, item);
+                    if n_reviews <= 1 || r >= n_reviews || trials >= MAX_SHRINK_TRIALS {
+                        break;
+                    }
+                    let removed = corpus_remove_review(scenario, item, r);
+                    trials += 1;
+                    if still_fails(scenario) {
+                        progressed = true;
+                    } else {
+                        corpus_insert_review(scenario, item, r, removed);
+                        r += 1;
+                    }
+                }
+                item += 1;
+            }
+            if !progressed || trials >= MAX_SHRINK_TRIALS {
+                break;
+            }
+        },
+        ScenarioKind::Synth(_) => {
+            // ddmin over the pair list: try dropping chunks, halving the
+            // chunk size as removals stop helping.
+            loop {
+                let n = synth_of(scenario).pairs.len();
+                if n <= 1 || trials >= MAX_SHRINK_TRIALS {
+                    break;
+                }
+                let mut chunk = n.div_ceil(2);
+                let mut progressed = false;
+                while chunk >= 1 && trials < MAX_SHRINK_TRIALS {
+                    let mut start = 0;
+                    while start < synth_of(scenario).pairs.len() && trials < MAX_SHRINK_TRIALS {
+                        let len = synth_of(scenario).pairs.len();
+                        if len <= 1 {
+                            break;
+                        }
+                        let take = chunk.min(len - start).min(len - 1);
+                        if take == 0 {
+                            break;
+                        }
+                        let candidate = drop_pair_range(synth_of(scenario), start, take);
+                        let saved = replace_synth(scenario, candidate);
+                        trials += 1;
+                        if still_fails(scenario) {
+                            progressed = true;
+                        } else {
+                            replace_synth(scenario, saved);
+                            start += take;
+                        }
+                    }
+                    if chunk == 1 {
+                        break;
+                    }
+                    chunk /= 2;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+    }
+    trials
+}
+
+fn corpus_items_len(s: &Scenario) -> usize {
+    match &s.kind {
+        ScenarioKind::Corpus(c) => c.items.len(),
+        ScenarioKind::Synth(_) => 0,
+    }
+}
+
+fn corpus_remove_item(s: &mut Scenario, i: usize) -> osa_datasets::Item {
+    match &mut s.kind {
+        ScenarioKind::Corpus(c) => c.items.remove(i),
+        ScenarioKind::Synth(_) => unreachable!(),
+    }
+}
+
+fn corpus_insert_item(s: &mut Scenario, i: usize, item: osa_datasets::Item) {
+    match &mut s.kind {
+        ScenarioKind::Corpus(c) => c.items.insert(i, item),
+        ScenarioKind::Synth(_) => unreachable!(),
+    }
+}
+
+fn corpus_review_count(s: &Scenario, item: usize) -> usize {
+    match &s.kind {
+        ScenarioKind::Corpus(c) => c.items[item].reviews.len(),
+        ScenarioKind::Synth(_) => 0,
+    }
+}
+
+fn corpus_remove_review(s: &mut Scenario, item: usize, r: usize) -> osa_datasets::Review {
+    match &mut s.kind {
+        ScenarioKind::Corpus(c) => c.items[item].reviews.remove(r),
+        ScenarioKind::Synth(_) => unreachable!(),
+    }
+}
+
+fn corpus_insert_review(s: &mut Scenario, item: usize, r: usize, review: osa_datasets::Review) {
+    match &mut s.kind {
+        ScenarioKind::Corpus(c) => c.items[item].reviews.insert(r, review),
+        ScenarioKind::Synth(_) => unreachable!(),
+    }
+}
+
+fn synth_of(s: &Scenario) -> &SynthInstance {
+    match &s.kind {
+        ScenarioKind::Synth(inst) => inst,
+        ScenarioKind::Corpus(_) => unreachable!(),
+    }
+}
+
+/// The synth payload minus `pairs[start..start + len]`, with both group
+/// partitions filtered and re-indexed over the surviving pairs.
+struct SynthPayload {
+    pairs: Vec<osa_core::Pair>,
+    sentence_groups: Vec<Vec<usize>>,
+    review_groups: Vec<Vec<usize>>,
+}
+
+fn drop_pair_range(inst: &SynthInstance, start: usize, len: usize) -> SynthPayload {
+    let keep = |i: usize| i < start || i >= start + len;
+    // Old index -> new index over the survivors.
+    let mut remap = vec![usize::MAX; inst.pairs.len()];
+    let mut pairs = Vec::with_capacity(inst.pairs.len() - len);
+    for (i, p) in inst.pairs.iter().enumerate() {
+        if keep(i) {
+            remap[i] = pairs.len();
+            pairs.push(*p);
+        }
+    }
+    let filter_groups = |gs: &[Vec<usize>]| {
+        gs.iter()
+            .map(|g| {
+                g.iter()
+                    .filter(|&&i| keep(i))
+                    .map(|&i| remap[i])
+                    .collect::<Vec<_>>()
+            })
+            .filter(|g: &Vec<usize>| !g.is_empty())
+            .collect()
+    };
+    SynthPayload {
+        pairs,
+        sentence_groups: filter_groups(&inst.sentence_groups),
+        review_groups: filter_groups(&inst.review_groups),
+    }
+}
+
+/// Swap the synth payload of `s` for `new`, returning the old payload
+/// (so a non-reproducing mutation can be rolled back).
+fn replace_synth(s: &mut Scenario, new: SynthPayload) -> SynthPayload {
+    match &mut s.kind {
+        ScenarioKind::Synth(inst) => SynthPayload {
+            pairs: std::mem::replace(&mut inst.pairs, new.pairs),
+            sentence_groups: std::mem::replace(&mut inst.sentence_groups, new.sentence_groups),
+            review_groups: std::mem::replace(&mut inst.review_groups, new.review_groups),
+        },
+        ScenarioKind::Corpus(_) => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differential::CheckKind;
+    use crate::scenario::Scenario;
+
+    /// A deliberately failing "check": fails while the corpus still has
+    /// more than one review in total.
+    fn fails_while_multiple_reviews(s: &Scenario) -> Result<(), String> {
+        match &s.kind {
+            ScenarioKind::Corpus(c) => {
+                if c.total_reviews() > 1 {
+                    Err(format!("{} reviews", c.total_reviews()))
+                } else {
+                    Ok(())
+                }
+            }
+            ScenarioKind::Synth(_) => Ok(()),
+        }
+    }
+
+    /// Fails while the synth instance still has at least 5 pairs.
+    fn fails_while_many_pairs(s: &Scenario) -> Result<(), String> {
+        match &s.kind {
+            ScenarioKind::Synth(inst) if inst.pairs.len() >= 5 => {
+                Err(format!("{} pairs", inst.pairs.len()))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    #[test]
+    fn corpus_shrinks_to_minimal_failing_size() {
+        let mut s = Scenario::generate(11, 0);
+        let check = Check {
+            name: "test-multi-review",
+            kind: CheckKind::Corpus,
+            run: fails_while_multiple_reviews,
+        };
+        assert!((check.run)(&s).is_err(), "scenario must start failing");
+        let trials = shrink_scenario(&mut s, &check);
+        assert!(trials > 0);
+        // Still failing, and minimal for this predicate: one item left
+        // and exactly two reviews (dropping either fixes it).
+        let ScenarioKind::Corpus(c) = &s.kind else {
+            panic!()
+        };
+        assert!((check.run)(&s).is_err());
+        assert_eq!(c.items.len(), 1);
+        assert_eq!(c.total_reviews(), 2);
+    }
+
+    #[test]
+    fn synth_shrinks_pairs_and_keeps_groups_consistent() {
+        let mut s = Scenario::generate(11, 2);
+        let check = Check {
+            name: "test-many-pairs",
+            kind: CheckKind::Synth,
+            run: fails_while_many_pairs,
+        };
+        assert!((check.run)(&s).is_err());
+        shrink_scenario(&mut s, &check);
+        let ScenarioKind::Synth(inst) = &s.kind else {
+            panic!()
+        };
+        assert!((check.run)(&s).is_err());
+        // Minimal for this predicate: exactly the failure threshold.
+        assert_eq!(inst.pairs.len(), 5);
+        // Groups still partition the surviving pairs.
+        let mut seen = vec![false; inst.pairs.len()];
+        for g in &inst.sentence_groups {
+            for &i in g {
+                assert!(i < inst.pairs.len());
+                assert!(!seen[i], "pair {i} in two sentence groups");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "sentence groups lost a pair");
+        let total: usize = inst.review_groups.iter().map(Vec::len).sum();
+        assert_eq!(total, inst.pairs.len());
+    }
+
+    #[test]
+    fn shrink_keeps_a_passing_scenario_minimal_noop() {
+        // If the check "fails" unconditionally on synth, the shrinker
+        // reduces to a single pair and stops.
+        fn always_fails(s: &Scenario) -> Result<(), String> {
+            match &s.kind {
+                ScenarioKind::Synth(_) => Err("always".into()),
+                _ => Ok(()),
+            }
+        }
+        let mut s = Scenario::generate(3, 5);
+        let check = Check {
+            name: "test-always",
+            kind: CheckKind::Synth,
+            run: always_fails,
+        };
+        shrink_scenario(&mut s, &check);
+        let ScenarioKind::Synth(inst) = &s.kind else {
+            panic!()
+        };
+        assert_eq!(inst.pairs.len(), 1);
+    }
+}

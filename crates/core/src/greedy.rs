@@ -106,14 +106,18 @@ impl Summarizer for GreedySummarizer {
 /// Instead of eagerly updating every affected key, keys are left stale
 /// and re-evaluated only when popped: by submodularity a stale key is an
 /// upper bound, so if a re-evaluated candidate still beats the next heap
-/// top it is safely selected. Produces exactly the same summaries as
-/// [`GreedySummarizer`] (up to ties); the benchmark suite compares their
-/// running times.
+/// top it is safely selected. Heap entries order by `(gain, smallest
+/// candidate id)` — the same tie-break as the eager heap — and a popped
+/// candidate is selected only if its *fresh* entry still tops the heap
+/// under that order, so the selection sequence (and therefore the cost)
+/// is byte-identical to [`GreedySummarizer`], ties included. The
+/// benchmark suite compares their running times.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LazyGreedySummarizer;
 
 impl Summarizer for LazyGreedySummarizer {
     fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary {
+        use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
         let n = graph.num_candidates();
@@ -129,28 +133,36 @@ impl Summarizer for LazyGreedySummarizer {
                 .sum()
         };
 
-        // Entries are (possibly stale) upper bounds on the marginal gain.
-        let mut heap: BinaryHeap<(u64, u32)> = (0..n).map(|u| (gain(u, &best), u as u32)).collect();
+        // Entries are (possibly stale) upper bounds on the marginal gain,
+        // ordered `(gain, smallest id)` to mirror the eager heap's
+        // tie-break exactly.
+        let mut heap: BinaryHeap<(u64, Reverse<u32>)> = (0..n)
+            .map(|u| (gain(u, &best), Reverse(u as u32)))
+            .collect();
         let mut selected = Vec::with_capacity(k);
         let mut reevals = n as u64; // the initial keys
         let mut repops = 0u64;
 
         while selected.len() < k {
-            let Some((stale, u)) = heap.pop() else {
+            let Some((stale, Reverse(u))) = heap.pop() else {
                 break;
             };
             let fresh = gain(u as usize, &best);
             reevals += 1;
             debug_assert!(fresh <= stale, "gains only shrink (submodularity)");
-            let next_best = heap.peek().map_or(0, |&(g, _)| g);
-            if fresh >= next_best {
+            let entry = (fresh, Reverse(u));
+            // Select only if the *fresh* entry would still top the heap.
+            // Every remaining entry is an upper bound on its candidate's
+            // fresh entry, so winning here means winning against every
+            // fresh gain under the same `(gain, smallest id)` order the
+            // eager variant uses — ties picked identically.
+            if heap.peek().is_none_or(|top| entry >= *top) {
                 if fresh == 0 {
                     // `fresh` dominates every (optimistic) stale key, so
                     // the true maximum marginal gain is 0: stop exactly
                     // where the eager variant does.
                     break;
                 }
-                // Still the argmax even against (optimistic) stale keys.
                 selected.push(u as usize);
                 for &(q, d) in graph.covered_by(u as usize) {
                     let b = &mut best[q as usize];
@@ -159,7 +171,7 @@ impl Summarizer for LazyGreedySummarizer {
                     }
                 }
             } else {
-                heap.push((fresh, u));
+                heap.push(entry);
                 repops += 1;
             }
         }
@@ -267,6 +279,26 @@ mod tests {
         let lazy = LazyGreedySummarizer.summarize(&g, 4);
         assert_eq!(lazy.cost, 0);
         assert_eq!(lazy.selected.len(), 2, "lazy stops where eager stops");
+    }
+
+    #[test]
+    fn lazy_matches_eager_selection_under_ties() {
+        // Two candidates on the same concept tie for the top gain; both
+        // variants must break the tie the same way (smallest id). The
+        // pre-tie-break lazy variant picked the *largest* id here.
+        let h = star(3);
+        let c0 = h.node_by_name("c0").unwrap();
+        let c1 = h.node_by_name("c1").unwrap();
+        let pairs = vec![Pair::new(c0, 0.0), Pair::new(c1, 0.0), Pair::new(c1, 0.0)];
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        for k in 0..=3 {
+            let eager = GreedySummarizer.summarize(&g, k);
+            let lazy = LazyGreedySummarizer.summarize(&g, k);
+            assert_eq!(eager.selected, lazy.selected, "k={k}");
+            assert_eq!(eager.cost, lazy.cost, "k={k}");
+        }
+        // And the tie itself resolves to the smaller candidate id.
+        assert_eq!(GreedySummarizer.summarize(&g, 1).selected, vec![1]);
     }
 
     #[test]

@@ -3,6 +3,11 @@
 /// Max-heap over items `0..n` keyed by `u64` gains, supporting
 /// `decrease_key` in `O(log n)` — exactly what the greedy algorithm's
 /// two-hop updates need (submodularity means keys only ever decrease).
+///
+/// Ties are broken deterministically by the *smallest* item id, so
+/// `pop_max` defines a total order. The lazy (CELF) summarizer uses the
+/// same tie-break, which is what makes eager and lazy greedy select
+/// byte-identical summaries instead of agreeing only "up to ties".
 #[derive(Debug, Clone)]
 pub struct IndexedMaxHeap {
     /// Heap array of item ids.
@@ -52,7 +57,14 @@ impl IndexedMaxHeap {
         self.keys[item as usize]
     }
 
-    /// Remove and return the item with the largest key.
+    /// Does `a` order before `b`? Larger key first, smaller id on ties.
+    fn beats(&self, a: u32, b: u32) -> bool {
+        let (ka, kb) = (self.keys[a as usize], self.keys[b as usize]);
+        ka > kb || (ka == kb && a < b)
+    }
+
+    /// Remove and return the item with the largest key (smallest id on
+    /// ties).
     pub fn pop_max(&mut self) -> Option<(u32, u64)> {
         if self.heap.is_empty() {
             return None;
@@ -86,10 +98,10 @@ impl IndexedMaxHeap {
             let l = 2 * i + 1;
             let r = 2 * i + 2;
             let mut largest = i;
-            if l < n && self.keys[self.heap[l] as usize] > self.keys[self.heap[largest] as usize] {
+            if l < n && self.beats(self.heap[l], self.heap[largest]) {
                 largest = l;
             }
-            if r < n && self.keys[self.heap[r] as usize] > self.keys[self.heap[largest] as usize] {
+            if r < n && self.beats(self.heap[r], self.heap[largest]) {
                 largest = r;
             }
             if largest == i {
@@ -178,15 +190,26 @@ mod tests {
     }
 
     #[test]
-    fn equal_keys_all_surface_exactly_once() {
+    fn equal_keys_pop_in_ascending_id_order() {
         let mut h = IndexedMaxHeap::new(vec![7; 5]);
         let mut items: Vec<u32> = Vec::new();
         while let Some((item, key)) = h.pop_max() {
             assert_eq!(key, 7);
             items.push(item);
         }
-        items.sort_unstable();
+        // The id tie-break makes the pop order total, not just the set.
         assert_eq!(items, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ties_after_decrease_key_still_pop_smallest_id_first() {
+        // 1 and 3 end tied at 8; the smaller id must surface first.
+        let mut h = IndexedMaxHeap::new(vec![2, 9, 5, 8]);
+        h.decrease_key(1, 8);
+        assert_eq!(h.pop_max(), Some((1, 8)));
+        assert_eq!(h.pop_max(), Some((3, 8)));
+        assert_eq!(h.pop_max(), Some((2, 5)));
+        assert_eq!(h.pop_max(), Some((0, 2)));
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //! `results` of the report are identical for any `jobs` value. Only the
 //! timing fields differ between runs.
 
+mod fault;
+
+pub use fault::{Fault, FaultPlan, ItemFailure};
+
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use osa_core::{
@@ -329,7 +334,102 @@ impl<'a, T: Sync> BatchJob<'a, T> {
             wall_micros: wall.micros(),
             jobs,
             stages: Vec::new(),
+            failed: Vec::new(),
+            retried: 0,
         }
+    }
+
+    /// Like [`run`](Self::run), but each item executes under
+    /// [`std::panic::catch_unwind`] with up to `retry_limit` retries: a
+    /// panicking item is retried with a fresh scratch, and if every
+    /// attempt panics the item lands as `None` in `results` with an
+    /// [`ItemFailure`] in the report — one poisoned item degrades
+    /// gracefully instead of aborting the batch.
+    ///
+    /// `work` additionally receives the 0-based attempt number.
+    /// Determinism contract: because items are keyed by index and the
+    /// attempt sequence per item depends only on `work` itself, the
+    /// `results`/`failed`/`retried` fields are identical for any `jobs`.
+    pub fn run_isolated<R, F>(&self, retry_limit: u32, work: F) -> BatchReport<Option<R>>
+    where
+        R: Send,
+        F: Fn(&mut WorkerScratch, usize, &T, u32) -> R + Sync,
+    {
+        struct Outcome<R> {
+            result: Option<R>,
+            attempts: u32,
+            error: Option<String>,
+        }
+        let report = self.run(|scratch, i, item| {
+            let mut attempt = 0u32;
+            loop {
+                let caught =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| work(scratch, i, item, attempt)));
+                match caught {
+                    Ok(r) => {
+                        return Outcome {
+                            result: Some(r),
+                            attempts: attempt + 1,
+                            error: None,
+                        }
+                    }
+                    Err(payload) => {
+                        // The panic may have left the scratch caches
+                        // mid-update; they are only performance state,
+                        // so replace rather than trying to repair.
+                        *scratch = WorkerScratch::new();
+                        if attempt >= retry_limit {
+                            return Outcome {
+                                result: None,
+                                attempts: attempt + 1,
+                                error: Some(panic_message(payload.as_ref())),
+                            };
+                        }
+                        attempt += 1;
+                    }
+                }
+            }
+        });
+        let mut failed = Vec::new();
+        let mut retried = 0u64;
+        let mut results = Vec::with_capacity(report.results.len());
+        for (item, out) in report.results.into_iter().enumerate() {
+            if out.result.is_some() && out.attempts > 1 {
+                retried += 1;
+            }
+            if out.result.is_none() {
+                failed.push(ItemFailure {
+                    item,
+                    attempts: out.attempts,
+                    message: out.error.unwrap_or_default(),
+                });
+            }
+            results.push(out.result);
+        }
+        let obs = osa_obs::global();
+        obs.add("runtime.items.failed", failed.len() as u64);
+        obs.add("runtime.items.retried", retried);
+        BatchReport {
+            results,
+            per_item_micros: report.per_item_micros,
+            latency: report.latency,
+            wall_micros: report.wall_micros,
+            jobs: report.jobs,
+            stages: report.stages,
+            failed,
+            retried,
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
     }
 }
 
@@ -396,6 +496,12 @@ pub struct BatchReport<R> {
     /// Per-stage latency breakdown (empty unless the batch driver
     /// recorded stages, as [`summarize_corpus`] does).
     pub stages: Vec<StageStats>,
+    /// Items whose every attempt panicked (only possible under
+    /// [`BatchJob::run_isolated`]; always empty otherwise). Like
+    /// `results`, jobs-invariant.
+    pub failed: Vec<ItemFailure>,
+    /// Items that succeeded after at least one panicking attempt.
+    pub retried: u64,
 }
 
 impl<R> BatchReport<R> {
@@ -463,8 +569,50 @@ impl<R> BatchReport<R> {
                 },
             ));
         }
+        // Failure accounting rides along with the stage breakdown: both
+        // fields are zero unless fault isolation saw panics.
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>10}\n",
+            "faults",
+            format!("failed {}", self.failed.len()),
+            format!("retried {}", self.retried),
+        ));
         out
     }
+}
+
+impl BatchReport<ItemSummary> {
+    /// The canonical stdout rendering of one batch of summaries — the
+    /// deterministic payload `osars summarize --item all` prints and the
+    /// differential harness byte-compares across implementations and
+    /// worker counts. One block per item, in item order; under fault
+    /// injection, failed items are simply absent (their indices live in
+    /// [`failed`](BatchReport::failed)).
+    pub fn render_items(&self) -> String {
+        let mut out = String::new();
+        for item in &self.results {
+            out.push_str(&render_item_summary(item));
+        }
+        out
+    }
+}
+
+/// Render one [`ItemSummary`] exactly as the batch CLI prints it.
+pub fn render_item_summary(item: &ItemSummary) -> String {
+    let mut out = format!(
+        "item {} ({}): cost {} (root-only {}), {} of {} candidates, {} pairs\n",
+        item.item,
+        item.name,
+        item.summary.cost,
+        item.root_cost,
+        item.summary.selected.len(),
+        item.num_candidates,
+        item.num_pairs
+    );
+    for line in &item.rendered {
+        out.push_str(&format!("  • {line}\n"));
+    }
+    out
 }
 
 /// Which summarization algorithm a batch runs per item.
@@ -540,6 +688,13 @@ pub struct BatchOptions {
     /// Extraction implementation (interned by default; naive as an
     /// oracle).
     pub extract_impl: ExtractImpl,
+    /// Deterministic fault injection. `None` (the default) runs the
+    /// batch on the plain fast path; `Some` routes through
+    /// [`BatchJob::run_isolated`] with panic isolation and retries.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry budget per item when `fault_plan` is set (attempts beyond
+    /// the first).
+    pub retries: u32,
 }
 
 impl Default for BatchOptions {
@@ -553,6 +708,8 @@ impl Default for BatchOptions {
             corpus_seed: 42,
             graph_impl: GraphImpl::Indexed,
             extract_impl: ExtractImpl::Interned,
+            fault_plan: None,
+            retries: 1,
         }
     }
 }
@@ -598,95 +755,47 @@ pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<Ite
     // they are split off below so `results` (the deterministic payload)
     // stays timing-free while the report grows a stage table. The same
     // timings are recorded as spans on the global `osa-obs` registry.
-    let report = BatchJob::new(&items)
-        .jobs(opts.jobs)
-        .run(|scratch, _, &(idx, item)| {
-            let obs = osa_obs::global();
-            let (ex, extract_us) = obs.time("extract", || {
-                extractor.extract(item, opts.extract_impl, &mut scratch.extract)
-            });
-            if opts.granularity == Granularity::Pairs {
-                // For effect only: stage the compressed pairs in the
-                // scratch buffers (the returned refs would borrow the
-                // whole scratch, blocking `graph_build` below).
-                let _ = scratch.compress_into(&ex.pairs);
+    let report: BatchReport<Option<(ItemSummary, [f64; 3])>> = match opts.fault_plan {
+        None => {
+            let r = BatchJob::new(&items)
+                .jobs(opts.jobs)
+                .run(|scratch, _, &(idx, item)| {
+                    summarize_item(corpus, &extractor, opts, scratch, idx, item, Fault::None)
+                });
+            BatchReport {
+                results: r.results.into_iter().map(Some).collect(),
+                per_item_micros: r.per_item_micros,
+                latency: r.latency,
+                wall_micros: r.wall_micros,
+                jobs: r.jobs,
+                stages: r.stages,
+                failed: r.failed,
+                retried: r.retried,
             }
-            let WorkerScratch {
-                pair_buf,
-                weight_buf,
-                graph_build,
-                ..
-            } = scratch;
-            let (graph, graph_us) = obs.time("graph.build", || match opts.granularity {
-                Granularity::Pairs => CoverageGraph::for_weighted_pairs_with(
-                    &corpus.hierarchy,
-                    pair_buf,
-                    weight_buf,
-                    opts.eps,
-                    opts.graph_impl,
-                    graph_build,
-                ),
-                Granularity::Sentences => CoverageGraph::for_groups_with(
-                    &corpus.hierarchy,
-                    &ex.pairs,
-                    &ex.sentence_groups(),
-                    opts.eps,
-                    Granularity::Sentences,
-                    opts.graph_impl,
-                    graph_build,
-                ),
-                Granularity::Reviews => CoverageGraph::for_groups_with(
-                    &corpus.hierarchy,
-                    &ex.pairs,
-                    &ex.review_groups(),
-                    opts.eps,
-                    Granularity::Reviews,
-                    opts.graph_impl,
-                    graph_build,
-                ),
-            });
-            let alg = opts
-                .algorithm
-                .summarizer(item_seed(opts.corpus_seed, idx as u64));
-            let (summary, solve_us) = obs.time(solve_span, || alg.summarize(&graph, opts.k));
-            let rendered = summary
-                .selected
-                .iter()
-                .map(|&sel| match opts.granularity {
-                    Granularity::Pairs => {
-                        let p = pair_buf[sel];
-                        format!(
-                            "{} = {:+.2} (×{})",
-                            corpus.hierarchy.name(p.concept),
-                            p.sentiment,
-                            weight_buf[sel]
-                        )
+        }
+        Some(plan) => BatchJob::new(&items).jobs(opts.jobs).run_isolated(
+            opts.retries,
+            |scratch, _, &(idx, item), attempt| {
+                let fault = plan.fault_for(idx);
+                if let Fault::Panic { failing_attempts } = fault {
+                    if attempt < failing_attempts {
+                        panic!("injected panic (item {idx}, attempt {attempt})");
                     }
-                    Granularity::Sentences => ex.sentences[sel].text.clone(),
-                    Granularity::Reviews => {
-                        let first = ex.reviews[sel].first().copied();
-                        let text =
-                            first.map_or("(empty review)", |si| ex.sentences[si].text.as_str());
-                        format!("review #{sel}: {text} …")
-                    }
-                })
-                .collect();
-            (
-                ItemSummary {
-                    item: idx,
-                    name: item.name.clone(),
-                    summary,
-                    num_pairs: ex.pairs.len(),
-                    num_candidates: graph.num_candidates(),
-                    root_cost: graph.root_cost(),
-                    rendered,
-                },
-                [extract_us, graph_us, solve_us],
-            )
-        });
+                }
+                if let Fault::Delay { micros } = fault {
+                    std::thread::sleep(std::time::Duration::from_micros(micros));
+                }
+                summarize_item(corpus, &extractor, opts, scratch, idx, item, fault)
+            },
+        ),
+    };
 
-    let (results, stage_times): (Vec<ItemSummary>, Vec<[f64; 3]>) =
-        report.results.into_iter().unzip();
+    let mut results = Vec::new();
+    let mut stage_times = Vec::new();
+    for entry in report.results.into_iter().flatten() {
+        results.push(entry.0);
+        stage_times.push(entry.1);
+    }
     let stage =
         |name: &'static str, i: usize| StageStats::new(name, stage_times.iter().map(move |t| t[i]));
     BatchReport {
@@ -700,7 +809,114 @@ pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<Ite
             stage("graph.build", 1),
             stage(solve_span, 2),
         ],
+        failed: report.failed,
+        retried: report.retried,
     }
+}
+
+/// The per-item pipeline body of [`summarize_corpus`]: extract → (maybe
+/// corrupt, under fault injection) → coverage graph → summarize. Returns
+/// the summary plus the three per-stage wall times in microseconds.
+#[allow(clippy::too_many_arguments)]
+fn summarize_item(
+    corpus: &Corpus,
+    extractor: &Extractor,
+    opts: &BatchOptions,
+    scratch: &mut WorkerScratch,
+    idx: usize,
+    item: &osa_datasets::Item,
+    fault: Fault,
+) -> (ItemSummary, [f64; 3]) {
+    let obs = osa_obs::global();
+    let (mut ex, extract_us) = obs.time("extract", || {
+        extractor.extract(item, opts.extract_impl, &mut scratch.extract)
+    });
+    if let Fault::NanSentiment { slot } = fault {
+        // Field-level write bypasses `Pair::new`'s sanitization on
+        // purpose: the graph builder's NaN guard must catch this.
+        if !ex.pairs.is_empty() {
+            let n = ex.pairs.len() as u64;
+            ex.pairs[(slot % n) as usize].sentiment = f64::NAN;
+        }
+    }
+    if opts.granularity == Granularity::Pairs {
+        // For effect only: stage the compressed pairs in the
+        // scratch buffers (the returned refs would borrow the
+        // whole scratch, blocking `graph_build` below).
+        let _ = scratch.compress_into(&ex.pairs);
+    }
+    let WorkerScratch {
+        pair_buf,
+        weight_buf,
+        graph_build,
+        ..
+    } = scratch;
+    let (graph, graph_us) = obs.time("graph.build", || match opts.granularity {
+        Granularity::Pairs => CoverageGraph::for_weighted_pairs_with(
+            &corpus.hierarchy,
+            pair_buf,
+            weight_buf,
+            opts.eps,
+            opts.graph_impl,
+            graph_build,
+        ),
+        Granularity::Sentences => CoverageGraph::for_groups_with(
+            &corpus.hierarchy,
+            &ex.pairs,
+            &ex.sentence_groups(),
+            opts.eps,
+            Granularity::Sentences,
+            opts.graph_impl,
+            graph_build,
+        ),
+        Granularity::Reviews => CoverageGraph::for_groups_with(
+            &corpus.hierarchy,
+            &ex.pairs,
+            &ex.review_groups(),
+            opts.eps,
+            Granularity::Reviews,
+            opts.graph_impl,
+            graph_build,
+        ),
+    });
+    let alg = opts
+        .algorithm
+        .summarizer(item_seed(opts.corpus_seed, idx as u64));
+    let (summary, solve_us) =
+        obs.time(opts.algorithm.span_name(), || alg.summarize(&graph, opts.k));
+    let rendered = summary
+        .selected
+        .iter()
+        .map(|&sel| match opts.granularity {
+            Granularity::Pairs => {
+                let p = pair_buf[sel];
+                format!(
+                    "{} = {:+.2} (×{})",
+                    corpus.hierarchy.name(p.concept),
+                    p.sentiment,
+                    weight_buf[sel]
+                )
+            }
+            Granularity::Sentences => ex.sentences[sel].text.clone(),
+            Granularity::Reviews => {
+                let first = ex.reviews[sel].first().copied();
+                let text = first.map_or("(empty review)", |si| ex.sentences[si].text.as_str());
+                format!("review #{sel}: {text} …")
+            }
+        })
+        .collect();
+    (
+        ItemSummary {
+            item: idx,
+            name: item.name.clone(),
+            summary,
+            num_pairs: ex.pairs.len(),
+            num_candidates: graph.num_candidates(),
+            root_cost: graph.root_cost(),
+            rendered,
+        },
+        [extract_us, graph_us, solve_us],
+    )
 }
 
 #[cfg(test)]
@@ -817,6 +1033,8 @@ mod tests {
                 StageStats::new("graph.build", [2.0, 3.0]),
                 StageStats::new("solve.greedy", [3.0, 7.0]),
             ],
+            failed: Vec::new(),
+            retried: 0,
         };
         let table = report.render_stage_table();
         for name in ["extract", "graph.build", "solve.greedy", "share"] {
@@ -824,6 +1042,9 @@ mod tests {
         }
         // Shares sum to ~100%.
         assert!(table.contains("50.0%"), "{table}");
+        // The fault footer is always present, zero without injection.
+        assert!(table.contains("failed 0"), "{table}");
+        assert!(table.contains("retried 0"), "{table}");
         // No stages → no table.
         let bare = BatchJob::new(&[1]).run(|_, _, &x| x);
         assert_eq!(bare.render_stage_table(), "");
@@ -944,5 +1165,143 @@ mod tests {
     #[test]
     fn batch_options_default_uses_indexed_builder() {
         assert_eq!(BatchOptions::default().graph_impl, GraphImpl::Indexed);
+        assert_eq!(BatchOptions::default().fault_plan, None);
+    }
+
+    /// Suppress the default panic-hook backtrace spam for panics this
+    /// test binary injects on purpose; everything else still prints.
+    fn quiet_injected_panics() {
+        static HOOK: std::sync::Once = std::sync::Once::new();
+        HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains("injected"))
+                    || info
+                        .payload()
+                        .downcast_ref::<&str>()
+                        .is_some_and(|m| m.contains("injected"));
+                if !injected {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn run_isolated_contains_panics_and_retries() {
+        quiet_injected_panics();
+        let items: Vec<usize> = (0..20).collect();
+        // Item 3 always panics; item 7 panics on attempt 0 only.
+        let report = BatchJob::new(&items)
+            .jobs(4)
+            .run_isolated(1, |_, _, &x, attempt| {
+                if x == 3 || (x == 7 && attempt == 0) {
+                    panic!("injected failure on {x}");
+                }
+                x * 2
+            });
+        assert_eq!(report.results.len(), 20);
+        assert_eq!(report.results[3], None);
+        assert_eq!(report.results[7], Some(14));
+        assert_eq!(report.retried, 1);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].item, 3);
+        assert_eq!(report.failed[0].attempts, 2);
+        assert!(report.failed[0].message.contains("injected failure on 3"));
+        for (i, r) in report.results.iter().enumerate() {
+            if i != 3 {
+                assert_eq!(*r, Some(i * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn run_isolated_failure_accounting_is_jobs_invariant() {
+        quiet_injected_panics();
+        let items: Vec<usize> = (0..50).collect();
+        let work = |_: &mut WorkerScratch, _: usize, &x: &usize, attempt: u32| {
+            // Sticky failures on multiples of 7, transient on multiples
+            // of 5 — pure functions of the item, so scheduling can't
+            // change which items fail or retry.
+            if x % 7 == 0 || (x % 5 == 0 && attempt == 0) {
+                panic!("injected ({x}, {attempt})");
+            }
+            x
+        };
+        let base = BatchJob::new(&items).jobs(1).run_isolated(2, work);
+        assert!(!base.failed.is_empty());
+        assert!(base.retried > 0);
+        for jobs in [3, 8] {
+            let r = BatchJob::new(&items).jobs(jobs).run_isolated(2, work);
+            assert_eq!(r.results, base.results, "jobs={jobs}");
+            assert_eq!(r.failed, base.failed, "jobs={jobs}");
+            assert_eq!(r.retried, base.retried, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_isolated_replaces_scratch_after_a_panic() {
+        quiet_injected_panics();
+        let items: Vec<usize> = vec![0, 1];
+        // Item 0 poisons the scratch then panics with no retry budget;
+        // item 1 (same worker, jobs=1) must see a fresh scratch.
+        let report = BatchJob::new(&items)
+            .jobs(1)
+            .run_isolated(0, |scratch, _, &x, _| {
+                if x == 0 {
+                    scratch.pair_buf.reserve(1 << 16);
+                    panic!("injected poison");
+                }
+                scratch.pair_buf.capacity()
+            });
+        assert_eq!(report.failed.len(), 1);
+        assert!(report.results[1].unwrap() < (1 << 16));
+    }
+
+    #[test]
+    fn run_isolated_without_panics_matches_run() {
+        let items: Vec<usize> = (0..10).collect();
+        let plain = BatchJob::new(&items).jobs(2).run(|_, _, &x| x + 1);
+        let isolated = BatchJob::new(&items)
+            .jobs(2)
+            .run_isolated(1, |_, _, &x, _| x + 1);
+        assert_eq!(
+            isolated.results,
+            plain.results.iter().map(|&r| Some(r)).collect::<Vec<_>>()
+        );
+        assert!(isolated.failed.is_empty());
+        assert_eq!(isolated.retried, 0);
+    }
+
+    #[test]
+    fn render_items_matches_the_cli_shape() {
+        let report = BatchReport {
+            results: vec![ItemSummary {
+                item: 2,
+                name: "thing".to_owned(),
+                summary: Summary {
+                    selected: vec![0],
+                    cost: 9,
+                },
+                num_pairs: 4,
+                num_candidates: 3,
+                root_cost: 12,
+                rendered: vec!["line one".to_owned()],
+            }],
+            per_item_micros: vec![1.0],
+            latency: LatencyHistogram::new(),
+            wall_micros: 1.0,
+            jobs: 1,
+            stages: Vec::new(),
+            failed: Vec::new(),
+            retried: 0,
+        };
+        assert_eq!(
+            report.render_items(),
+            "item 2 (thing): cost 9 (root-only 12), 1 of 3 candidates, 4 pairs\n  • line one\n"
+        );
     }
 }

@@ -11,6 +11,8 @@
 //!                     [--jobs N] [--metrics FILE] [--trace]
 //! osars evaluate      (--corpus FILE | --domain D) [--k K] [--eps E] [--items N]
 //!                     [--extract-impl interned|naive] [--metrics FILE] [--trace]
+//! osars check         [--seed N] [--cases N] [--faults] [--case-out FILE]
+//!                     [--replay FILE]
 //! osars check-metrics --metrics FILE
 //! ```
 //!
@@ -67,6 +69,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "hierarchy" => cmd_hierarchy(&flags),
         "summarize" => with_obs(&flags, cmd_summarize),
         "evaluate" => with_obs(&flags, cmd_evaluate),
+        "check" => with_obs(&flags, cmd_check),
         "check-metrics" => cmd_check_metrics(&flags),
         "help" | "--help" | "-h" => {
             print_help();
@@ -95,11 +98,13 @@ USAGE:
                       [--k K] [--eps E] [--items N] [--jobs N]
                       [--extract-impl interned|naive]
                       [--metrics FILE] [--trace]
+  osars check         [--seed N] [--cases N] [--faults] [--case-out FILE]
+                      [--replay FILE] [--metrics FILE] [--trace]
   osars check-metrics --metrics FILE
 
 DEFAULTS: --scale small --seed 42 --item 0 --k 5 --eps 0.5
           --granularity sentences --algorithm greedy --items 5 --jobs 1
-          --graph-impl indexed --extract-impl interned
+          --graph-impl indexed --extract-impl interned --cases 25
 FOCUS:    restricts the summary to one concept's subtree
           (e.g. --focus battery on a phone corpus)
 JOBS:     --item all batches every item over N worker threads (0 = all
@@ -109,6 +114,14 @@ GRAPH:    --graph-impl selects the Section 4.1 coverage-graph builder:
           'indexed' (ancestor-closure index + sorted sentiment windows,
           parallel over --jobs) or 'naive' (the slow oracle); both yield
           byte-identical output
+CHECK:    seeded differential-testing harness: generates --cases
+          scenarios from --seed, runs each across every graph/extract
+          impl, --jobs 1|3|8, and all four summarizers, and asserts the
+          paper-level invariants; --faults adds deterministic fault
+          injection (per-item panics, NaN corruption, delays) and
+          asserts the batch engine isolates them; a failing case is
+          shrunk to a minimal instance and written to --case-out
+          (default check-case.json), replayable with --replay FILE
 EXTRACT:  --extract-impl selects the opinion-extraction hot path:
           'interned' (token interner + Aho–Corasick concept automaton +
           memoized stem cache) or 'naive' (the per-position trie walk
@@ -131,9 +144,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --flag, got '{key}'"));
         };
-        // `--trace` is a bare switch; an explicit `--trace true|false`
-        // value is also accepted for scripting symmetry.
-        if name == "trace" {
+        // `--trace` and `--faults` are bare switches; an explicit
+        // `true|false` value is also accepted for scripting symmetry.
+        if name == "trace" || name == "faults" {
             match args.get(i + 1) {
                 Some(v) if !v.starts_with("--") => {
                     flags.insert(name.to_owned(), v.clone());
@@ -394,23 +407,10 @@ fn cmd_summarize_batch(corpus: &Corpus, flags: &HashMap<String, String>) -> Resu
         corpus_seed: parse_num(flags, "seed", 42)?,
         graph_impl: parse_graph_impl(flags)?,
         extract_impl: parse_extract_impl(flags)?,
+        ..BatchOptions::default()
     };
     let report = summarize_corpus(corpus, &opts);
-    for item in &report.results {
-        println!(
-            "item {} ({}): cost {} (root-only {}), {} of {} candidates, {} pairs",
-            item.item,
-            item.name,
-            item.summary.cost,
-            item.root_cost,
-            item.summary.selected.len(),
-            item.num_candidates,
-            item.num_pairs
-        );
-        for line in &item.rendered {
-            println!("  • {line}");
-        }
-    }
+    print!("{}", report.render_items());
     eprintln!("{}", report.render_stats());
     let stage_table = report.render_stage_table();
     if !stage_table.is_empty() {
@@ -656,6 +656,39 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `osars check`: the seeded differential-testing & fault-injection
+/// harness of [`osars::check`]. The report goes to stdout (byte-
+/// identical for a given seed/cases/faults config); any failing check
+/// makes the command exit non-zero after shrinking and persisting the
+/// first failing case. `--replay FILE` re-runs a persisted case instead.
+fn cmd_check(flags: &HashMap<String, String>) -> Result<(), String> {
+    // Injected panics are part of normal fault-mode operation; keep the
+    // default hook from spamming stderr with their backtraces.
+    osars::check::quiet_injected_panics();
+    if let Some(path) = flag(flags, "replay") {
+        let data = std::fs::read_to_string(path).map_err(|e| format!("reading '{path}': {e}"))?;
+        let outcome = osars::check::replay_case(&data)?;
+        print!("{}", outcome.report);
+        return match outcome.passed() {
+            true => Ok(()),
+            false => Err(format!("replayed case still fails ({path})")),
+        };
+    }
+    let cfg = osars::check::CheckConfig {
+        seed: parse_num(flags, "seed", 42)?,
+        cases: parse_num(flags, "cases", 25)?,
+        faults: matches!(flag(flags, "faults"), Some(v) if v != "false"),
+        case_out: flag(flags, "case-out").map(PathBuf::from),
+    };
+    let outcome = osars::check::run_check(&cfg);
+    print!("{}", outcome.report);
+    match outcome.failures.len() {
+        0 => Ok(()),
+        1 => Err("1 check failure".to_owned()),
+        n => Err(format!("{n} check failures")),
+    }
 }
 
 /// Validate a `--metrics` JSONL file: every non-empty line must parse as

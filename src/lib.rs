@@ -15,12 +15,14 @@
 //! * [`eval`] — coverage-cost and sentiment-error metrics,
 //! * [`datasets`] — synthetic doctor/phone corpora calibrated to Table 1,
 //! * [`runtime`] — the deterministic parallel batch engine (`--jobs`),
+//! * [`check`] — the seeded differential-testing & fault-injection harness,
 //! * [`json`] — the self-contained JSON tree model used by the snapshots,
 //! * [`obs`] — structured tracing and the pipeline metrics registry.
 //!
 //! See `examples/quickstart.rs` for a 30-line end-to-end run.
 
 pub use osa_baselines as baselines;
+pub use osa_check as check;
 pub use osa_core as core;
 pub use osa_datasets as datasets;
 pub use osa_eval as eval;

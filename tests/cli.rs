@@ -592,6 +592,60 @@ fn trace_is_a_bare_switch() {
 }
 
 #[test]
+fn evaluate_stdout_is_jobs_invariant() {
+    // The evaluation table aggregates per-item errors in item order, so
+    // the worker count must never leak into stdout.
+    let run = |jobs: &str| {
+        let out = osars(&[
+            "evaluate", "--domain", "phones", "--scale", "small", "--items", "3", "--jobs", jobs,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("4"), "evaluate stdout depends on --jobs");
+}
+
+#[test]
+fn check_subcommand_is_deterministic_and_passes() {
+    let run = || {
+        let out = osars(&["check", "--seed", "11", "--cases", "3"]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let first = run();
+    let text = String::from_utf8_lossy(&first);
+    assert!(
+        text.contains("check: seed 11, 3 cases, faults off"),
+        "{text}"
+    );
+    assert!(text.contains("summary: 3/3 cases passed"), "{text}");
+    // Same seed ⇒ byte-identical report.
+    assert_eq!(first, run(), "check report is not deterministic");
+}
+
+#[test]
+fn check_faults_is_a_bare_switch() {
+    let out = osars(&["check", "--faults", "--seed", "11", "--cases", "2"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("faults on"), "{text}");
+    assert!(text.contains("summary: 2/2 cases passed"), "{text}");
+}
+
+#[test]
 fn domain_fallback_requires_corpus_or_domain() {
     let out = osars(&["summarize"]);
     assert!(!out.status.success());

@@ -156,6 +156,101 @@ proptest! {
     }
 }
 
+// --- degenerate corner cases ----------------------------------------------
+//
+// The property blocks above only generate feasible, bounded, non-degenerate
+// models; these pin the solver's behavior on the pathological shapes the
+// differential harness can feed it.
+
+#[test]
+fn infeasible_model_reports_infeasible() {
+    // x ∈ [0, 1] but a constraint demands x ≥ 2: no feasible point.
+    let mut m = Model::minimize();
+    let x = m.add_var(0.0, 1.0, 1.0);
+    m.add_constraint(&[(x, 1.0)], Cmp::Ge, 2.0);
+    let sol = m
+        .solve_lp()
+        .expect("infeasibility is a status, not an error");
+    assert_eq!(sol.status, Status::Infeasible);
+
+    // The ILP path surfaces the same status for an integer variable.
+    let mut m = Model::minimize();
+    let x = m.add_int_var(0.0, 1.0, 1.0);
+    m.add_constraint(&[(x, 1.0)], Cmp::Ge, 2.0);
+    let sol = m
+        .solve_ilp()
+        .expect("infeasibility is a status, not an error");
+    assert_eq!(sol.status, Status::Infeasible);
+}
+
+#[test]
+fn unbounded_objective_is_an_error() {
+    // minimize −x with x free above: the objective dives to −∞.
+    let mut m = Model::minimize();
+    let _ = m.add_var(0.0, f64::INFINITY, -1.0);
+    assert!(matches!(
+        m.solve_lp(),
+        Err(osars::solver::SolverError::Unbounded)
+    ));
+}
+
+#[test]
+fn integral_relaxation_solves_at_the_root_node() {
+    // min x + y s.t. x ≥ 1, y ≥ 1 over integer boxes: the LP relaxation
+    // lands on the integral vertex (1, 1), so branch & bound must finish
+    // without branching — pinned by allowing it exactly one node.
+    use osars::solver::IlpOptions;
+    let mut m = Model::minimize();
+    let x = m.add_int_var(0.0, 3.0, 1.0);
+    let y = m.add_int_var(0.0, 3.0, 1.0);
+    m.add_constraint(&[(x, 1.0)], Cmp::Ge, 1.0);
+    m.add_constraint(&[(y, 1.0)], Cmp::Ge, 1.0);
+    let opts = IlpOptions {
+        max_nodes: 1,
+        ..IlpOptions::default()
+    };
+    let sol = m.solve_ilp_with(&opts).expect("root relaxation solves");
+    assert_eq!(
+        sol.status,
+        Status::Optimal,
+        "root node must prove optimality"
+    );
+    assert!((sol.objective - 2.0).abs() < 1e-9);
+    assert!((sol.value(x) - 1.0).abs() < 1e-6);
+    assert!((sol.value(y) - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn degenerate_ties_do_not_cycle() {
+    // Beale's classic cycling example: every basic feasible solution on
+    // the way to the optimum is degenerate (RHS zeros force ratio-test
+    // ties), and a naive largest-coefficient pivot rule loops forever.
+    // The solver must break the ties consistently and reach the known
+    // optimum −0.05 instead of hitting its iteration cap.
+    let mut m = Model::minimize();
+    let x1 = m.add_var(0.0, f64::INFINITY, -0.75);
+    let x2 = m.add_var(0.0, f64::INFINITY, 150.0);
+    let x3 = m.add_var(0.0, 1.0, -0.02);
+    let x4 = m.add_var(0.0, f64::INFINITY, 6.0);
+    m.add_constraint(
+        &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+        Cmp::Le,
+        0.0,
+    );
+    m.add_constraint(
+        &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+        Cmp::Le,
+        0.0,
+    );
+    let sol = m.solve_lp().expect("degenerate pivots must not cycle");
+    assert_eq!(sol.status, Status::Optimal);
+    assert!(
+        (sol.objective - (-0.05)).abs() < 1e-9,
+        "objective {} != -0.05",
+        sol.objective
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
