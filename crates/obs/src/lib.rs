@@ -193,6 +193,7 @@ impl RawHistogram {
             max,
             p50: self.percentile(50.0).expect("non-empty"),
             p95: self.percentile(95.0).expect("non-empty"),
+            p99: self.percentile(99.0).expect("non-empty"),
         })
     }
 }
@@ -215,6 +216,9 @@ pub struct HistStats {
     pub p50: f64,
     /// 95th percentile (nearest rank).
     pub p95: f64,
+    /// 99th percentile (nearest rank) — the serving-tail statistic
+    /// `osars loadgen` reports in `BENCH_serve.json`.
+    pub p99: f64,
 }
 
 /// Shared handle to a registry histogram. Cloning shares the data.
@@ -520,9 +524,68 @@ impl Snapshot {
                 ("max_us".to_owned(), Value::Number(h.max)),
                 ("p50_us".to_owned(), Value::Number(h.p50)),
                 ("p95_us".to_owned(), Value::Number(h.p95)),
+                ("p99_us".to_owned(), Value::Number(h.p99)),
             ]);
             out.push_str(&osa_json::to_string(&obj));
             out.push('\n');
+        }
+        out
+    }
+
+    /// Prometheus-style text exposition — what `osa-serve` answers on
+    /// `GET /metrics`. Metric names are sanitized to the Prometheus
+    /// charset (`[a-zA-Z0-9_:]`, non-conforming bytes → `_`); counters
+    /// get a `_total` suffix, histograms expose `_count`/`_sum` plus
+    /// nearest-rank `{quantile="..."}` gauges:
+    ///
+    /// ```text
+    /// # TYPE osars_serve_requests_total counter
+    /// osars_serve_requests_total 42
+    /// # TYPE osars_serve_request_us summary
+    /// osars_serve_request_us{quantile="0.5"} 1200
+    /// osars_serve_request_us_count 42
+    /// osars_serve_request_us_sum 61200
+    /// ```
+    pub fn render_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 6);
+            out.push_str("osars_");
+            for (i, c) in name.chars().enumerate() {
+                let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+                // Leading digits are invalid even though digits are
+                // allowed later; the `osars_` prefix already guards
+                // that, so only the charset matters here.
+                let _ = i;
+                out.push(if ok { c } else { '_' });
+            }
+            out
+        }
+        // Prometheus floats: render integral values without the trailing
+        // `.0` `{:?}`-style formatting would add.
+        fn num(v: f64) -> String {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{}", v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n}_total counter\n{n}_total {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", num(v)));
+            }
+            out.push_str(&format!("{n}_count {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n", num(h.total)));
         }
         out
     }
@@ -694,6 +757,46 @@ mod tests {
         assert!(reg.enabled());
         reg.add("x", 2);
         assert_eq!(reg.snapshot().counters, vec![("x".to_owned(), 2)]);
+    }
+
+    #[test]
+    fn p99_is_the_tail_sample() {
+        let mut h = RawHistogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        let s = h.stats().unwrap();
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        reg.add("serve.requests", 42);
+        reg.set_gauge("runtime.jobs", 8);
+        reg.observe("serve.request.us", 100.0);
+        reg.observe("serve.request.us", 300.0);
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE osars_serve_requests_total counter\n"));
+        assert!(text.contains("osars_serve_requests_total 42\n"));
+        assert!(text.contains("# TYPE osars_runtime_jobs gauge\n"));
+        assert!(text.contains("osars_runtime_jobs 8\n"));
+        assert!(text.contains("osars_serve_request_us{quantile=\"0.5\"} 100\n"));
+        assert!(text.contains("osars_serve_request_us{quantile=\"0.99\"} 300\n"));
+        assert!(text.contains("osars_serve_request_us_count 2\n"));
+        assert!(text.contains("osars_serve_request_us_sum 400\n"));
+        // Every exposed name uses the Prometheus charset only.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name {name:?}"
+            );
+        }
     }
 
     #[test]

@@ -99,6 +99,27 @@ impl FaultPlan {
     }
 }
 
+impl Fault {
+    /// Apply the sentiment-corruption part of this fault to an item's
+    /// extracted pairs: [`Fault::NanSentiment`] poisons exactly one
+    /// pair's sentiment (field-level write, deliberately bypassing
+    /// [`osa_core::Pair::new`]'s sanitization so the graph builder's NaN
+    /// guard is what catches it); every other variant is a no-op here.
+    ///
+    /// This is the single slot-mapping implementation shared by the
+    /// batch and serve paths, total over all pair counts:
+    /// zero pairs → untouched (no modulo-by-zero), one pair → that pair,
+    /// `n` pairs → pair `slot % n`.
+    pub fn apply_to_pairs(&self, pairs: &mut [osa_core::Pair]) {
+        if let Fault::NanSentiment { slot } = *self {
+            let n = pairs.len() as u64;
+            if n > 0 {
+                pairs[(slot % n) as usize].sentiment = f64::NAN;
+            }
+        }
+    }
+}
+
 /// One item's injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -177,6 +198,44 @@ mod tests {
     fn zero_rates_inject_nothing() {
         let plan = FaultPlan::none(3);
         assert!((0..500).all(|i| plan.fault_for(i) == Fault::None));
+    }
+
+    #[test]
+    fn nan_slot_mapping_is_total_over_pair_counts() {
+        use osa_core::Pair;
+        use osa_ontology::NodeId;
+        let fault = Fault::NanSentiment { slot: u64::MAX };
+        // Zero pairs: must be a no-op, not a modulo-by-zero.
+        let mut none: Vec<Pair> = Vec::new();
+        fault.apply_to_pairs(&mut none);
+        assert!(none.is_empty());
+        // One pair: the only slot is poisoned whatever the selector is.
+        let mut one = vec![Pair::new(NodeId::from_index(0), 0.5)];
+        fault.apply_to_pairs(&mut one);
+        assert!(one[0].sentiment.is_nan());
+        // Many pairs: exactly `slot % n` is poisoned, the rest untouched.
+        for slot in [0u64, 1, 2, 7, u64::MAX] {
+            let mut many: Vec<Pair> = (0..5)
+                .map(|i| Pair::new(NodeId::from_index(i), 0.25))
+                .collect();
+            Fault::NanSentiment { slot }.apply_to_pairs(&mut many);
+            let hit = (slot % 5) as usize;
+            for (i, p) in many.iter().enumerate() {
+                assert_eq!(p.sentiment.is_nan(), i == hit, "slot {slot} pair {i}");
+            }
+        }
+        // Non-NaN faults leave pairs alone.
+        let mut pairs = vec![Pair::new(NodeId::from_index(0), 0.5)];
+        for f in [
+            Fault::None,
+            Fault::Panic {
+                failing_attempts: 1,
+            },
+            Fault::Delay { micros: 10 },
+        ] {
+            f.apply_to_pairs(&mut pairs);
+        }
+        assert_eq!(pairs[0].sentiment, 0.5);
     }
 
     #[test]

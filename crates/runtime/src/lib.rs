@@ -131,37 +131,96 @@ fn par_build(
     // `assemble`'s tiling check.
     let per = n.div_ceil((jobs * 4).min(n));
     let chunks = n.div_ceil(per);
+    let shards = run_sharded::<GraphShard, GraphBuildScratch>(chunks, jobs, |scratch, c| {
+        let range = c * per..((c + 1) * per).min(n);
+        plan.shard(h, pairs, range, scratch)
+    });
+    CoverageGraph::assemble(&plan, granularity, weights, &shards)
+}
+
+/// Run `shard_fn` over chunk indices `0..chunks` on `jobs` worker
+/// threads, each owning one scratch `C`, and return the results in chunk
+/// order.
+///
+/// Panic contract: each chunk executes under
+/// [`std::panic::catch_unwind`], so one poisoned chunk cannot tear down
+/// its worker thread — the remaining chunks are still built (possibly by
+/// other workers). After every worker has been joined, the payload of the
+/// lowest-index failed chunk (deterministic for a deterministic
+/// `shard_fn`) is re-raised **once** on the calling thread via
+/// [`std::panic::resume_unwind`], preserving the original panic message
+/// so an enclosing `catch_unwind` (the per-item isolation in
+/// [`BatchJob::run`] / [`BatchJob::run_isolated`], or the serve layer)
+/// can surface it as a per-item error instead of the process dying on a
+/// `join().expect(...)`.
+fn run_sharded<S, C>(
+    chunks: usize,
+    jobs: usize,
+    shard_fn: impl Fn(&mut C, usize) -> S + Sync,
+) -> Vec<S>
+where
+    S: Send,
+    C: Default,
+{
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<GraphShard>> = (0..chunks).map(|_| None).collect();
+    let mut slots: Vec<Option<S>> = (0..chunks).map(|_| None).collect();
+    // Lowest failed chunk's panic payload, re-raised after the join loop.
+    let mut first_failure: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+    let mut note_failure = |c: usize, payload: Box<dyn std::any::Any + Send>| {
+        if first_failure.as_ref().is_none_or(|(fc, _)| c < *fc) {
+            first_failure = Some((c, payload));
+        }
+    };
     std::thread::scope(|s| {
+        type ShardOutcome<S> = (usize, Result<S, Box<dyn std::any::Any + Send>>);
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 s.spawn(|| {
-                    let mut scratch = GraphBuildScratch::new();
-                    let mut done: Vec<(usize, GraphShard)> = Vec::new();
+                    let mut scratch = C::default();
+                    let mut done: Vec<ShardOutcome<S>> = Vec::new();
                     loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
                         if c >= chunks {
                             break;
                         }
-                        let range = c * per..((c + 1) * per).min(n);
-                        done.push((c, plan.shard(h, pairs, range, &mut scratch)));
+                        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            shard_fn(&mut scratch, c)
+                        }));
+                        if caught.is_err() {
+                            // The panic may have left the scratch
+                            // mid-update; replace rather than repair.
+                            scratch = C::default();
+                        }
+                        done.push((c, caught));
                     }
                     done
                 })
             })
             .collect();
         for hnd in handles {
-            for (c, shard) in hnd.join().expect("graph build worker panicked") {
-                slots[c] = Some(shard);
+            match hnd.join() {
+                Ok(done) => {
+                    for (c, outcome) in done {
+                        match outcome {
+                            Ok(shard) => slots[c] = Some(shard),
+                            Err(payload) => note_failure(c, payload),
+                        }
+                    }
+                }
+                // A panic outside the per-chunk isolation (should be
+                // impossible: the loop body is fully wrapped). Re-raise
+                // it rather than pretend the build succeeded.
+                Err(payload) => note_failure(usize::MAX, payload),
             }
         }
     });
-    let shards: Vec<GraphShard> = slots
+    if let Some((_, payload)) = first_failure {
+        std::panic::resume_unwind(payload);
+    }
+    slots
         .into_iter()
         .map(|s| s.expect("every chunk was built exactly once"))
-        .collect();
-    CoverageGraph::assemble(&plan, granularity, weights, &shards)
+        .collect()
 }
 
 /// Derive a per-item RNG seed from the corpus seed and the item's stable
@@ -254,25 +313,71 @@ impl<'a, T: Sync> BatchJob<'a, T> {
     /// item itself. Results land in item order: a pre-sized
     /// `Vec<Option<_>>` is indexed by item, so scheduling cannot permute
     /// the output.
+    ///
+    /// Panic contract: every `work` call executes under
+    /// [`std::panic::catch_unwind`], so one poisoned item never tears
+    /// down the caller (or, in a daemon, the process). A panicking item
+    /// is dropped from `results`/`per_item_micros` and surfaced as an
+    /// [`ItemFailure`] (with `attempts == 1`) in
+    /// [`BatchReport::failed`] — the same shape
+    /// [`run_isolated`](Self::run_isolated) uses, minus the retries.
+    /// Like `results`, the `failed` list is jobs-invariant.
     pub fn run<R, F>(&self, work: F) -> BatchReport<R>
+    where
+        R: Send,
+        F: Fn(&mut WorkerScratch, usize, &T) -> R + Sync,
+    {
+        self.run_counted(work, true)
+    }
+
+    /// [`run`](Self::run) with control over whether the batch bumps the
+    /// `runtime.items.attempts` execution counter. `run_isolated` counts
+    /// its own per-item attempts (retries included), so its inner batch
+    /// must not also count one execution per item.
+    fn run_counted<R, F>(&self, work: F, count_attempts: bool) -> BatchReport<R>
     where
         R: Send,
         F: Fn(&mut WorkerScratch, usize, &T) -> R + Sync,
     {
         let jobs = effective_jobs(self.jobs).min(self.items.len()).max(1);
         let wall = Stopwatch::start();
-        let mut slots: Vec<Option<(R, f64)>> = (0..self.items.len()).map(|_| None).collect();
+        // `Ok` carries the result and its latency; `Err` carries the
+        // panic message of a poisoned item.
+        type Slot<R> = Result<(R, f64), String>;
+        let run_one = |scratch: &mut WorkerScratch, i: usize, item: &T| -> Slot<R> {
+            let (caught, us) = Stopwatch::time(|| {
+                std::panic::catch_unwind(AssertUnwindSafe(|| work(scratch, i, item)))
+            });
+            match caught {
+                Ok(r) => Ok((r, us)),
+                Err(payload) => {
+                    // The panic may have left the scratch caches
+                    // mid-update; they are only performance state, so
+                    // replace rather than trying to repair.
+                    *scratch = WorkerScratch::new();
+                    Err(panic_message(payload.as_ref()))
+                }
+            }
+        };
+        let mut slots: Vec<Option<Slot<R>>> = (0..self.items.len()).map(|_| None).collect();
         let obs = osa_obs::global();
         obs.set_gauge("runtime.jobs", jobs as i64);
+        // Message of a panic that escaped the per-item isolation and
+        // killed a worker thread outright (should be impossible — the
+        // loop body is fully wrapped — but a daemon must not trust
+        // "should").
+        let mut worker_panic: Option<String> = None;
 
         if jobs == 1 {
             // Inline path: no thread spawn cost for sequential runs.
             let mut scratch = WorkerScratch::new();
+            let mut completed = 0usize;
             for (i, item) in self.items.iter().enumerate() {
-                let (r, us) = Stopwatch::time(|| work(&mut scratch, i, item));
-                slots[i] = Some((r, us));
+                let slot = run_one(&mut scratch, i, item);
+                completed += slot.is_ok() as usize;
+                slots[i] = Some(slot);
             }
-            record_worker_stats(self.items.len());
+            record_worker_stats(completed);
         } else {
             let steal_timing = obs.enabled();
             let next = AtomicUsize::new(0);
@@ -281,7 +386,7 @@ impl<'a, T: Sync> BatchJob<'a, T> {
                     .map(|_| {
                         s.spawn(|| {
                             let mut scratch = WorkerScratch::new();
-                            let mut done: Vec<(usize, R, f64)> = Vec::new();
+                            let mut done: Vec<(usize, Slot<R>)> = Vec::new();
                             // Queue-acquisition latencies, merged into the
                             // registry once at worker exit.
                             let mut steals = osa_obs::RawHistogram::new();
@@ -297,10 +402,9 @@ impl<'a, T: Sync> BatchJob<'a, T> {
                                 let Some(item) = self.items.get(i) else {
                                     break;
                                 };
-                                let (r, us) = Stopwatch::time(|| work(&mut scratch, i, item));
-                                done.push((i, r, us));
+                                done.push((i, run_one(&mut scratch, i, item)));
                             }
-                            record_worker_stats(done.len());
+                            record_worker_stats(done.iter().filter(|(_, s)| s.is_ok()).count());
                             if steal_timing {
                                 osa_obs::global()
                                     .histogram("runtime.steal.us")
@@ -311,21 +415,57 @@ impl<'a, T: Sync> BatchJob<'a, T> {
                     })
                     .collect();
                 for h in handles {
-                    for (i, r, us) in h.join().expect("batch worker panicked") {
-                        slots[i] = Some((r, us));
+                    // A worker panic must not abort the whole batch: keep
+                    // joining the remaining workers and convert whatever
+                    // items this one had claimed into failures below.
+                    match h.join() {
+                        Ok(done) => {
+                            for (i, slot) in done {
+                                slots[i] = Some(slot);
+                            }
+                        }
+                        Err(payload) => {
+                            worker_panic = Some(panic_message(payload.as_ref()));
+                        }
                     }
                 }
             });
         }
 
+        let executed = slots.iter().filter(|s| s.is_some()).count();
+        if count_attempts {
+            obs.add("runtime.items.attempts", executed as u64);
+        }
         let mut results = Vec::with_capacity(slots.len());
         let mut per_item_micros = Vec::with_capacity(slots.len());
         let mut latency = LatencyHistogram::new();
-        for slot in slots {
-            let (r, us) = slot.expect("every item index was claimed exactly once");
-            latency.record(us);
-            per_item_micros.push(us);
-            results.push(r);
+        let mut failed = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok((r, us))) => {
+                    latency.record(us);
+                    per_item_micros.push(us);
+                    results.push(r);
+                }
+                Some(Err(message)) => failed.push(ItemFailure {
+                    item: i,
+                    attempts: 1,
+                    message,
+                }),
+                // Claimed by a worker that died before reporting — the
+                // worker-level panic message (if any) is the best
+                // attribution available.
+                None => failed.push(ItemFailure {
+                    item: i,
+                    attempts: 1,
+                    message: worker_panic
+                        .clone()
+                        .unwrap_or_else(|| "worker thread died before reporting".to_owned()),
+                }),
+            }
+        }
+        if count_attempts && !failed.is_empty() {
+            obs.add("runtime.items.failed", failed.len() as u64);
         }
         BatchReport {
             results,
@@ -334,7 +474,7 @@ impl<'a, T: Sync> BatchJob<'a, T> {
             wall_micros: wall.micros(),
             jobs,
             stages: Vec::new(),
-            failed: Vec::new(),
+            failed,
             retried: 0,
         }
     }
@@ -356,57 +496,72 @@ impl<'a, T: Sync> BatchJob<'a, T> {
         F: Fn(&mut WorkerScratch, usize, &T, u32) -> R + Sync,
     {
         struct Outcome<R> {
+            item: usize,
             result: Option<R>,
             attempts: u32,
             error: Option<String>,
         }
-        let report = self.run(|scratch, i, item| {
-            let mut attempt = 0u32;
-            loop {
-                let caught =
-                    std::panic::catch_unwind(AssertUnwindSafe(|| work(scratch, i, item, attempt)));
-                match caught {
-                    Ok(r) => {
-                        return Outcome {
-                            result: Some(r),
-                            attempts: attempt + 1,
-                            error: None,
-                        }
-                    }
-                    Err(payload) => {
-                        // The panic may have left the scratch caches
-                        // mid-update; they are only performance state,
-                        // so replace rather than trying to repair.
-                        *scratch = WorkerScratch::new();
-                        if attempt >= retry_limit {
+        let report = self.run_counted(
+            |scratch, i, item| {
+                let mut attempt = 0u32;
+                loop {
+                    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        work(scratch, i, item, attempt)
+                    }));
+                    match caught {
+                        Ok(r) => {
                             return Outcome {
-                                result: None,
+                                item: i,
+                                result: Some(r),
                                 attempts: attempt + 1,
-                                error: Some(panic_message(payload.as_ref())),
-                            };
+                                error: None,
+                            }
                         }
-                        attempt += 1;
+                        Err(payload) => {
+                            // The panic may have left the scratch caches
+                            // mid-update; they are only performance state,
+                            // so replace rather than trying to repair.
+                            *scratch = WorkerScratch::new();
+                            if attempt >= retry_limit {
+                                return Outcome {
+                                    item: i,
+                                    result: None,
+                                    attempts: attempt + 1,
+                                    error: Some(panic_message(payload.as_ref())),
+                                };
+                            }
+                            attempt += 1;
+                        }
                     }
                 }
-            }
-        });
-        let mut failed = Vec::new();
+            },
+            false,
+        );
+        // The inner batch can itself record failures (a panic escaping
+        // even the retry loop, or a dead worker thread); keep those and
+        // fill their result slots with `None` so `results` stays indexed
+        // by item.
+        let mut failed = report.failed;
         let mut retried = 0u64;
-        let mut results = Vec::with_capacity(report.results.len());
-        for (item, out) in report.results.into_iter().enumerate() {
+        let mut attempts_total = 0u64;
+        let mut results: Vec<Option<R>> = (0..self.items.len()).map(|_| None).collect();
+        for out in report.results {
+            attempts_total += u64::from(out.attempts);
             if out.result.is_some() && out.attempts > 1 {
                 retried += 1;
             }
             if out.result.is_none() {
                 failed.push(ItemFailure {
-                    item,
+                    item: out.item,
                     attempts: out.attempts,
                     message: out.error.unwrap_or_default(),
                 });
             }
-            results.push(out.result);
+            results[out.item] = out.result;
         }
+        failed.sort_by_key(|f| f.item);
         let obs = osa_obs::global();
+        obs.add("runtime.items.attempts", attempts_total);
         obs.add("runtime.items.failed", failed.len() as u64);
         obs.add("runtime.items.retried", retried);
         BatchReport {
@@ -496,9 +651,11 @@ pub struct BatchReport<R> {
     /// Per-stage latency breakdown (empty unless the batch driver
     /// recorded stages, as [`summarize_corpus`] does).
     pub stages: Vec<StageStats>,
-    /// Items whose every attempt panicked (only possible under
-    /// [`BatchJob::run_isolated`]; always empty otherwise). Like
-    /// `results`, jobs-invariant.
+    /// Items whose every attempt panicked: under
+    /// [`BatchJob::run_isolated`] after `retry_limit` retries, under
+    /// plain [`BatchJob::run`] after the single attempt. Failed items
+    /// are absent from `results`/`per_item_micros` (which stay aligned
+    /// with each other). Like `results`, jobs-invariant.
     pub failed: Vec<ItemFailure>,
     /// Items that succeeded after at least one panicking attempt.
     pub retried: u64,
@@ -642,6 +799,18 @@ impl BatchAlgorithm {
             "local-search" => BatchAlgorithm::LocalSearch,
             _ => return None,
         })
+    }
+
+    /// The CLI spelling of this algorithm (inverse of
+    /// [`from_name`](Self::from_name)).
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchAlgorithm::Greedy => "greedy",
+            BatchAlgorithm::LazyGreedy => "lazy",
+            BatchAlgorithm::Ilp => "ilp",
+            BatchAlgorithm::RandomizedRounding => "rr",
+            BatchAlgorithm::LocalSearch => "local-search",
+        }
     }
 
     /// The span name this algorithm's solve stage records under.
@@ -814,6 +983,34 @@ pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<Ite
     }
 }
 
+/// Summarize a single corpus item with a caller-owned scratch — the
+/// per-request entry point of the `osa-serve` daemon, which keeps one
+/// [`Extractor`] and one [`WorkerScratch`] per worker thread and calls
+/// this once per `GET /summary/{item}`.
+///
+/// Runs the exact [`summarize_corpus`] per-item pipeline (extract →
+/// optional fault → coverage graph → solve), so for identical
+/// `(corpus, opts)` the returned [`ItemSummary`] — and therefore
+/// [`render_item_summary`]'s text — is byte-identical to the matching
+/// block of a batch run at any `--jobs`. `opts.jobs` and
+/// `opts.fault_plan` are ignored; pass `fault` explicitly (usually
+/// [`Fault::None`]).
+///
+/// Returns `None` when `item` is out of range. Panics propagate to the
+/// caller — wrap in `catch_unwind` (as both the batch engine and the
+/// serve worker pool do) to isolate poisoned requests.
+pub fn summarize_one(
+    corpus: &Corpus,
+    extractor: &Extractor,
+    opts: &BatchOptions,
+    scratch: &mut WorkerScratch,
+    item: usize,
+    fault: Fault,
+) -> Option<ItemSummary> {
+    let it = corpus.items.get(item)?;
+    Some(summarize_item(corpus, extractor, opts, scratch, item, it, fault).0)
+}
+
 /// The per-item pipeline body of [`summarize_corpus`]: extract → (maybe
 /// corrupt, under fault injection) → coverage graph → summarize. Returns
 /// the summary plus the three per-stage wall times in microseconds.
@@ -831,14 +1028,9 @@ fn summarize_item(
     let (mut ex, extract_us) = obs.time("extract", || {
         extractor.extract(item, opts.extract_impl, &mut scratch.extract)
     });
-    if let Fault::NanSentiment { slot } = fault {
-        // Field-level write bypasses `Pair::new`'s sanitization on
-        // purpose: the graph builder's NaN guard must catch this.
-        if !ex.pairs.is_empty() {
-            let n = ex.pairs.len() as u64;
-            ex.pairs[(slot % n) as usize].sentiment = f64::NAN;
-        }
-    }
+    // Centralized in `Fault::apply_to_pairs` (shared with the serve
+    // path); total over zero-/single-/many-pair items.
+    fault.apply_to_pairs(&mut ex.pairs);
     if opts.granularity == Granularity::Pairs {
         // For effect only: stage the compressed pairs in the
         // scratch buffers (the returned refs would borrow the
@@ -1274,6 +1466,156 @@ mod tests {
         );
         assert!(isolated.failed.is_empty());
         assert_eq!(isolated.retried, 0);
+    }
+
+    #[test]
+    fn run_survives_a_panicking_closure() {
+        // The headline regression pin: before the panic-safe joins, a
+        // panic on the non-isolated path reached
+        // `h.join().expect("batch worker panicked")` and aborted the
+        // caller. Now it must land in `BatchReport::failed` with the
+        // original message, identically for any worker count.
+        quiet_injected_panics();
+        let items: Vec<usize> = (0..30).collect();
+        let work = |_: &mut WorkerScratch, _: usize, &x: &usize| {
+            if x % 9 == 4 {
+                panic!("injected poison on {x}");
+            }
+            x * 3
+        };
+        // Items 4, 13, 22 panic.
+        for jobs in [1usize, 2, 4, 8] {
+            let report = BatchJob::new(&items).jobs(jobs).run(work);
+            let failed_items: Vec<usize> = report.failed.iter().map(|f| f.item).collect();
+            assert_eq!(failed_items, vec![4, 13, 22], "jobs={jobs}");
+            for f in &report.failed {
+                assert_eq!(f.attempts, 1, "plain run never retries");
+                assert!(f
+                    .message
+                    .contains(&format!("injected poison on {}", f.item)));
+            }
+            // Failed items are dropped; survivors keep item order.
+            let expect: Vec<usize> = items
+                .iter()
+                .filter(|&&x| x % 9 != 4)
+                .map(|x| x * 3)
+                .collect();
+            assert_eq!(report.results, expect, "jobs={jobs}");
+            assert_eq!(report.per_item_micros.len(), report.results.len());
+            assert_eq!(report.latency.count(), report.results.len());
+        }
+    }
+
+    #[test]
+    fn run_scratch_is_replaced_after_a_panic_on_the_plain_path() {
+        quiet_injected_panics();
+        let items: Vec<usize> = vec![0, 1];
+        // Item 0 poisons the scratch then panics; item 1 (same worker,
+        // jobs=1) must see a fresh scratch.
+        let report = BatchJob::new(&items).jobs(1).run(|scratch, _, &x| {
+            if x == 0 {
+                scratch.pair_buf.reserve(1 << 16);
+                panic!("injected poison");
+            }
+            scratch.pair_buf.capacity()
+        });
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.results, vec![0]); // fresh scratch: no capacity carried over
+        assert!(report.results[0] < (1 << 16));
+    }
+
+    #[test]
+    fn run_sharded_reraises_the_lowest_chunk_panic() {
+        quiet_injected_panics();
+        // Chunks 5 and 2 panic; all workers must drain (no abort), and
+        // the caller sees exactly chunk 2's payload — deterministic and
+        // catchable, so an enclosing per-item catch_unwind contains it.
+        let caught = std::panic::catch_unwind(|| {
+            run_sharded::<usize, ()>(8, 4, |_, c| {
+                if c == 5 || c == 2 {
+                    panic!("injected shard failure {c}");
+                }
+                c * 2
+            })
+        });
+        let payload = caught.expect_err("a shard panic must propagate");
+        assert_eq!(panic_message(payload.as_ref()), "injected shard failure 2");
+        // Without failures every chunk lands in order.
+        let ok = run_sharded::<usize, ()>(8, 4, |_, c| c * 2);
+        assert_eq!(ok, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn par_build_panic_is_catchable_not_process_fatal() {
+        use std::sync::atomic::AtomicU32;
+        // Drive the real `par_build` worker fan-out (via run_sharded)
+        // over enough pairs to clear PAR_BUILD_MIN_PAIRS, with a shard_fn
+        // stand-in that panics once: the panic must arrive on the calling
+        // thread as a normal unwinding panic (containable by the serve
+        // layer), not a worker-join abort.
+        let calls = AtomicU32::new(0);
+        let caught = std::panic::catch_unwind(|| {
+            run_sharded::<u32, ()>(16, 4, |_, c| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                if c == 0 {
+                    panic!("injected NaN sentiments stand-in");
+                }
+                c as u32
+            })
+        });
+        assert!(caught.is_err());
+        // Every chunk was still attempted: one poisoned chunk does not
+        // starve the others.
+        assert_eq!(calls.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn failure_attempts_match_actual_executions() {
+        use std::sync::atomic::AtomicU32;
+        quiet_injected_panics();
+        // Satellite pin: `BatchReport.failed[..].attempts` (the number
+        // `/metrics` aggregates into `runtime.items.attempts`) must equal
+        // the number of times the work closure actually ran, under a
+        // deterministic seeded plan, for any worker count.
+        let items: Vec<usize> = (0..60).collect();
+        let plan = FaultPlan {
+            transient_panic_rate: 0.2,
+            sticky_panic_rate: 0.2,
+            ..FaultPlan::none(2026)
+        };
+        for jobs in [1usize, 4] {
+            let execs: Vec<AtomicU32> = (0..items.len()).map(|_| AtomicU32::new(0)).collect();
+            let report = BatchJob::new(&items)
+                .jobs(jobs)
+                .run_isolated(2, |_, i, &x, attempt| {
+                    execs[i].fetch_add(1, Ordering::Relaxed);
+                    if let Fault::Panic { failing_attempts } = plan.fault_for(x) {
+                        if attempt < failing_attempts {
+                            panic!("injected panic ({x}, {attempt})");
+                        }
+                    }
+                    x
+                });
+            assert!(
+                !report.failed.is_empty(),
+                "seed must produce sticky failures"
+            );
+            assert!(report.retried > 0, "seed must produce transient failures");
+            for f in &report.failed {
+                assert_eq!(
+                    f.attempts,
+                    execs[f.item].load(Ordering::Relaxed),
+                    "item {} jobs={jobs}",
+                    f.item
+                );
+                assert_eq!(f.attempts, 3, "retry limit 2 → exactly 3 executions");
+            }
+            // Transient items: exactly one extra execution each.
+            let total: u32 = execs.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+            let expected =
+                items.len() as u32 + report.retried as u32 + report.failed.len() as u32 * 2;
+            assert_eq!(total, expected, "jobs={jobs}");
+        }
     }
 
     #[test]

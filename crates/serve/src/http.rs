@@ -1,0 +1,380 @@
+//! Minimal HTTP/1.1 over a [`std::io`] stream — just enough protocol for
+//! the `osars serve` endpoints and the `loadgen` client, with hard input
+//! limits so a malformed or hostile request can never make the daemon
+//! allocate unboundedly.
+//!
+//! Deliberately not a general HTTP implementation: one request at a time
+//! per connection (keep-alive supported, pipelining not), `\r\n` line
+//! endings, `Content-Length` bodies only (no chunked encoding), ASCII
+//! case-insensitive header names.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Most accepted headers per request.
+pub const MAX_HEADERS: usize = 64;
+/// Longest accepted single header line.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Largest accepted request body.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed request: method, percent-decoded path, query pairs, headers
+/// (names lowercased) and raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the target, percent-decoded.
+    pub path: String,
+    /// Query parameters in order of appearance, percent-decoded.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (empty when none).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of header `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Does the client ask to drop the connection after this exchange?
+    /// (HTTP/1.1 defaults to keep-alive.)
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be parsed. Each variant maps to the HTTP
+/// status the server should answer with.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed request line, header, or length field → 400.
+    Malformed(&'static str),
+    /// Body or header limits exceeded → 413 / 431.
+    TooLarge(&'static str),
+    /// Transport error or mid-request EOF; no response possible.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseError::TooLarge(what) => write!(f, "request too large: {what}"),
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Read one line terminated by `\n`, rejecting lines longer than
+/// `limit`. Returns `None` on clean EOF before any byte.
+fn read_line(
+    r: &mut impl BufRead,
+    limit: usize,
+    what: &'static str,
+) -> Result<Option<String>, ParseError> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1];
+    loop {
+        match r.read(&mut chunk)? {
+            0 => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ParseError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof mid-line",
+                )));
+            }
+            _ => {
+                if chunk[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let s = String::from_utf8(buf)
+                        .map_err(|_| ParseError::Malformed("non-UTF-8 line"))?;
+                    return Ok(Some(s));
+                }
+                if buf.len() >= limit {
+                    return Err(ParseError::TooLarge(what));
+                }
+                buf.push(chunk[0]);
+            }
+        }
+    }
+}
+
+/// Percent-decode a URL component; `+` also decodes to space in query
+/// strings. Invalid escapes pass through literally rather than failing —
+/// the daemon's parameter validation rejects anything meaningless later.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| -> Option<u8> {
+                    match b {
+                        b'0'..=b'9' => Some(b - b'0'),
+                        b'a'..=b'f' => Some(b - b'a' + 10),
+                        b'A'..=b'F' => Some(b - b'A' + 10),
+                        _ => None,
+                    }
+                };
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(h), Some(l)) => {
+                        out.push(h * 16 + l);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Split a request target into `(path, query pairs)`, percent-decoding
+/// both.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let pairs = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    (percent_decode(path), pairs)
+}
+
+/// Read and parse one request. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (normal keep-alive shutdown).
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError> {
+    let Some(line) = read_line(r, MAX_REQUEST_LINE, "request line")? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(ParseError::Malformed("request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("http version"));
+    }
+    let (path, query) = parse_target(target);
+    let method = method.to_owned();
+
+    let mut headers = Vec::new();
+    let mut content_length: usize = 0;
+    loop {
+        let line = read_line(r, MAX_HEADER_LINE, "header line")?
+            .ok_or(ParseError::Malformed("eof in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::TooLarge("header count"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::Malformed("header line"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| ParseError::Malformed("content-length"))?;
+            if content_length > MAX_BODY {
+                return Err(ParseError::TooLarge("body"));
+            }
+        }
+        headers.push((name, value));
+    }
+
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Reason phrase for the status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write one response with `Content-Length` framing. `extra_headers` are
+/// emitted verbatim (e.g. `("X-Osars-Cache", "hit")`); `close` selects
+/// the `Connection` header.
+///
+/// The whole response is assembled in memory and written with a single
+/// `write_all`: dribbling header fragments straight into an unbuffered
+/// `TcpStream` interacts with Nagle's algorithm and delayed ACKs to add
+/// tens of milliseconds per exchange.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+    close: bool,
+) -> std::io::Result<()> {
+    let mut msg = Vec::with_capacity(256 + body.len());
+    write!(
+        msg,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    )?;
+    for (name, value) in extra_headers {
+        write!(msg, "{name}: {value}\r\n")?;
+    }
+    msg.extend_from_slice(b"\r\n");
+    msg.extend_from_slice(body);
+    w.write_all(&msg)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let raw = b"GET /summary/3?k=5&eps=0.25&algo=lazy HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/summary/3");
+        assert_eq!(req.query_param("k"), Some("5"));
+        assert_eq!(req.query_param("eps"), Some("0.25"));
+        assert_eq!(req.query_param("algo"), Some("lazy"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_a_post_body() {
+        let raw =
+            b"POST /reviews HTTP/1.1\r\nContent-Length: 11\r\nConnection: close\r\n\r\nhello world";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello world");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_an_error() {
+        let req = read_request(&mut Cursor::new(&b""[..])).unwrap();
+        assert!(req.is_none());
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_input() {
+        assert!(matches!(
+            read_request(&mut Cursor::new(&b"NOT-HTTP\r\n\r\n"[..])),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request(&mut Cursor::new(
+                &b"GET / HTTP/1.1\r\nContent-Length: trouble\r\n\r\n"[..]
+            )),
+            Err(ParseError::Malformed(_))
+        ));
+        let huge = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(
+            read_request(&mut Cursor::new(huge.as_bytes())),
+            Err(ParseError::TooLarge(_))
+        ));
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 1));
+        assert!(matches!(
+            read_request(&mut Cursor::new(long_line.as_bytes())),
+            Err(ParseError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn percent_decoding_handles_escapes_and_plus() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("caf%C3%A9"), "café");
+    }
+
+    #[test]
+    fn response_is_well_framed() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "application/json",
+            b"{}",
+            &[("X-Osars-Cache", "hit")],
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("X-Osars-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,1005 @@
+//! # osa-serve — the long-lived summarization daemon
+//!
+//! The ROADMAP's production target: load a corpus **once** (interned
+//! vocabulary, concept automaton, warmed `AncestorIndex`), then answer
+//! summary queries over plain HTTP/1.1 on `std::net` — no external
+//! dependencies, thread-per-connection, `osa-json` bodies.
+//!
+//! ## Endpoints
+//!
+//! * `GET /summary/{item}?k=..&eps=..&algo=..&granularity=..&graph-impl=..&extract-impl=..`
+//!   — summarize one item. The JSON body's `"text"` field is
+//!   byte-identical to the item's block in `osars summarize --item all`
+//!   output for the same parameters (pinned by the differential tests).
+//! * `POST /reviews` — `{"item": N, "reviews": ["...", {"text": "..."}]}`
+//!   ingests new reviews and bumps the corpus epoch.
+//! * `GET /metrics` — the global `osa-obs` registry in Prometheus-style
+//!   text exposition.
+//! * `GET /healthz` — liveness plus the current epoch.
+//!
+//! ## Failure containment
+//!
+//! Requests run on a fixed worker pool behind a **bounded admission
+//! queue**: overflow is refused immediately with 503 (backpressure, not
+//! collapse), a request older than the configured deadline answers 504
+//! without doing the work, and the actual summarization executes under
+//! [`std::panic::catch_unwind`] with the per-worker scratch replaced
+//! after a panic — one poisoned request answers 500 while the daemon
+//! keeps serving (the PR 5 isolation contract, now load-bearing).
+//!
+//! ## Caching
+//!
+//! Summaries are cached in an [`lru::LruCache`] keyed by
+//! `(item, k, eps, algorithm, granularity, graph impl, extract impl,
+//! corpus epoch)`. The epoch is part of the key, so a `POST /reviews`
+//! bump makes every older entry unreachable *by construction* — stale
+//! summaries cannot be served, they age out of the LRU tail.
+
+pub mod http;
+mod loadgen;
+pub mod lru;
+
+pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport};
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use http::{read_request, write_response, ParseError, Request};
+use lru::LruCache;
+use osa_core::{Granularity, GraphImpl};
+use osa_datasets::{Corpus, ExtractImpl, Extractor, Review};
+use osa_runtime::{
+    effective_jobs, render_item_summary, summarize_one, BatchAlgorithm, BatchOptions, Fault,
+    ItemSummary, WorkerScratch,
+};
+
+/// Configuration of [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker pool size (`0` = all available cores).
+    pub workers: usize,
+    /// Bounded admission queue depth; a request arriving while the queue
+    /// holds this many waiting jobs is refused with 503.
+    pub queue_depth: usize,
+    /// Per-request deadline in milliseconds, measured from admission; a
+    /// job whose turn comes after the deadline answers 504 without
+    /// doing the work. `0` disables deadlines.
+    pub deadline_ms: u64,
+    /// LRU summary-cache capacity in entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Pre-compute every item's summary for the default parameters at
+    /// startup, so the cache is hot before the first request.
+    pub warm: bool,
+    /// Default summarization parameters; `GET /summary` query parameters
+    /// override `k`/`eps`/`algorithm`/`granularity`/`graph_impl`/
+    /// `extract_impl` per request. `jobs`, `fault_plan` and `retries`
+    /// are ignored by the daemon.
+    pub defaults: BatchOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 0,
+            queue_depth: 128,
+            deadline_ms: 10_000,
+            cache_capacity: 4096,
+            warm: false,
+            defaults: BatchOptions::default(),
+        }
+    }
+}
+
+/// One immutable corpus snapshot. `POST /reviews` builds a new state and
+/// swaps the shared `Arc`, so in-flight requests keep the snapshot they
+/// started with and never observe a half-updated corpus.
+struct EpochState {
+    corpus: Corpus,
+    extractor: Extractor,
+    epoch: u64,
+}
+
+impl EpochState {
+    fn new(corpus: Corpus, extractor: Extractor, epoch: u64) -> Self {
+        // Warm the ancestor closure before the state becomes visible, so
+        // no request pays the one-off index build.
+        let _ = corpus.hierarchy.ancestor_index();
+        EpochState {
+            corpus,
+            extractor,
+            epoch,
+        }
+    }
+}
+
+/// Cache key: every parameter that affects the response body, including
+/// the corpus epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    epoch: u64,
+    item: usize,
+    k: usize,
+    eps_bits: u64,
+    algo: &'static str,
+    granularity: u8,
+    graph: u8,
+    extract: u8,
+}
+
+fn cache_key(p: &SummaryParams, epoch: u64) -> CacheKey {
+    CacheKey {
+        epoch,
+        item: p.item,
+        k: p.opts.k,
+        eps_bits: p.opts.eps.to_bits(),
+        algo: p.opts.algorithm.name(),
+        granularity: p.opts.granularity as u8,
+        graph: p.opts.graph_impl as u8,
+        extract: p.opts.extract_impl as u8,
+    }
+}
+
+/// Test/benchmark fault injection requested via the `inject` query
+/// parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Inject {
+    None,
+    /// Panic inside the worker (exercises the 500 isolation path).
+    Panic,
+    /// Sleep before computing (exercises queue backpressure/deadlines).
+    DelayMs(u64),
+}
+
+/// A validated `GET /summary` request.
+#[derive(Debug, Clone)]
+struct SummaryParams {
+    item: usize,
+    opts: BatchOptions,
+    inject: Inject,
+}
+
+/// A request the connection thread could not turn into work.
+#[derive(Debug)]
+struct HttpError {
+    status: u16,
+    message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+struct SummaryOk {
+    body: String,
+    key: CacheKey,
+}
+
+type WorkerReply = Result<SummaryOk, HttpError>;
+
+struct Job {
+    params: SummaryParams,
+    admitted: Instant,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<WorkerReply>,
+}
+
+struct Shared {
+    state: RwLock<Arc<EpochState>>,
+    cache: Mutex<LruCache<CacheKey, String>>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    opts: ServeOptions,
+    shutdown: AtomicBool,
+    /// Open sockets, for the `serve.connections` gauge.
+    connections: AtomicU64,
+}
+
+impl Shared {
+    fn snapshot(&self) -> Arc<EpochState> {
+        self.state.read().expect("state lock").clone()
+    }
+}
+
+/// A running daemon. Keep the handle alive for as long as the server
+/// should accept connections; [`shutdown`](Self::shutdown) stops it and
+/// joins every pool thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current corpus epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.snapshot().epoch
+    }
+
+    /// Stop accepting, drain the queue, and join every pool thread.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        // Wake the blocking accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Best-effort: initiate shutdown but do not join (joining in
+        // drop could deadlock if dropped from a pool thread).
+        self.begin_shutdown();
+    }
+}
+
+/// Start the daemon on `addr` (e.g. `127.0.0.1:7878`; port 0 binds an
+/// ephemeral port — read it back from [`ServerHandle::addr`]).
+///
+/// Enables the global `osa-obs` registry so `GET /metrics` has data.
+pub fn serve(corpus: Corpus, addr: &str, opts: ServeOptions) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    osa_obs::global().set_enabled(true);
+
+    let extractor = Extractor::from_hierarchy(&corpus.hierarchy);
+    let state = Arc::new(EpochState::new(corpus, extractor, 0));
+    let workers = effective_jobs(opts.workers);
+    let mut cache = LruCache::new(opts.cache_capacity);
+    if opts.warm && opts.cache_capacity > 0 {
+        warm_cache(&state, &opts, workers, &mut cache);
+    }
+    let shared = Arc::new(Shared {
+        state: RwLock::new(state),
+        cache: Mutex::new(cache),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        opts,
+        shutdown: AtomicBool::new(false),
+        connections: AtomicU64::new(0),
+    });
+
+    let worker_handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let shared = shared.clone();
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    let accept_shared = shared.clone();
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let conn_shared = accept_shared.clone();
+            // Thread-per-connection: each socket gets its own detached
+            // thread; the worker pool (not the connection count) bounds
+            // concurrent compute.
+            std::thread::spawn(move || {
+                conn_shared.connections.fetch_add(1, Ordering::Relaxed);
+                handle_connection(stream, &conn_shared);
+                conn_shared.connections.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    });
+
+    Ok(ServerHandle {
+        addr: bound,
+        shared,
+        accept: Some(accept),
+        workers: worker_handles,
+    })
+}
+
+/// Pre-fill the cache with every item's default-parameter summary (one
+/// parallel batch over the loaded corpus).
+fn warm_cache(
+    state: &EpochState,
+    opts: &ServeOptions,
+    workers: usize,
+    cache: &mut LruCache<CacheKey, String>,
+) {
+    let mut batch_opts = opts.defaults.clone();
+    batch_opts.jobs = workers;
+    batch_opts.fault_plan = None;
+    let report = osa_runtime::summarize_corpus(&state.corpus, &batch_opts);
+    let params = SummaryParams {
+        item: 0,
+        opts: batch_opts,
+        inject: Inject::None,
+    };
+    for summary in &report.results {
+        let mut p = params.clone();
+        p.item = summary.item;
+        let key = cache_key(&p, state.epoch);
+        cache.insert(key, summary_body(summary, &p, state.epoch));
+    }
+}
+
+/// Install a process-wide panic hook that silences panics whose payload
+/// marks them as injected (`inject=panic` requests, fault-plan panics) —
+/// the daemon answers 500 for those by design, and a backtrace per
+/// poisoned request would drown the log. All other panics still print.
+pub fn quiet_injected_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let is_injected = |m: &str| m.contains("injected") || m.contains("NaN sentiments");
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| is_injected(m))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| is_injected(m));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+// --- worker pool -----------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    let obs = osa_obs::global();
+    let mut scratch = WorkerScratch::new();
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.queue_cv.wait(queue).expect("queue condvar");
+            }
+        };
+        obs.observe(
+            "serve.queue.wait.us",
+            job.admitted.elapsed().as_secs_f64() * 1e6,
+        );
+        if job.deadline.is_some_and(|d| Instant::now() > d) {
+            obs.add("serve.deadline.expired", 1);
+            let _ = job.reply.send(Err(HttpError::new(
+                504,
+                "deadline exceeded before the request was scheduled",
+            )));
+            continue;
+        }
+        let reply = compute(shared, &job.params, &mut scratch);
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Compute one summary under panic isolation. A panic — injected or
+/// genuine — answers 500 and replaces the worker's scratch; the worker
+/// thread itself never dies.
+fn compute(shared: &Shared, params: &SummaryParams, scratch: &mut WorkerScratch) -> WorkerReply {
+    let obs = osa_obs::global();
+    let state = shared.snapshot();
+    if params.item >= state.corpus.items.len() {
+        return Err(HttpError::new(
+            404,
+            format!(
+                "item {} out of range (corpus has {} items)",
+                params.item,
+                state.corpus.items.len()
+            ),
+        ));
+    }
+    if let Inject::DelayMs(ms) = params.inject {
+        std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+    }
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if params.inject == Inject::Panic {
+            panic!("injected panic (serve, item {})", params.item);
+        }
+        summarize_one(
+            &state.corpus,
+            &state.extractor,
+            &params.opts,
+            scratch,
+            params.item,
+            Fault::None,
+        )
+    }));
+    match caught {
+        Ok(Some(summary)) => Ok(SummaryOk {
+            body: summary_body(&summary, params, state.epoch),
+            key: cache_key(params, state.epoch),
+        }),
+        Ok(None) => Err(HttpError::new(404, "item out of range")),
+        Err(payload) => {
+            // The panic may have left the scratch mid-update; replace it
+            // before the next request reuses this worker.
+            *scratch = WorkerScratch::new();
+            obs.add("serve.panics", 1);
+            Err(HttpError::new(
+                500,
+                format!("summarization panicked: {}", panic_text(payload.as_ref())),
+            ))
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+/// The `GET /summary` response body. The `"text"` field is the exact
+/// CLI rendering ([`render_item_summary`]), which the differential tests
+/// byte-compare against `osars summarize` stdout.
+fn summary_body(summary: &ItemSummary, params: &SummaryParams, epoch: u64) -> String {
+    use osa_json::Value;
+    let params_obj = Value::Object(vec![
+        ("k".to_owned(), Value::Number(params.opts.k as f64)),
+        ("eps".to_owned(), Value::Number(params.opts.eps)),
+        (
+            "algo".to_owned(),
+            Value::String(params.opts.algorithm.name().to_owned()),
+        ),
+        (
+            "granularity".to_owned(),
+            Value::String(granularity_name(params.opts.granularity).to_owned()),
+        ),
+        (
+            "graph-impl".to_owned(),
+            Value::String(params.opts.graph_impl.name().to_owned()),
+        ),
+        (
+            "extract-impl".to_owned(),
+            Value::String(params.opts.extract_impl.name().to_owned()),
+        ),
+    ]);
+    let obj = Value::Object(vec![
+        ("item".to_owned(), Value::Number(summary.item as f64)),
+        ("name".to_owned(), Value::String(summary.name.clone())),
+        ("epoch".to_owned(), Value::Number(epoch as f64)),
+        ("params".to_owned(), params_obj),
+        (
+            "cost".to_owned(),
+            Value::Number(summary.summary.cost as f64),
+        ),
+        (
+            "root_cost".to_owned(),
+            Value::Number(summary.root_cost as f64),
+        ),
+        (
+            "candidates".to_owned(),
+            Value::Number(summary.num_candidates as f64),
+        ),
+        ("pairs".to_owned(), Value::Number(summary.num_pairs as f64)),
+        (
+            "selected".to_owned(),
+            Value::Array(
+                summary
+                    .summary
+                    .selected
+                    .iter()
+                    .map(|&s| Value::Number(s as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "lines".to_owned(),
+            Value::Array(
+                summary
+                    .rendered
+                    .iter()
+                    .map(|l| Value::String(l.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "text".to_owned(),
+            Value::String(render_item_summary(summary)),
+        ),
+    ]);
+    osa_json::to_string(&obj)
+}
+
+fn granularity_name(g: Granularity) -> &'static str {
+    match g {
+        Granularity::Pairs => "pairs",
+        Granularity::Sentences => "sentences",
+        Granularity::Reviews => "reviews",
+    }
+}
+
+// --- connection handling ---------------------------------------------------
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // Bound idle keep-alive reads so connection threads cannot pile up
+    // forever after clients vanish without closing. Disable Nagle: each
+    // response is a single complete write, so there is nothing for the
+    // kernel to usefully coalesce — only latency to add.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => break,
+            Err(ParseError::Malformed(what)) => {
+                let _ = respond_error(
+                    &mut writer,
+                    400,
+                    &format!("malformed request: {what}"),
+                    true,
+                );
+                break;
+            }
+            Err(ParseError::TooLarge(what)) => {
+                let _ = respond_error(
+                    &mut writer,
+                    413,
+                    &format!("request too large: {what}"),
+                    true,
+                );
+                break;
+            }
+            Err(ParseError::Io(_)) => break,
+        };
+        let close = req.wants_close();
+        let start = Instant::now();
+        let obs = osa_obs::global();
+        obs.add("serve.requests", 1);
+        let (status, served) = route(&req, shared, &mut writer, close);
+        obs.add(&format!("serve.responses.{status}"), 1);
+        obs.observe("serve.request.us", start.elapsed().as_secs_f64() * 1e6);
+        if close || !served {
+            break;
+        }
+    }
+}
+
+/// Dispatch one request; returns `(status, connection still usable)`.
+fn route(req: &Request, shared: &Shared, w: &mut TcpStream, close: bool) -> (u16, bool) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => respond_healthz(shared, w, close),
+        ("GET", "/metrics") => {
+            let text = osa_obs::global().snapshot().render_prometheus();
+            let ok = write_response(
+                w,
+                200,
+                "text/plain; version=0.0.4",
+                text.as_bytes(),
+                &[],
+                close,
+            )
+            .is_ok();
+            (200, ok)
+        }
+        ("GET", path) if path.starts_with("/summary/") => respond_summary(req, shared, w, close),
+        ("POST", "/reviews") => respond_ingest(req, shared, w, close),
+        (_, "/healthz" | "/metrics" | "/reviews") => {
+            let ok = respond_error(w, 405, "method not allowed", close).is_ok();
+            (405, ok)
+        }
+        (_, path) if path.starts_with("/summary/") => {
+            let ok = respond_error(w, 405, "method not allowed", close).is_ok();
+            (405, ok)
+        }
+        _ => {
+            let ok = respond_error(w, 404, "no such endpoint", close).is_ok();
+            (404, ok)
+        }
+    }
+}
+
+fn respond_error(
+    w: &mut impl Write,
+    status: u16,
+    message: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    use osa_json::Value;
+    let obj = Value::Object(vec![
+        ("error".to_owned(), Value::String(message.to_owned())),
+        ("status".to_owned(), Value::Number(status as f64)),
+    ]);
+    write_response(
+        w,
+        status,
+        "application/json",
+        osa_json::to_string(&obj).as_bytes(),
+        &[],
+        close,
+    )
+}
+
+fn respond_healthz(shared: &Shared, w: &mut TcpStream, close: bool) -> (u16, bool) {
+    use osa_json::Value;
+    let state = shared.snapshot();
+    let obj = Value::Object(vec![
+        ("ok".to_owned(), Value::Bool(true)),
+        ("epoch".to_owned(), Value::Number(state.epoch as f64)),
+        (
+            "items".to_owned(),
+            Value::Number(state.corpus.items.len() as f64),
+        ),
+        (
+            "corpus".to_owned(),
+            Value::String(state.corpus.name.clone()),
+        ),
+        (
+            "workers".to_owned(),
+            Value::Number(effective_jobs(shared.opts.workers) as f64),
+        ),
+    ]);
+    let ok = write_response(
+        w,
+        200,
+        "application/json",
+        osa_json::to_string(&obj).as_bytes(),
+        &[],
+        close,
+    )
+    .is_ok();
+    (200, ok)
+}
+
+/// Parse and validate `GET /summary/{item}` query parameters against the
+/// daemon defaults.
+fn parse_summary_params(
+    req: &Request,
+    defaults: &BatchOptions,
+) -> Result<SummaryParams, HttpError> {
+    let item_str = req
+        .path
+        .strip_prefix("/summary/")
+        .expect("routed by prefix");
+    let item: usize = item_str
+        .parse()
+        .map_err(|_| HttpError::new(400, format!("bad item index '{item_str}'")))?;
+    let mut opts = defaults.clone();
+    opts.jobs = 1;
+    opts.fault_plan = None;
+    if let Some(k) = req.query_param("k") {
+        opts.k = k
+            .parse()
+            .map_err(|_| HttpError::new(400, format!("bad k '{k}'")))?;
+    }
+    if let Some(eps) = req.query_param("eps") {
+        let parsed: f64 = eps
+            .parse()
+            .map_err(|_| HttpError::new(400, format!("bad eps '{eps}'")))?;
+        if !parsed.is_finite() || parsed < 0.0 {
+            return Err(HttpError::new(
+                400,
+                format!("eps must be finite and non-negative, got '{eps}'"),
+            ));
+        }
+        opts.eps = parsed;
+    }
+    if let Some(algo) = req.query_param("algo") {
+        opts.algorithm = BatchAlgorithm::from_name(algo)
+            .ok_or_else(|| HttpError::new(400, format!("unknown algorithm '{algo}'")))?;
+    }
+    if let Some(g) = req.query_param("granularity") {
+        opts.granularity = match g {
+            "pairs" => Granularity::Pairs,
+            "sentences" => Granularity::Sentences,
+            "reviews" => Granularity::Reviews,
+            other => {
+                return Err(HttpError::new(
+                    400,
+                    format!("unknown granularity '{other}'"),
+                ))
+            }
+        };
+    }
+    if let Some(gi) = req.query_param("graph-impl") {
+        opts.graph_impl = GraphImpl::from_name(gi)
+            .ok_or_else(|| HttpError::new(400, format!("unknown graph impl '{gi}'")))?;
+    }
+    if let Some(ei) = req.query_param("extract-impl") {
+        opts.extract_impl = ExtractImpl::from_name(ei)
+            .ok_or_else(|| HttpError::new(400, format!("unknown extract impl '{ei}'")))?;
+    }
+    let inject = match req.query_param("inject") {
+        None => Inject::None,
+        Some("panic") => Inject::Panic,
+        Some(spec) if spec.starts_with("delay:") => {
+            let ms = spec["delay:".len()..]
+                .parse()
+                .map_err(|_| HttpError::new(400, format!("bad inject spec '{spec}'")))?;
+            Inject::DelayMs(ms)
+        }
+        Some(other) => return Err(HttpError::new(400, format!("unknown inject '{other}'"))),
+    };
+    Ok(SummaryParams { item, opts, inject })
+}
+
+fn respond_summary(req: &Request, shared: &Shared, w: &mut TcpStream, close: bool) -> (u16, bool) {
+    let obs = osa_obs::global();
+    let params = match parse_summary_params(req, &shared.opts.defaults) {
+        Ok(p) => p,
+        Err(e) => {
+            let ok = respond_error(w, e.status, &e.message, close).is_ok();
+            return (e.status, ok);
+        }
+    };
+
+    // Cache lookup against the *current* epoch. Injected requests bypass
+    // the cache entirely: a panic has no body and a delay must actually
+    // delay.
+    let cacheable = params.inject == Inject::None && shared.opts.cache_capacity > 0;
+    if cacheable {
+        let epoch = shared.snapshot().epoch;
+        let key = cache_key(&params, epoch);
+        let hit = shared.cache.lock().expect("cache lock").get(&key).cloned();
+        if let Some(body) = hit {
+            obs.add("serve.cache.hits", 1);
+            let ok = write_response(
+                w,
+                200,
+                "application/json",
+                body.as_bytes(),
+                &[("X-Osars-Cache", "hit")],
+                close,
+            )
+            .is_ok();
+            return (200, ok);
+        }
+        obs.add("serve.cache.misses", 1);
+    }
+
+    // Admission: refuse instead of queueing unboundedly.
+    let (tx, rx) = mpsc::channel();
+    let deadline = (shared.opts.deadline_ms > 0)
+        .then(|| Instant::now() + Duration::from_millis(shared.opts.deadline_ms));
+    {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        if queue.len() >= shared.opts.queue_depth {
+            drop(queue);
+            obs.add("serve.queue.rejected", 1);
+            let ok = respond_error(w, 503, "admission queue full, retry later", close).is_ok();
+            return (503, ok);
+        }
+        queue.push_back(Job {
+            params: params.clone(),
+            admitted: Instant::now(),
+            deadline,
+            reply: tx,
+        });
+    }
+    shared.queue_cv.notify_one();
+
+    match rx.recv() {
+        Ok(Ok(done)) => {
+            if cacheable {
+                shared
+                    .cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(done.key, done.body.clone());
+            }
+            let ok = write_response(
+                w,
+                200,
+                "application/json",
+                done.body.as_bytes(),
+                &[("X-Osars-Cache", "miss")],
+                close,
+            )
+            .is_ok();
+            (200, ok)
+        }
+        Ok(Err(e)) => {
+            let ok = respond_error(w, e.status, &e.message, close).is_ok();
+            (e.status, ok)
+        }
+        // Worker pool gone (shutdown mid-request).
+        Err(_) => {
+            let ok = respond_error(w, 503, "server shutting down", close).is_ok();
+            (503, ok)
+        }
+    }
+}
+
+/// `POST /reviews`: append reviews to one item and publish a new epoch.
+fn respond_ingest(req: &Request, shared: &Shared, w: &mut TcpStream, close: bool) -> (u16, bool) {
+    match ingest(req, shared) {
+        Ok((item, added, epoch)) => {
+            use osa_json::Value;
+            let obj = Value::Object(vec![
+                ("ok".to_owned(), Value::Bool(true)),
+                ("item".to_owned(), Value::Number(item as f64)),
+                ("added".to_owned(), Value::Number(added as f64)),
+                ("epoch".to_owned(), Value::Number(epoch as f64)),
+            ]);
+            let ok = write_response(
+                w,
+                200,
+                "application/json",
+                osa_json::to_string(&obj).as_bytes(),
+                &[],
+                close,
+            )
+            .is_ok();
+            (200, ok)
+        }
+        Err(e) => {
+            let ok = respond_error(w, e.status, &e.message, close).is_ok();
+            (e.status, ok)
+        }
+    }
+}
+
+fn ingest(req: &Request, shared: &Shared) -> Result<(usize, usize, u64), HttpError> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| HttpError::new(400, "body is not UTF-8"))?;
+    let value =
+        osa_json::parse(text).map_err(|e| HttpError::new(400, format!("bad JSON body: {e}")))?;
+    let item = value
+        .get("item")
+        .and_then(osa_json::Value::as_u64)
+        .ok_or_else(|| HttpError::new(400, "missing numeric 'item' field"))?
+        as usize;
+    let reviews = value
+        .get("reviews")
+        .and_then(osa_json::Value::as_array)
+        .ok_or_else(|| HttpError::new(400, "missing 'reviews' array"))?;
+    if reviews.is_empty() {
+        return Err(HttpError::new(400, "'reviews' must not be empty"));
+    }
+    let mut texts = Vec::with_capacity(reviews.len());
+    for (i, r) in reviews.iter().enumerate() {
+        let t = r
+            .as_str()
+            .or_else(|| r.get("text").and_then(osa_json::Value::as_str))
+            .ok_or_else(|| {
+                HttpError::new(
+                    400,
+                    format!("reviews[{i}] must be a string or an object with 'text'"),
+                )
+            })?;
+        texts.push(t.to_owned());
+    }
+
+    // Build the successor state outside the write lock's critical
+    // section as far as possible; the clone is the expensive part.
+    let mut state_guard = shared.state.write().expect("state lock");
+    let current = state_guard.clone();
+    if item >= current.corpus.items.len() {
+        return Err(HttpError::new(
+            404,
+            format!(
+                "item {item} out of range (corpus has {} items)",
+                current.corpus.items.len()
+            ),
+        ));
+    }
+    let mut corpus = current.corpus.clone();
+    let added = texts.len();
+    for t in texts {
+        corpus.items[item].reviews.push(Review {
+            text: t,
+            planted: Vec::new(),
+        });
+    }
+    let next = Arc::new(EpochState::new(
+        corpus,
+        current.extractor.clone(),
+        current.epoch + 1,
+    ));
+    let epoch = next.epoch;
+    *state_guard = next;
+    drop(state_guard);
+    osa_obs::global().add("serve.ingest.reviews", added as u64);
+    osa_obs::global().add("serve.epoch.bumps", 1);
+    Ok((item, added, epoch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_key_distinguishes_every_parameter() {
+        let base = SummaryParams {
+            item: 1,
+            opts: BatchOptions::default(),
+            inject: Inject::None,
+        };
+        let k0 = cache_key(&base, 0);
+        assert_eq!(k0, cache_key(&base.clone(), 0));
+        assert_ne!(k0, cache_key(&base, 1), "epoch must be in the key");
+        let mut other = base.clone();
+        other.opts.k = 7;
+        assert_ne!(k0, cache_key(&other, 0));
+        let mut other = base.clone();
+        other.opts.eps = 0.75;
+        assert_ne!(k0, cache_key(&other, 0));
+        let mut other = base.clone();
+        other.opts.algorithm = BatchAlgorithm::LazyGreedy;
+        assert_ne!(k0, cache_key(&other, 0));
+        let mut other = base.clone();
+        other.opts.graph_impl = GraphImpl::Naive;
+        assert_ne!(k0, cache_key(&other, 0));
+        let mut other = base;
+        other.opts.extract_impl = ExtractImpl::Naive;
+        assert_ne!(k0, cache_key(&other, 0));
+    }
+
+    #[test]
+    fn summary_params_reject_bad_input() {
+        let req = |target: &str| Request {
+            method: "GET".to_owned(),
+            path: target.split('?').next().unwrap().to_owned(),
+            query: target
+                .split_once('?')
+                .map(|(_, q)| {
+                    q.split('&')
+                        .map(|kv| {
+                            let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                            (k.to_owned(), v.to_owned())
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let d = BatchOptions::default();
+        assert!(parse_summary_params(&req("/summary/3?k=4&eps=0.25"), &d).is_ok());
+        for bad in [
+            "/summary/abc",
+            "/summary/3?k=x",
+            "/summary/3?eps=nan",
+            "/summary/3?eps=inf",
+            "/summary/3?eps=-1",
+            "/summary/3?algo=quantum",
+            "/summary/3?granularity=words",
+            "/summary/3?graph-impl=magic",
+            "/summary/3?extract-impl=magic",
+            "/summary/3?inject=fire",
+            "/summary/3?inject=delay:x",
+        ] {
+            assert!(parse_summary_params(&req(bad), &d).is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! `osars loadgen` — a minimal closed/open-loop HTTP load generator for
+//! the daemon, over the same `std::net` sockets the server uses. Drives
+//! `GET /summary/{item}` across `conns` keep-alive connections, cycling
+//! item indices, optionally injecting a panicking request every Nth call
+//! to prove the daemon keeps answering around poisoned work. Reports
+//! nearest-rank p50/p95/p99 latency and achieved RPS (the
+//! `BENCH_serve.json` payload).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Concurrent keep-alive connections.
+    pub conns: usize,
+    /// Total target request rate across all connections
+    /// (`0` = closed-loop: each connection issues the next request as
+    /// soon as the previous one answers — measures max sustained RPS).
+    pub rps: u64,
+    /// Wall-clock run length in seconds.
+    pub duration_secs: u64,
+    /// Extra query string appended to every request (no leading `?`),
+    /// e.g. `k=4&algo=lazy`. Empty for server defaults.
+    pub query: String,
+    /// Inject `?inject=panic` on every Nth request (`0` = never). The
+    /// poisoned requests must answer 500 while the rest answer 200.
+    pub panic_every: u64,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            conns: 4,
+            rps: 0,
+            duration_secs: 5,
+            query: String::new(),
+            panic_every: 0,
+        }
+    }
+}
+
+/// Aggregated results of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests completed (any status).
+    pub total: u64,
+    /// Responses per status code, ascending by code.
+    pub by_status: Vec<(u16, u64)>,
+    /// Transport errors (connect/read/write failures).
+    pub errors: u64,
+    /// Nearest-rank latency percentiles over completed requests, in
+    /// microseconds.
+    pub p50_us: f64,
+    /// 95th percentile latency (µs).
+    pub p95_us: f64,
+    /// 99th percentile latency (µs).
+    pub p99_us: f64,
+    /// Slowest single request (µs).
+    pub max_us: f64,
+    /// Completed requests divided by elapsed wall-clock.
+    pub achieved_rps: f64,
+    /// Actual elapsed seconds.
+    pub elapsed_secs: f64,
+    /// The configuration that produced this report.
+    pub opts: LoadgenOptions,
+}
+
+impl LoadgenReport {
+    /// Responses with the given status.
+    pub fn count(&self, status: u16) -> u64 {
+        self.by_status
+            .iter()
+            .find(|(s, _)| *s == status)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// The `BENCH_serve.json` payload.
+    pub fn to_json(&self) -> String {
+        use osa_json::Value;
+        let statuses = Value::Object(
+            self.by_status
+                .iter()
+                .map(|(s, n)| (s.to_string(), Value::Number(*n as f64)))
+                .collect(),
+        );
+        let obj = Value::Object(vec![
+            ("bench".to_owned(), Value::String("serve".to_owned())),
+            ("conns".to_owned(), Value::Number(self.opts.conns as f64)),
+            ("target_rps".to_owned(), Value::Number(self.opts.rps as f64)),
+            (
+                "panic_every".to_owned(),
+                Value::Number(self.opts.panic_every as f64),
+            ),
+            ("query".to_owned(), Value::String(self.opts.query.clone())),
+            ("total".to_owned(), Value::Number(self.total as f64)),
+            ("statuses".to_owned(), statuses),
+            ("errors".to_owned(), Value::Number(self.errors as f64)),
+            ("p50_us".to_owned(), Value::Number(self.p50_us)),
+            ("p95_us".to_owned(), Value::Number(self.p95_us)),
+            ("p99_us".to_owned(), Value::Number(self.p99_us)),
+            ("max_us".to_owned(), Value::Number(self.max_us)),
+            ("achieved_rps".to_owned(), Value::Number(self.achieved_rps)),
+            ("elapsed_secs".to_owned(), Value::Number(self.elapsed_secs)),
+        ]);
+        osa_json::to_string_pretty(&obj)
+    }
+}
+
+/// One worker's tally, merged after the run.
+#[derive(Default)]
+struct ConnTally {
+    latencies_us: Vec<f64>,
+    statuses: Vec<(u16, u64)>,
+    errors: u64,
+}
+
+impl ConnTally {
+    fn record_status(&mut self, status: u16) {
+        match self.statuses.iter_mut().find(|(s, _)| *s == status) {
+            Some((_, n)) => *n += 1,
+            None => self.statuses.push((status, 1)),
+        }
+    }
+}
+
+/// A tiny blocking HTTP/1.1 GET over an existing keep-alive connection.
+/// Returns the status code; the body is read (to keep the connection
+/// clean) and discarded.
+fn http_get(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    host: &str,
+    target: &str,
+) -> std::io::Result<u16> {
+    // One write per request: fragmented writes into an unbuffered socket
+    // cost Nagle/delayed-ACK stalls (see `http::write_response`).
+    writer.write_all(
+        format!("GET {target} HTTP/1.1\r\nHost: {host}\r\nConnection: keep-alive\r\n\r\n")
+            .as_bytes(),
+    )?;
+    writer.flush()?;
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before status line",
+        ));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed in headers",
+            ));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, val)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = val.trim().parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(status)
+}
+
+/// Query `GET /healthz` once and return the corpus item count, so the
+/// generator knows which item indices exist.
+fn fetch_item_count(addr: &str) -> std::io::Result<usize> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    write!(
+        writer,
+        "GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    writer.flush()?;
+    let mut response = Vec::new();
+    reader.read_to_end(&mut response)?;
+    let text = String::from_utf8_lossy(&response);
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_default();
+    let items = osa_json::parse(body)
+        .ok()
+        .and_then(|v| v.get("items").and_then(osa_json::Value::as_u64))
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "healthz gave no item count",
+            )
+        })?;
+    Ok(items as usize)
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Run the generator against a live daemon at `addr`
+/// (e.g. `127.0.0.1:7878`).
+pub fn run_loadgen(addr: &str, opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
+    let items = fetch_item_count(addr)?;
+    if items == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "daemon reports an empty corpus",
+        ));
+    }
+    let conns = opts.conns.max(1);
+    let deadline = Instant::now() + Duration::from_secs(opts.duration_secs.max(1));
+    // Open-loop pacing: each connection owns every conns-th request of
+    // the global schedule, so per-connection interval = conns/rps.
+    let interval = if opts.rps > 0 {
+        Some(Duration::from_secs_f64(conns as f64 / opts.rps as f64))
+    } else {
+        None
+    };
+    let started = Instant::now();
+    let tallies = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let opts = opts.clone();
+                scope.spawn(move || conn_loop(addr, &opts, items, c, conns, deadline, interval))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect::<Vec<_>>()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let mut by_status: Vec<(u16, u64)> = Vec::new();
+    let mut errors = 0;
+    for t in tallies {
+        latencies.extend(t.latencies_us);
+        errors += t.errors;
+        for (s, n) in t.statuses {
+            match by_status.iter_mut().find(|(bs, _)| *bs == s) {
+                Some((_, bn)) => *bn += n,
+                None => by_status.push((s, n)),
+            }
+        }
+    }
+    by_status.sort_unstable_by_key(|(s, _)| *s);
+    latencies.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let total = latencies.len() as u64;
+    Ok(LoadgenReport {
+        total,
+        by_status,
+        errors,
+        p50_us: percentile(&latencies, 50.0),
+        p95_us: percentile(&latencies, 95.0),
+        p99_us: percentile(&latencies, 99.0),
+        max_us: latencies.last().copied().unwrap_or(0.0),
+        achieved_rps: if elapsed > 0.0 {
+            total as f64 / elapsed
+        } else {
+            0.0
+        },
+        elapsed_secs: elapsed,
+        opts: opts.clone(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conn_loop(
+    addr: &str,
+    opts: &LoadgenOptions,
+    items: usize,
+    conn_id: usize,
+    conns: usize,
+    deadline: Instant,
+    interval: Option<Duration>,
+) -> ConnTally {
+    let mut tally = ConnTally::default();
+    let mut connection: Option<(BufReader<TcpStream>, TcpStream)> = None;
+    // Global request sequence: connection c serves ticks c, c+conns, ...
+    // so the panic_every cadence is exact across the fleet.
+    let mut seq = conn_id as u64;
+    let mut next_start = Instant::now();
+    loop {
+        if let Some(interval) = interval {
+            let now = Instant::now();
+            if next_start > now {
+                std::thread::sleep(next_start - now);
+            }
+            next_start += interval;
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        if connection.is_none() {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+                    let _ = stream.set_nodelay(true);
+                    match stream.try_clone() {
+                        Ok(w) => connection = Some((BufReader::new(stream), w)),
+                        Err(_) => {
+                            tally.errors += 1;
+                            continue;
+                        }
+                    }
+                }
+                Err(_) => {
+                    tally.errors += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            }
+        }
+        let item = (seq as usize) % items;
+        let inject = opts.panic_every > 0 && seq % opts.panic_every == opts.panic_every - 1;
+        let mut target = format!("/summary/{item}");
+        let mut sep = '?';
+        if !opts.query.is_empty() {
+            target.push(sep);
+            target.push_str(&opts.query);
+            sep = '&';
+        }
+        if inject {
+            target.push(sep);
+            target.push_str("inject=panic");
+        }
+        let (reader, writer) = connection.as_mut().expect("connection just ensured");
+        let start = Instant::now();
+        match http_get(reader, writer, addr, &target) {
+            Ok(status) => {
+                tally.latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+                tally.record_status(status);
+            }
+            Err(_) => {
+                tally.errors += 1;
+                connection = None; // reconnect next tick
+            }
+        }
+        seq += conns as u64;
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn report_json_is_parseable() {
+        let report = LoadgenReport {
+            total: 10,
+            by_status: vec![(200, 9), (500, 1)],
+            errors: 0,
+            p50_us: 120.0,
+            p95_us: 340.0,
+            p99_us: 900.0,
+            max_us: 950.0,
+            achieved_rps: 100.0,
+            elapsed_secs: 0.1,
+            opts: LoadgenOptions::default(),
+        };
+        let parsed = osa_json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("statuses")
+                .and_then(|s| s.get("200"))
+                .and_then(osa_json::Value::as_u64),
+            Some(9)
+        );
+        assert_eq!(report.count(500), 1);
+        assert_eq!(report.count(404), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! A plain-`std` LRU map: `HashMap` from key to slot index over an
+//! index-linked doubly-linked list (no `unsafe`, no pointer juggling).
+//! Used by the daemon as the summary cache — keys embed the corpus
+//! epoch, so entries for a superseded corpus can never be returned, they
+//! just age out of the tail.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity least-recently-used map. `get` refreshes recency;
+/// inserting at capacity evicts the coldest entry.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Option<Slot<K, V>>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries. Capacity 0 is a valid
+    /// always-empty cache (every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = {
+            let s = self.slots[i].as_ref().expect("linked slot");
+            (s.prev, s.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].as_mut().expect("prev slot").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].as_mut().expect("next slot").prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        {
+            let s = self.slots[i].as_mut().expect("slot to link");
+            s.prev = NIL;
+            s.next = self.head;
+        }
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].as_mut().expect("old head").prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                self.unlink(i);
+                self.push_front(i);
+                Some(&self.slots[i].as_ref().expect("hit slot").value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert `key → value` as most-recent, evicting the coldest entry
+    /// if at capacity. Replaces (and refreshes) an existing key.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(i) = self.map.get(&key).copied() {
+            self.slots[i].as_mut().expect("existing slot").value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let cold = self.tail;
+            self.unlink(cold);
+            let s = self.slots[cold].take().expect("tail slot");
+            self.map.remove(&s.key);
+            self.free.push(cold);
+        }
+        let i = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(None);
+                self.slots.len() - 1
+            }
+        };
+        self.slots[i] = Some(Slot {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    /// Drop every entry (hit/miss stats are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // refresh a → b is now coldest
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacing_a_key_refreshes_it() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // refresh a → b coldest
+        c.insert("c", 3);
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.get(&"b"), None);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_one_churns_correctly() {
+        let mut c = LruCache::new(1);
+        for i in 0..100 {
+            c.insert(i, i * 2);
+            assert_eq!(c.get(&i), Some(&(i * 2)));
+            if i > 0 {
+                assert_eq!(c.get(&(i - 1)), None);
+            }
+            assert_eq!(c.len(), 1);
+        }
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = LruCache::new(4);
+        c.insert("k", 9);
+        let _ = c.get(&"k");
+        let _ = c.get(&"nope");
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn heavy_churn_keeps_list_consistent() {
+        let mut c = LruCache::new(8);
+        for round in 0u64..5 {
+            for i in 0u64..64 {
+                c.insert((i * 7 + round) % 32, i);
+                assert!(c.len() <= 8);
+            }
+        }
+        // The 8 retained entries are retrievable.
+        let mut found = 0;
+        for k in 0u64..32 {
+            if c.get(&k).is_some() {
+                found += 1;
+            }
+        }
+        assert_eq!(found, 8);
+    }
+}

@@ -14,6 +14,12 @@
 //! osars check         [--seed N] [--cases N] [--faults] [--case-out FILE]
 //!                     [--replay FILE]
 //! osars check-metrics --metrics FILE
+//! osars serve         (--corpus FILE | --domain D) [--addr HOST:PORT]
+//!                     [--workers N] [--queue-depth N] [--deadline-ms N]
+//!                     [--cache N] [--warm] [--k K] [--eps E] [...]
+//! osars loadgen       --addr HOST:PORT [--conns C] [--rps N]
+//!                     [--duration-secs S] [--panic-every N] [--query Q]
+//!                     [--out FILE]
 //! ```
 //!
 //! Corpora are the JSON documents written by `osars generate` (or by
@@ -71,6 +77,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "evaluate" => with_obs(&flags, cmd_evaluate),
         "check" => with_obs(&flags, cmd_check),
         "check-metrics" => cmd_check_metrics(&flags),
+        "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -101,6 +109,14 @@ USAGE:
   osars check         [--seed N] [--cases N] [--faults] [--case-out FILE]
                       [--replay FILE] [--metrics FILE] [--trace]
   osars check-metrics --metrics FILE
+  osars serve         (--corpus FILE | --domain D [--scale S] [--seed N])
+                      [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                      [--deadline-ms N] [--cache N] [--warm]
+                      [--k K] [--eps E] [--algorithm A]
+                      [--granularity G] [--graph-impl I] [--extract-impl I]
+  osars loadgen       --addr HOST:PORT [--conns C] [--rps N]
+                      [--duration-secs S] [--panic-every N] [--query Q]
+                      [--out FILE]
 
 DEFAULTS: --scale small --seed 42 --item 0 --k 5 --eps 0.5
           --granularity sentences --algorithm greedy --items 5 --jobs 1
@@ -130,7 +146,20 @@ METRICS:  --metrics FILE streams per-stage span events plus a final
           counter/gauge/histogram snapshot as JSON lines to FILE
           (validate with `osars check-metrics --metrics FILE`);
           --trace mirrors spans to stderr and prints a metrics table
-          at exit; neither changes what is written to stdout"
+          at exit; neither changes what is written to stdout
+SERVE:    loads the corpus once and answers GET /summary/{{item}} (with
+          k/eps/algo/granularity/graph-impl/extract-impl query params),
+          POST /reviews (ingest + epoch bump), GET /metrics (Prometheus
+          text), GET /healthz; requests run on --workers threads behind
+          a --queue-depth admission queue (503 on overflow, 504 past
+          --deadline-ms), with an LRU summary cache of --cache entries
+          keyed on the corpus epoch; one panicking request answers 500
+          and the daemon keeps serving
+LOADGEN:  drives a running daemon with --conns keep-alive connections at
+          --rps total requests/second (0 = closed-loop max) for
+          --duration-secs, optionally poisoning every --panic-every'th
+          request with inject=panic; writes p50/p95/p99 latency and
+          achieved RPS to --out (default BENCH_serve.json)"
     );
 }
 
@@ -144,9 +173,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --flag, got '{key}'"));
         };
-        // `--trace` and `--faults` are bare switches; an explicit
-        // `true|false` value is also accepted for scripting symmetry.
-        if name == "trace" || name == "faults" {
+        // `--trace`, `--faults` and `--warm` are bare switches; an
+        // explicit `true|false` value is also accepted for scripting
+        // symmetry.
+        if name == "trace" || name == "faults" || name == "warm" {
             match args.get(i + 1) {
                 Some(v) if !v.starts_with("--") => {
                     flags.insert(name.to_owned(), v.clone());
@@ -187,6 +217,21 @@ fn parse_num<T: std::str::FromStr>(
             .parse()
             .map_err(|_| format!("--{name}: cannot parse '{v}'")),
     }
+}
+
+/// Parse `--eps`, rejecting values the pipeline cannot interpret:
+/// `NaN`/`inf` make every sentiment-window comparison vacuous and a
+/// negative threshold covers nothing. (Plain `parse_num` would accept
+/// all of them — `f64::from_str` is happy to produce `NaN`.)
+fn parse_eps(flags: &HashMap<String, String>) -> Result<f64, String> {
+    let eps: f64 = parse_num(flags, "eps", 0.5)?;
+    if !eps.is_finite() || eps < 0.0 {
+        return Err(format!(
+            "--eps must be a finite non-negative number, got '{}'",
+            flag(flags, "eps").unwrap_or_default()
+        ));
+    }
+    Ok(eps)
 }
 
 // --- observability session -------------------------------------------------
@@ -400,7 +445,7 @@ fn cmd_summarize_batch(corpus: &Corpus, flags: &HashMap<String, String>) -> Resu
     let opts = BatchOptions {
         jobs: parse_num(flags, "jobs", 1)?,
         k: parse_num(flags, "k", 5)?,
-        eps: parse_num(flags, "eps", 0.5)?,
+        eps: parse_eps(flags)?,
         granularity: parse_granularity(flag(flags, "granularity").unwrap_or("sentences"))?,
         algorithm: BatchAlgorithm::from_name(algorithm_name)
             .ok_or_else(|| format!("unknown algorithm '{algorithm_name}'"))?,
@@ -416,6 +461,22 @@ fn cmd_summarize_batch(corpus: &Corpus, flags: &HashMap<String, String>) -> Resu
     if !stage_table.is_empty() {
         eprint!("{stage_table}");
     }
+    // A worker panic no longer aborts the process (the engine catches
+    // it per item); surface what failed and exit non-zero so scripts
+    // notice the batch is incomplete.
+    if !report.failed.is_empty() {
+        for f in &report.failed {
+            eprintln!(
+                "item {} failed after {} attempt(s): {}",
+                f.item, f.attempts, f.message
+            );
+        }
+        return Err(format!(
+            "{} of {} items failed; successful summaries were printed above",
+            report.failed.len(),
+            corpus.items.len()
+        ));
+    }
     Ok(())
 }
 
@@ -427,7 +488,7 @@ fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let item: usize = parse_num(flags, "item", 0)?;
     let k: usize = parse_num(flags, "k", 5)?;
-    let eps: f64 = parse_num(flags, "eps", 0.5)?;
+    let eps = parse_eps(flags)?;
     let granularity = flag(flags, "granularity").unwrap_or("sentences");
     let algorithm_name = flag(flags, "algorithm").unwrap_or("greedy");
     let alg = algorithm(algorithm_name)?;
@@ -563,7 +624,7 @@ fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     let corpus = open_corpus(flags)?;
     let k: usize = parse_num(flags, "k", 5)?;
-    let eps: f64 = parse_num(flags, "eps", 0.5)?;
+    let eps = parse_eps(flags)?;
     let jobs: usize = parse_num(flags, "jobs", 1)?;
     let items: usize = parse_num(flags, "items", 5)?;
     let items = items.min(corpus.items.len());
@@ -731,5 +792,76 @@ fn cmd_check_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!("'{path}' contains no metric records"));
     }
     println!("ok: {records} records ({spans} spans) in {path}");
+    Ok(())
+}
+
+/// `osars serve`: the long-lived summarization daemon. Loads the corpus
+/// once, then answers HTTP requests until killed. See the SERVE help
+/// section and [`osars::serve`] for the endpoint contract.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    // Injected panics (`?inject=panic`) answer 500 by design; keep the
+    // default hook from printing a backtrace per poisoned request.
+    osars::serve::quiet_injected_panics();
+    let corpus = open_corpus(flags)?;
+    let algorithm_name = flag(flags, "algorithm").unwrap_or("greedy");
+    let defaults = BatchOptions {
+        k: parse_num(flags, "k", 5)?,
+        eps: parse_eps(flags)?,
+        granularity: parse_granularity(flag(flags, "granularity").unwrap_or("sentences"))?,
+        algorithm: BatchAlgorithm::from_name(algorithm_name)
+            .ok_or_else(|| format!("unknown algorithm '{algorithm_name}'"))?,
+        corpus_seed: parse_num(flags, "seed", 42)?,
+        graph_impl: parse_graph_impl(flags)?,
+        extract_impl: parse_extract_impl(flags)?,
+        ..BatchOptions::default()
+    };
+    let opts = osars::serve::ServeOptions {
+        workers: parse_num(flags, "workers", 0)?,
+        queue_depth: parse_num(flags, "queue-depth", 128)?,
+        deadline_ms: parse_num(flags, "deadline-ms", 10_000)?,
+        cache_capacity: parse_num(flags, "cache", 4096)?,
+        warm: matches!(flag(flags, "warm"), Some(v) if v != "false"),
+        defaults,
+    };
+    let addr = flag(flags, "addr").unwrap_or("127.0.0.1:7878");
+    let items = corpus.items.len();
+    let handle =
+        osars::serve::serve(corpus, addr, opts).map_err(|e| format!("binding '{addr}': {e}"))?;
+    // Stderr, so scripts scraping stdout for summaries see nothing new.
+    eprintln!(
+        "osars serve: listening on http://{} ({items} items); Ctrl-C to stop",
+        handle.addr()
+    );
+    // The daemon runs until the process is killed; all work happens on
+    // the accept/worker threads held by `handle`.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `osars loadgen`: drive a running daemon and report latency
+/// percentiles (the `BENCH_serve.json` producer).
+fn cmd_loadgen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = required(flags, "addr")?;
+    let opts = osars::serve::LoadgenOptions {
+        conns: parse_num(flags, "conns", 4)?,
+        rps: parse_num(flags, "rps", 0)?,
+        duration_secs: parse_num(flags, "duration-secs", 5)?,
+        query: flag(flags, "query").unwrap_or("").to_owned(),
+        panic_every: parse_num(flags, "panic-every", 0)?,
+    };
+    let report = osars::serve::run_loadgen(addr, &opts)
+        .map_err(|e| format!("load-generating against '{addr}': {e}"))?;
+    let json = report.to_json();
+    let out = flag(flags, "out").unwrap_or("BENCH_serve.json");
+    std::fs::write(out, &json).map_err(|e| format!("writing '{out}': {e}"))?;
+    println!("{json}");
+    eprintln!(
+        "loadgen: {} requests in {:.1}s ({:.0} rps); p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs; report in {out}",
+        report.total, report.elapsed_secs, report.achieved_rps, report.p50_us, report.p95_us, report.p99_us
+    );
+    if report.total == 0 {
+        return Err("no requests completed — is the daemon reachable?".to_owned());
+    }
     Ok(())
 }

@@ -16,6 +16,7 @@
 //! * [`datasets`] — synthetic doctor/phone corpora calibrated to Table 1,
 //! * [`runtime`] — the deterministic parallel batch engine (`--jobs`),
 //! * [`check`] — the seeded differential-testing & fault-injection harness,
+//! * [`serve`] — the long-lived HTTP summarization daemon (`osars serve`),
 //! * [`json`] — the self-contained JSON tree model used by the snapshots,
 //! * [`obs`] — structured tracing and the pipeline metrics registry.
 //!
@@ -31,6 +32,7 @@ pub use osa_linalg as linalg;
 pub use osa_obs as obs;
 pub use osa_ontology as ontology;
 pub use osa_runtime as runtime;
+pub use osa_serve as serve;
 pub use osa_solver as solver;
 pub use osa_text as text;
 

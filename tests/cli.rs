@@ -651,3 +651,102 @@ fn domain_fallback_requires_corpus_or_domain() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--corpus (or --domain)"));
 }
+
+// --- hardened error paths ---------------------------------------------------
+
+#[test]
+fn non_finite_or_negative_eps_is_rejected() {
+    // `f64::from_str` happily parses NaN/inf/negatives; the CLI must
+    // not hand those to the pipeline on any eps-taking subcommand.
+    for cmd in ["summarize", "evaluate", "serve"] {
+        for eps in ["nan", "inf", "-inf", "-0.5", "NaN"] {
+            let out = osars(&[cmd, "--domain", "phones", "--scale", "small", "--eps", eps]);
+            assert!(!out.status.success(), "{cmd} accepted --eps {eps}");
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                err.contains("--eps must be a finite non-negative number"),
+                "{cmd} --eps {eps}: {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eps_parse_failure_is_a_clean_error() {
+    let out = osars(&[
+        "summarize",
+        "--domain",
+        "phones",
+        "--scale",
+        "small",
+        "--eps",
+        "banana",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--eps"), "{err}");
+    assert!(err.contains("cannot parse"), "{err}");
+}
+
+#[test]
+fn missing_corpus_file_is_a_clean_error() {
+    let out = osars(&["summarize", "--corpus", "/nonexistent/corpus.json"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("loading '/nonexistent/corpus.json'"), "{err}");
+}
+
+#[test]
+fn loadgen_requires_addr_and_fails_cleanly_when_unreachable() {
+    let out = osars(&["loadgen"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--addr is required"));
+
+    // Nothing listens on this port: a transport failure must be a clean
+    // nonzero exit, not a panic.
+    let out = osars(&["loadgen", "--addr", "127.0.0.1:1", "--duration-secs", "1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("load-generating against '127.0.0.1:1'"),
+        "{err}"
+    );
+}
+
+#[test]
+fn serve_rejects_bad_configuration_before_binding() {
+    let out = osars(&[
+        "serve",
+        "--domain",
+        "phones",
+        "--scale",
+        "small",
+        "--algorithm",
+        "quantum",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm 'quantum'"));
+
+    let out = osars(&["serve"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--corpus (or --domain)"));
+}
+
+#[test]
+fn help_lists_serve_and_loadgen() {
+    let out = osars(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "osars serve",
+        "osars loadgen",
+        "SERVE:",
+        "LOADGEN:",
+        "--queue-depth N",
+        "--deadline-ms N",
+        "--panic-every N",
+        "BENCH_serve.json",
+    ] {
+        assert!(text.contains(needle), "help is missing '{needle}':\n{text}");
+    }
+}

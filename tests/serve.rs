@@ -1,0 +1,335 @@
+//! End-to-end tests of the `osars serve` daemon: the served-vs-CLI
+//! differential (a summary over HTTP must be byte-identical to the same
+//! item's block in `osars summarize --item all` stdout), LRU/epoch
+//! cache semantics under concurrent clients, panic isolation, and
+//! queue backpressure/deadlines.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::Command;
+use std::time::Duration;
+
+use osars::datasets::{Corpus, CorpusConfig};
+use osars::serve::{serve, ServeOptions, ServerHandle};
+
+fn phones_small() -> Corpus {
+    Corpus::phones(&CorpusConfig::phones_small(), 42)
+}
+
+fn start(opts: ServeOptions) -> ServerHandle {
+    serve(phones_small(), "127.0.0.1:0", opts).expect("bind ephemeral port")
+}
+
+/// One blocking HTTP exchange over a fresh connection; returns
+/// `(status, headers lowercased, body)`.
+fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+) -> (u16, HashMap<String, String>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let (head, payload) = text.split_once("\r\n\r\n").expect("header/body split");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .expect("status line")
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers: HashMap<String, String> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    (status, headers, payload.to_owned())
+}
+
+fn get(addr: std::net::SocketAddr, target: &str) -> (u16, HashMap<String, String>, String) {
+    request(addr, "GET", target, None)
+}
+
+/// The `"text"` field of a summary response — the exact CLI rendering.
+fn summary_text(body: &str) -> String {
+    osars::json::parse(body)
+        .expect("valid JSON body")
+        .get("text")
+        .and_then(|v| v.as_str().map(str::to_owned))
+        .unwrap_or_else(|| panic!("no 'text' field in: {body}"))
+}
+
+fn epoch_of(body: &str) -> u64 {
+    osars::json::parse(body)
+        .expect("valid JSON body")
+        .get("epoch")
+        .and_then(osars::json::Value::as_u64)
+        .expect("numeric epoch")
+}
+
+// --- served-vs-CLI differential --------------------------------------------
+
+/// Concatenating the served `"text"` fields over every item must equal
+/// `osars summarize --item all` stdout byte-for-byte, for every
+/// graph-impl × extract-impl combination and any `--jobs`.
+#[test]
+fn served_summaries_match_cli_stdout_across_impls() {
+    let handle = start(ServeOptions::default());
+    let addr = handle.addr();
+    let (_, _, health) = get(addr, "/healthz");
+    let items = osars::json::parse(&health)
+        .unwrap()
+        .get("items")
+        .and_then(osars::json::Value::as_u64)
+        .expect("item count") as usize;
+    assert!(items > 0);
+
+    for (graph, extract, jobs) in [
+        ("indexed", "interned", "1"),
+        ("indexed", "naive", "3"),
+        ("naive", "interned", "8"),
+        ("naive", "naive", "1"),
+    ] {
+        let cli = Command::new(env!("CARGO_BIN_EXE_osars"))
+            .args([
+                "summarize",
+                "--domain",
+                "phones",
+                "--scale",
+                "small",
+                "--item",
+                "all",
+                "--graph-impl",
+                graph,
+                "--extract-impl",
+                extract,
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .expect("run osars summarize");
+        assert!(
+            cli.status.success(),
+            "{}",
+            String::from_utf8_lossy(&cli.stderr)
+        );
+        let expected = String::from_utf8(cli.stdout).expect("UTF-8 stdout");
+
+        let mut served = String::new();
+        for item in 0..items {
+            let (status, _, body) = get(
+                addr,
+                &format!("/summary/{item}?graph-impl={graph}&extract-impl={extract}"),
+            );
+            assert_eq!(status, 200, "item {item} ({graph}/{extract}): {body}");
+            served.push_str(&summary_text(&body));
+        }
+        assert_eq!(
+            served, expected,
+            "served summaries diverge from CLI stdout for {graph}/{extract} --jobs {jobs}"
+        );
+    }
+    handle.shutdown();
+}
+
+// --- cache & epochs ---------------------------------------------------------
+
+#[test]
+fn lru_cache_hits_and_epoch_invalidation_under_concurrent_clients() {
+    let handle = start(ServeOptions::default());
+    let addr = handle.addr();
+
+    // Cold → miss, warm → hit, byte-identical bodies.
+    let (s1, h1, b1) = get(addr, "/summary/0?k=3");
+    assert_eq!(s1, 200);
+    assert_eq!(h1.get("x-osars-cache").map(String::as_str), Some("miss"));
+    let (s2, h2, b2) = get(addr, "/summary/0?k=3");
+    assert_eq!(s2, 200);
+    assert_eq!(h2.get("x-osars-cache").map(String::as_str), Some("hit"));
+    assert_eq!(b1, b2, "cache hit must serve the identical body");
+    assert_eq!(epoch_of(&b1), 0);
+
+    // Concurrent clients racing an ingest: every response must be a
+    // consistent epoch-0 or epoch-1 body, never a torn mix.
+    let ingest_body =
+        r#"{"item":0,"reviews":["battery life is excellent","screen is too dim at night"]}"#;
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut bodies = Vec::new();
+                for _ in 0..10 {
+                    let (status, _, body) = get(addr, "/summary/0?k=3");
+                    assert_eq!(status, 200, "{body}");
+                    bodies.push(body);
+                }
+                bodies
+            })
+        })
+        .collect();
+    let (si, _, bi) = request(addr, "POST", "/reviews", Some(ingest_body));
+    assert_eq!(si, 200, "{bi}");
+    assert_eq!(epoch_of(&bi), 1);
+
+    let mut by_epoch: HashMap<u64, String> = HashMap::new();
+    for r in readers {
+        for body in r.join().expect("reader thread") {
+            let e = epoch_of(&body);
+            assert!(e <= 1, "impossible epoch {e}");
+            let prev = by_epoch.entry(e).or_insert_with(|| body.clone());
+            assert_eq!(*prev, body, "two different bodies claim epoch {e}");
+        }
+    }
+
+    // After the bump: a miss (old key is unreachable), new epoch, and
+    // the re-request is a hit again.
+    let (s3, h3, b3) = get(addr, "/summary/0?k=3");
+    assert_eq!(s3, 200);
+    assert_eq!(epoch_of(&b3), 1);
+    assert_ne!(b1, b3, "epoch bump must change the response body");
+    let (s4, h4, b4) = get(addr, "/summary/0?k=3");
+    assert_eq!(s4, 200);
+    assert_eq!(h4.get("x-osars-cache").map(String::as_str), Some("hit"));
+    assert_eq!(b3, b4);
+    // The post-bump cold request may race the reader threads above, so
+    // only its *hit* flag is unasserted; h3 must still be present.
+    assert!(h3.contains_key("x-osars-cache"));
+    handle.shutdown();
+}
+
+#[test]
+fn post_reviews_rejects_bad_input() {
+    let handle = start(ServeOptions::default());
+    let addr = handle.addr();
+    for (body, why) in [
+        ("not json", "malformed JSON"),
+        (r#"{"reviews":["x"]}"#, "missing item"),
+        (r#"{"item":0,"reviews":[]}"#, "empty reviews"),
+        (r#"{"item":0,"reviews":[42]}"#, "non-string review"),
+    ] {
+        let (status, _, b) = request(addr, "POST", "/reviews", Some(body));
+        assert_eq!(status, 400, "{why}: {b}");
+    }
+    let (status, _, _) = request(
+        addr,
+        "POST",
+        "/reviews",
+        Some(r#"{"item":9999,"reviews":["x"]}"#),
+    );
+    assert_eq!(status, 404, "out-of-range item");
+    assert_eq!(
+        handle.epoch(),
+        0,
+        "rejected ingests must not bump the epoch"
+    );
+    handle.shutdown();
+}
+
+// --- panic isolation --------------------------------------------------------
+
+#[test]
+fn poisoned_request_answers_500_and_the_daemon_keeps_serving() {
+    osars::serve::quiet_injected_panics();
+    let handle = start(ServeOptions::default());
+    let addr = handle.addr();
+
+    let (s0, _, before) = get(addr, "/summary/1");
+    assert_eq!(s0, 200);
+
+    for _ in 0..3 {
+        let (status, _, body) = get(addr, "/summary/1?inject=panic");
+        assert_eq!(status, 500, "{body}");
+        assert!(body.contains("injected panic"), "{body}");
+    }
+
+    // Same worker pool, same scratch lineage — the answer afterwards is
+    // byte-identical to the answer before the poison.
+    let (s1, _, after) = get(addr, "/summary/1");
+    assert_eq!(s1, 200);
+    assert_eq!(before, after, "poisoned requests must not perturb results");
+    handle.shutdown();
+}
+
+// --- backpressure & deadlines ----------------------------------------------
+
+#[test]
+fn full_queue_answers_503_and_stale_jobs_answer_504() {
+    let handle = start(ServeOptions {
+        workers: 1,
+        queue_depth: 1,
+        deadline_ms: 100,
+        cache_capacity: 0, // every request must reach the worker
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr();
+
+    // Occupy the single worker.
+    let busy = std::thread::spawn(move || get(addr, "/summary/0?inject=delay:600"));
+    std::thread::sleep(Duration::from_millis(150));
+    // Fill the queue's single slot; by the time the worker frees up,
+    // this job is past its 100ms deadline.
+    let stale = std::thread::spawn(move || get(addr, "/summary/1"));
+    std::thread::sleep(Duration::from_millis(150));
+    // Queue full → immediate refusal.
+    let (s_reject, _, b_reject) = get(addr, "/summary/2");
+    assert_eq!(s_reject, 503, "{b_reject}");
+
+    let (s_busy, _, _) = busy.join().expect("busy thread");
+    assert_eq!(s_busy, 200);
+    let (s_stale, _, b_stale) = stale.join().expect("stale thread");
+    assert_eq!(s_stale, 504, "{b_stale}");
+    handle.shutdown();
+}
+
+// --- plumbing ---------------------------------------------------------------
+
+#[test]
+fn healthz_metrics_and_error_routes() {
+    let handle = start(ServeOptions::default());
+    let addr = handle.addr();
+
+    let (status, _, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let health = osars::json::parse(&body).expect("healthz JSON");
+    assert_eq!(
+        health.get("ok").and_then(|v| match v {
+            osars::json::Value::Bool(b) => Some(*b),
+            _ => None,
+        }),
+        Some(true)
+    );
+
+    // Generate one summary so the serve metrics have samples.
+    let (s, _, _) = get(addr, "/summary/0");
+    assert_eq!(s, 200);
+    let (status, _, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("osars_serve_requests_total"), "{metrics}");
+    assert!(metrics.contains("osars_serve_request_us"), "{metrics}");
+    assert!(metrics.contains("quantile=\"0.99\""), "{metrics}");
+
+    let (status, _, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+    let (status, _, _) = request(addr, "POST", "/healthz", None);
+    assert_eq!(status, 405);
+    let (status, _, body) = get(addr, "/summary/not-a-number");
+    assert_eq!(status, 400, "{body}");
+    let (status, _, body) = get(addr, "/summary/0?eps=nan");
+    assert_eq!(status, 400, "{body}");
+    let (status, _, body) = get(addr, "/summary/99999");
+    assert_eq!(status, 404, "{body}");
+    handle.shutdown();
+}
