@@ -23,6 +23,15 @@ pub struct GreedySummarizer;
 
 impl Summarizer for GreedySummarizer {
     fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary {
+        self.summarize_traced(graph, k, None)
+    }
+
+    fn summarize_traced(
+        &self,
+        graph: &CoverageGraph,
+        k: usize,
+        trace: Option<&osa_obs::Trace>,
+    ) -> Summary {
         let n = graph.num_candidates();
         let k = k.min(n);
         // best[q] = current serving distance of pair q (root to start).
@@ -86,6 +95,10 @@ impl Summarizer for GreedySummarizer {
         let obs = osa_obs::global();
         obs.add("greedy.gain_evals", gain_evals);
         obs.add("greedy.key_updates", key_updates);
+        if let Some(t) = trace {
+            t.count("greedy.gain_evals", gain_evals);
+            t.count("greedy.key_updates", key_updates);
+        }
 
         let cost = best
             .iter()
@@ -117,6 +130,15 @@ pub struct LazyGreedySummarizer;
 
 impl Summarizer for LazyGreedySummarizer {
     fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary {
+        self.summarize_traced(graph, k, None)
+    }
+
+    fn summarize_traced(
+        &self,
+        graph: &CoverageGraph,
+        k: usize,
+        trace: Option<&osa_obs::Trace>,
+    ) -> Summary {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -178,6 +200,10 @@ impl Summarizer for LazyGreedySummarizer {
         let obs = osa_obs::global();
         obs.add("lazy.reevals", reevals);
         obs.add("lazy.repops", repops);
+        if let Some(t) = trace {
+            t.count("lazy.reevals", reevals);
+            t.count("lazy.repops", repops);
+        }
 
         let cost = best
             .iter()

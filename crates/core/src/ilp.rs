@@ -98,6 +98,15 @@ impl IlpSummarizer {
 
 impl Summarizer for IlpSummarizer {
     fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary {
+        self.summarize_traced(graph, k, None)
+    }
+
+    fn summarize_traced(
+        &self,
+        graph: &CoverageGraph,
+        k: usize,
+        trace: Option<&osa_obs::Trace>,
+    ) -> Summary {
         let k = k.min(graph.num_candidates());
         if k == 0 || graph.num_candidates() == 0 {
             return Summary {
@@ -109,15 +118,16 @@ impl Summarizer for IlpSummarizer {
         // bound — the same primal-heuristic warm start a commercial
         // solver performs internally. If the search cannot strictly beat
         // greedy, greedy was already optimal.
-        let warm = crate::GreedySummarizer.summarize(graph, k);
+        let warm = crate::GreedySummarizer.summarize_traced(graph, k, trace);
         let (model, xs, _) = build_model(graph, k, true);
         let opts = IlpOptions {
             upper_bound: Some(warm.cost as f64),
             ..IlpOptions::default()
         };
         let _span = osa_obs::global().span("ilp.branch_bound");
+        let _tspan = trace.map(|t| t.span("ilp.branch_bound"));
         let sol = model
-            .solve_ilp_with(&opts)
+            .solve_ilp_traced(&opts, trace)
             .expect("coverage ILP is bounded and well-formed");
         match sol.status {
             Status::Optimal => {

@@ -22,9 +22,18 @@ impl Default for LocalSearchSummarizer {
 
 impl Summarizer for LocalSearchSummarizer {
     fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary {
+        self.summarize_traced(graph, k, None)
+    }
+
+    fn summarize_traced(
+        &self,
+        graph: &CoverageGraph,
+        k: usize,
+        trace: Option<&osa_obs::Trace>,
+    ) -> Summary {
         let n = graph.num_candidates();
         let k = k.min(n);
-        let mut current = GreedySummarizer.summarize(graph, k);
+        let mut current = GreedySummarizer.summarize_traced(graph, k, trace);
         if k == 0 || k == n {
             return current;
         }
@@ -90,6 +99,9 @@ impl Summarizer for LocalSearchSummarizer {
             moves += 1;
         }
         osa_obs::global().add("local_search.moves", moves);
+        if let Some(t) = trace {
+            t.count("local_search.moves", moves);
+        }
 
         debug_assert_eq!(current.cost, graph.cost_of(&current.selected));
         current

@@ -86,6 +86,15 @@ impl RandomizedRounding {
 
 impl Summarizer for RandomizedRounding {
     fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary {
+        self.summarize_traced(graph, k, None)
+    }
+
+    fn summarize_traced(
+        &self,
+        graph: &CoverageGraph,
+        k: usize,
+        trace: Option<&osa_obs::Trace>,
+    ) -> Summary {
         let k = k.min(graph.num_candidates());
         if k == 0 || graph.num_candidates() == 0 {
             return Summary {
@@ -103,6 +112,10 @@ impl Summarizer for RandomizedRounding {
         let obs = osa_obs::global();
         obs.add("rr.lp_solves", 1);
         obs.add("rr.rounding_attempts", self.trials.max(1) as u64);
+        if let Some(t) = trace {
+            t.count("rr.lp_solves", 1);
+            t.count("rr.rounding_attempts", self.trials.max(1) as u64);
+        }
 
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<Summary> = None;

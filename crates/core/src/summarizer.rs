@@ -22,6 +22,22 @@ pub trait Summarizer {
     /// marginal gain reaches 0), so they may return fewer.
     fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary;
 
+    /// [`summarize`](Self::summarize) with an optional request-scoped
+    /// [`osa_obs::Trace`]: implementations open child spans for their
+    /// internal phases and attach their work counters (gain evaluations,
+    /// B&B nodes, …) to the currently open trace span. The default
+    /// ignores the trace; passing `None` must always be byte-identical
+    /// to `summarize`.
+    fn summarize_traced(
+        &self,
+        graph: &CoverageGraph,
+        k: usize,
+        trace: Option<&osa_obs::Trace>,
+    ) -> Summary {
+        let _ = trace;
+        self.summarize(graph, k)
+    }
+
     /// Human-readable algorithm name (used by the benchmark harness).
     fn name(&self) -> &'static str;
 }

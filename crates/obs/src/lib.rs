@@ -10,14 +10,23 @@
 //! * **counters** — monotonically increasing `u64` totals (saturating on
 //!   overflow, never wrapping),
 //! * **gauges** — last-write-wins `i64` levels,
-//! * **histograms** — raw-sample latency distributions with the same
-//!   nearest-rank percentile semantics as `osa_eval::LatencyHistogram`,
+//! * **histograms** — bounded-memory latency distributions (exact
+//!   count/sum/min/max plus a fixed-capacity deterministic reservoir
+//!   for nearest-rank percentiles, same query semantics as
+//!   `osa_eval::LatencyHistogram` while under capacity),
 //!
 //! plus a lightweight **span** API: `registry.span("graph.build")`
 //! returns an RAII guard whose drop records the elapsed microseconds
 //! into the histogram of the same name and notifies the registry's
 //! pluggable [`Sink`] (no-op by default, human `stderr`, or JSON-lines
 //! through the in-tree `osa-json`).
+//!
+//! For *per-request* visibility the crate also provides [`Trace`]: a
+//! request-scoped span **tree** (explicitly propagated as
+//! `Option<&Trace>`, no thread-locals) that `osars serve`'s flight
+//! recorder snapshots as [`TraceTree`]s and exports as osa-json or
+//! Chrome `trace_event` JSON — see the [`trace`](self::Trace) module
+//! types.
 //!
 //! ## Determinism contract
 //!
@@ -53,8 +62,10 @@
 #![warn(missing_docs)]
 
 mod sink;
+mod trace;
 
 pub use sink::{JsonlSink, NoopSink, Sink, StderrSink, TeeSink};
+pub use trace::{chrome_trace_json, SpanRecord, Trace, TraceSpanGuard, TraceTree};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -113,12 +124,52 @@ impl Gauge {
     }
 }
 
-/// Raw-sample histogram with nearest-rank percentiles — the same
-/// semantics as `osa_eval::LatencyHistogram`, reimplemented here so the
-/// crate stays dependency-free (`osa-json` aside).
-#[derive(Debug, Clone, Default, PartialEq)]
+/// Maximum samples a [`RawHistogram`] retains for percentile queries.
+/// `count`/`total`/`min`/`max` stay exact past this; percentiles come
+/// from the reservoir and are approximate once it overflows.
+pub const RESERVOIR_CAPACITY: usize = 4096;
+
+/// SplitMix64 finalizer — the deterministic "randomness" driving
+/// reservoir replacement (a pure function of the running sample count,
+/// so histogram contents never depend on wall-clock or thread
+/// scheduling for a given record sequence).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bounded-memory sample histogram with nearest-rank percentiles — the
+/// same query semantics as `osa_eval::LatencyHistogram` while under
+/// [`RESERVOIR_CAPACITY`] samples.
+///
+/// Memory is **bounded**: a fixed-capacity deterministic reservoir
+/// (Algorithm R with a SplitMix64-derived replacement index) holds at
+/// most `RESERVOIR_CAPACITY` samples, while `count`, `total`, `min` and
+/// `max` are tracked exactly on the side. A long-running `osars serve`
+/// therefore records forever in O(1) memory per histogram; percentiles
+/// past capacity are approximate (uniform subsample), everything else
+/// stays exact.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RawHistogram {
-    samples: Vec<f64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    reservoir: Vec<f64>,
+}
+
+impl Default for RawHistogram {
+    fn default() -> Self {
+        RawHistogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            reservoir: Vec::new(),
+        }
+    }
 }
 
 impl RawHistogram {
@@ -132,7 +183,22 @@ impl RawHistogram {
     /// percentile queries with `NaN`.
     pub fn record(&mut self, sample: f64) {
         let s = if sample.is_finite() { sample } else { f64::MAX };
-        self.samples.push(s);
+        self.count += 1;
+        self.sum += s;
+        self.min = self.min.min(s);
+        self.max = self.max.max(s);
+        if self.reservoir.len() < RESERVOIR_CAPACITY {
+            self.reservoir.push(s);
+        } else {
+            // Algorithm R: replace a uniformly chosen slot with
+            // probability capacity/count. The index is a pure function
+            // of the running count — deterministic for a given record
+            // sequence.
+            let j = splitmix64(self.count) % self.count;
+            if (j as usize) < RESERVOIR_CAPACITY {
+                self.reservoir[j as usize] = s;
+            }
+        }
     }
 
     /// Record a [`Duration`] in microseconds (saturating).
@@ -140,57 +206,70 @@ impl RawHistogram {
         self.record(d.as_secs_f64() * 1e6);
     }
 
-    /// Fold `other`'s samples into this histogram. Merging is associative
-    /// and preserves insertion order, so `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`
-    /// exactly (property-tested).
+    /// Fold `other` into this histogram. While the combined sample count
+    /// fits the reservoir this is exact concatenation — associative and
+    /// insertion-order preserving, so `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`
+    /// exactly (property-tested). Past capacity, `count`/`total`/`min`/
+    /// `max` remain exact and the reservoir degrades to a subsample.
     pub fn merge(&mut self, other: &RawHistogram) {
-        self.samples.extend_from_slice(&other.samples);
+        for &s in &other.reservoir {
+            self.record(s);
+        }
+        let overflow = other.count - other.reservoir.len() as u64;
+        if overflow > 0 {
+            // Samples `other` evicted from its reservoir: invisible to
+            // percentile queries, but their exact aggregates carry over.
+            let retained: f64 = other.reservoir.iter().sum();
+            self.count += overflow;
+            self.sum += other.sum - retained;
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
     }
 
-    /// Number of recorded samples.
+    /// Number of recorded samples (exact, including evicted ones).
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.count as usize
     }
 
-    /// Sum of all samples.
+    /// Sum of all samples (exact, including evicted ones).
     pub fn total(&self) -> f64 {
-        self.samples.iter().sum()
+        self.sum
     }
 
-    /// Nearest-rank percentile for `p ∈ [0, 100]`; `None` when empty.
+    /// Nearest-rank percentile for `p ∈ [0, 100]` over the retained
+    /// reservoir; `None` when empty. Exact while the histogram has seen
+    /// at most [`RESERVOIR_CAPACITY`] samples, approximate past that.
     pub fn percentile(&self, p: f64) -> Option<f64> {
-        if self.samples.is_empty() {
+        if self.reservoir.is_empty() {
             return None;
         }
-        let mut sorted = self.samples.clone();
+        let mut sorted = self.reservoir.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are never NaN"));
         let n = sorted.len();
         let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
         Some(sorted[rank - 1])
     }
 
-    /// The recorded samples in insertion order.
+    /// The retained reservoir samples in insertion order (every sample,
+    /// until the reservoir overflows).
     pub fn samples(&self) -> &[f64] {
-        &self.samples
+        &self.reservoir
     }
 
-    /// Summary statistics; `None` when empty.
+    /// Summary statistics; `None` when empty. `count`/`total`/`mean`/
+    /// `min`/`max` are exact; the percentiles share
+    /// [`percentile`](Self::percentile)'s reservoir approximation.
     pub fn stats(&self) -> Option<HistStats> {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return None;
         }
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        for &s in &self.samples {
-            min = min.min(s);
-            max = max.max(s);
-        }
         Some(HistStats {
-            count: self.samples.len(),
-            total: self.total(),
-            mean: self.total() / self.samples.len() as f64,
-            min,
-            max,
+            count: self.count as usize,
+            total: self.sum,
+            mean: self.sum / self.count as f64,
+            min: self.min,
+            max: self.max,
             p50: self.percentile(50.0).expect("non-empty"),
             p95: self.percentile(95.0).expect("non-empty"),
             p99: self.percentile(99.0).expect("non-empty"),
@@ -403,6 +482,26 @@ impl Registry {
         let micros = start.elapsed().as_secs_f64() * 1e6;
         self.observe_span(name, micros);
         (out, micros)
+    }
+
+    /// [`time`](Self::time), additionally recording the interval as a
+    /// span on `trace` when one is passed. With `trace == None` this is
+    /// exactly `time` — the byte-identical untraced path.
+    pub fn time_traced<T>(
+        &self,
+        name: &str,
+        trace: Option<&Trace>,
+        f: impl FnOnce() -> T,
+    ) -> (T, f64) {
+        match trace {
+            None => self.time(name, f),
+            Some(t) => {
+                let guard = t.span(name);
+                let out = self.time(name, f);
+                drop(guard);
+                out
+            }
+        }
     }
 
     /// A point-in-time copy of every metric, names sorted.
@@ -769,6 +868,75 @@ mod tests {
         assert_eq!(s.p50, 50.0);
         assert_eq!(s.p95, 95.0);
         assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn reservoir_bounds_memory_but_keeps_exact_aggregates() {
+        let mut h = RawHistogram::new();
+        let n = RESERVOIR_CAPACITY * 4;
+        for v in 1..=n {
+            h.record(v as f64);
+        }
+        assert_eq!(h.samples().len(), RESERVOIR_CAPACITY, "memory is bounded");
+        assert_eq!(h.count(), n, "count stays exact");
+        assert_eq!(h.total(), (n * (n + 1) / 2) as f64, "sum stays exact");
+        let s = h.stats().unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, n as f64);
+        // Percentiles are approximate past capacity but must stay inside
+        // the observed range and ordered.
+        assert!(s.p50 >= s.min && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn reservoir_replacement_is_deterministic() {
+        let build = || {
+            let mut h = RawHistogram::new();
+            for v in 0..RESERVOIR_CAPACITY * 3 {
+                h.record(v as f64);
+            }
+            h
+        };
+        assert_eq!(build(), build(), "same record sequence, same reservoir");
+    }
+
+    #[test]
+    fn merge_past_capacity_keeps_exact_aggregates() {
+        let mut a = RawHistogram::new();
+        let mut b = RawHistogram::new();
+        let n = RESERVOIR_CAPACITY * 2;
+        for v in 0..n {
+            a.record(2.0);
+            b.record(v as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 2 * n);
+        assert_eq!(a.total(), 2.0 * n as f64 + (n * (n - 1) / 2) as f64);
+        assert_eq!(a.stats().unwrap().min, 0.0);
+        assert_eq!(a.stats().unwrap().max, (n - 1) as f64);
+        assert_eq!(a.samples().len(), RESERVOIR_CAPACITY);
+    }
+
+    #[test]
+    fn time_traced_with_none_matches_time_and_with_some_builds_a_span() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        let (out, us) = reg.time_traced("stage", None, || 7);
+        assert_eq!(out, 7);
+        assert!(us >= 0.0);
+
+        let trace = Trace::new(1);
+        let root = trace.span("request");
+        let (out, _) = reg.time_traced("stage", Some(&trace), || 8);
+        assert_eq!(out, 8);
+        drop(root);
+        let tree = trace.tree();
+        assert!(tree.is_well_formed());
+        assert_eq!(tree.spans[1].name, "stage");
+        assert_eq!(tree.spans[1].parent, Some(0));
+        // Both calls also fed the flat histogram.
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms[0].1.count, 2);
     }
 
     #[test]

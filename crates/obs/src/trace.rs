@@ -1,0 +1,491 @@
+//! Request-scoped tracing: span **trees**, not flat histograms.
+//!
+//! The registry's named histograms answer "how long does `graph.build`
+//! take on average?"; they cannot answer "which stage of *this* request
+//! burned the time?". A [`Trace`] does: it carries a `u64` trace id and
+//! accumulates a tree of [`SpanRecord`]s — name, parent, start/end
+//! offsets in monotonic microseconds from the trace origin, and any
+//! counters attached while the span was open.
+//!
+//! Propagation is **explicit**: instrumented code takes an
+//! `Option<&Trace>` (no thread-locals), and when `None` is passed the
+//! pipeline behaves byte-identically to an untraced run — tracing
+//! observes, it never perturbs.
+//!
+//! Interior mutability is a single [`Mutex`], so one `Arc<Trace>` can be
+//! handed from a connection thread to a worker thread (the handoff is
+//! sequential, which keeps the open-span stack well-nested). Lock
+//! poisoning is ignored (`into_inner`): a panicking traced request must
+//! still yield a readable trace — that is exactly when you want it.
+//!
+//! ```
+//! use osa_obs::Trace;
+//!
+//! let trace = Trace::new(7);
+//! {
+//!     let _root = trace.span("request");
+//!     {
+//!         let _child = trace.span("extract");
+//!         trace.count("extract.pairs", 12);
+//!     }
+//! }
+//! let tree = trace.tree();
+//! assert!(tree.is_well_formed());
+//! assert_eq!(tree.spans[1].parent, Some(0));
+//! assert_eq!(tree.spans[1].counters, vec![("extract.pairs".to_owned(), 12)]);
+//! ```
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One node of a trace's span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name (`"extract"`, `"graph.build"`, `"solve.greedy"`, …).
+    pub name: String,
+    /// Index of the parent span in [`TraceTree::spans`]; `None` for the
+    /// root. Parents always precede children (`parent < own index`).
+    pub parent: Option<u32>,
+    /// Start offset from the trace origin, monotonic microseconds.
+    pub start_us: u64,
+    /// End offset from the trace origin; `>= start_us` once closed.
+    pub end_us: u64,
+    /// Counters attached while this span was open, insertion-ordered,
+    /// summed per name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl SpanRecord {
+    /// Span duration in microseconds.
+    pub fn dur_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    spans: Vec<SpanRecord>,
+    /// Indices of currently-open spans, outermost first.
+    stack: Vec<usize>,
+}
+
+/// A request-scoped trace: a u64 id plus a growing span tree.
+///
+/// Thread-safe (`&self` everywhere); see the module docs for the
+/// sharing model.
+#[derive(Debug)]
+pub struct Trace {
+    id: u64,
+    origin: Instant,
+    inner: Mutex<TraceInner>,
+}
+
+impl Trace {
+    /// A fresh trace with the given id; the origin clock starts now.
+    pub fn new(id: u64) -> Self {
+        Trace {
+            id,
+            origin: Instant::now(),
+            inner: Mutex::new(TraceInner::default()),
+        }
+    }
+
+    /// The trace id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Monotonic microseconds since the trace was created.
+    pub fn elapsed_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TraceInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Open a child span of the innermost open span (or the root). The
+    /// returned guard closes the span on drop — including drops during
+    /// panic unwinding, so trees from panicking requests stay
+    /// well-formed.
+    pub fn span(&self, name: &str) -> TraceSpanGuard<'_> {
+        let start = self.elapsed_us();
+        let mut inner = self.lock();
+        let parent = inner.stack.last().map(|&i| i as u32);
+        let idx = inner.spans.len();
+        inner.spans.push(SpanRecord {
+            name: name.to_owned(),
+            parent,
+            start_us: start,
+            end_us: start,
+            counters: Vec::new(),
+        });
+        inner.stack.push(idx);
+        TraceSpanGuard { trace: self, idx }
+    }
+
+    fn close(&self, idx: usize) {
+        let now = self.elapsed_us();
+        let mut inner = self.lock();
+        if let Some(pos) = inner.stack.iter().rposition(|&i| i == idx) {
+            // Close this span and any still-open descendants above it
+            // (possible only if a child guard leaked; keep the tree
+            // well-nested regardless).
+            for s in pos..inner.stack.len() {
+                let open = inner.stack[s];
+                inner.spans[open].end_us = now;
+            }
+            inner.stack.truncate(pos);
+        }
+    }
+
+    /// Attach `n` to counter `name` on the innermost open span (the root
+    /// span if none is open; dropped if the trace has no spans yet).
+    /// Repeated counts under one span sum.
+    pub fn count(&self, name: &str, n: u64) {
+        let mut inner = self.lock();
+        let Some(idx) = inner
+            .stack
+            .last()
+            .copied()
+            .or((!inner.spans.is_empty()).then_some(0))
+        else {
+            return;
+        };
+        let counters = &mut inner.spans[idx].counters;
+        match counters.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v = v.saturating_add(n),
+            None => counters.push((name.to_owned(), n)),
+        }
+    }
+
+    /// Record an externally measured interval as a closed child of the
+    /// innermost open span — e.g. queue wait measured from an admission
+    /// timestamp. `start` is clamped to the trace origin.
+    pub fn record_span_between(&self, name: &str, start: Instant, end: Instant) {
+        let start_us = start.saturating_duration_since(self.origin).as_micros() as u64;
+        let end_us = end.saturating_duration_since(self.origin).as_micros() as u64;
+        let mut inner = self.lock();
+        let parent = inner.stack.last().map(|&i| i as u32);
+        inner.spans.push(SpanRecord {
+            name: name.to_owned(),
+            parent,
+            start_us,
+            end_us: end_us.max(start_us),
+            counters: Vec::new(),
+        });
+    }
+
+    /// Snapshot the span tree built so far (open spans appear with
+    /// `end_us == start_us` of their opening time).
+    pub fn tree(&self) -> TraceTree {
+        TraceTree {
+            trace_id: self.id,
+            spans: self.lock().spans.clone(),
+        }
+    }
+}
+
+/// RAII guard from [`Trace::span`]: closes the span on drop.
+#[derive(Debug)]
+pub struct TraceSpanGuard<'t> {
+    trace: &'t Trace,
+    idx: usize,
+}
+
+impl Drop for TraceSpanGuard<'_> {
+    fn drop(&mut self) {
+        self.trace.close(self.idx);
+    }
+}
+
+/// An immutable snapshot of a [`Trace`]'s span tree — what the flight
+/// recorder stores and the `/debug/traces/{id}` endpoint serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceTree {
+    /// The owning trace's id.
+    pub trace_id: u64,
+    /// Spans in creation order; parents precede children, index 0 (when
+    /// present) is the root.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceTree {
+    /// Duration of the root span in microseconds (0 for an empty tree).
+    /// This is the number a `Server-Timing: total` entry must quote so
+    /// header and trace agree exactly.
+    pub fn total_us(&self) -> u64 {
+        self.spans.first().map_or(0, SpanRecord::dur_us)
+    }
+
+    /// Structural validity: parents precede their children, every
+    /// interval is non-negative, and every child's interval nests within
+    /// its parent's.
+    pub fn is_well_formed(&self) -> bool {
+        self.spans.iter().enumerate().all(|(i, s)| {
+            if s.end_us < s.start_us {
+                return false;
+            }
+            match s.parent {
+                None => true,
+                Some(p) => {
+                    let p = p as usize;
+                    p < i
+                        && self.spans[p].start_us <= s.start_us
+                        && s.end_us <= self.spans[p].end_us
+                }
+            }
+        })
+    }
+
+    /// `(name, total µs)` over the root's *direct* children, summed per
+    /// name in first-appearance order — the per-stage breakdown a
+    /// `Server-Timing` header carries.
+    pub fn stage_totals(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for s in self.spans.iter().filter(|s| s.parent == Some(0)) {
+            match out.iter_mut().find(|(n, _)| *n == s.name) {
+                Some((_, d)) => *d += s.dur_us(),
+                None => out.push((s.name.clone(), s.dur_us())),
+            }
+        }
+        out
+    }
+
+    /// The full tree as an osa-json value:
+    ///
+    /// ```text
+    /// {"trace_id":7,"total_us":1234,"spans":[
+    ///   {"name":"request","parent":null,"start_us":0,"end_us":1234,
+    ///    "counters":{"greedy.gain_evals":81}}, ...]}
+    /// ```
+    pub fn to_json(&self) -> osa_json::Value {
+        use osa_json::Value;
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                let mut fields = vec![
+                    ("name".to_owned(), Value::String(s.name.clone())),
+                    (
+                        "parent".to_owned(),
+                        s.parent.map_or(Value::Null, |p| Value::Number(p as f64)),
+                    ),
+                    ("start_us".to_owned(), Value::Number(s.start_us as f64)),
+                    ("end_us".to_owned(), Value::Number(s.end_us as f64)),
+                    ("dur_us".to_owned(), Value::Number(s.dur_us() as f64)),
+                ];
+                if !s.counters.is_empty() {
+                    fields.push((
+                        "counters".to_owned(),
+                        Value::Object(
+                            s.counters
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::Number(*v as f64)))
+                                .collect(),
+                        ),
+                    ));
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        Value::Object(vec![
+            ("trace_id".to_owned(), Value::Number(self.trace_id as f64)),
+            ("total_us".to_owned(), Value::Number(self.total_us() as f64)),
+            ("spans".to_owned(), Value::Array(spans)),
+        ])
+    }
+
+    /// Chrome `trace_event` JSON for this tree alone (opens directly in
+    /// `chrome://tracing` / Perfetto). See [`chrome_trace_json`] to
+    /// merge several trees — e.g. one per corpus item — into one file.
+    pub fn to_chrome_json(&self) -> String {
+        chrome_trace_json(std::slice::from_ref(self))
+    }
+
+    fn chrome_events(&self, out: &mut Vec<osa_json::Value>) {
+        use osa_json::Value;
+        for s in &self.spans {
+            let mut fields = vec![
+                ("name".to_owned(), Value::String(s.name.clone())),
+                ("ph".to_owned(), Value::String("X".to_owned())),
+                ("ts".to_owned(), Value::Number(s.start_us as f64)),
+                ("dur".to_owned(), Value::Number(s.dur_us() as f64)),
+                ("pid".to_owned(), Value::Number(1.0)),
+                ("tid".to_owned(), Value::Number(self.trace_id as f64)),
+            ];
+            if !s.counters.is_empty() {
+                fields.push((
+                    "args".to_owned(),
+                    Value::Object(
+                        s.counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::Number(*v as f64)))
+                            .collect(),
+                    ),
+                ));
+            }
+            out.push(Value::Object(fields));
+        }
+    }
+}
+
+/// Merge several trace trees into one Chrome `trace_event` JSON array
+/// (`ph:"X"` complete events; each tree renders as its own `tid`, so
+/// `osars summarize --item all --trace-out` shows one track per item).
+pub fn chrome_trace_json(trees: &[TraceTree]) -> String {
+    let mut events = Vec::new();
+    for t in trees {
+        t.chrome_events(&mut events);
+    }
+    osa_json::to_string(&osa_json::Value::Array(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_counters_attach_to_the_open_span() {
+        let trace = Trace::new(42);
+        {
+            let _root = trace.span("request");
+            {
+                let _a = trace.span("extract");
+                trace.count("extract.pairs", 3);
+                trace.count("extract.pairs", 2);
+            }
+            {
+                let _b = trace.span("solve.greedy");
+                trace.count("greedy.gain_evals", 7);
+            }
+            trace.count("on.root", 1);
+        }
+        let tree = trace.tree();
+        assert_eq!(tree.trace_id, 42);
+        assert!(tree.is_well_formed(), "{tree:?}");
+        let names: Vec<&str> = tree.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["request", "extract", "solve.greedy"]);
+        assert_eq!(tree.spans[0].parent, None);
+        assert_eq!(tree.spans[1].parent, Some(0));
+        assert_eq!(tree.spans[2].parent, Some(0));
+        assert_eq!(
+            tree.spans[1].counters,
+            vec![("extract.pairs".to_owned(), 5)]
+        );
+        assert_eq!(tree.spans[0].counters, vec![("on.root".to_owned(), 1)]);
+        // Stage totals cover the two direct children.
+        let stage_totals = tree.stage_totals();
+        let stages: Vec<&str> = stage_totals.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(stages, ["extract", "solve.greedy"]);
+    }
+
+    #[test]
+    fn guards_dropped_during_unwinding_close_their_spans() {
+        let trace = Trace::new(1);
+        let root = trace.span("request");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _inner = trace.span("compute");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        drop(root);
+        let tree = trace.tree();
+        assert!(tree.is_well_formed(), "{tree:?}");
+        assert_eq!(tree.spans.len(), 2);
+        assert!(tree.spans[1].end_us <= tree.spans[0].end_us);
+    }
+
+    #[test]
+    fn externally_measured_intervals_are_clamped_children() {
+        let trace = Trace::new(9);
+        let admitted = Instant::now();
+        let _root = trace.span("request");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        trace.record_span_between("queue.wait", admitted, Instant::now());
+        drop(_root);
+        let tree = trace.tree();
+        assert!(tree.is_well_formed(), "{tree:?}");
+        assert_eq!(tree.spans[1].name, "queue.wait");
+        assert_eq!(tree.spans[1].parent, Some(0));
+        assert!(tree.spans[1].dur_us() >= 1_000);
+    }
+
+    #[test]
+    fn json_and_chrome_exports_parse() {
+        let trace = Trace::new(3);
+        {
+            let _root = trace.span("request");
+            let _c = trace.span("extract");
+            trace.count("extract.pairs", 4);
+        }
+        let tree = trace.tree();
+        let v = tree.to_json();
+        assert_eq!(v.get("trace_id").and_then(osa_json::Value::as_u64), Some(3));
+        let reparsed = osa_json::parse(&osa_json::to_string(&v)).expect("tree JSON parses");
+        assert_eq!(reparsed, v);
+
+        let chrome = osa_json::parse(&tree.to_chrome_json()).expect("chrome JSON parses");
+        let osa_json::Value::Array(events) = &chrome else {
+            panic!("chrome export must be an array: {chrome:?}");
+        };
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("X"));
+            assert!(e.get("ts").is_some() && e.get("dur").is_some());
+            assert_eq!(e.get("tid").and_then(osa_json::Value::as_u64), Some(3));
+        }
+        assert_eq!(
+            events[1]
+                .get("args")
+                .and_then(|a| a.get("extract.pairs"))
+                .and_then(osa_json::Value::as_u64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn well_formedness_rejects_broken_trees() {
+        let ok = SpanRecord {
+            name: "root".into(),
+            parent: None,
+            start_us: 0,
+            end_us: 100,
+            counters: Vec::new(),
+        };
+        // Child overrunning its parent.
+        let bad_child = TraceTree {
+            trace_id: 0,
+            spans: vec![
+                ok.clone(),
+                SpanRecord {
+                    name: "late".into(),
+                    parent: Some(0),
+                    start_us: 50,
+                    end_us: 150,
+                    counters: Vec::new(),
+                },
+            ],
+        };
+        assert!(!bad_child.is_well_formed());
+        // Negative interval.
+        let bad_interval = TraceTree {
+            trace_id: 0,
+            spans: vec![SpanRecord {
+                end_us: 0,
+                start_us: 10,
+                ..ok.clone()
+            }],
+        };
+        assert!(!bad_interval.is_well_formed());
+        // Parent pointing forward.
+        let bad_parent = TraceTree {
+            trace_id: 0,
+            spans: vec![SpanRecord {
+                parent: Some(5),
+                ..ok
+            }],
+        };
+        assert!(!bad_parent.is_well_formed());
+    }
+}

@@ -134,6 +134,77 @@ proptest! {
         }
     }
 
+    /// Scraping a snapshot while writers are mid-flight must only ever
+    /// observe consistent prefixes: bounded count, sums/extrema inside
+    /// the final envelope, quantiles between min and max. The final
+    /// scrape is *exact* — the reservoir bounds memory, never the
+    /// count/sum/min/max bookkeeping.
+    #[test]
+    fn scrapes_during_concurrent_records_see_consistent_prefixes(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u32..1_000_000, 1..=400),
+            2..=4,
+        ),
+    ) {
+        let expected_count: usize = batches.iter().map(Vec::len).sum();
+        // Integer-valued samples: f64 summation is exact in any order.
+        let expected_sum: f64 = batches.iter().flatten().map(|&v| f64::from(v)).sum();
+        let expected_min = f64::from(*batches.iter().flatten().min().unwrap());
+        let expected_max = f64::from(*batches.iter().flatten().max().unwrap());
+
+        let reg = Arc::new(Registry::new());
+        reg.set_enabled(true);
+        std::thread::scope(|scope| {
+            for batch in &batches {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    let h = reg.histogram("scrape.hist");
+                    for &v in batch {
+                        h.record(f64::from(v));
+                    }
+                });
+            }
+            let reg = Arc::clone(&reg);
+            scope.spawn(move || {
+                let mut last_count = 0usize;
+                for _ in 0..100 {
+                    let snap = reg.snapshot();
+                    let Some((_, h)) = snap
+                        .histograms
+                        .iter()
+                        .find(|(n, _)| n == "scrape.hist")
+                    else {
+                        continue; // no sample landed yet
+                    };
+                    assert!(h.count >= last_count, "count went backwards");
+                    assert!(h.count <= expected_count, "count overshot");
+                    last_count = h.count;
+                    if h.count == 0 {
+                        continue;
+                    }
+                    assert!(h.min >= expected_min && h.max <= expected_max);
+                    assert!(h.min <= h.max);
+                    assert!(h.total <= expected_sum + 1e-9);
+                    assert!((h.mean - h.total / h.count as f64).abs() < 1e-9);
+                    for q in [h.p50, h.p95, h.p99] {
+                        assert!(q >= h.min && q <= h.max, "quantile outside extrema");
+                    }
+                }
+            });
+        });
+
+        let snap = reg.snapshot();
+        let (_, h) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "scrape.hist")
+            .expect("histogram present after writers finish");
+        prop_assert_eq!(h.count, expected_count);
+        prop_assert_eq!(h.total, expected_sum);
+        prop_assert_eq!(h.min, expected_min);
+        prop_assert_eq!(h.max, expected_max);
+    }
+
     #[test]
     fn merge_identity_is_the_empty_histogram(a in arb_samples()) {
         let ha = hist_of(&a);

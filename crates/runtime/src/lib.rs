@@ -913,6 +913,25 @@ pub struct ItemSummary {
 /// ([`WorkerScratch::compress_into`]) and solves the weighted instance —
 /// same cost, smaller graph.
 pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<ItemSummary> {
+    summarize_corpus_inner(corpus, opts, false).0
+}
+
+/// [`summarize_corpus`], plus one completed span tree per successful
+/// item (in item order; trace ids are the item indices). The report —
+/// and therefore any rendered output — is byte-identical to an untraced
+/// run: tracing only observes, it never perturbs.
+pub fn summarize_corpus_traced(
+    corpus: &Corpus,
+    opts: &BatchOptions,
+) -> (BatchReport<ItemSummary>, Vec<osa_obs::TraceTree>) {
+    summarize_corpus_inner(corpus, opts, true)
+}
+
+fn summarize_corpus_inner(
+    corpus: &Corpus,
+    opts: &BatchOptions,
+    traced: bool,
+) -> (BatchReport<ItemSummary>, Vec<osa_obs::TraceTree>) {
     let extractor = Extractor::from_hierarchy(&corpus.hierarchy);
     let items: Vec<_> = corpus.indexed_items().collect();
     let solve_span = opts.algorithm.span_name();
@@ -920,17 +939,48 @@ pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<Ite
     // don't serialize on the `OnceLock` initialization.
     let _ = corpus.hierarchy.ancestor_index();
 
+    // When traced, each invocation builds a fresh request-scoped trace
+    // (id = item index) whose root span wraps the whole pipeline; a
+    // panicked attempt under fault injection simply discards its trace
+    // and the retry starts a new one.
+    let run_one = |scratch: &mut WorkerScratch,
+                   idx: usize,
+                   item: &osa_datasets::Item,
+                   fault: Fault|
+     -> (ItemSummary, [f64; 3], Option<osa_obs::TraceTree>) {
+        if traced {
+            let trace = osa_obs::Trace::new(idx as u64);
+            let (summary, times) = {
+                let _root = trace.span("summarize_one");
+                summarize_item(
+                    corpus,
+                    &extractor,
+                    opts,
+                    scratch,
+                    idx,
+                    item,
+                    fault,
+                    Some(&trace),
+                )
+            };
+            (summary, times, Some(trace.tree()))
+        } else {
+            let (summary, times) =
+                summarize_item(corpus, &extractor, opts, scratch, idx, item, fault, None);
+            (summary, times, None)
+        }
+    };
+
     // Each item reports its per-stage wall times alongside the summary;
     // they are split off below so `results` (the deterministic payload)
     // stays timing-free while the report grows a stage table. The same
     // timings are recorded as spans on the global `osa-obs` registry.
-    let report: BatchReport<Option<(ItemSummary, [f64; 3])>> = match opts.fault_plan {
+    type Entry = Option<(ItemSummary, [f64; 3], Option<osa_obs::TraceTree>)>;
+    let report: BatchReport<Entry> = match opts.fault_plan {
         None => {
             let r = BatchJob::new(&items)
                 .jobs(opts.jobs)
-                .run(|scratch, _, &(idx, item)| {
-                    summarize_item(corpus, &extractor, opts, scratch, idx, item, Fault::None)
-                });
+                .run(|scratch, _, &(idx, item)| run_one(scratch, idx, item, Fault::None));
             BatchReport {
                 results: r.results.into_iter().map(Some).collect(),
                 per_item_micros: r.per_item_micros,
@@ -954,33 +1004,40 @@ pub fn summarize_corpus(corpus: &Corpus, opts: &BatchOptions) -> BatchReport<Ite
                 if let Fault::Delay { micros } = fault {
                     std::thread::sleep(std::time::Duration::from_micros(micros));
                 }
-                summarize_item(corpus, &extractor, opts, scratch, idx, item, fault)
+                run_one(scratch, idx, item, fault)
             },
         ),
     };
 
     let mut results = Vec::new();
     let mut stage_times = Vec::new();
+    let mut trees = Vec::new();
     for entry in report.results.into_iter().flatten() {
         results.push(entry.0);
         stage_times.push(entry.1);
+        if let Some(tree) = entry.2 {
+            trees.push(tree);
+        }
     }
     let stage =
         |name: &'static str, i: usize| StageStats::new(name, stage_times.iter().map(move |t| t[i]));
-    BatchReport {
-        results,
-        per_item_micros: report.per_item_micros,
-        latency: report.latency,
-        wall_micros: report.wall_micros,
-        jobs: report.jobs,
-        stages: vec![
-            stage("extract", 0),
-            stage("graph.build", 1),
-            stage(solve_span, 2),
-        ],
-        failed: report.failed,
-        retried: report.retried,
-    }
+    (
+        BatchReport {
+            results,
+            per_item_micros: report.per_item_micros,
+            latency: report.latency,
+            wall_micros: report.wall_micros,
+            jobs: report.jobs,
+            stages: vec![
+                stage("extract", 0),
+                stage("graph.build", 1),
+                stage(solve_span, 2),
+            ],
+            failed: report.failed,
+            retried: report.retried,
+        },
+        trees,
+    )
 }
 
 /// Summarize a single corpus item with a caller-owned scratch — the
@@ -1007,8 +1064,25 @@ pub fn summarize_one(
     item: usize,
     fault: Fault,
 ) -> Option<ItemSummary> {
+    summarize_one_traced(corpus, extractor, opts, scratch, item, fault, None)
+}
+
+/// [`summarize_one`], with the pipeline's stage spans and counters
+/// additionally recorded on `trace` (when one is provided). Each stage
+/// becomes a child span of whatever span the caller currently has open
+/// on the trace; passing `None` is exactly `summarize_one`.
+#[allow(clippy::too_many_arguments)]
+pub fn summarize_one_traced(
+    corpus: &Corpus,
+    extractor: &Extractor,
+    opts: &BatchOptions,
+    scratch: &mut WorkerScratch,
+    item: usize,
+    fault: Fault,
+    trace: Option<&osa_obs::Trace>,
+) -> Option<ItemSummary> {
     let it = corpus.items.get(item)?;
-    Some(summarize_item(corpus, extractor, opts, scratch, item, it, fault).0)
+    Some(summarize_item(corpus, extractor, opts, scratch, item, it, fault, trace).0)
 }
 
 /// The per-item pipeline body of [`summarize_corpus`]: extract → (maybe
@@ -1023,11 +1097,20 @@ fn summarize_item(
     idx: usize,
     item: &osa_datasets::Item,
     fault: Fault,
+    trace: Option<&osa_obs::Trace>,
 ) -> (ItemSummary, [f64; 3]) {
     let obs = osa_obs::global();
-    let (mut ex, extract_us) = obs.time("extract", || {
-        extractor.extract(item, opts.extract_impl, &mut scratch.extract)
-    });
+    let (mut ex, extract_us) = {
+        let _tspan = trace.map(|t| t.span("extract"));
+        let (ex, us) = obs.time("extract", || {
+            extractor.extract(item, opts.extract_impl, &mut scratch.extract)
+        });
+        if let Some(t) = trace {
+            t.count("extract.pairs", ex.pairs.len() as u64);
+            t.count("extract.sentences", ex.sentences.len() as u64);
+        }
+        (ex, us)
+    };
     // Centralized in `Fault::apply_to_pairs` (shared with the serve
     // path); total over zero-/single-/many-pair items.
     fault.apply_to_pairs(&mut ex.pairs);
@@ -1043,39 +1126,51 @@ fn summarize_item(
         graph_build,
         ..
     } = scratch;
-    let (graph, graph_us) = obs.time("graph.build", || match opts.granularity {
-        Granularity::Pairs => CoverageGraph::for_weighted_pairs_with(
-            &corpus.hierarchy,
-            pair_buf,
-            weight_buf,
-            opts.eps,
-            opts.graph_impl,
-            graph_build,
-        ),
-        Granularity::Sentences => CoverageGraph::for_groups_with(
-            &corpus.hierarchy,
-            &ex.pairs,
-            &ex.sentence_groups(),
-            opts.eps,
-            Granularity::Sentences,
-            opts.graph_impl,
-            graph_build,
-        ),
-        Granularity::Reviews => CoverageGraph::for_groups_with(
-            &corpus.hierarchy,
-            &ex.pairs,
-            &ex.review_groups(),
-            opts.eps,
-            Granularity::Reviews,
-            opts.graph_impl,
-            graph_build,
-        ),
-    });
+    let (graph, graph_us) = {
+        let _tspan = trace.map(|t| t.span("graph.build"));
+        let (graph, us) = obs.time("graph.build", || match opts.granularity {
+            Granularity::Pairs => CoverageGraph::for_weighted_pairs_with(
+                &corpus.hierarchy,
+                pair_buf,
+                weight_buf,
+                opts.eps,
+                opts.graph_impl,
+                graph_build,
+            ),
+            Granularity::Sentences => CoverageGraph::for_groups_with(
+                &corpus.hierarchy,
+                &ex.pairs,
+                &ex.sentence_groups(),
+                opts.eps,
+                Granularity::Sentences,
+                opts.graph_impl,
+                graph_build,
+            ),
+            Granularity::Reviews => CoverageGraph::for_groups_with(
+                &corpus.hierarchy,
+                &ex.pairs,
+                &ex.review_groups(),
+                opts.eps,
+                Granularity::Reviews,
+                opts.graph_impl,
+                graph_build,
+            ),
+        });
+        if let Some(t) = trace {
+            t.count("graph.candidates", graph.num_candidates() as u64);
+            t.count("graph.pairs", graph.num_pairs() as u64);
+        }
+        (graph, us)
+    };
     let alg = opts
         .algorithm
         .summarizer(item_seed(opts.corpus_seed, idx as u64));
-    let (summary, solve_us) =
-        obs.time(opts.algorithm.span_name(), || alg.summarize(&graph, opts.k));
+    let (summary, solve_us) = {
+        let _tspan = trace.map(|t| t.span(opts.algorithm.span_name()));
+        obs.time(opts.algorithm.span_name(), || {
+            alg.summarize_traced(&graph, opts.k, trace)
+        })
+    };
     let rendered = summary
         .selected
         .iter()

@@ -16,6 +16,23 @@
 //! * `GET /metrics` — the global `osa-obs` registry in Prometheus-style
 //!   text exposition.
 //! * `GET /healthz` — liveness plus the current epoch.
+//! * `GET /debug/traces` — recent flight-recorder trace summaries
+//!   (newest first, `?n=` limits the count).
+//! * `GET /debug/traces/{id}` — one retained trace's full span tree;
+//!   `?format=chrome` exports Chrome `trace_event` JSON instead.
+//!
+//! ## Tracing
+//!
+//! Every `/summary/{item}` request carries a request-scoped
+//! [`osa_obs::Trace`]: the connection thread opens the `serve.request`
+//! root span, the worker records its queue wait and threads the trace
+//! through the summarization pipeline (`extract` → `graph.build` →
+//! `solve.*` become child spans with their counters attached). Completed
+//! traces go to the [`FlightRecorder`] under **tail sampling** — errors
+//! and slow requests are always retained, healthy traffic is sampled —
+//! and successful responses echo the per-stage durations in a
+//! `Server-Timing` header whose totals agree exactly with the stored
+//! trace (both are computed from the same span tree).
 //!
 //! ## Failure containment
 //!
@@ -38,8 +55,10 @@
 pub mod http;
 mod loadgen;
 pub mod lru;
+pub mod recorder;
 
 pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport};
+pub use recorder::{CompletedTrace, FlightRecorder, KeepReason};
 
 use std::collections::VecDeque;
 use std::io::{BufReader, Write};
@@ -53,8 +72,9 @@ use http::{read_request, write_response, ParseError, Request};
 use lru::LruCache;
 use osa_core::{Granularity, GraphImpl};
 use osa_datasets::{Corpus, ExtractImpl, Extractor, Review};
+use osa_obs::{Trace, TraceTree};
 use osa_runtime::{
-    effective_jobs, render_item_summary, summarize_one, BatchAlgorithm, BatchOptions, Fault,
+    effective_jobs, render_item_summary, summarize_one_traced, BatchAlgorithm, BatchOptions, Fault,
     ItemSummary, WorkerScratch,
 };
 
@@ -75,6 +95,10 @@ pub struct ServeOptions {
     /// Pre-compute every item's summary for the default parameters at
     /// startup, so the cache is hot before the first request.
     pub warm: bool,
+    /// Flight-recorder slow threshold in milliseconds: a request whose
+    /// root span lasts at least this long is always retained. `0`
+    /// disables the slow rule (errors are still always kept).
+    pub slow_ms: u64,
     /// Default summarization parameters; `GET /summary` query parameters
     /// override `k`/`eps`/`algorithm`/`granularity`/`graph_impl`/
     /// `extract_impl` per request. `jobs`, `fault_plan` and `retries`
@@ -90,6 +114,7 @@ impl Default for ServeOptions {
             deadline_ms: 10_000,
             cache_capacity: 4096,
             warm: false,
+            slow_ms: 500,
             defaults: BatchOptions::default(),
         }
     }
@@ -191,6 +216,11 @@ struct Job {
     admitted: Instant,
     deadline: Option<Instant>,
     reply: mpsc::Sender<WorkerReply>,
+    /// The request's trace; the connection thread holds the root span
+    /// open while the worker adds child spans, and the two never run
+    /// concurrently (the connection blocks on the reply channel), so the
+    /// open-span stack stays well-nested.
+    trace: Arc<Trace>,
 }
 
 struct Shared {
@@ -202,6 +232,12 @@ struct Shared {
     shutdown: AtomicBool,
     /// Open sockets, for the `serve.connections` gauge.
     connections: AtomicU64,
+    /// Completed-trace ring with tail sampling.
+    recorder: FlightRecorder,
+    /// Monotonic trace-id source (one id per `/summary` request).
+    trace_seq: AtomicU64,
+    /// Workers currently inside `compute`, for the background sampler.
+    workers_busy: AtomicU64,
 }
 
 impl Shared {
@@ -218,6 +254,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    sampler: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -238,6 +275,9 @@ impl ServerHandle {
             let _ = t.join();
         }
         for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.sampler.take() {
             let _ = t.join();
         }
     }
@@ -274,6 +314,14 @@ pub fn serve(corpus: Corpus, addr: &str, opts: ServeOptions) -> std::io::Result<
     if opts.warm && opts.cache_capacity > 0 {
         warm_cache(&state, &opts, workers, &mut cache);
     }
+    // Fixed recorder seed: the retained healthy-traffic sample is a
+    // deterministic function of the request sequence, which keeps the
+    // smoke tests reproducible.
+    let recorder = FlightRecorder::new(
+        recorder::DEFAULT_CAPACITY,
+        opts.slow_ms.saturating_mul(1000),
+        0xA11CE,
+    );
     let shared = Arc::new(Shared {
         state: RwLock::new(state),
         cache: Mutex::new(cache),
@@ -282,6 +330,9 @@ pub fn serve(corpus: Corpus, addr: &str, opts: ServeOptions) -> std::io::Result<
         opts,
         shutdown: AtomicBool::new(false),
         connections: AtomicU64::new(0),
+        recorder,
+        trace_seq: AtomicU64::new(0),
+        workers_busy: AtomicU64::new(0),
     });
 
     let worker_handles: Vec<_> = (0..workers)
@@ -290,6 +341,27 @@ pub fn serve(corpus: Corpus, addr: &str, opts: ServeOptions) -> std::io::Result<
             std::thread::spawn(move || worker_loop(&shared))
         })
         .collect();
+
+    // Background sampler: periodically publish queue depth and busy
+    // workers as gauges, so `/metrics` shows saturation even when no
+    // request happens to be scraping-adjacent.
+    let sampler_shared = shared.clone();
+    let sampler = std::thread::spawn(move || {
+        let obs = osa_obs::global();
+        while !sampler_shared.shutdown.load(Ordering::SeqCst) {
+            let depth = sampler_shared
+                .queue
+                .lock()
+                .map(|q| q.len())
+                .unwrap_or_default();
+            obs.set_gauge("serve.queue_depth", depth as i64);
+            obs.set_gauge(
+                "serve.workers_busy",
+                sampler_shared.workers_busy.load(Ordering::Relaxed) as i64,
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    });
 
     let accept_shared = shared.clone();
     let accept = std::thread::spawn(move || {
@@ -315,6 +387,7 @@ pub fn serve(corpus: Corpus, addr: &str, opts: ServeOptions) -> std::io::Result<
         shared,
         accept: Some(accept),
         workers: worker_handles,
+        sampler: Some(sampler),
     })
 }
 
@@ -386,11 +459,14 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.queue_cv.wait(queue).expect("queue condvar");
             }
         };
+        let picked_up = Instant::now();
         obs.observe(
             "serve.queue.wait.us",
-            job.admitted.elapsed().as_secs_f64() * 1e6,
+            picked_up.duration_since(job.admitted).as_secs_f64() * 1e6,
         );
-        if job.deadline.is_some_and(|d| Instant::now() > d) {
+        job.trace
+            .record_span_between("serve.queue.wait", job.admitted, picked_up);
+        if job.deadline.is_some_and(|d| picked_up > d) {
             obs.add("serve.deadline.expired", 1);
             let _ = job.reply.send(Err(HttpError::new(
                 504,
@@ -398,7 +474,9 @@ fn worker_loop(shared: &Shared) {
             )));
             continue;
         }
-        let reply = compute(shared, &job.params, &mut scratch);
+        shared.workers_busy.fetch_add(1, Ordering::Relaxed);
+        let reply = compute(shared, &job.params, &mut scratch, Some(&job.trace));
+        shared.workers_busy.fetch_sub(1, Ordering::Relaxed);
         let _ = job.reply.send(reply);
     }
 }
@@ -406,7 +484,12 @@ fn worker_loop(shared: &Shared) {
 /// Compute one summary under panic isolation. A panic — injected or
 /// genuine — answers 500 and replaces the worker's scratch; the worker
 /// thread itself never dies.
-fn compute(shared: &Shared, params: &SummaryParams, scratch: &mut WorkerScratch) -> WorkerReply {
+fn compute(
+    shared: &Shared,
+    params: &SummaryParams,
+    scratch: &mut WorkerScratch,
+    trace: Option<&Trace>,
+) -> WorkerReply {
     let obs = osa_obs::global();
     let state = shared.snapshot();
     if params.item >= state.corpus.items.len() {
@@ -420,19 +503,24 @@ fn compute(shared: &Shared, params: &SummaryParams, scratch: &mut WorkerScratch)
         ));
     }
     if let Inject::DelayMs(ms) = params.inject {
+        let delay_start = Instant::now();
         std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+        if let Some(t) = trace {
+            t.record_span_between("serve.inject.delay", delay_start, Instant::now());
+        }
     }
     let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
         if params.inject == Inject::Panic {
             panic!("injected panic (serve, item {})", params.item);
         }
-        summarize_one(
+        summarize_one_traced(
             &state.corpus,
             &state.extractor,
             &params.opts,
             scratch,
             params.item,
             Fault::None,
+            trace,
         )
     }));
     match caught {
@@ -613,12 +701,16 @@ fn route(req: &Request, shared: &Shared, w: &mut TcpStream, close: bool) -> (u16
             (200, ok)
         }
         ("GET", path) if path.starts_with("/summary/") => respond_summary(req, shared, w, close),
+        ("GET", "/debug/traces") => respond_traces_list(req, shared, w, close),
+        ("GET", path) if path.starts_with("/debug/traces/") => {
+            respond_trace_detail(req, shared, w, close)
+        }
         ("POST", "/reviews") => respond_ingest(req, shared, w, close),
-        (_, "/healthz" | "/metrics" | "/reviews") => {
+        (_, "/healthz" | "/metrics" | "/reviews" | "/debug/traces") => {
             let ok = respond_error(w, 405, "method not allowed", close).is_ok();
             (405, ok)
         }
-        (_, path) if path.starts_with("/summary/") => {
+        (_, path) if path.starts_with("/summary/") || path.starts_with("/debug/traces/") => {
             let ok = respond_error(w, 405, "method not allowed", close).is_ok();
             (405, ok)
         }
@@ -753,6 +845,52 @@ fn parse_summary_params(
     Ok(SummaryParams { item, opts, inject })
 }
 
+/// The `Server-Timing` header value for a finished request: the root
+/// total plus one entry per direct child stage, all in milliseconds.
+/// Computed from the same span tree the flight recorder stores, so the
+/// header and `/debug/traces/{id}` agree exactly.
+fn server_timing_value(tree: &TraceTree) -> String {
+    let ms = |us: u64| us as f64 / 1000.0;
+    let mut parts = vec![format!("total;dur={:.3}", ms(tree.total_us()))];
+    for (name, us) in tree.stage_totals() {
+        parts.push(format!("{name};dur={:.3}", ms(us)));
+    }
+    parts.join(", ")
+}
+
+/// Close out a request trace: offer it to the flight recorder and count
+/// the outcome. Call after the root span guard has been dropped.
+fn finish_trace(shared: &Shared, trace: &Trace, path: String, status: u16, tree: TraceTree) {
+    let obs = osa_obs::global();
+    obs.add("serve.traces.offered", 1);
+    let total_us = tree.total_us();
+    if let Some(reason) = shared
+        .recorder
+        .offer(trace.id(), path, status, total_us, tree)
+    {
+        obs.add(&format!("serve.traces.kept.{}", reason.name()), 1);
+    }
+}
+
+/// The request path plus query string, as stored in trace summaries.
+fn display_target(req: &Request) -> String {
+    if req.query.is_empty() {
+        return req.path.clone();
+    }
+    let q: Vec<String> = req
+        .query
+        .iter()
+        .map(|(k, v)| {
+            if v.is_empty() {
+                k.clone()
+            } else {
+                format!("{k}={v}")
+            }
+        })
+        .collect();
+    format!("{}?{}", req.path, q.join("&"))
+}
+
 fn respond_summary(req: &Request, shared: &Shared, w: &mut TcpStream, close: bool) -> (u16, bool) {
     let obs = osa_obs::global();
     let params = match parse_summary_params(req, &shared.opts.defaults) {
@@ -762,6 +900,12 @@ fn respond_summary(req: &Request, shared: &Shared, w: &mut TcpStream, close: boo
             return (e.status, ok);
         }
     };
+
+    // Every valid summary request is traced; the root span covers
+    // everything from admission to the reply being ready.
+    let trace = Arc::new(Trace::new(shared.trace_seq.fetch_add(1, Ordering::Relaxed)));
+    let target = display_target(req);
+    let root = trace.span("serve.request");
 
     // Cache lookup against the *current* epoch. Injected requests bypass
     // the cache entirely: a panic has no body and a delay must actually
@@ -773,15 +917,20 @@ fn respond_summary(req: &Request, shared: &Shared, w: &mut TcpStream, close: boo
         let hit = shared.cache.lock().expect("cache lock").get(&key).cloned();
         if let Some(body) = hit {
             obs.add("serve.cache.hits", 1);
+            trace.count("cache.hits", 1);
+            drop(root);
+            let tree = trace.tree();
+            let timing = server_timing_value(&tree);
             let ok = write_response(
                 w,
                 200,
                 "application/json",
                 body.as_bytes(),
-                &[("X-Osars-Cache", "hit")],
+                &[("X-Osars-Cache", "hit"), ("Server-Timing", &timing)],
                 close,
             )
             .is_ok();
+            finish_trace(shared, &trace, target, 200, tree);
             return (200, ok);
         }
         obs.add("serve.cache.misses", 1);
@@ -796,7 +945,9 @@ fn respond_summary(req: &Request, shared: &Shared, w: &mut TcpStream, close: boo
         if queue.len() >= shared.opts.queue_depth {
             drop(queue);
             obs.add("serve.queue.rejected", 1);
+            drop(root);
             let ok = respond_error(w, 503, "admission queue full, retry later", close).is_ok();
+            finish_trace(shared, &trace, target, 503, trace.tree());
             return (503, ok);
         }
         queue.push_back(Job {
@@ -804,6 +955,7 @@ fn respond_summary(req: &Request, shared: &Shared, w: &mut TcpStream, close: boo
             admitted: Instant::now(),
             deadline,
             reply: tx,
+            trace: trace.clone(),
         });
     }
     shared.queue_cv.notify_one();
@@ -817,27 +969,135 @@ fn respond_summary(req: &Request, shared: &Shared, w: &mut TcpStream, close: boo
                     .expect("cache lock")
                     .insert(done.key, done.body.clone());
             }
+            drop(root);
+            let tree = trace.tree();
+            let timing = server_timing_value(&tree);
             let ok = write_response(
                 w,
                 200,
                 "application/json",
                 done.body.as_bytes(),
-                &[("X-Osars-Cache", "miss")],
+                &[("X-Osars-Cache", "miss"), ("Server-Timing", &timing)],
                 close,
             )
             .is_ok();
+            finish_trace(shared, &trace, target, 200, tree);
             (200, ok)
         }
         Ok(Err(e)) => {
+            drop(root);
             let ok = respond_error(w, e.status, &e.message, close).is_ok();
+            finish_trace(shared, &trace, target, e.status, trace.tree());
             (e.status, ok)
         }
         // Worker pool gone (shutdown mid-request).
         Err(_) => {
+            drop(root);
             let ok = respond_error(w, 503, "server shutting down", close).is_ok();
+            finish_trace(shared, &trace, target, 503, trace.tree());
             (503, ok)
         }
     }
+}
+
+// --- debug endpoints -------------------------------------------------------
+
+/// `GET /debug/traces` — newest-first summaries of the retained traces.
+fn respond_traces_list(
+    req: &Request,
+    shared: &Shared,
+    w: &mut TcpStream,
+    close: bool,
+) -> (u16, bool) {
+    use osa_json::Value;
+    let n = req
+        .query_param("n")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50usize);
+    let recent = shared.recorder.recent(n);
+    let (offered, kept) = shared.recorder.stats();
+    let traces: Vec<Value> = recent
+        .iter()
+        .map(|t| {
+            Value::Object(vec![
+                ("id".to_owned(), Value::Number(t.id as f64)),
+                ("path".to_owned(), Value::String(t.path.clone())),
+                ("status".to_owned(), Value::Number(f64::from(t.status))),
+                ("total_us".to_owned(), Value::Number(t.total_us as f64)),
+                (
+                    "reason".to_owned(),
+                    Value::String(t.reason.name().to_owned()),
+                ),
+                ("spans".to_owned(), Value::Number(t.tree.spans.len() as f64)),
+            ])
+        })
+        .collect();
+    let obj = Value::Object(vec![
+        ("offered".to_owned(), Value::Number(offered as f64)),
+        ("kept".to_owned(), Value::Number(kept as f64)),
+        ("traces".to_owned(), Value::Array(traces)),
+    ]);
+    let ok = write_response(
+        w,
+        200,
+        "application/json",
+        osa_json::to_string(&obj).as_bytes(),
+        &[],
+        close,
+    )
+    .is_ok();
+    (200, ok)
+}
+
+/// `GET /debug/traces/{id}` — one retained trace's full span tree, or
+/// Chrome `trace_event` JSON with `?format=chrome`.
+fn respond_trace_detail(
+    req: &Request,
+    shared: &Shared,
+    w: &mut TcpStream,
+    close: bool,
+) -> (u16, bool) {
+    use osa_json::Value;
+    let id_str = req
+        .path
+        .strip_prefix("/debug/traces/")
+        .expect("routed by prefix");
+    let Ok(id) = id_str.parse::<u64>() else {
+        let ok = respond_error(w, 400, &format!("bad trace id '{id_str}'"), close).is_ok();
+        return (400, ok);
+    };
+    let Some(t) = shared.recorder.find(id) else {
+        let ok = respond_error(
+            w,
+            404,
+            &format!("trace {id} not retained (sampled out or evicted)"),
+            close,
+        )
+        .is_ok();
+        return (404, ok);
+    };
+    let body = match req.query_param("format") {
+        Some("chrome") => t.tree.to_chrome_json(),
+        Some(other) => {
+            let ok = respond_error(w, 400, &format!("unknown format '{other}'"), close).is_ok();
+            return (400, ok);
+        }
+        None => {
+            let obj = Value::Object(vec![
+                ("id".to_owned(), Value::Number(t.id as f64)),
+                ("path".to_owned(), Value::String(t.path.clone())),
+                ("status".to_owned(), Value::Number(f64::from(t.status))),
+                (
+                    "reason".to_owned(),
+                    Value::String(t.reason.name().to_owned()),
+                ),
+                ("trace".to_owned(), t.tree.to_json()),
+            ]);
+            osa_json::to_string(&obj)
+        }
+    };
+    let ok = write_response(w, 200, "application/json", body.as_bytes(), &[], close).is_ok();
+    (200, ok)
 }
 
 /// `POST /reviews`: append reviews to one item and publish a new epoch.

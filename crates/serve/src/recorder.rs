@@ -1,0 +1,257 @@
+//! Always-on flight recorder: a fixed-capacity ring of completed request
+//! traces with **tail sampling** — the keep/drop decision is made after
+//! the request finishes, when its status and duration are known.
+//!
+//! Error responses (status ≥ 500: panics, queue rejections, expired
+//! deadlines) and slow requests (total time at or above the configured
+//! threshold) are always kept. Everything else is kept probabilistically
+//! by a seeded LCG, so a busy daemon retains a representative sample of
+//! healthy traffic without unbounded memory. The LCG advances only on
+//! probabilistic decisions: forced keeps never perturb the sample
+//! sequence, which makes the retained set a deterministic function of
+//! `(seed, offer sequence)` — pinned by tests.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use osa_obs::TraceTree;
+
+/// Traces retained at once; the oldest is evicted when a new one lands.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Healthy-traffic sampling rate: one trace kept per this many offers.
+pub const SAMPLE_ONE_IN: u64 = 8;
+
+/// Why a completed trace was retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeepReason {
+    /// Status ≥ 500 — panic, overload rejection, or expired deadline.
+    Error,
+    /// Total duration at or above the slow threshold.
+    Slow,
+    /// Won the probabilistic sample.
+    Sampled,
+}
+
+impl KeepReason {
+    /// Stable lowercase name, used in JSON bodies and metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            KeepReason::Error => "error",
+            KeepReason::Slow => "slow",
+            KeepReason::Sampled => "sampled",
+        }
+    }
+}
+
+/// One retained request trace with its response metadata.
+#[derive(Debug, Clone)]
+pub struct CompletedTrace {
+    /// Trace id (the daemon's monotonic request sequence number).
+    pub id: u64,
+    /// Request path (with the significant query parameters).
+    pub path: String,
+    /// Final HTTP status of the response.
+    pub status: u16,
+    /// Root-span duration in microseconds.
+    pub total_us: u64,
+    /// Why the recorder kept this trace.
+    pub reason: KeepReason,
+    /// The full span tree.
+    pub tree: TraceTree,
+}
+
+struct RecorderInner {
+    ring: VecDeque<CompletedTrace>,
+    offered: u64,
+    kept: u64,
+    rng: u64,
+}
+
+/// The recorder itself: one mutex-guarded ring per daemon.
+pub struct FlightRecorder {
+    capacity: usize,
+    slow_us: u64,
+    inner: Mutex<RecorderInner>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` traces, treating requests of
+    /// `slow_us` microseconds or more as always-keep, and sampling the
+    /// rest from `seed`.
+    pub fn new(capacity: usize, slow_us: u64, seed: u64) -> Self {
+        FlightRecorder {
+            capacity,
+            slow_us,
+            inner: Mutex::new(RecorderInner {
+                ring: VecDeque::with_capacity(capacity.min(64)),
+                offered: 0,
+                kept: 0,
+                // A zero LCG state would be a fixed point; displace it.
+                rng: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }),
+        }
+    }
+
+    /// Offer a completed trace. Returns the keep reason when retained,
+    /// `None` when sampled out. Never blocks on anything but the ring
+    /// mutex; a poisoned mutex (a panicking connection thread) is
+    /// recovered rather than propagated.
+    pub fn offer(
+        &self,
+        id: u64,
+        path: String,
+        status: u16,
+        total_us: u64,
+        tree: TraceTree,
+    ) -> Option<KeepReason> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.offered += 1;
+        let reason = if status >= 500 {
+            KeepReason::Error
+        } else if self.slow_us > 0 && total_us >= self.slow_us {
+            KeepReason::Slow
+        } else {
+            // MMIX LCG step; only probabilistic offers advance it.
+            inner.rng = inner
+                .rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if !(inner.rng >> 33).is_multiple_of(SAMPLE_ONE_IN) {
+                return None;
+            }
+            KeepReason::Sampled
+        };
+        if self.capacity == 0 {
+            return None;
+        }
+        if inner.ring.len() >= self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.kept += 1;
+        inner.ring.push_back(CompletedTrace {
+            id,
+            path,
+            status,
+            total_us,
+            reason,
+            tree,
+        });
+        Some(reason)
+    }
+
+    /// Up to `n` most recent retained traces, newest first.
+    pub fn recent(&self, n: usize) -> Vec<CompletedTrace> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.ring.iter().rev().take(n).cloned().collect()
+    }
+
+    /// The retained trace with this id, if it has not been evicted.
+    pub fn find(&self, id: u64) -> Option<CompletedTrace> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.ring.iter().find(|t| t.id == id).cloned()
+    }
+
+    /// `(offered, kept)` lifetime totals.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (inner.offered, inner.kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(id: u64) -> TraceTree {
+        let t = osa_obs::Trace::new(id);
+        {
+            let _root = t.span("serve.request");
+        }
+        t.tree()
+    }
+
+    fn offer_fast(r: &FlightRecorder, id: u64) -> Option<KeepReason> {
+        r.offer(id, format!("/summary/{id}"), 200, 100, tree(id))
+    }
+
+    #[test]
+    fn errors_and_slow_requests_are_always_kept() {
+        let r = FlightRecorder::new(16, 50_000, 7);
+        for id in 0..200u64 {
+            let (status, total) = match id % 3 {
+                0 => (500, 10),
+                1 => (504, 10),
+                _ => (200, 60_000),
+            };
+            let reason = r.offer(id, "/summary/0".into(), status, total, tree(id));
+            let expect = if status >= 500 {
+                KeepReason::Error
+            } else {
+                KeepReason::Slow
+            };
+            assert_eq!(reason, Some(expect), "id {id}");
+        }
+        let recent = r.recent(16);
+        assert_eq!(recent.len(), 16, "ring is bounded");
+        assert_eq!(recent[0].id, 199, "newest first");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_fixed_seed() {
+        let kept = |seed: u64| -> Vec<u64> {
+            let r = FlightRecorder::new(1024, 0, seed);
+            (0..1000u64)
+                .filter(|&id| offer_fast(&r, id).is_some())
+                .collect()
+        };
+        let a = kept(42);
+        assert_eq!(a, kept(42), "same seed, same retained set");
+        assert_ne!(a, kept(43), "different seed, different sample");
+        // Roughly 1-in-SAMPLE_ONE_IN of healthy traffic survives.
+        assert!(a.len() > 60 && a.len() < 250, "kept {} of 1000", a.len());
+    }
+
+    #[test]
+    fn forced_keeps_do_not_perturb_the_sample_sequence() {
+        let sampled_only = {
+            let r = FlightRecorder::new(4096, 0, 5);
+            (0..500u64)
+                .filter(|&id| offer_fast(&r, id).is_some())
+                .collect::<Vec<_>>()
+        };
+        // Interleave an error offer before every probabilistic one; the
+        // set of sampled ids must be unchanged.
+        let r = FlightRecorder::new(4096, 0, 5);
+        let mut sampled = Vec::new();
+        for id in 0..500u64 {
+            assert_eq!(
+                r.offer(10_000 + id, "/summary/0".into(), 500, 1, tree(id)),
+                Some(KeepReason::Error)
+            );
+            if offer_fast(&r, id).is_some() {
+                sampled.push(id);
+            }
+        }
+        assert_eq!(sampled, sampled_only);
+    }
+
+    #[test]
+    fn find_sees_retained_ids_until_eviction() {
+        let r = FlightRecorder::new(2, 0, 1);
+        r.offer(1, "/summary/1".into(), 500, 1, tree(1));
+        r.offer(2, "/summary/2".into(), 500, 1, tree(2));
+        assert!(r.find(1).is_some());
+        r.offer(3, "/summary/3".into(), 500, 1, tree(3));
+        assert!(r.find(1).is_none(), "evicted");
+        assert!(r.find(2).is_some() && r.find(3).is_some());
+        assert_eq!(r.stats(), (3, 3));
+    }
+
+    #[test]
+    fn zero_capacity_keeps_nothing() {
+        let r = FlightRecorder::new(0, 0, 1);
+        assert_eq!(r.offer(1, "/x".into(), 500, 1, tree(1)), None);
+        assert!(r.recent(10).is_empty());
+    }
+}

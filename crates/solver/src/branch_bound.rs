@@ -66,7 +66,11 @@ impl Ord for Node {
     }
 }
 
-pub(crate) fn solve(model: &Model, opts: &IlpOptions) -> Result<Solution, SolverError> {
+pub(crate) fn solve(
+    model: &Model,
+    opts: &IlpOptions,
+    trace: Option<&osa_obs::Trace>,
+) -> Result<Solution, SolverError> {
     if !model.has_integers() {
         return model.solve_lp();
     }
@@ -84,6 +88,10 @@ pub(crate) fn solve(model: &Model, opts: &IlpOptions) -> Result<Solution, Solver
         let obs = osa_obs::global();
         obs.add("solver.bb_nodes", nodes as u64);
         obs.add("solver.bb_pruned", pruned);
+        if let Some(t) = trace {
+            t.count("solver.bb_nodes", nodes as u64);
+            t.count("solver.bb_pruned", pruned);
+        }
     };
 
     while let Some(node) = heap.pop() {

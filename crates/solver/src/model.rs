@@ -229,7 +229,18 @@ impl Model {
 
     /// Solve the mixed-integer model with explicit options.
     pub fn solve_ilp_with(&self, opts: &IlpOptions) -> Result<Solution, SolverError> {
-        branch_bound::solve(self, opts)
+        branch_bound::solve(self, opts, None)
+    }
+
+    /// Like [`Model::solve_ilp_with`], but also attaches the search's
+    /// node/prune counters to `trace` (when one is provided). Passing
+    /// `None` is exactly `solve_ilp_with`.
+    pub fn solve_ilp_traced(
+        &self,
+        opts: &IlpOptions,
+        trace: Option<&osa_obs::Trace>,
+    ) -> Result<Solution, SolverError> {
+        branch_bound::solve(self, opts, trace)
     }
 }
 

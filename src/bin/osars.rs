@@ -8,7 +8,7 @@
 //!                     [--granularity pairs|sentences|reviews]
 //!                     [--algorithm greedy|lazy|ilp|rr|local-search]
 //!                     [--graph-impl indexed|naive] [--extract-impl interned|naive]
-//!                     [--jobs N] [--metrics FILE] [--trace]
+//!                     [--jobs N] [--metrics FILE] [--trace] [--trace-out FILE]
 //! osars evaluate      (--corpus FILE | --domain D) [--k K] [--eps E] [--items N]
 //!                     [--extract-impl interned|naive] [--metrics FILE] [--trace]
 //! osars check         [--seed N] [--cases N] [--faults] [--case-out FILE]
@@ -16,7 +16,7 @@
 //! osars check-metrics --metrics FILE
 //! osars serve         (--corpus FILE | --domain D) [--addr HOST:PORT]
 //!                     [--workers N] [--queue-depth N] [--deadline-ms N]
-//!                     [--cache N] [--warm] [--k K] [--eps E] [...]
+//!                     [--cache N] [--warm] [--slow-ms N] [--k K] [--eps E] [...]
 //! osars loadgen       --addr HOST:PORT [--conns C] [--rps N]
 //!                     [--duration-secs S] [--panic-every N] [--query Q]
 //!                     [--out FILE]
@@ -47,7 +47,8 @@ use osars::datasets::{
 use osars::eval::{sent_err, sent_err_penalized};
 use osars::obs::{JsonlSink, Sink, StderrSink, TeeSink};
 use osars::runtime::{
-    par_for_groups, par_for_pairs, summarize_corpus, BatchAlgorithm, BatchJob, BatchOptions,
+    par_for_groups, par_for_pairs, summarize_corpus, summarize_corpus_traced, BatchAlgorithm,
+    BatchJob, BatchOptions,
 };
 use osars::text::ExtractScratch;
 
@@ -101,7 +102,7 @@ USAGE:
                       [--algorithm greedy|lazy|ilp|rr|local-search]
                       [--graph-impl indexed|naive] [--extract-impl interned|naive]
                       [--focus CONCEPT] [--explain true] [--jobs N]
-                      [--metrics FILE] [--trace]
+                      [--metrics FILE] [--trace] [--trace-out FILE]
   osars evaluate      (--corpus FILE | --domain D [--scale S] [--seed N])
                       [--k K] [--eps E] [--items N] [--jobs N]
                       [--extract-impl interned|naive]
@@ -111,7 +112,7 @@ USAGE:
   osars check-metrics --metrics FILE
   osars serve         (--corpus FILE | --domain D [--scale S] [--seed N])
                       [--addr HOST:PORT] [--workers N] [--queue-depth N]
-                      [--deadline-ms N] [--cache N] [--warm]
+                      [--deadline-ms N] [--cache N] [--warm] [--slow-ms N]
                       [--k K] [--eps E] [--algorithm A]
                       [--granularity G] [--graph-impl I] [--extract-impl I]
   osars loadgen       --addr HOST:PORT [--conns C] [--rps N]
@@ -144,9 +145,12 @@ EXTRACT:  --extract-impl selects the opinion-extraction hot path:
           kept as the oracle); both yield byte-identical output
 METRICS:  --metrics FILE streams per-stage span events plus a final
           counter/gauge/histogram snapshot as JSON lines to FILE
-          (validate with `osars check-metrics --metrics FILE`);
+          (validate with `osars check-metrics --metrics FILE`, which
+          also round-trips the Prometheus quantile exposition);
           --trace mirrors spans to stderr and prints a metrics table
-          at exit; neither changes what is written to stdout
+          at exit; --trace-out FILE writes the request-scoped span
+          tree(s) as Chrome trace_event JSON (open in a trace viewer);
+          none of them changes what is written to stdout
 SERVE:    loads the corpus once and answers GET /summary/{{item}} (with
           k/eps/algo/granularity/graph-impl/extract-impl query params),
           POST /reviews (ingest + epoch bump), GET /metrics (Prometheus
@@ -154,7 +158,12 @@ SERVE:    loads the corpus once and answers GET /summary/{{item}} (with
           a --queue-depth admission queue (503 on overflow, 504 past
           --deadline-ms), with an LRU summary cache of --cache entries
           keyed on the corpus epoch; one panicking request answers 500
-          and the daemon keeps serving
+          and the daemon keeps serving; every summary request is traced
+          into an always-on flight recorder with tail sampling (errors
+          and requests slower than --slow-ms are always kept) — browse
+          GET /debug/traces and /debug/traces/{{id}} (?format=chrome for
+          a trace-viewer export); successful responses carry per-stage
+          Server-Timing headers
 LOADGEN:  drives a running daemon with --conns keep-alive connections at
           --rps total requests/second (0 = closed-loop max) for
           --duration-secs, optionally poisoning every --panic-every'th
@@ -454,12 +463,26 @@ fn cmd_summarize_batch(corpus: &Corpus, flags: &HashMap<String, String>) -> Resu
         extract_impl: parse_extract_impl(flags)?,
         ..BatchOptions::default()
     };
-    let report = summarize_corpus(corpus, &opts);
+    // --trace-out routes through the traced batch entry point; stdout is
+    // byte-identical either way (tracing only observes).
+    let trace_out = flag(flags, "trace-out");
+    let (report, trees) = match trace_out {
+        Some(_) => summarize_corpus_traced(corpus, &opts),
+        None => (summarize_corpus(corpus, &opts), Vec::new()),
+    };
     print!("{}", report.render_items());
     eprintln!("{}", report.render_stats());
     let stage_table = report.render_stage_table();
     if !stage_table.is_empty() {
         eprint!("{stage_table}");
+    }
+    if let Some(path) = trace_out {
+        let json = osars::obs::chrome_trace_json(&trees);
+        std::fs::write(path, &json).map_err(|e| format!("writing '{path}': {e}"))?;
+        eprintln!(
+            "traces for {} items written to {path} (chrome trace_event format)",
+            trees.len()
+        );
     }
     // A worker panic no longer aborts the process (the engine catches
     // it per item); surface what failed and exit non-zero so scripts
@@ -494,8 +517,18 @@ fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
     let alg = algorithm(algorithm_name)?;
     let obs = osars::obs::global();
 
+    // --trace-out FILE: build a request-scoped span tree over the three
+    // pipeline stages and export it as Chrome trace_event JSON. Stdout
+    // stays byte-identical — the trace only observes.
+    let trace_out = flag(flags, "trace-out");
+    let trace = trace_out.map(|_| osars::obs::Trace::new(item as u64));
+    let mut root_span = trace.as_ref().map(|t| t.span("summarize"));
+
     let extract_impl = parse_extract_impl(flags)?;
-    let (extracted, _) = obs.time("extract", || extract(&corpus, item, extract_impl));
+    let (extracted, _) = {
+        let _tspan = trace.as_ref().map(|t| t.span("extract"));
+        obs.time("extract", || extract(&corpus, item, extract_impl))
+    };
     let mut ex = extracted?;
 
     // --focus CONCEPT: restrict to the concept's sub-hierarchy. Pairs on
@@ -535,6 +568,7 @@ fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
     let gran = parse_granularity(granularity)?;
     let graph_impl = parse_graph_impl(flags)?;
     let jobs: usize = parse_num(flags, "jobs", 1)?;
+    let graph_span = trace.as_ref().map(|t| t.span("graph.build"));
     let (graph, _) = obs.time("graph.build", || match (graph_impl, gran) {
         (GraphImpl::Indexed, Granularity::Pairs) => par_for_pairs(&hierarchy, &ex.pairs, eps, jobs),
         (GraphImpl::Indexed, Granularity::Sentences) => par_for_groups(
@@ -571,9 +605,16 @@ fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
             Granularity::Reviews,
         ),
     });
-    let (summary, micros) = obs.time(&format!("solve.{algorithm_name}"), || {
-        alg.summarize(&graph, k)
-    });
+    drop(graph_span);
+    let (summary, micros) = {
+        let _tspan = trace
+            .as_ref()
+            .map(|t| t.span(&format!("solve.{algorithm_name}")));
+        obs.time(&format!("solve.{algorithm_name}"), || {
+            alg.summarize_traced(&graph, k, trace.as_ref())
+        })
+    };
+    root_span.take();
     println!(
         "{} selected {} of {} candidates in {micros:.0}µs; cost {} (root-only {})",
         alg.name(),
@@ -616,6 +657,15 @@ fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
             "  (root serves the remaining {} opinions, cost share {})",
             ex_report.root_serves.len(),
             ex_report.root_cost_share
+        );
+    }
+    if let (Some(path), Some(t)) = (trace_out, &trace) {
+        let tree = t.tree();
+        std::fs::write(path, tree.to_chrome_json())
+            .map_err(|e| format!("writing '{path}': {e}"))?;
+        eprintln!(
+            "trace with {} spans written to {path} (chrome trace_event format)",
+            tree.spans.len()
         );
     }
     Ok(())
@@ -752,15 +802,37 @@ fn cmd_check(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 }
 
+/// The `render_prometheus` name mangle: `osars_` prefix, non-Prometheus
+/// bytes replaced with `_`. Kept as an independent replica so
+/// `check-metrics` cross-validates the exposition rather than trusting
+/// the library to agree with itself.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("osars_");
+    for c in name.chars() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
 /// Validate a `--metrics` JSONL file: every non-empty line must parse as
 /// a JSON object carrying string fields `t` (record kind) and `name`,
 /// and must survive an osa-json serialize → re-parse round trip
-/// unchanged. Exits non-zero on the first violation.
+/// unchanged. The final counter/gauge/hist records are then rebuilt into
+/// a snapshot whose Prometheus exposition must round-trip every summary
+/// quantile, `_count` and `_sum` line back to the recorded values. Exits
+/// non-zero on the first violation.
 fn cmd_check_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
     let path = required(flags, "metrics")?;
     let data = std::fs::read_to_string(path).map_err(|e| format!("reading '{path}': {e}"))?;
     let mut records = 0usize;
     let mut spans = 0usize;
+    let mut snap = osars::obs::Snapshot {
+        counters: Vec::new(),
+        gauges: Vec::new(),
+        histograms: Vec::new(),
+    };
     for (idx, line) in data.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -780,18 +852,98 @@ fn cmd_check_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
             .get("t")
             .and_then(|v| v.as_str())
             .ok_or_else(|| format!("{path}:{lineno}: missing string field 't'"))?;
-        if value.get("name").and_then(|v| v.as_str()).is_none() {
-            return Err(format!("{path}:{lineno}: missing string field 'name'"));
-        }
-        if kind == "span" {
-            spans += 1;
+        let name = value
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{path}:{lineno}: missing string field 'name'"))?;
+        let num = |field: &str| -> Result<f64, String> {
+            value
+                .get(field)
+                .and_then(osars::json::Value::as_f64)
+                .ok_or_else(|| format!("{path}:{lineno}: missing numeric field '{field}'"))
+        };
+        // Rebuild the trailing snapshot; re-emitted names overwrite so
+        // only the final state is validated (the snapshot is appended
+        // after the span stream).
+        match kind {
+            "span" => spans += 1,
+            "counter" => {
+                let v = num("value")? as u64;
+                snap.counters.retain(|(n, _)| n != name);
+                snap.counters.push((name.to_owned(), v));
+            }
+            "gauge" => {
+                let v = num("value")? as i64;
+                snap.gauges.retain(|(n, _)| n != name);
+                snap.gauges.push((name.to_owned(), v));
+            }
+            "hist" => {
+                let stats = osars::obs::HistStats {
+                    count: num("count")? as usize,
+                    total: num("total_us")?,
+                    mean: num("mean_us")?,
+                    min: num("min_us")?,
+                    max: num("max_us")?,
+                    p50: num("p50_us")?,
+                    p95: num("p95_us")?,
+                    p99: num("p99_us")?,
+                };
+                snap.histograms.retain(|(n, _)| n != name);
+                snap.histograms.push((name.to_owned(), stats));
+            }
+            _ => {}
         }
         records += 1;
     }
     if records == 0 {
         return Err(format!("'{path}' contains no metric records"));
     }
-    println!("ok: {records} records ({spans} spans) in {path}");
+
+    // Prometheus exposition round trip: every histogram's quantile,
+    // count and sum lines must parse back to the recorded values.
+    let prom = snap.render_prometheus();
+    let line_value = |needle: &str| -> Result<f64, String> {
+        let line = prom
+            .lines()
+            .find(|l| l.starts_with(needle))
+            .ok_or_else(|| format!("render_prometheus dropped '{needle}'"))?;
+        line[needle.len()..]
+            .trim()
+            .parse()
+            .map_err(|_| format!("unparsable exposition line '{line}'"))
+    };
+    let mut quantile_lines = 0usize;
+    for (name, h) in &snap.histograms {
+        let n = prom_name(name);
+        for (q, expect) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            let got = line_value(&format!("{n}{{quantile=\"{q}\"}} "))?;
+            if got != expect {
+                return Err(format!(
+                    "prometheus quantile {q} of '{name}' round-tripped to {got}, recorded {expect}"
+                ));
+            }
+            quantile_lines += 1;
+        }
+        let count = line_value(&format!("{n}_count "))?;
+        if count != h.count as f64 {
+            return Err(format!(
+                "prometheus count of '{name}' round-tripped to {count}, recorded {}",
+                h.count
+            ));
+        }
+        let sum = line_value(&format!("{n}_sum "))?;
+        if sum != h.total {
+            return Err(format!(
+                "prometheus sum of '{name}' round-tripped to {sum}, recorded {}",
+                h.total
+            ));
+        }
+    }
+    println!(
+        "ok: {records} records ({spans} spans) in {path}; prometheus round-trip: \
+         {quantile_lines} quantile lines over {} summaries",
+        snap.histograms.len()
+    );
     Ok(())
 }
 
@@ -821,6 +973,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         deadline_ms: parse_num(flags, "deadline-ms", 10_000)?,
         cache_capacity: parse_num(flags, "cache", 4096)?,
         warm: matches!(flag(flags, "warm"), Some(v) if v != "false"),
+        slow_ms: parse_num(flags, "slow-ms", 500)?,
         defaults,
     };
     let addr = flag(flags, "addr").unwrap_or("127.0.0.1:7878");

@@ -252,6 +252,9 @@ fn help_lists_observability_flags() {
     for needle in [
         "--metrics FILE",
         "--trace",
+        "--trace-out FILE",
+        "--slow-ms N",
+        "/debug/traces",
         "check-metrics",
         "--domain",
         "--jobs N",
@@ -481,7 +484,121 @@ fn evaluate_metrics_emits_valid_jsonl_with_spans() {
         "{}",
         String::from_utf8_lossy(&check.stderr)
     );
-    assert!(String::from_utf8_lossy(&check.stdout).contains("ok:"));
+    let stdout = String::from_utf8_lossy(&check.stdout);
+    assert!(stdout.contains("ok:"), "{stdout}");
+    // The validator re-renders the snapshot to Prometheus text and
+    // cross-checks the quantile/count/sum lines against the records.
+    assert!(stdout.contains("prometheus round-trip"), "{stdout}");
+}
+
+#[test]
+fn trace_out_batch_writes_chrome_json_without_perturbing_stdout() {
+    let trace = tmp_corpus("batch_trace.json");
+    let base = [
+        "summarize",
+        "--domain",
+        "phones",
+        "--scale",
+        "small",
+        "--item",
+        "all",
+        "--jobs",
+        "2",
+    ];
+    let plain = osars(&base);
+    assert!(plain.status.success());
+    let mut args = base.to_vec();
+    args.extend_from_slice(&["--trace-out", trace.to_str().unwrap()]);
+    let traced = osars(&args);
+    assert!(
+        traced.status.success(),
+        "{}",
+        String::from_utf8_lossy(&traced.stderr)
+    );
+    assert_eq!(
+        plain.stdout, traced.stdout,
+        "--trace-out must not perturb stdout"
+    );
+    assert!(
+        String::from_utf8_lossy(&traced.stderr).contains("chrome trace_event"),
+        "{}",
+        String::from_utf8_lossy(&traced.stderr)
+    );
+
+    // The export is valid Chrome trace_event JSON: one complete event
+    // per span, with a root per item on its own track (tid).
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let events = osars::json::parse(&text).expect("valid JSON");
+    let events = events.as_array().expect("trace_event array");
+    assert!(!events.is_empty());
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|v| v.as_str()))
+        .collect();
+    let roots = names.iter().filter(|n| **n == "summarize_one").count();
+    assert_eq!(roots, 30, "one root span per phones-small item");
+    for stage in ["extract", "graph.build", "solve.greedy"] {
+        assert!(names.contains(&stage), "missing {stage} events");
+    }
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert!(ev.get("ts").and_then(osars::json::Value::as_f64).is_some());
+        assert!(ev.get("dur").and_then(osars::json::Value::as_f64).is_some());
+    }
+}
+
+#[test]
+fn trace_out_single_item_writes_one_tree() {
+    let trace = tmp_corpus("single_trace.json");
+    let base = [
+        "summarize",
+        "--domain",
+        "phones",
+        "--scale",
+        "small",
+        "--item",
+        "0",
+    ];
+    let plain = osars(&base);
+    assert!(plain.status.success());
+    let mut args = base.to_vec();
+    args.extend_from_slice(&["--trace-out", trace.to_str().unwrap()]);
+    let traced = osars(&args);
+    assert!(
+        traced.status.success(),
+        "{}",
+        String::from_utf8_lossy(&traced.stderr)
+    );
+    // The single-item header embeds a wall time ("in 219µs") that varies
+    // run to run with or without tracing; blank it before comparing.
+    let normalize = |out: &[u8]| -> String {
+        String::from_utf8_lossy(out)
+            .lines()
+            .map(|l| match (l.find(" in "), l.find("µs;")) {
+                (Some(a), Some(b)) if a < b => {
+                    format!("{} in Xµs;{}", &l[..a], &l[b + "µs;".len()..])
+                }
+                _ => l.to_owned(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        normalize(&plain.stdout),
+        normalize(&traced.stdout),
+        "--trace-out must not perturb stdout (timings aside)"
+    );
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let events = osars::json::parse(&text).expect("valid JSON");
+    let events = events.as_array().expect("trace_event array");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|v| v.as_str()))
+        .collect();
+    for required in ["summarize", "extract", "graph.build", "solve.greedy"] {
+        assert!(names.contains(&required), "missing {required} in {names:?}");
+    }
 }
 
 #[test]

@@ -294,6 +294,213 @@ fn full_queue_answers_503_and_stale_jobs_answer_504() {
     handle.shutdown();
 }
 
+// --- tracing & flight recorder ---------------------------------------------
+
+fn json(body: &str) -> osars::json::Value {
+    osars::json::parse(body).unwrap_or_else(|e| panic!("invalid JSON ({e:?}): {body}"))
+}
+
+/// With `--slow-ms 1` every real request crosses the slow threshold, so
+/// retention is deterministic: the recorder must hold the error trace
+/// (injected panic) and the slow trace (injected delay), with summaries
+/// exposing id/path/status/total/reason.
+#[test]
+fn flight_recorder_retains_slow_and_error_traces() {
+    osars::serve::quiet_injected_panics();
+    let handle = start(ServeOptions {
+        slow_ms: 1,
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr();
+
+    let (s, _, _) = get(addr, "/summary/0");
+    assert_eq!(s, 200);
+    let (s, _, _) = get(addr, "/summary/0?inject=delay:50");
+    assert_eq!(s, 200);
+    let (s, _, _) = get(addr, "/summary/1?inject=panic");
+    assert_eq!(s, 500);
+
+    let (s, _, body) = get(addr, "/debug/traces");
+    assert_eq!(s, 200, "{body}");
+    let list = json(&body);
+    let offered = list.get("offered").and_then(osars::json::Value::as_u64);
+    let kept = list.get("kept").and_then(osars::json::Value::as_u64);
+    assert_eq!(offered, Some(3), "{body}");
+    assert_eq!(kept, Some(3), "all three cross a 1ms threshold: {body}");
+    let traces = list
+        .get("traces")
+        .and_then(osars::json::Value::as_array)
+        .expect("traces array");
+    assert_eq!(traces.len(), 3);
+    // Newest first: the panic, then the delay, then the plain request.
+    let field = |t: &osars::json::Value, k: &str| {
+        t.get(k)
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .unwrap_or_else(|| panic!("no {k} in {body}"))
+    };
+    assert_eq!(field(&traces[0], "reason"), "error");
+    assert_eq!(
+        traces[0].get("status").and_then(osars::json::Value::as_u64),
+        Some(500)
+    );
+    assert_eq!(field(&traces[0], "path"), "/summary/1?inject=panic");
+    assert_eq!(field(&traces[1], "reason"), "slow");
+    assert_eq!(field(&traces[1], "path"), "/summary/0?inject=delay:50");
+    assert!(
+        traces[1]
+            .get("total_us")
+            .and_then(osars::json::Value::as_u64)
+            .expect("total_us")
+            >= 50_000,
+        "delayed request must include its delay: {body}"
+    );
+    assert_eq!(field(&traces[2], "reason"), "slow");
+    for t in traces {
+        assert!(t.get("id").and_then(osars::json::Value::as_u64).is_some());
+        assert!(
+            t.get("spans").and_then(osars::json::Value::as_u64).unwrap() >= 1,
+            "{body}"
+        );
+    }
+    handle.shutdown();
+}
+
+/// `/debug/traces/{id}` returns a well-formed span tree whose stages are
+/// the instrumented pipeline stages, and the `Server-Timing` header of
+/// the original response agrees exactly with the stored tree (both are
+/// rendered from the same tree).
+#[test]
+fn trace_detail_is_well_formed_and_agrees_with_server_timing() {
+    let handle = start(ServeOptions {
+        slow_ms: 1, // retain everything deterministically
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr();
+
+    let (s, headers, _) = get(addr, "/summary/0?k=3");
+    assert_eq!(s, 200);
+    let timing = headers
+        .get("server-timing")
+        .expect("Server-Timing header on /summary");
+
+    // First request to this daemon → trace id 0.
+    let (s, _, body) = get(addr, "/debug/traces/0");
+    assert_eq!(s, 200, "{body}");
+    let detail = json(&body);
+    assert_eq!(
+        detail.get("id").and_then(osars::json::Value::as_u64),
+        Some(0)
+    );
+    assert_eq!(
+        detail.get("status").and_then(osars::json::Value::as_u64),
+        Some(200)
+    );
+    let tree = detail.get("trace").expect("trace object");
+    let spans = tree
+        .get("spans")
+        .and_then(osars::json::Value::as_array)
+        .expect("spans array");
+    assert!(!spans.is_empty());
+
+    // Well-formedness through the JSON view: the root is span 0 named
+    // serve.request with a null parent; every other span points at an
+    // earlier span and closes no later than its parent opens…ends.
+    let name_of = |i: usize| {
+        spans[i]
+            .get("name")
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .expect("span name")
+    };
+    assert_eq!(name_of(0), "serve.request");
+    assert!(matches!(
+        spans[0].get("parent"),
+        Some(osars::json::Value::Null)
+    ));
+    for (i, span) in spans.iter().enumerate().skip(1) {
+        let parent =
+            span.get("parent")
+                .and_then(osars::json::Value::as_u64)
+                .unwrap_or_else(|| panic!("span {i} has no parent: {body}")) as usize;
+        assert!(parent < i, "span {i} points forward");
+        let us = |k: &str, of: &osars::json::Value| {
+            of.get(k).and_then(osars::json::Value::as_u64).unwrap()
+        };
+        assert!(us("start_us", span) <= us("end_us", span));
+        assert!(us("start_us", &spans[parent]) <= us("start_us", span));
+        assert!(us("end_us", span) <= us("end_us", &spans[parent]));
+    }
+    let names: Vec<String> = (0..spans.len()).map(name_of).collect();
+    for required in ["serve.queue.wait", "extract", "graph.build", "solve.greedy"] {
+        assert!(names.iter().any(|n| n == required), "missing {required}");
+    }
+
+    // Exact Server-Timing agreement: the header's total is the stored
+    // tree's root duration, formatted the same way.
+    let total_us = tree
+        .get("total_us")
+        .and_then(osars::json::Value::as_f64)
+        .expect("total_us");
+    let expected_total = format!("total;dur={:.3}", total_us / 1000.0);
+    assert!(
+        timing.starts_with(&expected_total),
+        "header {timing:?} vs stored tree total {expected_total:?}"
+    );
+    for stage in ["extract;dur=", "graph.build;dur=", "solve.greedy;dur="] {
+        assert!(timing.contains(stage), "header {timing:?} lacks {stage}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn trace_chrome_export_and_debug_error_paths() {
+    let handle = start(ServeOptions {
+        slow_ms: 1,
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr();
+    let (s, _, _) = get(addr, "/summary/0");
+    assert_eq!(s, 200);
+
+    let (s, _, chrome) = get(addr, "/debug/traces/0?format=chrome");
+    assert_eq!(s, 200, "{chrome}");
+    let events = json(&chrome);
+    let events = events.as_array().expect("chrome trace_event array");
+    assert!(!events.is_empty());
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert!(ev.get("ts").and_then(osars::json::Value::as_f64).is_some());
+    }
+
+    let (s, _, body) = get(addr, "/debug/traces/0?format=xml");
+    assert_eq!(s, 400, "{body}");
+    let (s, _, body) = get(addr, "/debug/traces/not-a-number");
+    assert_eq!(s, 400, "{body}");
+    let (s, _, body) = get(addr, "/debug/traces/99999");
+    assert_eq!(s, 404, "{body}");
+    let (s, _, _) = request(addr, "POST", "/debug/traces", None);
+    assert_eq!(s, 405);
+    let (s, _, _) = request(addr, "POST", "/debug/traces/0", None);
+    assert_eq!(s, 405);
+    handle.shutdown();
+}
+
+/// The background sampler publishes queue-depth/busy-worker gauges that
+/// surface on `/metrics` without any explicit instrumentation in the
+/// request path.
+#[test]
+fn sampler_gauges_surface_on_metrics() {
+    let handle = start(ServeOptions::default());
+    let addr = handle.addr();
+    let (s, _, _) = get(addr, "/summary/0");
+    assert_eq!(s, 200);
+    std::thread::sleep(Duration::from_millis(80)); // > one 25ms sampler tick
+    let (s, _, metrics) = get(addr, "/metrics");
+    assert_eq!(s, 200);
+    assert!(metrics.contains("osars_serve_queue_depth"), "{metrics}");
+    assert!(metrics.contains("osars_serve_workers_busy"), "{metrics}");
+    handle.shutdown();
+}
+
 // --- plumbing ---------------------------------------------------------------
 
 #[test]
