@@ -15,10 +15,11 @@ use osa_core::{
     CoverageGraph, Granularity, GraphImpl, GreedySummarizer, IlpSummarizer, LazyGreedySummarizer,
     LocalSearchSummarizer, Summarizer,
 };
-use osa_datasets::{Corpus, ExtractImpl};
+use osa_datasets::{Corpus, ExtractImpl, Extractor};
+use osa_runtime::incremental::ItemArtifacts;
 use osa_runtime::{
     item_seed, par_for_groups, par_for_pairs, render_item_summary, summarize_corpus,
-    BatchAlgorithm, BatchOptions, BatchReport, Fault, FaultPlan, ItemSummary,
+    BatchAlgorithm, BatchOptions, BatchReport, Fault, FaultPlan, ItemSummary, WorkerScratch,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,6 +40,9 @@ pub enum CheckKind {
     Corpus,
     /// Corpus checks that only run under `--faults`.
     CorpusFaults,
+    /// Corpus checks that only run under `--edits` (incremental-update
+    /// differential oracles over seeded edit scripts).
+    CorpusEdits,
     /// Graph/solver-level checks on synthetic pair scenarios.
     Synth,
 }
@@ -54,11 +58,13 @@ pub struct Check {
 }
 
 impl Check {
-    /// Does this check apply to `scenario` under the given fault mode?
-    pub fn applies(&self, scenario: &Scenario, faults: bool) -> bool {
+    /// Does this check apply to `scenario` under the given fault/edit
+    /// modes?
+    pub fn applies(&self, scenario: &Scenario, faults: bool, edits: bool) -> bool {
         match self.kind {
             CheckKind::Corpus => matches!(scenario.kind, ScenarioKind::Corpus(_)),
             CheckKind::CorpusFaults => faults && matches!(scenario.kind, ScenarioKind::Corpus(_)),
+            CheckKind::CorpusEdits => edits && matches!(scenario.kind, ScenarioKind::Corpus(_)),
             CheckKind::Synth => matches!(scenario.kind, ScenarioKind::Synth(_)),
         }
     }
@@ -85,6 +91,11 @@ pub static CHECKS: &[Check] = &[
         name: "fault-isolation",
         kind: CheckKind::CorpusFaults,
         run: chk_fault_isolation,
+    },
+    Check {
+        name: "incremental-vs-rebuild",
+        kind: CheckKind::CorpusEdits,
+        run: chk_incremental_vs_rebuild,
     },
     Check {
         name: "graph-impl-equality",
@@ -344,6 +355,102 @@ fn chk_fault_isolation(s: &Scenario) -> Result<(), String> {
             return Err("failed + surviving items do not cover the corpus".to_owned());
         }
         reference = Some(faulted);
+    }
+    Ok(())
+}
+
+/// Edits per seeded edit script (the `incremental-vs-rebuild` oracle).
+pub const EDIT_SCRIPT_LEN: usize = 4;
+
+/// One step of a seeded edit script, derived purely from
+/// `(scenario seed, edit index, current review count)`: which item is
+/// edited and whether the edit retracts the item's last review (only
+/// ever chosen while the item keeps at least one review afterwards) or
+/// appends a review recycled from the original corpus.
+fn edit_step(
+    s: &Scenario,
+    original: &Corpus,
+    corpus: &Corpus,
+    edit: usize,
+) -> (usize, bool, osa_datasets::Review) {
+    let draw = item_seed(s.seed, 0xED17_0000 + edit as u64);
+    let idx = (draw % corpus.items.len() as u64) as usize;
+    let retract = (draw >> 33) & 1 == 1 && corpus.items[idx].reviews.len() > 1;
+    let donor = &original.items[((draw >> 8) % original.items.len() as u64) as usize];
+    let review = donor.reviews[((draw >> 24) % donor.reviews.len() as u64) as usize].clone();
+    (idx, retract, review)
+}
+
+/// The incremental pipeline (`ItemArtifacts::update` after every edit)
+/// renders **byte-identically** to rebuilding from scratch, across
+/// `{Indexed, Naive} × {Greedy, LazyGreedy} × jobs`, over a seeded
+/// random append/retract edit script. This is the end-to-end oracle for
+/// the serve daemon's `POST /reviews` fast path: cached extractions are
+/// extended review-by-review, graph plans/shards are merged as CSR
+/// deltas, and lazy greedy warm-starts from maintained initial keys —
+/// none of which may change a single output byte.
+fn chk_incremental_vs_rebuild(s: &Scenario) -> Result<(), String> {
+    let original = corpus_of(s);
+    let extractor = Extractor::from_hierarchy(&original.hierarchy);
+    for algorithm in [BatchAlgorithm::Greedy, BatchAlgorithm::LazyGreedy] {
+        for graph_impl in [GraphImpl::Indexed, GraphImpl::Naive] {
+            let opts = BatchOptions {
+                algorithm,
+                graph_impl,
+                ..base_opts(s)
+            };
+            let mut scratch = WorkerScratch::new();
+            let mut corpus = original.clone();
+            let mut artifacts: Vec<ItemArtifacts> = corpus
+                .items
+                .iter()
+                .map(|it| {
+                    ItemArtifacts::build(&corpus.hierarchy, &extractor, &opts, it, &mut scratch)
+                })
+                .collect();
+            for edit in 0..EDIT_SCRIPT_LEN {
+                let (idx, retract, review) = edit_step(s, original, &corpus, edit);
+                if retract {
+                    corpus.items[idx].reviews.pop();
+                } else {
+                    corpus.items[idx].reviews.push(review);
+                }
+                artifacts[idx] = artifacts[idx].update(
+                    &corpus.hierarchy,
+                    &extractor,
+                    &opts,
+                    &corpus.items[idx],
+                    &mut scratch,
+                );
+                for jobs in JOBS_MATRIX {
+                    let fresh = pipeline(
+                        &corpus,
+                        &BatchOptions {
+                            jobs,
+                            ..opts.clone()
+                        },
+                    );
+                    for (i, result) in fresh.results.iter().enumerate() {
+                        let incremental = artifacts[i].summarize(
+                            &corpus.hierarchy,
+                            &opts,
+                            i,
+                            &corpus.items[i],
+                            &mut scratch,
+                            None,
+                        );
+                        if render_item_summary(&incremental) != render_item_summary(result) {
+                            return Err(format!(
+                                "{algorithm:?}/{}: after edit {edit} ({} item {idx}), \
+                                 incremental item {i} diverges from a fresh rebuild at jobs={jobs}",
+                                graph_impl.name(),
+                                if retract { "retract from" } else { "append to" },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
     }
     Ok(())
 }

@@ -30,7 +30,8 @@ mod scenario;
 mod shrink;
 
 pub use differential::{
-    check_by_name, scenario_fault_plan, Check, CheckKind, CHECKS, EXACT_MAX_CANDIDATES, JOBS_MATRIX,
+    check_by_name, scenario_fault_plan, Check, CheckKind, CHECKS, EDIT_SCRIPT_LEN,
+    EXACT_MAX_CANDIDATES, JOBS_MATRIX,
 };
 pub use scenario::{
     granularity_from_name, granularity_name, Scenario, ScenarioKind, SynthInstance,
@@ -48,6 +49,10 @@ pub struct CheckConfig {
     pub cases: usize,
     /// Enable deterministic fault injection (adds the fault checks).
     pub faults: bool,
+    /// Enable the incremental-vs-rebuild differential oracle: seeded
+    /// append/retract edit scripts whose incrementally-updated output
+    /// must be byte-identical to a from-scratch rebuild.
+    pub edits: bool,
     /// Where to write the shrunk case file on failure
     /// (default `check-case.json`).
     pub case_out: Option<PathBuf>,
@@ -59,6 +64,7 @@ impl Default for CheckConfig {
             seed: 42,
             cases: 25,
             faults: false,
+            edits: false,
             case_out: None,
         }
     }
@@ -98,10 +104,11 @@ impl CheckOutcome {
 pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
     let obs = osa_obs::global();
     let mut report = format!(
-        "check: seed {}, {} cases, faults {}\n",
+        "check: seed {}, {} cases, faults {}{}\n",
         cfg.seed,
         cfg.cases,
-        if cfg.faults { "on" } else { "off" }
+        if cfg.faults { "on" } else { "off" },
+        if cfg.edits { ", edits on" } else { "" }
     );
     let mut failures: Vec<CheckFailure> = Vec::new();
     let mut checks_total = 0usize;
@@ -112,7 +119,7 @@ pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
         let mut case_failures: Vec<(&'static str, String)> = Vec::new();
         let mut ran = 0usize;
         for check in CHECKS {
-            if !check.applies(&scenario, cfg.faults) {
+            if !check.applies(&scenario, cfg.faults, cfg.edits) {
                 continue;
             }
             obs.add("check.invariants.checked", 1);
@@ -150,7 +157,7 @@ pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
                 .case_out
                 .clone()
                 .unwrap_or_else(|| PathBuf::from("check-case.json"));
-            let doc = shrunk.to_case_value(name, cfg.faults);
+            let doc = shrunk.to_case_value(name, cfg.faults, cfg.edits);
             match std::fs::write(&path, osa_json::to_string_pretty(&doc)) {
                 Ok(()) => report.push_str(&format!(
                     "  shrunk to [{}] in {trials} trials; wrote {}\n",
@@ -185,10 +192,10 @@ pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
 /// embedded scenario and report the result.
 pub fn replay_case(json: &str) -> Result<CheckOutcome, String> {
     let doc = osa_json::parse(json).map_err(|e| format!("case file: {e}"))?;
-    let (scenario, check_name, faults) = Scenario::from_case_value(&doc)?;
+    let (scenario, check_name, faults, edits) = Scenario::from_case_value(&doc)?;
     let check = check_by_name(&check_name)
         .ok_or_else(|| format!("case file references unknown check '{check_name}'"))?;
-    if !check.applies(&scenario, faults) {
+    if !check.applies(&scenario, faults, edits) {
         return Err(format!(
             "check '{check_name}' does not apply to the embedded scenario"
         ));
@@ -213,28 +220,15 @@ pub fn replay_case(json: &str) -> Result<CheckOutcome, String> {
     Ok(CheckOutcome { report, failures })
 }
 
-/// Install a panic hook that silences panics whose message marks them as
-/// deliberately injected (the fault checks provoke them on purpose);
-/// every other panic still reports through the previous hook. Idempotent.
+/// Install a panic hook that silences deliberately injected panics (the
+/// fault checks provoke them on purpose); every other panic still
+/// reports through the previous hook. Delegates to
+/// [`osa_runtime::quiet_injected_panics`], which recognizes injection by
+/// the typed [`osa_runtime::InjectedPanic`] payload — a genuine bug
+/// whose message happens to contain "injected" is not silenced.
+/// Idempotent.
 pub fn quiet_injected_panics() {
-    static HOOK: std::sync::Once = std::sync::Once::new();
-    HOOK.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let is_injected = |m: &str| m.contains("injected") || m.contains("NaN sentiments");
-            let injected = info
-                .payload()
-                .downcast_ref::<String>()
-                .is_some_and(|m| is_injected(m))
-                || info
-                    .payload()
-                    .downcast_ref::<&str>()
-                    .is_some_and(|m| is_injected(m));
-            if !injected {
-                prev(info);
-            }
-        }));
-    });
+    osa_runtime::quiet_injected_panics();
 }
 
 #[cfg(test)]
@@ -248,6 +242,7 @@ mod tests {
             seed: 7,
             cases: 6,
             faults: false,
+            edits: false,
             case_out: None,
         };
         let a = run_check(&cfg);
@@ -264,6 +259,7 @@ mod tests {
             seed: 7,
             cases: 6,
             faults: true,
+            edits: false,
             case_out: None,
         };
         let outcome = run_check(&cfg);
@@ -290,6 +286,43 @@ mod tests {
         );
     }
 
+    #[test]
+    fn edits_mode_passes_and_adds_the_incremental_check() {
+        quiet_injected_panics();
+        let cfg = CheckConfig {
+            seed: 7,
+            cases: 4,
+            faults: false,
+            edits: true,
+            case_out: None,
+        };
+        let outcome = run_check(&cfg);
+        assert!(outcome.passed(), "{}", outcome.report);
+        assert!(outcome.report.contains("edits on"));
+        let plain = run_check(&CheckConfig {
+            edits: false,
+            ..cfg.clone()
+        });
+        let checks_run = |r: &str| -> usize {
+            let line = r.lines().last().unwrap_or_default();
+            line.split(", ")
+                .find_map(|part| part.strip_suffix(" checks run"))
+                .and_then(|n| n.parse().ok())
+                .unwrap_or(0)
+        };
+        // Edits mode runs the incremental-vs-rebuild oracle on every
+        // corpus case on top of the plain checks.
+        assert!(
+            checks_run(&outcome.report) > checks_run(&plain.report),
+            "{} vs {}",
+            outcome.report,
+            plain.report
+        );
+        // Determinism: the edit scripts are seeded, so the whole report
+        // reproduces byte for byte.
+        assert_eq!(outcome.report, run_check(&cfg).report);
+    }
+
     /// Broad soak across seeds — not part of the default suite (slow);
     /// run explicitly with `cargo test -p osa-check --release -- --ignored`.
     #[test]
@@ -301,6 +334,7 @@ mod tests {
                 seed,
                 cases: 60,
                 faults: true,
+                edits: true,
                 case_out: Some(std::env::temp_dir().join("osa-check-soak-case.json")),
             });
             assert!(outcome.passed(), "seed {seed}:\n{}", outcome.report);
@@ -310,7 +344,7 @@ mod tests {
     #[test]
     fn replay_roundtrip_reruns_the_named_check() {
         let scenario = Scenario::generate(5, 2);
-        let doc = scenario.to_case_value("graph-impl-equality", false);
+        let doc = scenario.to_case_value("graph-impl-equality", false, false);
         let outcome = replay_case(&osa_json::to_string(&doc)).unwrap();
         assert!(outcome.passed(), "{}", outcome.report);
         assert!(outcome.report.contains("graph-impl-equality"));
@@ -319,7 +353,7 @@ mod tests {
     #[test]
     fn replay_rejects_unknown_checks() {
         let scenario = Scenario::generate(5, 2);
-        let doc = scenario.to_case_value("no-such-check", false);
+        let doc = scenario.to_case_value("no-such-check", false, false);
         assert!(replay_case(&osa_json::to_string(&doc)).is_err());
     }
 }

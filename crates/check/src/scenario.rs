@@ -168,11 +168,12 @@ impl Scenario {
 
     /// Serialize to the replayable `check-case.json` document, tagged
     /// with the check it failed.
-    pub fn to_case_value(&self, check: &str, faults: bool) -> Value {
+    pub fn to_case_value(&self, check: &str, faults: bool, edits: bool) -> Value {
         let mut members = vec![
             ("version".into(), Value::from(1usize)),
             ("check".into(), Value::from(check)),
             ("faults".into(), Value::from(faults)),
+            ("edits".into(), Value::from(edits)),
             ("case".into(), Value::from(self.case)),
             ("seed".into(), Value::Number(self.seed as f64)),
             ("k".into(), Value::from(self.k)),
@@ -217,8 +218,10 @@ impl Scenario {
     }
 
     /// Parse a `check-case.json` document back into `(scenario, check
-    /// name, faults flag)`.
-    pub fn from_case_value(doc: &Value) -> Result<(Scenario, String, bool), String> {
+    /// name, faults flag, edits flag)`. The `"edits"` member is optional
+    /// — case files written before the incremental oracle existed parse
+    /// as `edits = false`.
+    pub fn from_case_value(doc: &Value) -> Result<(Scenario, String, bool, bool), String> {
         let str_field = |name: &str| {
             doc.get(name)
                 .and_then(Value::as_str)
@@ -232,6 +235,7 @@ impl Scenario {
         };
         let check = str_field("check")?;
         let faults = matches!(doc.get("faults"), Some(Value::Bool(true)));
+        let edits = matches!(doc.get("edits"), Some(Value::Bool(true)));
         let case = num_field("case")? as usize;
         let seed = num_field("seed")? as u64;
         let k = num_field("k")? as usize;
@@ -311,6 +315,7 @@ impl Scenario {
             },
             check,
             faults,
+            edits,
         ))
     }
 }
@@ -353,12 +358,13 @@ mod tests {
     #[test]
     fn corpus_case_roundtrips_through_json() {
         let s = Scenario::generate(7, 0);
-        let doc = s.to_case_value("impl-matrix-bytes", false);
+        let doc = s.to_case_value("impl-matrix-bytes", false, true);
         let json = osa_json::to_string(&doc);
-        let (s2, check, faults) =
+        let (s2, check, faults, edits) =
             Scenario::from_case_value(&osa_json::parse(&json).unwrap()).unwrap();
         assert_eq!(check, "impl-matrix-bytes");
         assert!(!faults);
+        assert!(edits);
         assert_eq!(s.describe(), s2.describe());
         assert_eq!(s.k, s2.k);
         assert_eq!(s.eps, s2.eps);
@@ -368,10 +374,11 @@ mod tests {
     #[test]
     fn synth_case_roundtrips_through_json() {
         let s = Scenario::generate(7, 2);
-        let doc = s.to_case_value("graph-impl-equality", true);
-        let (s2, check, faults) = Scenario::from_case_value(&doc).unwrap();
+        let doc = s.to_case_value("graph-impl-equality", true, false);
+        let (s2, check, faults, edits) = Scenario::from_case_value(&doc).unwrap();
         assert_eq!(check, "graph-impl-equality");
         assert!(faults);
+        assert!(!edits);
         let (ScenarioKind::Synth(a), ScenarioKind::Synth(b)) = (&s.kind, &s2.kind) else {
             panic!("expected synth scenarios");
         };
@@ -388,7 +395,7 @@ mod tests {
     fn rejects_malformed_case_files() {
         assert!(Scenario::from_case_value(&osa_json::parse("{}").unwrap()).is_err());
         let s = Scenario::generate(3, 2);
-        let doc = s.to_case_value("x", false);
+        let doc = s.to_case_value("x", false, false);
         let json = osa_json::to_string(&doc).replace("\"synth\"", "\"mystery\"");
         assert!(Scenario::from_case_value(&osa_json::parse(&json).unwrap()).is_err());
     }

@@ -286,42 +286,7 @@ impl GraphBuildPlan {
         let mut window_hits = 0u64;
         let start = range.start;
         for qi in range {
-            let q = pairs[qi];
-            // Real assert, not debug: `Pair.sentiment` is a pub field, so
-            // a literal-constructed NaN can bypass `Pair::new`'s
-            // sanitization, and a NaN here would silently corrupt the
-            // sorted-bucket windows in release builds.
-            assert!(
-                !q.sentiment.is_nan(),
-                "NaN sentiments must be sanitized by Pair::new before building"
-            );
-            let epoch = scratch.next_epoch();
-            for &(anc, dist) in index.ancestors(q.concept) {
-                // A candidate on the root covers every pair with no
-                // sentiment condition (Definition 1), so the root bucket
-                // is taken whole.
-                let (lo, hi) = if anc == self.root {
-                    (
-                        self.bucket_off[anc.index()] as usize,
-                        self.bucket_off[anc.index() + 1] as usize,
-                    )
-                } else {
-                    self.window(anc, q.sentiment)
-                };
-                window_hits += (hi - lo) as u64;
-                for &(_, u) in &self.bucket_entries[lo..hi] {
-                    scratch.offer(u, dist, epoch);
-                }
-            }
-            // Ascending candidate order makes the shard (and therefore
-            // the assembled graph) independent of closure walk order.
-            scratch.touched.sort_unstable();
-            edges.extend(
-                scratch
-                    .touched
-                    .iter()
-                    .map(|&u| (u, scratch.dist[u as usize])),
-            );
+            self.resolve_pair(index, pairs[qi], scratch, &mut edges, &mut window_hits);
             pair_off.push(u32::try_from(edges.len()).expect("shard edge count exceeds u32"));
         }
         GraphShard {
@@ -330,6 +295,316 @@ impl GraphBuildPlan {
             edges,
             window_hits,
         }
+    }
+
+    /// Resolve one target pair's covering candidates into `edges` —
+    /// the shared body of [`shard`](Self::shard) and
+    /// [`shard_append`](Self::shard_append).
+    fn resolve_pair(
+        &self,
+        index: &osa_ontology::AncestorIndex,
+        q: Pair,
+        scratch: &mut GraphBuildScratch,
+        edges: &mut Vec<(u32, u32)>,
+        window_hits: &mut u64,
+    ) {
+        // Real assert, not debug: `Pair.sentiment` is a pub field, so
+        // a literal-constructed NaN can bypass `Pair::new`'s
+        // sanitization, and a NaN here would silently corrupt the
+        // sorted-bucket windows in release builds.
+        assert!(
+            !q.sentiment.is_nan(),
+            "NaN sentiments must be sanitized by Pair::new before building"
+        );
+        let epoch = scratch.next_epoch();
+        for &(anc, dist) in index.ancestors(q.concept) {
+            // A candidate on the root covers every pair with no
+            // sentiment condition (Definition 1), so the root bucket
+            // is taken whole.
+            let (lo, hi) = if anc == self.root {
+                (
+                    self.bucket_off[anc.index()] as usize,
+                    self.bucket_off[anc.index() + 1] as usize,
+                )
+            } else {
+                self.window(anc, q.sentiment)
+            };
+            *window_hits += (hi - lo) as u64;
+            for &(_, u) in &self.bucket_entries[lo..hi] {
+                scratch.offer(u, dist, epoch);
+            }
+        }
+        // Ascending candidate order makes the shard (and therefore
+        // the assembled graph) independent of closure walk order.
+        scratch.touched.sort_unstable();
+        edges.extend(
+            scratch
+                .touched
+                .iter()
+                .map(|&u| (u, scratch.dist[u as usize])),
+        );
+    }
+
+    /// Build the successor plan after an **append**: `self` was built
+    /// over a prefix of `pairs` (and of `groups`, when grouped), and the
+    /// result is byte-identical to `GraphBuildPlan::new(h, pairs, groups,
+    /// eps)` — but only the *new* members are bucketed and each touched
+    /// bucket is merged (old sorted run + new sorted run) instead of
+    /// re-sorting every bucket from scratch.
+    ///
+    /// Contract: `h` and `eps` are unchanged, the old pairs/groups are an
+    /// unmodified prefix, and new groups only extend the candidate list.
+    /// The returned [`PlanDelta`] records which concept buckets grew, so
+    /// [`shard_append`](Self::shard_append) can reuse unaffected rows.
+    pub fn append(
+        &self,
+        h: &Hierarchy,
+        pairs: &[Pair],
+        groups: Option<&[Vec<usize>]>,
+    ) -> (GraphBuildPlan, PlanDelta) {
+        let n_nodes = h.node_count();
+        let prev_pairs = self.root_dist.len();
+        let prev_cands = self.n_cands;
+        let n_cands = groups.map_or(pairs.len(), <[Vec<usize>]>::len);
+        assert!(pairs.len() >= prev_pairs, "append must extend the pairs");
+        assert!(n_cands >= prev_cands, "append must extend the candidates");
+
+        // Bucket only the new members (new candidates' member pairs).
+        let mut fresh: Vec<(u32, (f64, u32))> = Vec::new();
+        let each_new = |f: &mut dyn FnMut(u32, Pair)| match groups {
+            None => {
+                for (u, p) in pairs.iter().enumerate().skip(prev_cands) {
+                    f(u as u32, *p);
+                }
+            }
+            Some(gs) => {
+                for (u, members) in gs.iter().enumerate().skip(prev_cands) {
+                    for &pi in members {
+                        f(u as u32, pairs[pi]);
+                    }
+                }
+            }
+        };
+        each_new(&mut |u, p| {
+            assert!(
+                !p.sentiment.is_nan(),
+                "NaN sentiments must be sanitized by Pair::new before building"
+            );
+            fresh.push((p.concept.index() as u32, (p.sentiment, u)));
+        });
+        // Group new entries per bucket, sorted the way `new` sorts: the
+        // comparator totally orders entries (ties are identical tuples),
+        // so merging two sorted runs reproduces the full sort exactly.
+        fresh.sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1 .0.total_cmp(&b.1 .0))
+                .then(a.1 .1.cmp(&b.1 .1))
+        });
+        let mut delta_count = vec![0u32; n_nodes];
+        for &(node, _) in &fresh {
+            delta_count[node as usize] += 1;
+        }
+
+        let mut bucket_off = vec![0u32; n_nodes + 1];
+        for i in 0..n_nodes {
+            let old = self.bucket_off[i + 1] - self.bucket_off[i];
+            bucket_off[i + 1] = bucket_off[i] + old + delta_count[i];
+        }
+        let mut bucket_entries = Vec::with_capacity(bucket_off[n_nodes] as usize);
+        let mut fresh_at = 0usize;
+        let mut changed_nodes = Vec::new();
+        for (c, &count) in delta_count.iter().enumerate().take(n_nodes) {
+            let old =
+                &self.bucket_entries[self.bucket_off[c] as usize..self.bucket_off[c + 1] as usize];
+            let added = count as usize;
+            if added == 0 {
+                bucket_entries.extend_from_slice(old);
+                continue;
+            }
+            changed_nodes.push(c as u32);
+            let new = &fresh[fresh_at..fresh_at + added];
+            fresh_at += added;
+            // Two-run merge under the bucket comparator.
+            let (mut i, mut j) = (0, 0);
+            while i < old.len() && j < new.len() {
+                let a = old[i];
+                let b = new[j].1;
+                if a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).is_le() {
+                    bucket_entries.push(a);
+                    i += 1;
+                } else {
+                    bucket_entries.push(b);
+                    j += 1;
+                }
+            }
+            bucket_entries.extend_from_slice(&old[i..]);
+            bucket_entries.extend(new[j..].iter().map(|&(_, e)| e));
+        }
+
+        let mut root_dist = self.root_dist.clone();
+        root_dist.extend(pairs[prev_pairs..].iter().map(|p| h.depth(p.concept)));
+        let root_changed = delta_count[self.root.index()] > 0;
+        let next = GraphBuildPlan {
+            eps: self.eps,
+            root: self.root,
+            n_cands,
+            bucket_off,
+            bucket_entries,
+            root_dist,
+            closure_entries: self.closure_entries,
+        };
+        (
+            next,
+            PlanDelta {
+                prev_pairs,
+                prev_cands,
+                changed_nodes,
+                root_changed,
+            },
+        )
+    }
+
+    /// Incremental pass 2 after [`append`](Self::append): produce the
+    /// full-range shard of the successor plan (`self`), copying the edge
+    /// row of every old pair whose ancestor closure touches **no** grown
+    /// bucket (its ε-windows are unchanged, so its row is unchanged by
+    /// construction) and resolving only affected old pairs plus all new
+    /// pairs. Byte-identical to `self.shard(h, pairs, 0..pairs.len())`.
+    ///
+    /// `prev` must be the predecessor plan's full-range shard. Returns
+    /// the shard plus the indices of old pairs that were re-resolved —
+    /// the exact rows whose edges may differ, which
+    /// [`warm_keys`](Self::warm_keys) uses to update gain keys.
+    pub fn shard_append(
+        &self,
+        h: &Hierarchy,
+        pairs: &[Pair],
+        prev: &GraphShard,
+        delta: &PlanDelta,
+        scratch: &mut GraphBuildScratch,
+    ) -> (GraphShard, Vec<u32>) {
+        assert_eq!(prev.start, 0, "prev must be a full-range shard");
+        assert_eq!(prev.len(), delta.prev_pairs, "prev covers the old pairs");
+        let index = h.ancestor_index();
+        scratch.reserve(self.n_cands);
+        let mut changed = vec![false; h.node_count()];
+        for &c in &delta.changed_nodes {
+            changed[c as usize] = true;
+        }
+        let mut pair_off = Vec::with_capacity(pairs.len() + 1);
+        pair_off.push(0u32);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut window_hits = 0u64;
+        let mut recomputed = Vec::new();
+        for (qi, &q) in pairs.iter().enumerate() {
+            let reusable = qi < delta.prev_pairs
+                && !delta.root_changed
+                && index
+                    .ancestors(q.concept)
+                    .iter()
+                    .all(|&(anc, _)| !changed[anc.index()]);
+            if reusable {
+                edges.extend_from_slice(prev.row(qi));
+            } else {
+                if qi < delta.prev_pairs {
+                    recomputed.push(qi as u32);
+                }
+                self.resolve_pair(index, q, scratch, &mut edges, &mut window_hits);
+            }
+            pair_off.push(u32::try_from(edges.len()).expect("shard edge count exceeds u32"));
+        }
+        (
+            GraphShard {
+                start: 0,
+                pair_off,
+                edges,
+                window_hits,
+            },
+            recomputed,
+        )
+    }
+
+    /// Update a cached exact initial-gain vector (one `u64` per
+    /// candidate, as seeded by the lazy greedy heap) across an append:
+    /// subtract the contributions of every re-resolved old row, add the
+    /// contributions of its replacement, and add the rows of the new
+    /// pairs. Old pairs' root distances and weights are unchanged by an
+    /// append, so the result is byte-identical to recomputing the keys
+    /// from the assembled successor graph.
+    ///
+    /// `weights` must match what the graph is assembled with (`None` =
+    /// unit weights).
+    pub fn warm_keys(
+        &self,
+        prev_keys: &[u64],
+        prev: &GraphShard,
+        next: &GraphShard,
+        recomputed: &[u32],
+        delta: &PlanDelta,
+        weights: Option<&[u64]>,
+    ) -> Vec<u64> {
+        assert_eq!(
+            prev_keys.len(),
+            delta.prev_cands,
+            "one key per old candidate"
+        );
+        assert_eq!(next.len(), self.root_dist.len(), "next must be full-range");
+        let weight = |q: usize| weights.map_or(1, |w| w[q]);
+        let mut keys = prev_keys.to_vec();
+        keys.resize(self.n_cands, 0);
+        for &qi in recomputed {
+            let q = qi as usize;
+            let rd = self.root_dist[q];
+            let w = weight(q);
+            for &(u, d) in prev.row(q) {
+                keys[u as usize] -= u64::from(rd.saturating_sub(d)) * w;
+            }
+            for &(u, d) in next.row(q) {
+                keys[u as usize] += u64::from(rd.saturating_sub(d)) * w;
+            }
+        }
+        for q in delta.prev_pairs..self.root_dist.len() {
+            let rd = self.root_dist[q];
+            let w = weight(q);
+            for &(u, d) in next.row(q) {
+                keys[u as usize] += u64::from(rd.saturating_sub(d)) * w;
+            }
+        }
+        keys
+    }
+}
+
+/// What changed between a plan and its [`append`](GraphBuildPlan::append)
+/// successor: the prefix sizes plus which concept buckets grew. Drives
+/// row reuse in [`GraphBuildPlan::shard_append`] and key reuse in
+/// [`GraphBuildPlan::warm_keys`].
+#[derive(Debug, Clone)]
+pub struct PlanDelta {
+    /// Coverage targets of the predecessor plan.
+    prev_pairs: usize,
+    /// Candidates of the predecessor plan.
+    prev_cands: usize,
+    /// Concept node indices whose bucket gained entries, ascending.
+    changed_nodes: Vec<u32>,
+    /// Did the root bucket grow? Root candidates cover *every* pair, so
+    /// this forces every row to re-resolve.
+    root_changed: bool,
+}
+
+impl PlanDelta {
+    /// Coverage targets of the predecessor plan.
+    pub fn prev_pairs(&self) -> usize {
+        self.prev_pairs
+    }
+
+    /// Candidates of the predecessor plan.
+    pub fn prev_cands(&self) -> usize {
+        self.prev_cands
+    }
+
+    /// Number of concept buckets that gained entries.
+    pub fn changed_buckets(&self) -> usize {
+        self.changed_nodes.len()
     }
 }
 
@@ -362,6 +637,12 @@ impl GraphShard {
     /// Does this shard cover no pairs?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The `(candidate, dist)` edge row of local pair `i` (for a
+    /// full-range shard, `i` is the pair index itself).
+    pub fn row(&self, i: usize) -> &[(u32, u32)] {
+        &self.edges[self.pair_off[i] as usize..self.pair_off[i + 1] as usize]
     }
 }
 
@@ -928,6 +1209,154 @@ mod tests {
             let naive = CoverageGraph::for_groups_naive(&h, &pairs, &groups, 0.3, gran);
             let indexed = CoverageGraph::for_groups(&h, &pairs, &groups, 0.3, gran);
             assert_eq!(naive, indexed, "{gran:?}");
+        }
+    }
+
+    /// Assemble the full graph through the incremental append path and
+    /// through a fresh build, plus the warm-started gain keys, and demand
+    /// byte-identity of both.
+    fn assert_append_matches_fresh(
+        h: &Hierarchy,
+        base_pairs: &[Pair],
+        pairs: &[Pair],
+        base_groups: Option<&[Vec<usize>]>,
+        groups: Option<&[Vec<usize>]>,
+        eps: f64,
+        granularity: Granularity,
+    ) {
+        use crate::LazyGreedySummarizer;
+        let mut scratch = GraphBuildScratch::new();
+        let plan0 = GraphBuildPlan::new(h, base_pairs, base_groups, eps);
+        let shard0 = plan0.shard(h, base_pairs, 0..base_pairs.len(), &mut scratch);
+        let g0 = CoverageGraph::assemble(&plan0, granularity, None, std::slice::from_ref(&shard0));
+        let keys0 = LazyGreedySummarizer::initial_keys(&g0);
+
+        let (plan1, delta) = plan0.append(h, pairs, groups);
+        let (shard1, recomputed) = plan1.shard_append(h, pairs, &shard0, &delta, &mut scratch);
+        let incremental =
+            CoverageGraph::assemble(&plan1, granularity, None, std::slice::from_ref(&shard1));
+
+        let fresh_plan = GraphBuildPlan::new(h, pairs, groups, eps);
+        let fresh_shard = fresh_plan.shard(h, pairs, 0..pairs.len(), &mut scratch);
+        let fresh = CoverageGraph::assemble(&fresh_plan, granularity, None, &[fresh_shard]);
+        assert_eq!(incremental, fresh, "eps={eps} {granularity:?}");
+
+        let keys1 = plan1.warm_keys(&keys0, &shard0, &shard1, &recomputed, &delta, None);
+        assert_eq!(
+            keys1,
+            LazyGreedySummarizer::initial_keys(&fresh),
+            "warm keys must match a cold recompute (eps={eps})"
+        );
+    }
+
+    #[test]
+    fn append_matches_fresh_build_for_pairs() {
+        let (h, ids) = dag();
+        let base = dag_pairs(&ids);
+        let mut ext = base.clone();
+        // New pairs hit existing buckets, a fresh bucket, and exact-ε
+        // boundaries.
+        ext.push(Pair::new(ids[3], 0.5));
+        ext.push(Pair::new(ids[4], -0.2));
+        ext.push(Pair::new(ids[1], 1.0));
+        for eps in [0.0, 0.2, 0.5, 1.0] {
+            assert_append_matches_fresh(&h, &base, &ext, None, None, eps, Granularity::Pairs);
+        }
+    }
+
+    #[test]
+    fn append_touching_the_root_bucket_recomputes_everything() {
+        let (h, ids) = dag();
+        let base = dag_pairs(&ids);
+        let mut ext = base.clone();
+        ext.push(Pair::new(ids[0], 0.1)); // ids[0] is the root
+        assert_append_matches_fresh(&h, &base, &ext, None, None, 0.5, Granularity::Pairs);
+    }
+
+    #[test]
+    fn append_matches_fresh_build_for_groups() {
+        let (h, ids) = dag();
+        let base_pairs = dag_pairs(&ids);
+        let base_groups = vec![vec![0, 1, 2], vec![3, 4], vec![5, 6, 7, 8, 9]];
+        let mut pairs = base_pairs.clone();
+        pairs.push(Pair::new(ids[2], 0.3));
+        pairs.push(Pair::new(ids[4], -0.5));
+        pairs.push(Pair::new(ids[3], 0.8));
+        let mut groups = base_groups.clone();
+        groups.push(vec![10, 11]);
+        groups.push(vec![12]);
+        for gran in [Granularity::Sentences, Granularity::Reviews] {
+            assert_append_matches_fresh(
+                &h,
+                &base_pairs,
+                &pairs,
+                Some(&base_groups),
+                Some(&groups),
+                0.3,
+                gran,
+            );
+        }
+    }
+
+    #[test]
+    fn chained_appends_match_fresh_builds() {
+        // Grow pair-by-pair through the incremental path, checking the
+        // invariant at every step — the serve ingest access pattern.
+        let (h, ids) = dag();
+        let mut pairs = dag_pairs(&ids);
+        let mut scratch = GraphBuildScratch::new();
+        let mut plan = GraphBuildPlan::new(&h, &pairs, None, 0.5);
+        let mut shard = plan.shard(&h, &pairs, 0..pairs.len(), &mut scratch);
+        let mut keys = crate::LazyGreedySummarizer::initial_keys(&CoverageGraph::assemble(
+            &plan,
+            Granularity::Pairs,
+            None,
+            &[shard.clone()],
+        ));
+        let additions = [
+            Pair::new(ids[4], 0.5),
+            Pair::new(ids[2], -0.9),
+            Pair::new(ids[0], 0.0),
+            Pair::new(ids[1], 0.5),
+        ];
+        for (step, &p) in additions.iter().enumerate() {
+            pairs.push(p);
+            let (next_plan, delta) = plan.append(&h, &pairs, None);
+            let (next_shard, recomputed) =
+                next_plan.shard_append(&h, &pairs, &shard, &delta, &mut scratch);
+            let g = CoverageGraph::assemble(
+                &next_plan,
+                Granularity::Pairs,
+                None,
+                std::slice::from_ref(&next_shard),
+            );
+            let fresh = CoverageGraph::for_pairs(&h, &pairs, 0.5);
+            assert_eq!(g, fresh, "step {step}");
+            keys = next_plan.warm_keys(&keys, &shard, &next_shard, &recomputed, &delta, None);
+            assert_eq!(
+                keys,
+                crate::LazyGreedySummarizer::initial_keys(&fresh),
+                "step {step}"
+            );
+            plan = next_plan;
+            shard = next_shard;
+        }
+    }
+
+    #[test]
+    fn shard_rows_expose_the_edge_runs() {
+        let (h, ids) = dag();
+        let pairs = dag_pairs(&ids);
+        let plan = GraphBuildPlan::new(&h, &pairs, None, 0.5);
+        let shard = plan.shard(&h, &pairs, 0..pairs.len(), &mut GraphBuildScratch::new());
+        let g = CoverageGraph::assemble(
+            &plan,
+            Granularity::Pairs,
+            None,
+            std::slice::from_ref(&shard),
+        );
+        for q in 0..pairs.len() {
+            assert_eq!(shard.row(q), g.coverers_of(q), "pair {q}");
         }
     }
 

@@ -128,6 +128,47 @@ impl Summarizer for GreedySummarizer {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LazyGreedySummarizer;
 
+impl LazyGreedySummarizer {
+    /// The exact initial marginal gain `δ(u, {r})` of every candidate —
+    /// the keys both greedy variants seed their heaps with. Cache this
+    /// vector (and maintain it across appends with
+    /// [`GraphBuildPlan::warm_keys`](crate::GraphBuildPlan::warm_keys))
+    /// to warm-start [`summarize_seeded`](Self::summarize_seeded).
+    pub fn initial_keys(graph: &CoverageGraph) -> Vec<u64> {
+        (0..graph.num_candidates())
+            .map(|u| {
+                graph
+                    .covered_by(u)
+                    .iter()
+                    .map(|&(q, d)| {
+                        u64::from(graph.root_dist(q as usize).saturating_sub(d))
+                            * graph.pair_weight(q as usize)
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// CELF with a warm-started heap: `keys` must equal
+    /// [`initial_keys`](Self::initial_keys)`(graph)` (debug-asserted).
+    /// Because the initial keys are exact — not stale bounds — seeding
+    /// the heap from a cached copy reproduces the cold run's selection
+    /// sequence byte-for-byte; only the `O(|E|)` key computation is
+    /// skipped.
+    pub fn summarize_seeded(
+        &self,
+        graph: &CoverageGraph,
+        k: usize,
+        keys: &[u64],
+        trace: Option<&osa_obs::Trace>,
+    ) -> Summary {
+        assert_eq!(keys.len(), graph.num_candidates(), "one key per candidate");
+        debug_assert_eq!(keys, Self::initial_keys(graph), "seeded keys must be exact");
+        osa_obs::global().add("lazy.warm_starts", 1);
+        self.summarize_inner(graph, k, Some(keys), trace)
+    }
+}
+
 impl Summarizer for LazyGreedySummarizer {
     fn summarize(&self, graph: &CoverageGraph, k: usize) -> Summary {
         self.summarize_traced(graph, k, None)
@@ -137,6 +178,22 @@ impl Summarizer for LazyGreedySummarizer {
         &self,
         graph: &CoverageGraph,
         k: usize,
+        trace: Option<&osa_obs::Trace>,
+    ) -> Summary {
+        self.summarize_inner(graph, k, None, trace)
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy-lazy"
+    }
+}
+
+impl LazyGreedySummarizer {
+    fn summarize_inner(
+        &self,
+        graph: &CoverageGraph,
+        k: usize,
+        seed_keys: Option<&[u64]>,
         trace: Option<&osa_obs::Trace>,
     ) -> Summary {
         use std::cmp::Reverse;
@@ -157,10 +214,18 @@ impl Summarizer for LazyGreedySummarizer {
 
         // Entries are (possibly stale) upper bounds on the marginal gain,
         // ordered `(gain, smallest id)` to mirror the eager heap's
-        // tie-break exactly.
-        let mut heap: BinaryHeap<(u64, Reverse<u32>)> = (0..n)
-            .map(|u| (gain(u, &best), Reverse(u as u32)))
-            .collect();
+        // tie-break exactly. A warm start seeds the very same exact
+        // initial keys from a cached vector instead of recomputing them.
+        let mut heap: BinaryHeap<(u64, Reverse<u32>)> = match seed_keys {
+            Some(keys) => keys
+                .iter()
+                .enumerate()
+                .map(|(u, &g)| (g, Reverse(u as u32)))
+                .collect(),
+            None => (0..n)
+                .map(|u| (gain(u, &best), Reverse(u as u32)))
+                .collect(),
+        };
         let mut selected = Vec::with_capacity(k);
         let mut reevals = n as u64; // the initial keys
         let mut repops = 0u64;
@@ -211,10 +276,6 @@ impl Summarizer for LazyGreedySummarizer {
             .map(|(q, &d)| u64::from(d) * graph.pair_weight(q))
             .sum();
         Summary { selected, cost }
-    }
-
-    fn name(&self) -> &'static str {
-        "greedy-lazy"
     }
 }
 
@@ -339,6 +400,35 @@ mod tests {
             let lazy = LazyGreedySummarizer.summarize(&g, k);
             assert_eq!(eager.cost, lazy.cost, "k={k}");
         }
+    }
+
+    #[test]
+    fn seeded_lazy_matches_cold_lazy_and_eager() {
+        let h = star(6);
+        let pairs: Vec<Pair> = (0..6)
+            .map(|i| Pair::new(h.node_by_name(&format!("c{i}")).unwrap(), (i as f64) / 10.0))
+            .collect();
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.3);
+        let keys = LazyGreedySummarizer::initial_keys(&g);
+        for k in 0..=6 {
+            let eager = GreedySummarizer.summarize(&g, k);
+            let cold = LazyGreedySummarizer.summarize(&g, k);
+            let warm = LazyGreedySummarizer.summarize_seeded(&g, k, &keys, None);
+            assert_eq!(cold.selected, warm.selected, "k={k}");
+            assert_eq!(cold.cost, warm.cost, "k={k}");
+            assert_eq!(eager.selected, warm.selected, "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one key per candidate")]
+    fn seeded_lazy_rejects_mismatched_keys() {
+        let h = star(2);
+        let pairs: Vec<Pair> = (0..2)
+            .map(|i| Pair::new(h.node_by_name(&format!("c{i}")).unwrap(), 0.0))
+            .collect();
+        let g = crate::CoverageGraph::for_pairs(&h, &pairs, 0.5);
+        let _ = LazyGreedySummarizer.summarize_seeded(&g, 1, &[1], None);
     }
 
     #[test]

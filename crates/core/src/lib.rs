@@ -74,7 +74,7 @@ mod summarizer;
 
 pub use exact::ExactBruteForce;
 pub use graph::{
-    CoverageGraph, Granularity, GraphBuildPlan, GraphBuildScratch, GraphImpl, GraphShard,
+    CoverageGraph, Granularity, GraphBuildPlan, GraphBuildScratch, GraphImpl, GraphShard, PlanDelta,
 };
 pub use greedy::{GreedySummarizer, LazyGreedySummarizer};
 #[doc(hidden)]

@@ -52,8 +52,8 @@ pub use corpus::{Corpus, CorpusConfig, Item, Review};
 pub use hierarchies::{doctor_hierarchy, phone_hierarchy};
 pub use io::{corpus_from_json, corpus_to_json, load_corpus, save_corpus, CorpusIoError};
 pub use pipeline::{
-    extract_item, extract_item_with, train_regressor, ExtractImpl, ExtractedItem,
-    ExtractedSentence, Extractor, SentimentModel,
+    extract_append, extract_item, extract_item_with, extract_truncate, train_regressor,
+    ExtractImpl, ExtractedItem, ExtractedSentence, Extractor, SentimentModel,
 };
 pub use stats::{table1_stats, Table1Stats};
 pub use synth::{sample_grouped_pairs, sample_pairs, synthetic_ontology, SyntheticOntologyConfig};

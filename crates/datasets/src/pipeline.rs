@@ -201,6 +201,107 @@ pub fn extract_item_with(
     }
 }
 
+/// Incrementally extend a previous extraction of `item` after reviews
+/// were **appended**: only `item.reviews[prev_reviews..]` are tokenized,
+/// scored, and matched; their sentences, pairs, and pooled tokens are
+/// merged onto `prev`.
+///
+/// Full extraction is a pure left-to-right fold over the review stream
+/// (pair/sentence indices grow monotonically, the token pool is in
+/// first-occurrence order), so extending a prefix extraction with the
+/// suffix reviews is **byte-identical** to re-extracting the whole item —
+/// under either [`ExtractImpl`], which are themselves byte-identical.
+pub fn extract_append(
+    extractor: &Extractor,
+    prev: &ExtractedItem,
+    item: &Item,
+    prev_reviews: usize,
+) -> ExtractedItem {
+    assert_eq!(prev.reviews.len(), prev_reviews, "prev covers a prefix");
+    assert!(item.reviews.len() >= prev_reviews, "reviews were appended");
+    let model = SentimentModel::Lexicon(extractor.lexicon().clone());
+    let matcher = extractor.matcher();
+    let mut out = prev.clone();
+    let mut pool_map: HashMap<String, u32> = out
+        .tokens
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.clone(), i as u32))
+        .collect();
+    for review in &item.reviews[prev_reviews..] {
+        let mut sentence_ids = Vec::new();
+        for text in split_sentences(&review.text) {
+            let tokens = tokenize(&text);
+            let sentiment = model.score(&tokens);
+            let mentions = matcher.find(&tokens);
+            let mut pair_indices = Vec::with_capacity(mentions.len());
+            for m in mentions {
+                pair_indices.push(out.pairs.len());
+                out.pairs.push(Pair::new(m.concept, sentiment));
+            }
+            let mut token_ids = Vec::with_capacity(tokens.len());
+            for t in tokens {
+                let id = match pool_map.entry(t) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let id = out.tokens.len() as u32;
+                        out.tokens.push(e.key().clone());
+                        e.insert(id);
+                        id
+                    }
+                };
+                token_ids.push(id);
+            }
+            sentence_ids.push(out.sentences.len());
+            out.sentences.push(ExtractedSentence {
+                text,
+                tokens: token_ids,
+                pair_indices,
+                sentiment,
+            });
+        }
+        out.reviews.push(sentence_ids);
+    }
+    out
+}
+
+/// Truncate an extraction back to its first `keep_reviews` reviews — the
+/// inverse of [`extract_append`] for retracting trailing reviews.
+///
+/// Because extraction appends monotonically, the kept sentences and pairs
+/// are exact prefixes, and the token pool's first-occurrence order means
+/// every token first seen in a retracted review occupies a pool suffix —
+/// so truncation is byte-identical to re-extracting the shortened item.
+pub fn extract_truncate(prev: &ExtractedItem, keep_reviews: usize) -> ExtractedItem {
+    assert!(
+        keep_reviews <= prev.reviews.len(),
+        "cannot keep more than exists"
+    );
+    let reviews: Vec<Vec<usize>> = prev.reviews[..keep_reviews].to_vec();
+    let n_sentences = reviews
+        .iter()
+        .rev()
+        .find_map(|s| s.last().map(|&si| si + 1))
+        .unwrap_or(0);
+    let sentences: Vec<ExtractedSentence> = prev.sentences[..n_sentences].to_vec();
+    let n_pairs = sentences
+        .iter()
+        .rev()
+        .find_map(|s| s.pair_indices.last().map(|&pi| pi + 1))
+        .unwrap_or(0);
+    let n_tokens = sentences
+        .iter()
+        .flat_map(|s| s.tokens.iter().copied())
+        .max()
+        .map_or(0, |id| id as usize + 1);
+    ExtractedItem {
+        pairs: prev.pairs[..n_pairs].to_vec(),
+        sentences,
+        reviews,
+        tokens: prev.tokens[..n_tokens].to_vec(),
+    }
+}
+
 /// Which extraction implementation to run. Both produce byte-identical
 /// [`ExtractedItem`]s; `Naive` exists as the auditable oracle, mirroring
 /// the graph builder's `--graph-impl indexed|naive` switch.
@@ -506,6 +607,51 @@ mod tests {
             assert_eq!(fast, slow, "item {}", item.name);
             for (a, b) in fast.sentences.iter().zip(&slow.sentences) {
                 assert_eq!(a.sentiment.to_bits(), b.sentiment.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn appending_reviews_matches_full_reextraction() {
+        let c = Corpus::phones(&small(), 44);
+        let d = Corpus::doctors(&small(), 45);
+        for corpus in [&c, &d] {
+            let ex = Extractor::from_hierarchy(&corpus.hierarchy);
+            let mut scratch = ExtractScratch::default();
+            for item in &corpus.items {
+                for keep in 0..item.reviews.len() {
+                    let mut prefix = item.clone();
+                    prefix.reviews.truncate(keep);
+                    let prev = ex.extract(&prefix, ExtractImpl::Interned, &mut scratch);
+                    let grown = extract_append(&ex, &prev, item, keep);
+                    for which in [ExtractImpl::Interned, ExtractImpl::Naive] {
+                        let full = ex.extract(item, which, &mut scratch);
+                        assert_eq!(grown, full, "item {} keep {keep}", item.name);
+                        for (a, b) in grown.sentences.iter().zip(&full.sentences) {
+                            assert_eq!(a.sentiment.to_bits(), b.sentiment.to_bits());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncating_reviews_matches_full_reextraction() {
+        let c = Corpus::phones(&small(), 46);
+        let ex = Extractor::from_hierarchy(&c.hierarchy);
+        let mut scratch = ExtractScratch::default();
+        for item in &c.items {
+            let full = ex.extract(item, ExtractImpl::Interned, &mut scratch);
+            for keep in 0..=item.reviews.len() {
+                let mut prefix = item.clone();
+                prefix.reviews.truncate(keep);
+                let expect = ex.extract(&prefix, ExtractImpl::Interned, &mut scratch);
+                let got = extract_truncate(&full, keep);
+                assert_eq!(got, expect, "item {} keep {keep}", item.name);
+                for (a, b) in got.sentences.iter().zip(&expect.sentences) {
+                    assert_eq!(a.sentiment.to_bits(), b.sentiment.to_bits());
+                }
             }
         }
     }

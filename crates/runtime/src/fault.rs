@@ -29,9 +29,11 @@ pub struct FaultPlan {
     /// Probability an item panics on every attempt (permanent failure).
     pub sticky_panic_rate: f64,
     /// Probability one extracted pair's sentiment is corrupted to NaN.
-    /// The corruption bypasses [`osa_core::Pair::new`]'s sanitization,
-    /// so the graph builder's NaN guard must catch it — a permanent,
-    /// detected failure.
+    /// The corruption bypasses [`osa_core::Pair::new`]'s sanitization;
+    /// the pipeline detects the poisoned pair right after extraction
+    /// and raises a typed [`InjectedPanic`] — a permanent, detected
+    /// failure (the graph builder's own NaN guard remains as
+    /// defense-in-depth, unit-tested in `osa-core`).
     pub nan_rate: f64,
     /// Probability the item's work is delayed before running. Delays
     /// perturb scheduling only; results must not change.
@@ -142,6 +144,41 @@ pub enum Fault {
         /// Injected delay in microseconds.
         micros: u64,
     },
+}
+
+/// Marker payload carried by every panic this codebase raises **on
+/// purpose** — the fault plan's `Panic` and `NanSentiment` faults and
+/// the daemon's `?inject=panic` hook. Raised via [`injected_panic`]
+/// (`std::panic::panic_any`), so handlers recognize injection by
+/// **payload type** (`downcast_ref::<InjectedPanic>`) instead of
+/// substring-matching the message: a genuine bug whose panic text
+/// happens to contain "injected" is no longer silenced.
+#[derive(Debug)]
+pub struct InjectedPanic(pub String);
+
+/// Raise a deliberately injected panic carrying the typed
+/// [`InjectedPanic`] marker payload.
+pub fn injected_panic(message: String) -> ! {
+    std::panic::panic_any(InjectedPanic(message))
+}
+
+/// Install a process-wide panic hook that suppresses the default
+/// backtrace spam for [`InjectedPanic`] payloads only — injected
+/// panics are provoked on purpose (fault plans, `?inject=panic`) and
+/// answered by design, so a backtrace per poisoned item would drown
+/// the log. Every other panic still prints through the previous hook.
+/// Idempotent; shared by the serve daemon, the `osa-check` harness,
+/// and their test binaries.
+pub fn quiet_injected_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// A permanently failed item in a [`BatchReport`](crate::BatchReport):

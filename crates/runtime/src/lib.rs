@@ -24,8 +24,11 @@
 //! timing fields differ between runs.
 
 mod fault;
+pub mod incremental;
 
-pub use fault::{Fault, FaultPlan, ItemFailure};
+pub use fault::{
+    injected_panic, quiet_injected_panics, Fault, FaultPlan, InjectedPanic, ItemFailure,
+};
 
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
@@ -577,9 +580,14 @@ impl<'a, T: Sync> BatchJob<'a, T> {
     }
 }
 
-/// Best-effort text of a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
+/// Best-effort text of a caught panic payload. Typed
+/// [`InjectedPanic`] markers (see [`injected_panic`]) unwrap to their
+/// carried message, so failure reports read the same whether a panic
+/// was injected or genuine.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(p) = payload.downcast_ref::<InjectedPanic>() {
+        p.0.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
@@ -998,7 +1006,7 @@ fn summarize_corpus_inner(
                 let fault = plan.fault_for(idx);
                 if let Fault::Panic { failing_attempts } = fault {
                     if attempt < failing_attempts {
-                        panic!("injected panic (item {idx}, attempt {attempt})");
+                        injected_panic(format!("injected panic (item {idx}, attempt {attempt})"));
                     }
                 }
                 if let Fault::Delay { micros } = fault {
@@ -1112,8 +1120,16 @@ fn summarize_item(
         (ex, us)
     };
     // Centralized in `Fault::apply_to_pairs` (shared with the serve
-    // path); total over zero-/single-/many-pair items.
+    // path); total over zero-/single-/many-pair items. The poisoned
+    // pair is detected here, at the injection boundary, and raised as
+    // a typed injected panic — so the quiet hook can match on payload
+    // type rather than message text (the graph builder's own NaN guard
+    // stays as defense-in-depth).
     fault.apply_to_pairs(&mut ex.pairs);
+    if matches!(fault, Fault::NanSentiment { .. }) && ex.pairs.iter().any(|p| p.sentiment.is_nan())
+    {
+        injected_panic(format!("injected NaN sentiments (item {idx})"));
+    }
     if opts.granularity == Granularity::Pairs {
         // For effect only: stage the compressed pairs in the
         // scratch buffers (the returned refs would borrow the
@@ -1171,15 +1187,47 @@ fn summarize_item(
             alg.summarize_traced(&graph, opts.k, trace)
         })
     };
+    (
+        finish_item_summary(
+            &corpus.hierarchy,
+            opts.granularity,
+            idx,
+            item,
+            &ex,
+            pair_buf,
+            weight_buf,
+            &graph,
+            summary,
+        ),
+        [extract_us, graph_us, solve_us],
+    )
+}
+
+/// Render the selected candidates and assemble the [`ItemSummary`] —
+/// the shared tail of `summarize_item` and the incremental
+/// [`ItemArtifacts::summarize`](incremental::ItemArtifacts::summarize)
+/// path, so both produce byte-identical text by construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_item_summary(
+    hierarchy: &osa_ontology::Hierarchy,
+    granularity: Granularity,
+    idx: usize,
+    item: &osa_datasets::Item,
+    ex: &osa_datasets::ExtractedItem,
+    pair_buf: &[osa_core::Pair],
+    weight_buf: &[u64],
+    graph: &CoverageGraph,
+    summary: osa_core::Summary,
+) -> ItemSummary {
     let rendered = summary
         .selected
         .iter()
-        .map(|&sel| match opts.granularity {
+        .map(|&sel| match granularity {
             Granularity::Pairs => {
                 let p = pair_buf[sel];
                 format!(
                     "{} = {:+.2} (×{})",
-                    corpus.hierarchy.name(p.concept),
+                    hierarchy.name(p.concept),
                     p.sentiment,
                     weight_buf[sel]
                 )
@@ -1192,18 +1240,15 @@ fn summarize_item(
             }
         })
         .collect();
-    (
-        ItemSummary {
-            item: idx,
-            name: item.name.clone(),
-            summary,
-            num_pairs: ex.pairs.len(),
-            num_candidates: graph.num_candidates(),
-            root_cost: graph.root_cost(),
-            rendered,
-        },
-        [extract_us, graph_us, solve_us],
-    )
+    ItemSummary {
+        item: idx,
+        name: item.name.clone(),
+        summary,
+        num_pairs: ex.pairs.len(),
+        num_candidates: graph.num_candidates(),
+        root_cost: graph.root_cost(),
+        rendered,
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@
 
 use osa_datasets::{Corpus, CorpusConfig};
 use osa_runtime::{
-    render_item_summary, summarize_corpus, BatchOptions, Fault, FaultPlan, ItemSummary,
+    quiet_injected_panics, render_item_summary, summarize_corpus, BatchOptions, Fault, FaultPlan,
+    ItemSummary,
 };
 
 fn corpus(seed: u64, items: usize) -> Corpus {
@@ -19,27 +20,6 @@ fn corpus(seed: u64, items: usize) -> Corpus {
         aspect_sentence_prob: 0.8,
     };
     Corpus::doctors(&cfg, seed)
-}
-
-/// Silence the panic-hook spam for the panics these tests inject.
-fn quiet_injected_panics() {
-    static HOOK: std::sync::Once = std::sync::Once::new();
-    HOOK.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let injected = info
-                .payload()
-                .downcast_ref::<String>()
-                .is_some_and(|m| m.contains("injected") || m.contains("NaN sentiments"))
-                || info
-                    .payload()
-                    .downcast_ref::<&str>()
-                    .is_some_and(|m| m.contains("injected") || m.contains("NaN sentiments"));
-            if !injected {
-                prev(info);
-            }
-        }));
-    });
 }
 
 /// A plan aggressive enough that a 24-item corpus reliably sees every
@@ -146,8 +126,8 @@ fn failure_accounting_is_jobs_invariant() {
 fn nan_corruption_is_caught_not_propagated() {
     quiet_injected_panics();
     let corpus = corpus(8, 12);
-    // Only NaN faults: every failure must come from the graph builder's
-    // sanitization guard, and no NaN may reach a summary.
+    // Only NaN faults: every failure must come from the pipeline's
+    // post-extraction NaN detection, and no NaN may reach a summary.
     let nan_only = FaultPlan {
         nan_rate: 1.0,
         ..FaultPlan::none(4)

@@ -205,7 +205,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError>
     let method = method.to_owned();
 
     let mut headers = Vec::new();
-    let mut content_length: usize = 0;
+    let mut content_length: Option<usize> = None;
     loop {
         let line = read_line(r, MAX_HEADER_LINE, "header line")?
             .ok_or(ParseError::Malformed("eof in headers"))?;
@@ -221,17 +221,26 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ParseError>
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim().to_owned();
         if name == "content-length" {
-            content_length = value
+            let parsed: usize = value
                 .parse()
                 .map_err(|_| ParseError::Malformed("content-length"))?;
-            if content_length > MAX_BODY {
+            // Repeated Content-Length headers are the classic request-
+            // smuggling shape (RFC 9112 §6.3): a proxy honoring the
+            // first and a server honoring the last disagree on where
+            // the body ends. Reject duplicates outright — even exact
+            // repeats, so the framing is never ambiguous.
+            if content_length.is_some() {
+                return Err(ParseError::Malformed("duplicate content-length"));
+            }
+            if parsed > MAX_BODY {
                 return Err(ParseError::TooLarge("body"));
             }
+            content_length = Some(parsed);
         }
         headers.push((name, value));
     }
 
-    let mut body = vec![0u8; content_length];
+    let mut body = vec![0u8; content_length.unwrap_or(0)];
     r.read_exact(&mut body)?;
     Ok(Some(Request {
         method,
@@ -318,6 +327,37 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.body, b"hello world");
         assert!(req.wants_close());
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length() {
+        // Conflicting lengths: last-one-wins would smuggle 5 bytes past
+        // any intermediary that honored the first header.
+        let conflicting =
+            b"POST /reviews HTTP/1.1\r\nContent-Length: 11\r\nContent-Length: 5\r\n\r\nhello world";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&conflicting[..])),
+            Err(ParseError::Malformed("duplicate content-length"))
+        ));
+        // Even an exact repeat is rejected: framing must be unambiguous.
+        let repeated = b"POST /reviews HTTP/1.1\r\nContent-Length: 11\r\nContent-Length: 11\r\n\r\nhello world";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&repeated[..])),
+            Err(ParseError::Malformed("duplicate content-length"))
+        ));
+        // A single header still parses.
+        let single = b"POST /reviews HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+        let req = read_request(&mut Cursor::new(&single[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        let raw = b"POST /reviews HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap().unwrap();
+        assert!(req.body.is_empty());
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //!   byte-identical to the item's block in `osars summarize --item all`
 //!   output for the same parameters (pinned by the differential tests).
 //! * `POST /reviews` — `{"item": N, "reviews": ["...", {"text": "..."}]}`
-//!   ingests new reviews and bumps the corpus epoch.
+//!   ingests new reviews **incrementally**: only the edited item's
+//!   revision counter is bumped, its cached pipeline artifacts are
+//!   extended (new reviews re-extracted, graph deltas merged, CELF
+//!   keys maintained), and every other item's cache entries stay valid
+//!   by construction.
 //! * `GET /metrics` — the global `osa-obs` registry in Prometheus-style
 //!   text exposition.
 //! * `GET /healthz` — liveness plus the current epoch.
@@ -44,13 +48,23 @@
 //! after a panic — one poisoned request answers 500 while the daemon
 //! keeps serving (the PR 5 isolation contract, now load-bearing).
 //!
-//! ## Caching
+//! ## Caching and versioned snapshots
 //!
 //! Summaries are cached in an [`lru::LruCache`] keyed by
-//! `(item, k, eps, algorithm, granularity, graph impl, extract impl,
-//! corpus epoch)`. The epoch is part of the key, so a `POST /reviews`
-//! bump makes every older entry unreachable *by construction* — stale
-//! summaries cannot be served, they age out of the LRU tail.
+//! `(item, item revision, k, eps, algorithm, granularity, graph impl,
+//! extract impl)`. The edited item's **revision** is part of the key,
+//! so a `POST /reviews` to item 7 makes only item 7's older entries
+//! unreachable *by construction* — every other item keeps answering
+//! from cache, and stale summaries age out of the LRU tail.
+//!
+//! The served state is a persistent snapshot in the `cfx-storage2`
+//! `VersionedHashMap` commit-tree shape: an [`EpochState`] holds one
+//! `Arc<ItemVersion>` per item, a successor shares every unedited
+//! item's `Arc` and replaces exactly one, and retired snapshots sit in
+//! a bounded history deque whose eviction (the change-root advancing)
+//! drops the last reference to any `ItemVersion` no live snapshot
+//! shares. In-flight requests clone the snapshot `Arc` and are
+//! untouched by concurrent publishes.
 
 pub mod http;
 mod loadgen;
@@ -65,17 +79,19 @@ use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use http::{read_request, write_response, ParseError, Request};
 use lru::LruCache;
 use osa_core::{Granularity, GraphImpl};
-use osa_datasets::{Corpus, ExtractImpl, Extractor, Review};
+use osa_datasets::{Corpus, ExtractImpl, Extractor, Item, Review};
 use osa_obs::{Trace, TraceTree};
+use osa_ontology::Hierarchy;
+use osa_runtime::incremental::ItemArtifacts;
 use osa_runtime::{
-    effective_jobs, render_item_summary, summarize_one_traced, BatchAlgorithm, BatchOptions, Fault,
-    ItemSummary, WorkerScratch,
+    effective_jobs, injected_panic, panic_message, render_item_summary, BatchAlgorithm,
+    BatchOptions, ItemSummary, WorkerScratch,
 };
 
 /// Configuration of [`serve`].
@@ -99,6 +115,13 @@ pub struct ServeOptions {
     /// root span lasts at least this long is always retained. `0`
     /// disables the slow rule (errors are still always kept).
     pub slow_ms: u64,
+    /// Read/write timeout applied to every accepted socket, in
+    /// milliseconds — a slow-dripping client is disconnected instead of
+    /// pinning its connection thread forever. `0` disables timeouts.
+    pub conn_timeout_ms: u64,
+    /// Maximum concurrently open connections; excess connections are
+    /// answered `503` and closed immediately. `0` means unlimited.
+    pub max_conns: usize,
     /// Default summarization parameters; `GET /summary` query parameters
     /// override `k`/`eps`/`algorithm`/`granularity`/`graph_impl`/
     /// `extract_impl` per request. `jobs`, `fault_plan` and `retries`
@@ -115,38 +138,82 @@ impl Default for ServeOptions {
             cache_capacity: 4096,
             warm: false,
             slow_ms: 500,
+            conn_timeout_ms: 60_000,
+            max_conns: 0,
             defaults: BatchOptions::default(),
         }
     }
 }
 
-/// One immutable corpus snapshot. `POST /reviews` builds a new state and
-/// swaps the shared `Arc`, so in-flight requests keep the snapshot they
-/// started with and never observe a half-updated corpus.
+/// Retired snapshots kept alive for stragglers; evicting the oldest is
+/// the change-root advancing — it drops the last `Arc` to any
+/// [`ItemVersion`] no newer snapshot shares.
+const HISTORY_LIMIT: usize = 8;
+
+/// One item at one revision, plus that revision's lazily built
+/// pipeline artifacts (interned extraction, mergeable graph plan/shard,
+/// exact CELF keys). The artifacts are built at most once per revision
+/// — on first demand or incrementally during ingest — and shared by
+/// every snapshot that contains this version.
+struct ItemVersion {
+    /// Per-item revision counter; starts at 0, +1 per ingest to this
+    /// item. Part of every cache key.
+    rev: u64,
+    item: Item,
+    artifacts: OnceLock<Arc<ItemArtifacts>>,
+}
+
+/// One immutable versioned snapshot. `POST /reviews` builds a successor
+/// **outside** the state lock (cloning only the edited item and the
+/// `Arc` pointer vector) and publishes it with a short write-lock swap,
+/// so in-flight requests keep the snapshot they started with and
+/// readers never wait behind a rebuild.
 struct EpochState {
-    corpus: Corpus,
-    extractor: Extractor,
-    epoch: u64,
+    name: String,
+    hierarchy: Arc<Hierarchy>,
+    extractor: Arc<Extractor>,
+    items: Vec<Arc<ItemVersion>>,
+    /// Snapshot version — the number of successful ingests so far
+    /// (surfaced by `/healthz` and [`ServerHandle::epoch`]).
+    version: u64,
 }
 
 impl EpochState {
-    fn new(corpus: Corpus, extractor: Extractor, epoch: u64) -> Self {
+    /// Boot-time snapshot: every item at revision 0.
+    fn new(corpus: Corpus, extractor: Extractor) -> Self {
         // Warm the ancestor closure before the state becomes visible, so
         // no request pays the one-off index build.
         let _ = corpus.hierarchy.ancestor_index();
+        let Corpus {
+            name,
+            hierarchy,
+            items,
+        } = corpus;
         EpochState {
-            corpus,
-            extractor,
-            epoch,
+            name,
+            hierarchy: Arc::new(hierarchy),
+            extractor: Arc::new(extractor),
+            items: items
+                .into_iter()
+                .map(|item| {
+                    Arc::new(ItemVersion {
+                        rev: 0,
+                        item,
+                        artifacts: OnceLock::new(),
+                    })
+                })
+                .collect(),
+            version: 0,
         }
     }
 }
 
 /// Cache key: every parameter that affects the response body, including
-/// the corpus epoch.
+/// the **item's revision** — an ingest to one item leaves every other
+/// item's entries reachable.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
-    epoch: u64,
+    rev: u64,
     item: usize,
     k: usize,
     eps_bits: u64,
@@ -156,9 +223,9 @@ struct CacheKey {
     extract: u8,
 }
 
-fn cache_key(p: &SummaryParams, epoch: u64) -> CacheKey {
+fn cache_key(p: &SummaryParams, rev: u64) -> CacheKey {
     CacheKey {
-        epoch,
+        rev,
         item: p.item,
         k: p.opts.k,
         eps_bits: p.opts.eps.to_bits(),
@@ -225,6 +292,15 @@ struct Job {
 
 struct Shared {
     state: RwLock<Arc<EpochState>>,
+    /// Serializes concurrent ingests: successors are built under this
+    /// mutex (not the state lock), so readers keep snapshotting freely
+    /// while at most one successor is under construction.
+    ingest_lock: Mutex<()>,
+    /// Bounded history of retired snapshots (see [`HISTORY_LIMIT`]).
+    history: Mutex<VecDeque<Arc<EpochState>>>,
+    /// The signature per-item artifacts are built under (the daemon
+    /// defaults with per-request knobs normalized).
+    artifact_opts: BatchOptions,
     cache: Mutex<LruCache<CacheKey, String>>,
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
@@ -263,9 +339,14 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Current corpus epoch.
+    /// Current snapshot version: the number of successful ingests.
     pub fn epoch(&self) -> u64 {
-        self.shared.snapshot().epoch
+        self.shared.snapshot().version
+    }
+
+    /// Current revision of one item (`None` if out of range).
+    pub fn item_rev(&self, item: usize) -> Option<u64> {
+        self.shared.snapshot().items.get(item).map(|iv| iv.rev)
     }
 
     /// Stop accepting, drain the queue, and join every pool thread.
@@ -308,12 +389,13 @@ pub fn serve(corpus: Corpus, addr: &str, opts: ServeOptions) -> std::io::Result<
     osa_obs::global().set_enabled(true);
 
     let extractor = Extractor::from_hierarchy(&corpus.hierarchy);
-    let state = Arc::new(EpochState::new(corpus, extractor, 0));
     let workers = effective_jobs(opts.workers);
     let mut cache = LruCache::new(opts.cache_capacity);
     if opts.warm && opts.cache_capacity > 0 {
-        warm_cache(&state, &opts, workers, &mut cache);
+        warm_cache(&corpus, &opts, workers, &mut cache);
     }
+    let state = Arc::new(EpochState::new(corpus, extractor));
+    let artifact_opts = artifact_signature(&opts.defaults);
     // Fixed recorder seed: the retained healthy-traffic sample is a
     // deterministic function of the request sequence, which keeps the
     // smoke tests reproducible.
@@ -324,6 +406,9 @@ pub fn serve(corpus: Corpus, addr: &str, opts: ServeOptions) -> std::io::Result<
     );
     let shared = Arc::new(Shared {
         state: RwLock::new(state),
+        ingest_lock: Mutex::new(()),
+        history: Mutex::new(VecDeque::new()),
+        artifact_opts,
         cache: Mutex::new(cache),
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
@@ -370,10 +455,21 @@ pub fn serve(corpus: Corpus, addr: &str, opts: ServeOptions) -> std::io::Result<
                 break;
             }
             let Ok(stream) = stream else { continue };
+            let max = accept_shared.opts.max_conns;
+            if max > 0 && accept_shared.connections.load(Ordering::Relaxed) >= max as u64 {
+                // Over the connection cap: answer 503 on the accepting
+                // thread and close, instead of spawning yet another
+                // connection thread.
+                osa_obs::global().add("serve.conns.rejected", 1);
+                let mut refused = stream;
+                let _ = refused.set_write_timeout(Some(Duration::from_millis(1_000)));
+                let _ = respond_error(&mut refused, 503, "connection limit reached", true);
+                continue;
+            }
             let conn_shared = accept_shared.clone();
             // Thread-per-connection: each socket gets its own detached
-            // thread; the worker pool (not the connection count) bounds
-            // concurrent compute.
+            // thread; the worker pool bounds concurrent compute and
+            // `max_conns` (above) bounds the thread count.
             std::thread::spawn(move || {
                 conn_shared.connections.fetch_add(1, Ordering::Relaxed);
                 handle_connection(stream, &conn_shared);
@@ -391,10 +487,19 @@ pub fn serve(corpus: Corpus, addr: &str, opts: ServeOptions) -> std::io::Result<
     })
 }
 
+/// The normalized signature item artifacts are cached under: the
+/// daemon defaults with the per-request-irrelevant knobs pinned.
+fn artifact_signature(defaults: &BatchOptions) -> BatchOptions {
+    let mut opts = defaults.clone();
+    opts.jobs = 1;
+    opts.fault_plan = None;
+    opts
+}
+
 /// Pre-fill the cache with every item's default-parameter summary (one
-/// parallel batch over the loaded corpus).
+/// parallel batch over the boot corpus, all items at revision 0).
 fn warm_cache(
-    state: &EpochState,
+    corpus: &Corpus,
     opts: &ServeOptions,
     workers: usize,
     cache: &mut LruCache<CacheKey, String>,
@@ -402,7 +507,7 @@ fn warm_cache(
     let mut batch_opts = opts.defaults.clone();
     batch_opts.jobs = workers;
     batch_opts.fault_plan = None;
-    let report = osa_runtime::summarize_corpus(&state.corpus, &batch_opts);
+    let report = osa_runtime::summarize_corpus(corpus, &batch_opts);
     let params = SummaryParams {
         item: 0,
         opts: batch_opts,
@@ -411,34 +516,19 @@ fn warm_cache(
     for summary in &report.results {
         let mut p = params.clone();
         p.item = summary.item;
-        let key = cache_key(&p, state.epoch);
-        cache.insert(key, summary_body(summary, &p, state.epoch));
+        let key = cache_key(&p, 0);
+        cache.insert(key, summary_body(summary, &p, 0));
     }
 }
 
-/// Install a process-wide panic hook that silences panics whose payload
-/// marks them as injected (`inject=panic` requests, fault-plan panics) —
-/// the daemon answers 500 for those by design, and a backtrace per
-/// poisoned request would drown the log. All other panics still print.
+/// Install a process-wide panic hook that silences deliberately
+/// injected panics (`inject=panic` requests, fault-plan panics) — the
+/// daemon answers 500 for those by design, and a backtrace per poisoned
+/// request would drown the log. Injection is recognized by the typed
+/// [`osa_runtime::InjectedPanic`] payload, never by message text, so a
+/// genuine panic whose message happens to say "injected" still prints.
 pub fn quiet_injected_panics() {
-    static HOOK: std::sync::Once = std::sync::Once::new();
-    HOOK.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let is_injected = |m: &str| m.contains("injected") || m.contains("NaN sentiments");
-            let injected = info
-                .payload()
-                .downcast_ref::<String>()
-                .is_some_and(|m| is_injected(m))
-                || info
-                    .payload()
-                    .downcast_ref::<&str>()
-                    .is_some_and(|m| is_injected(m));
-            if !injected {
-                prev(info);
-            }
-        }));
-    });
+    osa_runtime::quiet_injected_panics();
 }
 
 // --- worker pool -----------------------------------------------------------
@@ -492,16 +582,16 @@ fn compute(
 ) -> WorkerReply {
     let obs = osa_obs::global();
     let state = shared.snapshot();
-    if params.item >= state.corpus.items.len() {
+    let Some(iv) = state.items.get(params.item).cloned() else {
         return Err(HttpError::new(
             404,
             format!(
                 "item {} out of range (corpus has {} items)",
                 params.item,
-                state.corpus.items.len()
+                state.items.len()
             ),
         ));
-    }
+    };
     if let Inject::DelayMs(ms) = params.inject {
         let delay_start = Instant::now();
         std::thread::sleep(Duration::from_millis(ms.min(10_000)));
@@ -511,24 +601,35 @@ fn compute(
     }
     let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
         if params.inject == Inject::Panic {
-            panic!("injected panic (serve, item {})", params.item);
+            injected_panic(format!("injected panic (serve, item {})", params.item));
         }
-        summarize_one_traced(
-            &state.corpus,
-            &state.extractor,
+        // Per-item artifacts are built at most once per revision and
+        // shared; the summarize path reuses the cached extraction and
+        // (for the artifact signature) the mergeable graph state, and
+        // is byte-identical to the from-scratch batch pipeline.
+        let artifacts = iv.artifacts.get_or_init(|| {
+            Arc::new(ItemArtifacts::build(
+                &state.hierarchy,
+                &state.extractor,
+                &shared.artifact_opts,
+                &iv.item,
+                scratch,
+            ))
+        });
+        artifacts.summarize(
+            &state.hierarchy,
             &params.opts,
-            scratch,
             params.item,
-            Fault::None,
+            &iv.item,
+            scratch,
             trace,
         )
     }));
     match caught {
-        Ok(Some(summary)) => Ok(SummaryOk {
-            body: summary_body(&summary, params, state.epoch),
-            key: cache_key(params, state.epoch),
+        Ok(summary) => Ok(SummaryOk {
+            body: summary_body(&summary, params, iv.rev),
+            key: cache_key(params, iv.rev),
         }),
-        Ok(None) => Err(HttpError::new(404, "item out of range")),
         Err(payload) => {
             // The panic may have left the scratch mid-update; replace it
             // before the next request reuses this worker.
@@ -536,25 +637,19 @@ fn compute(
             obs.add("serve.panics", 1);
             Err(HttpError::new(
                 500,
-                format!("summarization panicked: {}", panic_text(payload.as_ref())),
+                format!(
+                    "summarization panicked: {}",
+                    panic_message(payload.as_ref())
+                ),
             ))
         }
     }
 }
 
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "panic with non-string payload".to_owned()
-    }
-}
-
 /// The `GET /summary` response body. The `"text"` field is the exact
 /// CLI rendering ([`render_item_summary`]), which the differential tests
-/// byte-compare against `osars summarize` stdout.
+/// byte-compare against `osars summarize` stdout; the `"epoch"` field
+/// is the **item's revision** (0 until the item itself is edited).
 fn summary_body(summary: &ItemSummary, params: &SummaryParams, epoch: u64) -> String {
     use osa_json::Value;
     let params_obj = Value::Object(vec![
@@ -635,11 +730,15 @@ fn granularity_name(g: Granularity) -> &'static str {
 // --- connection handling ---------------------------------------------------
 
 fn handle_connection(stream: TcpStream, shared: &Shared) {
-    // Bound idle keep-alive reads so connection threads cannot pile up
-    // forever after clients vanish without closing. Disable Nagle: each
-    // response is a single complete write, so there is nothing for the
-    // kernel to usefully coalesce — only latency to add.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    // Bound reads AND writes so a slow-dripping (or never-reading)
+    // client is disconnected instead of pinning its connection thread
+    // forever. Disable Nagle: each response is a single complete write,
+    // so there is nothing for the kernel to usefully coalesce — only
+    // latency to add.
+    let timeout = (shared.opts.conn_timeout_ms > 0)
+        .then(|| Duration::from_millis(shared.opts.conn_timeout_ms));
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -747,15 +846,9 @@ fn respond_healthz(shared: &Shared, w: &mut TcpStream, close: bool) -> (u16, boo
     let state = shared.snapshot();
     let obj = Value::Object(vec![
         ("ok".to_owned(), Value::Bool(true)),
-        ("epoch".to_owned(), Value::Number(state.epoch as f64)),
-        (
-            "items".to_owned(),
-            Value::Number(state.corpus.items.len() as f64),
-        ),
-        (
-            "corpus".to_owned(),
-            Value::String(state.corpus.name.clone()),
-        ),
+        ("epoch".to_owned(), Value::Number(state.version as f64)),
+        ("items".to_owned(), Value::Number(state.items.len() as f64)),
+        ("corpus".to_owned(), Value::String(state.name.clone())),
         (
             "workers".to_owned(),
             Value::Number(effective_jobs(shared.opts.workers) as f64),
@@ -912,8 +1005,14 @@ fn respond_summary(req: &Request, shared: &Shared, w: &mut TcpStream, close: boo
     // delay.
     let cacheable = params.inject == Inject::None && shared.opts.cache_capacity > 0;
     if cacheable {
-        let epoch = shared.snapshot().epoch;
-        let key = cache_key(&params, epoch);
+        // Keyed by the item's current revision: an ingest to a
+        // different item cannot invalidate this lookup.
+        let rev = shared
+            .snapshot()
+            .items
+            .get(params.item)
+            .map_or(0, |iv| iv.rev);
+        let key = cache_key(&params, rev);
         let hit = shared.cache.lock().expect("cache lock").get(&key).cloned();
         if let Some(body) = hit {
             obs.add("serve.cache.hits", 1);
@@ -1100,7 +1199,8 @@ fn respond_trace_detail(
     (200, ok)
 }
 
-/// `POST /reviews`: append reviews to one item and publish a new epoch.
+/// `POST /reviews`: append reviews to one item and publish a successor
+/// snapshot with that item's revision bumped.
 fn respond_ingest(req: &Request, shared: &Shared, w: &mut TcpStream, close: bool) -> (u16, bool) {
     match ingest(req, shared) {
         Ok((item, added, epoch)) => {
@@ -1160,38 +1260,98 @@ fn ingest(req: &Request, shared: &Shared) -> Result<(usize, usize, u64), HttpErr
         texts.push(t.to_owned());
     }
 
-    // Build the successor state outside the write lock's critical
-    // section as far as possible; the clone is the expensive part.
-    let mut state_guard = shared.state.write().expect("state lock");
-    let current = state_guard.clone();
-    if item >= current.corpus.items.len() {
+    // Test hook: `POST /reviews?inject=delay:MS` sleeps inside the
+    // build section below — while the ingest lock is held but NO state
+    // lock is — so tests can pin that readers stay unblocked during a
+    // slow ingest.
+    let delay_ms: u64 = match req.query_param("inject") {
+        None => 0,
+        Some(spec) if spec.starts_with("delay:") => spec["delay:".len()..]
+            .parse()
+            .map_err(|_| HttpError::new(400, format!("bad inject spec '{spec}'")))?,
+        Some(other) => return Err(HttpError::new(400, format!("unknown inject '{other}'"))),
+    };
+
+    // Serialize concurrent ingests with a dedicated mutex. The state
+    // write lock is NOT held while the successor is built — readers
+    // (`snapshot()`) keep going throughout; they only contend on the
+    // final pointer swap.
+    let _ingest = shared.ingest_lock.lock().expect("ingest lock");
+    let current = shared.snapshot();
+    let Some(prev) = current.items.get(item) else {
         return Err(HttpError::new(
             404,
             format!(
                 "item {item} out of range (corpus has {} items)",
-                current.corpus.items.len()
+                current.items.len()
             ),
         ));
-    }
-    let mut corpus = current.corpus.clone();
+    };
+
+    // Build the successor: clone the one edited item, leave every other
+    // `ItemVersion` shared by `Arc`.
+    let mut new_item = prev.item.clone();
     let added = texts.len();
     for t in texts {
-        corpus.items[item].reviews.push(Review {
+        new_item.reviews.push(Review {
             text: t,
             planted: Vec::new(),
         });
     }
-    let next = Arc::new(EpochState::new(
-        corpus,
-        current.extractor.clone(),
-        current.epoch + 1,
-    ));
-    let epoch = next.epoch;
-    *state_guard = next;
-    drop(state_guard);
+    if delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(delay_ms.min(10_000)));
+    }
+    // If the outgoing revision already has artifacts, advance them
+    // incrementally: only the appended reviews are re-extracted, the
+    // graph deltas are merged, and the CELF keys are maintained —
+    // byte-identical to a from-scratch build (the `osa-check --edits`
+    // oracle's contract). Otherwise the new revision builds lazily on
+    // first demand.
+    let artifacts = OnceLock::new();
+    if let Some(prev_art) = prev.artifacts.get() {
+        let mut scratch = WorkerScratch::new();
+        let updated = prev_art.update(
+            &current.hierarchy,
+            &current.extractor,
+            &shared.artifact_opts,
+            &new_item,
+            &mut scratch,
+        );
+        let _ = artifacts.set(Arc::new(updated));
+        osa_obs::global().add("serve.ingest.incremental", 1);
+    }
+    let rev = prev.rev + 1;
+    let mut items = current.items.clone();
+    items[item] = Arc::new(ItemVersion {
+        rev,
+        item: new_item,
+        artifacts,
+    });
+    let next = Arc::new(EpochState {
+        name: current.name.clone(),
+        hierarchy: current.hierarchy.clone(),
+        extractor: current.extractor.clone(),
+        items,
+        version: current.version + 1,
+    });
+
+    // Publish: a short write-lock swap, then retire the old snapshot
+    // into the bounded history (evicting the oldest is the change-root
+    // advancing — it frees every `ItemVersion` no live snapshot shares).
+    let old = {
+        let mut guard = shared.state.write().expect("state lock");
+        std::mem::replace(&mut *guard, next)
+    };
+    {
+        let mut history = shared.history.lock().expect("history lock");
+        history.push_back(old);
+        while history.len() > HISTORY_LIMIT {
+            history.pop_front();
+        }
+    }
     osa_obs::global().add("serve.ingest.reviews", added as u64);
     osa_obs::global().add("serve.epoch.bumps", 1);
-    Ok((item, added, epoch))
+    Ok((item, added, rev))
 }
 
 #[cfg(test)]
@@ -1207,7 +1367,7 @@ mod tests {
         };
         let k0 = cache_key(&base, 0);
         assert_eq!(k0, cache_key(&base.clone(), 0));
-        assert_ne!(k0, cache_key(&base, 1), "epoch must be in the key");
+        assert_ne!(k0, cache_key(&base, 1), "item revision must be in the key");
         let mut other = base.clone();
         other.opts.k = 7;
         assert_ne!(k0, cache_key(&other, 0));

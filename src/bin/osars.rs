@@ -78,6 +78,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "evaluate" => with_obs(&flags, cmd_evaluate),
         "check" => with_obs(&flags, cmd_check),
         "check-metrics" => cmd_check_metrics(&flags),
+        "bench-incremental" => cmd_bench_incremental(&flags),
         "serve" => cmd_serve(&flags),
         "loadgen" => cmd_loadgen(&flags),
         "help" | "--help" | "-h" => {
@@ -107,12 +108,19 @@ USAGE:
                       [--k K] [--eps E] [--items N] [--jobs N]
                       [--extract-impl interned|naive]
                       [--metrics FILE] [--trace]
-  osars check         [--seed N] [--cases N] [--faults] [--case-out FILE]
-                      [--replay FILE] [--metrics FILE] [--trace]
+  osars check         [--seed N] [--cases N] [--faults] [--edits]
+                      [--case-out FILE] [--replay FILE] [--metrics FILE]
+                      [--trace]
   osars check-metrics --metrics FILE
+  osars bench-incremental
+                      (--corpus FILE | --domain D [--scale S] [--seed N])
+                      [--updates N] [--k K] [--eps E] [--algorithm A]
+                      [--granularity G] [--graph-impl I] [--extract-impl I]
+                      [--out FILE]
   osars serve         (--corpus FILE | --domain D [--scale S] [--seed N])
                       [--addr HOST:PORT] [--workers N] [--queue-depth N]
                       [--deadline-ms N] [--cache N] [--warm] [--slow-ms N]
+                      [--conn-timeout-ms N] [--max-conns N]
                       [--k K] [--eps E] [--algorithm A]
                       [--granularity G] [--graph-impl I] [--extract-impl I]
   osars loadgen       --addr HOST:PORT [--conns C] [--rps N]
@@ -136,9 +144,19 @@ CHECK:    seeded differential-testing harness: generates --cases
           impl, --jobs 1|3|8, and all four summarizers, and asserts the
           paper-level invariants; --faults adds deterministic fault
           injection (per-item panics, NaN corruption, delays) and
-          asserts the batch engine isolates them; a failing case is
+          asserts the batch engine isolates them; --edits adds the
+          incremental-vs-rebuild oracle: seeded append/retract edit
+          scripts whose incrementally updated summaries must be
+          byte-identical to a from-scratch rebuild across every
+          graph impl, summarizer and --jobs; a failing case is
           shrunk to a minimal instance and written to --case-out
           (default check-case.json), replayable with --replay FILE
+BENCH:    bench-incremental replays --updates seeded edits through the
+          incremental per-item artifact path (what `POST /reviews`
+          uses) and through a full recompute of every item (the
+          pre-incremental baseline), asserts both render identically,
+          and writes p50/p95 latencies + speedup to --out (default
+          BENCH_incremental.json)
 EXTRACT:  --extract-impl selects the opinion-extraction hot path:
           'interned' (token interner + Aho–Corasick concept automaton +
           memoized stem cache) or 'naive' (the per-position trie walk
@@ -153,11 +171,16 @@ METRICS:  --metrics FILE streams per-stage span events plus a final
           none of them changes what is written to stdout
 SERVE:    loads the corpus once and answers GET /summary/{{item}} (with
           k/eps/algo/granularity/graph-impl/extract-impl query params),
-          POST /reviews (ingest + epoch bump), GET /metrics (Prometheus
-          text), GET /healthz; requests run on --workers threads behind
-          a --queue-depth admission queue (503 on overflow, 504 past
-          --deadline-ms), with an LRU summary cache of --cache entries
-          keyed on the corpus epoch; one panicking request answers 500
+          POST /reviews (incremental ingest: only the edited item's
+          revision bumps, its artifacts update in place, and every
+          other item keeps answering from cache), GET /metrics
+          (Prometheus text), GET /healthz; requests run on --workers
+          threads behind a --queue-depth admission queue (503 on
+          overflow, 504 past --deadline-ms), with an LRU summary cache
+          of --cache entries keyed on the item's revision; accepted
+          sockets get --conn-timeout-ms read/write timeouts (0 = none)
+          and at most --max-conns live connections (0 = unlimited,
+          excess answered 503); one panicking request answers 500
           and the daemon keeps serving; every summary request is traced
           into an always-on flight recorder with tail sampling (errors
           and requests slower than --slow-ms are always kept) — browse
@@ -182,10 +205,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --flag, got '{key}'"));
         };
-        // `--trace`, `--faults` and `--warm` are bare switches; an
-        // explicit `true|false` value is also accepted for scripting
-        // symmetry.
-        if name == "trace" || name == "faults" || name == "warm" {
+        // `--trace`, `--faults`, `--edits` and `--warm` are bare
+        // switches; an explicit `true|false` value is also accepted for
+        // scripting symmetry.
+        if name == "trace" || name == "faults" || name == "edits" || name == "warm" {
             match args.get(i + 1) {
                 Some(v) if !v.starts_with("--") => {
                     flags.insert(name.to_owned(), v.clone());
@@ -791,6 +814,7 @@ fn cmd_check(flags: &HashMap<String, String>) -> Result<(), String> {
         seed: parse_num(flags, "seed", 42)?,
         cases: parse_num(flags, "cases", 25)?,
         faults: matches!(flag(flags, "faults"), Some(v) if v != "false"),
+        edits: matches!(flag(flags, "edits"), Some(v) if v != "false"),
         case_out: flag(flags, "case-out").map(PathBuf::from),
     };
     let outcome = osars::check::run_check(&cfg);
@@ -800,6 +824,147 @@ fn cmd_check(flags: &HashMap<String, String>) -> Result<(), String> {
         1 => Err("1 check failure".to_owned()),
         n => Err(format!("{n} check failures")),
     }
+}
+
+/// `osars bench-incremental`: measure the incremental ingest path (what
+/// the daemon does on `POST /reviews`) against the pre-incremental
+/// baseline (invalidate everything, recompute every item from scratch)
+/// over a seeded append/retract edit script, asserting byte-identical
+/// output at every step, and write the percentiles to
+/// `BENCH_incremental.json`.
+fn cmd_bench_incremental(flags: &HashMap<String, String>) -> Result<(), String> {
+    use osars::eval::{LatencyHistogram, Stopwatch};
+    use osars::runtime::incremental::ItemArtifacts;
+    use osars::runtime::{render_item_summary, summarize_one, Fault, WorkerScratch};
+
+    let mut corpus = open_corpus(flags)?;
+    let original = corpus.clone();
+    let algorithm_name = flag(flags, "algorithm").unwrap_or("lazy");
+    let opts = BatchOptions {
+        k: parse_num(flags, "k", 5)?,
+        eps: parse_eps(flags)?,
+        granularity: parse_granularity(flag(flags, "granularity").unwrap_or("sentences"))?,
+        algorithm: BatchAlgorithm::from_name(algorithm_name)
+            .ok_or_else(|| format!("unknown algorithm '{algorithm_name}'"))?,
+        corpus_seed: parse_num(flags, "seed", 42)?,
+        graph_impl: parse_graph_impl(flags)?,
+        extract_impl: parse_extract_impl(flags)?,
+        ..BatchOptions::default()
+    };
+    let updates: usize = parse_num(flags, "updates", 40)?;
+    let seed: u64 = parse_num(flags, "seed", 42)?;
+
+    let extractor = Extractor::from_hierarchy(&corpus.hierarchy);
+    let mut scratch = WorkerScratch::new();
+    let mut artifacts: Vec<ItemArtifacts> = corpus
+        .items
+        .iter()
+        .map(|it| ItemArtifacts::build(&corpus.hierarchy, &extractor, &opts, it, &mut scratch))
+        .collect();
+
+    let mut incremental = LatencyHistogram::new();
+    let mut rebuild = LatencyHistogram::new();
+    for edit in 0..updates {
+        // The same seeded edit-script shape the `osars check --edits`
+        // oracle uses: pick an item, retract its last review (only if
+        // more than one remains) or append one recycled from the
+        // original corpus.
+        let draw = osars::runtime::item_seed(seed, 0xBE9C_0000 + edit as u64);
+        let idx = (draw % corpus.items.len() as u64) as usize;
+        let retract = (draw >> 33) & 1 == 1 && corpus.items[idx].reviews.len() > 1;
+        if retract {
+            corpus.items[idx].reviews.pop();
+        } else {
+            let donor = &original.items[((draw >> 8) % original.items.len() as u64) as usize];
+            let review =
+                donor.reviews[((draw >> 24) % donor.reviews.len() as u64) as usize].clone();
+            corpus.items[idx].reviews.push(review);
+        }
+
+        // Incremental path: advance the edited item's artifacts and
+        // re-answer it. Work is bounded by the one edited item.
+        let sw = Stopwatch::start();
+        artifacts[idx] = artifacts[idx].update(
+            &corpus.hierarchy,
+            &extractor,
+            &opts,
+            &corpus.items[idx],
+            &mut scratch,
+        );
+        let incr_summary = artifacts[idx].summarize(
+            &corpus.hierarchy,
+            &opts,
+            idx,
+            &corpus.items[idx],
+            &mut scratch,
+            None,
+        );
+        incremental.record(sw.micros());
+
+        // Baseline: the pre-incremental daemon bumped a global epoch on
+        // ingest, so every cached summary died and every item was
+        // recomputed from scratch on its next request.
+        let sw = Stopwatch::start();
+        let mut fresh_edited = None;
+        for i in 0..corpus.items.len() {
+            let s = summarize_one(&corpus, &extractor, &opts, &mut scratch, i, Fault::None)
+                .expect("item in range");
+            if i == idx {
+                fresh_edited = Some(s);
+            }
+        }
+        rebuild.record(sw.micros());
+
+        let fresh = fresh_edited.expect("edited item was rebuilt");
+        if render_item_summary(&incr_summary) != render_item_summary(&fresh) {
+            return Err(format!(
+                "update {edit}: incremental summary of item {idx} diverges from a fresh rebuild"
+            ));
+        }
+    }
+
+    let pct = |h: &LatencyHistogram, p: f64| h.percentile(p).unwrap_or(0.0);
+    let speedup = pct(&rebuild, 50.0) / pct(&incremental, 50.0).max(1e-9);
+    let json = osars::json::to_string_pretty(&osars::json::Value::Object(vec![
+        ("updates".into(), osars::json::Value::from(updates)),
+        ("items".into(), osars::json::Value::from(corpus.items.len())),
+        (
+            "total_reviews".into(),
+            osars::json::Value::from(corpus.total_reviews()),
+        ),
+        (
+            "algorithm".into(),
+            osars::json::Value::from(opts.algorithm.name()),
+        ),
+        (
+            "incremental_p50_us".into(),
+            osars::json::Value::Number(pct(&incremental, 50.0)),
+        ),
+        (
+            "incremental_p95_us".into(),
+            osars::json::Value::Number(pct(&incremental, 95.0)),
+        ),
+        (
+            "rebuild_p50_us".into(),
+            osars::json::Value::Number(pct(&rebuild, 50.0)),
+        ),
+        (
+            "rebuild_p95_us".into(),
+            osars::json::Value::Number(pct(&rebuild, 95.0)),
+        ),
+        ("speedup_p50".into(), osars::json::Value::Number(speedup)),
+    ]));
+    let out = flag(flags, "out").unwrap_or("BENCH_incremental.json");
+    std::fs::write(out, &json).map_err(|e| format!("writing '{out}': {e}"))?;
+    println!("{json}");
+    eprintln!(
+        "bench-incremental: {updates} updates over {} items; p50 incremental {:.0}µs vs \
+         full rebuild {:.0}µs ({speedup:.1}× at p50); report in {out}",
+        corpus.items.len(),
+        pct(&incremental, 50.0),
+        pct(&rebuild, 50.0),
+    );
+    Ok(())
 }
 
 /// The `render_prometheus` name mangle: `osars_` prefix, non-Prometheus
@@ -974,6 +1139,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         cache_capacity: parse_num(flags, "cache", 4096)?,
         warm: matches!(flag(flags, "warm"), Some(v) if v != "false"),
         slow_ms: parse_num(flags, "slow-ms", 500)?,
+        conn_timeout_ms: parse_num(flags, "conn-timeout-ms", 60_000)?,
+        max_conns: parse_num(flags, "max-conns", 0)?,
         defaults,
     };
     let addr = flag(flags, "addr").unwrap_or("127.0.0.1:7878");

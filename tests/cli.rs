@@ -762,6 +762,69 @@ fn check_faults_is_a_bare_switch() {
     assert!(text.contains("summary: 2/2 cases passed"), "{text}");
 }
 
+/// `osars check --edits` runs the incremental-vs-rebuild differential
+/// oracle (incremental artifact updates must be byte-identical to a
+/// from-scratch rebuild) and stays byte-deterministic across runs.
+#[test]
+fn check_edits_is_deterministic_and_passes() {
+    let run = || {
+        let out = osars(&["check", "--edits", "--seed", "9", "--cases", "2"]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let first = run();
+    let text = String::from_utf8_lossy(&first);
+    assert!(text.contains("edits on"), "{text}");
+    assert!(text.contains("summary: 2/2 cases passed"), "{text}");
+    assert_eq!(first, run(), "edits report is not deterministic");
+}
+
+/// `osars bench-incremental` asserts incremental == rebuild byte
+/// identity on every update and writes the latency report.
+#[test]
+fn bench_incremental_writes_report_and_asserts_equality() {
+    let out_path = tmp_corpus("bench_incremental.json");
+    let out = osars(&[
+        "bench-incremental",
+        "--domain",
+        "phones",
+        "--scale",
+        "small",
+        "--updates",
+        "5",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = std::fs::read_to_string(&out_path).expect("report written");
+    let doc = osars::json::parse(&report).expect("valid JSON report");
+    for field in [
+        "updates",
+        "incremental_p50_us",
+        "rebuild_p50_us",
+        "speedup_p50",
+    ] {
+        assert!(
+            doc.get(field)
+                .and_then(osars::json::Value::as_f64)
+                .is_some(),
+            "missing {field}: {report}"
+        );
+    }
+    assert_eq!(
+        doc.get("updates").and_then(osars::json::Value::as_u64),
+        Some(5)
+    );
+}
+
 #[test]
 fn domain_fallback_requires_corpus_or_domain() {
     let out = osars(&["summarize"]);

@@ -1,8 +1,10 @@
 //! End-to-end tests of the `osars serve` daemon: the served-vs-CLI
 //! differential (a summary over HTTP must be byte-identical to the same
-//! item's block in `osars summarize --item all` stdout), LRU/epoch
-//! cache semantics under concurrent clients, panic isolation, and
-//! queue backpressure/deadlines.
+//! item's block in `osars summarize --item all` stdout), LRU cache
+//! semantics keyed on per-item revisions (an ingest invalidates only
+//! the edited item), incremental ingest under concurrency, panic
+//! isolation, connection hygiene (timeouts, caps, duplicate
+//! Content-Length), and queue backpressure/deadlines.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -538,5 +540,239 @@ fn healthz_metrics_and_error_routes() {
     assert_eq!(status, 400, "{body}");
     let (status, _, body) = get(addr, "/summary/99999");
     assert_eq!(status, 404, "{body}");
+    handle.shutdown();
+}
+
+// --- incremental ingest & per-item revisions --------------------------------
+
+/// The tentpole property over HTTP: an ingest to one item leaves every
+/// *other* item's cache entry valid by construction — the key carries
+/// the item's own revision, which only the edited item bumps.
+#[test]
+fn cache_for_unedited_items_survives_an_ingest() {
+    let handle = start(ServeOptions::default());
+    let addr = handle.addr();
+
+    // Warm item 1 into the cache.
+    let (s, h, before) = get(addr, "/summary/1?k=3");
+    assert_eq!(s, 200);
+    assert_eq!(h.get("x-osars-cache").map(String::as_str), Some("miss"));
+    let (s, h, _) = get(addr, "/summary/1?k=3");
+    assert_eq!(s, 200);
+    assert_eq!(h.get("x-osars-cache").map(String::as_str), Some("hit"));
+
+    // Ingest into item 0 only.
+    let (s, _, b) = request(
+        addr,
+        "POST",
+        "/reviews",
+        Some(r#"{"item":0,"reviews":["battery drains overnight"]}"#),
+    );
+    assert_eq!(s, 200, "{b}");
+    assert_eq!(handle.item_rev(0), Some(1));
+    assert_eq!(handle.item_rev(1), Some(0), "un-edited item keeps rev 0");
+    assert_eq!(handle.epoch(), 1, "one successful ingest");
+
+    // Item 1 still answers from cache: same bytes, still revision 0,
+    // and — the point — a *hit*, not a recompute.
+    let (s, h, after) = get(addr, "/summary/1?k=3");
+    assert_eq!(s, 200);
+    assert_eq!(
+        h.get("x-osars-cache").map(String::as_str),
+        Some("hit"),
+        "ingest to item 0 must not evict item 1's cache entry"
+    );
+    assert_eq!(before, after);
+    assert_eq!(epoch_of(&after), 0);
+
+    // The edited item misses once (new revision key), then hits.
+    let (s, h, b0) = get(addr, "/summary/0?k=3");
+    assert_eq!(s, 200);
+    assert_eq!(h.get("x-osars-cache").map(String::as_str), Some("miss"));
+    assert_eq!(epoch_of(&b0), 1);
+    let (s, h, _) = get(addr, "/summary/0?k=3");
+    assert_eq!(s, 200);
+    assert_eq!(h.get("x-osars-cache").map(String::as_str), Some("hit"));
+    handle.shutdown();
+}
+
+/// Two concurrent ingests to the same item must both land: the ingest
+/// lock serializes the builds, so the item ends at revision 2 with both
+/// reviews appended (no lost update).
+#[test]
+fn concurrent_ingests_from_two_connections_both_land() {
+    let handle = start(ServeOptions::default());
+    let addr = handle.addr();
+
+    let bodies = [
+        r#"{"item":0,"reviews":["the camera is stellar"]}"#,
+        r#"{"item":0,"reviews":["the charger runs hot"]}"#,
+    ];
+    let threads: Vec<_> = bodies
+        .into_iter()
+        .map(|body| std::thread::spawn(move || request(addr, "POST", "/reviews", Some(body))))
+        .collect();
+    let mut revs = Vec::new();
+    for t in threads {
+        let (s, _, b) = t.join().expect("ingest thread");
+        assert_eq!(s, 200, "{b}");
+        revs.push(epoch_of(&b));
+    }
+    revs.sort_unstable();
+    assert_eq!(revs, vec![1, 2], "each ingest must get its own revision");
+    assert_eq!(handle.item_rev(0), Some(2));
+    assert_eq!(handle.epoch(), 2, "both ingests bumped the state version");
+    let (s, _, b) = get(addr, "/summary/0");
+    assert_eq!(s, 200, "{b}");
+    assert_eq!(epoch_of(&b), 2);
+    handle.shutdown();
+}
+
+/// Satellite regression pin: successor state is built *outside* the
+/// state write lock, so a reader completes while a large ingest is
+/// mid-build (the `?inject=delay` hook sleeps inside the build section
+/// while holding only the dedicated ingest mutex).
+#[test]
+fn readers_are_not_blocked_by_a_slow_ingest() {
+    let handle = start(ServeOptions::default());
+    let addr = handle.addr();
+
+    // Warm item 1 so the racing reader can answer from cache.
+    let (s, _, _) = get(addr, "/summary/1?k=3");
+    assert_eq!(s, 200);
+
+    let ingest = std::thread::spawn(move || {
+        request(
+            addr,
+            "POST",
+            "/reviews?inject=delay:500",
+            Some(r#"{"item":0,"reviews":["screen scratches too easily"]}"#),
+        )
+    });
+    // Give the ingest time to enter its (artificially slow) build.
+    std::thread::sleep(Duration::from_millis(100));
+    let sw = std::time::Instant::now();
+    let (s, _, body) = get(addr, "/summary/1?k=3");
+    let waited = sw.elapsed();
+    assert_eq!(s, 200, "{body}");
+    assert_eq!(epoch_of(&body), 0);
+    assert!(
+        waited < Duration::from_millis(350),
+        "reader stalled {waited:?} behind a mid-build ingest"
+    );
+    let (s, _, b) = ingest.join().expect("ingest thread");
+    assert_eq!(s, 200, "{b}");
+    assert_eq!(handle.item_rev(0), Some(1));
+    handle.shutdown();
+}
+
+// --- connection hygiene -----------------------------------------------------
+
+/// A client that connects and then never finishes its request must not
+/// hold its connection thread forever: the configured read timeout
+/// closes the socket.
+#[test]
+fn stalled_clients_are_disconnected_by_the_read_timeout() {
+    let handle = start(ServeOptions {
+        conn_timeout_ms: 200,
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr();
+
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    // Half a request line, then silence.
+    stalled.write_all(b"GET /sum").expect("partial write");
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let sw = std::time::Instant::now();
+    let mut sink = Vec::new();
+    // The server's read times out after ~200ms and the connection
+    // thread drops the socket; our read then returns (EOF or reset).
+    let _ = stalled.read_to_end(&mut sink);
+    assert!(
+        sw.elapsed() < Duration::from_secs(5),
+        "stalled connection was not closed by the server"
+    );
+
+    // The daemon still serves normally afterwards.
+    let (s, _, _) = get(addr, "/summary/0");
+    assert_eq!(s, 200);
+    handle.shutdown();
+}
+
+/// Past `--max-conns` live connections, the accept loop answers 503
+/// without spawning another connection thread; closing a connection
+/// frees a slot.
+#[test]
+fn connection_cap_answers_503_and_recovers() {
+    let handle = start(ServeOptions {
+        max_conns: 1,
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr();
+
+    // Occupy the single slot with an idle keep-alive connection. Give
+    // the accept loop a beat to register it.
+    let held = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The refusal is written straight off the accept, before any
+    // request bytes — so just read (writing first could race the
+    // server-side close into a reset that discards the 503).
+    let mut refused = TcpStream::connect(addr).expect("connect");
+    refused
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut raw = Vec::new();
+    let _ = refused.read_to_end(&mut raw);
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 503"),
+        "over-cap connection must be refused: {text}"
+    );
+    assert!(text.contains("connection limit"), "{text}");
+
+    // Release the slot; the connection thread notices the close and
+    // decrements the live count, after which requests flow again.
+    drop(held);
+    let mut ok = false;
+    for _ in 0..50 {
+        std::thread::sleep(Duration::from_millis(50));
+        let (s, _, _) = get(addr, "/summary/0");
+        if s == 200 {
+            ok = true;
+            break;
+        }
+    }
+    assert!(
+        ok,
+        "daemon did not recover after the held connection closed"
+    );
+    handle.shutdown();
+}
+
+/// Smuggling guard: duplicate `Content-Length` headers — even when they
+/// agree — are rejected with 400 instead of the last one winning.
+#[test]
+fn duplicate_content_length_answers_400() {
+    let handle = start(ServeOptions::default());
+    let addr = handle.addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "POST /reviews HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{{}}"
+    )
+    .expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 400"),
+        "duplicate Content-Length must be rejected: {text}"
+    );
     handle.shutdown();
 }
