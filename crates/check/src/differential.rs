@@ -16,6 +16,7 @@ use osa_core::{
     LocalSearchSummarizer, Summarizer,
 };
 use osa_datasets::{Corpus, ExtractImpl, Extractor};
+use osa_ontology::{AncestorImpl, Hierarchy, HierarchyBuilder};
 use osa_runtime::incremental::ItemArtifacts;
 use osa_runtime::{
     item_seed, par_for_groups, par_for_pairs, render_item_summary, summarize_corpus,
@@ -78,6 +79,11 @@ pub static CHECKS: &[Check] = &[
         run: chk_impl_matrix,
     },
     Check {
+        name: "ancestor-impl-bytes",
+        kind: CheckKind::Corpus,
+        run: chk_ancestor_impl_matrix,
+    },
+    Check {
         name: "summarizer-relations",
         kind: CheckKind::Corpus,
         run: chk_summarizer_relations,
@@ -101,6 +107,11 @@ pub static CHECKS: &[Check] = &[
         name: "graph-impl-equality",
         kind: CheckKind::Synth,
         run: chk_graph_impl_equality,
+    },
+    Check {
+        name: "ancestor-relabel-invariance",
+        kind: CheckKind::Synth,
+        run: chk_ancestor_relabel,
     },
     Check {
         name: "eps-monotone-edges",
@@ -144,6 +155,7 @@ fn base_opts(s: &Scenario) -> BatchOptions {
         eps: s.eps,
         granularity: s.granularity,
         corpus_seed: s.seed,
+        ancestor_impl: s.ancestor,
         ..BatchOptions::default()
     }
 }
@@ -195,6 +207,42 @@ fn chk_impl_matrix(s: &Scenario) -> Result<(), String> {
                             }
                         }
                     }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The twin-oracle check of the compressed reachability index: dense CSR
+/// closure vs segmented index render **byte-identically** across the
+/// full `{graph} × {extract} × {jobs}` matrix. The dense closure is the
+/// oracle; the segment index is the only viable implementation at
+/// SNOMED scale — they may never disagree on a single output byte.
+fn chk_ancestor_impl_matrix(s: &Scenario) -> Result<(), String> {
+    let c = corpus_of(s);
+    for graph_impl in [GraphImpl::Indexed, GraphImpl::Naive] {
+        for extract_impl in [ExtractImpl::Interned, ExtractImpl::Naive] {
+            for jobs in JOBS_MATRIX {
+                let run = |ancestor_impl| {
+                    pipeline(
+                        c,
+                        &BatchOptions {
+                            jobs,
+                            graph_impl,
+                            extract_impl,
+                            ancestor_impl,
+                            ..base_opts(s)
+                        },
+                    )
+                    .render_items()
+                };
+                if run(AncestorImpl::Segmented) != run(AncestorImpl::Dense) {
+                    return Err(format!(
+                        "segmented output diverges from the dense oracle at {}/{}/jobs={jobs}",
+                        graph_impl.name(),
+                        extract_impl.name()
+                    ));
                 }
             }
         }
@@ -510,6 +558,94 @@ fn chk_graph_impl_equality(s: &Scenario) -> Result<(), String> {
     for (name, g) in &graphs[1..] {
         if g != reference {
             return Err(format!("graph from {name} differs from {ref_name}"));
+        }
+    }
+    Ok(())
+}
+
+/// One node's ancestor set as sorted `(name, distance)` rows — the
+/// labeling-independent form both ancestor implementations must agree on.
+fn ancestor_names(h: &Hierarchy, ancestors: &[(osa_ontology::NodeId, u32)]) -> Vec<(String, u32)> {
+    let mut rows: Vec<(String, u32)> = ancestors
+        .iter()
+        .map(|&(a, d)| (h.name(a).to_owned(), d))
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Rebuild `h` with its nodes inserted in a seeded random order: same
+/// names, same edges, permuted `NodeId`s (and hence a different internal
+/// topological layout for the segment index to chew on).
+fn relabeled(h: &Hierarchy, seed: u64) -> Result<Hierarchy, String> {
+    let mut order: Vec<osa_ontology::NodeId> = h.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut b = HierarchyBuilder::new();
+    for &n in &order {
+        b.add_node(h.name(n));
+    }
+    for &(p, c) in h.edge_list() {
+        b.add_edge_by_name(h.name(p), h.name(c))
+            .map_err(|e| format!("relabeled edge rejected: {e}"))?;
+    }
+    b.build()
+        .map_err(|e| format!("relabeled build failed: {e}"))
+}
+
+/// Ancestor queries are implementation- *and* labeling-invariant. On the
+/// synth DAG (multi-parent by construction) the segmented index must
+/// reproduce the dense closure node for node; and after relabeling the
+/// nodes — same names and edges, permuted `NodeId`s — every ancestor
+/// `(name, distance)` set must come out unchanged under both
+/// implementations. This is the structural half of the twin-oracle
+/// layer: [`chk_ancestor_impl_matrix`] proves end-to-end bytes, this
+/// check pins the index semantics the bytes rest on.
+fn chk_ancestor_relabel(s: &Scenario) -> Result<(), String> {
+    let inst = synth_of(s);
+    let original = &inst.hierarchy;
+    let permuted = relabeled(original, item_seed(s.seed, 0x5EC7))?;
+    if permuted.node_count() != original.node_count()
+        || permuted.edge_count() != original.edge_count()
+    {
+        return Err("relabeled hierarchy changed shape".to_owned());
+    }
+    for node in original.nodes() {
+        let reference = ancestor_names(original, original.ancestor_index().ancestors(node));
+        let seg = ancestor_names(
+            original,
+            &original.segment_index().ancestors_with_dist(node),
+        );
+        if seg != reference {
+            return Err(format!(
+                "segmented ancestors of '{}' disagree with the dense closure",
+                original.name(node)
+            ));
+        }
+        let twin = permuted
+            .node_by_name(original.name(node))
+            .ok_or_else(|| format!("relabeled hierarchy lost node '{}'", original.name(node)))?;
+        for (label, got) in [
+            (
+                "dense",
+                ancestor_names(&permuted, permuted.ancestor_index().ancestors(twin)),
+            ),
+            (
+                "segmented",
+                ancestor_names(
+                    &permuted,
+                    &permuted.segment_index().ancestors_with_dist(twin),
+                ),
+            ),
+        ] {
+            if got != reference {
+                return Err(format!(
+                    "{label} ancestors of '{}' changed under relabeling",
+                    original.name(node)
+                ));
+            }
         }
     }
     Ok(())

@@ -53,6 +53,12 @@ pub struct CheckConfig {
     /// append/retract edit scripts whose incrementally-updated output
     /// must be byte-identical to a from-scratch rebuild.
     pub edits: bool,
+    /// Baseline ancestor-query implementation every pipeline check runs
+    /// under (`osars check --ancestor-impl`). The dedicated twin checks
+    /// cross dense against segmented regardless of this setting; running
+    /// the suite once per value exercises *every* invariant on both
+    /// index implementations.
+    pub ancestor_impl: osa_ontology::AncestorImpl,
     /// Where to write the shrunk case file on failure
     /// (default `check-case.json`).
     pub case_out: Option<PathBuf>,
@@ -65,6 +71,7 @@ impl Default for CheckConfig {
             cases: 25,
             faults: false,
             edits: false,
+            ancestor_impl: osa_ontology::AncestorImpl::Dense,
             case_out: None,
         }
     }
@@ -104,18 +111,20 @@ impl CheckOutcome {
 pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
     let obs = osa_obs::global();
     let mut report = format!(
-        "check: seed {}, {} cases, faults {}{}\n",
+        "check: seed {}, {} cases, faults {}{}, ancestor {}\n",
         cfg.seed,
         cfg.cases,
         if cfg.faults { "on" } else { "off" },
-        if cfg.edits { ", edits on" } else { "" }
+        if cfg.edits { ", edits on" } else { "" },
+        cfg.ancestor_impl.name()
     );
     let mut failures: Vec<CheckFailure> = Vec::new();
     let mut checks_total = 0usize;
     let mut cases_passed = 0usize;
     for case in 0..cfg.cases {
         obs.add("check.cases.run", 1);
-        let scenario = Scenario::generate(cfg.seed, case);
+        let mut scenario = Scenario::generate(cfg.seed, case);
+        scenario.ancestor = cfg.ancestor_impl;
         let mut case_failures: Vec<(&'static str, String)> = Vec::new();
         let mut ran = 0usize;
         for check in CHECKS {
@@ -152,6 +161,7 @@ pub fn run_check(cfg: &CheckConfig) -> CheckOutcome {
             let (name, _) = case_failures[0];
             let check = check_by_name(name).expect("failed check is registered");
             let mut shrunk = Scenario::generate(cfg.seed, case);
+            shrunk.ancestor = cfg.ancestor_impl;
             let trials = shrink_scenario(&mut shrunk, check);
             let path = cfg
                 .case_out
@@ -241,9 +251,7 @@ mod tests {
         let cfg = CheckConfig {
             seed: 7,
             cases: 6,
-            faults: false,
-            edits: false,
-            case_out: None,
+            ..CheckConfig::default()
         };
         let a = run_check(&cfg);
         assert!(a.passed(), "{}", a.report);
@@ -259,8 +267,7 @@ mod tests {
             seed: 7,
             cases: 6,
             faults: true,
-            edits: false,
-            case_out: None,
+            ..CheckConfig::default()
         };
         let outcome = run_check(&cfg);
         assert!(outcome.passed(), "{}", outcome.report);
@@ -292,9 +299,8 @@ mod tests {
         let cfg = CheckConfig {
             seed: 7,
             cases: 4,
-            faults: false,
             edits: true,
-            case_out: None,
+            ..CheckConfig::default()
         };
         let outcome = run_check(&cfg);
         assert!(outcome.passed(), "{}", outcome.report);
@@ -330,15 +336,46 @@ mod tests {
     fn soak_many_seeds() {
         quiet_injected_panics();
         for seed in [1u64, 2, 3, 42, 1337] {
-            let outcome = run_check(&CheckConfig {
-                seed,
-                cases: 60,
-                faults: true,
-                edits: true,
-                case_out: Some(std::env::temp_dir().join("osa-check-soak-case.json")),
-            });
-            assert!(outcome.passed(), "seed {seed}:\n{}", outcome.report);
+            for ancestor_impl in [
+                osa_ontology::AncestorImpl::Dense,
+                osa_ontology::AncestorImpl::Segmented,
+            ] {
+                let outcome = run_check(&CheckConfig {
+                    seed,
+                    cases: 60,
+                    faults: true,
+                    edits: true,
+                    ancestor_impl,
+                    case_out: Some(std::env::temp_dir().join("osa-check-soak-case.json")),
+                });
+                assert!(outcome.passed(), "seed {seed}:\n{}", outcome.report);
+            }
         }
+    }
+
+    #[test]
+    fn segmented_baseline_passes_the_whole_suite() {
+        quiet_injected_panics();
+        let cfg = CheckConfig {
+            seed: 7,
+            cases: 6,
+            ancestor_impl: osa_ontology::AncestorImpl::Segmented,
+            ..CheckConfig::default()
+        };
+        let outcome = run_check(&cfg);
+        assert!(outcome.passed(), "{}", outcome.report);
+        assert!(outcome.report.contains("ancestor segmented"));
+        // Same seed, same case count: the two baselines must agree on
+        // everything except the impl labels in the report text.
+        let dense = run_check(&CheckConfig {
+            ancestor_impl: osa_ontology::AncestorImpl::Dense,
+            ..cfg
+        });
+        assert_eq!(
+            outcome.report.replace("segmented", "dense"),
+            dense.report,
+            "baselines diverge beyond the impl label"
+        );
     }
 
     #[test]

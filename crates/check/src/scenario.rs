@@ -16,7 +16,7 @@ use osa_datasets::{
     CorpusConfig, SyntheticOntologyConfig,
 };
 use osa_json::Value;
-use osa_ontology::Hierarchy;
+use osa_ontology::{AncestorImpl, Hierarchy};
 use osa_runtime::item_seed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,6 +57,12 @@ pub struct Scenario {
     pub eps: f64,
     /// Candidate granularity.
     pub granularity: Granularity,
+    /// Baseline ancestor-query implementation the scenario's pipeline
+    /// checks run under. The dedicated twin checks always cross dense
+    /// against segmented regardless; this axis lets `osars check
+    /// --ancestor-impl segmented` re-run the *whole* suite on the
+    /// compressed index.
+    pub ancestor: AncestorImpl,
     /// The instance data.
     pub kind: ScenarioKind,
 }
@@ -139,6 +145,7 @@ impl Scenario {
             k,
             eps,
             granularity,
+            ancestor: AncestorImpl::Dense,
             kind,
         }
     }
@@ -159,10 +166,11 @@ impl Scenario {
             ),
         };
         format!(
-            "{what} k={} eps={:.2} {}",
+            "{what} k={} eps={:.2} {} {}",
             self.k,
             self.eps,
-            granularity_name(self.granularity)
+            granularity_name(self.granularity),
+            self.ancestor.name()
         )
     }
 
@@ -182,6 +190,7 @@ impl Scenario {
                 "granularity".into(),
                 Value::from(granularity_name(self.granularity)),
             ),
+            ("ancestor-impl".into(), Value::from(self.ancestor.name())),
         ];
         match &self.kind {
             ScenarioKind::Corpus(c) => {
@@ -242,6 +251,13 @@ impl Scenario {
         let eps = num_field("eps")?;
         let granularity = granularity_from_name(&str_field("granularity")?)
             .ok_or_else(|| "case file: bad granularity".to_owned())?;
+        // Optional for backward compatibility: case files written before
+        // the ancestor axis existed replay under the dense oracle.
+        let ancestor = match doc.get("ancestor-impl").and_then(Value::as_str) {
+            Some(name) => AncestorImpl::from_name(name)
+                .ok_or_else(|| format!("case file: unknown ancestor-impl '{name}'"))?,
+            None => AncestorImpl::Dense,
+        };
         let kind = match str_field("kind")?.as_str() {
             "corpus" => {
                 let corpus = doc
@@ -311,6 +327,7 @@ impl Scenario {
                 k,
                 eps,
                 granularity,
+                ancestor,
                 kind,
             },
             check,
@@ -389,6 +406,29 @@ mod tests {
             assert_eq!(a.hierarchy.name(pa.concept), b.hierarchy.name(pb.concept));
             assert_eq!(pa.sentiment.to_bits(), pb.sentiment.to_bits());
         }
+    }
+
+    #[test]
+    fn ancestor_axis_roundtrips_and_defaults_to_dense() {
+        let mut s = Scenario::generate(7, 0);
+        s.ancestor = AncestorImpl::Segmented;
+        let doc = s.to_case_value("impl-matrix-bytes", false, false);
+        let (s2, ..) = Scenario::from_case_value(&doc).unwrap();
+        assert_eq!(s2.ancestor, AncestorImpl::Segmented);
+        assert!(s2.describe().ends_with("segmented"));
+        // Case files written before the axis existed carry no
+        // "ancestor-impl" member and must replay under the dense oracle.
+        let Value::Object(members) = doc else {
+            panic!()
+        };
+        let legacy = Value::Object(
+            members
+                .into_iter()
+                .filter(|(k, _)| k != "ancestor-impl")
+                .collect(),
+        );
+        let (s3, ..) = Scenario::from_case_value(&legacy).unwrap();
+        assert_eq!(s3.ancestor, AncestorImpl::Dense);
     }
 
     #[test]

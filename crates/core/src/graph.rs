@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 use std::ops::Range;
 
-use osa_ontology::{Hierarchy, NodeId};
+use osa_ontology::{AncestorImpl, AncestorIndex, Hierarchy, NodeId, SegmentIndex, SegmentScratch};
 
 use crate::Pair;
 
@@ -116,6 +116,11 @@ pub struct GraphBuildScratch {
     /// Candidates stamped in the current epoch.
     touched: Vec<u32>,
     epoch: u32,
+    /// Segment-walk buffers for [`AncestorImpl::Segmented`] plans; unused
+    /// (and unallocated) on the dense path.
+    seg: SegmentScratch,
+    /// Ancestor output of the segment walk, reused across pairs.
+    anc_buf: Vec<(NodeId, u32)>,
 }
 
 impl GraphBuildScratch {
@@ -176,16 +181,41 @@ pub struct GraphBuildPlan {
     bucket_entries: Vec<(f64, u32)>,
     /// Root distance (= concept depth) per target pair.
     root_dist: Vec<u32>,
-    /// Size of the hierarchy's ancestor closure (for the
+    /// Entry weight of the ancestor index pass 2 walks (dense closure
+    /// entries, or segment-index array elements — the
     /// `graph.closure.entries` metric).
     closure_entries: u64,
+    /// Which ancestor index pass 2 walks per target pair.
+    ancestor_impl: AncestorImpl,
+}
+
+/// The ancestor index a shard walks, resolved once per shard from the
+/// plan's [`AncestorImpl`].
+enum AncestorSource<'h> {
+    Dense(&'h AncestorIndex),
+    Segmented(&'h SegmentIndex),
 }
 
 impl GraphBuildPlan {
     /// Bucket `groups` (or, with `None`, one candidate per pair — the
     /// k-Pairs identity grouping, without materializing it) by member
-    /// concept and sort each bucket by sentiment.
+    /// concept and sort each bucket by sentiment. Uses the dense ancestor
+    /// closure; see [`new_with`](Self::new_with) for the switch.
     pub fn new(h: &Hierarchy, pairs: &[Pair], groups: Option<&[Vec<usize>]>, eps: f64) -> Self {
+        Self::new_with(h, pairs, groups, eps, AncestorImpl::Dense)
+    }
+
+    /// [`new`](Self::new) with an explicit ancestor-index implementation.
+    /// `Segmented` plans never materialize the dense closure — the whole
+    /// build stays `O(n)` in hierarchy memory — and produce byte-identical
+    /// graphs (the `osars check` ancestor axis proves it).
+    pub fn new_with(
+        h: &Hierarchy,
+        pairs: &[Pair],
+        groups: Option<&[Vec<usize>]>,
+        eps: f64,
+        ancestor_impl: AncestorImpl,
+    ) -> Self {
         assert!(eps >= 0.0, "sentiment threshold must be non-negative");
         let n_nodes = h.node_count();
         let n_cands = groups.map_or(pairs.len(), <[Vec<usize>]>::len);
@@ -238,7 +268,20 @@ impl GraphBuildPlan {
             bucket_off,
             bucket_entries,
             root_dist: pairs.iter().map(|p| h.depth(p.concept)).collect(),
-            closure_entries: h.ancestor_index().entry_count() as u64,
+            closure_entries: match ancestor_impl {
+                AncestorImpl::Dense => h.ancestor_index().entry_count() as u64,
+                AncestorImpl::Segmented => h.segment_index().entry_weight() as u64,
+            },
+            ancestor_impl,
+        }
+    }
+
+    /// Resolve the plan's ancestor index against `h` (building and
+    /// caching it on first use).
+    fn ancestor_source<'h>(&self, h: &'h Hierarchy) -> AncestorSource<'h> {
+        match self.ancestor_impl {
+            AncestorImpl::Dense => AncestorSource::Dense(h.ancestor_index()),
+            AncestorImpl::Segmented => AncestorSource::Segmented(h.segment_index()),
         }
     }
 
@@ -278,7 +321,7 @@ impl GraphBuildPlan {
         range: Range<usize>,
         scratch: &mut GraphBuildScratch,
     ) -> GraphShard {
-        let index = h.ancestor_index();
+        let src = self.ancestor_source(h);
         scratch.reserve(self.n_cands);
         let mut pair_off = Vec::with_capacity(range.len() + 1);
         pair_off.push(0u32);
@@ -286,7 +329,7 @@ impl GraphBuildPlan {
         let mut window_hits = 0u64;
         let start = range.start;
         for qi in range {
-            self.resolve_pair(index, pairs[qi], scratch, &mut edges, &mut window_hits);
+            self.resolve_pair(&src, pairs[qi], scratch, &mut edges, &mut window_hits);
             pair_off.push(u32::try_from(edges.len()).expect("shard edge count exceeds u32"));
         }
         GraphShard {
@@ -302,7 +345,7 @@ impl GraphBuildPlan {
     /// [`shard_append`](Self::shard_append).
     fn resolve_pair(
         &self,
-        index: &osa_ontology::AncestorIndex,
+        src: &AncestorSource<'_>,
         q: Pair,
         scratch: &mut GraphBuildScratch,
         edges: &mut Vec<(u32, u32)>,
@@ -317,25 +360,28 @@ impl GraphBuildPlan {
             "NaN sentiments must be sanitized by Pair::new before building"
         );
         let epoch = scratch.next_epoch();
-        for &(anc, dist) in index.ancestors(q.concept) {
-            // A candidate on the root covers every pair with no
-            // sentiment condition (Definition 1), so the root bucket
-            // is taken whole.
-            let (lo, hi) = if anc == self.root {
-                (
-                    self.bucket_off[anc.index()] as usize,
-                    self.bucket_off[anc.index() + 1] as usize,
-                )
-            } else {
-                self.window(anc, q.sentiment)
-            };
-            *window_hits += (hi - lo) as u64;
-            for &(_, u) in &self.bucket_entries[lo..hi] {
-                scratch.offer(u, dist, epoch);
+        match src {
+            AncestorSource::Dense(index) => {
+                for &(anc, dist) in index.ancestors(q.concept) {
+                    self.offer_bucket(anc, dist, q.sentiment, scratch, epoch, window_hits);
+                }
+            }
+            AncestorSource::Segmented(index) => {
+                // Walk into an owned buffer so the bucket offers below can
+                // borrow the scratch mutably again.
+                let mut anc_buf = std::mem::take(&mut scratch.anc_buf);
+                index.ancestors_with_dist_into(q.concept, &mut scratch.seg, &mut anc_buf);
+                for &(anc, dist) in &anc_buf {
+                    self.offer_bucket(anc, dist, q.sentiment, scratch, epoch, window_hits);
+                }
+                scratch.anc_buf = anc_buf;
             }
         }
         // Ascending candidate order makes the shard (and therefore
-        // the assembled graph) independent of closure walk order.
+        // the assembled graph) independent of closure walk order — this
+        // sort is also why the two ancestor implementations, which
+        // enumerate the same set in different orders, produce
+        // byte-identical shards.
         scratch.touched.sort_unstable();
         edges.extend(
             scratch
@@ -343,6 +389,35 @@ impl GraphBuildPlan {
                 .iter()
                 .map(|&u| (u, scratch.dist[u as usize])),
         );
+    }
+
+    /// Offer one ancestor's ε-window (or whole root bucket) to the
+    /// current pair's candidates.
+    #[inline]
+    fn offer_bucket(
+        &self,
+        anc: NodeId,
+        dist: u32,
+        s_q: f64,
+        scratch: &mut GraphBuildScratch,
+        epoch: u32,
+        window_hits: &mut u64,
+    ) {
+        // A candidate on the root covers every pair with no
+        // sentiment condition (Definition 1), so the root bucket
+        // is taken whole.
+        let (lo, hi) = if anc == self.root {
+            (
+                self.bucket_off[anc.index()] as usize,
+                self.bucket_off[anc.index() + 1] as usize,
+            )
+        } else {
+            self.window(anc, s_q)
+        };
+        *window_hits += (hi - lo) as u64;
+        for &(_, u) in &self.bucket_entries[lo..hi] {
+            scratch.offer(u, dist, epoch);
+        }
     }
 
     /// Build the successor plan after an **append**: `self` was built
@@ -452,6 +527,7 @@ impl GraphBuildPlan {
             bucket_entries,
             root_dist,
             closure_entries: self.closure_entries,
+            ancestor_impl: self.ancestor_impl,
         };
         (
             next,
@@ -485,7 +561,7 @@ impl GraphBuildPlan {
     ) -> (GraphShard, Vec<u32>) {
         assert_eq!(prev.start, 0, "prev must be a full-range shard");
         assert_eq!(prev.len(), delta.prev_pairs, "prev covers the old pairs");
-        let index = h.ancestor_index();
+        let src = self.ancestor_source(h);
         scratch.reserve(self.n_cands);
         let mut changed = vec![false; h.node_count()];
         for &c in &delta.changed_nodes {
@@ -499,17 +575,26 @@ impl GraphBuildPlan {
         for (qi, &q) in pairs.iter().enumerate() {
             let reusable = qi < delta.prev_pairs
                 && !delta.root_changed
-                && index
-                    .ancestors(q.concept)
-                    .iter()
-                    .all(|&(anc, _)| !changed[anc.index()]);
+                && match &src {
+                    AncestorSource::Dense(index) => index
+                        .ancestors(q.concept)
+                        .iter()
+                        .all(|&(anc, _)| !changed[anc.index()]),
+                    AncestorSource::Segmented(index) => {
+                        let mut anc_buf = std::mem::take(&mut scratch.anc_buf);
+                        index.ancestors_with_dist_into(q.concept, &mut scratch.seg, &mut anc_buf);
+                        let clean = anc_buf.iter().all(|&(anc, _)| !changed[anc.index()]);
+                        scratch.anc_buf = anc_buf;
+                        clean
+                    }
+                };
             if reusable {
                 edges.extend_from_slice(prev.row(qi));
             } else {
                 if qi < delta.prev_pairs {
                     recomputed.push(qi as u32);
                 }
-                self.resolve_pair(index, q, scratch, &mut edges, &mut window_hits);
+                self.resolve_pair(&src, q, scratch, &mut edges, &mut window_hits);
             }
             pair_off.push(u32::try_from(edges.len()).expect("shard edge count exceeds u32"));
         }
@@ -703,10 +788,31 @@ impl CoverageGraph {
         imp: GraphImpl,
         scratch: &mut GraphBuildScratch,
     ) -> Self {
+        Self::for_pairs_with_ancestor(h, pairs, eps, imp, AncestorImpl::Dense, scratch)
+    }
+
+    /// [`for_pairs_with`](Self::for_pairs_with) plus the ancestor-index
+    /// switch (ignored by the naive builder, whose upward BFS needs no
+    /// index at all).
+    pub fn for_pairs_with_ancestor(
+        h: &Hierarchy,
+        pairs: &[Pair],
+        eps: f64,
+        imp: GraphImpl,
+        ancestor: AncestorImpl,
+        scratch: &mut GraphBuildScratch,
+    ) -> Self {
         match imp {
-            GraphImpl::Indexed => {
-                Self::build_indexed(h, pairs, None, eps, Granularity::Pairs, None, scratch)
-            }
+            GraphImpl::Indexed => Self::build_indexed(
+                h,
+                pairs,
+                None,
+                eps,
+                Granularity::Pairs,
+                None,
+                ancestor,
+                scratch,
+            ),
             GraphImpl::Naive => Self::for_pairs_naive(h, pairs, eps),
         }
     }
@@ -721,6 +827,28 @@ impl CoverageGraph {
         imp: GraphImpl,
         scratch: &mut GraphBuildScratch,
     ) -> Self {
+        Self::for_weighted_pairs_with_ancestor(
+            h,
+            pairs,
+            weights,
+            eps,
+            imp,
+            AncestorImpl::Dense,
+            scratch,
+        )
+    }
+
+    /// [`for_weighted_pairs_with`](Self::for_weighted_pairs_with) plus the
+    /// ancestor-index switch.
+    pub fn for_weighted_pairs_with_ancestor(
+        h: &Hierarchy,
+        pairs: &[Pair],
+        weights: &[u64],
+        eps: f64,
+        imp: GraphImpl,
+        ancestor: AncestorImpl,
+        scratch: &mut GraphBuildScratch,
+    ) -> Self {
         assert_eq!(pairs.len(), weights.len(), "one weight per pair");
         match imp {
             GraphImpl::Indexed => Self::build_indexed(
@@ -730,6 +858,7 @@ impl CoverageGraph {
                 eps,
                 Granularity::Pairs,
                 Some(weights),
+                ancestor,
                 scratch,
             ),
             GraphImpl::Naive => Self::for_weighted_pairs_naive(h, pairs, weights, eps),
@@ -747,16 +876,49 @@ impl CoverageGraph {
         imp: GraphImpl,
         scratch: &mut GraphBuildScratch,
     ) -> Self {
+        Self::for_groups_with_ancestor(
+            h,
+            pairs,
+            groups,
+            eps,
+            granularity,
+            imp,
+            AncestorImpl::Dense,
+            scratch,
+        )
+    }
+
+    /// [`for_groups_with`](Self::for_groups_with) plus the ancestor-index
+    /// switch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_groups_with_ancestor(
+        h: &Hierarchy,
+        pairs: &[Pair],
+        groups: &[Vec<usize>],
+        eps: f64,
+        granularity: Granularity,
+        imp: GraphImpl,
+        ancestor: AncestorImpl,
+        scratch: &mut GraphBuildScratch,
+    ) -> Self {
         match imp {
-            GraphImpl::Indexed => {
-                Self::build_indexed(h, pairs, Some(groups), eps, granularity, None, scratch)
-            }
+            GraphImpl::Indexed => Self::build_indexed(
+                h,
+                pairs,
+                Some(groups),
+                eps,
+                granularity,
+                None,
+                ancestor,
+                scratch,
+            ),
             GraphImpl::Naive => Self::for_groups_naive(h, pairs, groups, eps, granularity),
         }
     }
 
     /// Sequential indexed build: one plan, one full-range shard, one
     /// assembly.
+    #[allow(clippy::too_many_arguments)]
     fn build_indexed(
         h: &Hierarchy,
         pairs: &[Pair],
@@ -764,9 +926,10 @@ impl CoverageGraph {
         eps: f64,
         granularity: Granularity,
         weights: Option<&[u64]>,
+        ancestor: AncestorImpl,
         scratch: &mut GraphBuildScratch,
     ) -> Self {
-        let plan = GraphBuildPlan::new(h, pairs, groups, eps);
+        let plan = GraphBuildPlan::new_with(h, pairs, groups, eps, ancestor);
         let shard = plan.shard(h, pairs, 0..pairs.len(), scratch);
         Self::assemble(&plan, granularity, weights, &[shard])
     }

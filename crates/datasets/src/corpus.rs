@@ -180,16 +180,36 @@ impl Corpus {
     /// Every item gets a latent per-aspect quality profile; sentences
     /// sample around it, so summaries have real structure to find
     /// (consistent praise for some aspects, complaints about others).
+    ///
+    /// The aspect pool is every non-root concept — the right default for
+    /// the curated hierarchies. For SNOMED-scale ontologies use
+    /// [`generate_over_aspects`](Self::generate_over_aspects) with a
+    /// sampled pool: per-item profiles are sized by the pool, and a
+    /// 300k-wide profile per item would dwarf the reviews themselves.
     pub fn generate(name: &str, hierarchy: Hierarchy, cfg: &CorpusConfig, seed: u64) -> Corpus {
-        assert!(cfg.items > 0, "corpus needs at least one item");
-        assert!(cfg.min_reviews >= 1 && cfg.min_reviews <= cfg.max_reviews);
-        let mut rng = StdRng::seed_from_u64(seed);
-
         // Aspect pool: all non-root concepts.
         let aspects: Vec<NodeId> = hierarchy
             .nodes()
             .filter(|&n| n != hierarchy.root())
             .collect();
+        Self::generate_over_aspects(name, hierarchy, aspects, cfg, seed)
+    }
+
+    /// [`generate`](Self::generate) with an explicit aspect pool.
+    ///
+    /// The RNG draw sequence depends only on `seed` and the pool, so
+    /// `generate` (which passes all non-root concepts) produces exactly
+    /// the corpora it always did.
+    pub fn generate_over_aspects(
+        name: &str,
+        hierarchy: Hierarchy,
+        aspects: Vec<NodeId>,
+        cfg: &CorpusConfig,
+        seed: u64,
+    ) -> Corpus {
+        assert!(cfg.items > 0, "corpus needs at least one item");
+        assert!(cfg.min_reviews >= 1 && cfg.min_reviews <= cfg.max_reviews);
+        let mut rng = StdRng::seed_from_u64(seed);
         assert!(!aspects.is_empty(), "hierarchy must have non-root concepts");
 
         let mut items = Vec::with_capacity(cfg.items);
@@ -324,6 +344,40 @@ mod tests {
             mean_reviews: 5.0,
             mean_sentences: 4.0,
             aspect_sentence_prob: 0.8,
+        }
+    }
+
+    #[test]
+    fn generate_is_generate_over_aspects_with_the_full_pool() {
+        // The aspect-pool refactor must not move a single RNG draw for
+        // the existing presets: passing all non-root concepts explicitly
+        // reproduces `generate` byte for byte.
+        let h = crate::phone_hierarchy();
+        let aspects: Vec<_> = h.nodes().filter(|&n| n != h.root()).collect();
+        let a = Corpus::generate("cell phone reviews", h.clone(), &small(), 7);
+        let b = Corpus::generate_over_aspects("cell phone reviews", h, aspects, &small(), 7);
+        assert_eq!(a.items.len(), b.items.len());
+        for (x, y) in a.items.iter().zip(&b.items) {
+            assert_eq!(x.reviews.len(), y.reviews.len());
+            for (rx, ry) in x.reviews.iter().zip(&y.reviews) {
+                assert_eq!(rx.text, ry.text);
+                assert_eq!(rx.planted, ry.planted);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_pool_restricts_planted_aspects() {
+        let h = crate::synthetic_ontology(&crate::SyntheticOntologyConfig::default(), 3);
+        let pool: Vec<_> = h.nodes().filter(|&n| n != h.root()).take(32).collect();
+        let c = Corpus::generate_over_aspects("synthetic", h, pool.clone(), &small(), 5);
+        let allowed: std::collections::HashSet<_> = pool.into_iter().collect();
+        for item in &c.items {
+            for r in &item.reviews {
+                for p in &r.planted {
+                    assert!(allowed.contains(&p.concept));
+                }
+            }
         }
     }
 

@@ -56,4 +56,6 @@ pub use pipeline::{
     ExtractImpl, ExtractedItem, ExtractedSentence, Extractor, SentimentModel,
 };
 pub use stats::{table1_stats, Table1Stats};
-pub use synth::{sample_grouped_pairs, sample_pairs, synthetic_ontology, SyntheticOntologyConfig};
+pub use synth::{
+    huge_corpus, sample_grouped_pairs, sample_pairs, synthetic_ontology, SyntheticOntologyConfig,
+};

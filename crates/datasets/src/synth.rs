@@ -12,6 +12,8 @@ use osa_ontology::{Hierarchy, HierarchyBuilder, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::{Corpus, CorpusConfig};
+
 /// Shape of a synthetic ontology.
 #[derive(Debug, Clone, Copy)]
 pub struct SyntheticOntologyConfig {
@@ -75,6 +77,59 @@ pub fn synthetic_ontology(cfg: &SyntheticOntologyConfig, seed: u64) -> Hierarchy
         levels.push(level);
     }
     b.build().expect("synthetic DAG is valid")
+}
+
+impl SyntheticOntologyConfig {
+    /// The `--scale huge` ontology: a 300k-concept, 10-level DAG with
+    /// SNOMED-like multiple inheritance. Too big for the dense ancestor
+    /// closure to be free — the workload the segmented reachability
+    /// index exists for.
+    pub fn huge() -> Self {
+        SyntheticOntologyConfig {
+            nodes: 300_000,
+            levels: 10,
+            multi_parent_prob: 0.15,
+        }
+    }
+}
+
+/// The `--scale huge` corpus: a full review corpus written against a
+/// [`SyntheticOntologyConfig::huge`] 300k-concept ontology.
+///
+/// Review text is generated over a 2048-concept sampled aspect pool —
+/// reviews of one domain only ever mention a sliver of SNOMED, but
+/// extraction, graph construction, and ancestor queries all run against
+/// the full 300k-node hierarchy. Item/review counts are kept small so
+/// the ontology (matcher construction, ancestor indexing), not the text
+/// volume, dominates.
+pub fn huge_corpus(domain: &str, seed: u64) -> Corpus {
+    let h = synthetic_ontology(&SyntheticOntologyConfig::huge(), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4855_4745);
+    let nodes: Vec<NodeId> = h.nodes().filter(|&n| n != h.root()).collect();
+    // Partial Fisher–Yates: the first `pool` slots become a uniform
+    // sample of distinct non-root concepts.
+    let pool = 2048.min(nodes.len());
+    let mut sample = nodes;
+    for i in 0..pool {
+        let j = rng.gen_range(i..sample.len());
+        sample.swap(i, j);
+    }
+    sample.truncate(pool);
+    let cfg = CorpusConfig {
+        items: 8,
+        min_reviews: 15,
+        max_reviews: 60,
+        mean_reviews: 25.0,
+        mean_sentences: 4.0,
+        aspect_sentence_prob: 0.72,
+    };
+    Corpus::generate_over_aspects(
+        &format!("{domain} reviews (huge ontology)"),
+        h,
+        sample,
+        &cfg,
+        seed,
+    )
 }
 
 /// Sample `n` concept-sentiment pairs for one item: concepts drawn from

@@ -1,6 +1,6 @@
 //! Validated incremental construction of [`Hierarchy`] values.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::{Hierarchy, NodeId, OntologyError};
 
@@ -12,12 +12,18 @@ use crate::{Hierarchy, NodeId, OntologyError};
 /// * no directed cycles;
 /// * every node reachable from the root;
 /// * no duplicate node names or duplicate edges.
+///
+/// Edges accumulate in one flat arena (duplicates caught by a hash set),
+/// and [`build`](Self::build) freezes adjacency into CSR arrays in a
+/// single counting pass — no per-node `Vec` is ever allocated, so adding
+/// a node or edge is amortized `O(1)` allocations at SNOMED scale (pinned
+/// by the `hot_loop_allocations` integration test).
 #[derive(Default, Debug, Clone)]
 pub struct HierarchyBuilder {
     names: Vec<String>,
     terms: Vec<Vec<String>>,
-    parents: Vec<Vec<NodeId>>,
-    children: Vec<Vec<NodeId>>,
+    edges: Vec<(NodeId, NodeId)>,
+    edge_set: HashSet<(u32, u32)>,
     by_name: HashMap<String, NodeId>,
     duplicate_name: Option<String>,
 }
@@ -48,8 +54,6 @@ impl HierarchyBuilder {
             ts.push(name.to_owned());
         }
         self.terms.push(ts);
-        self.parents.push(Vec::new());
-        self.children.push(Vec::new());
         id
     }
 
@@ -67,14 +71,13 @@ impl HierarchyBuilder {
         if parent == child {
             return Err(OntologyError::SelfLoop(self.names[parent.index()].clone()));
         }
-        if self.children[parent.index()].contains(&child) {
+        if !self.edge_set.insert((parent.0, child.0)) {
             return Err(OntologyError::DuplicateEdge {
                 parent: self.names[parent.index()].clone(),
                 child: self.names[child.index()].clone(),
             });
         }
-        self.children[parent.index()].push(child);
-        self.parents[child.index()].push(parent);
+        self.edges.push((parent, child));
         Ok(())
     }
 
@@ -102,8 +105,33 @@ impl HierarchyBuilder {
         if n == 0 {
             return Err(OntologyError::Empty);
         }
+
+        // Freeze adjacency into CSR arenas: one counting pass, one
+        // placement pass, preserving per-node insertion order exactly as
+        // the old per-node `Vec` pushes did.
+        let mut parent_off = vec![0u32; n + 1];
+        let mut child_off = vec![0u32; n + 1];
+        for &(p, c) in &self.edges {
+            child_off[p.index() + 1] += 1;
+            parent_off[c.index() + 1] += 1;
+        }
+        for i in 0..n {
+            child_off[i + 1] += child_off[i];
+            parent_off[i + 1] += parent_off[i];
+        }
+        let mut child_dat = vec![NodeId(0); self.edges.len()];
+        let mut parent_dat = vec![NodeId(0); self.edges.len()];
+        let mut ccur = child_off.clone();
+        let mut pcur = parent_off.clone();
+        for &(p, c) in &self.edges {
+            child_dat[ccur[p.index()] as usize] = c;
+            ccur[p.index()] += 1;
+            parent_dat[pcur[c.index()] as usize] = p;
+            pcur[c.index()] += 1;
+        }
+
         let roots: Vec<NodeId> = (0..n)
-            .filter(|&i| self.parents[i].is_empty())
+            .filter(|&i| parent_off[i] == parent_off[i + 1])
             .map(|i| NodeId(i as u32))
             .collect();
         let root = match roots.as_slice() {
@@ -116,9 +144,11 @@ impl HierarchyBuilder {
             }
         };
 
+        let children = |u: usize| &child_dat[child_off[u] as usize..child_off[u + 1] as usize];
+
         // Kahn topological sort detects cycles; BFS from the root computes
         // depths and reachability in one pass.
-        let mut indeg: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
+        let mut indeg: Vec<u32> = (0..n).map(|i| parent_off[i + 1] - parent_off[i]).collect();
         let mut queue: VecDeque<usize> = indeg
             .iter()
             .enumerate()
@@ -128,7 +158,7 @@ impl HierarchyBuilder {
         let mut visited = 0usize;
         while let Some(u) = queue.pop_front() {
             visited += 1;
-            for &c in &self.children[u] {
+            for &c in children(u) {
                 indeg[c.index()] -= 1;
                 if indeg[c.index()] == 0 {
                     queue.push_back(c.index());
@@ -144,7 +174,7 @@ impl HierarchyBuilder {
         depth[root.index()] = 0;
         bfs.push_back(root.index());
         while let Some(u) = bfs.pop_front() {
-            for &c in &self.children[u] {
+            for &c in children(u) {
                 if depth[c.index()] == u32::MAX {
                     depth[c.index()] = depth[u] + 1;
                     bfs.push_back(c.index());
@@ -158,12 +188,16 @@ impl HierarchyBuilder {
         Ok(Hierarchy {
             names: self.names,
             terms: self.terms,
-            parents: self.parents,
-            children: self.children,
+            parent_off,
+            parent_dat,
+            child_off,
+            child_dat,
+            edge_list: self.edges,
             root,
             depth,
             by_name: self.by_name,
             ancestor_index: std::sync::OnceLock::new(),
+            segments: std::sync::OnceLock::new(),
         })
     }
 }

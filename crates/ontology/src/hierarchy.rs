@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::OnceLock;
 
-use crate::{AncestorIndex, AncestorScratch};
+use crate::{AncestorIndex, AncestorScratch, SegmentIndex};
 
 /// Identifier of a concept node inside a [`Hierarchy`].
 ///
@@ -55,8 +55,19 @@ impl fmt::Display for NodeId {
 pub struct Hierarchy {
     pub(crate) names: Vec<String>,
     pub(crate) terms: Vec<Vec<String>>,
-    pub(crate) parents: Vec<Vec<NodeId>>,
-    pub(crate) children: Vec<Vec<NodeId>>,
+    /// Adjacency as CSR arenas (offsets + one flat entry array per
+    /// direction) instead of per-node `Vec`s: construction allocates a
+    /// constant number of arrays regardless of node count, and slice
+    /// access stays `O(1)`.
+    pub(crate) parent_off: Vec<u32>,
+    pub(crate) parent_dat: Vec<NodeId>,
+    pub(crate) child_off: Vec<u32>,
+    pub(crate) child_dat: Vec<NodeId>,
+    /// The original edge insertion sequence, retained verbatim from the
+    /// builder. Replaying it through a fresh builder reproduces this
+    /// hierarchy bit for bit (CSR row orders included) — the contract
+    /// artifact serialization relies on.
+    pub(crate) edge_list: Vec<(NodeId, NodeId)>,
     pub(crate) root: NodeId,
     /// Shortest directed distance from the root, per node.
     pub(crate) depth: Vec<u32>,
@@ -64,6 +75,8 @@ pub struct Hierarchy {
     /// Lazily built ancestor-closure index (see [`AncestorIndex`]).
     /// Computed at most once per hierarchy; cloning clones the cache.
     pub(crate) ancestor_index: OnceLock<AncestorIndex>,
+    /// Lazily built compressed segment index (see [`SegmentIndex`]).
+    pub(crate) segments: OnceLock<SegmentIndex>,
 }
 
 impl Hierarchy {
@@ -100,13 +113,15 @@ impl Hierarchy {
     /// Direct parents (more general concepts) of a node.
     #[inline]
     pub fn parents(&self, n: NodeId) -> &[NodeId] {
-        &self.parents[n.index()]
+        let i = n.index();
+        &self.parent_dat[self.parent_off[i] as usize..self.parent_off[i + 1] as usize]
     }
 
     /// Direct children (more specific concepts) of a node.
     #[inline]
     pub fn children(&self, n: NodeId) -> &[NodeId] {
-        &self.children[n.index()]
+        let i = n.index();
+        &self.child_dat[self.child_off[i] as usize..self.child_off[i + 1] as usize]
     }
 
     /// Shortest directed distance from the root to `n`, in edges.
@@ -206,6 +221,25 @@ impl Hierarchy {
             .get_or_init(|| AncestorIndex::build(self))
     }
 
+    /// The compressed segment index of this hierarchy, built on first use
+    /// and cached for the hierarchy's lifetime (thread-safe). The
+    /// memory-sublinear alternative to [`ancestor_index`]: `O(n)` state,
+    /// `O(log n)` locate per query, no closure ever materialized.
+    ///
+    /// [`ancestor_index`]: Self::ancestor_index
+    pub fn segment_index(&self) -> &SegmentIndex {
+        self.segments.get_or_init(|| SegmentIndex::build(self))
+    }
+
+    /// Seed the segment-index cache with a prebuilt (e.g. deserialized)
+    /// index, skipping the `O(n + e)` build on first query. A no-op when
+    /// the cache is already populated. `index` must describe this very
+    /// hierarchy — artifact loaders validate that via
+    /// [`SegmentIndex::from_parts`] before calling.
+    pub fn prime_segment_index(&self, index: SegmentIndex) {
+        let _ = self.segments.set(index);
+    }
+
     /// [`ancestors_with_dist`](Self::ancestors_with_dist) into
     /// caller-owned buffers: identical output (content *and* BFS
     /// discovery order), but no per-call allocation once `scratch` and
@@ -270,13 +304,27 @@ impl Hierarchy {
 
     /// Number of directed edges.
     pub fn edge_count(&self) -> usize {
-        self.children.iter().map(Vec::len).sum()
+        self.child_dat.len()
+    }
+
+    /// The edges in original insertion order. Feeding these (with the
+    /// nodes in id order) through a [`HierarchyBuilder`] reconstructs an
+    /// identical hierarchy — identical adjacency row orders, hence
+    /// identical topological order and downstream summaries. Serializers
+    /// must persist this sequence rather than re-deriving edges from the
+    /// adjacency.
+    ///
+    /// [`HierarchyBuilder`]: crate::HierarchyBuilder
+    pub fn edge_list(&self) -> &[(NodeId, NodeId)] {
+        &self.edge_list
     }
 
     /// A topological order of the nodes (parents before children).
     pub fn topological_order(&self) -> Vec<NodeId> {
         let n = self.node_count();
-        let mut indeg: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
+        let mut indeg: Vec<usize> = (0..n)
+            .map(|i| (self.parent_off[i + 1] - self.parent_off[i]) as usize)
+            .collect();
         let mut queue: VecDeque<NodeId> = VecDeque::new();
         for (i, &d) in indeg.iter().enumerate() {
             if d == 0 {
@@ -348,6 +396,26 @@ impl Hierarchy {
         for c in kids {
             self.render_rec(c, indent + 1, out);
         }
+    }
+
+    /// Test-only: dent the adjacency by listing `parent -> child` a second
+    /// time, re-encoding both CSR arenas — the builder rejects duplicate
+    /// edges, so regression tests for malformed listings (the PR 3
+    /// `subgraph` class) must inject them in-crate.
+    #[cfg(test)]
+    pub(crate) fn inject_duplicate_edge(&mut self, parent: NodeId, child: NodeId) {
+        fn push_row(off: &mut [u32], dat: &mut Vec<NodeId>, at: NodeId, extra: NodeId) {
+            let end = off[at.index() + 1] as usize;
+            dat.insert(end, extra);
+            for o in off.iter_mut().skip(at.index() + 1) {
+                *o += 1;
+            }
+        }
+        push_row(&mut self.child_off, &mut self.child_dat, parent, child);
+        push_row(&mut self.parent_off, &mut self.parent_dat, child, parent);
+        self.edge_list.push((parent, child));
+        self.ancestor_index = OnceLock::new();
+        self.segments = OnceLock::new();
     }
 }
 
@@ -497,8 +565,7 @@ mod tests {
         bl.add_edge(r, a).unwrap();
         bl.add_edge(a, c).unwrap();
         let mut h = bl.build().unwrap();
-        h.children[r.index()].push(a);
-        h.parents[a.index()].push(r);
+        h.inject_duplicate_edge(r, a);
 
         let sub = h.subgraph(r);
         assert_eq!(sub.node_count(), 3);

@@ -44,6 +44,7 @@ mod builder;
 mod error;
 mod hierarchy;
 pub mod io;
+mod segment;
 mod stats;
 pub mod tsv;
 
@@ -51,4 +52,5 @@ pub use ancestor::{AncestorIndex, AncestorScratch};
 pub use builder::HierarchyBuilder;
 pub use error::OntologyError;
 pub use hierarchy::{Hierarchy, NodeId};
+pub use segment::{AncestorImpl, SegmentIndex, SegmentScratch};
 pub use stats::HierarchyStats;

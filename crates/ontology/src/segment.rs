@@ -1,0 +1,558 @@
+//! Compressed reachability: contiguous topological runs as segments.
+//!
+//! The dense [`AncestorIndex`](crate::AncestorIndex) materializes the full
+//! ancestor closure — `O(n · ancestors)` entries, a quadratic cliff on
+//! SNOMED-scale hierarchies. This module stores the DAG as *segments*:
+//! maximal runs of consecutive positions in one topological order where
+//! each node's only parent is its immediate predecessor (the segmented-DAG
+//! design from git-branchless). Real ontologies are chain-heavy, so the
+//! segment count is far below the node count; locating a node's segment is
+//! one `O(log n)` binary search and an ancestor walk touches only the
+//! ancestor cone — never a precomputed closure.
+//!
+//! [`SegmentIndex::ancestors_with_dist_into`] returns exactly the same
+//! `(ancestor, shortest distance)` set as the dense closure (proved per
+//! node by the `osars check` differential layer and the seeded tests
+//! below), just in a different enumeration order — callers that need a
+//! canonical order sort, as `osa-core` already does.
+
+use std::collections::BinaryHeap;
+
+use crate::{Hierarchy, NodeId};
+
+/// Which ancestor-query implementation the pipeline should use.
+///
+/// `Dense` materializes the transitive closure once per hierarchy
+/// ([`AncestorIndex`](crate::AncestorIndex)) — fastest per query, memory
+/// proportional to the closure, kept as the byte-identical oracle.
+/// `Segmented` walks the compressed [`SegmentIndex`] — `O(n)` memory,
+/// the only viable choice at 300k+ concepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AncestorImpl {
+    /// Precomputed CSR ancestor closure (the oracle).
+    #[default]
+    Dense,
+    /// Compressed segment index; no closure is ever materialized.
+    Segmented,
+}
+
+impl AncestorImpl {
+    /// Parse a CLI/query-string name (`"dense"` / `"segmented"`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "dense" => Some(AncestorImpl::Dense),
+            "segmented" => Some(AncestorImpl::Segmented),
+            _ => None,
+        }
+    }
+
+    /// The canonical name accepted by [`from_name`](Self::from_name).
+    pub fn name(self) -> &'static str {
+        match self {
+            AncestorImpl::Dense => "dense",
+            AncestorImpl::Segmented => "segmented",
+        }
+    }
+}
+
+/// A compressed reachability index over one [`Hierarchy`].
+///
+/// Nodes are laid out in a topological order; a *segment* is a maximal run
+/// of consecutive positions where every non-head node has exactly one
+/// parent, the node at the previous position. Within a segment the parent
+/// relation is implicit (`position - 1`), so only segment *heads* store
+/// explicit parent links. Total memory is `O(n + edges-at-heads)` —
+/// sublinear in the closure size and independent of DAG depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentIndex {
+    /// Topological position → node (parents before children).
+    order: Vec<NodeId>,
+    /// Node → its topological position (inverse of `order`).
+    pos: Vec<u32>,
+    /// First position of each segment, ascending, with a trailing
+    /// `node_count` sentinel; segment `s` spans `starts[s]..starts[s+1]`.
+    starts: Vec<u32>,
+    /// CSR offsets per segment into `par_entries`.
+    par_off: Vec<u32>,
+    /// Parent links of each segment's head node.
+    par_entries: Vec<NodeId>,
+}
+
+/// Reusable buffers for [`SegmentIndex::ancestors_with_dist_into`]: a
+/// dense distance table reset via a touched list plus the traversal heap,
+/// so steady-state queries allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentScratch {
+    dist: Vec<u32>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<(u32, u32)>,
+}
+
+impl SegmentScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SegmentIndex {
+    /// Build the index from a hierarchy in `O(n + e)`.
+    pub fn build(h: &Hierarchy) -> Self {
+        let order = h.topological_order();
+        let n = order.len();
+        let mut pos = vec![0u32; n];
+        for (i, &nd) in order.iter().enumerate() {
+            pos[nd.index()] = i as u32;
+        }
+        let mut starts = Vec::new();
+        let mut par_off = vec![0u32];
+        let mut par_entries = Vec::new();
+        for (p, &nd) in order.iter().enumerate() {
+            let parents = h.parents(nd);
+            // A node continues the current segment only when its sole
+            // parent is the previous position. A duplicated parent
+            // listing (len > 1 even if all entries are equal) breaks the
+            // chain, so malformed multi-listings land on the explicit
+            // head path rather than being silently collapsed.
+            let chained = p > 0 && parents.len() == 1 && parents[0] == order[p - 1];
+            if !chained {
+                starts.push(p as u32);
+                par_entries.extend_from_slice(parents);
+                par_off.push(u32::try_from(par_entries.len()).expect("parent links fit u32"));
+            }
+        }
+        starts.push(n as u32);
+        SegmentIndex {
+            order,
+            pos,
+            starts,
+            par_off,
+            par_entries,
+        }
+    }
+
+    /// Number of nodes covered by the index.
+    pub fn node_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of segments (compression unit count; `<= node_count`).
+    pub fn segment_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total stored array elements — the index's memory weight, the
+    /// segmented counterpart of the dense closure's entry count.
+    pub fn entry_weight(&self) -> usize {
+        self.order.len()
+            + self.pos.len()
+            + self.starts.len()
+            + self.par_off.len()
+            + self.par_entries.len()
+    }
+
+    /// The raw arrays `(order, starts, par_off, par_entries)` for
+    /// serialization (`pos` is derivable from `order`).
+    pub fn parts(&self) -> (&[NodeId], &[u32], &[u32], &[NodeId]) {
+        (&self.order, &self.starts, &self.par_off, &self.par_entries)
+    }
+
+    /// Reassemble an index from serialized [`parts`](Self::parts),
+    /// validating every structural invariant against `h` (position
+    /// permutation, segment bounds, and per-node parent agreement), so a
+    /// stale or mismatched artifact is rejected rather than silently
+    /// answering queries for a different DAG. `O(n + e)`.
+    pub fn from_parts(
+        h: &Hierarchy,
+        order: Vec<NodeId>,
+        starts: Vec<u32>,
+        par_off: Vec<u32>,
+        par_entries: Vec<NodeId>,
+    ) -> Result<Self, &'static str> {
+        let n = h.node_count();
+        if order.len() != n {
+            return Err("segment index order length mismatch");
+        }
+        let mut pos = vec![u32::MAX; n];
+        for (i, &nd) in order.iter().enumerate() {
+            if nd.index() >= n || pos[nd.index()] != u32::MAX {
+                return Err("segment index order is not a permutation");
+            }
+            pos[nd.index()] = i as u32;
+        }
+        let segs = starts.len().saturating_sub(1);
+        if starts.first() != Some(&0)
+            || starts.last() != Some(&(n as u32))
+            || starts.windows(2).any(|w| w[0] >= w[1])
+        {
+            return Err("segment starts must ascend from 0 to node count");
+        }
+        if par_off.len() != segs + 1
+            || par_off[0] != 0
+            || par_off.windows(2).any(|w| w[0] > w[1])
+            || *par_off.last().expect("nonempty") as usize != par_entries.len()
+        {
+            return Err("segment parent offsets are inconsistent");
+        }
+        if par_entries.iter().any(|p| p.index() >= n) {
+            return Err("segment parent link out of range");
+        }
+        let idx = SegmentIndex {
+            order,
+            pos,
+            starts,
+            par_off,
+            par_entries,
+        };
+        // Per-node agreement with the hierarchy: heads carry exactly the
+        // node's parent list, chained nodes have exactly the predecessor.
+        for s in 0..segs {
+            let head = idx.starts[s] as usize;
+            let end = idx.starts[s + 1] as usize;
+            let row = &idx.par_entries[idx.par_off[s] as usize..idx.par_off[s + 1] as usize];
+            if row != h.parents(idx.order[head]) {
+                return Err("segment head parents disagree with hierarchy");
+            }
+            if row.iter().any(|&u| idx.pos[u.index()] >= head as u32) {
+                return Err("segment head parent violates topological order");
+            }
+            for p in head + 1..end {
+                if h.parents(idx.order[p]) != [idx.order[p - 1]] {
+                    return Err("chained node parents disagree with hierarchy");
+                }
+            }
+        }
+        Ok(idx)
+    }
+
+    /// The segment containing position `p`, by binary search — the
+    /// `O(log n)` locate step of every query.
+    #[inline]
+    fn seg_of(&self, p: u32) -> usize {
+        self.starts.partition_point(|&s| s <= p) - 1
+    }
+
+    /// All ancestors of `n` (including `n` at distance 0) with exact
+    /// shortest upward distances, written into `out` using caller-owned
+    /// scratch. Same `(node, dist)` *set* as
+    /// [`Hierarchy::ancestors_with_dist`], enumerated in decreasing
+    /// topological position.
+    ///
+    /// Nodes pop off the max-heap in strictly decreasing position order;
+    /// every path from `n` up to an ancestor `v` runs through positions
+    /// greater than `v`'s, so all of `v`'s in-cone contributors are
+    /// settled before `v` pops and its distance is final at pop time —
+    /// Dijkstra without a decrease-key, `O(cone · log cone)`.
+    pub fn ancestors_with_dist_into(
+        &self,
+        n: NodeId,
+        scratch: &mut SegmentScratch,
+        out: &mut Vec<(NodeId, u32)>,
+    ) {
+        out.clear();
+        let nodes = self.order.len();
+        if scratch.dist.len() < nodes {
+            scratch.dist.resize(nodes, u32::MAX);
+        }
+        let SegmentScratch {
+            dist,
+            touched,
+            heap,
+        } = scratch;
+        touched.clear();
+        debug_assert!(heap.is_empty(), "scratch heap drains every query");
+        dist[n.index()] = 0;
+        touched.push(n.0);
+        heap.push((self.pos[n.index()], n.0));
+        let mut prev_pos = u32::MAX;
+        while let Some((p, v)) = heap.pop() {
+            if p == prev_pos {
+                // Re-pushed on a distance improvement; already settled.
+                continue;
+            }
+            prev_pos = p;
+            let d = dist[v as usize];
+            out.push((NodeId(v), d));
+            let seg = self.seg_of(p);
+            let head = self.starts[seg];
+            if p > head {
+                // Implicit chain edge to the previous position.
+                Self::offer(
+                    &self.pos,
+                    dist,
+                    touched,
+                    heap,
+                    self.order[p as usize - 1],
+                    d + 1,
+                );
+            } else {
+                let row =
+                    &self.par_entries[self.par_off[seg] as usize..self.par_off[seg + 1] as usize];
+                for &u in row {
+                    Self::offer(&self.pos, dist, touched, heap, u, d + 1);
+                }
+            }
+        }
+        // Dense table reset via the touched list keeps the query
+        // O(ancestor cone), independent of the hierarchy size.
+        for &t in touched.iter() {
+            dist[t as usize] = u32::MAX;
+        }
+    }
+
+    #[inline]
+    fn offer(
+        pos: &[u32],
+        dist: &mut [u32],
+        touched: &mut Vec<u32>,
+        heap: &mut BinaryHeap<(u32, u32)>,
+        u: NodeId,
+        nd: u32,
+    ) {
+        let du = &mut dist[u.index()];
+        if *du == u32::MAX {
+            *du = nd;
+            touched.push(u.0);
+            heap.push((pos[u.index()], u.0));
+        } else if nd < *du {
+            *du = nd;
+            heap.push((pos[u.index()], u.0));
+        }
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`ancestors_with_dist_into`](Self::ancestors_with_dist_into).
+    pub fn ancestors_with_dist(&self, n: NodeId) -> Vec<(NodeId, u32)> {
+        let mut scratch = SegmentScratch::new();
+        let mut out = Vec::new();
+        self.ancestors_with_dist_into(n, &mut scratch, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HierarchyBuilder;
+
+    fn sorted(mut v: Vec<(NodeId, u32)>) -> Vec<(NodeId, u32)> {
+        v.sort_unstable();
+        v
+    }
+
+    /// Segmented output must equal both the BFS reference and the dense
+    /// closure for every node.
+    fn assert_matches_oracles(h: &Hierarchy) {
+        let idx = h.segment_index();
+        let dense = h.ancestor_index();
+        let mut scratch = SegmentScratch::new();
+        let mut out = Vec::new();
+        for n in h.nodes() {
+            idx.ancestors_with_dist_into(n, &mut scratch, &mut out);
+            let got = sorted(out.clone());
+            assert_eq!(
+                got,
+                sorted(h.ancestors_with_dist(n)),
+                "bfs mismatch at {n:?}"
+            );
+            assert_eq!(
+                got,
+                sorted(dense.ancestors(n).to_vec()),
+                "closure mismatch at {n:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_ontology() {
+        let mut b = HierarchyBuilder::new();
+        let r = b.add_node("r");
+        let h = b.build().unwrap();
+        let idx = h.segment_index();
+        assert_eq!(idx.segment_count(), 1);
+        assert_eq!(idx.ancestors_with_dist(r), vec![(r, 0)]);
+        assert_matches_oracles(&h);
+    }
+
+    #[test]
+    fn linear_chain_is_one_segment() {
+        let mut b = HierarchyBuilder::new();
+        let mut prev = b.add_node("n0");
+        for i in 1..40 {
+            let cur = b.add_node(&format!("n{i}"));
+            b.add_edge(prev, cur).unwrap();
+            prev = cur;
+        }
+        let h = b.build().unwrap();
+        assert_eq!(h.segment_index().segment_count(), 1);
+        let anc = h.segment_index().ancestors_with_dist(prev);
+        assert_eq!(anc.len(), 40);
+        assert_matches_oracles(&h);
+    }
+
+    #[test]
+    fn star_dag_fans_into_singleton_segments() {
+        let mut b = HierarchyBuilder::new();
+        let r = b.add_node("r");
+        let kids: Vec<_> = (0..50)
+            .map(|i| {
+                let c = b.add_node(&format!("c{i}"));
+                b.add_edge(r, c).unwrap();
+                c
+            })
+            .collect();
+        let h = b.build().unwrap();
+        // The first child chains onto the root's segment; every other
+        // child heads its own singleton segment.
+        assert_eq!(h.segment_index().segment_count(), 50);
+        for &c in &kids {
+            assert_eq!(
+                sorted(h.segment_index().ancestors_with_dist(c)),
+                sorted(vec![(c, 0), (r, 1)])
+            );
+        }
+        assert_matches_oracles(&h);
+    }
+
+    #[test]
+    fn duplicate_child_listings_break_the_chain_safely() {
+        // The PR 3 `subgraph` regression class: a malformed hierarchy
+        // listing the same edge twice. The doubled parent entry must force
+        // a segment head (never an implicit chain) and still yield exact
+        // distances.
+        let mut b = HierarchyBuilder::new();
+        let r = b.add_node("r");
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.add_edge(r, a).unwrap();
+        b.add_edge(a, c).unwrap();
+        let mut h = b.build().unwrap();
+        h.inject_duplicate_edge(r, a);
+        let idx = SegmentIndex::build(&h);
+        let mut scratch = SegmentScratch::new();
+        let mut out = Vec::new();
+        for n in h.nodes() {
+            idx.ancestors_with_dist_into(n, &mut scratch, &mut out);
+            assert_eq!(sorted(out.clone()), sorted(h.ancestors_with_dist(n)));
+        }
+        assert_eq!(
+            sorted(idx.ancestors_with_dist(a)),
+            sorted(vec![(a, 0), (r, 1)])
+        );
+    }
+
+    #[test]
+    fn diamond_takes_shortest_path() {
+        // r -> a -> b -> c and r -> c: dist(r, c) must be 1, not 3.
+        let mut b = HierarchyBuilder::new();
+        let r = b.add_node("r");
+        let a = b.add_node("a");
+        let bb = b.add_node("b");
+        let c = b.add_node("c");
+        b.add_edge(r, a).unwrap();
+        b.add_edge(a, bb).unwrap();
+        b.add_edge(bb, c).unwrap();
+        b.add_edge(r, c).unwrap();
+        let h = b.build().unwrap();
+        let anc = h.segment_index().ancestors_with_dist(c);
+        assert!(anc.contains(&(r, 1)));
+        assert_matches_oracles(&h);
+    }
+
+    #[test]
+    fn seeded_multi_parent_dag_matches_dense_closure_everywhere() {
+        // 10k-node DAG, ~30% of nodes with a second parent, checked
+        // against both oracles for every single node.
+        let n = 10_000u32;
+        let mut b = HierarchyBuilder::new();
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mut ids = vec![b.add_node("n0")];
+        for i in 1..n {
+            let id = b.add_node(&format!("n{i}"));
+            let p1 = ids[next(u64::from(i)) as usize];
+            b.add_edge(p1, id).unwrap();
+            if next(100) < 30 {
+                let p2 = ids[next(u64::from(i)) as usize];
+                if p2 != p1 {
+                    b.add_edge(p2, id).unwrap();
+                }
+            }
+            ids.push(id);
+        }
+        let h = b.build().unwrap();
+        let idx = h.segment_index();
+        assert!(idx.segment_count() < h.node_count(), "chains must compress");
+        let dense = h.ancestor_index();
+        let mut scratch = SegmentScratch::new();
+        let mut out = Vec::new();
+        for node in h.nodes() {
+            idx.ancestors_with_dist_into(node, &mut scratch, &mut out);
+            let got = sorted(out.clone());
+            assert_eq!(
+                got,
+                sorted(dense.ancestors(node).to_vec()),
+                "divergence at {node:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parts_round_trip_and_reject_tampering() {
+        let mut b = HierarchyBuilder::new();
+        b.add_edge_by_name("r", "a").unwrap();
+        b.add_edge_by_name("r", "b").unwrap();
+        b.add_edge_by_name("a", "c").unwrap();
+        b.add_edge_by_name("b", "c").unwrap();
+        let h = b.build().unwrap();
+        let idx = SegmentIndex::build(&h);
+        let (order, starts, par_off, par_entries) = idx.parts();
+        let rebuilt = SegmentIndex::from_parts(
+            &h,
+            order.to_vec(),
+            starts.to_vec(),
+            par_off.to_vec(),
+            par_entries.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, idx);
+
+        let mut bad_order = order.to_vec();
+        bad_order.swap(0, 1);
+        assert!(SegmentIndex::from_parts(
+            &h,
+            bad_order,
+            starts.to_vec(),
+            par_off.to_vec(),
+            par_entries.to_vec()
+        )
+        .is_err());
+
+        let mut bad_starts = starts.to_vec();
+        if bad_starts.len() > 2 {
+            bad_starts.remove(1);
+        }
+        assert!(SegmentIndex::from_parts(
+            &h,
+            order.to_vec(),
+            bad_starts,
+            par_off.to_vec(),
+            par_entries.to_vec()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ancestor_impl_names_round_trip() {
+        for imp in [AncestorImpl::Dense, AncestorImpl::Segmented] {
+            assert_eq!(AncestorImpl::from_name(imp.name()), Some(imp));
+        }
+        assert_eq!(AncestorImpl::from_name("csr"), None);
+        assert_eq!(AncestorImpl::default(), AncestorImpl::Dense);
+    }
+}

@@ -1,0 +1,81 @@
+//! Pins the `HierarchyBuilder` hot-loop allocation fix: adding edges and
+//! freezing a large DAG must perform a bounded number of heap
+//! allocations (flat-arena growth only), never one-or-more per node.
+//!
+//! Before the CSR refactor, every `add_node` allocated two empty
+//! `Vec<NodeId>`s and every `add_edge` could regrow two per-node vectors
+//! — `O(n)` allocations for the adjacency alone. The arena builder does
+//! a constant number of array allocations regardless of scale.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use osa_ontology::HierarchyBuilder;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn hot_loop_allocations_are_bounded_at_scale() {
+    // A 50k-node multi-parent DAG — larger than the `--scale large`
+    // ontology — built with a deterministic LCG.
+    let n: u32 = 50_000;
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut next = move |m: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % m
+    };
+
+    let mut b = HierarchyBuilder::new();
+    let ids: Vec<_> = (0..n).map(|i| b.add_node(&format!("n{i}"))).collect();
+
+    // Node names/terms inherently allocate per node; the hot loop under
+    // test is edge insertion plus `build()`.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut edges = 0u64;
+    for i in 1..n as usize {
+        b.add_edge(ids[next(i as u64) as usize], ids[i]).unwrap();
+        edges += 1;
+        if next(100) < 20 {
+            let p2 = next(i as u64) as usize;
+            if b.add_edge(ids[p2], ids[i]).is_ok() {
+                edges += 1;
+            }
+        }
+    }
+    let h = b.build().unwrap();
+    let spent = ALLOCS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(h.node_count(), n as usize);
+    assert_eq!(h.edge_count(), edges as usize);
+    // ~60k edges: flat-vec + hash-set doubling plus a constant number of
+    // arrays in build() lands well under 500 allocations. The per-node
+    // regime this guards against would spend 100k+ here.
+    assert!(
+        spent < 2_000,
+        "edge loop + build allocated {spent} times for {edges} edges; \
+         expected bounded arena growth, not per-node allocation"
+    );
+}

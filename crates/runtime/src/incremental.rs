@@ -99,6 +99,24 @@ impl ItemArtifacts {
         scratch: &mut WorkerScratch,
     ) -> Self {
         let extracted = extractor.extract(item, opts.extract_impl, &mut scratch.extract);
+        Self::from_extracted(hierarchy, opts, item, extracted, scratch)
+    }
+
+    /// Build artifacts from an **already extracted** item — the artifact
+    /// cold-boot path: `osars serve --artifacts` deserializes every
+    /// item's `ExtractedItem` from the compiled store and seeds the
+    /// per-item caches without re-running extraction (extraction is the
+    /// dominant boot cost; this is what makes an artifact boot I/O-bound).
+    /// `extracted` must be the full extraction of `item.reviews` —
+    /// extraction bytes are impl-invariant, so artifacts written by either
+    /// extract impl are valid seeds.
+    pub fn from_extracted(
+        hierarchy: &Hierarchy,
+        opts: &BatchOptions,
+        item: &Item,
+        extracted: ExtractedItem,
+        scratch: &mut WorkerScratch,
+    ) -> Self {
         let graph = Self::fresh_graph(hierarchy, &extracted, opts, scratch);
         ItemArtifacts {
             reviews: item.reviews.len(),
@@ -117,7 +135,13 @@ impl ItemArtifacts {
             return None;
         }
         let groups = groups_of(ex, opts.granularity);
-        let plan = GraphBuildPlan::new(hierarchy, &ex.pairs, Some(&groups), opts.eps);
+        let plan = GraphBuildPlan::new_with(
+            hierarchy,
+            &ex.pairs,
+            Some(&groups),
+            opts.eps,
+            opts.ancestor_impl,
+        );
         let shard = plan.shard(
             hierarchy,
             &ex.pairs,
@@ -250,30 +274,33 @@ impl ItemArtifacts {
                     std::slice::from_ref(&g.shard),
                 ),
                 _ => match opts.granularity {
-                    Granularity::Pairs => CoverageGraph::for_weighted_pairs_with(
+                    Granularity::Pairs => CoverageGraph::for_weighted_pairs_with_ancestor(
                         hierarchy,
                         pair_buf,
                         weight_buf,
                         opts.eps,
                         opts.graph_impl,
+                        opts.ancestor_impl,
                         graph_build,
                     ),
-                    Granularity::Sentences => CoverageGraph::for_groups_with(
+                    Granularity::Sentences => CoverageGraph::for_groups_with_ancestor(
                         hierarchy,
                         &ex.pairs,
                         &ex.sentence_groups(),
                         opts.eps,
                         Granularity::Sentences,
                         opts.graph_impl,
+                        opts.ancestor_impl,
                         graph_build,
                     ),
-                    Granularity::Reviews => CoverageGraph::for_groups_with(
+                    Granularity::Reviews => CoverageGraph::for_groups_with_ancestor(
                         hierarchy,
                         &ex.pairs,
                         &ex.review_groups(),
                         opts.eps,
                         Granularity::Reviews,
                         opts.graph_impl,
+                        opts.ancestor_impl,
                         graph_build,
                     ),
                 },

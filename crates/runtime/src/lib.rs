@@ -41,7 +41,7 @@ use osa_core::{
 };
 use osa_datasets::{Corpus, ExtractImpl, Extractor};
 use osa_eval::{LatencyHistogram, Stopwatch};
-use osa_ontology::{Hierarchy, NodeId};
+use osa_ontology::{AncestorImpl, Hierarchy, NodeId};
 use osa_text::ExtractScratch;
 
 /// Upper bound on the resolved worker count: more threads than this only
@@ -72,7 +72,36 @@ pub const PAR_BUILD_MIN_PAIRS: usize = 1024;
 /// ranges, merged in order — byte-identical to the sequential (and
 /// naive) build for any `jobs`.
 pub fn par_for_pairs(h: &Hierarchy, pairs: &[Pair], eps: f64, jobs: usize) -> CoverageGraph {
-    par_build(h, pairs, None, eps, Granularity::Pairs, None, jobs)
+    par_build(
+        h,
+        pairs,
+        None,
+        eps,
+        Granularity::Pairs,
+        None,
+        AncestorImpl::Dense,
+        jobs,
+    )
+}
+
+/// [`par_for_pairs`] with an explicit ancestor-index implementation.
+pub fn par_for_pairs_ancestor(
+    h: &Hierarchy,
+    pairs: &[Pair],
+    eps: f64,
+    ancestor: AncestorImpl,
+    jobs: usize,
+) -> CoverageGraph {
+    par_build(
+        h,
+        pairs,
+        None,
+        eps,
+        Granularity::Pairs,
+        None,
+        ancestor,
+        jobs,
+    )
 }
 
 /// Parallel [`CoverageGraph::for_weighted_pairs`].
@@ -84,7 +113,16 @@ pub fn par_for_weighted_pairs(
     jobs: usize,
 ) -> CoverageGraph {
     assert_eq!(pairs.len(), weights.len(), "one weight per pair");
-    par_build(h, pairs, None, eps, Granularity::Pairs, Some(weights), jobs)
+    par_build(
+        h,
+        pairs,
+        None,
+        eps,
+        Granularity::Pairs,
+        Some(weights),
+        AncestorImpl::Dense,
+        jobs,
+    )
 }
 
 /// Parallel [`CoverageGraph::for_groups`].
@@ -96,7 +134,38 @@ pub fn par_for_groups(
     granularity: Granularity,
     jobs: usize,
 ) -> CoverageGraph {
-    par_build(h, pairs, Some(groups), eps, granularity, None, jobs)
+    par_build(
+        h,
+        pairs,
+        Some(groups),
+        eps,
+        granularity,
+        None,
+        AncestorImpl::Dense,
+        jobs,
+    )
+}
+
+/// [`par_for_groups`] with an explicit ancestor-index implementation.
+pub fn par_for_groups_ancestor(
+    h: &Hierarchy,
+    pairs: &[Pair],
+    groups: &[Vec<usize>],
+    eps: f64,
+    granularity: Granularity,
+    ancestor: AncestorImpl,
+    jobs: usize,
+) -> CoverageGraph {
+    par_build(
+        h,
+        pairs,
+        Some(groups),
+        eps,
+        granularity,
+        None,
+        ancestor,
+        jobs,
+    )
 }
 
 /// Shared driver of the `par_for_*` builders: plan once, shard pass 2
@@ -112,19 +181,20 @@ fn par_build(
     eps: f64,
     granularity: Granularity,
     weights: Option<&[u64]>,
+    ancestor: AncestorImpl,
     jobs: usize,
 ) -> CoverageGraph {
     let n = pairs.len();
     let jobs = effective_jobs(jobs);
     if jobs == 1 || n < PAR_BUILD_MIN_PAIRS {
-        let plan = GraphBuildPlan::new(h, pairs, groups, eps);
+        let plan = GraphBuildPlan::new_with(h, pairs, groups, eps, ancestor);
         let shard = plan.shard(h, pairs, 0..n, &mut GraphBuildScratch::new());
         return CoverageGraph::assemble(&plan, granularity, weights, &[shard]);
     }
-    // Build the closure before fan-out so workers share the cached index
+    // Build the index before fan-out so workers share the cached value
     // instead of racing to compute it (OnceLock would serialize them).
-    let _ = h.ancestor_index();
-    let plan = GraphBuildPlan::new(h, pairs, groups, eps);
+    warm_ancestor_index(h, ancestor);
+    let plan = GraphBuildPlan::new_with(h, pairs, groups, eps, ancestor);
     // More chunks than workers smooths out skew (deep concepts, wide
     // windows) without hurting determinism: assembly is by range order.
     // Re-deriving `chunks` from the rounded-up `per` is load-bearing:
@@ -139,6 +209,21 @@ fn par_build(
         plan.shard(h, pairs, range, scratch)
     });
     CoverageGraph::assemble(&plan, granularity, weights, &shards)
+}
+
+/// Pre-warm the hierarchy's cached ancestor index for `ancestor` so a
+/// subsequent worker fan-out shares it instead of serializing on the
+/// `OnceLock` initialization. Only the selected index is built — a
+/// segmented run never materializes the dense closure.
+pub fn warm_ancestor_index(h: &Hierarchy, ancestor: AncestorImpl) {
+    match ancestor {
+        AncestorImpl::Dense => {
+            let _ = h.ancestor_index();
+        }
+        AncestorImpl::Segmented => {
+            let _ = h.segment_index();
+        }
+    }
 }
 
 /// Run `shard_fn` over chunk indices `0..chunks` on `jobs` worker
@@ -862,6 +947,11 @@ pub struct BatchOptions {
     pub corpus_seed: u64,
     /// Coverage-graph builder (indexed by default; naive as an oracle).
     pub graph_impl: GraphImpl,
+    /// Ancestor-index implementation the indexed builder walks (dense
+    /// closure by default; segmented for SNOMED-scale hierarchies).
+    /// Byte-identical output either way — the `osars check` ancestor
+    /// axis enforces it.
+    pub ancestor_impl: AncestorImpl,
     /// Extraction implementation (interned by default; naive as an
     /// oracle).
     pub extract_impl: ExtractImpl,
@@ -884,6 +974,7 @@ impl Default for BatchOptions {
             algorithm: BatchAlgorithm::Greedy,
             corpus_seed: 42,
             graph_impl: GraphImpl::Indexed,
+            ancestor_impl: AncestorImpl::Dense,
             extract_impl: ExtractImpl::Interned,
             fault_plan: None,
             retries: 1,
@@ -943,9 +1034,9 @@ fn summarize_corpus_inner(
     let extractor = Extractor::from_hierarchy(&corpus.hierarchy);
     let items: Vec<_> = corpus.indexed_items().collect();
     let solve_span = opts.algorithm.span_name();
-    // Warm the shared ancestor-closure cache before fan-out so workers
+    // Warm the shared ancestor-index cache before fan-out so workers
     // don't serialize on the `OnceLock` initialization.
-    let _ = corpus.hierarchy.ancestor_index();
+    warm_ancestor_index(&corpus.hierarchy, opts.ancestor_impl);
 
     // When traced, each invocation builds a fresh request-scoped trace
     // (id = item index) whose root span wraps the whole pipeline; a
@@ -1145,30 +1236,33 @@ fn summarize_item(
     let (graph, graph_us) = {
         let _tspan = trace.map(|t| t.span("graph.build"));
         let (graph, us) = obs.time("graph.build", || match opts.granularity {
-            Granularity::Pairs => CoverageGraph::for_weighted_pairs_with(
+            Granularity::Pairs => CoverageGraph::for_weighted_pairs_with_ancestor(
                 &corpus.hierarchy,
                 pair_buf,
                 weight_buf,
                 opts.eps,
                 opts.graph_impl,
+                opts.ancestor_impl,
                 graph_build,
             ),
-            Granularity::Sentences => CoverageGraph::for_groups_with(
+            Granularity::Sentences => CoverageGraph::for_groups_with_ancestor(
                 &corpus.hierarchy,
                 &ex.pairs,
                 &ex.sentence_groups(),
                 opts.eps,
                 Granularity::Sentences,
                 opts.graph_impl,
+                opts.ancestor_impl,
                 graph_build,
             ),
-            Granularity::Reviews => CoverageGraph::for_groups_with(
+            Granularity::Reviews => CoverageGraph::for_groups_with_ancestor(
                 &corpus.hierarchy,
                 &ex.pairs,
                 &ex.review_groups(),
                 opts.eps,
                 Granularity::Reviews,
                 opts.graph_impl,
+                opts.ancestor_impl,
                 graph_build,
             ),
         });

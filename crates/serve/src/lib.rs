@@ -85,9 +85,9 @@ use std::time::{Duration, Instant};
 use http::{read_request, write_response, ParseError, Request};
 use lru::LruCache;
 use osa_core::{Granularity, GraphImpl};
-use osa_datasets::{Corpus, ExtractImpl, Extractor, Item, Review};
+use osa_datasets::{Corpus, ExtractImpl, ExtractedItem, Extractor, Item, Review};
 use osa_obs::{Trace, TraceTree};
-use osa_ontology::Hierarchy;
+use osa_ontology::{AncestorImpl, Hierarchy};
 use osa_runtime::incremental::ItemArtifacts;
 use osa_runtime::{
     effective_jobs, injected_panic, panic_message, render_item_summary, BatchAlgorithm,
@@ -159,8 +159,86 @@ struct ItemVersion {
     /// Per-item revision counter; starts at 0, +1 per ingest to this
     /// item. Part of every cache key.
     rev: u64,
-    item: Item,
+    source: ItemSource,
     artifacts: OnceLock<Arc<ItemArtifacts>>,
+}
+
+/// Where an [`ItemVersion`]'s reviews (and, for artifact boots, its
+/// extraction output) come from.
+enum ItemSource {
+    /// Materialized reviews, plus the stored extraction output when the
+    /// daemon booted from an eagerly decoded artifact. `preextracted` is
+    /// consumed (cloned) by the first artifact build of this revision —
+    /// the artifact cold-boot path skips the extraction pass entirely.
+    /// Always `None` after an ingest (appended reviews are re-extracted
+    /// incrementally anyway).
+    Ready {
+        item: Item,
+        preextracted: Option<ExtractedItem>,
+    },
+    /// An undecoded block inside a compiled artifact (`serve
+    /// --artifacts` lazy boot). Decoded at most once, on first touch —
+    /// boot never pays a per-review decode, and an item nobody requests
+    /// is never materialized.
+    Lazy {
+        store: osa_artifact::ItemStore,
+        index: usize,
+        cell: OnceLock<(Item, ExtractedItem)>,
+    },
+}
+
+impl ItemVersion {
+    /// This version's reviews, decoding the artifact block on first
+    /// touch for lazy boots.
+    fn item(&self) -> &Item {
+        match &self.source {
+            ItemSource::Ready { item, .. } => item,
+            ItemSource::Lazy { .. } => &self.materialized().0,
+        }
+    }
+
+    /// Materialized `(item, extraction)` for a lazy source. The whole
+    /// payload was checksum-verified at open, so a block failing to
+    /// decode here is an encoder bug; the panic stays inside the
+    /// panic-isolated worker (the request answers 500).
+    fn materialized(&self) -> &(Item, ExtractedItem) {
+        let ItemSource::Lazy { store, index, cell } = &self.source else {
+            unreachable!("materialized() is only called on lazy sources");
+        };
+        cell.get_or_init(|| {
+            store
+                .item(*index)
+                .expect("checksum-verified artifact block decodes")
+        })
+    }
+
+    /// This revision's pipeline artifacts, built at most once: from the
+    /// stored extraction output when present (artifact boots, eager or
+    /// lazy), otherwise through the full extraction pipeline.
+    fn artifacts(
+        &self,
+        hierarchy: &Hierarchy,
+        extractor: &Extractor,
+        opts: &BatchOptions,
+        scratch: &mut WorkerScratch,
+    ) -> &Arc<ItemArtifacts> {
+        self.artifacts.get_or_init(|| {
+            Arc::new(match &self.source {
+                ItemSource::Ready {
+                    item,
+                    preextracted: Some(ex),
+                } => ItemArtifacts::from_extracted(hierarchy, opts, item, ex.clone(), scratch),
+                ItemSource::Ready {
+                    item,
+                    preextracted: None,
+                } => ItemArtifacts::build(hierarchy, extractor, opts, item, scratch),
+                ItemSource::Lazy { .. } => {
+                    let (item, ex) = self.materialized();
+                    ItemArtifacts::from_extracted(hierarchy, opts, item, ex.clone(), scratch)
+                }
+            })
+        })
+    }
 }
 
 /// One immutable versioned snapshot. `POST /reviews` builds a successor
@@ -179,26 +257,79 @@ struct EpochState {
 }
 
 impl EpochState {
-    /// Boot-time snapshot: every item at revision 0.
-    fn new(corpus: Corpus, extractor: Extractor) -> Self {
-        // Warm the ancestor closure before the state becomes visible, so
-        // no request pays the one-off index build.
-        let _ = corpus.hierarchy.ancestor_index();
+    /// Boot-time snapshot: every item at revision 0. `preextracted`
+    /// (from a compiled artifact) seeds each item's extraction output so
+    /// no boot-path request ever runs the extraction pipeline.
+    fn new(
+        corpus: Corpus,
+        extractor: Extractor,
+        preextracted: Option<Vec<ExtractedItem>>,
+        ancestor: AncestorImpl,
+    ) -> Self {
+        // Warm the selected ancestor index before the state becomes
+        // visible, so no request pays the one-off build. Under the
+        // segmented impl with an artifact boot this is a cache hit —
+        // the decoder primed the segment index already.
+        osa_runtime::warm_ancestor_index(&corpus.hierarchy, ancestor);
         let Corpus {
             name,
             hierarchy,
             items,
         } = corpus;
+        let mut pre: Vec<Option<ExtractedItem>> = match preextracted {
+            Some(v) => {
+                assert_eq!(v.len(), items.len(), "one ExtractedItem per item");
+                v.into_iter().map(Some).collect()
+            }
+            None => (0..items.len()).map(|_| None).collect(),
+        };
         EpochState {
             name,
             hierarchy: Arc::new(hierarchy),
             extractor: Arc::new(extractor),
             items: items
                 .into_iter()
-                .map(|item| {
+                .zip(pre.iter_mut())
+                .map(|(item, pre)| {
                     Arc::new(ItemVersion {
                         rev: 0,
-                        item,
+                        source: ItemSource::Ready {
+                            item,
+                            preextracted: pre.take(),
+                        },
+                        artifacts: OnceLock::new(),
+                    })
+                })
+                .collect(),
+            version: 0,
+        }
+    }
+
+    /// Boot-time snapshot over a lazily opened artifact: every item at
+    /// revision 0 pointing at its undecoded block. Boot cost is the
+    /// artifact's prelude (hierarchy + primed segment index + block
+    /// table) — independent of review volume.
+    fn new_lazy(artifact: osa_artifact::LazyArtifact, ancestor: AncestorImpl) -> Self {
+        let osa_artifact::LazyArtifact {
+            hierarchy,
+            corpus_name,
+            store,
+        } = artifact;
+        osa_runtime::warm_ancestor_index(&hierarchy, ancestor);
+        let extractor = Extractor::from_hierarchy(&hierarchy);
+        EpochState {
+            name: corpus_name,
+            hierarchy: Arc::new(hierarchy),
+            extractor: Arc::new(extractor),
+            items: (0..store.len())
+                .map(|index| {
+                    Arc::new(ItemVersion {
+                        rev: 0,
+                        source: ItemSource::Lazy {
+                            store: store.clone(),
+                            index,
+                            cell: OnceLock::new(),
+                        },
                         artifacts: OnceLock::new(),
                     })
                 })
@@ -220,6 +351,7 @@ struct CacheKey {
     algo: &'static str,
     granularity: u8,
     graph: u8,
+    ancestor: u8,
     extract: u8,
 }
 
@@ -232,6 +364,7 @@ fn cache_key(p: &SummaryParams, rev: u64) -> CacheKey {
         algo: p.opts.algorithm.name(),
         granularity: p.opts.granularity as u8,
         graph: p.opts.graph_impl as u8,
+        ancestor: p.opts.ancestor_impl as u8,
         extract: p.opts.extract_impl as u8,
     }
 }
@@ -384,6 +517,20 @@ impl Drop for ServerHandle {
 ///
 /// Enables the global `osa-obs` registry so `GET /metrics` has data.
 pub fn serve(corpus: Corpus, addr: &str, opts: ServeOptions) -> std::io::Result<ServerHandle> {
+    serve_prepared(corpus, None, addr, opts)
+}
+
+/// [`serve`], but optionally booting from a compiled artifact's
+/// pre-extracted items (`osars serve --artifacts`). With `preextracted`
+/// present the daemon never runs the extraction pipeline at boot: cache
+/// warm-up and first-touch requests start from the stored
+/// [`ExtractedItem`]s, which is what makes artifact cold-start I/O-bound.
+pub fn serve_prepared(
+    corpus: Corpus,
+    preextracted: Option<Vec<ExtractedItem>>,
+    addr: &str,
+    opts: ServeOptions,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let bound = listener.local_addr()?;
     osa_obs::global().set_enabled(true);
@@ -391,11 +538,51 @@ pub fn serve(corpus: Corpus, addr: &str, opts: ServeOptions) -> std::io::Result<
     let extractor = Extractor::from_hierarchy(&corpus.hierarchy);
     let workers = effective_jobs(opts.workers);
     let mut cache = LruCache::new(opts.cache_capacity);
-    if opts.warm && opts.cache_capacity > 0 {
+    let warm = opts.warm && opts.cache_capacity > 0;
+    if warm && preextracted.is_none() {
         warm_cache(&corpus, &opts, workers, &mut cache);
     }
-    let state = Arc::new(EpochState::new(corpus, extractor));
+    let ancestor = opts.defaults.ancestor_impl;
+    let state = Arc::new(EpochState::new(corpus, extractor, preextracted, ancestor));
+    launch(listener, bound, state, cache, warm, opts)
+}
+
+/// [`serve`], but booting from a lazily opened compiled artifact
+/// (`osars serve --artifacts`). Boot decodes only the artifact prelude
+/// — hierarchy, primed segment index, block table — so cold start is
+/// one sequential read regardless of review volume; each item's block
+/// is decoded on first request. With `--warm` the cache pre-fill
+/// touches every block, trading the lazy boot back for a hot cache.
+pub fn serve_artifact(
+    artifact: osa_artifact::LazyArtifact,
+    addr: &str,
+    opts: ServeOptions,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    osa_obs::global().set_enabled(true);
+
+    let cache = LruCache::new(opts.cache_capacity);
+    let warm = opts.warm && opts.cache_capacity > 0;
+    let state = Arc::new(EpochState::new_lazy(artifact, opts.defaults.ancestor_impl));
+    launch(listener, bound, state, cache, warm, opts)
+}
+
+/// Shared tail of every boot path: optional prepared-state cache
+/// warm-up, then the worker pool, sampler, and accept loop.
+fn launch(
+    listener: TcpListener,
+    bound: std::net::SocketAddr,
+    state: Arc<EpochState>,
+    mut cache: LruCache<CacheKey, String>,
+    warm: bool,
+    opts: ServeOptions,
+) -> std::io::Result<ServerHandle> {
+    let workers = effective_jobs(opts.workers);
     let artifact_opts = artifact_signature(&opts.defaults);
+    if warm && cache.is_empty() {
+        warm_cache_prepared(&state, &artifact_opts, &opts, &mut cache);
+    }
     // Fixed recorder seed: the retained healthy-traffic sample is a
     // deterministic function of the request sequence, which keeps the
     // smoke tests reproducible.
@@ -521,6 +708,46 @@ fn warm_cache(
     }
 }
 
+/// [`warm_cache`] for an artifact boot: summarize every item from its
+/// pre-extracted payload instead of re-running the batch pipeline, so the
+/// warm-up stays extraction-free. Produces byte-identical cache entries.
+fn warm_cache_prepared(
+    state: &EpochState,
+    artifact_opts: &BatchOptions,
+    opts: &ServeOptions,
+    cache: &mut LruCache<CacheKey, String>,
+) {
+    let mut batch_opts = opts.defaults.clone();
+    batch_opts.jobs = 1;
+    batch_opts.fault_plan = None;
+    let params = SummaryParams {
+        item: 0,
+        opts: batch_opts,
+        inject: Inject::None,
+    };
+    let mut scratch = WorkerScratch::new();
+    for (idx, iv) in state.items.iter().enumerate() {
+        let artifacts = iv.artifacts(
+            &state.hierarchy,
+            &state.extractor,
+            artifact_opts,
+            &mut scratch,
+        );
+        let summary = artifacts.summarize(
+            &state.hierarchy,
+            &params.opts,
+            idx,
+            iv.item(),
+            &mut scratch,
+            None,
+        );
+        let mut p = params.clone();
+        p.item = idx;
+        let key = cache_key(&p, 0);
+        cache.insert(key, summary_body(&summary, &p, 0));
+    }
+}
+
 /// Install a process-wide panic hook that silences deliberately
 /// injected panics (`inject=panic` requests, fault-plan panics) — the
 /// daemon answers 500 for those by design, and a backtrace per poisoned
@@ -607,20 +834,17 @@ fn compute(
         // shared; the summarize path reuses the cached extraction and
         // (for the artifact signature) the mergeable graph state, and
         // is byte-identical to the from-scratch batch pipeline.
-        let artifacts = iv.artifacts.get_or_init(|| {
-            Arc::new(ItemArtifacts::build(
-                &state.hierarchy,
-                &state.extractor,
-                &shared.artifact_opts,
-                &iv.item,
-                scratch,
-            ))
-        });
+        let artifacts = iv.artifacts(
+            &state.hierarchy,
+            &state.extractor,
+            &shared.artifact_opts,
+            scratch,
+        );
         artifacts.summarize(
             &state.hierarchy,
             &params.opts,
             params.item,
-            &iv.item,
+            iv.item(),
             scratch,
             trace,
         )
@@ -923,6 +1147,10 @@ fn parse_summary_params(
     if let Some(ei) = req.query_param("extract-impl") {
         opts.extract_impl = ExtractImpl::from_name(ei)
             .ok_or_else(|| HttpError::new(400, format!("unknown extract impl '{ei}'")))?;
+    }
+    if let Some(ai) = req.query_param("ancestor-impl") {
+        opts.ancestor_impl = AncestorImpl::from_name(ai)
+            .ok_or_else(|| HttpError::new(400, format!("unknown ancestor impl '{ai}'")))?;
     }
     let inject = match req.query_param("inject") {
         None => Inject::None,
@@ -1290,7 +1518,7 @@ fn ingest(req: &Request, shared: &Shared) -> Result<(usize, usize, u64), HttpErr
 
     // Build the successor: clone the one edited item, leave every other
     // `ItemVersion` shared by `Arc`.
-    let mut new_item = prev.item.clone();
+    let mut new_item = prev.item().clone();
     let added = texts.len();
     for t in texts {
         new_item.reviews.push(Review {
@@ -1324,7 +1552,10 @@ fn ingest(req: &Request, shared: &Shared) -> Result<(usize, usize, u64), HttpErr
     let mut items = current.items.clone();
     items[item] = Arc::new(ItemVersion {
         rev,
-        item: new_item,
+        source: ItemSource::Ready {
+            item: new_item,
+            preextracted: None,
+        },
         artifacts,
     });
     let next = Arc::new(EpochState {
@@ -1379,6 +1610,9 @@ mod tests {
         assert_ne!(k0, cache_key(&other, 0));
         let mut other = base.clone();
         other.opts.graph_impl = GraphImpl::Naive;
+        assert_ne!(k0, cache_key(&other, 0));
+        let mut other = base.clone();
+        other.opts.ancestor_impl = AncestorImpl::Segmented;
         assert_ne!(k0, cache_key(&other, 0));
         let mut other = base;
         other.opts.extract_impl = ExtractImpl::Naive;

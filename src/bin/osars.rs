@@ -1,20 +1,23 @@
 //! `osars` — command-line interface to the review summarizer.
 //!
 //! ```text
-//! osars generate      --domain doctors|phones [--scale small|full|large] [--seed N] --out FILE
+//! osars generate      --domain doctors|phones [--scale small|full|large|huge] [--seed N] --out FILE
 //! osars stats         --corpus FILE
 //! osars hierarchy     --corpus FILE
-//! osars summarize     (--corpus FILE | --domain D) [--item I] [--k K] [--eps E]
+//! osars compile       (--corpus FILE | --domain D) --out FILE [--extract-impl I]
+//! osars summarize     (--corpus FILE | --domain D | --artifacts FILE) [--item I] [--k K] [--eps E]
 //!                     [--granularity pairs|sentences|reviews]
 //!                     [--algorithm greedy|lazy|ilp|rr|local-search]
 //!                     [--graph-impl indexed|naive] [--extract-impl interned|naive]
+//!                     [--ancestor-impl dense|segmented]
 //!                     [--jobs N] [--metrics FILE] [--trace] [--trace-out FILE]
 //! osars evaluate      (--corpus FILE | --domain D) [--k K] [--eps E] [--items N]
 //!                     [--extract-impl interned|naive] [--metrics FILE] [--trace]
-//! osars check         [--seed N] [--cases N] [--faults] [--case-out FILE]
-//!                     [--replay FILE]
+//! osars check         [--seed N] [--cases N] [--faults] [--ancestor-impl I]
+//!                     [--case-out FILE] [--replay FILE]
 //! osars check-metrics --metrics FILE
-//! osars serve         (--corpus FILE | --domain D) [--addr HOST:PORT]
+//! osars bench-ontology [--nodes N] [--levels N] [--pairs N] [--out FILE]
+//! osars serve         (--corpus FILE | --domain D | --artifacts FILE) [--addr HOST:PORT]
 //!                     [--workers N] [--queue-depth N] [--deadline-ms N]
 //!                     [--cache N] [--warm] [--slow-ms N] [--k K] [--eps E] [...]
 //! osars loadgen       --addr HOST:PORT [--conns C] [--rps N]
@@ -46,9 +49,10 @@ use osars::datasets::{
 };
 use osars::eval::{sent_err, sent_err_penalized};
 use osars::obs::{JsonlSink, Sink, StderrSink, TeeSink};
+use osars::ontology::AncestorImpl;
 use osars::runtime::{
-    par_for_groups, par_for_pairs, summarize_corpus, summarize_corpus_traced, BatchAlgorithm,
-    BatchJob, BatchOptions,
+    par_for_groups_ancestor, par_for_pairs_ancestor, summarize_corpus, summarize_corpus_traced,
+    BatchAlgorithm, BatchJob, BatchOptions,
 };
 use osars::text::ExtractScratch;
 
@@ -78,7 +82,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "evaluate" => with_obs(&flags, cmd_evaluate),
         "check" => with_obs(&flags, cmd_check),
         "check-metrics" => cmd_check_metrics(&flags),
+        "compile" => with_obs(&flags, cmd_compile),
         "bench-incremental" => cmd_bench_incremental(&flags),
+        "bench-ontology" => cmd_bench_ontology(&flags),
         "serve" => cmd_serve(&flags),
         "loadgen" => cmd_loadgen(&flags),
         "help" | "--help" | "-h" => {
@@ -94,14 +100,18 @@ fn print_help() {
         "osars — ontology- and sentiment-aware review summarization
 
 USAGE:
-  osars generate      --domain doctors|phones [--scale small|full|large] [--seed N] --out FILE
+  osars generate      --domain doctors|phones [--scale small|full|large|huge] [--seed N] --out FILE
   osars stats         --corpus FILE
   osars hierarchy     --corpus FILE
-  osars summarize     (--corpus FILE | --domain doctors|phones [--scale small|full|large] [--seed N])
+  osars compile       (--corpus FILE | --domain D [--scale S] [--seed N])
+                      --out FILE [--extract-impl interned|naive]
+  osars summarize     (--corpus FILE | --domain doctors|phones [--scale small|full|large|huge] [--seed N]
+                       | --artifacts FILE)
                       [--item I|all] [--k K] [--eps E]
                       [--granularity pairs|sentences|reviews]
                       [--algorithm greedy|lazy|ilp|rr|local-search]
                       [--graph-impl indexed|naive] [--extract-impl interned|naive]
+                      [--ancestor-impl dense|segmented]
                       [--focus CONCEPT] [--explain true] [--jobs N]
                       [--metrics FILE] [--trace] [--trace-out FILE]
   osars evaluate      (--corpus FILE | --domain D [--scale S] [--seed N])
@@ -109,6 +119,7 @@ USAGE:
                       [--extract-impl interned|naive]
                       [--metrics FILE] [--trace]
   osars check         [--seed N] [--cases N] [--faults] [--edits]
+                      [--ancestor-impl dense|segmented]
                       [--case-out FILE] [--replay FILE] [--metrics FILE]
                       [--trace]
   osars check-metrics --metrics FILE
@@ -117,12 +128,17 @@ USAGE:
                       [--updates N] [--k K] [--eps E] [--algorithm A]
                       [--granularity G] [--graph-impl I] [--extract-impl I]
                       [--out FILE]
-  osars serve         (--corpus FILE | --domain D [--scale S] [--seed N])
+  osars bench-ontology
+                      [--nodes N] [--levels N] [--pairs N] [--seed N]
+                      [--domain D] [--scale S] [--out FILE]
+  osars serve         (--corpus FILE | --domain D [--scale S] [--seed N]
+                       | --artifacts FILE)
                       [--addr HOST:PORT] [--workers N] [--queue-depth N]
                       [--deadline-ms N] [--cache N] [--warm] [--slow-ms N]
                       [--conn-timeout-ms N] [--max-conns N]
                       [--k K] [--eps E] [--algorithm A]
                       [--granularity G] [--graph-impl I] [--extract-impl I]
+                      [--ancestor-impl I]
   osars loadgen       --addr HOST:PORT [--conns C] [--rps N]
                       [--duration-secs S] [--panic-every N] [--query Q]
                       [--out FILE]
@@ -130,6 +146,7 @@ USAGE:
 DEFAULTS: --scale small --seed 42 --item 0 --k 5 --eps 0.5
           --granularity sentences --algorithm greedy --items 5 --jobs 1
           --graph-impl indexed --extract-impl interned --cases 25
+          --ancestor-impl dense
 FOCUS:    restricts the summary to one concept's subtree
           (e.g. --focus battery on a phone corpus)
 JOBS:     --item all batches every item over N worker threads (0 = all
@@ -161,6 +178,21 @@ EXTRACT:  --extract-impl selects the opinion-extraction hot path:
           'interned' (token interner + Aho–Corasick concept automaton +
           memoized stem cache) or 'naive' (the per-position trie walk
           kept as the oracle); both yield byte-identical output
+ANCESTOR: --ancestor-impl selects the ancestor-query index behind the
+          coverage-graph builder: 'dense' (materialized CSR transitive
+          closure, the oracle) or 'segmented' (compressed reachability
+          index: O(n) memory, O(log n) locate, no closure ever built —
+          the only viable choice at SNOMED scale, i.e. --scale huge);
+          both yield byte-identical output
+COMPILE:  compile runs extraction once and writes corpus + pre-extracted
+          items + segment index as a versioned, checksummed binary
+          artifact; `summarize --artifacts F` and `serve --artifacts F`
+          then boot from one sequential read, skipping extraction
+          entirely (summaries stay byte-identical to an in-memory
+          build). bench-ontology times dense vs segmented index
+          build/query on an --nodes synthetic DAG with --pairs weighted
+          pairs, plus artifact vs extraction cold-start on a
+          --domain/--scale corpus, and writes BENCH_ontology.json
 METRICS:  --metrics FILE streams per-stage span events plus a final
           counter/gauge/histogram snapshot as JSON lines to FILE
           (validate with `osars check-metrics --metrics FILE`, which
@@ -370,6 +402,11 @@ fn open_corpus(flags: &HashMap<String, String>) -> Result<Corpus, String> {
 }
 
 fn build_corpus(domain: &str, scale: &str, seed: u64) -> Result<Corpus, String> {
+    // `huge` swaps the hand-built domain ontology for a 300k-concept
+    // synthetic DAG (SNOMED scale); reviews still read like the domain.
+    if scale == "huge" && matches!(domain, "doctors" | "phones") {
+        return Ok(osars::datasets::huge_corpus(domain, seed));
+    }
     let cfg = match (domain, scale) {
         ("doctors", "small") => CorpusConfig::doctors_small(),
         ("doctors", "full") => CorpusConfig::doctors_full(),
@@ -377,7 +414,9 @@ fn build_corpus(domain: &str, scale: &str, seed: u64) -> Result<Corpus, String> 
         ("phones", "small") => CorpusConfig::phones_small(),
         ("phones", "full") => CorpusConfig::phones_full(),
         ("phones", "large") => CorpusConfig::phones_large(),
-        _ => return Err("--domain must be doctors|phones, --scale small|full|large".to_owned()),
+        _ => {
+            return Err("--domain must be doctors|phones, --scale small|full|large|huge".to_owned())
+        }
     };
     Ok(match domain {
         "doctors" => Corpus::doctors(&cfg, seed),
@@ -439,6 +478,36 @@ fn cmd_hierarchy(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `osars compile`: run opinion extraction once and persist corpus +
+/// extracted items + segment index as the versioned, checksummed binary
+/// artifact that `summarize --artifacts` and `serve --artifacts` boot
+/// from with one sequential read.
+fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = open_corpus(flags)?;
+    let out = PathBuf::from(required(flags, "out")?);
+    let extract_impl = parse_extract_impl(flags)?;
+    let obs = osars::obs::global();
+    let extractor = Extractor::from_hierarchy(&corpus.hierarchy);
+    let mut scratch = ExtractScratch::default();
+    let (extracted, micros) = obs.time("compile.extract", || {
+        corpus
+            .items
+            .iter()
+            .map(|it| extractor.extract(it, extract_impl, &mut scratch))
+            .collect::<Vec<ExtractedItem>>()
+    });
+    let bytes = osars::artifact::write_artifact(&out, &corpus, &extracted)
+        .map_err(|e| format!("writing '{}': {e}", out.display()))?;
+    println!(
+        "compiled {} items / {} reviews / {} concepts into {} ({bytes} bytes; extraction {micros:.0}µs)",
+        corpus.items.len(),
+        corpus.total_reviews(),
+        corpus.hierarchy.node_count(),
+        out.display(),
+    );
+    Ok(())
+}
+
 fn parse_granularity(name: &str) -> Result<Granularity, String> {
     match name {
         "pairs" => Ok(Granularity::Pairs),
@@ -466,6 +535,15 @@ fn parse_extract_impl(flags: &HashMap<String, String>) -> Result<ExtractImpl, St
     }
 }
 
+fn parse_ancestor_impl(flags: &HashMap<String, String>) -> Result<AncestorImpl, String> {
+    match flag(flags, "ancestor-impl") {
+        None => Ok(AncestorImpl::default()),
+        Some(name) => {
+            AncestorImpl::from_name(name).ok_or_else(|| format!("unknown ancestor impl '{name}'"))
+        }
+    }
+}
+
 /// `--item all`: batch-summarize the whole corpus on a worker pool.
 /// Summaries go to stdout (byte-identical for any `--jobs`), throughput
 /// and latency stats to stderr (inherently run-dependent).
@@ -484,6 +562,7 @@ fn cmd_summarize_batch(corpus: &Corpus, flags: &HashMap<String, String>) -> Resu
         corpus_seed: parse_num(flags, "seed", 42)?,
         graph_impl: parse_graph_impl(flags)?,
         extract_impl: parse_extract_impl(flags)?,
+        ancestor_impl: parse_ancestor_impl(flags)?,
         ..BatchOptions::default()
     };
     // --trace-out routes through the traced batch entry point; stdout is
@@ -526,7 +605,59 @@ fn cmd_summarize_batch(corpus: &Corpus, flags: &HashMap<String, String>) -> Resu
     Ok(())
 }
 
+/// `summarize --artifacts FILE`: boot from a compiled artifact store
+/// (one sequential read, no extraction) and render every item. Output
+/// is byte-identical to `summarize --item all` over the same corpus.
+fn cmd_summarize_artifacts(path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    use osars::eval::Stopwatch;
+    use osars::runtime::incremental::ItemArtifacts;
+    use osars::runtime::{render_item_summary, warm_ancestor_index, WorkerScratch};
+
+    if flag(flags, "focus").is_some() {
+        return Err("--focus is not supported with --artifacts".to_owned());
+    }
+    if matches!(flag(flags, "item"), Some(it) if it != "all") {
+        return Err("--artifacts renders every item; drop --item or pass --item all".to_owned());
+    }
+    let algorithm_name = flag(flags, "algorithm").unwrap_or("greedy");
+    let opts = BatchOptions {
+        k: parse_num(flags, "k", 5)?,
+        eps: parse_eps(flags)?,
+        granularity: parse_granularity(flag(flags, "granularity").unwrap_or("sentences"))?,
+        algorithm: BatchAlgorithm::from_name(algorithm_name)
+            .ok_or_else(|| format!("unknown algorithm '{algorithm_name}'"))?,
+        corpus_seed: parse_num(flags, "seed", 42)?,
+        graph_impl: parse_graph_impl(flags)?,
+        extract_impl: parse_extract_impl(flags)?,
+        ancestor_impl: parse_ancestor_impl(flags)?,
+        ..BatchOptions::default()
+    };
+    let sw = Stopwatch::start();
+    let art = osars::artifact::read_artifact(Path::new(path))
+        .map_err(|e| format!("loading artifact '{path}': {e}"))?;
+    let load_us = sw.micros();
+    let osars::artifact::Artifact { corpus, extracted } = art;
+    warm_ancestor_index(&corpus.hierarchy, opts.ancestor_impl);
+    let mut scratch = WorkerScratch::new();
+    let mut out = String::new();
+    for (idx, (item, ex)) in corpus.items.iter().zip(extracted).enumerate() {
+        let artifacts =
+            ItemArtifacts::from_extracted(&corpus.hierarchy, &opts, item, ex, &mut scratch);
+        let summary = artifacts.summarize(&corpus.hierarchy, &opts, idx, item, &mut scratch, None);
+        out.push_str(&render_item_summary(&summary));
+    }
+    print!("{out}");
+    eprintln!(
+        "artifact boot: {} items from {path} (load {load_us:.0}µs, no extraction)",
+        corpus.items.len()
+    );
+    Ok(())
+}
+
 fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = flag(flags, "artifacts") {
+        return cmd_summarize_artifacts(path, flags);
+    }
     let corpus = open_corpus(flags)?;
     let item_flag = flag(flags, "item").unwrap_or("0");
     if item_flag == "all" {
@@ -590,24 +721,29 @@ fn cmd_summarize(flags: &HashMap<String, String>) -> Result<(), String> {
 
     let gran = parse_granularity(granularity)?;
     let graph_impl = parse_graph_impl(flags)?;
+    let ancestor = parse_ancestor_impl(flags)?;
     let jobs: usize = parse_num(flags, "jobs", 1)?;
     let graph_span = trace.as_ref().map(|t| t.span("graph.build"));
     let (graph, _) = obs.time("graph.build", || match (graph_impl, gran) {
-        (GraphImpl::Indexed, Granularity::Pairs) => par_for_pairs(&hierarchy, &ex.pairs, eps, jobs),
-        (GraphImpl::Indexed, Granularity::Sentences) => par_for_groups(
+        (GraphImpl::Indexed, Granularity::Pairs) => {
+            par_for_pairs_ancestor(&hierarchy, &ex.pairs, eps, ancestor, jobs)
+        }
+        (GraphImpl::Indexed, Granularity::Sentences) => par_for_groups_ancestor(
             &hierarchy,
             &ex.pairs,
             &ex.sentence_groups(),
             eps,
             Granularity::Sentences,
+            ancestor,
             jobs,
         ),
-        (GraphImpl::Indexed, Granularity::Reviews) => par_for_groups(
+        (GraphImpl::Indexed, Granularity::Reviews) => par_for_groups_ancestor(
             &hierarchy,
             &ex.pairs,
             &ex.review_groups(),
             eps,
             Granularity::Reviews,
+            ancestor,
             jobs,
         ),
         (GraphImpl::Naive, Granularity::Pairs) => {
@@ -815,6 +951,7 @@ fn cmd_check(flags: &HashMap<String, String>) -> Result<(), String> {
         cases: parse_num(flags, "cases", 25)?,
         faults: matches!(flag(flags, "faults"), Some(v) if v != "false"),
         edits: matches!(flag(flags, "edits"), Some(v) if v != "false"),
+        ancestor_impl: parse_ancestor_impl(flags)?,
         case_out: flag(flags, "case-out").map(PathBuf::from),
     };
     let outcome = osars::check::run_check(&cfg);
@@ -849,6 +986,7 @@ fn cmd_bench_incremental(flags: &HashMap<String, String>) -> Result<(), String> 
         corpus_seed: parse_num(flags, "seed", 42)?,
         graph_impl: parse_graph_impl(flags)?,
         extract_impl: parse_extract_impl(flags)?,
+        ancestor_impl: parse_ancestor_impl(flags)?,
         ..BatchOptions::default()
     };
     let updates: usize = parse_num(flags, "updates", 40)?;
@@ -963,6 +1101,215 @@ fn cmd_bench_incremental(flags: &HashMap<String, String>) -> Result<(), String> 
         corpus.items.len(),
         pct(&incremental, 50.0),
         pct(&rebuild, 50.0),
+    );
+    Ok(())
+}
+
+/// `osars bench-ontology`: the SNOMED-scale numbers behind the segment
+/// index. Phase 1 builds a synthetic multi-parent DAG (300k concepts by
+/// default) and times the dense closure oracle against the compressed
+/// segment index — build cost, resident entries, and query throughput
+/// over a clustered pair sample. Phase 2 measures daemon cold-start on
+/// a real corpus: extraction boot vs artifact boot (compile once
+/// untimed, then one sequential read), asserting the rendered summaries
+/// stay byte-identical. Writes the JSON report to `--out`.
+fn cmd_bench_ontology(flags: &HashMap<String, String>) -> Result<(), String> {
+    use osars::datasets::{sample_pairs, synthetic_ontology, SyntheticOntologyConfig};
+    use osars::eval::Stopwatch;
+    use osars::json::Value;
+    use osars::ontology::{AncestorIndex, NodeId, SegmentIndex, SegmentScratch};
+    use osars::runtime::incremental::ItemArtifacts;
+    use osars::runtime::{render_item_summary, warm_ancestor_index, WorkerScratch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let seed: u64 = parse_num(flags, "seed", 42)?;
+    let cfg = SyntheticOntologyConfig {
+        nodes: parse_num(flags, "nodes", 300_000)?,
+        levels: parse_num(flags, "levels", 10)?,
+        ..SyntheticOntologyConfig::huge()
+    };
+    let n_pairs: usize = parse_num(flags, "pairs", 2_000_000)?;
+
+    eprintln!(
+        "bench-ontology: building synthetic DAG ({} nodes, {} levels) ...",
+        cfg.nodes, cfg.levels
+    );
+    let h = synthetic_ontology(&cfg, seed);
+
+    // Index build cost: materialized transitive closure vs segments.
+    let (dense, dense_build_us) = Stopwatch::time(|| AncestorIndex::build(&h));
+    let (seg, segmented_build_us) = Stopwatch::time(|| SegmentIndex::build(&h));
+
+    // Query throughput over a clustered sample — the access pattern the
+    // pipeline sees (hot subtrees), not uniform random nodes. Visit
+    // counts are accumulated so the loops can't be optimized away, and
+    // compared so a silent twin divergence fails the bench.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB_E4C4);
+    let pairs = sample_pairs(&h, n_pairs, 64, &mut rng);
+    let (dense_visits, dense_query_us) = Stopwatch::time(|| {
+        let mut visits = 0usize;
+        for p in &pairs {
+            visits += dense.ancestors(p.concept).len();
+        }
+        visits
+    });
+    let mut seg_scratch = SegmentScratch::new();
+    let mut buf: Vec<(NodeId, u32)> = Vec::new();
+    let (seg_visits, segmented_query_us) = Stopwatch::time(|| {
+        let mut visits = 0usize;
+        for p in &pairs {
+            seg.ancestors_with_dist_into(p.concept, &mut seg_scratch, &mut buf);
+            visits += buf.len();
+        }
+        visits
+    });
+    if dense_visits != seg_visits {
+        return Err(format!(
+            "twin oracles disagree on total ancestor visits: dense {dense_visits} vs segmented {seg_visits}"
+        ));
+    }
+    eprintln!(
+        "index build: dense {dense_build_us:.0}µs ({} entries) vs segmented {segmented_build_us:.0}µs ({} entries); \
+         {} queries: dense {dense_query_us:.0}µs vs segmented {segmented_query_us:.0}µs",
+        dense.entry_count(),
+        seg.entry_weight(),
+        pairs.len(),
+    );
+
+    // Cold start: time-to-ready — everything a fresh daemon must do
+    // before it can start answering summary requests with zero
+    // extraction debt. Both arms boot from one file on disk, mirroring
+    // the two real boot modes: `serve --corpus FILE` (raw reviews JSON;
+    // pays parse + automaton construction + a full extraction pass) vs
+    // `serve --artifacts FILE` (one sequential read of the compiled
+    // store + checksum sweep + prelude decode; item blocks materialize
+    // lazily on first request, and the eager whole-store decode is
+    // recorded separately as `coldstart_artifact_eager_us`). The
+    // compile is the offline step and stays untimed. The per-request
+    // work both boots share — graph build + summarization — runs
+    // outside the window and must render identical bytes, so a faster
+    // boot can't silently be a wrong boot.
+    let domain = flag(flags, "domain").unwrap_or("doctors");
+    let scale = flag(flags, "scale").unwrap_or("large");
+    let ancestor = parse_ancestor_impl(flags)?;
+    let opts = BatchOptions {
+        ancestor_impl: ancestor,
+        ..BatchOptions::default()
+    };
+
+    let gen = build_corpus(domain, scale, seed)?;
+    let raw_store = std::env::temp_dir().join(format!("osars-bench-ontology-{seed}.json"));
+    osars::datasets::save_corpus(&gen, &raw_store)
+        .map_err(|e| format!("writing '{}': {e}", raw_store.display()))?;
+    drop(gen);
+
+    let sw = Stopwatch::start();
+    let corpus_a =
+        load_corpus(&raw_store).map_err(|e| format!("loading '{}': {e}", raw_store.display()))?;
+    let extractor = Extractor::from_hierarchy(&corpus_a.hierarchy);
+    warm_ancestor_index(&corpus_a.hierarchy, ancestor);
+    let mut ex_scratch = ExtractScratch::default();
+    let extracted_a: Vec<ExtractedItem> = corpus_a
+        .items
+        .iter()
+        .map(|it| extractor.extract(it, ExtractImpl::Interned, &mut ex_scratch))
+        .collect();
+    let coldstart_extraction_us = sw.micros();
+    let _ = std::fs::remove_file(&raw_store);
+
+    let store = std::env::temp_dir().join(format!("osars-bench-ontology-{seed}.osar"));
+    let artifact_bytes = osars::artifact::write_artifact(&store, &corpus_a, &extracted_a)
+        .map_err(|e| format!("writing '{}': {e}", store.display()))?;
+
+    let sw = Stopwatch::start();
+    let lazy = osars::artifact::open_lazy(&store)
+        .map_err(|e| format!("loading '{}': {e}", store.display()))?;
+    warm_ancestor_index(&lazy.hierarchy, ancestor);
+    let coldstart_artifact_us = sw.micros();
+
+    // For scale, also record what a full eager decode costs — the
+    // `summarize --artifacts` batch path pays this, a lazy daemon
+    // amortizes it across first-touch requests.
+    let (eager, coldstart_artifact_eager_us) =
+        Stopwatch::time(|| osars::artifact::read_artifact(&store));
+    let eager = eager.map_err(|e| format!("loading '{}': {e}", store.display()))?;
+    let _ = std::fs::remove_file(&store);
+    if eager.corpus.items.len() != lazy.store.len() {
+        return Err("eager and lazy decodes disagree on item count".to_owned());
+    }
+    drop(eager);
+
+    let mut scratch = WorkerScratch::new();
+    let mut extraction_out = String::new();
+    for (idx, (item, ex)) in corpus_a.items.iter().zip(extracted_a).enumerate() {
+        let art = ItemArtifacts::from_extracted(&corpus_a.hierarchy, &opts, item, ex, &mut scratch);
+        let summary = art.summarize(&corpus_a.hierarchy, &opts, idx, item, &mut scratch, None);
+        extraction_out.push_str(&render_item_summary(&summary));
+    }
+    let mut artifact_out = String::new();
+    for idx in 0..lazy.store.len() {
+        let (item, ex) = lazy
+            .store
+            .item(idx)
+            .map_err(|e| format!("decoding item block {idx}: {e}"))?;
+        let art = ItemArtifacts::from_extracted(&lazy.hierarchy, &opts, &item, ex, &mut scratch);
+        let summary = art.summarize(&lazy.hierarchy, &opts, idx, &item, &mut scratch, None);
+        artifact_out.push_str(&render_item_summary(&summary));
+    }
+    if extraction_out != artifact_out {
+        return Err(
+            "artifact-booted summaries diverge from extraction-booted summaries".to_owned(),
+        );
+    }
+    let coldstart_speedup = coldstart_extraction_us / coldstart_artifact_us.max(1e-9);
+
+    let json = osars::json::to_string_pretty(&Value::Object(vec![
+        ("nodes".into(), Value::from(h.node_count())),
+        ("levels".into(), Value::from(cfg.levels)),
+        ("edges".into(), Value::from(h.edge_list().len())),
+        ("pairs".into(), Value::from(pairs.len())),
+        ("dense_build_us".into(), Value::Number(dense_build_us)),
+        (
+            "segmented_build_us".into(),
+            Value::Number(segmented_build_us),
+        ),
+        ("dense_entries".into(), Value::from(dense.entry_count())),
+        ("segmented_entries".into(), Value::from(seg.entry_weight())),
+        ("dense_query_us".into(), Value::Number(dense_query_us)),
+        (
+            "segmented_query_us".into(),
+            Value::Number(segmented_query_us),
+        ),
+        ("query_visits".into(), Value::from(dense_visits)),
+        ("coldstart_domain".into(), Value::from(domain)),
+        ("coldstart_scale".into(), Value::from(scale)),
+        ("coldstart_items".into(), Value::from(lazy.store.len())),
+        (
+            "coldstart_extraction_us".into(),
+            Value::Number(coldstart_extraction_us),
+        ),
+        (
+            "coldstart_artifact_us".into(),
+            Value::Number(coldstart_artifact_us),
+        ),
+        (
+            "coldstart_artifact_eager_us".into(),
+            Value::Number(coldstart_artifact_eager_us),
+        ),
+        ("coldstart_speedup".into(), Value::Number(coldstart_speedup)),
+        (
+            "artifact_bytes".into(),
+            Value::from(artifact_bytes as usize),
+        ),
+    ]));
+    let out = flag(flags, "out").unwrap_or("BENCH_ontology.json");
+    std::fs::write(out, &json).map_err(|e| format!("writing '{out}': {e}"))?;
+    println!("{json}");
+    eprintln!(
+        "bench-ontology: cold start {coldstart_extraction_us:.0}µs (extraction) vs \
+         {coldstart_artifact_us:.0}µs (artifact, {artifact_bytes} bytes) — {coldstart_speedup:.1}×; \
+         report in {out}"
     );
     Ok(())
 }
@@ -1119,7 +1466,21 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     // Injected panics (`?inject=panic`) answer 500 by design; keep the
     // default hook from printing a backtrace per poisoned request.
     osars::serve::quiet_injected_panics();
-    let corpus = open_corpus(flags)?;
+    // `--artifacts FILE` boots lazily from a compiled artifact: one
+    // sequential read plus the prelude decode (hierarchy, pre-validated
+    // segment index, block table). Item blocks decode on first request
+    // and the extraction pipeline never runs at boot.
+    let lazy = match flag(flags, "artifacts") {
+        Some(path) => Some(
+            osars::artifact::open_lazy(Path::new(path))
+                .map_err(|e| format!("loading artifact '{path}': {e}"))?,
+        ),
+        None => None,
+    };
+    let corpus = match lazy {
+        Some(_) => None,
+        None => Some(open_corpus(flags)?),
+    };
     let algorithm_name = flag(flags, "algorithm").unwrap_or("greedy");
     let defaults = BatchOptions {
         k: parse_num(flags, "k", 5)?,
@@ -1130,6 +1491,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         corpus_seed: parse_num(flags, "seed", 42)?,
         graph_impl: parse_graph_impl(flags)?,
         extract_impl: parse_extract_impl(flags)?,
+        ancestor_impl: parse_ancestor_impl(flags)?,
         ..BatchOptions::default()
     };
     let opts = osars::serve::ServeOptions {
@@ -1144,9 +1506,18 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         defaults,
     };
     let addr = flag(flags, "addr").unwrap_or("127.0.0.1:7878");
-    let items = corpus.items.len();
-    let handle =
-        osars::serve::serve(corpus, addr, opts).map_err(|e| format!("binding '{addr}': {e}"))?;
+    let (items, handle) = match (lazy, corpus) {
+        (Some(art), _) => (
+            art.store.len(),
+            osars::serve::serve_artifact(art, addr, opts),
+        ),
+        (None, Some(corpus)) => (
+            corpus.items.len(),
+            osars::serve::serve_prepared(corpus, None, addr, opts),
+        ),
+        (None, None) => unreachable!("either --artifacts or a corpus source"),
+    };
+    let handle = handle.map_err(|e| format!("binding '{addr}': {e}"))?;
     // Stderr, so scripts scraping stdout for summaries see nothing new.
     eprintln!(
         "osars serve: listening on http://{} ({items} items); Ctrl-C to stop",

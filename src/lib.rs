@@ -14,6 +14,7 @@
 //! * [`baselines`] — the five baseline summarizers of the evaluation,
 //! * [`eval`] — coverage-cost and sentiment-error metrics,
 //! * [`datasets`] — synthetic doctor/phone corpora calibrated to Table 1,
+//! * [`artifact`] — the compiled-corpus binary artifact store (`osars compile`),
 //! * [`runtime`] — the deterministic parallel batch engine (`--jobs`),
 //! * [`check`] — the seeded differential-testing & fault-injection harness,
 //! * [`serve`] — the long-lived HTTP summarization daemon (`osars serve`),
@@ -22,6 +23,7 @@
 //!
 //! See `examples/quickstart.rs` for a 30-line end-to-end run.
 
+pub use osa_artifact as artifact;
 pub use osa_baselines as baselines;
 pub use osa_check as check;
 pub use osa_core as core;

@@ -1,0 +1,290 @@
+//! Property tests for the compiled artifact codec (`osars compile` /
+//! `--artifacts`): encode→decode round-trips are lossless down to
+//! sentiment bit patterns, the lazy block store is item-for-item
+//! equivalent to the eager decoder, and every corruption mode — a file
+//! truncated at any byte, a flipped checksum or payload byte, a stale
+//! version tag, a wrong-endian magic — reports a typed
+//! [`ArtifactError`], never a panic and never a silently wrong decode.
+
+use osars::artifact::{self, ArtifactError};
+use osars::datasets::{Corpus, ExtractImpl, ExtractedItem, Extractor, Item, Review};
+use osars::ontology::{Hierarchy, HierarchyBuilder, NodeId};
+use osars::text::ExtractScratch;
+use proptest::prelude::*;
+
+/// Little-endian header layout shared with the codec: magic u32,
+/// version u32, payload length u64, checksum u64.
+const HEADER_LEN: usize = 24;
+
+/// A small multi-parent DAG whose terms exercise multi-token matches
+/// ("battery life") and stemming ("cameras"), so the stored extraction
+/// output has non-trivial pairs, sentences and token pools.
+fn term_hierarchy() -> Hierarchy {
+    let mut b = HierarchyBuilder::new();
+    for (parent, child) in [
+        ("device", "battery"),
+        ("battery", "battery life"),
+        ("device", "screen"),
+        ("device", "cameras"),
+        ("screen", "touch screen"),
+        // Multi-parent: "touch screen" also under "battery" would be
+        // nonsense; give "cameras" a second parent instead.
+        ("screen", "cameras"),
+    ] {
+        b.add_edge_by_name(parent, child).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Review fragments: concept terms, lexicon words, shifters, sentence
+/// punctuation, empty/whitespace runs and non-BMP scalars (string
+/// fields are length-prefixed raw UTF-8, so offsets must survive
+/// 4-byte scalars).
+const PIECES: &[&str] = &[
+    "battery",
+    "battery life",
+    "screen",
+    "touch screen",
+    "cameras",
+    "camera",
+    "great",
+    "terrible",
+    "not",
+    "very",
+    "the",
+    ".",
+    "!",
+    "",
+    "   ",
+    "𝑨",
+    "😀",
+];
+
+/// Planted sentiments including both signed zeros — the codec stores
+/// `f64::to_bits`, so `-0.0` must survive (a text round-trip would
+/// collapse it).
+const SENTIMENTS: &[f64] = &[1.0, -1.0, 0.25, -0.75, 0.0, -0.0];
+
+fn arb_text() -> impl Strategy<Value = String> {
+    let piece = (0usize..PIECES.len()).prop_map(|i| PIECES[i].to_owned());
+    proptest::collection::vec(piece, 0..20).prop_map(|ps| ps.join(" "))
+}
+
+fn arb_review(n_nodes: usize) -> impl Strategy<Value = Review> {
+    let pair = (0..n_nodes, 0usize..SENTIMENTS.len()).prop_map(|(c, s)| osars::core::Pair {
+        concept: NodeId::from_index(c),
+        sentiment: SENTIMENTS[s],
+    });
+    (arb_text(), proptest::collection::vec(pair, 0..3))
+        .prop_map(|(text, planted)| Review { text, planted })
+}
+
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    let h = term_hierarchy();
+    let n = h.node_count();
+    proptest::collection::vec(proptest::collection::vec(arb_review(n), 0..4), 1..4).prop_map(
+        move |items| Corpus {
+            name: "artifact-codec-prop".to_owned(),
+            hierarchy: term_hierarchy(),
+            items: items
+                .into_iter()
+                .enumerate()
+                .map(|(i, reviews)| Item {
+                    name: format!("item-{i}"),
+                    reviews,
+                })
+                .collect(),
+        },
+    )
+}
+
+/// Run the real extraction pipeline so the stored [`ExtractedItem`]s
+/// have realistic internal structure (shared token pools, sentence
+/// indices, pair lists).
+fn extract_all(corpus: &Corpus) -> Vec<ExtractedItem> {
+    let ex = Extractor::from_hierarchy(&corpus.hierarchy);
+    let mut scratch = ExtractScratch::default();
+    corpus
+        .items
+        .iter()
+        .map(|it| ex.extract(it, ExtractImpl::Interned, &mut scratch))
+        .collect()
+}
+
+/// Structural equality plus bit-level sentiment equality (derived
+/// `PartialEq` on `f64` would accept `-0.0 == 0.0`).
+fn assert_items_identical(a: &Item, b: &Item) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&a.name, &b.name);
+    prop_assert_eq!(a.reviews.len(), b.reviews.len());
+    for (ra, rb) in a.reviews.iter().zip(&b.reviews) {
+        prop_assert_eq!(&ra.text, &rb.text);
+        prop_assert_eq!(ra.planted.len(), rb.planted.len());
+        for (pa, pb) in ra.planted.iter().zip(&rb.planted) {
+            prop_assert_eq!(pa.concept, pb.concept);
+            prop_assert_eq!(pa.sentiment.to_bits(), pb.sentiment.to_bits());
+        }
+    }
+    Ok(())
+}
+
+fn assert_extracted_identical(a: &ExtractedItem, b: &ExtractedItem) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a, b);
+    for (pa, pb) in a.pairs.iter().zip(&b.pairs) {
+        prop_assert_eq!(pa.sentiment.to_bits(), pb.sentiment.to_bits());
+    }
+    for (sa, sb) in a.sentences.iter().zip(&b.sentences) {
+        prop_assert_eq!(sa.sentiment.to_bits(), sb.sentiment.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// encode → decode is lossless, and the lazy block store decodes
+    /// each item identically to the eager decoder.
+    #[test]
+    fn round_trip_and_lazy_equivalence(corpus in arb_corpus()) {
+        let extracted = extract_all(&corpus);
+        let bytes = artifact::encode(&corpus, &extracted);
+
+        let eager = artifact::decode(&bytes).expect("round trip decodes");
+        prop_assert_eq!(&eager.corpus.name, &corpus.name);
+        prop_assert_eq!(eager.corpus.hierarchy.node_count(), corpus.hierarchy.node_count());
+        prop_assert_eq!(eager.corpus.hierarchy.edge_list(), corpus.hierarchy.edge_list());
+        prop_assert_eq!(eager.corpus.items.len(), corpus.items.len());
+        for (a, b) in eager.corpus.items.iter().zip(&corpus.items) {
+            assert_items_identical(a, b)?;
+        }
+        for (a, b) in eager.extracted.iter().zip(&extracted) {
+            assert_extracted_identical(a, b)?;
+        }
+
+        let lazy = artifact::lazy_from_bytes(bytes).expect("round trip opens lazily");
+        prop_assert_eq!(&lazy.corpus_name, &corpus.name);
+        prop_assert_eq!(lazy.hierarchy.edge_list(), corpus.hierarchy.edge_list());
+        prop_assert_eq!(lazy.store.len(), corpus.items.len());
+        for i in 0..lazy.store.len() {
+            let (item, ex) = lazy.store.item(i).expect("block decodes");
+            assert_items_identical(&item, &eager.corpus.items[i])?;
+            assert_extracted_identical(&ex, &eager.extracted[i])?;
+        }
+    }
+
+    /// Truncating the file at *any* byte is a typed error — the decoder
+    /// never reads past the end, never panics, and never accepts a
+    /// prefix as a complete artifact.
+    #[test]
+    fn truncation_at_any_byte_is_a_typed_error(corpus in arb_corpus(), frac in 0.0f64..1.0) {
+        let extracted = extract_all(&corpus);
+        let bytes = artifact::encode(&corpus, &extracted);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(artifact::decode(&bytes[..cut]).is_err());
+        prop_assert!(artifact::lazy_from_bytes(bytes[..cut].to_vec()).is_err());
+    }
+
+    /// Flipping *any* byte is a typed error: header flips are caught by
+    /// the magic/version/length checks, payload flips by the checksum.
+    #[test]
+    fn any_flipped_byte_is_a_typed_error(corpus in arb_corpus(), frac in 0.0f64..1.0, bit in 0u8..8) {
+        let extracted = extract_all(&corpus);
+        let mut bytes = artifact::encode(&corpus, &extracted);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let pos = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(pos < bytes.len());
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(artifact::decode(&bytes).is_err());
+        prop_assert!(artifact::lazy_from_bytes(bytes).is_err());
+    }
+}
+
+fn sample_bytes() -> Vec<u8> {
+    let mut b = HierarchyBuilder::new();
+    b.add_edge_by_name("root", "battery").unwrap();
+    b.add_edge_by_name("root", "screen").unwrap();
+    let corpus = Corpus {
+        name: "corrupt-me".to_owned(),
+        hierarchy: b.build().unwrap(),
+        items: vec![Item {
+            name: "only".to_owned(),
+            reviews: vec![Review {
+                text: "great battery . terrible screen !".to_owned(),
+                planted: vec![],
+            }],
+        }],
+    };
+    let extracted = extract_all(&corpus);
+    artifact::encode(&corpus, &extracted)
+}
+
+#[test]
+fn flipped_checksum_byte_reports_checksum_mismatch() {
+    let mut bytes = sample_bytes();
+    bytes[HEADER_LEN - 1] ^= 0x40;
+    assert!(matches!(
+        artifact::decode(&bytes),
+        Err(ArtifactError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn flipped_payload_byte_reports_checksum_mismatch() {
+    let mut bytes = sample_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    assert!(matches!(
+        artifact::decode(&bytes),
+        Err(ArtifactError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn stale_version_reports_wrong_version() {
+    let mut bytes = sample_bytes();
+    bytes[4..8].copy_from_slice(&(artifact::VERSION + 1).to_le_bytes());
+    match artifact::decode(&bytes) {
+        Err(ArtifactError::WrongVersion { found, expected }) => {
+            assert_eq!(found, artifact::VERSION + 1);
+            assert_eq!(expected, artifact::VERSION);
+        }
+        other => panic!("expected WrongVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn byte_swapped_magic_reports_wrong_endian() {
+    let mut bytes = sample_bytes();
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&bytes[..4]);
+    magic.reverse();
+    bytes[..4].copy_from_slice(&magic);
+    assert!(matches!(
+        artifact::decode(&bytes),
+        Err(ArtifactError::WrongEndian)
+    ));
+}
+
+#[test]
+fn garbage_magic_reports_bad_magic() {
+    let mut bytes = sample_bytes();
+    bytes[..4].copy_from_slice(b"NOPE");
+    assert!(matches!(
+        artifact::decode(&bytes),
+        Err(ArtifactError::BadMagic(_))
+    ));
+}
+
+#[test]
+fn empty_and_header_only_inputs_are_truncated() {
+    assert!(matches!(
+        artifact::decode(&[]),
+        Err(ArtifactError::Truncated { .. })
+    ));
+    let bytes = sample_bytes();
+    assert!(matches!(
+        artifact::decode(&bytes[..HEADER_LEN]),
+        Err(ArtifactError::Truncated { .. })
+    ));
+}
